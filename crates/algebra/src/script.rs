@@ -1,0 +1,209 @@
+//! Algebra scripts: the statement lists the TSE Translator emits.
+//!
+//! A schema change is translated into a sequence of `defineVC` statements
+//! (plus union-routing hints for updatability). Scripts are printable — the
+//! paper's Figure 7(b) shows exactly such a generated statement list — and
+//! executable against a database.
+
+use tse_object_model::{ClassId, Database, ModelResult};
+
+use crate::define::define_vc;
+use crate::query::{ClassRef, Query};
+use crate::update::{UnionRoute, UpdatePolicy};
+
+/// One statement of a generated view-specification script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `defineVC <name> as <query>`.
+    DefineVc {
+        /// Global name for the new virtual class.
+        name: String,
+        /// Defining query.
+        query: Query,
+    },
+    /// Create a new (empty) base class — emitted by the `add_class`
+    /// translation, which materializes fresh base classes below the origin
+    /// classes of the connection point (§6.7.2).
+    DefineBase {
+        /// Global name for the new base class.
+        name: String,
+        /// Direct superclasses.
+        supers: Vec<ClassRef>,
+    },
+    /// Route `create`/`add` on a (to-be-defined) union class to a source —
+    /// the §6.5.4 "substituted source class" decision, recorded so the
+    /// update policy can be configured when the script is executed.
+    RouteUnion {
+        /// Name of the union class the route applies to.
+        name: String,
+        /// Chosen route.
+        route: UnionRoute,
+    },
+}
+
+/// A generated script plus its execution result.
+#[derive(Debug, Clone, Default)]
+pub struct Script {
+    /// Statements in execution order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// Classes created by executing a script, by statement name.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptOutput {
+    /// `(name, class)` pairs in creation order.
+    pub created: Vec<(String, ClassId)>,
+}
+
+impl ScriptOutput {
+    /// Look up a created class by its script name.
+    pub fn class(&self, name: &str) -> Option<ClassId> {
+        self.created.iter().find(|(n, _)| n == name).map(|(_, c)| *c)
+    }
+}
+
+impl Script {
+    /// Append a `defineVC`.
+    pub fn define(&mut self, name: impl Into<String>, query: Query) {
+        self.stmts.push(Stmt::DefineVc { name: name.into(), query });
+    }
+
+    /// Append a base-class creation.
+    pub fn define_base(&mut self, name: impl Into<String>, supers: Vec<ClassRef>) {
+        self.stmts.push(Stmt::DefineBase { name: name.into(), supers });
+    }
+
+    /// Append a union-routing hint.
+    pub fn route_union(&mut self, name: impl Into<String>, route: UnionRoute) {
+        self.stmts.push(Stmt::RouteUnion { name: name.into(), route });
+    }
+
+    /// Execute against a database: defines every virtual class and installs
+    /// the routing hints into `policy`. Returns the created classes.
+    pub fn execute(
+        &self,
+        db: &mut Database,
+        policy: &mut UpdatePolicy,
+    ) -> ModelResult<ScriptOutput> {
+        let mut out = ScriptOutput::default();
+        for stmt in &self.stmts {
+            match stmt {
+                Stmt::DefineVc { name, query } => {
+                    let id = define_vc(db, name, query)?;
+                    out.created.push((name.clone(), id));
+                }
+                Stmt::DefineBase { name, supers } => {
+                    let mut sup_ids = Vec::with_capacity(supers.len());
+                    for s in supers {
+                        sup_ids.push(match s {
+                            ClassRef::Id(id) => *id,
+                            ClassRef::Name(n) => db.schema().by_name(n)?,
+                        });
+                    }
+                    let id = db.schema_mut().create_base_class(name, &sup_ids)?;
+                    out.created.push((name.clone(), id));
+                }
+                Stmt::RouteUnion { name, route } => {
+                    let id = db.schema().by_name(name)?;
+                    policy.union_routes.insert(id, *route);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Render the script as the paper prints generated view specifications.
+    pub fn render(&self, db: &Database) -> String {
+        let name_of = |c: ClassId| {
+            db.schema().class(c).map(|cls| cls.name.clone()).unwrap_or_else(|_| c.to_string())
+        };
+        let mut out = String::new();
+        for stmt in &self.stmts {
+            match stmt {
+                Stmt::DefineVc { name, query } => {
+                    out.push_str(&format!("defineVC {name} as {}\n", query.render(&name_of)));
+                }
+                Stmt::DefineBase { name, supers } => {
+                    let sup_names: Vec<String> = supers
+                        .iter()
+                        .map(|s| match s {
+                            ClassRef::Id(id) => name_of(*id),
+                            ClassRef::Name(n) => n.clone(),
+                        })
+                        .collect();
+                    out.push_str(&format!(
+                        "defineBaseClass {name} under {}\n",
+                        sup_names.join(", ")
+                    ));
+                }
+                Stmt::RouteUnion { name, route } => {
+                    out.push_str(&format!("-- route create/add on {name}: {route:?}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Is the script empty (schema change needed no new classes)?
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tse_object_model::{PropertyDef, Value, ValueType};
+
+    #[test]
+    fn script_executes_in_order_and_reports_classes() {
+        let mut db = Database::default();
+        let person = db.schema_mut().create_base_class("Person", &[]).unwrap();
+        db.schema_mut()
+            .add_local_prop(person, PropertyDef::stored("age", ValueType::Int, Value::Int(0)), None)
+            .unwrap();
+
+        let mut script = Script::default();
+        script.define("Ageless", Query::hide(Query::class(person), &["age"]));
+        script.define("U", Query::union(Query::class(person), Query::class(person)));
+        script.route_union("U", UnionRoute::First);
+
+        let mut policy = UpdatePolicy::default();
+        let out = script.execute(&mut db, &mut policy).unwrap();
+        assert_eq!(out.created.len(), 2);
+        let u = out.class("U").unwrap();
+        assert_eq!(policy.union_routes.get(&u), Some(&UnionRoute::First));
+        assert!(out.class("Ageless").is_some());
+        assert!(out.class("Nope").is_none());
+    }
+
+    #[test]
+    fn render_looks_like_the_paper() {
+        let mut db = Database::default();
+        let person = db.schema_mut().create_base_class("Person", &[]).unwrap();
+        db.schema_mut()
+            .add_local_prop(person, PropertyDef::stored("age", ValueType::Int, Value::Int(0)), None)
+            .unwrap();
+        let mut script = Script::default();
+        script.define("Ageless", Query::hide(Query::class(person), &["age"]));
+        let text = script.render(&db);
+        assert_eq!(text, "defineVC Ageless as (hide age from Person)\n");
+    }
+
+    #[test]
+    fn failing_statement_aborts_execution() {
+        let mut db = Database::default();
+        let person = db.schema_mut().create_base_class("Person", &[]).unwrap();
+        let mut script = Script::default();
+        script.define("Bad", Query::hide(Query::class(person), &["ghost"]));
+        script.define("Never", Query::hide(Query::class(person), &["ghost"]));
+        let mut policy = UpdatePolicy::default();
+        assert!(script.execute(&mut db, &mut policy).is_err());
+        assert!(db.schema().by_name("Never").is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! CLOSQL-style class versioning with update/backdate functions (Monk &
+//! Sommerville, SIGMOD Record '93).
+//!
+//! Objects are stored in the format of their creation-time class version;
+//! an application bound to another version sees them through user-supplied
+//! *update* (old→new) / *backdate* (new→old) conversion functions run on
+//! every access. Sharing works, but the user writes two functions per
+//! attribute change and pays conversion cost per access.
+
+use std::collections::BTreeMap;
+
+use tse_object_model::{ModelError, ModelResult, Value};
+use tse_storage::Payload;
+
+use crate::common::{EvolvingSystem, ObjId, VersionId};
+
+#[derive(Debug, Clone)]
+struct ClosqlObject {
+    version: VersionId,
+    values: BTreeMap<String, Value>,
+}
+
+/// The CLOSQL emulation.
+#[derive(Debug, Default)]
+pub struct Closql {
+    versions: Vec<Vec<String>>,
+    /// Per added attribute: the value its update function materializes.
+    update_fns: BTreeMap<String, Value>,
+    objects: Vec<ClosqlObject>,
+    conversions: std::cell::Cell<usize>,
+}
+
+impl Closql {
+    /// A fresh system with one `name` attribute in version 0.
+    pub fn new() -> Self {
+        Closql {
+            versions: vec![vec!["name".into()]],
+            update_fns: BTreeMap::new(),
+            objects: Vec::new(),
+            conversions: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Conversion-function invocations so far (access-overhead probe).
+    pub fn conversions(&self) -> usize {
+        self.conversions.get()
+    }
+
+    /// Convert an object's value map into the format `version` expects,
+    /// running update/backdate functions as needed.
+    fn converted(&self, obj: &ClosqlObject, version: VersionId) -> ModelResult<BTreeMap<String, Value>> {
+        let target_attrs = self
+            .versions
+            .get(version)
+            .ok_or_else(|| ModelError::Invalid(format!("closql: no version {version}")))?;
+        let mut out = BTreeMap::new();
+        for attr in target_attrs {
+            if let Some(v) = obj.values.get(attr) {
+                out.insert(attr.clone(), v.clone());
+            } else {
+                // Update function fills attributes the stored format lacks.
+                self.conversions.set(self.conversions.get() + 1);
+                let v = self.update_fns.get(attr).cloned().ok_or_else(|| {
+                    ModelError::Invalid(format!("closql: no update function for {attr:?}"))
+                })?;
+                out.insert(attr.clone(), v);
+            }
+        }
+        // Backdating (dropping newer attributes) is implicit in taking only
+        // target_attrs; count it when the stored format is newer.
+        if obj.version > version {
+            self.conversions.set(self.conversions.get() + 1);
+        }
+        Ok(out)
+    }
+}
+
+impl EvolvingSystem for Closql {
+    fn name(&self) -> &'static str {
+        "CLOSQL"
+    }
+
+    fn current_version(&self) -> VersionId {
+        self.versions.len() - 1
+    }
+
+    fn add_attribute(&mut self, attr: &str, default: Value) -> ModelResult<VersionId> {
+        let mut attrs = self.versions.last().unwrap().clone();
+        attrs.push(attr.to_string());
+        self.versions.push(attrs);
+        // The user writes an update and a backdate function.
+        self.update_fns.insert(attr.to_string(), default);
+        Ok(self.versions.len() - 1)
+    }
+
+    fn create_object(&mut self, version: VersionId, values: &[(&str, Value)]) -> ModelResult<ObjId> {
+        let attrs = self
+            .versions
+            .get(version)
+            .ok_or_else(|| ModelError::Invalid(format!("closql: no version {version}")))?;
+        let mut map = BTreeMap::new();
+        for (name, value) in values {
+            if !attrs.contains(&name.to_string()) {
+                return Err(ModelError::Invalid(format!("closql: v{version} has no {name:?}")));
+            }
+            map.insert(name.to_string(), value.clone());
+        }
+        self.objects.push(ClosqlObject { version, values: map });
+        Ok(self.objects.len() - 1)
+    }
+
+    fn read(&self, version: VersionId, obj: ObjId, attr: &str) -> ModelResult<Value> {
+        let o = self
+            .objects
+            .get(obj)
+            .ok_or_else(|| ModelError::Invalid(format!("closql: no object {obj}")))?;
+        let view = self.converted(o, version)?;
+        view.get(attr)
+            .cloned()
+            .ok_or_else(|| ModelError::Invalid(format!("closql: v{version} has no {attr:?}")))
+    }
+
+    fn write(
+        &mut self,
+        version: VersionId,
+        obj: ObjId,
+        attr: &str,
+        value: Value,
+    ) -> ModelResult<()> {
+        let attrs = self
+            .versions
+            .get(version)
+            .ok_or_else(|| ModelError::Invalid(format!("closql: no version {version}")))?;
+        if !attrs.contains(&attr.to_string()) {
+            return Err(ModelError::Invalid(format!("closql: v{version} has no {attr:?}")));
+        }
+        let o = self
+            .objects
+            .get_mut(obj)
+            .ok_or_else(|| ModelError::Invalid(format!("closql: no object {obj}")))?;
+        // Writes convert into the *stored* format: attributes the stored
+        // format lacks are materialized into it (the stored format migrates
+        // lazily under write pressure).
+        self.conversions.set(self.conversions.get() + 1);
+        o.values.insert(attr.to_string(), value);
+        Ok(())
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.objects
+            .iter()
+            .map(|o| 16 + o.values.values().map(|v| v.byte_size()).sum::<usize>())
+            .sum()
+    }
+
+    fn user_artifacts(&self) -> usize {
+        self.update_fns.len() * 2 // update + backdate per change
+    }
+
+    fn flexible_composition(&self) -> bool {
+        true
+    }
+
+    fn subschema_evolution(&self) -> bool {
+        false
+    }
+
+    fn views_integrated(&self) -> bool {
+        false
+    }
+
+    fn supports_merging(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::probe_sharing;
+
+    #[test]
+    fn conversion_runs_per_cross_version_access() {
+        let mut c = Closql::new();
+        let v1 = c.current_version();
+        let o = c.create_object(v1, &[("name", Value::Str("x".into()))]).unwrap();
+        let v2 = c.add_attribute("extra", Value::Int(3)).unwrap();
+        assert_eq!(c.conversions(), 0);
+        assert_eq!(c.read(v2, o, "extra").unwrap(), Value::Int(3));
+        let after_one = c.conversions();
+        assert!(after_one >= 1);
+        let _ = c.read(v2, o, "extra").unwrap();
+        assert!(c.conversions() > after_one, "conversion cost is paid per access");
+    }
+
+    #[test]
+    fn sharing_probe_passes_with_two_artifacts_per_change() {
+        let mut c = Closql::new();
+        let probe = probe_sharing(&mut c).unwrap();
+        assert!(probe.shares());
+        assert_eq!(c.user_artifacts(), 2);
+    }
+
+    #[test]
+    fn backdate_hides_newer_attributes() {
+        let mut c = Closql::new();
+        let v1 = c.current_version();
+        let v2 = c.add_attribute("extra", Value::Int(0)).unwrap();
+        let o = c.create_object(v2, &[("name", Value::Str("n".into())), ("extra", Value::Int(9))]).unwrap();
+        assert!(c.read(v1, o, "extra").is_err());
+        assert_eq!(c.read(v1, o, "name").unwrap(), Value::Str("n".into()));
+    }
+}

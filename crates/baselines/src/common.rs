@@ -1,0 +1,125 @@
+//! A common probe interface over the baseline schema-evolution systems.
+//!
+//! Table 2 of the paper compares TSE against Encore, Orion, Goose, CLOSQL
+//! and Rose along six capability axes. The baselines here are deliberately
+//! compact emulations — enough machinery that each table cell is decided by
+//! *running a probe scenario*, not by assertion.
+
+use tse_object_model::{ModelResult, Value};
+
+/// A schema version handle within a baseline system.
+pub type VersionId = usize;
+
+/// An object handle within a baseline system.
+pub type ObjId = usize;
+
+/// The operations every baseline exposes for the probe scenarios. The model
+/// is one flat class (`Item`) whose attribute set evolves — the minimum
+/// needed to observe the Table 2 behaviours.
+pub trait EvolvingSystem {
+    /// System name as it appears in Table 2.
+    fn name(&self) -> &'static str;
+
+    /// Current schema version.
+    fn current_version(&self) -> VersionId;
+
+    /// Create a new schema version adding attribute `attr` (defaulting to
+    /// `default`) — the canonical capacity-augmenting change.
+    fn add_attribute(&mut self, attr: &str, default: Value) -> ModelResult<VersionId>;
+
+    /// Create an object *under a specific version* with the attribute values
+    /// known to that version.
+    fn create_object(&mut self, version: VersionId, values: &[(&str, Value)]) -> ModelResult<ObjId>;
+
+    /// Read an attribute of an object *through* a version's schema.
+    fn read(&self, version: VersionId, obj: ObjId, attr: &str) -> ModelResult<Value>;
+
+    /// Write an attribute of an object through a version's schema.
+    fn write(
+        &mut self,
+        version: VersionId,
+        obj: ObjId,
+        attr: &str,
+        value: Value,
+    ) -> ModelResult<()>;
+
+    /// Bytes of storage attributable to objects + version bookkeeping
+    /// (storage-growth probe).
+    fn storage_bytes(&self) -> usize;
+
+    /// Number of user-supplied artifacts (exception handlers, conversion
+    /// functions, version maps) the evolution required so far — the
+    /// "effort required by user" column.
+    fn user_artifacts(&self) -> usize;
+
+    /// Can the user compose a schema from arbitrary per-class versions?
+    fn flexible_composition(&self) -> bool;
+
+    /// Does a change touch only the affected subschema (vs. global copies)?
+    fn subschema_evolution(&self) -> bool;
+
+    /// Are views integrated with schema change?
+    fn views_integrated(&self) -> bool;
+
+    /// Is version merging supported?
+    fn supports_merging(&self) -> bool;
+}
+
+/// Outcome of the sharing probe: can data flow across versions?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharingProbe {
+    /// New-version reader sees an object created under the old version.
+    pub old_object_visible_in_new: bool,
+    /// Old-version reader sees an object created under the new version.
+    pub new_object_visible_in_old: bool,
+    /// A write through the new version is observed through the old one
+    /// (the paper's "backward propagation" criticism of Orion).
+    pub write_propagates_backwards: bool,
+}
+
+impl SharingProbe {
+    /// The Table 2 "sharing" verdict: full bidirectional sharing.
+    pub fn shares(&self) -> bool {
+        self.old_object_visible_in_new
+            && self.new_object_visible_in_old
+            && self.write_propagates_backwards
+    }
+}
+
+/// Run the sharing probe against any baseline.
+pub fn probe_sharing<S: EvolvingSystem>(sys: &mut S) -> ModelResult<SharingProbe> {
+    let v1 = sys.current_version();
+    let old_obj = sys.create_object(v1, &[("name", Value::Str("old".into()))])?;
+    let v2 = sys.add_attribute("extra", Value::Int(0))?;
+    let new_obj = sys.create_object(v2, &[("name", Value::Str("new".into()))])?;
+
+    let old_object_visible_in_new = sys.read(v2, old_obj, "name").is_ok();
+    let new_object_visible_in_old = sys.read(v1, new_obj, "name").is_ok();
+    let write_propagates_backwards = match sys.write(v2, old_obj, "name", Value::Str("w".into())) {
+        Ok(()) => matches!(sys.read(v1, old_obj, "name"), Ok(Value::Str(s)) if s == "w"),
+        Err(_) => false,
+    };
+    Ok(SharingProbe {
+        old_object_visible_in_new,
+        new_object_visible_in_old,
+        write_propagates_backwards,
+    })
+}
+
+/// Storage growth across `n` versions of a population of `objects` objects:
+/// returns bytes after setup and after the versions were added.
+pub fn probe_storage_growth<S: EvolvingSystem>(
+    sys: &mut S,
+    objects: usize,
+    versions: usize,
+) -> ModelResult<(usize, usize)> {
+    let v1 = sys.current_version();
+    for i in 0..objects {
+        sys.create_object(v1, &[("name", Value::Str(format!("o{i}")))])?;
+    }
+    let before = sys.storage_bytes();
+    for k in 0..versions {
+        sys.add_attribute(&format!("a{k}"), Value::Int(0))?;
+    }
+    Ok((before, sys.storage_bytes()))
+}

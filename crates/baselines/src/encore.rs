@@ -1,0 +1,199 @@
+//! Encore-style type versioning with exception handlers (Skarra & Zdonik,
+//! OOPSLA'86).
+//!
+//! Each type has versions; objects are bound to the version they were
+//! created under. Programs running against other versions reach objects
+//! through *user-written exception handlers* that fill in properties the
+//! object's own type version does not carry — labor-intensive, but the
+//! objects are shared.
+
+use std::collections::BTreeMap;
+
+use tse_object_model::{ModelError, ModelResult, Value};
+use tse_storage::Payload;
+
+use crate::common::{EvolvingSystem, ObjId, VersionId};
+
+/// One stored object: bound to its creating type version.
+#[derive(Debug, Clone)]
+struct EncoreObject {
+    version: VersionId,
+    values: BTreeMap<String, Value>,
+}
+
+/// The Encore emulation.
+#[derive(Debug, Default)]
+pub struct Encore {
+    /// Attribute sets per type version.
+    versions: Vec<Vec<String>>,
+    /// User-registered exception handlers: (attr) → default produced when an
+    /// older object lacks the attribute.
+    handlers: BTreeMap<String, Value>,
+    objects: Vec<EncoreObject>,
+    handler_invocations: std::cell::Cell<usize>,
+}
+
+impl Encore {
+    /// A fresh system with one `name` attribute in version 0.
+    pub fn new() -> Self {
+        Encore {
+            versions: vec![vec!["name".into()]],
+            handlers: BTreeMap::new(),
+            objects: Vec::new(),
+            handler_invocations: std::cell::Cell::new(0),
+        }
+    }
+
+    /// How many times exception handlers ran (access-overhead probe).
+    pub fn handler_invocations(&self) -> usize {
+        self.handler_invocations.get()
+    }
+
+    fn object(&self, obj: ObjId) -> ModelResult<&EncoreObject> {
+        self.objects.get(obj).ok_or_else(|| ModelError::Invalid(format!("encore: no object {obj}")))
+    }
+}
+
+impl EvolvingSystem for Encore {
+    fn name(&self) -> &'static str {
+        "Encore"
+    }
+
+    fn current_version(&self) -> VersionId {
+        self.versions.len() - 1
+    }
+
+    fn add_attribute(&mut self, attr: &str, default: Value) -> ModelResult<VersionId> {
+        let mut attrs = self.versions.last().unwrap().clone();
+        attrs.push(attr.to_string());
+        self.versions.push(attrs);
+        // The user must supply an exception handler so that programs against
+        // the new version can read old instances.
+        self.handlers.insert(attr.to_string(), default);
+        Ok(self.versions.len() - 1)
+    }
+
+    fn create_object(&mut self, version: VersionId, values: &[(&str, Value)]) -> ModelResult<ObjId> {
+        let attrs = self
+            .versions
+            .get(version)
+            .ok_or_else(|| ModelError::Invalid(format!("encore: no version {version}")))?;
+        let mut map = BTreeMap::new();
+        for (name, value) in values {
+            if !attrs.contains(&name.to_string()) {
+                return Err(ModelError::Invalid(format!("encore: v{version} has no {name:?}")));
+            }
+            map.insert(name.to_string(), value.clone());
+        }
+        self.objects.push(EncoreObject { version, values: map });
+        Ok(self.objects.len() - 1)
+    }
+
+    fn read(&self, version: VersionId, obj: ObjId, attr: &str) -> ModelResult<Value> {
+        let attrs = self
+            .versions
+            .get(version)
+            .ok_or_else(|| ModelError::Invalid(format!("encore: no version {version}")))?;
+        if !attrs.contains(&attr.to_string()) {
+            return Err(ModelError::Invalid(format!("encore: v{version} has no {attr:?}")));
+        }
+        let o = self.object(obj)?;
+        if let Some(v) = o.values.get(attr) {
+            return Ok(v.clone());
+        }
+        // The object's own type version lacks the attribute → exception
+        // handler (user-supplied) fills it in.
+        let own_attrs = &self.versions[o.version];
+        if !own_attrs.contains(&attr.to_string()) {
+            self.handler_invocations.set(self.handler_invocations.get() + 1);
+            return self.handlers.get(attr).cloned().ok_or_else(|| {
+                ModelError::Invalid(format!("encore: no exception handler for {attr:?}"))
+            });
+        }
+        Ok(Value::Null)
+    }
+
+    fn write(
+        &mut self,
+        version: VersionId,
+        obj: ObjId,
+        attr: &str,
+        value: Value,
+    ) -> ModelResult<()> {
+        let attrs = self
+            .versions
+            .get(version)
+            .ok_or_else(|| ModelError::Invalid(format!("encore: no version {version}")))?;
+        if !attrs.contains(&attr.to_string()) {
+            return Err(ModelError::Invalid(format!("encore: v{version} has no {attr:?}")));
+        }
+        let o = self
+            .objects
+            .get_mut(obj)
+            .ok_or_else(|| ModelError::Invalid(format!("encore: no object {obj}")))?;
+        // Writing an attribute the object's own version lacks is refused —
+        // old instances cannot gain fields.
+        if !self.versions[o.version].contains(&attr.to_string()) {
+            return Err(ModelError::Invalid(format!(
+                "encore: object bound to v{} cannot store {attr:?}",
+                o.version
+            )));
+        }
+        o.values.insert(attr.to_string(), value);
+        Ok(())
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.objects
+            .iter()
+            .map(|o| 16 + o.values.values().map(|v| v.byte_size()).sum::<usize>())
+            .sum()
+    }
+
+    fn user_artifacts(&self) -> usize {
+        self.handlers.len() // one exception handler per added attribute
+    }
+
+    fn flexible_composition(&self) -> bool {
+        true // schemas are lattices of type versions.
+    }
+
+    fn subschema_evolution(&self) -> bool {
+        false
+    }
+
+    fn views_integrated(&self) -> bool {
+        false
+    }
+
+    fn supports_merging(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::probe_sharing;
+
+    #[test]
+    fn old_objects_are_shared_via_handlers() {
+        let mut e = Encore::new();
+        let v1 = e.current_version();
+        let o = e.create_object(v1, &[("name", Value::Str("x".into()))]).unwrap();
+        let v2 = e.add_attribute("extra", Value::Int(7)).unwrap();
+        // Reading the new attribute of an old object runs the handler.
+        assert_eq!(e.read(v2, o, "extra").unwrap(), Value::Int(7));
+        assert_eq!(e.handler_invocations(), 1);
+        // But writing it is refused: the old instance cannot gain the field.
+        assert!(e.write(v2, o, "extra", Value::Int(9)).is_err());
+    }
+
+    #[test]
+    fn sharing_probe_passes_with_user_effort() {
+        let mut e = Encore::new();
+        let probe = probe_sharing(&mut e).unwrap();
+        assert!(probe.shares());
+        assert_eq!(e.user_artifacts(), 1, "one handler had to be written");
+    }
+}

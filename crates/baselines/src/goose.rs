@@ -1,0 +1,185 @@
+//! Goose-style per-class versioning (Kim; Morsi/Navathe/Kim).
+//!
+//! Versions individual classes instead of whole schemas; a complete schema
+//! is *composed* by selecting a version of each class. Flexible — "this
+//! gives flexibility to the user in constructing many possible schemas" —
+//! but the user must keep track of class versions for each valid schema and
+//! pay a consistency check.
+
+use std::collections::BTreeMap;
+
+use tse_object_model::{ModelError, ModelResult, Value};
+use tse_storage::Payload;
+
+use crate::common::{EvolvingSystem, ObjId, VersionId};
+
+/// The Goose emulation (single evolving class, many class versions, schemas
+/// as version selections).
+#[derive(Debug, Default)]
+pub struct Goose {
+    /// Class versions: each an attribute list.
+    class_versions: Vec<Vec<String>>,
+    /// Registered schemas: each picks one class version. The user maintains
+    /// this registry (the "keep track of class versions for each schema"
+    /// effort).
+    schemas: Vec<VersionId>,
+    objects: Vec<BTreeMap<String, Value>>,
+    consistency_checks: std::cell::Cell<usize>,
+}
+
+impl Goose {
+    /// A fresh system with one `name` attribute.
+    pub fn new() -> Self {
+        Goose {
+            class_versions: vec![vec!["name".into()]],
+            schemas: vec![0],
+            objects: Vec::new(),
+            consistency_checks: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Compose a schema from an explicit class-version selection (the
+    /// flexibility Goose offers). Runs (and counts) a consistency check.
+    pub fn compose_schema(&mut self, class_version: VersionId) -> ModelResult<VersionId> {
+        self.consistency_checks.set(self.consistency_checks.get() + 1);
+        if class_version >= self.class_versions.len() {
+            return Err(ModelError::Invalid(format!("goose: no class version {class_version}")));
+        }
+        self.schemas.push(class_version);
+        Ok(self.schemas.len() - 1)
+    }
+
+    /// Consistency checks run so far.
+    pub fn consistency_checks(&self) -> usize {
+        self.consistency_checks.get()
+    }
+
+    fn attrs_of(&self, schema: VersionId) -> ModelResult<&Vec<String>> {
+        let cv = *self
+            .schemas
+            .get(schema)
+            .ok_or_else(|| ModelError::Invalid(format!("goose: no schema {schema}")))?;
+        Ok(&self.class_versions[cv])
+    }
+}
+
+impl EvolvingSystem for Goose {
+    fn name(&self) -> &'static str {
+        "Goose"
+    }
+
+    fn current_version(&self) -> VersionId {
+        self.schemas.len() - 1
+    }
+
+    fn add_attribute(&mut self, attr: &str, default: Value) -> ModelResult<VersionId> {
+        let _ = default;
+        let current_cv = self.schemas[self.current_version()];
+        let mut attrs = self.class_versions[current_cv].clone();
+        attrs.push(attr.to_string());
+        self.class_versions.push(attrs);
+        self.compose_schema(self.class_versions.len() - 1)
+    }
+
+    fn create_object(&mut self, version: VersionId, values: &[(&str, Value)]) -> ModelResult<ObjId> {
+        let attrs = self.attrs_of(version)?.clone();
+        let mut map = BTreeMap::new();
+        for (name, value) in values {
+            if !attrs.contains(&name.to_string()) {
+                return Err(ModelError::Invalid(format!("goose: schema {version} has no {name:?}")));
+            }
+            map.insert(name.to_string(), value.clone());
+        }
+        self.objects.push(map);
+        Ok(self.objects.len() - 1)
+    }
+
+    fn read(&self, version: VersionId, obj: ObjId, attr: &str) -> ModelResult<Value> {
+        let attrs = self.attrs_of(version)?;
+        if !attrs.contains(&attr.to_string()) {
+            return Err(ModelError::Invalid(format!("goose: schema {version} has no {attr:?}")));
+        }
+        let o = self
+            .objects
+            .get(obj)
+            .ok_or_else(|| ModelError::Invalid(format!("goose: no object {obj}")))?;
+        Ok(o.get(attr).cloned().unwrap_or(Value::Null))
+    }
+
+    fn write(
+        &mut self,
+        version: VersionId,
+        obj: ObjId,
+        attr: &str,
+        value: Value,
+    ) -> ModelResult<()> {
+        let attrs = self.attrs_of(version)?.clone();
+        if !attrs.contains(&attr.to_string()) {
+            return Err(ModelError::Invalid(format!("goose: schema {version} has no {attr:?}")));
+        }
+        let o = self
+            .objects
+            .get_mut(obj)
+            .ok_or_else(|| ModelError::Invalid(format!("goose: no object {obj}")))?;
+        o.insert(attr.to_string(), value);
+        Ok(())
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.objects
+            .iter()
+            .map(|o| 16 + o.values().map(|v| v.byte_size()).sum::<usize>())
+            .sum()
+    }
+
+    fn user_artifacts(&self) -> usize {
+        // The user maintains the class-version → schema registry: one entry
+        // per schema beyond the first.
+        self.schemas.len() - 1
+    }
+
+    fn flexible_composition(&self) -> bool {
+        true
+    }
+
+    fn subschema_evolution(&self) -> bool {
+        false
+    }
+
+    fn views_integrated(&self) -> bool {
+        false
+    }
+
+    fn supports_merging(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::probe_sharing;
+
+    #[test]
+    fn sharing_works_but_requires_registry_upkeep() {
+        let mut g = Goose::new();
+        let probe = probe_sharing(&mut g).unwrap();
+        assert!(probe.shares());
+        assert!(g.user_artifacts() >= 1);
+    }
+
+    #[test]
+    fn composition_is_flexible_but_checked() {
+        let mut g = Goose::new();
+        g.add_attribute("a", Value::Int(0)).unwrap();
+        g.add_attribute("b", Value::Int(0)).unwrap();
+        let checks_before = g.consistency_checks();
+        // Compose a schema over the *middle* class version.
+        let s = g.compose_schema(1).unwrap();
+        assert!(g.consistency_checks() > checks_before);
+        let o = g.create_object(s, &[("a", Value::Int(1))]).unwrap();
+        assert_eq!(g.read(s, o, "a").unwrap(), Value::Int(1));
+        assert!(g.read(s, o, "b").is_err(), "schema over v1 does not see b");
+        assert!(g.compose_schema(99).is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! # tse-baselines — comparator schema-evolution systems
+//!
+//! Compact emulations of the five systems the paper's Table 2 compares TSE
+//! against (Encore, Orion, Goose, CLOSQL, Rose), plus an adapter exposing
+//! TSE itself through the same probe interface. Each emulation implements
+//! the behaviour the paper attributes to the system — not the whole system —
+//! so every Table 2 cell is decided by *running* a probe scenario.
+
+#![warn(missing_docs)]
+
+pub mod closql;
+pub mod common;
+pub mod encore;
+pub mod goose;
+pub mod orion;
+pub mod rose;
+pub mod tse_adapter;
+
+pub use closql::Closql;
+pub use common::{probe_sharing, probe_storage_growth, EvolvingSystem, ObjId, SharingProbe, VersionId};
+pub use encore::Encore;
+pub use goose::Goose;
+pub use orion::Orion;
+pub use rose::Rose;
+pub use tse_adapter::TseAdapter;

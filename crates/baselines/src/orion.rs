@@ -1,0 +1,199 @@
+//! Orion-style schema versioning (Kim & Chou, VLDB'88).
+//!
+//! "Keeps versions of the whole schema hierarchy ... every instance object
+//! of an old version schema can be copied and converted to become an
+//! instance of the new version schema. Usually, the old objects are frozen
+//! to be non-updatable ... object instances are thus not truly shared among
+//! the different schema versions. This approach doesn't allow backwards
+//! propagation."
+
+use std::collections::BTreeMap;
+
+use tse_object_model::{ModelError, ModelResult, Value};
+use tse_storage::Payload;
+
+use crate::common::{EvolvingSystem, ObjId, VersionId};
+
+/// One schema version: its attribute set and its own *copies* of every
+/// object.
+#[derive(Debug, Clone, Default)]
+struct OrionVersion {
+    attrs: Vec<(String, Value)>,
+    /// Per-object copy of the values, keyed by logical object id.
+    copies: BTreeMap<ObjId, Vec<Value>>,
+    /// Copies converted from an older version are frozen.
+    frozen: BTreeMap<ObjId, bool>,
+}
+
+/// The Orion emulation.
+#[derive(Debug, Default)]
+pub struct Orion {
+    versions: Vec<OrionVersion>,
+    next_obj: ObjId,
+}
+
+impl Orion {
+    /// A fresh system with one `name` attribute in version 0.
+    pub fn new() -> Self {
+        let mut v = OrionVersion::default();
+        v.attrs.push(("name".into(), Value::Null));
+        Orion { versions: vec![v], next_obj: 0 }
+    }
+
+    fn version(&self, v: VersionId) -> ModelResult<&OrionVersion> {
+        self.versions.get(v).ok_or_else(|| ModelError::Invalid(format!("orion: no version {v}")))
+    }
+
+    fn attr_index(ver: &OrionVersion, attr: &str) -> ModelResult<usize> {
+        ver.attrs
+            .iter()
+            .position(|(n, _)| n == attr)
+            .ok_or_else(|| ModelError::Invalid(format!("orion: no attribute {attr:?}")))
+    }
+}
+
+impl EvolvingSystem for Orion {
+    fn name(&self) -> &'static str {
+        "Orion"
+    }
+
+    fn current_version(&self) -> VersionId {
+        self.versions.len() - 1
+    }
+
+    fn add_attribute(&mut self, attr: &str, default: Value) -> ModelResult<VersionId> {
+        let old = self.versions.last().unwrap().clone();
+        let mut new = OrionVersion {
+            attrs: old.attrs.clone(),
+            copies: BTreeMap::new(),
+            frozen: BTreeMap::new(),
+        };
+        new.attrs.push((attr.to_string(), default.clone()));
+        // Copy + convert every instance; converted copies are frozen.
+        for (obj, values) in &old.copies {
+            let mut v = values.clone();
+            v.push(default.clone());
+            new.copies.insert(*obj, v);
+            new.frozen.insert(*obj, true);
+        }
+        self.versions.push(new);
+        Ok(self.versions.len() - 1)
+    }
+
+    fn create_object(&mut self, version: VersionId, values: &[(&str, Value)]) -> ModelResult<ObjId> {
+        self.version(version)?;
+        let ver = &mut self.versions[version];
+        let mut fields: Vec<Value> = ver.attrs.iter().map(|(_, d)| d.clone()).collect();
+        for (name, value) in values {
+            let idx = Self::attr_index(ver, name)?;
+            fields[idx] = value.clone();
+        }
+        let obj = self.next_obj;
+        self.next_obj += 1;
+        ver.copies.insert(obj, fields);
+        ver.frozen.insert(obj, false);
+        Ok(obj)
+    }
+
+    fn read(&self, version: VersionId, obj: ObjId, attr: &str) -> ModelResult<Value> {
+        let ver = self.version(version)?;
+        let idx = Self::attr_index(ver, attr)?;
+        // No sharing: only this version's own copies are visible.
+        let fields = ver
+            .copies
+            .get(&obj)
+            .ok_or_else(|| ModelError::Invalid(format!("orion: object {obj} not in version {version}")))?;
+        Ok(fields[idx].clone())
+    }
+
+    fn write(
+        &mut self,
+        version: VersionId,
+        obj: ObjId,
+        attr: &str,
+        value: Value,
+    ) -> ModelResult<()> {
+        self.version(version)?;
+        let ver = &mut self.versions[version];
+        let idx = Self::attr_index(ver, attr)?;
+        if *ver.frozen.get(&obj).unwrap_or(&true) {
+            return Err(ModelError::Invalid(
+                "orion: converted copies are frozen (non-updatable)".into(),
+            ));
+        }
+        let fields = ver
+            .copies
+            .get_mut(&obj)
+            .ok_or_else(|| ModelError::Invalid(format!("orion: object {obj} not in version {version}")))?;
+        fields[idx] = value;
+        Ok(())
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.versions
+            .iter()
+            .map(|v| {
+                v.copies
+                    .values()
+                    .map(|fields| 16 + fields.iter().map(|f| f.byte_size()).sum::<usize>())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    fn user_artifacts(&self) -> usize {
+        0 // "nothing particular" — the system copies automatically.
+    }
+
+    fn flexible_composition(&self) -> bool {
+        false // whole-schema versions only.
+    }
+
+    fn subschema_evolution(&self) -> bool {
+        false // a change snapshots (copies) the entire database.
+    }
+
+    fn views_integrated(&self) -> bool {
+        false
+    }
+
+    fn supports_merging(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{probe_sharing, probe_storage_growth};
+
+    #[test]
+    fn copies_are_per_version_and_frozen() {
+        let mut o = Orion::new();
+        let v1 = o.current_version();
+        let obj = o.create_object(v1, &[("name", Value::Str("x".into()))]).unwrap();
+        let v2 = o.add_attribute("extra", Value::Int(0)).unwrap();
+        // Copy visible in v2, but frozen.
+        assert_eq!(o.read(v2, obj, "name").unwrap(), Value::Str("x".into()));
+        assert!(o.write(v2, obj, "name", Value::Str("y".into())).is_err());
+        // Write through v1 (original copy) does not reach v2's copy.
+        o.write(v1, obj, "name", Value::Str("z".into())).unwrap();
+        assert_eq!(o.read(v2, obj, "name").unwrap(), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn no_backward_propagation() {
+        let mut o = Orion::new();
+        let probe = probe_sharing(&mut o).unwrap();
+        assert!(!probe.shares(), "Orion must fail the sharing probe");
+        assert!(!probe.new_object_visible_in_old);
+        assert!(!probe.write_propagates_backwards);
+    }
+
+    #[test]
+    fn storage_grows_linearly_with_versions() {
+        let mut o = Orion::new();
+        let (before, after) = probe_storage_growth(&mut o, 100, 8).unwrap();
+        assert!(after > before * 8, "each version copies all objects: {before} -> {after}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Rose-style automatic type-mismatch resolution (Mehta, Spooner &
+//! Hardwick).
+//!
+//! Table 2 characterizes Rose as sharing objects with "nothing particular"
+//! required of the user: the persistent object system resolves type
+//! mismatches between stored instances and the schema an engineering tool
+//! expects, generating coercions automatically. We emulate it as CLOSQL
+//! with system-generated (zero-artifact) conversions.
+
+use std::collections::BTreeMap;
+
+use tse_object_model::{ModelError, ModelResult, Value};
+use tse_storage::Payload;
+
+use crate::common::{EvolvingSystem, ObjId, VersionId};
+
+#[derive(Debug, Clone)]
+struct RoseObject {
+    values: BTreeMap<String, Value>,
+}
+
+/// The Rose emulation.
+#[derive(Debug, Default)]
+pub struct Rose {
+    versions: Vec<Vec<(String, Value)>>,
+    objects: Vec<RoseObject>,
+    auto_resolutions: std::cell::Cell<usize>,
+}
+
+impl Rose {
+    /// A fresh system with one `name` attribute.
+    pub fn new() -> Self {
+        Rose {
+            versions: vec![vec![("name".into(), Value::Null)]],
+            objects: Vec::new(),
+            auto_resolutions: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Automatic mismatch resolutions performed (system-side cost).
+    pub fn auto_resolutions(&self) -> usize {
+        self.auto_resolutions.get()
+    }
+
+    fn attrs_of(&self, v: VersionId) -> ModelResult<&Vec<(String, Value)>> {
+        self.versions.get(v).ok_or_else(|| ModelError::Invalid(format!("rose: no version {v}")))
+    }
+}
+
+impl EvolvingSystem for Rose {
+    fn name(&self) -> &'static str {
+        "Rose"
+    }
+
+    fn current_version(&self) -> VersionId {
+        self.versions.len() - 1
+    }
+
+    fn add_attribute(&mut self, attr: &str, default: Value) -> ModelResult<VersionId> {
+        let mut attrs = self.versions.last().unwrap().clone();
+        attrs.push((attr.to_string(), default));
+        self.versions.push(attrs);
+        Ok(self.versions.len() - 1)
+    }
+
+    fn create_object(&mut self, version: VersionId, values: &[(&str, Value)]) -> ModelResult<ObjId> {
+        let attrs = self.attrs_of(version)?.clone();
+        let mut map = BTreeMap::new();
+        for (name, value) in values {
+            if !attrs.iter().any(|(n, _)| n == name) {
+                return Err(ModelError::Invalid(format!("rose: v{version} has no {name:?}")));
+            }
+            map.insert(name.to_string(), value.clone());
+        }
+        self.objects.push(RoseObject { values: map });
+        Ok(self.objects.len() - 1)
+    }
+
+    fn read(&self, version: VersionId, obj: ObjId, attr: &str) -> ModelResult<Value> {
+        let attrs = self.attrs_of(version)?;
+        let (_, default) = attrs
+            .iter()
+            .find(|(n, _)| n == attr)
+            .ok_or_else(|| ModelError::Invalid(format!("rose: v{version} has no {attr:?}")))?;
+        let o = self
+            .objects
+            .get(obj)
+            .ok_or_else(|| ModelError::Invalid(format!("rose: no object {obj}")))?;
+        match o.values.get(attr) {
+            Some(v) => Ok(v.clone()),
+            None => {
+                // Automatic resolution: no handler required of the user.
+                self.auto_resolutions.set(self.auto_resolutions.get() + 1);
+                Ok(default.clone())
+            }
+        }
+    }
+
+    fn write(
+        &mut self,
+        version: VersionId,
+        obj: ObjId,
+        attr: &str,
+        value: Value,
+    ) -> ModelResult<()> {
+        let attrs = self.attrs_of(version)?.clone();
+        if !attrs.iter().any(|(n, _)| n == attr) {
+            return Err(ModelError::Invalid(format!("rose: v{version} has no {attr:?}")));
+        }
+        let o = self
+            .objects
+            .get_mut(obj)
+            .ok_or_else(|| ModelError::Invalid(format!("rose: no object {obj}")))?;
+        o.values.insert(attr.to_string(), value);
+        Ok(())
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.objects
+            .iter()
+            .map(|o| 16 + o.values.values().map(|v| v.byte_size()).sum::<usize>())
+            .sum()
+    }
+
+    fn user_artifacts(&self) -> usize {
+        0 // "nothing particular".
+    }
+
+    fn flexible_composition(&self) -> bool {
+        true
+    }
+
+    fn subschema_evolution(&self) -> bool {
+        false
+    }
+
+    fn views_integrated(&self) -> bool {
+        false
+    }
+
+    fn supports_merging(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::probe_sharing;
+
+    #[test]
+    fn sharing_with_zero_user_effort() {
+        let mut r = Rose::new();
+        let probe = probe_sharing(&mut r).unwrap();
+        assert!(probe.shares());
+        assert_eq!(r.user_artifacts(), 0);
+    }
+
+    #[test]
+    fn mismatches_are_resolved_automatically() {
+        let mut r = Rose::new();
+        let v1 = r.current_version();
+        let o = r.create_object(v1, &[("name", Value::Str("x".into()))]).unwrap();
+        let v2 = r.add_attribute("extra", Value::Int(5)).unwrap();
+        // Old object lacks `extra`; the system coerces without a handler.
+        assert_eq!(r.read(v2, o, "extra").unwrap(), Value::Int(5));
+        assert!(r.auto_resolutions() >= 1, "the system resolved mismatches itself");
+        assert_eq!(r.user_artifacts(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! * **Duplicate folding** — re-issued identical schema changes fold onto the
+//!   classes created the first time; without that, every user's change would
+//!   grow the global schema. Measured as schema growth + evolve latency for
+//!   repeated identical vs repeated distinct changes.
+//! * **Buffer pool size** — the locality argument of Table 1 depends on a
+//!   buffer; sweep the pool size and record scan cost.
+//! * **Saturation prover** — classification cost as the number of virtual
+//!   classes grows (the prover is rebuilt per classification; its cost is
+//!   the dominant fixed overhead of a schema change).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use tse_core::TseSystem;
+use tse_object_model::{PropertyDef, Value, ValueType};
+use tse_storage::{SliceStore, StoreConfig};
+
+fn families(n: usize) -> TseSystem {
+    let mut tse = TseSystem::new();
+    let mut props = vec![PropertyDef::stored("name", ValueType::Str, Value::Null)];
+    for i in 0..32 {
+        props.push(PropertyDef::stored(&format!("d{i}"), ValueType::Int, Value::Int(0)));
+    }
+    tse.define_base_class("Item", &[], props).unwrap();
+    for i in 0..n {
+        tse.create_view(&format!("F{i}"), &["Item"]).unwrap();
+    }
+    tse
+}
+
+/// N families issuing the *same* change: all but the first fold onto
+/// duplicates, so schema growth is O(1) in N — vs distinct changes at O(N).
+/// (Deletions are used because hide classes carry no fresh definitions;
+/// capacity-augmenting additions are *deliberately* never folded — two users
+/// adding a same-named attribute get distinct stored attributes, Fig. 16.)
+fn bench_duplicate_folding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/duplicate_folding");
+    group.sample_size(10);
+    for n in [4usize, 16] {
+        group.bench_function(BenchmarkId::new("identical_changes", n), |b| {
+            b.iter_batched(
+                || families(n),
+                |mut tse| {
+                    let before = tse.db().schema().live_class_count();
+                    for i in 0..n {
+                        tse.evolve_cmd(&format!("F{i}"), "delete_attribute d0 from Item")
+                            .unwrap();
+                    }
+                    let grown = tse.db().schema().live_class_count() - before;
+                    assert_eq!(grown, 1, "identical changes share one derived class");
+                    tse
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("distinct_changes", n), |b| {
+            b.iter_batched(
+                || families(n),
+                |mut tse| {
+                    let before = tse.db().schema().live_class_count();
+                    for i in 0..n {
+                        tse.evolve_cmd(&format!("F{i}"), &format!("delete_attribute d{i} from Item"))
+                            .unwrap();
+                    }
+                    let grown = tse.db().schema().live_class_count() - before;
+                    assert_eq!(grown, n, "distinct changes each derive a class");
+                    tse
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Cold-scan cost as the buffer pool shrinks: below the working set the scan
+/// faults every revisit; at or above it, the second pass is free.
+fn bench_buffer_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/buffer_pool_scan");
+    for pool in [2usize, 8, 64] {
+        group.bench_function(BenchmarkId::new("double_scan", pool), |b| {
+            let mut store: SliceStore<tse_object_model::Value> =
+                SliceStore::new(StoreConfig { page_size: 1024, buffer_pages: pool });
+            let seg = store.create_segment("items");
+            for i in 0..2_000 {
+                store.insert(seg, vec![Value::Int(i)]).unwrap();
+            }
+            b.iter(|| {
+                store.clear_buffer();
+                store.reset_stats();
+                store.scan(seg, |_, _| {}).unwrap();
+                store.scan(seg, |_, _| {}).unwrap();
+                store.stats().page_misses
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Classification overhead vs accumulated schema size: evolve repeatedly in
+/// one family and measure the i-th change (prover rebuild is O(classes²)).
+fn bench_prover_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/classification_vs_schema_size");
+    group.sample_size(10);
+    for preload in [0usize, 40, 160] {
+        group.bench_function(BenchmarkId::new("evolve_after_n_changes", preload), |b| {
+            b.iter_batched(
+                || {
+                    let mut tse = families(1);
+                    for i in 0..preload {
+                        tse.evolve_cmd("F0", &format!("add_attribute p{i}: int to Item")).unwrap();
+                    }
+                    tse
+                },
+                |mut tse| {
+                    tse.evolve_cmd("F0", "add_attribute probe: int to Item").unwrap();
+                    tse
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_duplicate_folding, bench_buffer_pool, bench_prover_growth);
+criterion_main!(benches);

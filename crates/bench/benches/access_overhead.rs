@@ -1,0 +1,66 @@
+//! Access overhead after schema evolution: reading *old* objects through the
+//! *new* schema version.
+//!
+//! TSE resolves through the view's (primed) classes; CLOSQL runs conversion
+//! functions per access; Encore runs exception handlers; Rose auto-resolves;
+//! Orion reads its frozen copies. The paper argues CLOSQL's per-access
+//! "computation time for conversion might be a significant overhead".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tse_baselines::{Closql, Encore, EvolvingSystem, Orion, Rose, TseAdapter};
+use tse_object_model::Value;
+
+const OBJECTS: usize = 200;
+
+fn prime<S: EvolvingSystem>(sys: &mut S) -> (usize, Vec<usize>) {
+    let v1 = sys.current_version();
+    let mut objs = Vec::with_capacity(OBJECTS);
+    for i in 0..OBJECTS {
+        objs.push(sys.create_object(v1, &[("name", Value::Str(format!("o{i}")))]).unwrap());
+    }
+    let v2 = sys.add_attribute("extra", Value::Int(7)).unwrap();
+    (v2, objs)
+}
+
+fn read_all<S: EvolvingSystem>(sys: &S, v: usize, objs: &[usize]) -> i64 {
+    let mut acc = 0;
+    for o in objs {
+        if let Ok(Value::Int(i)) = sys.read(v, *o, "extra") {
+            acc += i;
+        }
+        if let Ok(Value::Str(s)) = sys.read(v, *o, "name") {
+            acc += s.len() as i64;
+        }
+    }
+    acc
+}
+
+fn bench_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("access_overhead/old_objects_via_new_version");
+
+    let mut tse = TseAdapter::new();
+    let (v, objs) = prime(&mut tse);
+    group.bench_function("tse_view_resolution", |b| b.iter(|| read_all(&tse, v, &objs)));
+
+    let mut closql = Closql::new();
+    let (v, objs) = prime(&mut closql);
+    group.bench_function("closql_conversion_fns", |b| b.iter(|| read_all(&closql, v, &objs)));
+
+    let mut encore = Encore::new();
+    let (v, objs) = prime(&mut encore);
+    group.bench_function("encore_exception_handlers", |b| b.iter(|| read_all(&encore, v, &objs)));
+
+    let mut rose = Rose::new();
+    let (v, objs) = prime(&mut rose);
+    group.bench_function("rose_auto_resolution", |b| b.iter(|| read_all(&rose, v, &objs)));
+
+    let mut orion = Orion::new();
+    let (v, objs) = prime(&mut orion);
+    group.bench_function("orion_frozen_copies", |b| b.iter(|| read_all(&orion, v, &objs)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_access);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Data-plane throughput of the object-slicing substrate: object creation,
+//! attribute reads (local vs inherited vs through a capacity-augmenting
+//! refine class), extent queries, and select scans — the costs every
+//! application pays regardless of schema evolution.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use tse_algebra::{define_vc, Query};
+use tse_classifier::classify;
+use tse_object_model::{
+    ClassId, Database, Oid, PropertyDef, Value, ValueType,
+};
+
+/// Person ← Student ← TA chain + Student' refine class, populated.
+fn setup(n: usize) -> (Database, ClassId, ClassId, ClassId, ClassId, Vec<Oid>) {
+    let mut db = Database::default();
+    let person = db.schema_mut().create_base_class("Person", &[]).unwrap();
+    db.schema_mut()
+        .add_local_prop(person, PropertyDef::stored("name", ValueType::Str, Value::Null), None)
+        .unwrap();
+    let student = db.schema_mut().create_base_class("Student", &[person]).unwrap();
+    db.schema_mut()
+        .add_local_prop(
+            student,
+            PropertyDef::stored("gpa", ValueType::Float, Value::Float(0.0)),
+            None,
+        )
+        .unwrap();
+    let ta = db.schema_mut().create_base_class("TA", &[student]).unwrap();
+    let sp = define_vc(
+        &mut db,
+        "Student'",
+        &Query::refine(
+            Query::class(student),
+            vec![PropertyDef::stored("register", ValueType::Bool, Value::Bool(false))],
+        ),
+    )
+    .unwrap();
+    classify(&mut db, sp).unwrap();
+    let mut oids = Vec::with_capacity(n);
+    for i in 0..n {
+        let o = db.create_object(ta, &[("name", Value::Str(format!("p{i}")))]).unwrap();
+        db.write_attr(o, student, "gpa", Value::Float(i as f64 % 4.0)).unwrap();
+        db.write_attr(o, sp, "register", Value::Bool(i % 2 == 0)).unwrap();
+        oids.push(o);
+    }
+    (db, person, student, ta, sp, oids)
+}
+
+fn bench_data_plane(c: &mut Criterion) {
+    let (db, person, _student, ta, sp, oids) = setup(2_000);
+    let mut group = c.benchmark_group("data_plane");
+
+    group.bench_function("read_local_attr", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            db.read_attr(oids[i % oids.len()], person, "name").unwrap()
+        })
+    });
+    group.bench_function("read_inherited_attr_2_hops", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            db.read_attr(oids[i % oids.len()], ta, "name").unwrap()
+        })
+    });
+    group.bench_function("read_refined_attr", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            db.read_attr(oids[i % oids.len()], sp, "register").unwrap()
+        })
+    });
+    group.bench_function("extent_base_cached", |b| b.iter(|| db.extent(person).unwrap().len()));
+    group.bench_function("extent_refine_class", |b| b.iter(|| db.extent(sp).unwrap().len()));
+
+    group.bench_function("create_object", |b| {
+        b.iter_batched(
+            || setup(0).0,
+            |mut db| {
+                let ta = db.schema().by_name("TA").unwrap();
+                for i in 0..100 {
+                    db.create_object(ta, &[("name", Value::Str(format!("x{i}")))]).unwrap();
+                }
+                db
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("write_attr", |b| {
+        let (mut db, _, student, _, _, oids) = setup(500);
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            db.write_attr(oids[i % oids.len()], student, "gpa", Value::Float((i % 4) as f64))
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_data_plane);
+criterion_main!(benches);

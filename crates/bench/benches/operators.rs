@@ -1,0 +1,73 @@
+//! Latency of each primitive schema-change operator (and the two composite
+//! macros) on the university schema, against the direct-modification oracle
+//! as the lower-bound baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tse_core::oracle::SimpleSchema;
+use tse_core::{parse_change, TseSystem};
+use tse_workload::build_university;
+
+fn fresh() -> TseSystem {
+    let (mut tse, _) = build_university().unwrap();
+    tse.create_view(
+        "VS",
+        &["Person", "Student", "Staff", "TeachingStaff", "SupportStaff", "TA", "Grader"],
+    )
+    .unwrap();
+    tse
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let cases: Vec<(&str, String)> = vec![
+        ("add_attribute", "add_attribute reg_N: bool to Student".into()),
+        ("add_method", "add_method m_N: int := age + 1 to Person".into()),
+        ("delete_attribute", "delete_attribute gpa from Student".into()),
+        ("add_edge", "add_edge SupportStaff - TA".into()),
+        ("delete_edge", "delete_edge TeachingStaff - TA connected_to Staff".into()),
+        ("add_class", "add_class Fresh_N connected_to Student".into()),
+        ("delete_class", "delete_class Grader".into()),
+        ("insert_class", "insert_class Mid_N between Student - TA".into()),
+        ("delete_class_2", "delete_class_2 Grader".into()),
+    ];
+    let mut group = c.benchmark_group("operators/tse_evolve");
+    group.sample_size(10);
+    for (name, template) in &cases {
+        group.bench_function(*name, |b| {
+            let mut n = 0usize;
+            b.iter_with_setup(fresh, |mut tse| {
+                n += 1;
+                let cmd = template.replace("_N", &format!("_{n}"));
+                tse.evolve_cmd("VS", &cmd).unwrap();
+                tse
+            })
+        });
+    }
+    group.finish();
+
+    // The destructive baseline: applying the same change in place on a plain
+    // snapshot (what a conventional system's catalog update costs, without
+    // any instance migration).
+    let mut group = c.benchmark_group("operators/direct_oracle");
+    group.sample_size(10);
+    for (name, template) in &cases {
+        if *name == "insert_class" || *name == "delete_class_2" {
+            continue; // composites expand to primitives
+        }
+        group.bench_function(*name, |b| {
+            let tse = fresh();
+            let view = tse.current_view("VS").unwrap().clone();
+            let snapshot = SimpleSchema::snapshot(tse.db(), &view).unwrap();
+            let change = parse_change(&template.replace("_N", "_0")).unwrap();
+            b.iter(|| {
+                let mut s = snapshot.clone();
+                s.apply(&change).unwrap();
+                s
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

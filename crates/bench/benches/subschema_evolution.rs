@@ -1,0 +1,79 @@
+//! Subschema evolution (§2.2, §8): the cost of a TSE schema change tracks
+//! the size of the *view*, not the size of the global schema.
+//!
+//! Sweep: a deep global inheritance chain of depth D; the user's view is a
+//! fixed 3-class window at the top. `add_attribute` to the window's root
+//! must prime only the window — near-constant cost as D grows — while a
+//! view over the whole chain pays O(D).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use tse_core::TseSystem;
+use tse_workload::build_chain;
+
+fn setup(depth: usize, whole_chain_view: bool) -> TseSystem {
+    let mut tse = TseSystem::new();
+    let names = build_chain(&mut tse, depth).unwrap();
+    if whole_chain_view {
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        tse.create_view("V", &refs).unwrap();
+    } else {
+        tse.create_view("V", &["L0", "L1", "L2"]).unwrap();
+    }
+    tse
+}
+
+fn bench_subschema(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subschema_evolution/add_attribute");
+    group.sample_size(10);
+    for depth in [8usize, 32, 64] {
+        group.bench_function(BenchmarkId::new("small_view", depth), |b| {
+            b.iter_batched(
+                || setup(depth, false),
+                |mut tse| {
+                    tse.evolve_cmd("V", "add_attribute x: int to L0").unwrap();
+                    tse
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("whole_chain_view", depth), |b| {
+            b.iter_batched(
+                || setup(depth, true),
+                |mut tse| {
+                    tse.evolve_cmd("V", "add_attribute x: int to L0").unwrap();
+                    tse
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// How many classes a change touches (the report's `classes_touched`): the
+/// small view primes 3 classes at any depth; the whole-chain view primes
+/// `depth` — the subschema-evolution property, asserted inside the bench.
+fn bench_classes_touched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subschema_evolution/classes_touched");
+    group.sample_size(10);
+    for depth in [8usize, 32] {
+        group.bench_function(BenchmarkId::new("verify", depth), |b| {
+            b.iter_batched(
+                || (setup(depth, false), setup(depth, true)),
+                |(mut small, mut whole)| {
+                    let r1 = small.evolve_cmd("V", "add_attribute s: int to L0").unwrap();
+                    assert_eq!(r1.classes_touched, 3);
+                    let r2 = whole.evolve_cmd("V", "add_attribute s: int to L0").unwrap();
+                    assert_eq!(r2.classes_touched, depth);
+                    (small, whole)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_subschema, bench_classes_touched);
+criterion_main!(benches);

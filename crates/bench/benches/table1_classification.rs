@@ -1,0 +1,114 @@
+//! Criterion timings behind Table 1: the two multiple-classification
+//! architectures on identical operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tse_bench::table1::{intersection_mixins, slicing_mixins, Table1Workload};
+use tse_object_model::Value;
+
+fn small() -> Table1Workload {
+    Table1Workload { objects: 500, ..Default::default() }
+}
+
+/// Reading an attribute defined several inheritance levels up: slicing hops
+/// slices; intersection reads one contiguous record.
+fn bench_inherited_access(c: &mut Criterion) {
+    let w = small();
+    let mut group = c.benchmark_group("table1/inherited_access");
+
+    let (db, _mixins, oids) = slicing_mixins(&w).unwrap();
+    let base_attr = "tag"; // defined at Base, read through the mixin class
+    let via = db.direct_classes(oids[0]).unwrap().iter().next().copied().unwrap();
+    group.bench_function(BenchmarkId::new("slicing", w.objects), |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for oid in oids.iter().take(200) {
+                if let Value::Int(i) = db.read_attr(*oid, via, base_attr).unwrap() {
+                    acc += i;
+                }
+            }
+            acc
+        })
+    });
+
+    let (idb, _imixins, ioids) = intersection_mixins(&w).unwrap();
+    group.bench_function(BenchmarkId::new("intersection", w.objects), |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for oid in ioids.iter().take(200) {
+                if let Value::Int(i) = idb.read_attr(*oid, base_attr).unwrap() {
+                    acc += i;
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+/// Dynamic (re)classification: membership flip vs record copy.
+fn bench_dynamic_classification(c: &mut Criterion) {
+    let w = small();
+    let mut group = c.benchmark_group("table1/dynamic_classification");
+
+    group.bench_function("slicing_add_remove", |b| {
+        let (mut db, mixins, oids) = slicing_mixins(&w).unwrap();
+        let mut i = 0usize;
+        b.iter(|| {
+            let oid = oids[i % oids.len()];
+            let target = mixins[(i + 3) % mixins.len()];
+            i += 1;
+            if !db.is_member(oid, target).unwrap() {
+                db.add_to_class(oid, target).unwrap();
+                db.remove_from_class(oid, target).unwrap();
+            }
+        })
+    });
+
+    group.bench_function("intersection_copy_swap", |b| {
+        let (mut idb, imixins, ioids) = intersection_mixins(&w).unwrap();
+        let mut i = 0usize;
+        b.iter(|| {
+            let oid = ioids[i % ioids.len()];
+            let target = imixins[(i + 3) % imixins.len()];
+            i += 1;
+            idb.classify_into(oid, target).unwrap();
+        })
+    });
+    group.finish();
+}
+
+/// Cold attribute scans (locality): narrow slices vs wide records.
+fn bench_scan(c: &mut Criterion) {
+    let w = small();
+    let mut group = c.benchmark_group("table1/select_scan");
+
+    let (db, mixins, _) = slicing_mixins(&w).unwrap();
+    let seg = db.schema().class(mixins[0]).unwrap().segment.unwrap();
+    group.bench_function("slicing_segment_scan", |b| {
+        b.iter(|| {
+            db.store().clear_buffer();
+            let mut n = 0usize;
+            db.store().scan(seg, |_, _| n += 1).unwrap();
+            n
+        })
+    });
+
+    let (idb, imixins, _) = intersection_mixins(&w).unwrap();
+    group.bench_function("intersection_extent_scan", |b| {
+        b.iter(|| {
+            idb.reset_counters();
+            let members = idb.extent(imixins[0]).unwrap();
+            let mut n = 0usize;
+            for oid in &members {
+                let _ = idb.read_attr(*oid, "m0").unwrap();
+                n += 1;
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inherited_access, bench_dynamic_classification, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Versioning cost: TSE's shared-instance view versions vs Orion's
+//! copy-everything schema versions.
+//!
+//! The latency of one capacity-augmenting change under a population of N
+//! objects: Orion copies all N instances per version; TSE derives view
+//! classes and leaves instances in place.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use tse_baselines::{EvolvingSystem, Orion, TseAdapter};
+use tse_object_model::Value;
+
+fn orion_with(objects: usize) -> Orion {
+    let mut sys = Orion::new();
+    let v = sys.current_version();
+    for i in 0..objects {
+        sys.create_object(v, &[("name", Value::Str(format!("o{i}")))]).unwrap();
+    }
+    sys
+}
+
+fn tse_with(objects: usize) -> TseAdapter {
+    let mut sys = TseAdapter::new();
+    let v = sys.current_version();
+    for i in 0..objects {
+        sys.create_object(v, &[("name", Value::Str(format!("o{i}")))]).unwrap();
+    }
+    sys
+}
+
+fn bench_version_derivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("versioning/add_attribute_under_population");
+    group.sample_size(10);
+    for objects in [100usize, 1_000, 5_000] {
+        group.bench_function(BenchmarkId::new("orion_copies", objects), |b| {
+            b.iter_batched(
+                || orion_with(objects),
+                |mut sys| {
+                    sys.add_attribute("a", Value::Int(0)).unwrap();
+                    sys
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("tse_shared", objects), |b| {
+            b.iter_batched(
+                || tse_with(objects),
+                |mut sys| {
+                    sys.add_attribute("a", Value::Int(0)).unwrap();
+                    sys
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Storage growth over a version chain — asserted (not timed) so the bench
+/// run records the shape alongside the latencies.
+fn bench_storage_shape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("versioning/storage_shape");
+    group.sample_size(10);
+    group.bench_function("orion_vs_tse_8_versions", |b| {
+        b.iter(|| {
+            let mut orion = Orion::new();
+            let (ob, oa) = tse_baselines::probe_storage_growth(&mut orion, 200, 8).unwrap();
+            let mut tse = TseAdapter::new();
+            let (tb, ta) = tse_baselines::probe_storage_growth(&mut tse, 200, 8).unwrap();
+            assert!(oa > ob * 8, "orion grows linearly with versions");
+            assert!(ta < tb * 2, "tse stays near-flat");
+            (oa, ta)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_version_derivation, bench_storage_shape);
+criterion_main!(benches);

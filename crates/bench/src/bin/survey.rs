@@ -1,0 +1,76 @@
+//! The §1 motivation, simulated: replay a field-study-shaped evolution trace
+//! and report the same statistics Sjøberg's 18-month study reports —
+//! relation (class) growth, attribute growth, and the fraction of classes
+//! changed — while checking TSE absorbed it all with zero broken views.
+//!
+//! ```text
+//! cargo run --release -p tse-bench --bin survey [-- changes] [seed]
+//! ```
+
+use std::collections::BTreeSet;
+
+use tse_workload::trace::{generate_and_apply_trace, TraceMix};
+use tse_workload::university::build_university;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(120);
+    let seed: u64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(18);
+
+    let (mut tse, _) = build_university().unwrap();
+    tse.create_view("app", &["Person", "Student", "Staff", "TeachingStaff", "SupportStaff"])
+        .unwrap();
+    tse.create_view("frozen", &["Person", "Grad", "Undergrad"]).unwrap();
+
+    let view0 = tse.current_view("app").unwrap().clone();
+    let classes_before = view0.classes.len();
+    let attrs_before: usize = view0
+        .classes
+        .iter()
+        .map(|c| tse.db().schema().resolved_type(*c).unwrap().len())
+        .sum();
+
+    let _trace = generate_and_apply_trace(&mut tse, "app", n, &TraceMix::default(), seed).unwrap();
+
+    let view_n = tse.current_view("app").unwrap().clone();
+    let classes_after = view_n.classes.len();
+    let attrs_after: usize = view_n
+        .classes
+        .iter()
+        .map(|c| tse.db().schema().resolved_type(*c).unwrap().len())
+        .sum();
+
+    // Classes "changed" = classes of the final view that are not classes of
+    // the initial one (every primed replacement counts, as in the study
+    // where "every relation has been changed").
+    let initial: BTreeSet<_> = view0.classes.iter().copied().collect();
+    let changed = view_n.classes.iter().filter(|c| !initial.contains(c)).count();
+
+    println!("simulated evolution survey ({n} changes, seed {seed})");
+    println!(
+        "  classes:    {classes_before} -> {classes_after}  ({:+.0}%)",
+        100.0 * (classes_after as f64 - classes_before as f64) / classes_before as f64
+    );
+    println!(
+        "  attributes: {attrs_before} -> {attrs_after}  ({:+.0}%)",
+        100.0 * (attrs_after as f64 - attrs_before as f64) / attrs_before as f64
+    );
+    println!(
+        "  classes changed: {changed}/{classes_after} ({:.0}%)",
+        100.0 * changed as f64 / classes_after as f64
+    );
+    println!(
+        "  view versions accumulated: {}",
+        tse.views().versions("app").unwrap().len()
+    );
+    println!(
+        "  global schema: {} live classes ({} incl. folded duplicates' slots)",
+        tse.db().schema().live_class_count(),
+        tse.db().schema().class_count()
+    );
+    let ok = tse.views_unaffected_except("app").unwrap();
+    println!("  other teams' views broken: {}", if ok { "none" } else { "SOME (bug!)" });
+    assert!(ok);
+    println!("\n(The paper's cited study: relations +139%, attributes +274%, every");
+    println!("relation changed — and conventional systems would have broken every");
+    println!("application. Here every view version still runs.)");
+}

@@ -1,0 +1,68 @@
+//! Print the measured Table 1: object slicing vs intersection classes.
+//!
+//! ```text
+//! cargo run --release -p tse-bench --bin table1 [-- objects] [types-per-object]
+//! ```
+
+use tse_bench::{render_table, run_table1, Table1Workload};
+
+fn main() {
+    let objects: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2_000);
+    let types: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(2);
+    let w = Table1Workload { objects, types_per_object: types, ..Default::default() };
+    println!(
+        "Table 1 (measured): {} objects, {} mixin classes, {} types/object, chain depth {}",
+        w.objects, w.mixins, w.types_per_object, w.chain_depth
+    );
+    let n = run_table1(&w).expect("table 1 workload");
+
+    let s = &n.slicing;
+    let i = &n.intersection;
+    let rows = vec![
+        vec![
+            "casting".into(),
+            "switch representative slice (O(1))".into(),
+            "needs additional mechanism".into(),
+        ],
+        vec!["#oids".into(), s.oids.to_string(), i.oids.to_string()],
+        vec![
+            "managerial storage (B)".into(),
+            s.managerial_bytes.to_string(),
+            i.managerial_bytes.to_string(),
+        ],
+        vec!["data storage (B)".into(), s.data_bytes.to_string(), i.data_bytes.to_string()],
+        vec!["#classes".into(), s.classes.to_string(), i.classes.to_string()],
+        vec![
+            "select-scan cold pages".into(),
+            s.scan_page_misses.to_string(),
+            i.scan_page_misses.to_string(),
+        ],
+        vec![
+            "inherited-access hops".into(),
+            s.inherited_access_hops.to_string(),
+            i.inherited_access_hops.to_string(),
+        ],
+        vec![
+            "dyn. classification copies".into(),
+            s.reclassification_copies.to_string(),
+            i.reclassification_copies.to_string(),
+        ],
+        vec![
+            "MI resolution".into(),
+            "dynamic (representation-independent)".into(),
+            "fixed at install time".into(),
+        ],
+    ];
+    print!("{}", render_table(&["criterion", "object-slicing", "intersection-class"], &rows));
+
+    println!("\nexpected shapes (paper): slicing pays oids/managerial storage and inherited-access");
+    println!("hops; intersection pays hidden classes, reclassification copies, and wider scans.");
+    // Shape assertions so CI catches drift.
+    assert!(s.oids > i.oids);
+    assert!(s.managerial_bytes > i.managerial_bytes);
+    assert!(i.classes > s.classes);
+    assert!(s.scan_page_misses < i.scan_page_misses);
+    assert!(s.inherited_access_hops > 0 && i.inherited_access_hops == 0);
+    assert!(s.reclassification_copies == 0 && i.reclassification_copies > 0);
+    println!("shape checks passed.");
+}

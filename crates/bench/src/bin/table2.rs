@@ -1,0 +1,50 @@
+//! Print the executed Table 2: the related-work capability matrix, each cell
+//! decided by running a probe scenario.
+//!
+//! ```text
+//! cargo run --release -p tse-bench --bin table2
+//! ```
+
+use tse_bench::{render_table, run_table2};
+
+fn main() {
+    let rows = run_table2().expect("probes");
+    let yn = |b: bool| if b { "yes" } else { "no" }.to_string();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.clone(),
+                yn(r.sharing),
+                if r.user_artifacts == 0 {
+                    "nothing particular".into()
+                } else {
+                    format!("{} artifact(s)", r.user_artifacts)
+                },
+                yn(r.flexible_composition),
+                yn(r.subschema_evolution),
+                yn(r.views_integrated),
+                yn(r.merging),
+            ]
+        })
+        .collect();
+    println!("Table 2 (executed probes):");
+    print!(
+        "{}",
+        render_table(
+            &[
+                "system",
+                "sharing",
+                "effort required by user",
+                "flexible composition",
+                "subschema evolution",
+                "views + schema change",
+                "version merging",
+            ],
+            &table
+        )
+    );
+    println!("\nProbe scenario: create under v1, evolve (add attribute), create under v2,");
+    println!("read/write across versions; artifacts = handlers/conversions/registry entries");
+    println!("the system demanded from the user.");
+}

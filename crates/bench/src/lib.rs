@@ -1,0 +1,66 @@
+//! # tse-bench — measurement harness shared by the table/figure binaries and
+//! the Criterion benchmarks.
+//!
+//! Everything the paper's Table 1 compares is produced here as *measured
+//! numbers* on identical workloads run against both object-model backends
+//! (object slicing vs intersection classes), and the Table 2 capability
+//! matrix is produced by running the probe scenarios of `tse-baselines`.
+
+#![warn(missing_docs)]
+
+pub mod table1;
+pub mod table2;
+
+pub use table1::{run_table1, Table1Numbers, Table1Workload};
+pub use table2::{run_table2, Table2Row};
+
+/// Render a list of `(label, columns…)` rows as an aligned ASCII table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!(" {:<width$} |", cell, width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    let headers_owned: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&headers_owned, &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{:-<width$}|", "", width = w + 2));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tables_align() {
+        let t = super::render_table(
+            &["metric", "a", "b"],
+            &[
+                vec!["oids".into(), "1".into(), "3".into()],
+                vec!["managerial bytes".into(), "8".into(), "56".into()],
+            ],
+        );
+        assert!(t.contains("| metric "));
+        assert!(t.lines().count() == 4);
+        let lens: Vec<usize> = t.lines().map(|l| l.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "aligned: {t}");
+    }
+}

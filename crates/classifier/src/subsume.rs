@@ -1,0 +1,443 @@
+//! Extent subsumption reasoning.
+//!
+//! The classifier needs to *prove* `extent(A) ⊆ extent(B)` from schema
+//! structure alone (extents change with every update; placements must be
+//! intensional). Provable facts:
+//!
+//! * is-a edge `sub → sup` implies `sub ⊆ sup` (membership closure);
+//! * `select(C,p) ⊆ C`; `difference(A,B) ⊆ A`; `intersect(A,B) ⊆ A, B`;
+//! * `hide(C) ≡ C` and `refine(C) ≡ C` (object-preserving, extent equal);
+//! * `A ⊆ union(A,B)`, `B ⊆ union(A,B)`;
+//! * two classes with *identical derivations* are extent-equal;
+//! * `union(A,B) ⊆ Y` if `A ⊆ Y` and `B ⊆ Y` (conjunction);
+//! * `X ⊆ intersect(A,B)` if `X ⊆ A` and `X ⊆ B` (conjunction);
+//! * `X ⊆ (A ∖ B)` if `X ⊆ A` and `X` provably disjoint from `B`
+//!   (disjointness: one side is a difference that subtracted the other);
+//! * monotonicity: `select(A,p) ⊆ select(B,p)` if `A ⊆ B`, and
+//!   `(A ∖ C) ⊆ (B ∖ D)` if `A ⊆ B` and `D ⊆ C` — the paper's §6.7.3
+//!   argument ("the derivation procedure of C_add is the same as that of
+//!   C_sup except that C_add's origin classes are subclasses of C_sup's");
+//! * transitivity of all of the above.
+//!
+//! The prover **saturates** the full pairwise relation once (bitset rows +
+//! fixpoint loop), so queries are O(1) and the rule set stays obviously
+//! terminating — a naive recursive search over these rules is exponential
+//! because the extent-equality edges make the proof graph cyclic.
+
+use tse_object_model::{ClassId, ClassKind, Derivation, Schema};
+
+/// Square boolean matrix with u64-packed rows.
+struct BitMatrix {
+    n: usize,
+    words: usize,
+    data: Vec<u64>,
+}
+
+impl BitMatrix {
+    fn new(n: usize) -> Self {
+        let words = n.div_ceil(64);
+        BitMatrix { n, words, data: vec![0; n * words] }
+    }
+
+    #[inline]
+    fn get(&self, a: usize, b: usize) -> bool {
+        self.data[a * self.words + b / 64] & (1u64 << (b % 64)) != 0
+    }
+
+    #[inline]
+    fn set(&mut self, a: usize, b: usize) -> bool {
+        let idx = a * self.words + b / 64;
+        let mask = 1u64 << (b % 64);
+        let new = self.data[idx] & mask == 0;
+        self.data[idx] |= mask;
+        new
+    }
+
+    /// `row(a) |= row(b)`, returning whether anything changed.
+    fn or_row(&mut self, a: usize, b: usize) -> bool {
+        let mut changed = false;
+        for w in 0..self.words {
+            let src = self.data[b * self.words + w];
+            let dst = &mut self.data[a * self.words + w];
+            let merged = *dst | src;
+            if merged != *dst {
+                *dst = merged;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// `row(u) |= row(x) & row(y)`, returning whether anything changed.
+    fn or_and_rows(&mut self, u: usize, x: usize, y: usize) -> bool {
+        let mut changed = false;
+        for w in 0..self.words {
+            let src = self.data[x * self.words + w] & self.data[y * self.words + w];
+            let dst = &mut self.data[u * self.words + w];
+            let merged = *dst | src;
+            if merged != *dst {
+                *dst = merged;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Indices set in row `a`.
+    fn ones(&self, a: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for w in 0..self.words {
+            let mut bits = self.data[a * self.words + w];
+            while bits != 0 {
+                let tz = bits.trailing_zeros() as usize;
+                let idx = w * 64 + tz;
+                if idx < self.n {
+                    out.push(idx);
+                }
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+/// A subsumption prover over one schema snapshot: build once per
+/// classification run, query in O(1).
+pub struct Subsumption<'a> {
+    #[allow(dead_code)]
+    schema: &'a Schema,
+    reach: BitMatrix,
+}
+
+impl<'a> Subsumption<'a> {
+    /// Build the prover: initialize the one-step relation and saturate.
+    pub fn new(schema: &'a Schema) -> Self {
+        let n = schema.class_count();
+        let mut reach = BitMatrix::new(n);
+
+        // Rule tables gathered once.
+        let mut unions: Vec<(usize, usize, usize)> = Vec::new();
+        let mut intersects: Vec<(usize, usize, usize)> = Vec::new();
+        let mut diffs: Vec<(usize, usize, usize)> = Vec::new();
+        let mut selects: Vec<(usize, usize, &Derivation)> = Vec::new();
+
+        for id in schema.class_ids() {
+            let i = id.0 as usize;
+            reach.set(i, i);
+            let cls = match schema.class(id) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            for sup in cls.direct_supers() {
+                reach.set(i, sup.0 as usize);
+            }
+            if let ClassKind::Virtual(d) = &cls.kind {
+                match d {
+                    Derivation::Select { src, .. } => {
+                        reach.set(i, src.0 as usize);
+                        selects.push((i, src.0 as usize, d));
+                    }
+                    Derivation::Hide { src, .. } | Derivation::Refine { src, .. } => {
+                        reach.set(i, src.0 as usize);
+                        reach.set(src.0 as usize, i);
+                    }
+                    Derivation::Union { a, b } => {
+                        reach.set(a.0 as usize, i);
+                        reach.set(b.0 as usize, i);
+                        unions.push((i, a.0 as usize, b.0 as usize));
+                    }
+                    Derivation::Difference { a, b } => {
+                        reach.set(i, a.0 as usize);
+                        diffs.push((i, a.0 as usize, b.0 as usize));
+                    }
+                    Derivation::Intersect { a, b } => {
+                        reach.set(i, a.0 as usize);
+                        reach.set(i, b.0 as usize);
+                        intersects.push((i, a.0 as usize, b.0 as usize));
+                    }
+                }
+            }
+        }
+
+        // Syntactic-equality rule: identical derivations ⇒ identical extents.
+        let virtuals: Vec<(usize, &Derivation)> = schema
+            .class_ids()
+            .filter_map(|id| {
+                schema.class(id).ok().and_then(|c| match &c.kind {
+                    ClassKind::Virtual(d) => Some((id.0 as usize, d)),
+                    ClassKind::Base => None,
+                })
+            })
+            .collect();
+        for (i, (ca, da)) in virtuals.iter().enumerate() {
+            for (cb, db) in virtuals.iter().skip(i + 1) {
+                if da == db {
+                    reach.set(*ca, *cb);
+                    reach.set(*cb, *ca);
+                }
+            }
+        }
+
+        // Monotone-select candidate pairs (same predicate).
+        let mut select_pairs: Vec<(usize, usize, usize, usize)> = Vec::new();
+        for (i, (s1, src1, d1)) in selects.iter().enumerate() {
+            for (s2, src2, d2) in selects.iter().skip(i + 1) {
+                let same_pred = match (d1, d2) {
+                    (
+                        Derivation::Select { pred: p1, .. },
+                        Derivation::Select { pred: p2, .. },
+                    ) => p1 == p2,
+                    _ => false,
+                };
+                if same_pred {
+                    select_pairs.push((*s1, *src1, *s2, *src2));
+                    select_pairs.push((*s2, *src2, *s1, *src1));
+                }
+            }
+        }
+
+        // Saturate to a fixpoint.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Transitivity: row(a) |= row(b) for every b reachable from a.
+            for a in 0..n {
+                for b in reach.ones(a) {
+                    if b != a {
+                        changed |= reach.or_row(a, b);
+                    }
+                }
+            }
+            // union(x,y) ⊆ everything both x and y are ⊆ of.
+            for &(u, x, y) in &unions {
+                changed |= reach.or_and_rows(u, x, y);
+            }
+            // a ⊆ intersect(x,y) when a ⊆ x and a ⊆ y.
+            for &(i, x, y) in &intersects {
+                for a in 0..n {
+                    if !reach.get(a, i) && reach.get(a, x) && reach.get(a, y) {
+                        reach.set(a, i);
+                        changed = true;
+                    }
+                }
+            }
+            // a ⊆ (c ∖ e) when a ⊆ c and a disjoint from e.
+            for &(d, c, e) in &diffs {
+                for a in 0..n {
+                    if reach.get(a, d) || !reach.get(a, c) {
+                        continue;
+                    }
+                    // disjoint(a, e): e = diff(_, d2) with a ⊆ d2, or
+                    //                 a = diff(_, d2) with e ⊆ d2.
+                    let mut disjoint = false;
+                    if let Some((_, sub2)) = diffs.iter().find(|(dd, _, _)| *dd == e).map(|(_, c2, d2)| (*c2, *d2)) {
+                        if reach.get(a, sub2) {
+                            disjoint = true;
+                        }
+                    }
+                    if !disjoint {
+                        if let Some((_, sub2)) =
+                            diffs.iter().find(|(dd, _, _)| *dd == a).map(|(_, c2, d2)| (*c2, *d2))
+                        {
+                            if reach.get(e, sub2) {
+                                disjoint = true;
+                            }
+                        }
+                    }
+                    if disjoint {
+                        reach.set(a, d);
+                        changed = true;
+                    }
+                }
+            }
+            // Monotone select: select(A,p) ⊆ select(B,p) when A ⊆ B.
+            for &(s1, src1, s2, src2) in &select_pairs {
+                if !reach.get(s1, s2) && reach.get(src1, src2) {
+                    reach.set(s1, s2);
+                    changed = true;
+                }
+            }
+            // Monotone difference: (A ∖ C) ⊆ (B ∖ D) when A ⊆ B and D ⊆ C.
+            for &(d1, a1, b1) in &diffs {
+                for &(d2, a2, b2) in &diffs {
+                    if d1 != d2
+                        && !reach.get(d1, d2)
+                        && reach.get(a1, a2)
+                        && reach.get(b2, b1)
+                    {
+                        reach.set(d1, d2);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        Subsumption { schema, reach }
+    }
+
+    /// Is `extent(a) ⊆ extent(b)` provable?
+    pub fn subsumes(&self, a: ClassId, b: ClassId) -> bool {
+        let (a, b) = (a.0 as usize, b.0 as usize);
+        a < self.reach.n && b < self.reach.n && self.reach.get(a, b)
+    }
+
+    /// Are the extents provably equal?
+    pub fn extent_equal(&self, a: ClassId, b: ClassId) -> bool {
+        self.subsumes(a, b) && self.subsumes(b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tse_object_model::Predicate;
+
+    fn schema() -> (Schema, ClassId, ClassId, ClassId) {
+        let mut s = Schema::new();
+        let person = s.create_base_class("Person", &[]).unwrap();
+        let student = s.create_base_class("Student", &[person]).unwrap();
+        let staff = s.create_base_class("Staff", &[person]).unwrap();
+        (s, person, student, staff)
+    }
+
+    #[test]
+    fn isa_edges_imply_subsumption() {
+        let (s, person, student, staff) = schema();
+        let sub = Subsumption::new(&s);
+        assert!(sub.subsumes(student, person));
+        assert!(!sub.subsumes(person, student));
+        assert!(!sub.subsumes(student, staff));
+        assert!(sub.subsumes(student, s.root()));
+    }
+
+    #[test]
+    fn operator_rules() {
+        let (mut s, person, student, staff) = schema();
+        let sel = s
+            .create_virtual_class(
+                "Sel",
+                Derivation::Select { src: person, pred: Predicate::True },
+            )
+            .unwrap();
+        let hid = s
+            .create_virtual_class("Hid", Derivation::Hide { src: student, hidden: vec![] })
+            .unwrap();
+        let refi = s.create_refine_class("Ref", student, vec![], vec![]).unwrap();
+        let uni = s
+            .create_virtual_class("Uni", Derivation::Union { a: student, b: staff })
+            .unwrap();
+        let dif = s
+            .create_virtual_class("Dif", Derivation::Difference { a: person, b: student })
+            .unwrap();
+        let int = s
+            .create_virtual_class("Int", Derivation::Intersect { a: student, b: staff })
+            .unwrap();
+        let sub = Subsumption::new(&s);
+        // select ⊆ src, not conversely.
+        assert!(sub.subsumes(sel, person));
+        assert!(!sub.subsumes(person, sel));
+        // hide/refine ≡ src.
+        assert!(sub.extent_equal(hid, student));
+        assert!(sub.extent_equal(refi, student));
+        // sources ⊆ union; union ⊆ common ancestors (conjunction).
+        assert!(sub.subsumes(student, uni));
+        assert!(sub.subsumes(staff, uni));
+        assert!(sub.subsumes(uni, person), "union of subclasses fits under Person");
+        assert!(!sub.subsumes(uni, student));
+        // diff ⊆ first arg.
+        assert!(sub.subsumes(dif, person));
+        assert!(!sub.subsumes(dif, student));
+        // intersect ⊆ both; things below both ⊆ intersect (conjunction).
+        assert!(sub.subsumes(int, student) && sub.subsumes(int, staff));
+        let working = s.create_base_class("WorkingStudent", &[student, staff]).unwrap();
+        let sub = Subsumption::new(&s);
+        assert!(sub.subsumes(working, int));
+    }
+
+    #[test]
+    fn transitivity_through_mixed_chains() {
+        let (mut s, person, student, _) = schema();
+        let honor = s
+            .create_virtual_class(
+                "Honor",
+                Derivation::Select { src: student, pred: Predicate::True },
+            )
+            .unwrap();
+        let honor_plus = s.create_refine_class("Honor+", honor, vec![], vec![]).unwrap();
+        let sub = Subsumption::new(&s);
+        assert!(sub.subsumes(honor_plus, person));
+        assert!(sub.extent_equal(honor_plus, honor));
+        assert!(!sub.extent_equal(honor_plus, student));
+    }
+
+    #[test]
+    fn no_false_positives_between_siblings() {
+        let (mut s, _, student, staff) = schema();
+        let a = s
+            .create_virtual_class(
+                "A",
+                Derivation::Select { src: student, pred: Predicate::True },
+            )
+            .unwrap();
+        let b = s
+            .create_virtual_class("B", Derivation::Select { src: staff, pred: Predicate::True })
+            .unwrap();
+        let sub = Subsumption::new(&s);
+        assert!(!sub.subsumes(a, b));
+        assert!(!sub.subsumes(b, a));
+        assert!(!sub.extent_equal(a, b));
+    }
+
+    #[test]
+    fn monotone_select_rule() {
+        // select(Sub, p) ⊆ select(Sup, p) — the §6.7.3 add-class argument.
+        let (mut s, person, student, _) = schema();
+        let p = Predicate::True;
+        let big = s
+            .create_virtual_class("Big", Derivation::Select { src: person, pred: p.clone() })
+            .unwrap();
+        let small = s
+            .create_virtual_class("Small", Derivation::Select { src: student, pred: p })
+            .unwrap();
+        let sub = Subsumption::new(&s);
+        assert!(sub.subsumes(small, big));
+        assert!(!sub.subsumes(big, small));
+    }
+
+    #[test]
+    fn difference_disjointness_rule() {
+        // TA-like class is provably inside diff(Person, Student ∖ TA).
+        let mut s = Schema::new();
+        let person = s.create_base_class("Person", &[]).unwrap();
+        let student = s.create_base_class("Student", &[person]).unwrap();
+        let ta = s.create_base_class("TA", &[student]).unwrap();
+        let s_minus_ta = s
+            .create_virtual_class("SmT", Derivation::Difference { a: student, b: ta })
+            .unwrap();
+        let p_minus = s
+            .create_virtual_class("PmSmT", Derivation::Difference { a: person, b: s_minus_ta })
+            .unwrap();
+        let sub = Subsumption::new(&s);
+        assert!(sub.subsumes(ta, p_minus), "TA ⊆ Person ∖ (Student ∖ TA)");
+        assert!(!sub.subsumes(student, p_minus));
+    }
+
+    #[test]
+    fn identical_derivations_are_extent_equal() {
+        let (mut s, person, _, _) = schema();
+        let a = s
+            .create_virtual_class(
+                "A",
+                Derivation::Select { src: person, pred: Predicate::True },
+            )
+            .unwrap();
+        let b = s
+            .create_virtual_class(
+                "B",
+                Derivation::Select { src: person, pred: Predicate::True },
+            )
+            .unwrap();
+        let sub = Subsumption::new(&s);
+        assert!(sub.extent_equal(a, b));
+    }
+}

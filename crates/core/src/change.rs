@@ -1,0 +1,433 @@
+//! Schema-change requests and their textual command syntax.
+//!
+//! Users speak the taxonomy of Banerjee et al. / Zicari that the paper bases
+//! its §6 on: four content changes (add/delete attribute, add/delete method)
+//! and four hierarchy changes (add/delete edge, add/delete class), plus the
+//! two composite macros of §6.9. Class names are **view-local** names — the
+//! whole point of TSE is that the user addresses their own view.
+
+use tse_object_model::{MethodBody, ModelError, ModelResult, Value, ValueType};
+
+mod expr;
+pub use expr::parse_expr;
+
+/// A schema-change request against a view.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaChange {
+    /// `add_attribute <name>: <type> [= <default>] [required] to <Class>`.
+    AddAttribute {
+        /// View-local class name.
+        class: String,
+        /// New attribute name.
+        name: String,
+        /// Declared type.
+        vtype: ValueType,
+        /// Default value.
+        default: Value,
+        /// REQUIRED flag.
+        required: bool,
+    },
+    /// `delete_attribute <name> from <Class>`.
+    DeleteAttribute {
+        /// View-local class name.
+        class: String,
+        /// Attribute to delete.
+        name: String,
+    },
+    /// `add_method <name>: <type> := <expr> to <Class>`.
+    AddMethod {
+        /// View-local class name.
+        class: String,
+        /// New method name.
+        name: String,
+        /// Declared result type.
+        vtype: ValueType,
+        /// Method body.
+        body: MethodBody,
+    },
+    /// `delete_method <name> from <Class>`.
+    DeleteMethod {
+        /// View-local class name.
+        class: String,
+        /// Method to delete.
+        name: String,
+    },
+    /// `add_edge <Sup> - <Sub>`.
+    AddEdge {
+        /// New superclass (view-local name).
+        sup: String,
+        /// New subclass (view-local name).
+        sub: String,
+    },
+    /// `delete_edge <Sup> - <Sub> [connected_to <Upper>]`.
+    DeleteEdge {
+        /// Superclass end of the edge.
+        sup: String,
+        /// Subclass end of the edge.
+        sub: String,
+        /// Where to re-attach `sub` if it would be disconnected.
+        connected_to: Option<String>,
+    },
+    /// `add_class <Name> [connected_to <Sup>]`.
+    AddClass {
+        /// Name for the new class (view-local).
+        name: String,
+        /// Parent; the view's root position when omitted.
+        connected_to: Option<String>,
+    },
+    /// `delete_class <Class>` — drop from the view (the simple §6.8 form).
+    DeleteClass {
+        /// Class to drop from the view.
+        class: String,
+    },
+    /// `insert_class <Name> between <Sup> - <Sub>` (§6.9.1 macro).
+    InsertClass {
+        /// Name for the inserted class.
+        name: String,
+        /// Upper neighbour.
+        sup: String,
+        /// Lower neighbour.
+        sub: String,
+    },
+    /// `delete_class_2 <Class>` — Orion-semantics delete (§6.9.2 macro).
+    DeleteClass2 {
+        /// Class to splice out.
+        class: String,
+    },
+    /// `rename_class <Old> to <New>` — a view-local rename ("the user can of
+    /// course rename them within the context of VS.3", §7). Purely a view
+    /// change: the global schema is untouched.
+    RenameClass {
+        /// Current view-local name.
+        old: String,
+        /// New view-local name.
+        new: String,
+    },
+}
+
+impl SchemaChange {
+    /// Short operator name (for reports).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            SchemaChange::AddAttribute { .. } => "add_attribute",
+            SchemaChange::DeleteAttribute { .. } => "delete_attribute",
+            SchemaChange::AddMethod { .. } => "add_method",
+            SchemaChange::DeleteMethod { .. } => "delete_method",
+            SchemaChange::AddEdge { .. } => "add_edge",
+            SchemaChange::DeleteEdge { .. } => "delete_edge",
+            SchemaChange::AddClass { .. } => "add_class",
+            SchemaChange::DeleteClass { .. } => "delete_class",
+            SchemaChange::InsertClass { .. } => "insert_class",
+            SchemaChange::DeleteClass2 { .. } => "delete_class_2",
+            SchemaChange::RenameClass { .. } => "rename_class",
+        }
+    }
+}
+
+fn err(msg: impl Into<String>) -> ModelError {
+    ModelError::Invalid(msg.into())
+}
+
+/// Parse a value type: `int`, `float`, `str`, `bool`, `any`,
+/// `list<...>` (class references are created programmatically, not parsed).
+pub fn parse_type(s: &str) -> ModelResult<ValueType> {
+    let s = s.trim();
+    if let Some(inner) = s.strip_prefix("list<").and_then(|r| r.strip_suffix('>')) {
+        return Ok(ValueType::List(Box::new(parse_type(inner)?)));
+    }
+    match s {
+        "int" => Ok(ValueType::Int),
+        "float" => Ok(ValueType::Float),
+        "str" | "string" => Ok(ValueType::Str),
+        "bool" => Ok(ValueType::Bool),
+        "any" => Ok(ValueType::Any),
+        _ => Err(err(format!("unknown type {s:?}"))),
+    }
+}
+
+/// Parse a literal value: `null`, `true`, `false`, integers, floats,
+/// single- or double-quoted strings.
+pub fn parse_value(s: &str) -> ModelResult<Value> {
+    let s = s.trim();
+    match s {
+        "null" => return Ok(Value::Null),
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if (s.starts_with('"') && s.ends_with('"') && s.len() >= 2)
+        || (s.starts_with('\'') && s.ends_with('\'') && s.len() >= 2)
+    {
+        return Ok(Value::Str(s[1..s.len() - 1].to_string()));
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(err(format!("cannot parse value {s:?}")))
+}
+
+/// Default default-value for a type (used when the command omits `= …`).
+pub fn default_for_type(t: &ValueType) -> Value {
+    match t {
+        ValueType::Any => Value::Null,
+        ValueType::Bool => Value::Bool(false),
+        ValueType::Int => Value::Int(0),
+        ValueType::Float => Value::Float(0.0),
+        ValueType::Str => Value::Null,
+        ValueType::Ref(_) => Value::Null,
+        ValueType::List(_) => Value::List(vec![]),
+    }
+}
+
+/// Parse a schema-change command. See the variants of [`SchemaChange`] for
+/// the grammar; examples:
+///
+/// ```text
+/// add_attribute register: bool = false to Student
+/// delete_attribute register from Student
+/// add_method is_adult: bool := age >= 18 to Person
+/// delete_method is_adult from Person
+/// add_edge SupportStaff - TA
+/// delete_edge TeachingStaff - TA connected_to Person
+/// add_class HonorParttimeStudent connected_to HonorStudent
+/// delete_class Grader
+/// insert_class Intern between Staff - TA
+/// delete_class_2 Student
+/// ```
+pub fn parse_change(input: &str) -> ModelResult<SchemaChange> {
+    let input = input.trim();
+    let (op, rest) = input
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| err(format!("incomplete command {input:?}")))?;
+    let rest = rest.trim();
+    match op {
+        "add_attribute" => {
+            let (decl, class) = rest
+                .rsplit_once(" to ")
+                .ok_or_else(|| err("add_attribute: missing ' to <Class>'"))?;
+            let (decl, required) = match decl.trim().strip_suffix(" required") {
+                Some(d) => (d.trim(), true),
+                None => (decl.trim(), false),
+            };
+            let (name, type_default) = decl
+                .split_once(':')
+                .ok_or_else(|| err("add_attribute: expected '<name>: <type>'"))?;
+            let (ty, default) = match type_default.split_once('=') {
+                Some((t, d)) => {
+                    let ty = parse_type(t)?;
+                    (ty, Some(parse_value(d)?))
+                }
+                None => (parse_type(type_default)?, None),
+            };
+            let default = default.unwrap_or_else(|| default_for_type(&ty));
+            Ok(SchemaChange::AddAttribute {
+                class: class.trim().to_string(),
+                name: name.trim().to_string(),
+                vtype: ty,
+                default,
+                required,
+            })
+        }
+        "delete_attribute" => {
+            let (name, class) = rest
+                .rsplit_once(" from ")
+                .ok_or_else(|| err("delete_attribute: missing ' from <Class>'"))?;
+            Ok(SchemaChange::DeleteAttribute {
+                class: class.trim().to_string(),
+                name: name.trim().to_string(),
+            })
+        }
+        "add_method" => {
+            let (decl, class) = rest
+                .rsplit_once(" to ")
+                .ok_or_else(|| err("add_method: missing ' to <Class>'"))?;
+            let (name, rest2) = decl
+                .split_once(':')
+                .ok_or_else(|| err("add_method: expected '<name>: <type> := <expr>'"))?;
+            let (ty, body_src) = rest2
+                .split_once(":=")
+                .ok_or_else(|| err("add_method: missing ':= <expr>'"))?;
+            let ty = parse_type(ty.trim().trim_end_matches(':'))?;
+            let body = parse_expr(body_src.trim())?;
+            Ok(SchemaChange::AddMethod {
+                class: class.trim().to_string(),
+                name: name.trim().to_string(),
+                vtype: ty,
+                body,
+            })
+        }
+        "delete_method" => {
+            let (name, class) = rest
+                .rsplit_once(" from ")
+                .ok_or_else(|| err("delete_method: missing ' from <Class>'"))?;
+            Ok(SchemaChange::DeleteMethod {
+                class: class.trim().to_string(),
+                name: name.trim().to_string(),
+            })
+        }
+        "add_edge" => {
+            let (sup, sub) = split_edge(rest)?;
+            Ok(SchemaChange::AddEdge { sup, sub })
+        }
+        "delete_edge" => {
+            let (edge, upper) = match rest.split_once("connected_to") {
+                Some((e, u)) => (e.trim(), Some(u.trim().to_string())),
+                None => (rest, None),
+            };
+            let (sup, sub) = split_edge(edge)?;
+            Ok(SchemaChange::DeleteEdge { sup, sub, connected_to: upper })
+        }
+        "add_class" => {
+            let (name, upper) = match rest.split_once("connected_to") {
+                Some((n, u)) => (n.trim(), Some(u.trim().to_string())),
+                None => (rest.trim(), None),
+            };
+            if name.is_empty() {
+                return Err(err("add_class: missing class name"));
+            }
+            Ok(SchemaChange::AddClass { name: name.to_string(), connected_to: upper })
+        }
+        "delete_class" => Ok(SchemaChange::DeleteClass { class: rest.to_string() }),
+        "rename_class" => {
+            let (old, new) = rest
+                .split_once(" to ")
+                .ok_or_else(|| err("rename_class: missing ' to <New>'"))?;
+            Ok(SchemaChange::RenameClass {
+                old: old.trim().to_string(),
+                new: new.trim().to_string(),
+            })
+        }
+        "delete_class_2" => Ok(SchemaChange::DeleteClass2 { class: rest.to_string() }),
+        "insert_class" => {
+            let (name, edge) = rest
+                .split_once(" between ")
+                .ok_or_else(|| err("insert_class: missing ' between <Sup> - <Sub>'"))?;
+            let (sup, sub) = split_edge(edge)?;
+            Ok(SchemaChange::InsertClass { name: name.trim().to_string(), sup, sub })
+        }
+        _ => Err(err(format!("unknown schema-change operator {op:?}"))),
+    }
+}
+
+fn split_edge(s: &str) -> ModelResult<(String, String)> {
+    let parts: Vec<&str> = if s.contains('-') {
+        s.splitn(2, '-').collect()
+    } else {
+        s.split_whitespace().collect()
+    };
+    if parts.len() != 2 || parts[0].trim().is_empty() || parts[1].trim().is_empty() {
+        return Err(err(format!("expected '<Sup> - <Sub>', got {s:?}")));
+    }
+    Ok((parts[0].trim().to_string(), parts[1].trim().to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tse_object_model::BinOp;
+
+    #[test]
+    fn parses_add_attribute_with_default_and_required() {
+        let c = parse_change("add_attribute register: bool = false to Student").unwrap();
+        assert_eq!(
+            c,
+            SchemaChange::AddAttribute {
+                class: "Student".into(),
+                name: "register".into(),
+                vtype: ValueType::Bool,
+                default: Value::Bool(false),
+                required: false,
+            }
+        );
+        let c = parse_change("add_attribute ssn: str required to Person").unwrap();
+        assert!(matches!(c, SchemaChange::AddAttribute { required: true, .. }));
+        let c = parse_change("add_attribute age: int to Person").unwrap();
+        assert!(matches!(
+            c,
+            SchemaChange::AddAttribute { default: Value::Int(0), .. }
+        ));
+    }
+
+    #[test]
+    fn parses_delete_and_method_ops() {
+        assert_eq!(
+            parse_change("delete_attribute register from Student").unwrap(),
+            SchemaChange::DeleteAttribute { class: "Student".into(), name: "register".into() }
+        );
+        let c = parse_change("add_method is_adult: bool := age >= 18 to Person").unwrap();
+        match c {
+            SchemaChange::AddMethod { class, name, vtype, body } => {
+                assert_eq!(class, "Person");
+                assert_eq!(name, "is_adult");
+                assert_eq!(vtype, ValueType::Bool);
+                assert!(matches!(body, MethodBody::Bin(BinOp::Ge, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse_change("delete_method is_adult from Person").unwrap(),
+            SchemaChange::DeleteMethod { class: "Person".into(), name: "is_adult".into() }
+        );
+    }
+
+    #[test]
+    fn parses_edge_and_class_ops() {
+        assert_eq!(
+            parse_change("add_edge SupportStaff - TA").unwrap(),
+            SchemaChange::AddEdge { sup: "SupportStaff".into(), sub: "TA".into() }
+        );
+        assert_eq!(
+            parse_change("delete_edge TeachingStaff - TA connected_to Person").unwrap(),
+            SchemaChange::DeleteEdge {
+                sup: "TeachingStaff".into(),
+                sub: "TA".into(),
+                connected_to: Some("Person".into())
+            }
+        );
+        assert_eq!(
+            parse_change("delete_edge TeachingStaff - TA").unwrap(),
+            SchemaChange::DeleteEdge {
+                sup: "TeachingStaff".into(),
+                sub: "TA".into(),
+                connected_to: None
+            }
+        );
+        assert_eq!(
+            parse_change("add_class Honor connected_to Student").unwrap(),
+            SchemaChange::AddClass { name: "Honor".into(), connected_to: Some("Student".into()) }
+        );
+        assert_eq!(
+            parse_change("insert_class Intern between Staff - TA").unwrap(),
+            SchemaChange::InsertClass { name: "Intern".into(), sup: "Staff".into(), sub: "TA".into() }
+        );
+        assert_eq!(
+            parse_change("delete_class_2 Student").unwrap(),
+            SchemaChange::DeleteClass2 { class: "Student".into() }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_commands() {
+        assert!(parse_change("frobnicate X").is_err());
+        assert!(parse_change("add_attribute x int to C").is_err());
+        assert!(parse_change("add_attribute x: int").is_err());
+        assert!(parse_change("add_edge OnlyOne").is_err());
+        assert!(parse_change("insert_class X between Y").is_err());
+        assert!(parse_change("").is_err());
+    }
+
+    #[test]
+    fn value_and_type_parsers() {
+        assert_eq!(parse_value("'abc'").unwrap(), Value::Str("abc".into()));
+        assert_eq!(parse_value("\"x\"").unwrap(), Value::Str("x".into()));
+        assert_eq!(parse_value("-5").unwrap(), Value::Int(-5));
+        assert_eq!(parse_value("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(parse_value("null").unwrap(), Value::Null);
+        assert!(parse_value("@@").is_err());
+        assert_eq!(parse_type("list<int>").unwrap(), ValueType::List(Box::new(ValueType::Int)));
+        assert!(parse_type("object").is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! Version merging (§7).
+//!
+//! Because every view is defined over one integrated global schema, merging
+//! two schema versions is a selection problem, not an integration problem:
+//! collect the classes of both views; classes that are *the same global
+//! class* are identical by construction (the classifier already folded
+//! duplicates); distinct classes that happen to share a view-local name are
+//! disambiguated by version-suffixing (`Student.v1` / `Student.v2`), exactly
+//! as Figure 16 shows. Instances are never copied, so instance merging is a
+//! non-issue.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use tse_object_model::{ClassId, ModelResult};
+use tse_view::ViewId;
+
+use crate::system::TseSystem;
+
+impl TseSystem {
+    /// Merge the *current* versions of two view families into a new family.
+    /// Returns the merged view.
+    pub fn merge_views(
+        &mut self,
+        family_a: &str,
+        family_b: &str,
+        new_family: &str,
+    ) -> ModelResult<ViewId> {
+        let va = self.views.current(family_a)?.clone();
+        let vb = self.views.current(family_b)?.clone();
+
+        let mut classes = va.classes.clone();
+        classes.extend(vb.classes.iter().copied());
+
+        // Desired local names: A's names win for classes in both views.
+        let mut desired: BTreeMap<ClassId, String> = BTreeMap::new();
+        for &c in &vb.classes {
+            desired.insert(c, vb.local_name(&self.db, c)?);
+        }
+        for &c in &va.classes {
+            desired.insert(c, va.local_name(&self.db, c)?);
+        }
+
+        // Group by desired name; suffix colliding *distinct* classes with
+        // version tags (A's class = .v1, B's = .v2, per Figure 16).
+        let mut by_name: BTreeMap<String, Vec<ClassId>> = BTreeMap::new();
+        for (&c, name) in &desired {
+            by_name.entry(name.clone()).or_default().push(c);
+        }
+        let mut renames: BTreeMap<ClassId, String> = BTreeMap::new();
+        let mut taken: BTreeSet<String> = BTreeSet::new();
+        for (name, group) in &mut by_name {
+            if group.len() == 1 {
+                let c = group[0];
+                taken.insert(name.clone());
+                if &self.db.schema().class(c)?.name != name {
+                    renames.insert(c, name.clone());
+                }
+                continue;
+            }
+            group.sort_by_key(|c| (!va.contains(*c), !vb.contains(*c), c.0));
+            for (i, &c) in group.iter().enumerate() {
+                let mut n = i + 1;
+                let mut candidate = format!("{name}.v{n}");
+                while taken.contains(&candidate) {
+                    n += 1;
+                    candidate = format!("{name}.v{n}");
+                }
+                taken.insert(candidate.clone());
+                renames.insert(c, candidate);
+            }
+        }
+
+        self.views.create_view_renamed(&self.db, new_family, classes, renames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::system::TseSystem;
+    use tse_object_model::{PropertyDef, Value, ValueType};
+
+    fn base() -> TseSystem {
+        let mut tse = TseSystem::new();
+        tse.define_base_class(
+            "Person",
+            &[],
+            vec![PropertyDef::stored("name", ValueType::Str, Value::Null)],
+        )
+        .unwrap();
+        tse.define_base_class("Student", &["Person"], vec![]).unwrap();
+        tse
+    }
+
+    #[test]
+    fn merging_disjoint_views_is_a_plain_union() {
+        let mut tse = base();
+        tse.create_view("A", &["Person"]).unwrap();
+        tse.create_view("B", &["Student"]).unwrap();
+        let merged = tse.merge_views("A", "B", "AB").unwrap();
+        let view = tse.view(merged).unwrap();
+        assert!(view.lookup(tse.db(), "Person").is_ok());
+        assert!(view.lookup(tse.db(), "Student").is_ok());
+        assert!(view.renames.is_empty(), "no conflicts → no renames");
+    }
+
+    #[test]
+    fn merge_prefers_a_side_local_names_for_shared_classes() {
+        let mut tse = base();
+        tse.create_view("A", &["Person"]).unwrap();
+        tse.create_view("B", &["Person"]).unwrap();
+        tse.evolve_cmd("A", "rename_class Person to Human").unwrap();
+        let merged = tse.merge_views("A", "B", "AB").unwrap();
+        // Same global class in both; A's name wins.
+        let view = tse.view(merged).unwrap();
+        assert!(view.lookup(tse.db(), "Human").is_ok());
+        assert!(view.lookup(tse.db(), "Person").is_err());
+    }
+
+    #[test]
+    fn three_way_name_collisions_get_distinct_suffixes() {
+        let mut tse = base();
+        tse.create_view("A", &["Person", "Student"]).unwrap();
+        tse.create_view("B", &["Person", "Student"]).unwrap();
+        tse.evolve_cmd("A", "add_attribute x1: int to Student").unwrap();
+        tse.evolve_cmd("B", "add_attribute x2: int to Student").unwrap();
+        // A third family whose Student also diverges.
+        tse.create_view("C", &["Person", "Student"]).unwrap();
+        tse.evolve_cmd("C", "add_attribute x3: int to Student").unwrap();
+
+        let ab = tse.merge_views("A", "B", "AB").unwrap();
+        let view_ab = tse.view(ab).unwrap();
+        assert!(view_ab.lookup(tse.db(), "Student.v1").is_ok());
+        assert!(view_ab.lookup(tse.db(), "Student.v2").is_ok());
+
+        // Merge the merged view with C: the AB view already carries the
+        // suffixed names; C's Student is distinct from both.
+        let abc = tse.merge_views("AB", "C", "ABC").unwrap();
+        let view_abc = tse.view(abc).unwrap();
+        assert!(view_abc.lookup(tse.db(), "Student.v1").is_ok());
+        assert!(view_abc.lookup(tse.db(), "Student.v2").is_ok());
+        assert!(view_abc.lookup(tse.db(), "Student").is_ok(), "C's Student keeps its name");
+    }
+
+    #[test]
+    fn merge_requires_both_families() {
+        let mut tse = base();
+        tse.create_view("A", &["Person"]).unwrap();
+        assert!(tse.merge_views("A", "NOPE", "X").is_err());
+        assert!(tse.merge_views("NOPE", "A", "X").is_err());
+        // Target family name must be fresh.
+        assert!(tse.merge_views("A", "A", "A").is_err());
+    }
+}

@@ -1,0 +1,589 @@
+//! The Transparent Schema Evolution Manager (TSEM).
+//!
+//! The control module of Figure 6: it takes a schema-change request against
+//! a view, calls the Translator, executes the generated algebra script, runs
+//! the Classifier on every created class, asks the View Manager to generate
+//! and register the new view version, and renames primed classes back to
+//! their old names — so the user "will have the perception that she has
+//! actually modified her original schema".
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use tse_algebra::{define_vc, ClassRef, Query, Stmt, UpdatePolicy};
+use tse_classifier::classify;
+use tse_object_model::{
+    ClassId, Database, ModelError, ModelResult, Oid, PendingProp, Value,
+};
+use tse_storage::StoreConfig;
+use tse_view::{ViewId, ViewManager, ViewSchema};
+
+use crate::change::{parse_change, SchemaChange};
+use crate::translate::{translate, ChangePlan};
+
+/// Outcome of one schema evolution.
+#[derive(Debug, Clone)]
+pub struct EvolutionReport {
+    /// The new view version.
+    pub view: ViewId,
+    /// View family evolved.
+    pub family: String,
+    /// Operator applied.
+    pub op: String,
+    /// Rendered algebra script (the Figure 7(b) artifact).
+    pub script: String,
+    /// Classes created by the script (script name → effective class).
+    pub created: Vec<(String, ClassId)>,
+    /// How many newly derived classes were folded onto existing duplicates.
+    pub duplicates_folded: usize,
+    /// View classes replaced by primed counterparts — the subschema-evolution
+    /// cost metric (how much of the schema a change touches).
+    pub classes_touched: usize,
+}
+
+/// The TSE system: one shared database, many evolving views.
+pub struct TseSystem {
+    pub(crate) db: Database,
+    pub(crate) views: ViewManager,
+    pub(crate) policy: UpdatePolicy,
+}
+
+impl Default for TseSystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TseSystem {
+    /// A fresh system with default storage configuration.
+    pub fn new() -> Self {
+        Self::with_config(StoreConfig::default())
+    }
+
+    /// A fresh system with explicit storage configuration.
+    pub fn with_config(config: StoreConfig) -> Self {
+        TseSystem { db: Database::new(config), views: ViewManager::new(), policy: UpdatePolicy::default() }
+    }
+
+    /// The shared database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable database access (base-schema construction).
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The view registry.
+    pub fn views(&self) -> &ViewManager {
+        &self.views
+    }
+
+    /// The update-propagation policy (owned; grows union routes as schema
+    /// changes create union classes).
+    pub fn policy(&self) -> &UpdatePolicy {
+        &self.policy
+    }
+
+    // ----- base schema construction ----------------------------------------
+
+    /// Define a base class with local properties (global-schema setup).
+    pub fn define_base_class(
+        &mut self,
+        name: &str,
+        supers: &[&str],
+        props: Vec<PendingProp>,
+    ) -> ModelResult<ClassId> {
+        let mut sup_ids = Vec::with_capacity(supers.len());
+        for s in supers {
+            sup_ids.push(self.db.schema().by_name(s)?);
+        }
+        let id = self.db.schema_mut().create_base_class(name, &sup_ids)?;
+        for p in props {
+            self.db.schema_mut().add_local_prop(id, p, None)?;
+        }
+        Ok(id)
+    }
+
+    // ----- views -------------------------------------------------------------
+
+    /// Create a view over the named global classes.
+    pub fn create_view(&mut self, family: &str, class_names: &[&str]) -> ModelResult<ViewId> {
+        let mut classes = BTreeSet::new();
+        for n in class_names {
+            classes.insert(self.db.schema().by_name(n)?);
+        }
+        self.views.create_view(&self.db, family, classes)
+    }
+
+    /// Create a view over the named classes, automatically *type-closing*
+    /// the selection: every class referenced by a `Ref`-typed attribute of a
+    /// selected class is pulled in transitively (§5: "we can check the
+    /// type-closure of a view schema and incorporate necessary classes").
+    pub fn create_view_closed(
+        &mut self,
+        family: &str,
+        class_names: &[&str],
+    ) -> ModelResult<ViewId> {
+        let mut classes = BTreeSet::new();
+        for n in class_names {
+            classes.insert(self.db.schema().by_name(n)?);
+        }
+        let probe = tse_view::build_view(
+            &self.db,
+            ViewId(u32::MAX),
+            family,
+            0,
+            classes,
+            BTreeMap::new(),
+        )?;
+        let closed = tse_view::closed_selection(&self.db, &probe)?;
+        self.views.create_view(&self.db, family, closed)
+    }
+
+    /// Create a view containing every non-root base class (a convenient
+    /// "whole schema" view).
+    pub fn create_view_all(&mut self, family: &str) -> ModelResult<ViewId> {
+        let root = self.db.schema().root();
+        let classes: BTreeSet<ClassId> = self
+            .db
+            .schema()
+            .class_ids()
+            .filter(|c| *c != root)
+            .filter(|c| self.db.schema().class(*c).map(|x| x.is_base()).unwrap_or(false))
+            .collect();
+        self.views.create_view(&self.db, family, classes)
+    }
+
+    /// The current version of a view family.
+    pub fn current_view(&self, family: &str) -> ModelResult<&ViewSchema> {
+        self.views.current(family)
+    }
+
+    /// A specific registered view version (old applications hold on to
+    /// these — that is the interoperability story).
+    pub fn view(&self, id: ViewId) -> ModelResult<&ViewSchema> {
+        self.views.view(id)
+    }
+
+    // ----- schema evolution ----------------------------------------------------
+
+    /// Apply a schema change to a view family: the family's *current*
+    /// version is evolved and a new version registered. Composite macros
+    /// expand into primitive sequences (§6.9); the report describes the last
+    /// primitive.
+    pub fn evolve(&mut self, family: &str, change: &SchemaChange) -> ModelResult<EvolutionReport> {
+        match change {
+            SchemaChange::InsertClass { name, sup, sub } => {
+                // §6.9.1: add_class + add_edge.
+                self.evolve(
+                    family,
+                    &SchemaChange::AddClass {
+                        name: name.clone(),
+                        connected_to: Some(sup.clone()),
+                    },
+                )?;
+                self.evolve(
+                    family,
+                    &SchemaChange::AddEdge { sup: name.clone(), sub: sub.clone() },
+                )
+            }
+            SchemaChange::DeleteClass2 { class } => {
+                // §6.9.2: splice out, reconnect subs to supers, drop.
+                let view = self.views.current(family)?.clone();
+                let c = view.lookup(&self.db, class)?;
+                let subs: Vec<String> = view
+                    .subs_in_view(c)
+                    .into_iter()
+                    .map(|s| view.local_name(&self.db, s))
+                    .collect::<ModelResult<_>>()?;
+                let sups: Vec<String> = view
+                    .supers_in_view(c)
+                    .into_iter()
+                    .map(|s| view.local_name(&self.db, s))
+                    .collect::<ModelResult<_>>()?;
+                for v in &subs {
+                    self.evolve(
+                        family,
+                        &SchemaChange::DeleteEdge {
+                            sup: class.clone(),
+                            sub: v.clone(),
+                            connected_to: None,
+                        },
+                    )?;
+                    for u in &sups {
+                        self.evolve(
+                            family,
+                            &SchemaChange::AddEdge { sup: u.clone(), sub: v.clone() },
+                        )?;
+                    }
+                }
+                for (i, u) in sups.iter().enumerate() {
+                    let is_last = i + 1 == sups.len();
+                    self.evolve(
+                        family,
+                        &SchemaChange::DeleteEdge {
+                            sup: u.clone(),
+                            sub: class.clone(),
+                            connected_to: None,
+                        },
+                    )?;
+                    let _ = is_last;
+                }
+                self.evolve(family, &SchemaChange::DeleteClass { class: class.clone() })
+            }
+            SchemaChange::RenameClass { old, new } => {
+                // A pure view change: same classes, updated rename map.
+                let view = self.views.current(family)?.clone();
+                let target = view.lookup(&self.db, old)?;
+                if view.lookup(&self.db, new).is_ok() {
+                    return Err(ModelError::DuplicateClassName(new.clone()));
+                }
+                let mut renames = view.renames.clone();
+                if self.db.schema().class(target)?.name == *new {
+                    renames.remove(&target);
+                } else {
+                    renames.insert(target, new.clone());
+                }
+                let new_view =
+                    self.views.push_version(&self.db, family, view.classes.clone(), renames)?;
+                Ok(EvolutionReport {
+                    view: new_view,
+                    family: family.to_string(),
+                    op: change.op_name().to_string(),
+                    script: String::new(),
+                    created: vec![],
+                    duplicates_folded: 0,
+                    classes_touched: 0,
+                })
+            }
+            primitive => self.evolve_primitive(family, primitive),
+        }
+    }
+
+    /// Like [`TseSystem::evolve`], but all-or-nothing: on any error the whole
+    /// system (database, views, policy) is restored to its pre-change state
+    /// from an in-memory snapshot. Costs one full snapshot per call; use for
+    /// interactive/administrative changes where partial schema artifacts are
+    /// unacceptable.
+    pub fn evolve_atomic(
+        &mut self,
+        family: &str,
+        change: &SchemaChange,
+    ) -> ModelResult<EvolutionReport> {
+        let checkpoint = self.encode();
+        match self.evolve(family, change) {
+            Ok(report) => Ok(report),
+            Err(e) => {
+                *self = TseSystem::decode(checkpoint)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Parse and apply a textual schema-change command.
+    pub fn evolve_cmd(&mut self, family: &str, command: &str) -> ModelResult<EvolutionReport> {
+        let change = parse_change(command)?;
+        self.evolve(family, &change)
+    }
+
+    fn evolve_primitive(
+        &mut self,
+        family: &str,
+        change: &SchemaChange,
+    ) -> ModelResult<EvolutionReport> {
+        let view = self.views.current(family)?.clone();
+        let plan = translate(&self.db, &view, change)?;
+        let script_text = plan.script.render(&self.db);
+        let (map, duplicates_folded) = self.execute_plan(&plan)?;
+
+        // Build the new selection: replace primed classes, apply additions
+        // and removals, carry renames for untouched classes.
+        let mut classes = view.classes.clone();
+        let mut renames: BTreeMap<ClassId, String> = BTreeMap::new();
+        for (c, local) in &view.renames {
+            if plan.replacements.iter().all(|(old, _)| old != c) && !plan.removals.contains(c) {
+                renames.insert(*c, local.clone());
+            }
+        }
+        for (old, script_name) in &plan.replacements {
+            let new = *map
+                .get(script_name)
+                .ok_or_else(|| ModelError::Invalid(format!("plan lost class {script_name}")))?;
+            classes.remove(old);
+            classes.insert(new);
+            if new != *old {
+                // Transparency: the replacement carries the old local name.
+                let local = view.local_name(&self.db, *old)?;
+                if self.db.schema().class(new)?.name != local {
+                    renames.insert(new, local);
+                }
+            } else if let Some(local) = view.renames.get(old) {
+                renames.insert(*old, local.clone());
+            }
+        }
+        for (script_name, local) in &plan.additions {
+            let new = *map
+                .get(script_name)
+                .ok_or_else(|| ModelError::Invalid(format!("plan lost class {script_name}")))?;
+            classes.insert(new);
+            if &self.db.schema().class(new)?.name != local {
+                renames.insert(new, local.clone());
+            }
+        }
+        for r in &plan.removals {
+            classes.remove(r);
+            renames.remove(r);
+        }
+
+        let new_view = self.views.push_version(&self.db, family, classes, renames)?;
+        Ok(EvolutionReport {
+            view: new_view,
+            family: family.to_string(),
+            op: change.op_name().to_string(),
+            script: script_text,
+            created: map.into_iter().collect(),
+            duplicates_folded,
+            classes_touched: plan.replacements.len(),
+        })
+    }
+
+    /// Execute a plan's script with interleaved classification: every
+    /// defined class is immediately integrated into the global schema (and
+    /// possibly folded onto a duplicate), and later statements referencing it
+    /// by name are resolved through the fold map.
+    fn execute_plan(
+        &mut self,
+        plan: &ChangePlan,
+    ) -> ModelResult<(BTreeMap<String, ClassId>, usize)> {
+        let mut map: BTreeMap<String, ClassId> = BTreeMap::new();
+        let mut duplicates = 0usize;
+        for stmt in &plan.script.stmts {
+            match stmt {
+                Stmt::DefineVc { name, query } => {
+                    let query = substitute(query, &map);
+                    let id = define_vc(&mut self.db, name, &query)?;
+                    let placement = classify(&mut self.db, id)?;
+                    if placement.duplicate_of.is_some() {
+                        duplicates += 1;
+                    }
+                    map.insert(name.clone(), placement.class);
+                }
+                Stmt::DefineBase { name, supers } => {
+                    let mut sup_ids = Vec::with_capacity(supers.len());
+                    for s in supers {
+                        sup_ids.push(match s {
+                            ClassRef::Id(id) => *id,
+                            ClassRef::Name(n) => match map.get(n) {
+                                Some(id) => *id,
+                                None => self.db.schema().by_name(n)?,
+                            },
+                        });
+                    }
+                    let id = self.db.schema_mut().create_base_class(name, &sup_ids)?;
+                    map.insert(name.clone(), id);
+                }
+                Stmt::RouteUnion { name, route } => {
+                    let id = match map.get(name) {
+                        Some(id) => *id,
+                        None => self.db.schema().by_name(name)?,
+                    };
+                    self.policy.union_routes.insert(id, *route);
+                }
+            }
+        }
+        Ok((map, duplicates))
+    }
+
+    // ----- user data operations through views ------------------------------------
+
+    fn resolve_in(&self, view: ViewId, class_local: &str) -> ModelResult<ClassId> {
+        self.views.view(view)?.lookup(&self.db, class_local)
+    }
+
+    /// Create an object through a view class.
+    pub fn create(
+        &mut self,
+        view: ViewId,
+        class_local: &str,
+        values: &[(&str, Value)],
+    ) -> ModelResult<Oid> {
+        let class = self.resolve_in(view, class_local)?;
+        tse_algebra::create(&mut self.db, &self.policy.clone(), class, values)
+    }
+
+    /// Read an attribute through a view class.
+    pub fn get(
+        &self,
+        view: ViewId,
+        oid: Oid,
+        class_local: &str,
+        attr: &str,
+    ) -> ModelResult<Value> {
+        let class = self.resolve_in(view, class_local)?;
+        self.db.read_attr(oid, class, attr)
+    }
+
+    /// Set attributes through a view class.
+    pub fn set(
+        &mut self,
+        view: ViewId,
+        oid: Oid,
+        class_local: &str,
+        assignments: &[(&str, Value)],
+    ) -> ModelResult<()> {
+        let class = self.resolve_in(view, class_local)?;
+        tse_algebra::set(&mut self.db, &self.policy.clone(), &[oid], class, assignments)
+    }
+
+    /// Add existing objects to a view class.
+    pub fn add_to(&mut self, view: ViewId, oids: &[Oid], class_local: &str) -> ModelResult<()> {
+        let class = self.resolve_in(view, class_local)?;
+        tse_algebra::add(&mut self.db, &self.policy.clone(), oids, class)
+    }
+
+    /// Remove objects from a view class.
+    pub fn remove_from(
+        &mut self,
+        view: ViewId,
+        oids: &[Oid],
+        class_local: &str,
+    ) -> ModelResult<()> {
+        let class = self.resolve_in(view, class_local)?;
+        tse_algebra::remove(&mut self.db, &self.policy.clone(), oids, class)
+    }
+
+    /// Destroy objects.
+    pub fn delete_objects(&mut self, oids: &[Oid]) -> ModelResult<()> {
+        tse_algebra::delete(&mut self.db, oids)
+    }
+
+    /// The extent of a view class.
+    pub fn extent(&self, view: ViewId, class_local: &str) -> ModelResult<Vec<Oid>> {
+        let class = self.resolve_in(view, class_local)?;
+        Ok(self.db.extent(class)?.iter().copied().collect())
+    }
+
+    /// `select from <Class> where <expr>` — evaluate a textual boolean
+    /// expression over each member of a view class and return the matches.
+    ///
+    /// ```text
+    /// tse.select_where(v, "Student", "gpa >= 3.5 and age < 30")
+    /// ```
+    pub fn select_where(
+        &self,
+        view: ViewId,
+        class_local: &str,
+        expr: &str,
+    ) -> ModelResult<Vec<Oid>> {
+        let class = self.resolve_in(view, class_local)?;
+        let body = crate::change::parse_expr(expr)?;
+        let pred = tse_object_model::Predicate::Expr(body);
+        tse_algebra::select_objects(&self.db, class, &pred)
+    }
+
+    /// `( select from <Class> where <expr> ) set [assignments]` — the
+    /// user-level query-update pipeline of §3.3.
+    pub fn update_where(
+        &mut self,
+        view: ViewId,
+        class_local: &str,
+        expr: &str,
+        assignments: &[(&str, Value)],
+    ) -> ModelResult<usize> {
+        let oids = self.select_where(view, class_local, expr)?;
+        let class = self.resolve_in(view, class_local)?;
+        tse_algebra::set(&mut self.db, &self.policy.clone(), &oids, class, assignments)?;
+        Ok(oids.len())
+    }
+
+    /// Invoke a property with dynamic dispatch (late binding) through a view
+    /// class — an overriding definition on the object's own class wins even
+    /// if this view only knows a superclass.
+    pub fn invoke(
+        &self,
+        view: ViewId,
+        oid: Oid,
+        class_local: &str,
+        name: &str,
+    ) -> ModelResult<Value> {
+        let class = self.resolve_in(view, class_local)?;
+        self.db.invoke(oid, class, name)
+    }
+
+    /// Attach a class constraint through a view: every member must satisfy
+    /// the boolean expression after any create/set (§3.3's type-specific
+    /// update behaviour — constraint checking and update refusal).
+    pub fn set_constraint(
+        &mut self,
+        view: ViewId,
+        class_local: &str,
+        expr: Option<&str>,
+    ) -> ModelResult<()> {
+        let class = self.resolve_in(view, class_local)?;
+        let pred = match expr {
+            Some(e) => Some(tse_object_model::Predicate::Expr(crate::change::parse_expr(e)?)),
+            None => None,
+        };
+        self.db.schema_mut().set_class_constraint(class, pred)
+    }
+
+    /// Proposition B, executable: are all *other* registered views
+    /// structurally unaffected (same classes, same generated edges)?
+    pub fn views_unaffected_except(&self, family: &str) -> ModelResult<bool> {
+        for fam in self.views.families().map(|s| s.to_string()).collect::<Vec<_>>() {
+            if fam == family {
+                continue;
+            }
+            for vid in self.views.versions(&fam)?.to_vec() {
+                if !self.views.is_unaffected(&self.db, vid)? {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Replace by-name references that were folded onto other classes.
+fn substitute(query: &Query, map: &BTreeMap<String, ClassId>) -> Query {
+    match query {
+        Query::Class(id) => Query::Class(*id),
+        Query::ClassName(n) => match map.get(n) {
+            Some(id) => Query::Class(*id),
+            None => Query::ClassName(n.clone()),
+        },
+        Query::Select { src, pred } => {
+            Query::Select { src: Box::new(substitute(src, map)), pred: pred.clone() }
+        }
+        Query::Hide { src, props } => {
+            Query::Hide { src: Box::new(substitute(src, map)), props: props.clone() }
+        }
+        Query::Refine { src, new_props, inherited } => Query::Refine {
+            src: Box::new(substitute(src, map)),
+            new_props: new_props.clone(),
+            inherited: inherited
+                .iter()
+                .map(|(r, n)| {
+                    let r = match r {
+                        ClassRef::Name(name) => match map.get(name) {
+                            Some(id) => ClassRef::Id(*id),
+                            None => ClassRef::Name(name.clone()),
+                        },
+                        ClassRef::Id(id) => ClassRef::Id(*id),
+                    };
+                    (r, n.clone())
+                })
+                .collect(),
+        },
+        Query::Union(a, b) => {
+            Query::Union(Box::new(substitute(a, map)), Box::new(substitute(b, map)))
+        }
+        Query::Difference(a, b) => {
+            Query::Difference(Box::new(substitute(a, map)), Box::new(substitute(b, map)))
+        }
+        Query::Intersect(a, b) => {
+            Query::Intersect(Box::new(substitute(a, map)), Box::new(substitute(b, map)))
+        }
+    }
+}

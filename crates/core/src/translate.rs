@@ -1,0 +1,322 @@
+//! The TSE Translator (§6): schema changes → object-algebra scripts.
+//!
+//! Each primitive schema-change operator is translated into a
+//! view-specification script (`defineVC …` statements plus union-routing
+//! hints). The script is then executed and classified by the TSEM, after
+//! which the view manager selects and renames classes for the new view
+//! version. The translation runs *in the context of a view*: only classes
+//! visible in the user's view are primed, which is what confines the cost of
+//! a change to the subschema (§2.2, §8 "subschema evolution").
+
+use std::collections::BTreeSet;
+
+use tse_algebra::{ClassRef, Query, Script, UnionRoute};
+use tse_object_model::{
+    ClassId, Database, ModelError, ModelResult, PropertyDef,
+};
+use tse_view::ViewSchema;
+
+use crate::change::SchemaChange;
+
+mod classes;
+mod edges;
+mod properties;
+
+/// What a schema change compiles to.
+#[derive(Debug, Clone, Default)]
+pub struct ChangePlan {
+    /// The generated algebra script (printable; Figure 7(b)).
+    pub script: Script,
+    /// Old view class → script-name of the class replacing it in the new
+    /// view (renamed back to the old local name for transparency).
+    pub replacements: Vec<(ClassId, String)>,
+    /// Script-name → desired view-local name for classes newly added to the
+    /// view (`add_class`).
+    pub additions: Vec<(String, String)>,
+    /// Classes dropped from the view (`delete_class`).
+    pub removals: Vec<ClassId>,
+}
+
+/// Plan-local fresh-name allocator: combines the schema's primed-name scheme
+/// with a set of names already promised by this plan (the script has not
+/// executed yet, so the schema alone cannot see them).
+pub(crate) struct NamePool {
+    used: BTreeSet<String>,
+}
+
+impl NamePool {
+    pub fn new() -> Self {
+        NamePool { used: BTreeSet::new() }
+    }
+
+    /// A fresh global name based on `base` (`base'`, `base''`, …).
+    pub fn fresh(&mut self, db: &Database, base: &str) -> String {
+        let mut candidate = db.schema().fresh_name(base);
+        while self.used.contains(&candidate) {
+            candidate = db.schema().fresh_name(&format!("{candidate}'"));
+            if self.used.contains(&candidate) {
+                candidate.push('\'');
+            }
+        }
+        self.used.insert(candidate.clone());
+        candidate
+    }
+}
+
+/// Translate one *primitive* schema change against a view. Composite macros
+/// (`insert_class`, `delete_class_2`) are expanded by the TSEM into
+/// sequences of primitives and rejected here.
+pub fn translate(
+    db: &Database,
+    view: &ViewSchema,
+    change: &SchemaChange,
+) -> ModelResult<ChangePlan> {
+    match change {
+        SchemaChange::AddAttribute { class, name, vtype, default, required } => {
+            let prop = if *required {
+                PropertyDef::required(name, vtype.clone(), default.clone())
+            } else {
+                PropertyDef::stored(name, vtype.clone(), default.clone())
+            };
+            properties::translate_add_property(db, view, class, prop)
+        }
+        SchemaChange::AddMethod { class, name, vtype, body } => {
+            let prop = PropertyDef::method(name, vtype.clone(), body.clone());
+            properties::translate_add_property(db, view, class, prop)
+        }
+        SchemaChange::DeleteAttribute { class, name }
+        | SchemaChange::DeleteMethod { class, name } => {
+            properties::translate_delete_property(db, view, class, name)
+        }
+        SchemaChange::AddEdge { sup, sub } => edges::translate_add_edge(db, view, sup, sub),
+        SchemaChange::DeleteEdge { sup, sub, connected_to } => {
+            edges::translate_delete_edge(db, view, sup, sub, connected_to.as_deref())
+        }
+        SchemaChange::AddClass { name, connected_to } => {
+            classes::translate_add_class(db, view, name, connected_to.as_deref())
+        }
+        SchemaChange::DeleteClass { class } => {
+            let id = view.lookup(db, class)?;
+            Ok(ChangePlan { removals: vec![id], ..Default::default() })
+        }
+        SchemaChange::RenameClass { .. }
+        | SchemaChange::InsertClass { .. }
+        | SchemaChange::DeleteClass2 { .. } => Err(
+            ModelError::Invalid(format!(
+                "{} is a composite operator; expand it into primitives first",
+                change.op_name()
+            )),
+        ),
+    }
+}
+
+/// View-subclasses of `start` (inclusive), breadth-first, pruning subtrees
+/// whose root locally (re)defines `stop_name` — "a local property overrides
+/// inherited ones", so propagation stops there.
+pub(crate) fn view_subclasses_stopping(
+    db: &Database,
+    view: &ViewSchema,
+    start: ClassId,
+    stop_name: Option<&str>,
+) -> ModelResult<Vec<ClassId>> {
+    let mut out = vec![start];
+    let mut queue = std::collections::VecDeque::from([start]);
+    let mut seen = BTreeSet::from([start]);
+    while let Some(c) = queue.pop_front() {
+        for sub in view.subs_in_view(c) {
+            if !seen.insert(sub) {
+                continue;
+            }
+            if let Some(name) = stop_name {
+                if db.schema().class(sub)?.local(name).is_some() {
+                    continue; // local definition blocks propagation
+                }
+            }
+            out.push(sub);
+            queue.push_back(sub);
+        }
+    }
+    Ok(out)
+}
+
+/// View-superclasses of `start` (inclusive), breadth-first.
+pub(crate) fn view_superclasses(
+    view: &ViewSchema,
+    start: ClassId,
+) -> Vec<ClassId> {
+    let mut out = vec![start];
+    let mut queue = std::collections::VecDeque::from([start]);
+    let mut seen = BTreeSet::from([start]);
+    while let Some(c) = queue.pop_front() {
+        for sup in view.supers_in_view(c) {
+            if seen.insert(sup) {
+                out.push(sup);
+                queue.push_back(sup);
+            }
+        }
+    }
+    out
+}
+
+pub(crate) fn union_route_first(script: &mut Script, name: &str) {
+    script.route_union(name, UnionRoute::First);
+}
+
+pub(crate) fn query_name(name: &str) -> Query {
+    Query::class_name(name)
+}
+
+pub(crate) fn base_ref(id: ClassId) -> ClassRef {
+    ClassRef::Id(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::change::SchemaChange;
+    use tse_object_model::{Database, PropertyDef, Value, ValueType};
+    use tse_view::ViewManager;
+
+    /// Person(name) ← Student(gpa) ← TA(lecture); view over all three.
+    fn setup() -> (Database, ViewSchema) {
+        let mut db = Database::default();
+        let s = db.schema_mut();
+        let person = s.create_base_class("Person", &[]).unwrap();
+        let student = s.create_base_class("Student", &[person]).unwrap();
+        let ta = s.create_base_class("TA", &[student]).unwrap();
+        s.add_local_prop(person, PropertyDef::stored("name", ValueType::Str, Value::Null), None)
+            .unwrap();
+        s.add_local_prop(
+            student,
+            PropertyDef::stored("gpa", ValueType::Float, Value::Float(0.0)),
+            None,
+        )
+        .unwrap();
+        s.add_local_prop(ta, PropertyDef::stored("lecture", ValueType::Str, Value::Null), None)
+            .unwrap();
+        let mut vm = ViewManager::new();
+        let v = vm
+            .create_view(&db, "VS", [person, student, ta].into_iter().collect())
+            .unwrap();
+        let view = vm.view(v).unwrap().clone();
+        (db, view)
+    }
+
+    fn script_of(db: &Database, view: &ViewSchema, change: &SchemaChange) -> String {
+        translate(db, view, change).unwrap().script.render(db)
+    }
+
+    #[test]
+    fn add_attribute_script_matches_section_6_1_2() {
+        let (db, view) = setup();
+        let change = SchemaChange::AddAttribute {
+            class: "Student".into(),
+            name: "register".into(),
+            vtype: ValueType::Bool,
+            default: Value::Bool(false),
+            required: false,
+        };
+        let script = script_of(&db, &view, &change);
+        assert_eq!(
+            script,
+            "defineVC Student' as (refine register for Student)\n\
+             defineVC TA' as (refine Student':register for TA)\n"
+        );
+        // Replacements cover exactly the subtree.
+        let plan = translate(&db, &view, &change).unwrap();
+        assert_eq!(plan.replacements.len(), 2);
+        assert!(plan.additions.is_empty() && plan.removals.is_empty());
+    }
+
+    #[test]
+    fn delete_attribute_script_matches_section_6_2_2() {
+        let (db, view) = setup();
+        let change =
+            SchemaChange::DeleteAttribute { class: "Student".into(), name: "gpa".into() };
+        let script = script_of(&db, &view, &change);
+        assert_eq!(
+            script,
+            "defineVC Student' as (hide gpa from Student)\n\
+             defineVC TA' as (hide gpa from TA)\n"
+        );
+    }
+
+    #[test]
+    fn add_edge_script_matches_section_6_5_2() {
+        let (mut db, _) = setup();
+        // Extend with a Staff branch so the union side has work to do.
+        let person = db.schema().by_name("Person").unwrap();
+        let staff = db.schema_mut().create_base_class("Staff", &[person]).unwrap();
+        db.schema_mut()
+            .add_local_prop(
+                staff,
+                PropertyDef::stored("salary", ValueType::Int, Value::Int(0)),
+                None,
+            )
+            .unwrap();
+        let mut vm = ViewManager::new();
+        let classes: std::collections::BTreeSet<_> = ["Person", "Student", "TA", "Staff"]
+            .iter()
+            .map(|n| db.schema().by_name(n).unwrap())
+            .collect();
+        let v = vm.create_view(&db, "VS", classes).unwrap();
+        let view = vm.view(v).unwrap().clone();
+
+        let change = SchemaChange::AddEdge { sup: "Staff".into(), sub: "TA".into() };
+        let script = script_of(&db, &view, &change);
+        // Subclass side first (refine with Staff's properties), then the
+        // union for Staff itself — Person is already above TA, so no union
+        // for it.
+        assert_eq!(
+            script,
+            "defineVC TA' as (refine Staff:salary for TA)\n\
+             defineVC Staff' as (union Staff and TA')\n\
+             -- route create/add on Staff': First\n"
+        );
+    }
+
+    #[test]
+    fn delete_edge_script_has_diff_and_hide_sides() {
+        let (db, view) = setup();
+        let change = SchemaChange::DeleteEdge {
+            sup: "Student".into(),
+            sub: "TA".into(),
+            connected_to: Some("Person".into()),
+        };
+        let script = script_of(&db, &view, &change);
+        assert!(script.contains("(difference Student and TA)"), "{script}");
+        // With connected_to Person, the TA side hides only Student's props.
+        assert!(script.contains("defineVC TA' as (hide gpa from TA)"), "{script}");
+        // Person keeps TA (re-attached below it): no Person replacement.
+        assert!(!script.contains("Person#diff"), "{script}");
+    }
+
+    #[test]
+    fn add_class_under_base_is_a_single_base_statement() {
+        let (db, view) = setup();
+        let change = SchemaChange::AddClass {
+            name: "Tutor".into(),
+            connected_to: Some("Student".into()),
+        };
+        let plan = translate(&db, &view, &change).unwrap();
+        assert_eq!(plan.script.render(&db), "defineBaseClass Tutor under Student\n");
+        assert_eq!(plan.additions, vec![("Tutor".to_string(), "Tutor".to_string())]);
+    }
+
+    #[test]
+    fn connected_to_must_be_a_proper_superclass() {
+        let (db, view) = setup();
+        let bad = SchemaChange::DeleteEdge {
+            sup: "Student".into(),
+            sub: "TA".into(),
+            connected_to: Some("TA".into()),
+        };
+        assert!(translate(&db, &view, &bad).is_err());
+        let bad2 = SchemaChange::DeleteEdge {
+            sup: "Student".into(),
+            sub: "TA".into(),
+            connected_to: Some("Student".into()),
+        };
+        assert!(translate(&db, &view, &bad2).is_err(), "must be a *proper* superclass");
+    }
+}

@@ -1,0 +1,172 @@
+//! Translation of `add_class` (§6.7).
+//!
+//! The subtle operator: the new class must (a) obey the membership
+//! constraints of its connection-point class, (b) be its direct subclass,
+//! and (c) start empty. Figure 13 shows why naive alternatives fail; the
+//! working scheme creates one fresh *base* class under every **origin**
+//! (base) class of the connection point and replays the connection point's
+//! derivation chain over the substituted origins.
+
+use std::collections::BTreeMap;
+
+use std::collections::BTreeSet;
+
+use tse_algebra::{derivation_chain, ClassRef, Query};
+use tse_object_model::{
+    ClassId, ClassKind, Database, Derivation, ModelError, ModelResult, Schema,
+};
+
+/// Origin classes along the *extent-contributing* arguments only. A
+/// difference's second argument is a constraint, not an extent source:
+/// substituting it would break the guarantee that the replayed class is a
+/// subclass of the connection point (`x1 ∖ C4 ⊆ C2 ∖ C4` holds; with a
+/// replayed subtrahend it does not).
+fn replay_origins(schema: &Schema, class: ClassId) -> ModelResult<BTreeSet<ClassId>> {
+    let mut out = BTreeSet::new();
+    let mut stack = vec![class];
+    let mut seen = BTreeSet::new();
+    while let Some(c) = stack.pop() {
+        if !seen.insert(c) {
+            continue;
+        }
+        match &schema.class(c)?.kind {
+            ClassKind::Base => {
+                out.insert(c);
+            }
+            ClassKind::Virtual(d) => match d {
+                Derivation::Select { src, .. }
+                | Derivation::Hide { src, .. }
+                | Derivation::Refine { src, .. } => stack.push(*src),
+                Derivation::Union { a, b } | Derivation::Intersect { a, b } => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+                Derivation::Difference { a, .. } => stack.push(*a),
+            },
+        }
+    }
+    Ok(out)
+}
+use tse_view::ViewSchema;
+
+use super::{base_ref, ChangePlan, NamePool};
+
+/// §6.7.2 — `add_class C_add [connected_to C_sup]`.
+pub fn translate_add_class(
+    db: &Database,
+    view: &ViewSchema,
+    name_local: &str,
+    connected_to: Option<&str>,
+) -> ModelResult<ChangePlan> {
+    if view.lookup(db, name_local).is_ok() {
+        return Err(ModelError::DuplicateClassName(name_local.to_string()));
+    }
+    let mut plan = ChangePlan::default();
+    let mut pool = NamePool::new();
+
+    let c_sup = match connected_to {
+        Some(s) => Some(view.lookup(db, s)?),
+        None => None,
+    };
+
+    match c_sup {
+        None => {
+            // Unconnected: a fresh base class under the global root.
+            let global = pool.fresh(db, name_local);
+            plan.script.define_base(global.clone(), vec![base_ref(db.schema().root())]);
+            plan.additions.push((global, name_local.to_string()));
+        }
+        Some(sup) if db.schema().class(sup)?.is_base() => {
+            // Base connection point: plain direct subclass.
+            let global = pool.fresh(db, name_local);
+            plan.script.define_base(global.clone(), vec![base_ref(sup)]);
+            plan.additions.push((global, name_local.to_string()));
+        }
+        Some(sup) => {
+            // Virtual connection point: substitute fresh base classes for the
+            // origins, then replay the derivation chain.
+            let origins = replay_origins(db.schema(), sup)?;
+            let mut subst: BTreeMap<ClassId, String> = BTreeMap::new();
+            for (i, origin) in origins.iter().enumerate() {
+                let base_name = pool.fresh(db, &format!("{name_local}_x{}", i + 1));
+                plan.script.define_base(base_name.clone(), vec![base_ref(*origin)]);
+                subst.insert(*origin, base_name);
+            }
+            // Replay every virtual class in the chain, in dependency order.
+            let chain = derivation_chain(db.schema(), sup)?;
+            let mut replay_name: BTreeMap<ClassId, String> = BTreeMap::new();
+            for (i, vc) in chain.iter().enumerate() {
+                let is_final = *vc == sup;
+                let new_name = if is_final {
+                    pool.fresh(db, name_local)
+                } else {
+                    pool.fresh(db, &format!("{name_local}#r{}", i + 1))
+                };
+                let query = replay_query(db, *vc, &subst, &replay_name)?;
+                plan.script.define(new_name.clone(), query);
+                replay_name.insert(*vc, new_name.clone());
+                if is_final {
+                    plan.additions.push((new_name, name_local.to_string()));
+                }
+            }
+        }
+    }
+    Ok(plan)
+}
+
+/// Rebuild the defining query of `vc` with sources substituted: origins map
+/// to the fresh base classes, chain members to their replays; anything else
+/// (e.g. refine-inherited definition holders) is kept as is so property
+/// definitions stay *shared* — which is what keeps the replayed class a
+/// subtype of the original.
+fn replay_query(
+    db: &Database,
+    vc: ClassId,
+    subst: &BTreeMap<ClassId, String>,
+    replays: &BTreeMap<ClassId, String>,
+) -> ModelResult<Query> {
+    let map_src = |c: ClassId| -> Query {
+        if let Some(n) = replays.get(&c) {
+            Query::class_name(n)
+        } else if let Some(n) = subst.get(&c) {
+            Query::class_name(n)
+        } else {
+            Query::Class(c)
+        }
+    };
+    let cls = db.schema().class(vc)?;
+    let derivation = match &cls.kind {
+        ClassKind::Base => {
+            return Err(ModelError::NotAVirtualClass(vc));
+        }
+        ClassKind::Virtual(d) => d.clone(),
+    };
+    Ok(match derivation {
+        Derivation::Select { src, pred } => Query::Select { src: Box::new(map_src(src)), pred },
+        Derivation::Hide { src, hidden } => {
+            Query::Hide { src: Box::new(map_src(src)), props: hidden }
+        }
+        Derivation::Refine { src, new_props, inherited } => {
+            // Freshly defined properties of the original become *shared*
+            // (by-reference) properties of the replay.
+            let mut inh: Vec<(ClassRef, String)> = Vec::new();
+            for key in new_props {
+                let (_, def) = db.schema().def_by_key(key)?;
+                inh.push((ClassRef::Id(vc), def.name.clone()));
+            }
+            for (_, key) in inherited {
+                let (holder, def) = db.schema().def_by_key(key)?;
+                inh.push((ClassRef::Id(holder), def.name.clone()));
+            }
+            Query::Refine { src: Box::new(map_src(src)), new_props: vec![], inherited: inh }
+        }
+        Derivation::Union { a, b } => Query::Union(Box::new(map_src(a)), Box::new(map_src(b))),
+        Derivation::Difference { a, b } => {
+            // Keep the subtrahend as-is (constraint, not extent source).
+            Query::Difference(Box::new(map_src(a)), Box::new(Query::Class(b)))
+        }
+        Derivation::Intersect { a, b } => {
+            Query::Intersect(Box::new(map_src(a)), Box::new(map_src(b)))
+        }
+    })
+}

@@ -1,0 +1,273 @@
+//! Translation of the hierarchy-changing edge operators (§6.5–§6.6).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use tse_algebra::Query;
+use tse_object_model::{ClassId, Database, ModelError, ModelResult};
+use tse_view::ViewSchema;
+
+use super::{query_name, union_route_first, view_subclasses_stopping, view_superclasses, ChangePlan, NamePool};
+
+/// §6.5.2 — `add_edge C_sup - C_sub`:
+///
+/// ```text
+/// defineVC w' as (refine properties of C_sup for w)   -- per subclass w of C_sub
+/// defineVC v' as (union v and C_sub')                 -- per superclass v of C_sup
+///                                                     -- not already above C_sub
+/// ```
+pub fn translate_add_edge(
+    db: &Database,
+    view: &ViewSchema,
+    sup_local: &str,
+    sub_local: &str,
+) -> ModelResult<ChangePlan> {
+    let c_sup = view.lookup(db, sup_local)?;
+    let c_sub = view.lookup(db, sub_local)?;
+    if c_sup == c_sub {
+        return Err(ModelError::CycleDetected { sup: c_sup, sub: c_sub });
+    }
+    if view.is_sub_in_view(c_sub, c_sup) {
+        return Err(ModelError::Invalid(format!(
+            "{sub_local:?} is already a subclass of {sup_local:?} in this view"
+        )));
+    }
+    if view.is_sub_in_view(c_sup, c_sub) {
+        return Err(ModelError::CycleDetected { sup: c_sup, sub: c_sub });
+    }
+
+    // Properties of C_sup to be inherited by C_sub and its subclasses.
+    let sup_type = db.schema().resolved_type(c_sup)?;
+    let mut sup_props: Vec<String> = Vec::new();
+    for (name, rp) in &sup_type.props {
+        if rp.is_ambiguous() {
+            return Err(ModelError::AmbiguousProperty { class: c_sup, name: name.clone() });
+        }
+        sup_props.push(name.clone());
+    }
+
+    let mut plan = ChangePlan::default();
+    let mut pool = NamePool::new();
+
+    // Subclass side: refine each w with C_sup's properties, skipping names w
+    // already has (overriding semantics).
+    let subs = view_subclasses_stopping(db, view, c_sub, None)?;
+    let mut sub_prime_name: BTreeMap<ClassId, String> = BTreeMap::new();
+    for w in subs {
+        let w_type = db.schema().resolved_type(w)?;
+        let to_add: Vec<(ClassId, &str)> = sup_props
+            .iter()
+            .filter(|p| !w_type.contains_name(p))
+            .map(|p| (c_sup, p.as_str()))
+            .collect();
+        if to_add.is_empty() {
+            continue; // type unchanged; w keeps serving
+        }
+        let primed = pool.fresh(db, &db.schema().class(w)?.name);
+        plan.script.define(primed.clone(), Query::refine_inherit(Query::class(w), to_add));
+        plan.replacements.push((w, primed.clone()));
+        sub_prime_name.insert(w, primed);
+    }
+    // The class that now stands for C_sub (primed or original).
+    let c_sub_now: Query = match sub_prime_name.get(&c_sub) {
+        Some(n) => query_name(n),
+        None => Query::class(c_sub),
+    };
+
+    // Superclass side: add C_sub's extent to C_sup and its superclasses not
+    // already above C_sub. Processed topmost-first: the union class for a
+    // lower superclass is classified *after* the unions of its ancestors, so
+    // it slots in beneath them and inherits their (shared) properties —
+    // otherwise the ∩-typed union would lose properties its sources inherit
+    // from classes it is not below.
+    let unsorted = view_superclasses(view, c_sup);
+    let mut supers: Vec<ClassId> = Vec::with_capacity(unsorted.len());
+    let mut remaining = unsorted;
+    while !remaining.is_empty() {
+        // Emit every class with no un-emitted strict ancestor in the set.
+        let (ready, rest): (Vec<ClassId>, Vec<ClassId>) = remaining.iter().partition(|v| {
+            !remaining
+                .iter()
+                .any(|other| other != *v && view.is_sub_in_view(**v, *other))
+        });
+        debug_assert!(!ready.is_empty(), "view graph must be acyclic");
+        supers.extend(ready);
+        remaining = rest;
+    }
+    for v in supers {
+        if view.is_sub_in_view(c_sub, v) {
+            continue; // already a superclass of C_sub: extent unchanged
+        }
+        let primed = pool.fresh(db, &db.schema().class(v)?.name);
+        plan.script.define(
+            primed.clone(),
+            Query::union(Query::class(v), c_sub_now.clone()),
+        );
+        // §6.5.4: create/add on the union propagate to the substituted
+        // source class.
+        union_route_first(&mut plan.script, &primed);
+        plan.replacements.push((v, primed));
+    }
+    Ok(plan)
+}
+
+/// §6.6.2 — `delete_edge C_sup - C_sub [connected_to C_upper]`:
+///
+/// ```text
+/// defineVC X  as union(commonSub(v, C_sub))            -- per superclass v
+/// defineVC v' as union(diff(v, C_sub), X)
+/// defineVC w' as (hide findProperties(w, edge) from w) -- per subclass w
+/// ```
+pub fn translate_delete_edge(
+    db: &Database,
+    view: &ViewSchema,
+    sup_local: &str,
+    sub_local: &str,
+    connected_to: Option<&str>,
+) -> ModelResult<ChangePlan> {
+    let c_sup = view.lookup(db, sup_local)?;
+    let c_sub = view.lookup(db, sub_local)?;
+    if !view.edges.contains(&(c_sup, c_sub)) {
+        return Err(ModelError::UnknownEdge { sup: c_sup, sub: c_sub });
+    }
+    let upper: Option<ClassId> = match connected_to {
+        Some(u) => {
+            let u_id = view.lookup(db, u)?;
+            if !view.is_sub_in_view(c_sup, u_id) || u_id == c_sup {
+                return Err(ModelError::Invalid(format!(
+                    "connected_to target {u:?} must be a proper superclass of {sup_local:?}"
+                )));
+            }
+            Some(u_id)
+        }
+        None => None,
+    };
+
+    // The modified view graph: edge removed, optional re-attachment added.
+    let mut edges: Vec<(ClassId, ClassId)> =
+        view.edges.iter().copied().filter(|e| *e != (c_sup, c_sub)).collect();
+    if let Some(u) = upper {
+        edges.push((u, c_sub));
+    }
+    let modified = ViewSchema { edges, ..view.clone() };
+
+    let mut plan = ChangePlan::default();
+    let mut pool = NamePool::new();
+    // Superclasses already replaced by this plan (nearest first — BFS order
+    // guarantees a retained branch's own replacement exists before any
+    // ancestor references it).
+    let mut replaced: BTreeMap<ClassId, String> = BTreeMap::new();
+
+    // --- superclass side -------------------------------------------------
+    for v in view_superclasses(view, c_sup) {
+        if modified.is_sub_in_view(c_sub, v) {
+            continue; // still a superclass through another path
+        }
+        // The classes whose instances remain visible to v: the paper's
+        // commonSub(v, C_sub) — classes still below both v and C_sub in the
+        // modified graph (Figure 11) — generalized to *every* view class
+        // still below v, so that v's untouched subclass branches provably
+        // stay inside the recomputed v' (their extents were inside v before
+        // and direct-change semantics keeps them there).
+        let retained: Vec<ClassId> = modified
+            .classes
+            .iter()
+            .copied()
+            .filter(|x| *x != v && *x != c_sub && modified.is_sub_in_view(*x, v))
+            .collect();
+        let maximal: Vec<ClassId> = retained
+            .iter()
+            .copied()
+            .filter(|x| {
+                !retained
+                    .iter()
+                    .any(|other| other != x && other != &v && modified.is_sub_in_view(*x, *other))
+            })
+            .collect();
+
+        // Flattened statement chain: one class per statement so the TSEM can
+        // classify (and duplicate-fold) each in turn.
+        let v_name = db.schema().class(v)?.name.clone();
+        let diff_name = pool.fresh(db, &format!("{v_name}#diff"));
+        plan.script.define(
+            diff_name.clone(),
+            Query::difference(Query::class(v), Query::class(c_sub)),
+        );
+        // A retained branch rooted at an already-replaced superclass (e.g.
+        // C_sup itself, seen from a higher v) must contribute its *new*
+        // extent, so reference the replacement.
+        let arm = |x: ClassId| -> Query {
+            match replaced.get(&x) {
+                Some(name) => query_name(name),
+                None => Query::class(x),
+            }
+        };
+        if maximal.is_empty() {
+            replaced.insert(v, diff_name.clone());
+            plan.replacements.push((v, diff_name));
+        } else {
+            // X = union of the retained-branch classes.
+            let mut x_query = arm(maximal[0]);
+            for c in &maximal[1..] {
+                let next = pool.fresh(db, &format!("{v_name}#common"));
+                plan.script.define(next.clone(), Query::union(x_query, arm(*c)));
+                union_route_first(&mut plan.script, &next);
+                x_query = query_name(&next);
+            }
+            let primed = pool.fresh(db, &v_name);
+            plan.script.define(
+                primed.clone(),
+                Query::union(query_name(&diff_name), x_query),
+            );
+            union_route_first(&mut plan.script, &primed);
+            replaced.insert(v, primed.clone());
+            plan.replacements.push((v, primed));
+        }
+    }
+
+    // --- subclass side ----------------------------------------------------
+    // Visible property names per class in a graph, computed bottom-up: the
+    // residue a class introduces w.r.t. the *original* view plus everything
+    // its (graph-)superclasses see. findProperties(w) is then the original
+    // type minus the modified-graph visibility.
+    let residue = |c: ClassId| -> ModelResult<BTreeSet<String>> {
+        let own: BTreeSet<String> =
+            db.schema().resolved_type(c)?.props.keys().cloned().collect();
+        let mut inherited = BTreeSet::new();
+        for sup in view.supers_in_view(c) {
+            inherited.extend(db.schema().resolved_type(sup)?.props.keys().cloned());
+        }
+        Ok(own.difference(&inherited).cloned().collect())
+    };
+    fn visible(
+        graph: &ViewSchema,
+        c: ClassId,
+        residue: &dyn Fn(ClassId) -> ModelResult<BTreeSet<String>>,
+        memo: &mut BTreeMap<ClassId, BTreeSet<String>>,
+    ) -> ModelResult<BTreeSet<String>> {
+        if let Some(v) = memo.get(&c) {
+            return Ok(v.clone());
+        }
+        let mut out = residue(c)?;
+        for sup in graph.supers_in_view(c) {
+            out.extend(visible(graph, sup, residue, memo)?);
+        }
+        memo.insert(c, out.clone());
+        Ok(out)
+    }
+
+    let mut memo = BTreeMap::new();
+    for w in view_subclasses_stopping(db, view, c_sub, None)? {
+        let full: BTreeSet<String> =
+            db.schema().resolved_type(w)?.props.keys().cloned().collect();
+        let vis = visible(&modified, w, &residue, &mut memo)?;
+        let lost: Vec<String> = full.difference(&vis).cloned().collect();
+        if lost.is_empty() {
+            continue;
+        }
+        let primed = pool.fresh(db, &db.schema().class(w)?.name);
+        let lost_refs: Vec<&str> = lost.iter().map(|s| s.as_str()).collect();
+        plan.script.define(primed.clone(), Query::hide(Query::class(w), &lost_refs));
+        plan.replacements.push((w, primed));
+    }
+    Ok(plan)
+}

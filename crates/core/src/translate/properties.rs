@@ -1,0 +1,144 @@
+//! Translation of the content-changing operators: add/delete attribute and
+//! add/delete method (§6.1–§6.4). Methods reuse the attribute algorithms —
+//! "the algorithm for this schema update is the same as that of the
+//! add_attribute operator".
+
+use tse_algebra::Query;
+use tse_object_model::{
+    ClassId, Database, ModelError, ModelResult, PendingProp,
+};
+use tse_view::ViewSchema;
+
+use super::{query_name, view_subclasses_stopping, view_superclasses, ChangePlan, NamePool};
+
+/// §6.1.2 / §6.3.2 — `add_attribute x to C` / `add_method m to C`:
+///
+/// ```text
+/// defineVC C'      as (refine x for C)
+/// defineVC C_sub'  as (refine C':x for C_sub)     -- per subclass, unless
+///                                                 -- x is locally defined
+/// ```
+pub fn translate_add_property(
+    db: &Database,
+    view: &ViewSchema,
+    class_local: &str,
+    prop: PendingProp,
+) -> ModelResult<ChangePlan> {
+    let class = view.lookup(db, class_local)?;
+    // "If there is a property in class C with the same name x, the operation
+    // is rejected."
+    if db.schema().resolved_type(class)?.contains_name(&prop.name) {
+        return Err(ModelError::PropertyExists { class, name: prop.name });
+    }
+    let mut plan = ChangePlan::default();
+    let mut pool = NamePool::new();
+    let prop_name = prop.name.clone();
+
+    let targets = view_subclasses_stopping(db, view, class, Some(&prop_name))?;
+    let root_primed = pool.fresh(db, &db.schema().class(class)?.name);
+    plan.script.define(
+        root_primed.clone(),
+        Query::refine(Query::class(class), vec![prop]),
+    );
+    plan.replacements.push((class, root_primed.clone()));
+
+    for sub in targets.into_iter().skip(1) {
+        let primed = pool.fresh(db, &db.schema().class(sub)?.name);
+        plan.script.define(
+            primed.clone(),
+            Query::refine_inherit(Query::class(sub), vec![(root_primed.as_str(), prop_name.as_str())]),
+        );
+        plan.replacements.push((sub, primed));
+    }
+    Ok(plan)
+}
+
+/// §6.2.2 / §6.4.2 — `delete_attribute x from C` / `delete_method m from C`:
+///
+/// ```text
+/// defineVC subC'   as (hide x from subC)          -- per subclass incl. C
+/// -- if x was overriding an inherited property from superC:
+/// defineVC subC''  as (refine superC:x for subC')
+/// ```
+pub fn translate_delete_property(
+    db: &Database,
+    view: &ViewSchema,
+    class_local: &str,
+    name: &str,
+) -> ModelResult<ChangePlan> {
+    let class = view.lookup(db, class_local)?;
+    let rt = db.schema().resolved_type(class)?;
+    if !rt.contains_name(name) {
+        return Err(ModelError::UnknownProperty { class, name: name.to_string() });
+    }
+    // Locality: the property is deletable at C when C *locally defines* it
+    // (including an overriding definition — deleting that restores the
+    // suppressed one), or — "local in terms of the view schema" — when C is
+    // the uppermost class of the view whose type carries it.
+    if db.schema().class(class)?.local(name).is_none() {
+        for anc in view_superclasses(view, class).into_iter().skip(1) {
+            if db.schema().resolved_type(anc)?.contains_name(name) {
+                return Err(ModelError::Invalid(format!(
+                    "{name:?} is not local to {class_local:?} in this view (inherited from {:?}); \
+                     only locally defined properties can be deleted",
+                    view.local_name(db, anc)?
+                )));
+            }
+        }
+    }
+
+    // Suppressed property restoration: C locally overrides a same-named
+    // property inherited from some (global) superclass.
+    let suppressed_from: Option<ClassId> = if db.schema().class(class)?.local(name).is_some() {
+        let mut found = None;
+        for sup in db.schema().class(class)?.direct_supers().to_vec() {
+            let sup_rt = db.schema().resolved_type(sup)?;
+            if let Ok(cand) = sup_rt.get_unique(sup, name) {
+                found = Some(cand.def_class);
+                break;
+            }
+        }
+        found
+    } else {
+        None
+    };
+
+    let mut plan = ChangePlan::default();
+    let mut pool = NamePool::new();
+    // Propagation stops at subclasses that *locally redefine* the name —
+    // their own definition survives the deletion of C's.
+    let mut targets = vec![class];
+    {
+        let mut queue = std::collections::VecDeque::from([class]);
+        let mut seen = std::collections::BTreeSet::from([class]);
+        while let Some(c) = queue.pop_front() {
+            for sub in view.subs_in_view(c) {
+                if !seen.insert(sub) {
+                    continue;
+                }
+                if db.schema().class(sub)?.local(name).is_some() {
+                    continue;
+                }
+                targets.push(sub);
+                queue.push_back(sub);
+            }
+        }
+    }
+
+    for target in targets {
+        let global = db.schema().class(target)?.name.clone();
+        let hidden = pool.fresh(db, &global);
+        plan.script.define(hidden.clone(), Query::hide(Query::class(target), &[name]));
+        if let Some(super_c) = suppressed_from {
+            let restored = pool.fresh(db, &global);
+            plan.script.define(
+                restored.clone(),
+                Query::refine_inherit(query_name(&hidden), vec![(super_c, name)]),
+            );
+            plan.replacements.push((target, restored));
+        } else {
+            plan.replacements.push((target, hidden));
+        }
+    }
+    Ok(plan)
+}

@@ -1,0 +1,479 @@
+//! Binary encoders/decoders for schema artifacts (types, method bodies,
+//! predicates, derivations, property definitions) — the building blocks of
+//! whole-database snapshots. Hand-rolled length-prefixed format, matching
+//! the storage crate's `Payload` conventions.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tse_storage::{Payload, StorageError, StorageResult};
+
+use crate::derivation::Derivation;
+use crate::ids::{ClassId, PropKey};
+use crate::method::{BinOp, MethodBody};
+use crate::predicate::{CmpOp, Predicate};
+use crate::property::{LocalProp, PropKind, PropertyDef};
+use crate::value::{Value, ValueType};
+
+fn corrupt(msg: &str) -> StorageError {
+    StorageError::Corrupt(msg.to_string())
+}
+
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+pub(crate) fn get_str(buf: &mut Bytes) -> StorageResult<String> {
+    if buf.remaining() < 4 {
+        return Err(corrupt("truncated string length"));
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(corrupt("truncated string body"));
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| corrupt("non-utf8 string"))
+}
+
+pub(crate) fn get_u8(buf: &mut Bytes) -> StorageResult<u8> {
+    if buf.remaining() < 1 {
+        return Err(corrupt("truncated u8"));
+    }
+    Ok(buf.get_u8())
+}
+
+pub(crate) fn get_u32(buf: &mut Bytes) -> StorageResult<u32> {
+    if buf.remaining() < 4 {
+        return Err(corrupt("truncated u32"));
+    }
+    Ok(buf.get_u32())
+}
+
+pub(crate) fn get_u64(buf: &mut Bytes) -> StorageResult<u64> {
+    if buf.remaining() < 8 {
+        return Err(corrupt("truncated u64"));
+    }
+    Ok(buf.get_u64())
+}
+
+// ----- ValueType -------------------------------------------------------------
+
+pub(crate) fn put_vtype(buf: &mut BytesMut, t: &ValueType) {
+    match t {
+        ValueType::Any => buf.put_u8(0),
+        ValueType::Bool => buf.put_u8(1),
+        ValueType::Int => buf.put_u8(2),
+        ValueType::Float => buf.put_u8(3),
+        ValueType::Str => buf.put_u8(4),
+        ValueType::Ref(c) => {
+            buf.put_u8(5);
+            buf.put_u32(c.0);
+        }
+        ValueType::List(inner) => {
+            buf.put_u8(6);
+            put_vtype(buf, inner);
+        }
+    }
+}
+
+pub(crate) fn get_vtype(buf: &mut Bytes) -> StorageResult<ValueType> {
+    Ok(match get_u8(buf)? {
+        0 => ValueType::Any,
+        1 => ValueType::Bool,
+        2 => ValueType::Int,
+        3 => ValueType::Float,
+        4 => ValueType::Str,
+        5 => ValueType::Ref(ClassId(get_u32(buf)?)),
+        6 => ValueType::List(Box::new(get_vtype(buf)?)),
+        t => return Err(corrupt(&format!("unknown vtype tag {t}"))),
+    })
+}
+
+// ----- MethodBody -------------------------------------------------------------
+
+fn binop_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Eq => 4,
+        BinOp::Ne => 5,
+        BinOp::Lt => 6,
+        BinOp::Le => 7,
+        BinOp::Gt => 8,
+        BinOp::Ge => 9,
+        BinOp::And => 10,
+        BinOp::Or => 11,
+    }
+}
+
+fn binop_from(tag: u8) -> StorageResult<BinOp> {
+    Ok(match tag {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Eq,
+        5 => BinOp::Ne,
+        6 => BinOp::Lt,
+        7 => BinOp::Le,
+        8 => BinOp::Gt,
+        9 => BinOp::Ge,
+        10 => BinOp::And,
+        11 => BinOp::Or,
+        t => return Err(corrupt(&format!("unknown binop tag {t}"))),
+    })
+}
+
+pub(crate) fn put_body(buf: &mut BytesMut, body: &MethodBody) {
+    match body {
+        MethodBody::Const(v) => {
+            buf.put_u8(0);
+            v.encode(buf);
+        }
+        MethodBody::Attr(name) => {
+            buf.put_u8(1);
+            put_str(buf, name);
+        }
+        MethodBody::Bin(op, a, b) => {
+            buf.put_u8(2);
+            buf.put_u8(binop_tag(*op));
+            put_body(buf, a);
+            put_body(buf, b);
+        }
+        MethodBody::Not(a) => {
+            buf.put_u8(3);
+            put_body(buf, a);
+        }
+        MethodBody::If(c, t, e) => {
+            buf.put_u8(4);
+            put_body(buf, c);
+            put_body(buf, t);
+            put_body(buf, e);
+        }
+        MethodBody::Len(a) => {
+            buf.put_u8(5);
+            put_body(buf, a);
+        }
+    }
+}
+
+pub(crate) fn get_body(buf: &mut Bytes) -> StorageResult<MethodBody> {
+    Ok(match get_u8(buf)? {
+        0 => MethodBody::Const(Value::decode(buf)?),
+        1 => MethodBody::Attr(get_str(buf)?),
+        2 => {
+            let op = binop_from(get_u8(buf)?)?;
+            MethodBody::Bin(op, Box::new(get_body(buf)?), Box::new(get_body(buf)?))
+        }
+        3 => MethodBody::Not(Box::new(get_body(buf)?)),
+        4 => MethodBody::If(
+            Box::new(get_body(buf)?),
+            Box::new(get_body(buf)?),
+            Box::new(get_body(buf)?),
+        ),
+        5 => MethodBody::Len(Box::new(get_body(buf)?)),
+        t => return Err(corrupt(&format!("unknown body tag {t}"))),
+    })
+}
+
+// ----- Predicate -------------------------------------------------------------
+
+fn cmp_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn cmp_from(tag: u8) -> StorageResult<CmpOp> {
+    Ok(match tag {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        t => return Err(corrupt(&format!("unknown cmp tag {t}"))),
+    })
+}
+
+pub(crate) fn put_pred(buf: &mut BytesMut, pred: &Predicate) {
+    match pred {
+        Predicate::True => buf.put_u8(0),
+        Predicate::Cmp { attr, op, value } => {
+            buf.put_u8(1);
+            put_str(buf, attr);
+            buf.put_u8(cmp_tag(*op));
+            value.encode(buf);
+        }
+        Predicate::IsSet(attr) => {
+            buf.put_u8(2);
+            put_str(buf, attr);
+        }
+        Predicate::Expr(body) => {
+            buf.put_u8(3);
+            put_body(buf, body);
+        }
+        Predicate::And(a, b) => {
+            buf.put_u8(4);
+            put_pred(buf, a);
+            put_pred(buf, b);
+        }
+        Predicate::Or(a, b) => {
+            buf.put_u8(5);
+            put_pred(buf, a);
+            put_pred(buf, b);
+        }
+        Predicate::Not(a) => {
+            buf.put_u8(6);
+            put_pred(buf, a);
+        }
+    }
+}
+
+pub(crate) fn get_pred(buf: &mut Bytes) -> StorageResult<Predicate> {
+    Ok(match get_u8(buf)? {
+        0 => Predicate::True,
+        1 => Predicate::Cmp {
+            attr: get_str(buf)?,
+            op: cmp_from(get_u8(buf)?)?,
+            value: Value::decode(buf)?,
+        },
+        2 => Predicate::IsSet(get_str(buf)?),
+        3 => Predicate::Expr(get_body(buf)?),
+        4 => Predicate::And(Box::new(get_pred(buf)?), Box::new(get_pred(buf)?)),
+        5 => Predicate::Or(Box::new(get_pred(buf)?), Box::new(get_pred(buf)?)),
+        6 => Predicate::Not(Box::new(get_pred(buf)?)),
+        t => return Err(corrupt(&format!("unknown predicate tag {t}"))),
+    })
+}
+
+// ----- Derivation -------------------------------------------------------------
+
+pub(crate) fn put_derivation(buf: &mut BytesMut, d: &Derivation) {
+    match d {
+        Derivation::Select { src, pred } => {
+            buf.put_u8(0);
+            buf.put_u32(src.0);
+            put_pred(buf, pred);
+        }
+        Derivation::Hide { src, hidden } => {
+            buf.put_u8(1);
+            buf.put_u32(src.0);
+            buf.put_u32(hidden.len() as u32);
+            for h in hidden {
+                put_str(buf, h);
+            }
+        }
+        Derivation::Refine { src, new_props, inherited } => {
+            buf.put_u8(2);
+            buf.put_u32(src.0);
+            buf.put_u32(new_props.len() as u32);
+            for k in new_props {
+                buf.put_u64(k.0);
+            }
+            buf.put_u32(inherited.len() as u32);
+            for (c, k) in inherited {
+                buf.put_u32(c.0);
+                buf.put_u64(k.0);
+            }
+        }
+        Derivation::Union { a, b } => {
+            buf.put_u8(3);
+            buf.put_u32(a.0);
+            buf.put_u32(b.0);
+        }
+        Derivation::Difference { a, b } => {
+            buf.put_u8(4);
+            buf.put_u32(a.0);
+            buf.put_u32(b.0);
+        }
+        Derivation::Intersect { a, b } => {
+            buf.put_u8(5);
+            buf.put_u32(a.0);
+            buf.put_u32(b.0);
+        }
+    }
+}
+
+pub(crate) fn get_derivation(buf: &mut Bytes) -> StorageResult<Derivation> {
+    Ok(match get_u8(buf)? {
+        0 => Derivation::Select { src: ClassId(get_u32(buf)?), pred: get_pred(buf)? },
+        1 => {
+            let src = ClassId(get_u32(buf)?);
+            let n = get_u32(buf)? as usize;
+            let mut hidden = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                hidden.push(get_str(buf)?);
+            }
+            Derivation::Hide { src, hidden }
+        }
+        2 => {
+            let src = ClassId(get_u32(buf)?);
+            let n = get_u32(buf)? as usize;
+            let mut new_props = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                new_props.push(PropKey(get_u64(buf)?));
+            }
+            let n = get_u32(buf)? as usize;
+            let mut inherited = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                inherited.push((ClassId(get_u32(buf)?), PropKey(get_u64(buf)?)));
+            }
+            Derivation::Refine { src, new_props, inherited }
+        }
+        3 => Derivation::Union { a: ClassId(get_u32(buf)?), b: ClassId(get_u32(buf)?) },
+        4 => Derivation::Difference { a: ClassId(get_u32(buf)?), b: ClassId(get_u32(buf)?) },
+        5 => Derivation::Intersect { a: ClassId(get_u32(buf)?), b: ClassId(get_u32(buf)?) },
+        t => return Err(corrupt(&format!("unknown derivation tag {t}"))),
+    })
+}
+
+// ----- properties -------------------------------------------------------------
+
+pub(crate) fn put_local_prop(buf: &mut BytesMut, lp: &LocalProp) {
+    buf.put_u64(lp.def.key.0);
+    put_str(buf, &lp.def.name);
+    match &lp.def.kind {
+        PropKind::Stored { vtype, default, required } => {
+            buf.put_u8(0);
+            put_vtype(buf, vtype);
+            default.encode(buf);
+            buf.put_u8(*required as u8);
+        }
+        PropKind::Method { body, vtype } => {
+            buf.put_u8(1);
+            put_body(buf, body);
+            put_vtype(buf, vtype);
+        }
+    }
+    match lp.promoted_from {
+        None => buf.put_u8(0),
+        Some(c) => {
+            buf.put_u8(1);
+            buf.put_u32(c.0);
+        }
+    }
+}
+
+pub(crate) fn get_local_prop(buf: &mut Bytes) -> StorageResult<LocalProp> {
+    let key = PropKey(get_u64(buf)?);
+    let name = get_str(buf)?;
+    let kind = match get_u8(buf)? {
+        0 => {
+            let vtype = get_vtype(buf)?;
+            let default = Value::decode(buf)?;
+            let required = get_u8(buf)? != 0;
+            PropKind::Stored { vtype, default, required }
+        }
+        1 => {
+            let body = get_body(buf)?;
+            let vtype = get_vtype(buf)?;
+            PropKind::Method { body, vtype }
+        }
+        t => return Err(corrupt(&format!("unknown prop kind tag {t}"))),
+    };
+    let promoted_from = match get_u8(buf)? {
+        0 => None,
+        1 => Some(ClassId(get_u32(buf)?)),
+        t => return Err(corrupt(&format!("bad promoted flag {t}"))),
+    };
+    Ok(LocalProp { def: PropertyDef { key, name, kind }, promoted_from })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_pred(p: Predicate) {
+        let mut buf = BytesMut::new();
+        put_pred(&mut buf, &p);
+        let mut b = buf.freeze();
+        assert_eq!(get_pred(&mut b).unwrap(), p);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn predicates_roundtrip() {
+        roundtrip_pred(Predicate::True);
+        roundtrip_pred(Predicate::cmp("age", CmpOp::Ge, 18).and(Predicate::IsSet("x".into())));
+        roundtrip_pred(
+            Predicate::Expr(MethodBody::bin(
+                BinOp::Add,
+                MethodBody::Attr("a".into()),
+                MethodBody::Const(Value::Float(1.5)),
+            ))
+            .or(Predicate::True.not()),
+        );
+    }
+
+    #[test]
+    fn derivations_roundtrip() {
+        let cases = vec![
+            Derivation::Select { src: ClassId(3), pred: Predicate::cmp("x", CmpOp::Lt, 5) },
+            Derivation::Hide { src: ClassId(1), hidden: vec!["a".into(), "b".into()] },
+            Derivation::Refine {
+                src: ClassId(2),
+                new_props: vec![PropKey(7)],
+                inherited: vec![(ClassId(4), PropKey(9))],
+            },
+            Derivation::Union { a: ClassId(1), b: ClassId(2) },
+            Derivation::Difference { a: ClassId(1), b: ClassId(2) },
+            Derivation::Intersect { a: ClassId(1), b: ClassId(2) },
+        ];
+        for d in cases {
+            let mut buf = BytesMut::new();
+            put_derivation(&mut buf, &d);
+            let mut b = buf.freeze();
+            assert_eq!(get_derivation(&mut b).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn local_props_roundtrip() {
+        let cases = vec![
+            LocalProp {
+                def: PropertyDef::required("ssn", ValueType::Str, Value::Null).with_key(PropKey(1)),
+                promoted_from: None,
+            },
+            LocalProp {
+                def: PropertyDef::method(
+                    "m",
+                    ValueType::List(Box::new(ValueType::Ref(ClassId(9)))),
+                    MethodBody::If(
+                        Box::new(MethodBody::Attr("c".into())),
+                        Box::new(MethodBody::Len(Box::new(MethodBody::Attr("s".into())))),
+                        Box::new(MethodBody::Const(Value::Int(0))),
+                    ),
+                )
+                .with_key(PropKey(2)),
+                promoted_from: Some(ClassId(5)),
+            },
+        ];
+        for lp in cases {
+            let mut buf = BytesMut::new();
+            put_local_prop(&mut buf, &lp);
+            let mut b = buf.freeze();
+            assert_eq!(get_local_prop(&mut b).unwrap(), lp);
+        }
+    }
+
+    #[test]
+    fn truncation_errors_not_panics() {
+        let mut buf = BytesMut::new();
+        put_derivation(
+            &mut buf,
+            &Derivation::Select { src: ClassId(3), pred: Predicate::cmp("x", CmpOp::Lt, 5) },
+        );
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut b = full.slice(..cut);
+            let _ = get_derivation(&mut b); // must not panic
+        }
+    }
+}

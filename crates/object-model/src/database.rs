@@ -1,0 +1,1127 @@
+//! The database: schema + objects under the object-slicing architecture.
+//!
+//! A *conceptual object* (one [`Oid`]) owns a set of *implementation
+//! objects* — slices — one per class that provides storage for some of its
+//! stored attributes. Slices live in per-class segments of the paged store,
+//! which is exactly the clustering the paper's Table 1 analyses. Reading an
+//! attribute through a class "perspective" may hop from the perspective's
+//! slice to the slice of the defining class; those hops are counted.
+//!
+//! Extents:
+//! * base-class extents are maintained from explicit membership
+//!   (`direct` classes per object; membership of a class implies membership
+//!   of all its superclasses);
+//! * virtual-class extents are *derived* from the class's [`Derivation`],
+//!   evaluated recursively and cached per (schema, data) generation.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tse_storage::{RecordId, SliceStore, StoreConfig, StoreStats};
+
+use crate::class::ClassKind;
+use crate::derivation::Derivation;
+use crate::error::{ModelError, ModelResult};
+use crate::ids::{ClassId, Oid, PropKey};
+use crate::method::{eval_body, AttrSource};
+use crate::property::PropKind;
+use crate::schema::{Candidate, Schema};
+use crate::value::Value;
+
+/// Maximum method-evaluation recursion depth (methods calling methods).
+const MAX_METHOD_DEPTH: u32 = 32;
+
+/// A typed handle: an object viewed *as* an instance of a class. Casting in
+/// the object-slicing architecture is "switching the representative
+/// implementation object" — here, switching the perspective class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjRef {
+    /// The conceptual object.
+    pub oid: Oid,
+    /// The class perspective.
+    pub class: ClassId,
+}
+
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ObjectEntry {
+    /// Most-specific base classes the object is an explicit member of.
+    direct: BTreeSet<ClassId>,
+    /// Implementation objects: class → slice record.
+    slices: BTreeMap<ClassId, RecordId>,
+    /// Where each stored attribute of this object lives (bound on first
+    /// write; models the conceptual↔implementation pointers).
+    home_of: HashMap<PropKey, ClassId>,
+}
+
+#[derive(Default)]
+struct ExtentCache {
+    schema_gen: u64,
+    data_gen: u64,
+    map: HashMap<ClassId, Arc<BTreeSet<Oid>>>,
+}
+
+/// Aggregate slicing statistics (Table 1 rows for the slicing column).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlicingStats {
+    /// Conceptual objects.
+    pub objects: u64,
+    /// Implementation objects (slices) across all objects.
+    pub implementation_objects: u64,
+    /// Object identifiers: `Σ (1 + N_impl)` per the paper.
+    pub oids: u64,
+    /// Managerial storage: `(1+N_impl)·sizeof(oid) + N_impl·2·sizeof(ptr)`.
+    pub managerial_bytes: u64,
+    /// Attribute-access slice hops since the last reset.
+    pub slice_hops: u64,
+    /// Classes in the global schema.
+    pub classes: u64,
+}
+
+/// The object database (slicing backend).
+pub struct Database {
+    schema: Schema,
+    store: SliceStore<Value>,
+    objects: BTreeMap<Oid, ObjectEntry>,
+    next_oid: u64,
+    /// Bumped on any object/value mutation; combined with the schema
+    /// generation it keys the extent cache.
+    data_gen: u64,
+    extent_cache: Mutex<ExtentCache>,
+    slice_hops: AtomicU64,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("classes", &self.schema.class_count())
+            .field("objects", &self.objects.len())
+            .finish()
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new(StoreConfig::default())
+    }
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new(config: StoreConfig) -> Self {
+        Database {
+            schema: Schema::new(),
+            store: SliceStore::new(config),
+            objects: BTreeMap::new(),
+            next_oid: 1,
+            data_gen: 0,
+            extent_cache: Mutex::new(ExtentCache::default()),
+            slice_hops: AtomicU64::new(0),
+        }
+    }
+
+    /// Read access to the global schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Mutable access to the global schema (classifier / algebra layers).
+    pub fn schema_mut(&mut self) -> &mut Schema {
+        &mut self.schema
+    }
+
+    /// Read access to the underlying store (bench counters).
+    pub fn store(&self) -> &SliceStore<Value> {
+        &self.store
+    }
+
+    /// Store access counters.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    fn touch_data(&mut self) {
+        self.data_gen += 1;
+    }
+
+    // ----- object lifecycle ------------------------------------------------
+
+    /// Create an object as a member of a *base* class, with initial
+    /// attribute values by name. Unspecified stored attributes take their
+    /// defaults; REQUIRED attributes must end up non-null.
+    pub fn create_object(
+        &mut self,
+        class: ClassId,
+        values: &[(&str, Value)],
+    ) -> ModelResult<Oid> {
+        if !self.schema.class(class)?.is_base() {
+            return Err(ModelError::NotABaseClass(class));
+        }
+        let rt = self.schema.resolved_type(class)?;
+        // Validate names up front.
+        for (name, _) in values {
+            rt.get_unique(class, name)?;
+        }
+        let oid = Oid(self.next_oid);
+        self.next_oid += 1;
+        let mut entry = ObjectEntry::default();
+        entry.direct.insert(class);
+        self.objects.insert(oid, entry);
+        self.touch_data();
+
+        // Initialize provided values (a failure — type error or constraint
+        // refusal — must not leave a half-created object behind).
+        for (name, value) in values {
+            if let Err(e) = self.write_attr(oid, class, name, value.clone()) {
+                self.delete_object(oid)?;
+                return Err(e);
+            }
+        }
+        // Required-attribute check (after defaults/explicit values).
+        let prop_names: Vec<String> = rt.props.keys().cloned().collect();
+        for name in prop_names {
+            let cand = match rt.get_unique(class, &name) {
+                Ok(c) => c.clone(),
+                Err(_) => continue, // ambiguous names can't be enforced
+            };
+            let (_, def) = self.schema.def_by_key(cand.key)?;
+            if let PropKind::Stored { required: true, .. } = &def.kind {
+                if self.read_attr(oid, class, &name)? == Value::Null {
+                    self.objects.remove(&oid);
+                    self.touch_data();
+                    return Err(ModelError::TypeMismatch {
+                        name,
+                        expected: "non-null (REQUIRED)".into(),
+                        got: "null".into(),
+                    });
+                }
+            }
+        }
+        // Class constraints ("the class predicate is checked", §3.3).
+        if let Err(e) = self.check_constraints(oid) {
+            self.delete_object(oid)?;
+            return Err(e);
+        }
+        Ok(oid)
+    }
+
+    /// Destroy an object entirely ("removed from all the classes which they
+    /// belong to").
+    pub fn delete_object(&mut self, oid: Oid) -> ModelResult<()> {
+        let entry = self.objects.remove(&oid).ok_or(ModelError::UnknownObject(oid))?;
+        for (_, rec) in entry.slices {
+            // A dangling record would be a leak, not a correctness issue;
+            // propagate errors anyway.
+            self.store.free(rec)?;
+        }
+        self.touch_data();
+        Ok(())
+    }
+
+    /// Add an existing object to a base class (generic `add` operator at the
+    /// base level). The object acquires the class's type.
+    pub fn add_to_class(&mut self, oid: Oid, class: ClassId) -> ModelResult<()> {
+        if !self.schema.class(class)?.is_base() {
+            return Err(ModelError::NotABaseClass(class));
+        }
+        let entry = self.objects.get_mut(&oid).ok_or(ModelError::UnknownObject(oid))?;
+        entry.direct.insert(class);
+        self.touch_data();
+        Ok(())
+    }
+
+    /// Remove an object from a base class (generic `remove`): it loses the
+    /// class's type, and with it every subclass's type.
+    pub fn remove_from_class(&mut self, oid: Oid, class: ClassId) -> ModelResult<()> {
+        if !self.schema.class(class)?.is_base() {
+            return Err(ModelError::NotABaseClass(class));
+        }
+        let doomed = self.schema.descendants(class);
+        let entry = self.objects.get_mut(&oid).ok_or(ModelError::UnknownObject(oid))?;
+        let before = entry.direct.len();
+        entry.direct.retain(|c| !doomed.contains(c));
+        if entry.direct.len() == before {
+            return Err(ModelError::NotAMember { oid, class });
+        }
+        self.touch_data();
+        Ok(())
+    }
+
+    /// Does the object exist?
+    pub fn object_exists(&self, oid: Oid) -> bool {
+        self.objects.contains_key(&oid)
+    }
+
+    /// The object's explicit (base-class) memberships.
+    pub fn direct_classes(&self, oid: Oid) -> ModelResult<BTreeSet<ClassId>> {
+        Ok(self.objects.get(&oid).ok_or(ModelError::UnknownObject(oid))?.direct.clone())
+    }
+
+    /// All live objects, in oid order.
+    pub fn all_objects(&self) -> impl Iterator<Item = Oid> + '_ {
+        self.objects.keys().copied()
+    }
+
+    /// Number of live objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    // ----- membership and extents -------------------------------------------
+
+    /// Is `oid` a member of `class` (base via explicit membership closure,
+    /// virtual via derived extent)?
+    pub fn is_member(&self, oid: Oid, class: ClassId) -> ModelResult<bool> {
+        let entry = match self.objects.get(&oid) {
+            Some(e) => e,
+            None => return Ok(false),
+        };
+        match &self.schema.class(class)?.kind {
+            ClassKind::Base => Ok(entry
+                .direct
+                .iter()
+                .any(|d| self.schema.is_sub_of(*d, class))),
+            ClassKind::Virtual(_) => Ok(self.extent(class)?.contains(&oid)),
+        }
+    }
+
+    /// The (global) extent of a class.
+    pub fn extent(&self, class: ClassId) -> ModelResult<Arc<BTreeSet<Oid>>> {
+        self.schema.class(class)?;
+        {
+            let cache = self.extent_cache.lock();
+            if cache.schema_gen == self.schema.generation() && cache.data_gen == self.data_gen {
+                if let Some(e) = cache.map.get(&class) {
+                    return Ok(Arc::clone(e));
+                }
+            }
+        }
+        let mut memo = HashMap::new();
+        let result = self.extent_rec(class, &mut memo)?;
+        let mut cache = self.extent_cache.lock();
+        if cache.schema_gen != self.schema.generation() || cache.data_gen != self.data_gen {
+            cache.schema_gen = self.schema.generation();
+            cache.data_gen = self.data_gen;
+            cache.map.clear();
+        }
+        for (id, e) in memo {
+            cache.map.insert(id, e);
+        }
+        Ok(result)
+    }
+
+    fn extent_rec(
+        &self,
+        class: ClassId,
+        memo: &mut HashMap<ClassId, Arc<BTreeSet<Oid>>>,
+    ) -> ModelResult<Arc<BTreeSet<Oid>>> {
+        if let Some(e) = memo.get(&class) {
+            return Ok(Arc::clone(e));
+        }
+        let cls = self.schema.class(class)?;
+        let result: BTreeSet<Oid> = match &cls.kind {
+            ClassKind::Base => self
+                .objects
+                .iter()
+                .filter(|(_, entry)| {
+                    entry.direct.iter().any(|d| self.schema.is_sub_of(*d, class))
+                })
+                .map(|(oid, _)| *oid)
+                .collect(),
+            ClassKind::Virtual(derivation) => match derivation.clone() {
+                Derivation::Select { src, pred } => {
+                    let base = self.extent_rec(src, memo)?;
+                    let mut out = BTreeSet::new();
+                    for oid in base.iter() {
+                        let src_view = ObjAttrSource { db: self, oid: *oid, via: src, depth: 0 };
+                        if pred.eval(&src_view)? {
+                            out.insert(*oid);
+                        }
+                    }
+                    out
+                }
+                Derivation::Hide { src, .. } | Derivation::Refine { src, .. } => {
+                    self.extent_rec(src, memo)?.as_ref().clone()
+                }
+                Derivation::Union { a, b } => {
+                    let ea = self.extent_rec(a, memo)?;
+                    let eb = self.extent_rec(b, memo)?;
+                    ea.union(&eb).copied().collect()
+                }
+                Derivation::Difference { a, b } => {
+                    let ea = self.extent_rec(a, memo)?;
+                    let eb = self.extent_rec(b, memo)?;
+                    ea.difference(&eb).copied().collect()
+                }
+                Derivation::Intersect { a, b } => {
+                    let ea = self.extent_rec(a, memo)?;
+                    let eb = self.extent_rec(b, memo)?;
+                    ea.intersection(&eb).copied().collect()
+                }
+            },
+        };
+        let arc = Arc::new(result);
+        memo.insert(class, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Cast an object to a class perspective (validating membership).
+    pub fn cast(&self, oid: Oid, class: ClassId) -> ModelResult<ObjRef> {
+        if self.is_member(oid, class)? {
+            Ok(ObjRef { oid, class })
+        } else {
+            Err(ModelError::NotAMember { oid, class })
+        }
+    }
+
+    // ----- attribute access ---------------------------------------------------
+
+    /// Resolve a property name at a class perspective.
+    pub fn resolve(&self, class: ClassId, name: &str) -> ModelResult<Candidate> {
+        let rt = self.schema.resolved_type(class)?;
+        Ok(rt.get_unique(class, name)?.clone())
+    }
+
+    /// Resolve a property for a specific object, with an upward-operator
+    /// fallback: a hide/union class that has not (yet) been classified into
+    /// the DAG owns no inherited properties, but an *object* accessed through
+    /// it can still delegate resolution to the source class(es) it belongs
+    /// to — the value is identical by object preservation.
+    fn resolve_for_object(&self, oid: Oid, via: ClassId, name: &str) -> ModelResult<Candidate> {
+        match self.resolve(via, name) {
+            Ok(c) => Ok(c),
+            Err(err @ ModelError::UnknownProperty { .. }) => {
+                if let ClassKind::Virtual(d) = &self.schema.class(via)?.kind {
+                    match d.clone() {
+                        Derivation::Hide { src, hidden } if !hidden.iter().any(|h| h == name) => {
+                            return self.resolve_for_object(oid, src, name);
+                        }
+                        Derivation::Union { a, b } => {
+                            if self.is_member(oid, a)? {
+                                if let Ok(c) = self.resolve_for_object(oid, a, name) {
+                                    return Ok(c);
+                                }
+                            }
+                            if self.is_member(oid, b)? {
+                                return self.resolve_for_object(oid, b, name);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                Err(err)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Read a property (stored attribute or method) through a perspective.
+    pub fn read_attr(&self, oid: Oid, via: ClassId, name: &str) -> ModelResult<Value> {
+        self.read_attr_depth(oid, via, name, 0)
+    }
+
+    fn read_attr_depth(
+        &self,
+        oid: Oid,
+        via: ClassId,
+        name: &str,
+        depth: u32,
+    ) -> ModelResult<Value> {
+        if depth > MAX_METHOD_DEPTH {
+            return Err(ModelError::MethodEval(format!("recursion limit at {name:?}")));
+        }
+        let cand = self.resolve_for_object(oid, via, name)?;
+        let (_, def) = self.schema.def_by_key(cand.key)?;
+        match def.kind.clone() {
+            PropKind::Stored { default, .. } => self.read_stored(oid, via, cand.key, default),
+            PropKind::Method { body, .. } => {
+                let src = ObjAttrSource { db: self, oid, via, depth: depth + 1 };
+                eval_body(&body, &src)
+            }
+        }
+    }
+
+    fn read_stored(
+        &self,
+        oid: Oid,
+        via: ClassId,
+        key: PropKey,
+        default: Value,
+    ) -> ModelResult<Value> {
+        let entry = self.objects.get(&oid).ok_or(ModelError::UnknownObject(oid))?;
+        let home = match entry.home_of.get(&key) {
+            Some(h) => *h,
+            // Never written → default value, no storage materialized.
+            None => return Ok(default),
+        };
+        // Slice-hop accounting: distance between perspective and home class.
+        let hops = self
+            .schema
+            .up_distance(via, home)
+            .or_else(|| self.schema.up_distance(home, via))
+            .unwrap_or(1) as u64;
+        self.slice_hops.fetch_add(hops, Ordering::Relaxed);
+        let rec = match entry.slices.get(&home) {
+            Some(r) => *r,
+            None => return Ok(default),
+        };
+        let idx = self
+            .schema
+            .class(home)?
+            .layout_index(key)
+            .ok_or_else(|| ModelError::Invalid(format!("home {home} lost layout for {key}")))?;
+        if idx >= self.store.field_count(rec)? {
+            // Slice predates a layout extension: value was never written.
+            return Ok(default);
+        }
+        Ok(self.store.read_field(rec, idx)?)
+    }
+
+    /// Invoke a property with *dynamic dispatch* (late binding): instead of
+    /// resolving at the caller's perspective class, resolve at the object's
+    /// own most specific classes — an overriding definition in a subclass
+    /// wins even when the caller only knows the superclass, exactly as in
+    /// the Smalltalk-style model the paper builds on. Distinct definitions
+    /// from incomparable direct classes are ambiguous.
+    pub fn invoke(&self, oid: Oid, via: ClassId, name: &str) -> ModelResult<Value> {
+        // The static resolution must exist (the caller's type must know the
+        // name at all).
+        self.resolve_for_object(oid, via, name)?;
+        let entry = self.objects.get(&oid).ok_or(ModelError::UnknownObject(oid))?;
+        // Gather the candidates seen from each direct class.
+        let mut winners: Vec<(ClassId, Candidate)> = Vec::new();
+        for d in entry.direct.clone() {
+            if let Ok(c) = self.resolve(d, name) {
+                if !winners.iter().any(|(_, w)| w.key == c.key) {
+                    winners.push((d, c));
+                }
+            }
+        }
+        // Keep the most specific definitions: drop any whose defining class
+        // is a strict ancestor of another winner's defining class.
+        let keep: Vec<(ClassId, Candidate)> = winners
+            .iter()
+            .filter(|(_, c)| {
+                !winners.iter().any(|(_, other)| {
+                    other.key != c.key && self.schema.is_sub_of(other.def_class, c.def_class)
+                })
+            })
+            .cloned()
+            .collect();
+        match keep.len() {
+            0 => self.read_attr(oid, via, name),
+            1 => self.read_attr(oid, keep[0].0, name),
+            _ => Err(ModelError::AmbiguousProperty { class: via, name: name.to_string() }),
+        }
+    }
+
+    /// Write a stored attribute through a perspective.
+    pub fn write_attr(
+        &mut self,
+        oid: Oid,
+        via: ClassId,
+        name: &str,
+        value: Value,
+    ) -> ModelResult<()> {
+        let cand = self.resolve_for_object(oid, via, name)?;
+        let (_, def) = self.schema.def_by_key(cand.key)?;
+        let (vtype, required) = match &def.kind {
+            PropKind::Stored { vtype, required, .. } => (vtype.clone(), *required),
+            PropKind::Method { .. } => return Err(ModelError::NotStored(name.to_string())),
+        };
+        if !vtype.admits(&value) {
+            return Err(ModelError::TypeMismatch {
+                name: name.to_string(),
+                expected: vtype.describe(),
+                got: format!("{value:?}"),
+            });
+        }
+        if required && value == Value::Null {
+            return Err(ModelError::TypeMismatch {
+                name: name.to_string(),
+                expected: "non-null (REQUIRED)".into(),
+                got: "null".into(),
+            });
+        }
+        if self.schema.constraint_count() == 0 {
+            return self.write_stored(oid, via, cand.key, value);
+        }
+        let old = self.read_attr(oid, via, name)?;
+        self.write_stored(oid, via, cand.key, value)?;
+        if let Err(e) = self.check_constraints(oid) {
+            // Refuse the update: restore the previous value (§3.3's
+            // "or even to refuse the update").
+            self.write_stored(oid, via, cand.key, old)?;
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Check every class constraint that applies to `oid` (constraints of
+    /// base classes the object belongs to).
+    fn check_constraints(&self, oid: Oid) -> ModelResult<()> {
+        if self.schema.constraint_count() == 0 {
+            return Ok(());
+        }
+        let constrained: Vec<ClassId> = self
+            .schema
+            .class_ids()
+            .filter(|c| {
+                self.schema.class(*c).map(|cls| cls.constraint().is_some()).unwrap_or(false)
+            })
+            .collect();
+        for c in constrained {
+            if !self.is_member(oid, c)? {
+                continue;
+            }
+            let pred = self.schema.class(c)?.constraint().cloned().expect("filtered");
+            let src = ObjAttrSource { db: self, oid, via: c, depth: 0 };
+            if !pred.eval(&src)? {
+                return Err(ModelError::Invalid(format!(
+                    "class constraint of {} refused the update on {oid}: {}",
+                    self.schema.class(c)?.name,
+                    pred.render()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn write_stored(
+        &mut self,
+        oid: Oid,
+        via: ClassId,
+        key: PropKey,
+        value: Value,
+    ) -> ModelResult<()> {
+        let home = self.bind_home(oid, via, key)?;
+        let rec = self.ensure_slice(oid, home)?;
+        let idx = self
+            .schema
+            .class(home)?
+            .layout_index(key)
+            .ok_or_else(|| ModelError::Invalid(format!("home {home} lost layout for {key}")))?;
+        // Dynamic restructuring: extend the slice record if the class layout
+        // grew after the slice was created.
+        while self.store.field_count(rec)? <= idx {
+            let fill_key = self.schema.class(home)?.stored_layout()[self.store.field_count(rec)?];
+            let fill = self.default_for(fill_key);
+            self.store.append_field(rec, fill)?;
+        }
+        self.store.write_field(rec, idx, value)?;
+        self.touch_data();
+        Ok(())
+    }
+
+    fn default_for(&self, key: PropKey) -> Value {
+        match self.schema.def_by_key(key) {
+            Ok((_, def)) => match &def.kind {
+                PropKind::Stored { default, .. } => default.clone(),
+                PropKind::Method { .. } => Value::Null,
+            },
+            Err(_) => Value::Null,
+        }
+    }
+
+    /// Decide (and remember) which class's slice stores `key` for `oid`.
+    ///
+    /// Preference order: an already-bound home; then the most specific class
+    /// with storage capability for `key` that the object is a member of.
+    fn bind_home(&mut self, oid: Oid, via: ClassId, key: PropKey) -> ModelResult<ClassId> {
+        if let Some(h) = self
+            .objects
+            .get(&oid)
+            .ok_or(ModelError::UnknownObject(oid))?
+            .home_of
+            .get(&key)
+        {
+            return Ok(*h);
+        }
+        // Capability classes: stored_layout contains the key.
+        let mut capable: Vec<ClassId> = self
+            .schema
+            .class_ids()
+            .filter(|c| {
+                self.schema
+                    .class(*c)
+                    .map(|cls| cls.stored_layout().contains(&key))
+                    .unwrap_or(false)
+            })
+            .collect();
+        // Keep only those the object belongs to.
+        let mut member_capable = Vec::new();
+        for c in capable.drain(..) {
+            if self.is_member(oid, c)? {
+                member_capable.push(c);
+            }
+        }
+        if member_capable.is_empty() {
+            return Err(ModelError::Invalid(format!(
+                "object {oid} (via {via}) has no storage-capable class for {key}"
+            )));
+        }
+        // Most specific: no other member-capable class strictly below it.
+        let chosen = *member_capable
+            .iter()
+            .find(|c| {
+                !member_capable
+                    .iter()
+                    .any(|other| *other != **c && self.schema.is_sub_of(*other, **c))
+            })
+            .unwrap_or(&member_capable[0]);
+        self.objects.get_mut(&oid).unwrap().home_of.insert(key, chosen);
+        Ok(chosen)
+    }
+
+    /// Materialize (or fetch) the slice of `oid` for `class`, creating the
+    /// class's segment on first use.
+    fn ensure_slice(&mut self, oid: Oid, class: ClassId) -> ModelResult<RecordId> {
+        if let Some(rec) = self
+            .objects
+            .get(&oid)
+            .ok_or(ModelError::UnknownObject(oid))?
+            .slices
+            .get(&class)
+        {
+            return Ok(*rec);
+        }
+        let seg = match self.schema.class(class)?.segment {
+            Some(s) => s,
+            None => {
+                let name = self.schema.class(class)?.name.clone();
+                let seg = self.store.create_segment(&name);
+                self.schema.class_mut(class)?.segment = Some(seg);
+                seg
+            }
+        };
+        let layout: Vec<PropKey> = self.schema.class(class)?.stored_layout().to_vec();
+        let fields: Vec<Value> = layout.iter().map(|k| self.default_for(*k)).collect();
+        let rec = self.store.insert(seg, fields)?;
+        self.objects.get_mut(&oid).unwrap().slices.insert(class, rec);
+        Ok(rec)
+    }
+
+    /// Number of implementation objects (slices) an object currently has.
+    pub fn slice_count(&self, oid: Oid) -> ModelResult<usize> {
+        Ok(self.objects.get(&oid).ok_or(ModelError::UnknownObject(oid))?.slices.len())
+    }
+
+    // ----- statistics ---------------------------------------------------------
+
+    /// Table 1 statistics for the slicing backend.
+    pub fn slicing_stats(&self) -> SlicingStats {
+        const OID_BYTES: u64 = 8;
+        const PTR_BYTES: u64 = 8;
+        let mut stats = SlicingStats {
+            classes: self.schema.class_count() as u64,
+            slice_hops: self.slice_hops.load(Ordering::Relaxed),
+            ..Default::default()
+        };
+        for entry in self.objects.values() {
+            let n_impl = entry.slices.len() as u64;
+            stats.objects += 1;
+            stats.implementation_objects += n_impl;
+            stats.oids += 1 + n_impl;
+            stats.managerial_bytes += (1 + n_impl) * OID_BYTES + n_impl * 2 * PTR_BYTES;
+        }
+        stats
+    }
+
+    /// Reset the slice-hop counter.
+    pub fn reset_slice_hops(&self) {
+        self.slice_hops.store(0, Ordering::Relaxed);
+    }
+
+    // ----- snapshot support ---------------------------------------------------
+
+    pub(crate) fn encode_objects_into(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_u32(self.objects.len() as u32);
+        for (oid, entry) in &self.objects {
+            buf.put_u64(oid.0);
+            buf.put_u32(entry.direct.len() as u32);
+            for c in &entry.direct {
+                buf.put_u32(c.0);
+            }
+            buf.put_u32(entry.slices.len() as u32);
+            for (class, rec) in &entry.slices {
+                buf.put_u32(class.0);
+                buf.put_u32(rec.segment.0);
+                buf.put_u32(rec.slot);
+            }
+            buf.put_u32(entry.home_of.len() as u32);
+            let mut homes: Vec<(PropKey, ClassId)> =
+                entry.home_of.iter().map(|(k, c)| (*k, *c)).collect();
+            homes.sort();
+            for (key, class) in homes {
+                buf.put_u64(key.0);
+                buf.put_u32(class.0);
+            }
+        }
+        buf.put_u64(self.next_oid);
+    }
+
+    pub(crate) fn decode_objects_from(
+        buf: &mut bytes::Bytes,
+    ) -> ModelResult<(BTreeMap<Oid, ObjectEntry>, u64)> {
+        use crate::codec::{get_u32, get_u64};
+        let n = get_u32(buf)? as usize;
+        let mut objects = BTreeMap::new();
+        for _ in 0..n {
+            let oid = Oid(get_u64(buf)?);
+            let mut entry = ObjectEntry::default();
+            let n_direct = get_u32(buf)? as usize;
+            for _ in 0..n_direct {
+                entry.direct.insert(ClassId(get_u32(buf)?));
+            }
+            let n_slices = get_u32(buf)? as usize;
+            for _ in 0..n_slices {
+                let class = ClassId(get_u32(buf)?);
+                let segment = tse_storage::SegmentId(get_u32(buf)?);
+                let slot = get_u32(buf)?;
+                entry.slices.insert(class, RecordId { segment, slot });
+            }
+            let n_homes = get_u32(buf)? as usize;
+            for _ in 0..n_homes {
+                let key = PropKey(get_u64(buf)?);
+                let class = ClassId(get_u32(buf)?);
+                entry.home_of.insert(key, class);
+            }
+            objects.insert(oid, entry);
+        }
+        let next_oid = get_u64(buf)?;
+        Ok((objects, next_oid))
+    }
+
+    pub(crate) fn from_parts(
+        schema: Schema,
+        store: SliceStore<Value>,
+        objects: BTreeMap<Oid, ObjectEntry>,
+        next_oid: u64,
+    ) -> Database {
+        Database {
+            schema,
+            store,
+            objects,
+            next_oid,
+            data_gen: 1,
+            extent_cache: Mutex::new(ExtentCache::default()),
+            slice_hops: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Attribute source for method/predicate evaluation against one object.
+struct ObjAttrSource<'a> {
+    db: &'a Database,
+    oid: Oid,
+    via: ClassId,
+    depth: u32,
+}
+
+impl AttrSource for ObjAttrSource<'_> {
+    fn get(&self, name: &str) -> ModelResult<Value> {
+        self.db.read_attr_depth(self.oid, self.via, name, self.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::{BinOp, MethodBody};
+    use crate::predicate::{CmpOp, Predicate};
+    use crate::property::PropertyDef;
+    use crate::value::ValueType;
+
+    fn university() -> (Database, ClassId, ClassId, ClassId) {
+        let mut db = Database::default();
+        let s = db.schema_mut();
+        let person = s.create_base_class("Person", &[]).unwrap();
+        let student = s.create_base_class("Student", &[person]).unwrap();
+        let ta = s.create_base_class("TA", &[student]).unwrap();
+        s.add_local_prop(person, PropertyDef::stored("name", ValueType::Str, Value::Null), None)
+            .unwrap();
+        s.add_local_prop(person, PropertyDef::stored("age", ValueType::Int, Value::Int(0)), None)
+            .unwrap();
+        s.add_local_prop(
+            student,
+            PropertyDef::stored("gpa", ValueType::Float, Value::Float(0.0)),
+            None,
+        )
+        .unwrap();
+        s.add_local_prop(ta, PropertyDef::stored("lecture", ValueType::Str, Value::Null), None)
+            .unwrap();
+        (db, person, student, ta)
+    }
+
+    #[test]
+    fn create_and_read_defaults() {
+        let (mut db, _, student, _) = university();
+        let o = db.create_object(student, &[("name", "ann".into())]).unwrap();
+        assert_eq!(db.read_attr(o, student, "name").unwrap(), Value::Str("ann".into()));
+        assert_eq!(db.read_attr(o, student, "age").unwrap(), Value::Int(0));
+        assert_eq!(db.read_attr(o, student, "gpa").unwrap(), Value::Float(0.0));
+    }
+
+    #[test]
+    fn membership_closure_up_the_hierarchy() {
+        let (mut db, person, student, ta) = university();
+        let o = db.create_object(ta, &[]).unwrap();
+        assert!(db.is_member(o, ta).unwrap());
+        assert!(db.is_member(o, student).unwrap());
+        assert!(db.is_member(o, person).unwrap());
+        assert!(db.is_member(o, db.schema().root()).unwrap());
+        let p = db.create_object(person, &[]).unwrap();
+        assert!(!db.is_member(p, student).unwrap());
+    }
+
+    #[test]
+    fn extents_include_subclass_members() {
+        let (mut db, person, student, ta) = university();
+        let o1 = db.create_object(person, &[]).unwrap();
+        let o2 = db.create_object(student, &[]).unwrap();
+        let o3 = db.create_object(ta, &[]).unwrap();
+        let ext = db.extent(person).unwrap();
+        assert_eq!(ext.len(), 3);
+        assert!(ext.contains(&o1) && ext.contains(&o2) && ext.contains(&o3));
+        assert_eq!(db.extent(student).unwrap().len(), 2);
+        assert_eq!(db.extent(ta).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn writes_are_visible_through_any_perspective() {
+        let (mut db, person, student, ta) = university();
+        let o = db.create_object(ta, &[("name", "kim".into())]).unwrap();
+        db.write_attr(o, ta, "age", Value::Int(25)).unwrap();
+        assert_eq!(db.read_attr(o, person, "age").unwrap(), Value::Int(25));
+        db.write_attr(o, person, "age", Value::Int(26)).unwrap();
+        assert_eq!(db.read_attr(o, student, "age").unwrap(), Value::Int(26));
+    }
+
+    #[test]
+    fn type_checking_on_write() {
+        let (mut db, _, student, _) = university();
+        let o = db.create_object(student, &[]).unwrap();
+        assert!(matches!(
+            db.write_attr(o, student, "age", Value::Str("old".into())),
+            Err(ModelError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            db.write_attr(o, student, "nope", Value::Int(1)),
+            Err(ModelError::UnknownProperty { .. })
+        ));
+    }
+
+    #[test]
+    fn required_attributes_enforced_on_create_and_write() {
+        let mut db = Database::default();
+        let c = db.schema_mut().create_base_class("C", &[]).unwrap();
+        db.schema_mut()
+            .add_local_prop(c, PropertyDef::required("ssn", ValueType::Str, Value::Null), None)
+            .unwrap();
+        assert!(db.create_object(c, &[]).is_err(), "missing REQUIRED value");
+        let o = db.create_object(c, &[("ssn", "123".into())]).unwrap();
+        assert!(db.write_attr(o, c, "ssn", Value::Null).is_err());
+    }
+
+    #[test]
+    fn methods_compute_from_stored_state() {
+        let (mut db, person, _, _) = university();
+        let body = MethodBody::bin(
+            BinOp::Ge,
+            MethodBody::Attr("age".into()),
+            MethodBody::Const(Value::Int(18)),
+        );
+        db.schema_mut()
+            .add_local_prop(person, PropertyDef::method("is_adult", ValueType::Bool, body), None)
+            .unwrap();
+        let o = db.create_object(person, &[("age", Value::Int(30))]).unwrap();
+        assert_eq!(db.read_attr(o, person, "is_adult").unwrap(), Value::Bool(true));
+        db.write_attr(o, person, "age", Value::Int(10)).unwrap();
+        assert_eq!(db.read_attr(o, person, "is_adult").unwrap(), Value::Bool(false));
+        assert!(matches!(
+            db.write_attr(o, person, "is_adult", Value::Bool(true)),
+            Err(ModelError::NotStored(_))
+        ));
+    }
+
+    #[test]
+    fn method_recursion_is_bounded() {
+        let mut db = Database::default();
+        let c = db.schema_mut().create_base_class("C", &[]).unwrap();
+        db.schema_mut()
+            .add_local_prop(
+                c,
+                PropertyDef::method("loop", ValueType::Any, MethodBody::Attr("loop".into())),
+                None,
+            )
+            .unwrap();
+        let o = db.create_object(c, &[]).unwrap();
+        assert!(matches!(db.read_attr(o, c, "loop"), Err(ModelError::MethodEval(_))));
+    }
+
+    #[test]
+    fn select_virtual_extent_filters_and_tracks_updates() {
+        let (mut db, person, _, _) = university();
+        let adult = db
+            .schema_mut()
+            .create_virtual_class(
+                "Adult",
+                Derivation::Select { src: person, pred: Predicate::cmp("age", CmpOp::Ge, 18) },
+            )
+            .unwrap();
+        let kid = db.create_object(person, &[("age", Value::Int(10))]).unwrap();
+        let grown = db.create_object(person, &[("age", Value::Int(40))]).unwrap();
+        let ext = db.extent(adult).unwrap();
+        assert!(ext.contains(&grown) && !ext.contains(&kid));
+        // Value update changes derived membership.
+        db.write_attr(kid, person, "age", Value::Int(20)).unwrap();
+        assert!(db.extent(adult).unwrap().contains(&kid));
+        assert!(db.is_member(kid, adult).unwrap());
+    }
+
+    #[test]
+    fn set_operation_extents() {
+        let (mut db, person, student, ta) = university();
+        let o_p = db.create_object(person, &[]).unwrap();
+        let o_s = db.create_object(student, &[]).unwrap();
+        let o_t = db.create_object(ta, &[]).unwrap();
+        let schema = db.schema_mut();
+        let uni = schema
+            .create_virtual_class("U", Derivation::Union { a: student, b: person })
+            .unwrap();
+        let diff = schema
+            .create_virtual_class("D", Derivation::Difference { a: person, b: student })
+            .unwrap();
+        let inter = schema
+            .create_virtual_class("I", Derivation::Intersect { a: person, b: ta })
+            .unwrap();
+        assert_eq!(db.extent(uni).unwrap().len(), 3);
+        let d = db.extent(diff).unwrap();
+        assert_eq!(d.as_ref(), &BTreeSet::from([o_p]));
+        let i = db.extent(inter).unwrap();
+        assert_eq!(i.as_ref(), &BTreeSet::from([o_t]));
+        let _ = o_s;
+    }
+
+    #[test]
+    fn refine_virtual_class_carries_new_stored_attribute() {
+        let (mut db, _, student, ta) = university();
+        // Student' = refine register for Student (capacity augmentation).
+        let sp = db
+            .schema_mut()
+            .create_refine_class(
+                "Student'",
+                student,
+                vec![PropertyDef::stored("register", ValueType::Bool, Value::Bool(false))],
+                vec![],
+            )
+            .unwrap();
+        let o = db.create_object(ta, &[]).unwrap();
+        // o is a member of Student' (extent = extent(Student)).
+        assert!(db.is_member(o, sp).unwrap());
+        assert_eq!(db.read_attr(o, sp, "register").unwrap(), Value::Bool(false));
+        db.write_attr(o, sp, "register", Value::Bool(true)).unwrap();
+        assert_eq!(db.read_attr(o, sp, "register").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn slices_materialize_lazily_per_defining_class() {
+        let (mut db, person, student, ta) = university();
+        let o = db.create_object(ta, &[]).unwrap();
+        assert_eq!(db.slice_count(o).unwrap(), 0, "no writes yet → no slices");
+        db.write_attr(o, ta, "name", "kim".into()).unwrap();
+        assert_eq!(db.slice_count(o).unwrap(), 1, "name lives in the Person slice");
+        db.write_attr(o, ta, "lecture", "db101".into()).unwrap();
+        assert_eq!(db.slice_count(o).unwrap(), 2);
+        // Slices land in the defining classes' segments.
+        let _ = (person, student);
+    }
+
+    #[test]
+    fn slice_hops_count_distance_to_defining_class() {
+        let (mut db, person, _, ta) = university();
+        let o = db.create_object(ta, &[]).unwrap();
+        db.write_attr(o, ta, "name", "kim".into()).unwrap();
+        db.reset_slice_hops();
+        let _ = db.read_attr(o, ta, "name").unwrap();
+        let hops_inherited = db.slicing_stats().slice_hops;
+        db.reset_slice_hops();
+        let _ = db.read_attr(o, person, "name").unwrap();
+        let hops_local = db.slicing_stats().slice_hops;
+        assert!(hops_inherited > hops_local, "inherited access hops more");
+        assert_eq!(hops_local, 0);
+        assert_eq!(hops_inherited, 2, "TA → Student → Person");
+    }
+
+    #[test]
+    fn remove_from_class_loses_subtypes_too() {
+        let (mut db, person, student, ta) = university();
+        let o = db.create_object(ta, &[]).unwrap();
+        db.add_to_class(o, person).unwrap();
+        db.remove_from_class(o, student).unwrap();
+        assert!(!db.is_member(o, ta).unwrap());
+        assert!(!db.is_member(o, student).unwrap());
+        assert!(db.is_member(o, person).unwrap(), "explicit Person membership survives");
+        assert!(matches!(
+            db.remove_from_class(o, student),
+            Err(ModelError::NotAMember { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_object_frees_slices_and_extents() {
+        let (mut db, _, student, _) = university();
+        let o = db.create_object(student, &[("name", "x".into())]).unwrap();
+        assert_eq!(db.store_stats().records_allocated, 1);
+        db.delete_object(o).unwrap();
+        assert!(!db.object_exists(o));
+        assert_eq!(db.store_stats().records_freed, 1);
+        assert!(db.extent(student).unwrap().is_empty());
+        assert!(db.delete_object(o).is_err());
+    }
+
+    #[test]
+    fn cast_validates_membership() {
+        let (mut db, person, student, _) = university();
+        let o = db.create_object(person, &[]).unwrap();
+        assert!(db.cast(o, person).is_ok());
+        assert!(matches!(db.cast(o, student), Err(ModelError::NotAMember { .. })));
+    }
+
+    #[test]
+    fn dynamic_classification_add_then_remove() {
+        let (db, _, student, _) = university();
+        let mut dbm = db;
+        let c2 = dbm.schema_mut().create_base_class("Employee", &[]).unwrap();
+        dbm.schema_mut()
+            .add_local_prop(
+                c2,
+                PropertyDef::stored("salary", ValueType::Int, Value::Int(0)),
+                None,
+            )
+            .unwrap();
+        let o = dbm.create_object(student, &[]).unwrap();
+        dbm.add_to_class(o, c2).unwrap();
+        assert!(dbm.is_member(o, c2).unwrap());
+        dbm.write_attr(o, c2, "salary", Value::Int(900)).unwrap();
+        assert_eq!(dbm.read_attr(o, c2, "salary").unwrap(), Value::Int(900));
+        dbm.remove_from_class(o, c2).unwrap();
+        assert!(!dbm.is_member(o, c2).unwrap());
+        assert!(dbm.is_member(o, student).unwrap());
+    }
+
+    #[test]
+    fn slicing_stats_follow_table1_formulas() {
+        let (mut db, _, student, _) = university();
+        let o = db.create_object(student, &[("name", "a".into())]).unwrap();
+        db.write_attr(o, student, "gpa", Value::Float(3.5)).unwrap();
+        let stats = db.slicing_stats();
+        assert_eq!(stats.objects, 1);
+        assert_eq!(stats.implementation_objects, 2);
+        assert_eq!(stats.oids, 3); // 1 + N_impl
+        assert_eq!(stats.managerial_bytes, 3 * 8 + 2 * 2 * 8);
+    }
+}

@@ -1,0 +1,154 @@
+//! Error type for the object model.
+
+use std::fmt;
+
+use tse_storage::StorageError;
+
+use crate::ids::{ClassId, Oid};
+
+/// Result alias for object-model operations.
+pub type ModelResult<T> = Result<T, ModelError>;
+
+/// Errors raised by schema and object operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// No class with this id (or it has been retired).
+    UnknownClass(ClassId),
+    /// No class with this name in the global schema.
+    UnknownClassName(String),
+    /// A class with this name already exists.
+    DuplicateClassName(String),
+    /// Adding this is-a edge would create a cycle.
+    CycleDetected {
+        /// Would-be superclass.
+        sup: ClassId,
+        /// Would-be subclass.
+        sub: ClassId,
+    },
+    /// The is-a edge does not exist.
+    UnknownEdge {
+        /// Superclass end.
+        sup: ClassId,
+        /// Subclass end.
+        sub: ClassId,
+    },
+    /// A property with this name already exists where it must not
+    /// (the paper rejects e.g. `add_attribute x to C` when `x ∈ type(C)`).
+    PropertyExists {
+        /// Class on which the clash occurred.
+        class: ClassId,
+        /// Clashing property name.
+        name: String,
+    },
+    /// No property with this name is defined for the class.
+    UnknownProperty {
+        /// Class whose type was consulted.
+        class: ClassId,
+        /// Property name looked up.
+        name: String,
+    },
+    /// The property name resolves to several inherited definitions; per the
+    /// paper it "can't be invoked until the user disambiguates ... by
+    /// renaming".
+    AmbiguousProperty {
+        /// Class whose type was consulted.
+        class: ClassId,
+        /// Ambiguous name.
+        name: String,
+    },
+    /// A value did not conform to the attribute's declared type.
+    TypeMismatch {
+        /// Attribute name.
+        name: String,
+        /// Human-readable description of the expected type.
+        expected: String,
+        /// Debug rendering of the offending value.
+        got: String,
+    },
+    /// Attempted to read/write a stored attribute through a method property
+    /// or vice versa.
+    NotStored(String),
+    /// An object id that does not denote a live object.
+    UnknownObject(Oid),
+    /// Object is not a member of the class.
+    NotAMember {
+        /// The object.
+        oid: Oid,
+        /// The class it is not a member of.
+        class: ClassId,
+    },
+    /// The operation requires a base class but got a virtual one.
+    NotABaseClass(ClassId),
+    /// The operation requires a virtual class but got a base one.
+    NotAVirtualClass(ClassId),
+    /// Method evaluation failed (bad operand types, depth limit, …).
+    MethodEval(String),
+    /// Bubbled-up storage error.
+    Storage(StorageError),
+    /// Any other constraint violation, with context.
+    Invalid(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownClass(c) => write!(f, "unknown class {c}"),
+            ModelError::UnknownClassName(n) => write!(f, "unknown class name {n:?}"),
+            ModelError::DuplicateClassName(n) => write!(f, "duplicate class name {n:?}"),
+            ModelError::CycleDetected { sup, sub } => {
+                write!(f, "is-a edge {sup} -> {sub} would create a cycle")
+            }
+            ModelError::UnknownEdge { sup, sub } => write!(f, "no is-a edge {sup} -> {sub}"),
+            ModelError::PropertyExists { class, name } => {
+                write!(f, "property {name:?} already exists in type of {class}")
+            }
+            ModelError::UnknownProperty { class, name } => {
+                write!(f, "no property {name:?} in type of {class}")
+            }
+            ModelError::AmbiguousProperty { class, name } => {
+                write!(f, "property {name:?} is ambiguous in {class}; rename to disambiguate")
+            }
+            ModelError::TypeMismatch { name, expected, got } => {
+                write!(f, "attribute {name:?} expects {expected}, got {got}")
+            }
+            ModelError::NotStored(name) => write!(f, "property {name:?} is not a stored attribute"),
+            ModelError::UnknownObject(o) => write!(f, "unknown object {o}"),
+            ModelError::NotAMember { oid, class } => {
+                write!(f, "object {oid} is not a member of {class}")
+            }
+            ModelError::NotABaseClass(c) => write!(f, "class {c} is not a base class"),
+            ModelError::NotAVirtualClass(c) => write!(f, "class {c} is not a virtual class"),
+            ModelError::MethodEval(msg) => write!(f, "method evaluation failed: {msg}"),
+            ModelError::Storage(e) => write!(f, "storage error: {e}"),
+            ModelError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<StorageError> for ModelError {
+    fn from(e: StorageError) -> Self {
+        ModelError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_the_ids() {
+        assert!(ModelError::UnknownClass(ClassId(4)).to_string().contains("c4"));
+        assert!(ModelError::UnknownObject(Oid(8)).to_string().contains("o8"));
+        assert!(ModelError::AmbiguousProperty { class: ClassId(1), name: "x".into() }
+            .to_string()
+            .contains("rename"));
+    }
+
+    #[test]
+    fn storage_errors_convert() {
+        let e: ModelError = StorageError::UnknownSegment(2).into();
+        assert!(matches!(e, ModelError::Storage(_)));
+    }
+}

@@ -1,0 +1,59 @@
+//! Identifier newtypes used throughout the object model.
+
+use std::fmt;
+
+/// Identifies a class (base or virtual) in the global schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub u32);
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifies a *conceptual* object. In the object-slicing architecture one
+/// conceptual object owns several implementation objects (slices); the paper
+/// calls this `1 + N_impl` identifiers per object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Oid(pub u64);
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// Identity of a property *definition*.
+///
+/// Property identity (not just the name) is what makes the classifier's type
+/// subsumption checks meaningful: `refine C1:x for C2` shares the key of
+/// `C1.x` with `C2`, and promotion moves a definition upward while keeping
+/// its key, so "same property" stays decidable across schema evolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PropKey(pub u64);
+
+impl fmt::Display for PropKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_compact() {
+        assert_eq!(ClassId(3).to_string(), "c3");
+        assert_eq!(Oid(12).to_string(), "o12");
+        assert_eq!(PropKey(7).to_string(), "p7");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<ClassId> = [ClassId(2), ClassId(1)].into_iter().collect();
+        assert_eq!(set.iter().next(), Some(&ClassId(1)));
+    }
+}

@@ -1,0 +1,525 @@
+//! The intersection-class approach to multiple classification (§4.1).
+//!
+//! The baseline the paper compares object slicing against (Table 1). Every
+//! object belongs to exactly one class and is stored as one contiguous record
+//! holding *all* of its attributes. Multiple classification is achieved by
+//! materializing intersection classes (`Jeep&Imported`), and dynamic
+//! reclassification copies the object into a record of the new class's layout
+//! and swaps identities.
+//!
+//! This backend is deliberately self-contained (its own schema + store) so the
+//! Table 1 benchmarks can run both architectures side by side on identical
+//! workloads.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use tse_storage::{RecordId, SliceStore, StoreConfig, StoreStats};
+
+use crate::error::{ModelError, ModelResult};
+use crate::ids::{ClassId, Oid, PropKey};
+use crate::property::{PendingProp, PropKind};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Aggregate statistics for the intersection-class backend (Table 1 rows).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntersectionStats {
+    /// Objects (each with exactly one oid).
+    pub objects: u64,
+    /// Object identifiers (= objects).
+    pub oids: u64,
+    /// Managerial storage: one oid per object.
+    pub managerial_bytes: u64,
+    /// User-defined classes.
+    pub user_classes: u64,
+    /// Hidden intersection classes materialized so far.
+    pub intersection_classes: u64,
+    /// Objects copied by dynamic (re)classification.
+    pub reclassification_copies: u64,
+}
+
+/// An object database using the intersection-class architecture.
+pub struct IntersectionDb {
+    schema: Schema,
+    store: SliceStore<Value>,
+    class_of: BTreeMap<Oid, ClassId>,
+    records: BTreeMap<Oid, RecordId>,
+    next_oid: u64,
+    /// Canonical *user-class* sets of materialized intersection classes.
+    intersections: HashMap<Vec<ClassId>, ClassId>,
+    /// Which user-class set each intersection class represents.
+    repr_of: HashMap<ClassId, Vec<ClassId>>,
+    reclassification_copies: u64,
+}
+
+impl std::fmt::Debug for IntersectionDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntersectionDb")
+            .field("classes", &self.schema.class_count())
+            .field("objects", &self.class_of.len())
+            .finish()
+    }
+}
+
+impl Default for IntersectionDb {
+    fn default() -> Self {
+        Self::new(StoreConfig::default())
+    }
+}
+
+impl IntersectionDb {
+    /// Create an empty database.
+    pub fn new(config: StoreConfig) -> Self {
+        IntersectionDb {
+            schema: Schema::new(),
+            store: SliceStore::new(config),
+            class_of: BTreeMap::new(),
+            records: BTreeMap::new(),
+            next_oid: 1,
+            intersections: HashMap::new(),
+            repr_of: HashMap::new(),
+            reclassification_copies: 0,
+        }
+    }
+
+    /// Schema access (class/property definition happens up front).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Mutable schema access.
+    pub fn schema_mut(&mut self) -> &mut Schema {
+        &mut self.schema
+    }
+
+    /// Store counters (page accesses etc.).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Reset store counters / buffer.
+    pub fn reset_counters(&self) {
+        self.store.reset_stats();
+        self.store.clear_buffer();
+    }
+
+    /// Total data bytes in the paged store.
+    pub fn data_bytes(&self) -> usize {
+        self.store.total_bytes()
+    }
+
+    /// Convenience: create a base class with stored properties.
+    pub fn define_class(
+        &mut self,
+        name: &str,
+        supers: &[ClassId],
+        props: Vec<PendingProp>,
+    ) -> ModelResult<ClassId> {
+        let id = self.schema.create_base_class(name, supers)?;
+        for p in props {
+            self.schema.add_local_prop(id, p, None)?;
+        }
+        Ok(id)
+    }
+
+    /// Contiguous record layout for a class: every stored attribute of its
+    /// resolved type, ordered by key (deterministic across class versions).
+    fn layout(&self, class: ClassId) -> ModelResult<Vec<PropKey>> {
+        let rt = self.schema.resolved_type(class)?;
+        let mut keys: Vec<PropKey> = Vec::new();
+        for rp in rt.props.values() {
+            for cand in &rp.candidates {
+                let (_, def) = self.schema.def_by_key(cand.key)?;
+                if def.kind.is_stored() {
+                    keys.push(cand.key);
+                }
+            }
+        }
+        keys.sort();
+        keys.dedup();
+        Ok(keys)
+    }
+
+    fn default_for(&self, key: PropKey) -> Value {
+        match self.schema.def_by_key(key) {
+            Ok((_, def)) => match &def.kind {
+                PropKind::Stored { default, .. } => default.clone(),
+                PropKind::Method { .. } => Value::Null,
+            },
+            Err(_) => Value::Null,
+        }
+    }
+
+    fn segment_for(&mut self, class: ClassId) -> ModelResult<tse_storage::SegmentId> {
+        if let Some(seg) = self.schema.class(class)?.segment {
+            return Ok(seg);
+        }
+        let name = self.schema.class(class)?.name.clone();
+        let seg = self.store.create_segment(&name);
+        self.schema.class_mut(class)?.segment = Some(seg);
+        Ok(seg)
+    }
+
+    // ----- object operations --------------------------------------------------
+
+    /// Create an object in a class. The record materializes the *entire*
+    /// type — the contiguous-storage invariant of conventional OODBs.
+    pub fn create_object(&mut self, class: ClassId, values: &[(&str, Value)]) -> ModelResult<Oid> {
+        let layout = self.layout(class)?;
+        let mut fields: Vec<Value> = layout.iter().map(|k| self.default_for(*k)).collect();
+        let rt = self.schema.resolved_type(class)?;
+        for (name, value) in values {
+            let cand = rt.get_unique(class, name)?;
+            let idx = layout
+                .iter()
+                .position(|k| *k == cand.key)
+                .ok_or_else(|| ModelError::NotStored(name.to_string()))?;
+            fields[idx] = value.clone();
+        }
+        let seg = self.segment_for(class)?;
+        let rec = self.store.insert(seg, fields)?;
+        let oid = Oid(self.next_oid);
+        self.next_oid += 1;
+        self.class_of.insert(oid, class);
+        self.records.insert(oid, rec);
+        Ok(oid)
+    }
+
+    /// The single class an object currently belongs to.
+    pub fn class_of(&self, oid: Oid) -> ModelResult<ClassId> {
+        self.class_of.get(&oid).copied().ok_or(ModelError::UnknownObject(oid))
+    }
+
+    /// Membership = the object's class is a subclass of `class`.
+    pub fn is_member(&self, oid: Oid, class: ClassId) -> ModelResult<bool> {
+        Ok(self.schema.is_sub_of(self.class_of(oid)?, class))
+    }
+
+    /// Extent of a class (scan over all objects).
+    pub fn extent(&self, class: ClassId) -> ModelResult<BTreeSet<Oid>> {
+        self.schema.class(class)?;
+        Ok(self
+            .class_of
+            .iter()
+            .filter(|(_, c)| self.schema.is_sub_of(**c, class))
+            .map(|(o, _)| *o)
+            .collect())
+    }
+
+    /// Read an attribute. Always a single record access — the architecture's
+    /// "fast access to inherited attributes" advantage.
+    pub fn read_attr(&self, oid: Oid, name: &str) -> ModelResult<Value> {
+        let class = self.class_of(oid)?;
+        let rt = self.schema.resolved_type(class)?;
+        let cand = rt.get_unique(class, name)?;
+        let layout = self.layout(class)?;
+        let idx = layout
+            .iter()
+            .position(|k| *k == cand.key)
+            .ok_or_else(|| ModelError::NotStored(name.to_string()))?;
+        let rec = self.records[&oid];
+        Ok(self.store.read_field(rec, idx)?)
+    }
+
+    /// Write an attribute in place.
+    pub fn write_attr(&mut self, oid: Oid, name: &str, value: Value) -> ModelResult<()> {
+        let class = self.class_of(oid)?;
+        let rt = self.schema.resolved_type(class)?;
+        let cand = rt.get_unique(class, name)?.clone();
+        let (_, def) = self.schema.def_by_key(cand.key)?;
+        match &def.kind {
+            PropKind::Stored { vtype, .. } => {
+                if !vtype.admits(&value) {
+                    return Err(ModelError::TypeMismatch {
+                        name: name.to_string(),
+                        expected: vtype.describe(),
+                        got: format!("{value:?}"),
+                    });
+                }
+            }
+            PropKind::Method { .. } => return Err(ModelError::NotStored(name.to_string())),
+        }
+        let layout = self.layout(class)?;
+        let idx = layout
+            .iter()
+            .position(|k| *k == cand.key)
+            .ok_or_else(|| ModelError::NotStored(name.to_string()))?;
+        let rec = self.records[&oid];
+        self.store.write_field(rec, idx, value)?;
+        Ok(())
+    }
+
+    /// Casting requires an "additional mechanism" in this architecture: we
+    /// model it as a membership validation plus a catalog lookup.
+    pub fn cast(&self, oid: Oid, class: ClassId) -> ModelResult<Oid> {
+        if self.is_member(oid, class)? {
+            Ok(oid)
+        } else {
+            Err(ModelError::NotAMember { oid, class })
+        }
+    }
+
+    // ----- multiple / dynamic classification -----------------------------------
+
+    /// Find or materialize the intersection class of `classes`
+    /// (e.g. `Jeep&Imported`).
+    pub fn intersection_class(&mut self, classes: &[ClassId]) -> ModelResult<ClassId> {
+        let mut canonical: Vec<ClassId> = classes.to_vec();
+        canonical.sort();
+        canonical.dedup();
+        if canonical.is_empty() {
+            return Err(ModelError::Invalid("empty intersection".into()));
+        }
+        if canonical.len() == 1 {
+            return Ok(canonical[0]);
+        }
+        if let Some(id) = self.intersections.get(&canonical) {
+            return Ok(*id);
+        }
+        let mut name = String::new();
+        for (i, c) in canonical.iter().enumerate() {
+            if i > 0 {
+                name.push('&');
+            }
+            name.push_str(&self.schema.class(*c)?.name);
+        }
+        let name = self.schema.fresh_name(&name);
+        let id = self.schema.create_base_class(&name, &canonical)?;
+        self.intersections.insert(canonical.clone(), id);
+        self.repr_of.insert(id, canonical);
+        Ok(id)
+    }
+
+    /// The set of user classes a class represents (itself, unless it is an
+    /// intersection class).
+    fn user_set(&self, class: ClassId) -> Vec<ClassId> {
+        self.repr_of.get(&class).cloned().unwrap_or_else(|| vec![class])
+    }
+
+    /// Make `oid` additionally an instance of `extra` (multiple
+    /// classification). If needed this creates an intersection class and
+    /// copies the object into its layout (identity preserved by the swap
+    /// mechanism — the oid simply points at the new record).
+    pub fn classify_into(&mut self, oid: Oid, extra: ClassId) -> ModelResult<()> {
+        let current = self.class_of(oid)?;
+        if self.schema.is_sub_of(current, extra) {
+            return Ok(()); // already has the type
+        }
+        let mut set = self.user_set(current);
+        set.extend(self.user_set(extra));
+        let target = self.intersection_class(&set)?;
+        self.move_object(oid, target)
+    }
+
+    /// Dynamic classification: the object stops being an instance of its
+    /// current class and becomes an instance of `to` — implemented by "creating
+    /// another object and copying values and removing old one".
+    pub fn reclassify(&mut self, oid: Oid, to: ClassId) -> ModelResult<()> {
+        self.move_object(oid, to)
+    }
+
+    fn move_object(&mut self, oid: Oid, to: ClassId) -> ModelResult<()> {
+        let from = self.class_of(oid)?;
+        if from == to {
+            return Ok(());
+        }
+        let old_layout = self.layout(from)?;
+        let new_layout = self.layout(to)?;
+        let old_rec = self.records[&oid];
+        let old_fields = self.store.read(old_rec)?;
+        let fields: Vec<Value> = new_layout
+            .iter()
+            .map(|k| match old_layout.iter().position(|ok| ok == k) {
+                Some(i) => old_fields[i].clone(),
+                None => self.default_for(*k),
+            })
+            .collect();
+        let seg = self.segment_for(to)?;
+        let new_rec = self.store.insert(seg, fields)?;
+        self.store.free(old_rec)?;
+        self.records.insert(oid, new_rec);
+        self.class_of.insert(oid, to);
+        self.reclassification_copies += 1;
+        Ok(())
+    }
+
+    /// Destroy an object.
+    pub fn delete_object(&mut self, oid: Oid) -> ModelResult<()> {
+        let rec = self.records.remove(&oid).ok_or(ModelError::UnknownObject(oid))?;
+        self.class_of.remove(&oid);
+        self.store.free(rec)?;
+        Ok(())
+    }
+
+    // ----- statistics -----------------------------------------------------------
+
+    /// Table 1 statistics for this backend.
+    pub fn stats(&self) -> IntersectionStats {
+        const OID_BYTES: u64 = 8;
+        let n = self.class_of.len() as u64;
+        IntersectionStats {
+            objects: n,
+            oids: n,
+            managerial_bytes: n * OID_BYTES,
+            user_classes: self.schema.class_count() as u64 - self.intersections.len() as u64,
+            intersection_classes: self.intersections.len() as u64,
+            reclassification_copies: self.reclassification_copies,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::property::PropertyDef;
+    use crate::value::ValueType;
+
+    /// The car schema of Figure 5: Car ← Jeep, Car ← Imported.
+    fn cars() -> (IntersectionDb, ClassId, ClassId, ClassId) {
+        let mut db = IntersectionDb::default();
+        let car = db
+            .define_class(
+                "Car",
+                &[],
+                vec![PropertyDef::stored("model", ValueType::Str, Value::Null)],
+            )
+            .unwrap();
+        let jeep = db
+            .define_class(
+                "Jeep",
+                &[car],
+                vec![PropertyDef::stored("clearance", ValueType::Int, Value::Int(0))],
+            )
+            .unwrap();
+        let imported = db
+            .define_class(
+                "Imported",
+                &[car],
+                vec![PropertyDef::stored("nation", ValueType::Str, Value::Null)],
+            )
+            .unwrap();
+        (db, car, jeep, imported)
+    }
+
+    #[test]
+    fn create_read_write_contiguous() {
+        let (mut db, car, jeep, _) = cars();
+        let o = db.create_object(jeep, &[("model", "tj".into())]).unwrap();
+        assert_eq!(db.read_attr(o, "model").unwrap(), Value::Str("tj".into()));
+        assert_eq!(db.read_attr(o, "clearance").unwrap(), Value::Int(0));
+        db.write_attr(o, "clearance", Value::Int(25)).unwrap();
+        assert_eq!(db.read_attr(o, "clearance").unwrap(), Value::Int(25));
+        assert!(db.is_member(o, car).unwrap());
+    }
+
+    #[test]
+    fn figure5_multiple_classification_materializes_jeep_and_imported() {
+        let (mut db, car, jeep, imported) = cars();
+        let o1 = db.create_object(jeep, &[("model", "tj".into())]).unwrap();
+        db.classify_into(o1, imported).unwrap();
+        // o1 is now a member of both Jeep and Imported via Jeep&Imported.
+        assert!(db.is_member(o1, jeep).unwrap());
+        assert!(db.is_member(o1, imported).unwrap());
+        assert!(db.is_member(o1, car).unwrap());
+        // Values survived the copy; new attribute is available.
+        assert_eq!(db.read_attr(o1, "model").unwrap(), Value::Str("tj".into()));
+        db.write_attr(o1, "nation", "jp".into()).unwrap();
+        let stats = db.stats();
+        assert_eq!(stats.intersection_classes, 1);
+        assert_eq!(stats.reclassification_copies, 1);
+        assert_eq!(stats.oids, 1, "intersection approach: one oid per object");
+    }
+
+    #[test]
+    fn intersection_classes_are_reused() {
+        let (mut db, _, jeep, imported) = cars();
+        let o1 = db.create_object(jeep, &[]).unwrap();
+        let o2 = db.create_object(jeep, &[]).unwrap();
+        db.classify_into(o1, imported).unwrap();
+        db.classify_into(o2, imported).unwrap();
+        assert_eq!(db.stats().intersection_classes, 1);
+        assert_eq!(db.class_of(o1).unwrap(), db.class_of(o2).unwrap());
+    }
+
+    #[test]
+    fn classify_into_is_noop_when_type_already_held() {
+        let (mut db, car, jeep, _) = cars();
+        let o = db.create_object(jeep, &[]).unwrap();
+        db.classify_into(o, car).unwrap();
+        assert_eq!(db.stats().intersection_classes, 0);
+        assert_eq!(db.stats().reclassification_copies, 0);
+    }
+
+    #[test]
+    fn reclassify_copies_common_values_and_defaults_rest() {
+        let (mut db, _, jeep, imported) = cars();
+        let o = db.create_object(jeep, &[("model", "x".into()), ("clearance", Value::Int(9))]).unwrap();
+        db.reclassify(o, imported).unwrap();
+        assert_eq!(db.read_attr(o, "model").unwrap(), Value::Str("x".into()));
+        assert_eq!(db.read_attr(o, "nation").unwrap(), Value::Null);
+        assert!(db.read_attr(o, "clearance").is_err(), "lost the Jeep type");
+        assert!(db.is_member(o, imported).unwrap());
+        assert!(!db.is_member(o, jeep).unwrap());
+    }
+
+    #[test]
+    fn extents_follow_class_of() {
+        let (mut db, car, jeep, imported) = cars();
+        let o1 = db.create_object(jeep, &[]).unwrap();
+        let o2 = db.create_object(imported, &[]).unwrap();
+        db.classify_into(o1, imported).unwrap();
+        assert_eq!(db.extent(car).unwrap().len(), 2);
+        assert_eq!(db.extent(imported).unwrap(), BTreeSet::from([o1, o2]));
+        assert_eq!(db.extent(jeep).unwrap(), BTreeSet::from([o1]));
+    }
+
+    #[test]
+    fn cast_checks_membership() {
+        let (mut db, car, jeep, imported) = cars();
+        let o = db.create_object(jeep, &[]).unwrap();
+        assert!(db.cast(o, car).is_ok());
+        assert!(db.cast(o, imported).is_err());
+    }
+
+    #[test]
+    fn delete_frees_record() {
+        let (mut db, _, jeep, _) = cars();
+        let o = db.create_object(jeep, &[]).unwrap();
+        db.delete_object(o).unwrap();
+        assert!(db.read_attr(o, "model").is_err());
+        assert_eq!(db.store_stats().records_freed, 1);
+    }
+
+    #[test]
+    fn worst_case_class_explosion_is_exponential() {
+        // N independent mixin classes; objects classified into random-ish
+        // combinations materialize one class per distinct combination.
+        let mut db = IntersectionDb::default();
+        let base = db.define_class("Base", &[], vec![]).unwrap();
+        let mixins: Vec<ClassId> = (0..4)
+            .map(|i| db.define_class(&format!("M{i}"), &[base], vec![]).unwrap())
+            .collect();
+        // All 2^4 - 5 multi-class combinations (size >= 2).
+        let mut combos = 0;
+        for mask in 0u32..16 {
+            if mask.count_ones() >= 2 {
+                let classes: Vec<ClassId> = (0..4)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| mixins[i as usize])
+                    .collect();
+                let o = db.create_object(classes[0], &[]).unwrap();
+                for c in &classes[1..] {
+                    db.classify_into(o, *c).unwrap();
+                }
+                combos += 1;
+            }
+        }
+        let stats = db.stats();
+        assert!(
+            stats.intersection_classes >= combos as u64,
+            "each combination needs its own class: {} < {}",
+            stats.intersection_classes,
+            combos
+        );
+    }
+}

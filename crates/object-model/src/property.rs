@@ -1,0 +1,138 @@
+//! Property definitions: stored attributes and methods.
+//!
+//! "Property" in the paper refers to both attributes (state) and methods
+//! (behaviour). Both participate identically in inheritance, overriding,
+//! promotion and the schema-change operators.
+
+use crate::ids::PropKey;
+use crate::method::MethodBody;
+use crate::value::{Value, ValueType};
+
+/// Whether a property stores state or computes it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropKind {
+    /// A stored attribute — the capacity-carrying kind. Adding one of these
+    /// through a view is what makes a view *capacity-augmenting*.
+    Stored {
+        /// Declared value type.
+        vtype: ValueType,
+        /// Default value for objects that acquire the attribute.
+        default: Value,
+        /// REQUIRED attributes may not be set to `Null` (footnote 4 of the
+        /// paper: hiding a REQUIRED attribute blocks the default-value
+        /// workaround).
+        required: bool,
+    },
+    /// A method — a derived property evaluated on demand.
+    Method {
+        /// Expression body.
+        body: MethodBody,
+        /// Declared result type.
+        vtype: ValueType,
+    },
+}
+
+impl PropKind {
+    /// Declared type of the property's value.
+    pub fn vtype(&self) -> &ValueType {
+        match self {
+            PropKind::Stored { vtype, .. } => vtype,
+            PropKind::Method { vtype, .. } => vtype,
+        }
+    }
+
+    /// Is this a stored attribute?
+    pub fn is_stored(&self) -> bool {
+        matches!(self, PropKind::Stored { .. })
+    }
+}
+
+/// A property definition. Its [`PropKey`] survives inheritance sharing
+/// (`refine C1:x for C2`), promotion, and view renaming — two classes "have
+/// the same property" iff the keys match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyDef {
+    /// Identity of the definition.
+    pub key: PropKey,
+    /// Name under which the property is invoked.
+    pub name: String,
+    /// Stored or method.
+    pub kind: PropKind,
+}
+
+impl PropertyDef {
+    /// Construct a stored attribute definition (key assigned by the schema).
+    pub fn stored(name: &str, vtype: ValueType, default: Value) -> PendingProp {
+        PendingProp {
+            name: name.to_string(),
+            kind: PropKind::Stored { vtype, default, required: false },
+        }
+    }
+
+    /// Construct a REQUIRED stored attribute definition.
+    pub fn required(name: &str, vtype: ValueType, default: Value) -> PendingProp {
+        PendingProp {
+            name: name.to_string(),
+            kind: PropKind::Stored { vtype, default, required: true },
+        }
+    }
+
+    /// Construct a method definition.
+    pub fn method(name: &str, vtype: ValueType, body: MethodBody) -> PendingProp {
+        PendingProp { name: name.to_string(), kind: PropKind::Method { body, vtype } }
+    }
+}
+
+/// A property definition awaiting a key (keys are issued by the schema when
+/// the property is registered, so that keys are unique per global schema).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingProp {
+    /// Name under which the property will be invoked.
+    pub name: String,
+    /// Stored or method.
+    pub kind: PropKind,
+}
+
+impl PendingProp {
+    /// Attach a key, producing the registered definition.
+    pub fn with_key(self, key: PropKey) -> PropertyDef {
+        PropertyDef { key, name: self.name, kind: self.kind }
+    }
+}
+
+/// A property as locally held by a class: the definition plus evolution
+/// bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalProp {
+    /// The definition.
+    pub def: PropertyDef,
+    /// When the definition was *promoted* upward from a subclass (hide-class
+    /// creation, union-class creation), records where it came from. Drives
+    /// the multiple-inheritance priority rule of §6.2.3: at the class it was
+    /// promoted from, this definition wins name conflicts.
+    pub promoted_from: Option<crate::ids::ClassId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kinds() {
+        let s = PropertyDef::stored("age", ValueType::Int, Value::Int(0));
+        assert!(s.kind.is_stored());
+        assert!(!matches!(s.kind, PropKind::Stored { required: true, .. }));
+        let r = PropertyDef::required("ssn", ValueType::Str, Value::Null);
+        assert!(matches!(r.kind, PropKind::Stored { required: true, .. }));
+        let m = PropertyDef::method("is_adult", ValueType::Bool, MethodBody::Const(Value::Bool(true)));
+        assert!(!m.kind.is_stored());
+        assert_eq!(m.kind.vtype(), &ValueType::Bool);
+    }
+
+    #[test]
+    fn with_key_preserves_content() {
+        let p = PropertyDef::stored("gpa", ValueType::Float, Value::Float(0.0)).with_key(PropKey(9));
+        assert_eq!(p.key, PropKey(9));
+        assert_eq!(p.name, "gpa");
+    }
+}

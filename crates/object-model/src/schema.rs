@@ -1,0 +1,1177 @@
+//! The global schema: one DAG of base and virtual classes.
+//!
+//! Every view in TSE is a subset of this one schema; every object is
+//! associated with it. This module owns the class arena, the generalization
+//! (is-a) DAG, property registration and promotion, and *type resolution* —
+//! computing the full type of a class from local definitions plus
+//! inheritance, with the paper's overriding and conflict rules:
+//!
+//! * a local property overrides inherited ones of the same name;
+//! * two same-named properties inherited from different superclasses are
+//!   both present but **ambiguous** until the user renames one;
+//! * exception: a definition that was *promoted* out of class `C` into a
+//!   superclass wins conflicts when resolving at `C` (§6.2.3's
+//!   multiple-inheritance priority rule).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::class::{Class, ClassKind};
+use crate::derivation::Derivation;
+use crate::error::{ModelError, ModelResult};
+use crate::ids::{ClassId, PropKey};
+use crate::property::{LocalProp, PendingProp, PropertyDef};
+
+/// Name of the implicit root class (the paper's `OBJECT`/`ROOT`).
+pub const ROOT_CLASS: &str = "Object";
+
+/// One way a name resolves at a class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Class currently holding the definition.
+    pub def_class: ClassId,
+    /// Identity of the definition.
+    pub key: PropKey,
+    /// `Some(c)` if the definition was promoted out of class `c`.
+    pub promoted_from: Option<ClassId>,
+}
+
+/// Resolution of one property name at a class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedProp {
+    /// All distinct definitions the name resolves to (len > 1 = ambiguous).
+    pub candidates: Vec<Candidate>,
+}
+
+impl ResolvedProp {
+    /// Is the name ambiguous at this class?
+    pub fn is_ambiguous(&self) -> bool {
+        self.candidates.len() > 1
+    }
+}
+
+/// The full resolved type of a class: name → definition(s).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResolvedType {
+    /// Properties by name.
+    pub props: BTreeMap<String, ResolvedProp>,
+}
+
+impl ResolvedType {
+    /// The `(name, key)` pairs of every candidate — the set the classifier
+    /// compares for type subsumption. Ambiguous names contribute all their
+    /// candidates.
+    pub fn keys(&self) -> BTreeSet<(String, PropKey)> {
+        self.props
+            .iter()
+            .flat_map(|(name, rp)| rp.candidates.iter().map(move |c| (name.clone(), c.key)))
+            .collect()
+    }
+
+    /// Just the property keys, ignoring names (renaming-insensitive view).
+    pub fn key_set(&self) -> BTreeSet<PropKey> {
+        self.props
+            .values()
+            .flat_map(|rp| rp.candidates.iter().map(|c| c.key))
+            .collect()
+    }
+
+    /// Does the type contain this property name (ambiguous or not)?
+    pub fn contains_name(&self, name: &str) -> bool {
+        self.props.contains_key(name)
+    }
+
+    /// Resolve a name to its unique candidate, with the paper's error
+    /// behaviour for missing and ambiguous names.
+    pub fn get_unique(&self, class: ClassId, name: &str) -> ModelResult<&Candidate> {
+        match self.props.get(name) {
+            None => Err(ModelError::UnknownProperty { class, name: name.to_string() }),
+            Some(rp) if rp.is_ambiguous() => {
+                Err(ModelError::AmbiguousProperty { class, name: name.to_string() })
+            }
+            Some(rp) => Ok(&rp.candidates[0]),
+        }
+    }
+
+    /// Number of property names.
+    pub fn len(&self) -> usize {
+        self.props.len()
+    }
+
+    /// True when the type has no properties.
+    pub fn is_empty(&self) -> bool {
+        self.props.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct TypeCache {
+    generation: u64,
+    map: HashMap<ClassId, Arc<ResolvedType>>,
+}
+
+/// The global schema.
+pub struct Schema {
+    classes: Vec<Class>,
+    by_name: HashMap<String, ClassId>,
+    root: ClassId,
+    next_prop_key: u64,
+    /// Current holder of each property definition (moves on promotion).
+    prop_home: HashMap<PropKey, ClassId>,
+    /// Bumped on every mutation; invalidates resolution caches here and the
+    /// extent caches in the database layer.
+    generation: u64,
+    /// Number of classes carrying a constraint (fast path: the database
+    /// skips constraint checking entirely when zero).
+    constraint_count: usize,
+    type_cache: Mutex<TypeCache>,
+}
+
+impl std::fmt::Debug for Schema {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Schema")
+            .field("classes", &self.classes.len())
+            .field("generation", &self.generation)
+            .finish()
+    }
+}
+
+impl Default for Schema {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Schema {
+    /// A fresh schema containing only the root class.
+    pub fn new() -> Self {
+        let mut schema = Schema {
+            classes: Vec::new(),
+            by_name: HashMap::new(),
+            root: ClassId(0),
+            next_prop_key: 0,
+            prop_home: HashMap::new(),
+            generation: 0,
+            constraint_count: 0,
+            type_cache: Mutex::new(TypeCache::default()),
+        };
+        let root = Class::new(ClassId(0), ROOT_CLASS.to_string(), ClassKind::Base);
+        schema.by_name.insert(ROOT_CLASS.to_string(), ClassId(0));
+        schema.classes.push(root);
+        schema
+    }
+
+    /// The root class (`Object`).
+    pub fn root(&self) -> ClassId {
+        self.root
+    }
+
+    /// Monotonic mutation counter (cache invalidation for dependants).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn touch(&mut self) {
+        self.generation += 1;
+    }
+
+    // ----- class access ----------------------------------------------------
+
+    /// Look up a class by id.
+    pub fn class(&self, id: ClassId) -> ModelResult<&Class> {
+        self.classes.get(id.0 as usize).ok_or(ModelError::UnknownClass(id))
+    }
+
+    pub(crate) fn class_mut(&mut self, id: ClassId) -> ModelResult<&mut Class> {
+        self.classes.get_mut(id.0 as usize).ok_or(ModelError::UnknownClass(id))
+    }
+
+    /// Look up a class id by global name.
+    pub fn by_name(&self, name: &str) -> ModelResult<ClassId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ModelError::UnknownClassName(name.to_string()))
+    }
+
+    /// All class ids, in creation order.
+    pub fn class_ids(&self) -> impl Iterator<Item = ClassId> + '_ {
+        (0..self.classes.len() as u32).map(ClassId)
+    }
+
+    /// Number of classes (including the root and retired tombstones).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Has the class been retired as a duplicate?
+    pub fn is_retired(&self, id: ClassId) -> bool {
+        self.class(id).map(|c| c.name.starts_with("__retired_")).unwrap_or(true)
+    }
+
+    /// Number of live (non-retired) classes, including the root.
+    pub fn live_class_count(&self) -> usize {
+        self.class_ids().filter(|c| !self.is_retired(*c)).count()
+    }
+
+    /// Find an unused global class name based on `base` (`base`, `base'`,
+    /// `base''`, … like the paper's primed classes, falling back to numeric
+    /// suffixes).
+    pub fn fresh_name(&self, base: &str) -> String {
+        if !self.by_name.contains_key(base) {
+            return base.to_string();
+        }
+        let mut candidate = format!("{base}'");
+        for _ in 0..8 {
+            if !self.by_name.contains_key(&candidate) {
+                return candidate;
+            }
+            candidate.push('\'');
+        }
+        for i in 2.. {
+            let candidate = format!("{base}~{i}");
+            if !self.by_name.contains_key(&candidate) {
+                return candidate;
+            }
+        }
+        unreachable!()
+    }
+
+    // ----- class creation ----------------------------------------------------
+
+    /// Create a base class. With no supers given it is attached under the
+    /// root class.
+    pub fn create_base_class(&mut self, name: &str, supers: &[ClassId]) -> ModelResult<ClassId> {
+        self.create_class(name, ClassKind::Base, supers)
+    }
+
+    /// Create a virtual class with the given derivation. The classifier is
+    /// responsible for wiring it into the is-a DAG afterwards; creation only
+    /// validates that the derivation's sources exist.
+    pub fn create_virtual_class(
+        &mut self,
+        name: &str,
+        derivation: Derivation,
+    ) -> ModelResult<ClassId> {
+        for src in derivation.sources() {
+            self.class(src)?;
+        }
+        self.create_class(name, ClassKind::Virtual(derivation), &[])
+    }
+
+    /// Create a refine virtual class in one step: the class, its freshly
+    /// defined local properties (`new_props`), and by-reference inherited
+    /// properties (`inherited`, the `refine C1:x for C2` form — stored ones
+    /// get storage capability on the new class because its instances "assign
+    /// a new storage for the property").
+    pub fn create_refine_class(
+        &mut self,
+        name: &str,
+        src: ClassId,
+        new_props: Vec<PendingProp>,
+        inherited: Vec<(ClassId, PropKey)>,
+    ) -> ModelResult<ClassId> {
+        self.class(src)?;
+        for (cls, key) in &inherited {
+            self.class(*cls)?;
+            self.def_by_key(*key)?;
+        }
+        let id = self.create_class(
+            name,
+            ClassKind::Virtual(Derivation::Refine {
+                src,
+                new_props: Vec::new(),
+                inherited: inherited.clone(),
+            }),
+            &[],
+        )?;
+        let mut keys = Vec::with_capacity(new_props.len());
+        for prop in new_props {
+            keys.push(self.add_local_prop(id, prop, None)?);
+        }
+        // Patch the derivation with the issued keys.
+        if let ClassKind::Virtual(Derivation::Refine { new_props, .. }) =
+            &mut self.class_mut(id)?.kind
+        {
+            *new_props = keys;
+        }
+        // Storage capability for inherited stored properties.
+        for (_, key) in inherited {
+            let (_, def) = self.def_by_key(key)?;
+            if def.kind.is_stored() {
+                self.add_stored_capability(id, key)?;
+            }
+        }
+        self.touch();
+        Ok(id)
+    }
+
+    fn create_class(
+        &mut self,
+        name: &str,
+        kind: ClassKind,
+        supers: &[ClassId],
+    ) -> ModelResult<ClassId> {
+        if self.by_name.contains_key(name) {
+            return Err(ModelError::DuplicateClassName(name.to_string()));
+        }
+        for s in supers {
+            self.class(*s)?;
+        }
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(Class::new(id, name.to_string(), kind));
+        self.by_name.insert(name.to_string(), id);
+        let effective: Vec<ClassId> =
+            if supers.is_empty() && matches!(self.classes[id.0 as usize].kind, ClassKind::Base) && id != self.root {
+                vec![self.root]
+            } else {
+                supers.to_vec()
+            };
+        for s in effective {
+            self.add_edge(s, id)?;
+        }
+        self.touch();
+        Ok(id)
+    }
+
+    /// Retire a class that turned out to be a duplicate of an existing one
+    /// (the classifier "will discover this duplicate and discard the new
+    /// class"). The class must be virtual and unconnected (freshly created,
+    /// not yet classified). Its name is freed, its edges removed, and its
+    /// local property definitions unregistered.
+    pub fn retire_class(&mut self, id: ClassId) -> ModelResult<()> {
+        if id == self.root {
+            return Err(ModelError::Invalid("cannot retire the root class".into()));
+        }
+        if self.class(id)?.is_base() {
+            return Err(ModelError::NotAVirtualClass(id));
+        }
+        let cls = self.class(id)?;
+        let name = cls.name.clone();
+        let supers = cls.supers.clone();
+        let subs = cls.subs.clone();
+        for s in supers {
+            self.remove_edge(s, id)?;
+        }
+        for s in subs {
+            self.remove_edge(id, s)?;
+        }
+        let keys: Vec<PropKey> =
+            self.class(id)?.locals.iter().map(|lp| lp.def.key).collect();
+        for key in keys {
+            self.prop_home.remove(&key);
+        }
+        self.class_mut(id)?.locals.clear();
+        self.by_name.remove(&name);
+        let tombstone = format!("__retired_{}", id.0);
+        self.class_mut(id)?.name = tombstone.clone();
+        self.by_name.insert(tombstone, id);
+        self.touch();
+        Ok(())
+    }
+
+    /// Rename a class globally (view-local renames live in `tse-view`).
+    pub fn rename_class(&mut self, id: ClassId, new_name: &str) -> ModelResult<()> {
+        if self.by_name.contains_key(new_name) {
+            return Err(ModelError::DuplicateClassName(new_name.to_string()));
+        }
+        let old = self.class(id)?.name.clone();
+        self.by_name.remove(&old);
+        self.by_name.insert(new_name.to_string(), id);
+        self.class_mut(id)?.name = new_name.to_string();
+        self.touch();
+        Ok(())
+    }
+
+    // ----- is-a edges ----------------------------------------------------
+
+    /// Add a direct is-a edge `sup -> sub`. Rejects cycles and duplicates
+    /// (duplicates are ignored silently — re-deriving the same placement is
+    /// common during classification).
+    pub fn add_edge(&mut self, sup: ClassId, sub: ClassId) -> ModelResult<()> {
+        self.class(sup)?;
+        self.class(sub)?;
+        if sup == sub {
+            return Err(ModelError::CycleDetected { sup, sub });
+        }
+        if self.class(sub)?.supers.contains(&sup) {
+            return Ok(());
+        }
+        // Cycle check: sup must not be a (transitive) subclass of sub.
+        if self.descendants(sub).contains(&sup) {
+            return Err(ModelError::CycleDetected { sup, sub });
+        }
+        self.class_mut(sub)?.supers.push(sup);
+        self.class_mut(sup)?.subs.push(sub);
+        self.touch();
+        Ok(())
+    }
+
+    /// Remove a direct is-a edge.
+    pub fn remove_edge(&mut self, sup: ClassId, sub: ClassId) -> ModelResult<()> {
+        let present = self.class(sub)?.supers.contains(&sup);
+        if !present {
+            return Err(ModelError::UnknownEdge { sup, sub });
+        }
+        self.class_mut(sub)?.supers.retain(|s| *s != sup);
+        self.class_mut(sup)?.subs.retain(|s| *s != sub);
+        self.touch();
+        Ok(())
+    }
+
+    /// All ancestors of `c` including `c` itself.
+    pub fn ancestors(&self, c: ClassId) -> BTreeSet<ClassId> {
+        let mut out = BTreeSet::new();
+        let mut stack = vec![c];
+        while let Some(x) = stack.pop() {
+            if out.insert(x) {
+                if let Ok(cls) = self.class(x) {
+                    stack.extend(cls.supers.iter().copied());
+                }
+            }
+        }
+        out
+    }
+
+    /// All descendants of `c` including `c` itself.
+    pub fn descendants(&self, c: ClassId) -> BTreeSet<ClassId> {
+        let mut out = BTreeSet::new();
+        let mut stack = vec![c];
+        while let Some(x) = stack.pop() {
+            if out.insert(x) {
+                if let Ok(cls) = self.class(x) {
+                    stack.extend(cls.subs.iter().copied());
+                }
+            }
+        }
+        out
+    }
+
+    /// Is `sub` a (transitive or reflexive) subclass of `sup`?
+    pub fn is_sub_of(&self, sub: ClassId, sup: ClassId) -> bool {
+        self.ancestors(sub).contains(&sup)
+    }
+
+    /// Length of the shortest upward is-a path from `from` to `to`
+    /// (`Some(0)` when equal, `None` when `to` is not an ancestor).
+    /// This is the slice-hop distance of the object-slicing cost model.
+    pub fn up_distance(&self, from: ClassId, to: ClassId) -> Option<u32> {
+        if from == to {
+            return Some(0);
+        }
+        let mut frontier = vec![from];
+        let mut seen: BTreeSet<ClassId> = frontier.iter().copied().collect();
+        let mut dist = 0u32;
+        while !frontier.is_empty() {
+            dist += 1;
+            let mut next = Vec::new();
+            for c in frontier {
+                if let Ok(cls) = self.class(c) {
+                    for s in &cls.supers {
+                        if *s == to {
+                            return Some(dist);
+                        }
+                        if seen.insert(*s) {
+                            next.push(*s);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        None
+    }
+
+    // ----- properties ----------------------------------------------------
+
+    /// Issue a fresh property key.
+    pub fn fresh_prop_key(&mut self) -> PropKey {
+        let key = PropKey(self.next_prop_key);
+        self.next_prop_key += 1;
+        key
+    }
+
+    /// Register a new local property on a class. Fails if the class already
+    /// locally defines the name.
+    pub fn add_local_prop(
+        &mut self,
+        class: ClassId,
+        prop: PendingProp,
+        promoted_from: Option<ClassId>,
+    ) -> ModelResult<PropKey> {
+        if self.class(class)?.local(&prop.name).is_some() {
+            return Err(ModelError::PropertyExists { class, name: prop.name });
+        }
+        let key = self.fresh_prop_key();
+        let def = prop.with_key(key);
+        let is_stored = def.kind.is_stored();
+        let cls = self.class_mut(class)?;
+        cls.locals.push(LocalProp { def, promoted_from });
+        if is_stored {
+            cls.stored_layout.push(key);
+        }
+        self.prop_home.insert(key, class);
+        self.touch();
+        Ok(key)
+    }
+
+    /// Register storage *capability* for an existing shared definition
+    /// (`refine C1:x for C2` with a stored `x`: C2's instances "assign a new
+    /// storage for the property"). The definition stays at its home class.
+    pub fn add_stored_capability(&mut self, class: ClassId, key: PropKey) -> ModelResult<()> {
+        let (_, def) = self.def_by_key(key)?;
+        if !def.kind.is_stored() {
+            return Err(ModelError::NotStored(def.name.clone()));
+        }
+        let cls = self.class_mut(class)?;
+        if cls.stored_layout.contains(&key) {
+            return Ok(());
+        }
+        cls.stored_layout.push(key);
+        self.touch();
+        Ok(())
+    }
+
+    /// Attach (or clear) a class constraint: a predicate every member must
+    /// satisfy after any mutation touching it. The database layer enforces
+    /// it on `create_object` and `write_attr` ("the class predicate is
+    /// checked", §3.3).
+    pub fn set_class_constraint(
+        &mut self,
+        class: ClassId,
+        constraint: Option<crate::predicate::Predicate>,
+    ) -> ModelResult<()> {
+        let cls = self.class_mut(class)?;
+        match (&cls.constraint, &constraint) {
+            (None, Some(_)) => self.constraint_count += 1,
+            (Some(_), None) => self.constraint_count -= 1,
+            _ => {}
+        }
+        self.class_mut(class)?.constraint = constraint;
+        self.touch();
+        Ok(())
+    }
+
+    /// Number of classes carrying constraints.
+    pub fn constraint_count(&self) -> usize {
+        self.constraint_count
+    }
+
+    /// Include an existing definition in a class's type *by reference* (the
+    /// classifier's repair step for operator-intent properties that neither
+    /// placement nor promotion can deliver). Stored definitions do not get a
+    /// new storage home — the objects' values stay where they were written.
+    pub fn add_extra_ref(&mut self, class: ClassId, key: PropKey) -> ModelResult<()> {
+        let (holder, _) = self.def_by_key(key)?;
+        let cls = self.class_mut(class)?;
+        if cls.extra_refs.iter().any(|(_, k)| *k == key) {
+            return Ok(());
+        }
+        cls.extra_refs.push((holder, key));
+        self.touch();
+        Ok(())
+    }
+
+    /// Remove a local property definition from a class, returning it.
+    /// Storage capability is retained (existing slice data stays readable by
+    /// key) — the definition simply no longer contributes to types.
+    pub fn remove_local_prop(&mut self, class: ClassId, name: &str) -> ModelResult<LocalProp> {
+        let cls = self.class_mut(class)?;
+        let idx = cls
+            .locals
+            .iter()
+            .position(|p| p.def.name == name)
+            .ok_or_else(|| ModelError::UnknownProperty { class, name: name.to_string() })?;
+        let lp = cls.locals.remove(idx);
+        self.prop_home.remove(&lp.def.key);
+        self.touch();
+        Ok(lp)
+    }
+
+    /// Promote a local property from `from` to `to` (MultiView code
+    /// promotion: "methods and instance variables that had been locally
+    /// defined have now moved upward"). The definition keeps its key; the
+    /// origin class keeps its storage capability so existing slice data stays
+    /// where it is. The moved definition is tagged with `promoted_from` so
+    /// the priority rule can favour it at `from`.
+    pub fn promote_prop(&mut self, from: ClassId, name: &str, to: ClassId) -> ModelResult<PropKey> {
+        self.class(to)?;
+        let from_cls = self.class_mut(from)?;
+        let idx = from_cls
+            .locals
+            .iter()
+            .position(|p| p.def.name == name)
+            .ok_or_else(|| ModelError::UnknownProperty { class: from, name: name.to_string() })?;
+        let mut lp = from_cls.locals.remove(idx);
+        let key = lp.def.key;
+        lp.promoted_from = Some(from);
+        let to_cls = self.class_mut(to)?;
+        if to_cls.local(name).is_some() {
+            // Put it back before failing.
+            let from_cls = self.class_mut(from)?;
+            lp.promoted_from = None;
+            from_cls.locals.push(lp);
+            return Err(ModelError::PropertyExists { class: to, name: name.to_string() });
+        }
+        to_cls.locals.push(lp);
+        self.prop_home.insert(key, to);
+        self.touch();
+        Ok(key)
+    }
+
+    /// Rename a local property (the user-level disambiguation step for
+    /// multiple-inheritance conflicts).
+    pub fn rename_local_prop(
+        &mut self,
+        class: ClassId,
+        old: &str,
+        new: &str,
+    ) -> ModelResult<()> {
+        if self.class(class)?.local(new).is_some() {
+            return Err(ModelError::PropertyExists { class, name: new.to_string() });
+        }
+        let cls = self.class_mut(class)?;
+        let lp = cls
+            .locals
+            .iter_mut()
+            .find(|p| p.def.name == old)
+            .ok_or_else(|| ModelError::UnknownProperty { class, name: old.to_string() })?;
+        lp.def.name = new.to_string();
+        self.touch();
+        Ok(())
+    }
+
+    /// Current definition for a key: `(holder class, def)`.
+    pub fn def_by_key(&self, key: PropKey) -> ModelResult<(ClassId, &PropertyDef)> {
+        let holder = self
+            .prop_home
+            .get(&key)
+            .copied()
+            .ok_or_else(|| ModelError::Invalid(format!("no definition for {key}")))?;
+        let def = self
+            .class(holder)?
+            .local_by_key(key)
+            .map(|lp| &lp.def)
+            .ok_or_else(|| ModelError::Invalid(format!("stale home for {key}")))?;
+        Ok((holder, def))
+    }
+
+    // ----- type resolution -------------------------------------------------
+
+    /// The resolved type of a class (cached per schema generation).
+    pub fn resolved_type(&self, class: ClassId) -> ModelResult<Arc<ResolvedType>> {
+        self.class(class)?;
+        {
+            let cache = self.type_cache.lock();
+            if cache.generation == self.generation {
+                if let Some(t) = cache.map.get(&class) {
+                    return Ok(Arc::clone(t));
+                }
+            }
+        }
+        // Seed the recursion memo with everything already resolved under the
+        // current generation — otherwise a sweep over all classes costs
+        // O(V²) resolutions (quadratic re-resolution of shared ancestors).
+        let mut memo: HashMap<ClassId, Arc<ResolvedType>> = {
+            let cache = self.type_cache.lock();
+            if cache.generation == self.generation {
+                cache.map.clone()
+            } else {
+                HashMap::new()
+            }
+        };
+        let result = self.resolve_rec(class, &mut memo)?;
+        let mut cache = self.type_cache.lock();
+        if cache.generation != self.generation {
+            cache.generation = self.generation;
+            cache.map.clear();
+        }
+        for (id, t) in memo {
+            cache.map.insert(id, t);
+        }
+        Ok(result)
+    }
+
+    fn resolve_rec(
+        &self,
+        class: ClassId,
+        memo: &mut HashMap<ClassId, Arc<ResolvedType>>,
+    ) -> ModelResult<Arc<ResolvedType>> {
+        if let Some(t) = memo.get(&class) {
+            return Ok(Arc::clone(t));
+        }
+        let cls = self.class(class)?;
+        let mut merged: BTreeMap<String, Vec<Candidate>> = BTreeMap::new();
+
+        // 1. Inherit from all direct superclasses, deduplicating by key.
+        for sup in cls.supers.clone() {
+            let sup_type = self.resolve_rec(sup, memo)?;
+            for (name, rp) in &sup_type.props {
+                let entry = merged.entry(name.clone()).or_default();
+                for cand in &rp.candidates {
+                    if !entry.iter().any(|c| c.key == cand.key) {
+                        entry.push(cand.clone());
+                    }
+                }
+            }
+        }
+
+        // 2. Derivation contributions. "Downward" operators (select, refine,
+        //    difference, intersect) derive classes positioned *below* their
+        //    sources, so following the derivation cannot revisit this class;
+        //    merging the source types here makes the resolved type correct
+        //    even before classification has wired the is-a edges. "Upward"
+        //    operators (hide, union) get their types via property promotion
+        //    instead — following their derivations would recurse back up
+        //    through the source's inheritance into this very class.
+        let mut hidden_names: Option<Vec<String>> = None;
+        if let ClassKind::Virtual(derivation) = &cls.kind {
+            let mut source_types: Vec<Arc<ResolvedType>> = Vec::new();
+            match derivation {
+                Derivation::Select { src, .. } => {
+                    source_types.push(self.resolve_rec(*src, memo)?);
+                }
+                Derivation::Refine { src, .. } => {
+                    source_types.push(self.resolve_rec(*src, memo)?);
+                }
+                Derivation::Difference { a, .. } => {
+                    source_types.push(self.resolve_rec(*a, memo)?);
+                }
+                Derivation::Intersect { a, b } => {
+                    source_types.push(self.resolve_rec(*a, memo)?);
+                    source_types.push(self.resolve_rec(*b, memo)?);
+                }
+                Derivation::Hide { hidden, .. } => {
+                    hidden_names = Some(hidden.clone());
+                }
+                Derivation::Union { .. } => {}
+            }
+            for st in source_types {
+                for (name, rp) in &st.props {
+                    let entry = merged.entry(name.clone()).or_default();
+                    for cand in &rp.candidates {
+                        if !entry.iter().any(|c| c.key == cand.key) {
+                            entry.push(cand.clone());
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(hidden) = hidden_names {
+            for name in hidden {
+                merged.remove(&name);
+            }
+        }
+
+        // 3. Multiple-inheritance priority rule (§6.2.3): at class C, a
+        //    candidate promoted *out of C* beats other same-named candidates.
+        for cands in merged.values_mut() {
+            if cands.len() > 1 {
+                let winners: Vec<usize> = cands
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.promoted_from == Some(class))
+                    .map(|(i, _)| i)
+                    .collect();
+                if winners.len() == 1 {
+                    let winner = cands[winners[0]].clone();
+                    *cands = vec![winner];
+                }
+            }
+        }
+
+        // 4. Refine-by-reference properties (`refine C1:x for C2`) and
+        //    classifier-attached extra references join the type without
+        //    being locals.
+        let mut ref_keys: Vec<PropKey> = Vec::new();
+        if let ClassKind::Virtual(Derivation::Refine { inherited, .. }) = &cls.kind {
+            ref_keys.extend(inherited.iter().map(|(_, k)| *k));
+        }
+        ref_keys.extend(cls.extra_refs.iter().map(|(_, k)| *k));
+        for key in ref_keys {
+            if let Ok((holder, def)) = self.def_by_key(key) {
+                let entry = merged.entry(def.name.clone()).or_default();
+                if !entry.iter().any(|c| c.key == key) {
+                    entry.push(Candidate { def_class: holder, key, promoted_from: None });
+                }
+            }
+        }
+
+        // 5. Local definitions override everything of the same name.
+        for lp in &cls.locals {
+            merged.insert(
+                lp.def.name.clone(),
+                vec![Candidate {
+                    def_class: class,
+                    key: lp.def.key,
+                    promoted_from: lp.promoted_from,
+                }],
+            );
+        }
+
+        let resolved = Arc::new(ResolvedType {
+            props: merged
+                .into_iter()
+                .map(|(name, candidates)| (name, ResolvedProp { candidates }))
+                .collect(),
+        });
+        memo.insert(class, Arc::clone(&resolved));
+        Ok(resolved)
+    }
+
+    /// `(name, key)` view of a class's type (classifier subsumption basis).
+    pub fn type_keys(&self, class: ClassId) -> ModelResult<BTreeSet<(String, PropKey)>> {
+        Ok(self.resolved_type(class)?.keys())
+    }
+
+    // ----- snapshot support ---------------------------------------------------
+
+    pub(crate) fn encode_into(&self, buf: &mut bytes::BytesMut) {
+        use crate::codec::{put_derivation, put_local_prop, put_str};
+        use bytes::BufMut;
+        buf.put_u32(self.classes.len() as u32);
+        for cls in &self.classes {
+            put_str(buf, &cls.name);
+            match &cls.kind {
+                ClassKind::Base => buf.put_u8(0),
+                ClassKind::Virtual(d) => {
+                    buf.put_u8(1);
+                    put_derivation(buf, d);
+                }
+            }
+            buf.put_u32(cls.locals.len() as u32);
+            for lp in &cls.locals {
+                put_local_prop(buf, lp);
+            }
+            buf.put_u32(cls.supers.len() as u32);
+            for s in &cls.supers {
+                buf.put_u32(s.0);
+            }
+            buf.put_u32(cls.stored_layout.len() as u32);
+            for k in &cls.stored_layout {
+                buf.put_u64(k.0);
+            }
+            buf.put_u32(cls.extra_refs.len() as u32);
+            for (c, k) in &cls.extra_refs {
+                buf.put_u32(c.0);
+                buf.put_u64(k.0);
+            }
+            match cls.segment {
+                None => buf.put_u8(0),
+                Some(seg) => {
+                    buf.put_u8(1);
+                    buf.put_u32(seg.0);
+                }
+            }
+            match &cls.constraint {
+                None => buf.put_u8(0),
+                Some(pred) => {
+                    buf.put_u8(1);
+                    crate::codec::put_pred(buf, pred);
+                }
+            }
+        }
+        buf.put_u64(self.next_prop_key);
+    }
+
+    pub(crate) fn decode_from(buf: &mut bytes::Bytes) -> ModelResult<Schema> {
+        use crate::codec::{get_derivation, get_local_prop, get_str, get_u32, get_u64, get_u8};
+        let n = get_u32(buf)? as usize;
+        let mut constraint_count = 0usize;
+        let mut classes = Vec::with_capacity(n.min(1 << 20));
+        let mut by_name = HashMap::new();
+        let mut prop_home = HashMap::new();
+        for i in 0..n {
+            let id = ClassId(i as u32);
+            let name = get_str(buf)?;
+            let kind = match get_u8(buf)? {
+                0 => ClassKind::Base,
+                1 => ClassKind::Virtual(get_derivation(buf)?),
+                t => return Err(ModelError::Storage(tse_storage::StorageError::Corrupt(
+                    format!("unknown class kind {t}"),
+                ))),
+            };
+            let mut cls = Class::new(id, name.clone(), kind);
+            let n_locals = get_u32(buf)? as usize;
+            for _ in 0..n_locals {
+                let lp = get_local_prop(buf)?;
+                prop_home.insert(lp.def.key, id);
+                cls.locals.push(lp);
+            }
+            let n_supers = get_u32(buf)? as usize;
+            for _ in 0..n_supers {
+                cls.supers.push(ClassId(get_u32(buf)?));
+            }
+            let n_layout = get_u32(buf)? as usize;
+            for _ in 0..n_layout {
+                cls.stored_layout.push(PropKey(get_u64(buf)?));
+            }
+            let n_refs = get_u32(buf)? as usize;
+            for _ in 0..n_refs {
+                cls.extra_refs.push((ClassId(get_u32(buf)?), PropKey(get_u64(buf)?)));
+            }
+            cls.segment = match get_u8(buf)? {
+                0 => None,
+                _ => Some(tse_storage::SegmentId(get_u32(buf)?)),
+            };
+            cls.constraint = match get_u8(buf)? {
+                0 => None,
+                _ => {
+                    constraint_count += 1;
+                    Some(crate::codec::get_pred(buf)?)
+                }
+            };
+            by_name.insert(name, id);
+            classes.push(cls);
+        }
+        let next_prop_key = get_u64(buf)?;
+        // Rebuild the sub lists from the supers lists.
+        let mut subs: Vec<Vec<ClassId>> = vec![Vec::new(); classes.len()];
+        for cls in &classes {
+            for sup in &cls.supers {
+                let idx = sup.0 as usize;
+                if idx >= classes.len() {
+                    return Err(ModelError::UnknownClass(*sup));
+                }
+                subs[idx].push(cls.id);
+            }
+        }
+        for (cls, sub_list) in classes.iter_mut().zip(subs) {
+            cls.subs = sub_list;
+        }
+        Ok(Schema {
+            classes,
+            by_name,
+            root: ClassId(0),
+            next_prop_key,
+            prop_home,
+            generation: 1,
+            constraint_count,
+            type_cache: Mutex::new(TypeCache::default()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Value, ValueType};
+
+    fn stored(name: &str) -> PendingProp {
+        PropertyDef::stored(name, ValueType::Int, Value::Int(0))
+    }
+
+    /// Person <- Student <- TA (chain), Person has name, Student gpa, TA lecture.
+    fn chain() -> (Schema, ClassId, ClassId, ClassId) {
+        let mut s = Schema::new();
+        let person = s.create_base_class("Person", &[]).unwrap();
+        let student = s.create_base_class("Student", &[person]).unwrap();
+        let ta = s.create_base_class("TA", &[student]).unwrap();
+        s.add_local_prop(person, stored("name"), None).unwrap();
+        s.add_local_prop(student, stored("gpa"), None).unwrap();
+        s.add_local_prop(ta, stored("lecture"), None).unwrap();
+        (s, person, student, ta)
+    }
+
+    #[test]
+    fn root_exists_and_new_classes_attach_under_it() {
+        let (s, person, _, _) = chain();
+        assert_eq!(s.by_name(ROOT_CLASS).unwrap(), s.root());
+        assert!(s.is_sub_of(person, s.root()));
+    }
+
+    #[test]
+    fn inheritance_accumulates_down_the_chain() {
+        let (s, person, student, ta) = chain();
+        assert_eq!(s.resolved_type(person).unwrap().len(), 1);
+        assert_eq!(s.resolved_type(student).unwrap().len(), 2);
+        let ta_type = s.resolved_type(ta).unwrap();
+        assert_eq!(ta_type.len(), 3);
+        assert!(ta_type.contains_name("name"));
+        assert!(ta_type.contains_name("gpa"));
+        assert!(ta_type.contains_name("lecture"));
+    }
+
+    #[test]
+    fn local_overrides_inherited() {
+        let (mut s, _, student, ta) = chain();
+        // Student overrides name.
+        let override_key = s.add_local_prop(student, stored("name"), None);
+        // Student already inherits "name" but does not *locally* define it,
+        // so adding a local with that name is allowed (override).
+        let override_key = override_key.unwrap();
+        let ta_type = s.resolved_type(ta).unwrap();
+        let cand = ta_type.get_unique(ta, "name").unwrap();
+        assert_eq!(cand.key, override_key);
+        assert_eq!(cand.def_class, student);
+    }
+
+    #[test]
+    fn duplicate_local_name_rejected() {
+        let (mut s, person, _, _) = chain();
+        assert!(matches!(
+            s.add_local_prop(person, stored("name"), None),
+            Err(ModelError::PropertyExists { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_inheritance_creates_ambiguity() {
+        let mut s = Schema::new();
+        let a = s.create_base_class("A", &[]).unwrap();
+        let b = s.create_base_class("B", &[]).unwrap();
+        let c = s.create_base_class("C", &[a, b]).unwrap();
+        s.add_local_prop(a, stored("x"), None).unwrap();
+        s.add_local_prop(b, stored("x"), None).unwrap();
+        let t = s.resolved_type(c).unwrap();
+        assert!(t.props["x"].is_ambiguous());
+        assert!(matches!(
+            t.get_unique(c, "x"),
+            Err(ModelError::AmbiguousProperty { .. })
+        ));
+    }
+
+    #[test]
+    fn diamond_inheritance_of_one_def_is_not_ambiguous() {
+        let mut s = Schema::new();
+        let top = s.create_base_class("Top", &[]).unwrap();
+        let l = s.create_base_class("L", &[top]).unwrap();
+        let r = s.create_base_class("R", &[top]).unwrap();
+        let bottom = s.create_base_class("Bottom", &[l, r]).unwrap();
+        s.add_local_prop(top, stored("x"), None).unwrap();
+        let t = s.resolved_type(bottom).unwrap();
+        assert!(!t.props["x"].is_ambiguous(), "same key via two paths dedups");
+    }
+
+    #[test]
+    fn promotion_moves_definition_and_priority_rule_applies() {
+        let mut s = Schema::new();
+        let student = s.create_base_class("Student", &[]).unwrap();
+        s.add_local_prop(student, stored("register"), None).unwrap();
+        // Create the hide-superclass (as the classifier would) and promote.
+        let hidden = s.create_base_class("StudentPrime", &[]).unwrap();
+        s.add_edge(hidden, student).unwrap();
+        let key = s.promote_prop(student, "register", hidden).unwrap();
+        // Definition now lives at hidden, Student inherits it.
+        assert!(s.class(student).unwrap().local("register").is_none());
+        let (holder, _) = s.def_by_key(key).unwrap();
+        assert_eq!(holder, hidden);
+        let t = s.resolved_type(student).unwrap();
+        assert_eq!(t.get_unique(student, "register").unwrap().key, key);
+
+        // A conflicting same-named prop inherited from another superclass
+        // loses against the promoted definition at Student.
+        let other = s.create_base_class("Other", &[]).unwrap();
+        s.add_local_prop(other, stored("register"), None).unwrap();
+        s.add_edge(other, student).unwrap();
+        let t = s.resolved_type(student).unwrap();
+        let cand = t.get_unique(student, "register").unwrap();
+        assert_eq!(cand.key, key, "promoted definition wins at its origin class");
+        assert_eq!(cand.promoted_from, Some(student));
+    }
+
+    #[test]
+    fn promotion_keeps_storage_capability_at_origin() {
+        let mut s = Schema::new();
+        let c = s.create_base_class("C", &[]).unwrap();
+        let key = s.add_local_prop(c, stored("x"), None).unwrap();
+        let up = s.create_base_class("Up", &[]).unwrap();
+        s.add_edge(up, c).unwrap();
+        s.promote_prop(c, "x", up).unwrap();
+        assert!(s.class(c).unwrap().stored_layout().contains(&key));
+        assert!(!s.class(up).unwrap().stored_layout().contains(&key));
+    }
+
+    #[test]
+    fn cycle_detection_rejects_back_edges_and_self_edges() {
+        let (mut s, person, _, ta) = chain();
+        assert!(matches!(
+            s.add_edge(ta, person),
+            Err(ModelError::CycleDetected { .. })
+        ));
+        assert!(matches!(s.add_edge(person, person), Err(ModelError::CycleDetected { .. })));
+    }
+
+    #[test]
+    fn duplicate_edge_is_idempotent() {
+        let (mut s, person, student, _) = chain();
+        s.add_edge(person, student).unwrap();
+        assert_eq!(
+            s.class(student).unwrap().direct_supers().iter().filter(|c| **c == person).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn remove_edge_works_and_errors_on_missing() {
+        let (mut s, person, student, _) = chain();
+        s.remove_edge(person, student).unwrap();
+        assert!(!s.is_sub_of(student, person));
+        assert!(matches!(
+            s.remove_edge(person, student),
+            Err(ModelError::UnknownEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn up_distance_measures_slice_hops() {
+        let (s, person, student, ta) = chain();
+        assert_eq!(s.up_distance(ta, ta), Some(0));
+        assert_eq!(s.up_distance(ta, student), Some(1));
+        assert_eq!(s.up_distance(ta, person), Some(2));
+        assert_eq!(s.up_distance(person, ta), None);
+    }
+
+    #[test]
+    fn fresh_name_primes_then_numbers() {
+        let (s, _, _, _) = chain();
+        assert_eq!(s.fresh_name("Student"), "Student'");
+        assert_eq!(s.fresh_name("Unseen"), "Unseen");
+    }
+
+    #[test]
+    fn rename_class_updates_index() {
+        let (mut s, person, _, _) = chain();
+        s.rename_class(person, "Human").unwrap();
+        assert_eq!(s.by_name("Human").unwrap(), person);
+        assert!(s.by_name("Person").is_err());
+        assert!(s.rename_class(person, "Student").is_err());
+    }
+
+    #[test]
+    fn rename_prop_disambiguates() {
+        let mut s = Schema::new();
+        let a = s.create_base_class("A", &[]).unwrap();
+        let b = s.create_base_class("B", &[]).unwrap();
+        let c = s.create_base_class("C", &[a, b]).unwrap();
+        s.add_local_prop(a, stored("x"), None).unwrap();
+        s.add_local_prop(b, stored("x"), None).unwrap();
+        s.rename_local_prop(a, "x", "x_from_a").unwrap();
+        let t = s.resolved_type(c).unwrap();
+        assert!(t.get_unique(c, "x").is_ok());
+        assert!(t.get_unique(c, "x_from_a").is_ok());
+    }
+
+    #[test]
+    fn type_cache_invalidates_on_mutation() {
+        let (mut s, _, student, _) = chain();
+        let before = s.resolved_type(student).unwrap().len();
+        s.add_local_prop(student, stored("year"), None).unwrap();
+        let after = s.resolved_type(student).unwrap().len();
+        assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn virtual_class_creation_validates_sources() {
+        let mut s = Schema::new();
+        let bad = Derivation::Union { a: ClassId(77), b: ClassId(78) };
+        assert!(s.create_virtual_class("V", bad).is_err());
+        let person = s.create_base_class("Person", &[]).unwrap();
+        let d = Derivation::Hide { src: person, hidden: vec!["age".into()] };
+        let v = s.create_virtual_class("AgelessPerson", d).unwrap();
+        assert!(!s.class(v).unwrap().is_base());
+        assert!(s.class(v).unwrap().direct_supers().is_empty(), "classifier wires edges");
+    }
+}

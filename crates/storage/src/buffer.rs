@@ -1,0 +1,99 @@
+//! A tiny LRU buffer pool over (segment, page) identifiers.
+//!
+//! The pool holds no data — records live in heap memory — it only simulates
+//! which pages would be resident, so that benchmarks can distinguish "scan of
+//! clustered slices" (mostly hits) from "pointer-chasing across segments"
+//! (mostly misses). A `VecDeque`-backed LRU is plenty for the pool sizes used
+//! in the experiments (tens to thousands of pages).
+
+use std::collections::VecDeque;
+
+/// Identifies a page globally: (segment id, page index within segment).
+pub(crate) type PageKey = (u32, u32);
+
+#[derive(Debug)]
+pub(crate) struct BufferPool {
+    capacity: usize,
+    /// Most-recently-used at the back.
+    queue: VecDeque<PageKey>,
+}
+
+impl BufferPool {
+    pub fn new(capacity: usize) -> Self {
+        BufferPool { capacity: capacity.max(1), queue: VecDeque::new() }
+    }
+
+    /// Touch a page; returns `true` on a hit, `false` on a miss (page fault).
+    pub fn touch(&mut self, key: PageKey) -> bool {
+        if let Some(pos) = self.queue.iter().position(|k| *k == key) {
+            // Move to MRU position.
+            self.queue.remove(pos);
+            self.queue.push_back(key);
+            true
+        } else {
+            if self.queue.len() >= self.capacity {
+                self.queue.pop_front();
+            }
+            self.queue.push_back(key);
+            false
+        }
+    }
+
+    /// Drop every cached page (e.g. after a snapshot restore).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+
+    /// Evict all pages of one segment (segment drop).
+    pub fn evict_segment(&mut self, segment: u32) {
+        self.queue.retain(|(s, _)| *s != segment);
+    }
+
+    #[cfg(test)]
+    pub fn resident(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_touch_hits() {
+        let mut pool = BufferPool::new(2);
+        assert!(!pool.touch((0, 0)));
+        assert!(pool.touch((0, 0)));
+        assert!(pool.touch((0, 0)));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut pool = BufferPool::new(2);
+        pool.touch((0, 0));
+        pool.touch((0, 1));
+        pool.touch((0, 0)); // 1 is now LRU
+        pool.touch((0, 2)); // evicts 1
+        assert!(pool.touch((0, 0)), "0 stayed resident");
+        assert!(!pool.touch((0, 1)), "1 was evicted");
+    }
+
+    #[test]
+    fn capacity_of_zero_is_clamped_to_one() {
+        let mut pool = BufferPool::new(0);
+        assert!(!pool.touch((0, 0)));
+        assert!(pool.touch((0, 0)));
+        assert_eq!(pool.resident(), 1);
+    }
+
+    #[test]
+    fn evict_segment_removes_only_that_segment() {
+        let mut pool = BufferPool::new(8);
+        pool.touch((1, 0));
+        pool.touch((2, 0));
+        pool.touch((1, 5));
+        pool.evict_segment(1);
+        assert!(!pool.touch((1, 0)));
+        assert!(pool.touch((2, 0)));
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Result alias used across the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors raised by the paged store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The referenced segment does not exist (never created or dropped).
+    UnknownSegment(u32),
+    /// The referenced record slot does not exist or has been freed.
+    UnknownRecord {
+        /// Segment the record was looked up in.
+        segment: u32,
+        /// Slot index inside the segment.
+        slot: u32,
+    },
+    /// A field index was out of bounds for the record.
+    FieldOutOfBounds {
+        /// Requested field index.
+        index: usize,
+        /// Actual number of fields in the record.
+        len: usize,
+    },
+    /// A transaction was required but none is active, or one is already
+    /// active when a new one was requested.
+    TxnState(&'static str),
+    /// Snapshot bytes were malformed.
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownSegment(s) => write!(f, "unknown segment {s}"),
+            StorageError::UnknownRecord { segment, slot } => {
+                write!(f, "unknown record {segment}:{slot}")
+            }
+            StorageError::FieldOutOfBounds { index, len } => {
+                write!(f, "field index {index} out of bounds (record has {len} fields)")
+            }
+            StorageError::TxnState(msg) => write!(f, "transaction state error: {msg}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(StorageError::UnknownSegment(3).to_string(), "unknown segment 3");
+        assert_eq!(
+            StorageError::UnknownRecord { segment: 1, slot: 2 }.to_string(),
+            "unknown record 1:2"
+        );
+        assert_eq!(
+            StorageError::FieldOutOfBounds { index: 9, len: 2 }.to_string(),
+            "field index 9 out of bounds (record has 2 fields)"
+        );
+        assert!(StorageError::TxnState("nested").to_string().contains("nested"));
+        assert!(StorageError::Corrupt("bad magic".into()).to_string().contains("bad magic"));
+    }
+}

@@ -1,0 +1,47 @@
+//! # tse-storage — paged persistent object store
+//!
+//! The substrate layer of the TSE (Transparent Schema Evolution) system.
+//! The original paper (Ra & Rundensteiner, ICDE 1995) builds its prototype on
+//! GemStone 3.2, which it uses for "persistent storage, concurrency control,
+//! etc.". This crate is the from-scratch replacement for that platform layer:
+//!
+//! * **Segments** — one per class, so that the *slices* of the object-slicing
+//!   object model cluster together on disk. The paper's Table 1 argues that
+//!   "slices of the objects of the same attributes tend to cluster and ...
+//!   one page access should be sufficient"; segments make that claim
+//!   measurable.
+//! * **Pages** — fixed-size pages inside a segment. Every record access is
+//!   routed through a small LRU buffer pool and counted, so benchmarks can
+//!   report logical accesses, buffer hits, and simulated I/O misses.
+//! * **Records** — a record is an ordered list of payload fields. The payload
+//!   type is generic ([`Payload`]); the object model instantiates it with its
+//!   `Value` type.
+//! * **Transactions** — a single-writer undo log providing atomic multi-record
+//!   updates with abort/rollback, mirroring the transactional platform the
+//!   paper assumes.
+//! * **Snapshots** — a hand-rolled binary codec (over [`bytes`]) that can
+//!   persist and restore an entire store.
+//!
+//! The store itself is single-threaded (`&mut self` for mutation); the layers
+//! above wrap it in a `parking_lot::RwLock` where sharing is needed, which is
+//! both simpler and faster than internal fine-grained locking for the
+//! workloads in this reproduction.
+
+#![warn(missing_docs)]
+
+mod buffer;
+mod error;
+mod page;
+mod payload;
+mod segment;
+mod snapshot;
+mod stats;
+mod store;
+mod txn;
+
+pub use error::{StorageError, StorageResult};
+pub use payload::{Payload, SimplePayload};
+pub use snapshot::{decode_store, encode_store};
+pub use stats::StoreStats;
+pub use store::{RecordId, SegmentId, SliceStore, StoreConfig};
+pub use txn::TxnToken;

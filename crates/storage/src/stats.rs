@@ -1,0 +1,79 @@
+//! Access counters for the store.
+//!
+//! Every figure the benchmark harness reports about storage behaviour
+//! (Table 1's query-performance and storage rows) is derived from these
+//! counters, so they are deliberately simple, cheap, and exhaustive.
+
+/// Cumulative access statistics for a [`crate::SliceStore`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Logical record reads (every `read`/`read_field`/scan element).
+    pub record_reads: u64,
+    /// Logical record writes (every `write_field`/`append_field`).
+    pub record_writes: u64,
+    /// Page touches that hit the buffer pool.
+    pub page_hits: u64,
+    /// Page touches that missed the buffer pool (simulated I/O reads).
+    pub page_misses: u64,
+    /// Records allocated over the store's lifetime.
+    pub records_allocated: u64,
+    /// Records freed over the store's lifetime.
+    pub records_freed: u64,
+    /// Records relocated to another page because an in-place grow failed.
+    pub record_moves: u64,
+}
+
+impl StoreStats {
+    /// Total page touches (hits + misses).
+    pub fn page_touches(&self) -> u64 {
+        self.page_hits + self.page_misses
+    }
+
+    /// Buffer hit ratio in `[0, 1]`; `1.0` for an untouched store.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.page_touches();
+        if total == 0 {
+            1.0
+        } else {
+            self.page_hits as f64 / total as f64
+        }
+    }
+
+    /// Difference `self - earlier`, for windowed measurements.
+    pub fn delta_since(&self, earlier: &StoreStats) -> StoreStats {
+        StoreStats {
+            record_reads: self.record_reads - earlier.record_reads,
+            record_writes: self.record_writes - earlier.record_writes,
+            page_hits: self.page_hits - earlier.page_hits,
+            page_misses: self.page_misses - earlier.page_misses,
+            records_allocated: self.records_allocated - earlier.records_allocated,
+            records_freed: self.records_freed - earlier.records_freed,
+            record_moves: self.record_moves - earlier.record_moves,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_handles_zero_and_mixed() {
+        let mut s = StoreStats::default();
+        assert_eq!(s.hit_ratio(), 1.0);
+        s.page_hits = 3;
+        s.page_misses = 1;
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(s.page_touches(), 4);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let a = StoreStats { record_reads: 10, page_misses: 4, ..Default::default() };
+        let b = StoreStats { record_reads: 25, page_misses: 9, page_hits: 2, ..Default::default() };
+        let d = b.delta_since(&a);
+        assert_eq!(d.record_reads, 15);
+        assert_eq!(d.page_misses, 5);
+        assert_eq!(d.page_hits, 2);
+    }
+}

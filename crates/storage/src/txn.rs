@@ -1,0 +1,51 @@
+//! Undo-log transactions.
+//!
+//! The paper leans on GemStone for transactional behaviour; this module gives
+//! the store a minimal but real equivalent: a single open transaction whose
+//! mutations are recorded as undo entries and rolled back in reverse order on
+//! abort. Higher layers use it to make a multi-statement schema change
+//! all-or-nothing.
+
+use crate::store::RecordId;
+use crate::store::SegmentId;
+
+/// Opaque handle proving a transaction is open; returned by
+/// [`crate::SliceStore::begin_txn`] and consumed by `commit_txn`/`abort_txn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnToken(pub(crate) u64);
+
+/// One reversible mutation.
+#[derive(Debug, Clone)]
+pub(crate) enum Undo<P> {
+    /// A field was overwritten; restore the previous value.
+    WriteField { rec: RecordId, idx: usize, old: P },
+    /// A field was appended; pop it.
+    PopField { rec: RecordId },
+    /// A record was inserted; free it.
+    Insert { rec: RecordId },
+    /// A record was freed; restore it with its old fields.
+    Free { rec: RecordId, fields: Vec<P> },
+    /// A segment was created; drop it.
+    CreateSegment { seg: SegmentId },
+}
+
+#[derive(Debug)]
+pub(crate) struct TxnState<P> {
+    pub active: Option<u64>,
+    pub next_id: u64,
+    pub log: Vec<Undo<P>>,
+}
+
+impl<P> Default for TxnState<P> {
+    fn default() -> Self {
+        TxnState { active: None, next_id: 0, log: Vec::new() }
+    }
+}
+
+impl<P> TxnState<P> {
+    pub fn record(&mut self, undo: Undo<P>) {
+        if self.active.is_some() {
+            self.log.push(undo);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Type closure of view schemas.
+//!
+//! "Currently, we can check the type-closure of a view schema and incorporate
+//! necessary classes for the type-closure" (§5). A view is type-closed when
+//! every class reachable through the *types* of its classes — i.e. every
+//! class referenced by a `Ref`-typed stored attribute — is itself represented
+//! in the view.
+
+use std::collections::BTreeSet;
+
+use tse_object_model::{ClassId, Database, ModelResult, PropKind};
+
+use crate::schema::ViewSchema;
+
+/// One type-closure violation: `class.attr` references `target`, which is
+/// not in the view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosureViolation {
+    /// Class whose type references outside the view.
+    pub class: ClassId,
+    /// Name of the referencing attribute.
+    pub attr: String,
+    /// The referenced class missing from the view.
+    pub target: ClassId,
+}
+
+/// Check the type closure of a view. A reference is satisfied if the target
+/// class *or any view class with provably identical-or-wider extent below
+/// it* is selected; for simplicity and predictability we require the target
+/// class or one of its selected subclasses.
+pub fn closure_violations(
+    db: &Database,
+    view: &ViewSchema,
+) -> ModelResult<Vec<ClosureViolation>> {
+    let mut out = Vec::new();
+    for &class in &view.classes {
+        let rt = db.schema().resolved_type(class)?;
+        for (name, rp) in &rt.props {
+            for cand in &rp.candidates {
+                let (_, def) = db.schema().def_by_key(cand.key)?;
+                let target = match &def.kind {
+                    PropKind::Stored { vtype, .. } => vtype.referenced_class(),
+                    PropKind::Method { vtype, .. } => vtype.referenced_class(),
+                };
+                if let Some(target) = target {
+                    let satisfied = view.contains(target)
+                        || view
+                            .classes
+                            .iter()
+                            .any(|c| db.schema().is_sub_of(*c, target));
+                    if !satisfied {
+                        out.push(ClosureViolation { class, attr: name.clone(), target });
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by_key(|v| (v.class, v.attr.clone(), v.target));
+    out.dedup();
+    Ok(out)
+}
+
+/// Compute the class selection needed to close the view: the original
+/// selection plus every (transitively) referenced class.
+pub fn closed_selection(
+    db: &Database,
+    view: &ViewSchema,
+) -> ModelResult<BTreeSet<ClassId>> {
+    let mut classes = view.classes.clone();
+    loop {
+        let probe = ViewSchema { classes: classes.clone(), ..view.clone() };
+        let violations = closure_violations(db, &probe)?;
+        if violations.is_empty() {
+            return Ok(classes);
+        }
+        for v in violations {
+            classes.insert(v.target);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{build_view, ViewId};
+    use std::collections::BTreeMap;
+    use tse_object_model::{PropertyDef, Value, ValueType};
+
+    fn setup() -> (Database, ClassId, ClassId, ClassId) {
+        let mut db = Database::default();
+        let s = db.schema_mut();
+        let dept = s.create_base_class("Department", &[]).unwrap();
+        let person = s.create_base_class("Person", &[]).unwrap();
+        let course = s.create_base_class("Course", &[]).unwrap();
+        s.add_local_prop(
+            person,
+            PropertyDef::stored("dept", ValueType::Ref(dept), Value::Null),
+            None,
+        )
+        .unwrap();
+        s.add_local_prop(
+            dept,
+            PropertyDef::stored("offers", ValueType::List(Box::new(ValueType::Ref(course))), Value::List(vec![])),
+            None,
+        )
+        .unwrap();
+        (db, dept, person, course)
+    }
+
+    #[test]
+    fn violations_are_reported_per_reference() {
+        let (db, dept, person, _) = setup();
+        let v = build_view(
+            &db,
+            ViewId(0),
+            "V",
+            1,
+            BTreeSet::from([person]),
+            BTreeMap::new(),
+        )
+        .unwrap();
+        let violations = closure_violations(&db, &v).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].target, dept);
+        assert_eq!(violations[0].attr, "dept");
+    }
+
+    #[test]
+    fn closed_selection_chases_transitive_references() {
+        let (db, dept, person, course) = setup();
+        let v = build_view(
+            &db,
+            ViewId(0),
+            "V",
+            1,
+            BTreeSet::from([person]),
+            BTreeMap::new(),
+        )
+        .unwrap();
+        let closed = closed_selection(&db, &v).unwrap();
+        // Person → Department → Course (through the list type).
+        assert_eq!(closed, BTreeSet::from([person, dept, course]));
+    }
+
+    #[test]
+    fn closed_views_have_no_violations() {
+        let (db, dept, person, course) = setup();
+        let v = build_view(
+            &db,
+            ViewId(0),
+            "V",
+            1,
+            BTreeSet::from([person, dept, course]),
+            BTreeMap::new(),
+        )
+        .unwrap();
+        assert!(closure_violations(&db, &v).unwrap().is_empty());
+    }
+
+    #[test]
+    fn selected_subclass_satisfies_the_reference() {
+        let (mut db, dept, person, _) = setup();
+        let sub = db.schema_mut().create_base_class("EngDept", &[dept]).unwrap();
+        let v = build_view(
+            &db,
+            ViewId(0),
+            "V",
+            1,
+            BTreeSet::from([person, sub]),
+            BTreeMap::new(),
+        )
+        .unwrap();
+        let violations = closure_violations(&db, &v).unwrap();
+        // Person.dept is satisfied by the selected subclass EngDept; the only
+        // remaining violation is EngDept's inherited `offers: list<Course>`.
+        assert!(
+            !violations.iter().any(|x| x.attr == "dept"),
+            "dept reference satisfied by subclass, got {violations:?}"
+        );
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].attr, "offers");
+    }
+}

@@ -1,0 +1,165 @@
+//! Binary persistence for view schemas and the view history — the "View
+//! Schema History" dictionary of the TSE architecture survives restarts
+//! together with the database.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use tse_object_model::{ClassId, ModelError, ModelResult};
+
+use crate::manager::ViewManager;
+use crate::schema::{ViewId, ViewSchema};
+
+fn corrupt(msg: &str) -> ModelError {
+    ModelError::Storage(tse_storage::StorageError::Corrupt(msg.to_string()))
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> ModelResult<String> {
+    if buf.remaining() < 4 {
+        return Err(corrupt("truncated string length"));
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(corrupt("truncated string body"));
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| corrupt("non-utf8 string"))
+}
+
+fn get_u32(buf: &mut Bytes) -> ModelResult<u32> {
+    if buf.remaining() < 4 {
+        return Err(corrupt("truncated u32"));
+    }
+    Ok(buf.get_u32())
+}
+
+/// Encode one view schema.
+pub fn encode_view(buf: &mut BytesMut, view: &ViewSchema) {
+    buf.put_u32(view.id.0);
+    put_str(buf, &view.family);
+    buf.put_u32(view.version);
+    buf.put_u32(view.classes.len() as u32);
+    for c in &view.classes {
+        buf.put_u32(c.0);
+    }
+    buf.put_u32(view.renames.len() as u32);
+    for (c, name) in &view.renames {
+        buf.put_u32(c.0);
+        put_str(buf, name);
+    }
+    buf.put_u32(view.edges.len() as u32);
+    for (a, b) in &view.edges {
+        buf.put_u32(a.0);
+        buf.put_u32(b.0);
+    }
+}
+
+/// Decode one view schema.
+pub fn decode_view(buf: &mut Bytes) -> ModelResult<ViewSchema> {
+    let id = ViewId(get_u32(buf)?);
+    let family = get_str(buf)?;
+    let version = get_u32(buf)?;
+    let n = get_u32(buf)? as usize;
+    let mut classes = std::collections::BTreeSet::new();
+    for _ in 0..n {
+        classes.insert(ClassId(get_u32(buf)?));
+    }
+    let n = get_u32(buf)? as usize;
+    let mut renames = std::collections::BTreeMap::new();
+    for _ in 0..n {
+        let c = ClassId(get_u32(buf)?);
+        renames.insert(c, get_str(buf)?);
+    }
+    let n = get_u32(buf)? as usize;
+    let mut edges = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        edges.push((ClassId(get_u32(buf)?), ClassId(get_u32(buf)?)));
+    }
+    Ok(ViewSchema { id, family, version, classes, renames, edges })
+}
+
+/// Encode a whole manager (all views + family histories).
+pub fn encode_manager(manager: &ViewManager) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(b"TSEVW001");
+    let views: Vec<&ViewSchema> = (0..manager.view_count() as u32)
+        .map(|i| manager.view(ViewId(i)).expect("dense view ids"))
+        .collect();
+    buf.put_u32(views.len() as u32);
+    for v in views {
+        encode_view(&mut buf, v);
+    }
+    buf.freeze()
+}
+
+/// Decode a manager. The per-family histories are rebuilt from the views'
+/// family/version fields.
+pub fn decode_manager(mut bytes: Bytes) -> ModelResult<ViewManager> {
+    if bytes.remaining() < 8 {
+        return Err(corrupt("view snapshot too short"));
+    }
+    let mut magic = [0u8; 8];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != b"TSEVW001" {
+        return Err(corrupt("bad view snapshot magic"));
+    }
+    let n = get_u32(&mut bytes)? as usize;
+    let mut views = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        views.push(decode_view(&mut bytes)?);
+    }
+    ViewManager::from_views(views)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::ViewManager;
+    use std::collections::BTreeSet;
+    use tse_object_model::Database;
+
+    fn setup() -> (Database, ViewManager) {
+        let mut db = Database::default();
+        let a = db.schema_mut().create_base_class("A", &[]).unwrap();
+        let b = db.schema_mut().create_base_class("B", &[a]).unwrap();
+        let mut vm = ViewManager::new();
+        vm.create_view(&db, "VS", BTreeSet::from([a, b])).unwrap();
+        vm.push_version(
+            &db,
+            "VS",
+            BTreeSet::from([a]),
+            std::collections::BTreeMap::from([(a, "Alpha".to_string())]),
+        )
+        .unwrap();
+        vm.create_view(&db, "OTHER", BTreeSet::from([b])).unwrap();
+        (db, vm)
+    }
+
+    #[test]
+    fn manager_roundtrips_with_history() {
+        let (db, vm) = setup();
+        let restored = decode_manager(encode_manager(&vm)).unwrap();
+        assert_eq!(restored.view_count(), vm.view_count());
+        assert_eq!(restored.versions("VS").unwrap(), vm.versions("VS").unwrap());
+        assert_eq!(restored.current("VS").unwrap(), vm.current("VS").unwrap());
+        assert_eq!(
+            restored.current("VS").unwrap().local_name(&db, db.schema().by_name("A").unwrap()).unwrap(),
+            "Alpha"
+        );
+        assert_eq!(restored.versions("OTHER").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn corrupt_inputs_error() {
+        assert!(decode_manager(Bytes::from_static(b"junk")).is_err());
+        let (_, vm) = setup();
+        let good = encode_manager(&vm);
+        for cut in (0..good.len()).step_by(13) {
+            let _ = decode_manager(good.slice(..cut));
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Random schema and population generators (seeded, reproducible).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tse_core::TseSystem;
+use tse_object_model::{ModelResult, Oid, PropertyDef, Value, ValueType};
+use tse_view::ViewId;
+
+/// Parameters for random schema generation.
+#[derive(Debug, Clone)]
+pub struct RandomSchemaParams {
+    /// Number of classes (excluding the root).
+    pub classes: usize,
+    /// Maximum direct superclasses per class (≥1; >1 yields multiple
+    /// inheritance).
+    pub max_supers: usize,
+    /// Properties defined locally per class (names are globally unique, so
+    /// generated schemas never exercise the ambiguity corner unless asked).
+    pub props_per_class: usize,
+    /// Objects to create.
+    pub objects: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomSchemaParams {
+    fn default() -> Self {
+        RandomSchemaParams { classes: 12, max_supers: 2, props_per_class: 2, objects: 50, seed: 7 }
+    }
+}
+
+/// A generated random schema inside a [`TseSystem`], with a view over all of
+/// its classes.
+pub struct RandomSchema {
+    /// The system.
+    pub tse: TseSystem,
+    /// Global class names, in creation order (class `i` may only inherit
+    /// from classes `< i`, guaranteeing a DAG).
+    pub class_names: Vec<String>,
+    /// Per class: locally defined property names.
+    pub props: Vec<Vec<String>>,
+    /// The all-classes view.
+    pub view: ViewId,
+    /// Created objects.
+    pub oids: Vec<Oid>,
+}
+
+/// Generate a random schema + population.
+pub fn random_schema(params: &RandomSchemaParams) -> ModelResult<RandomSchema> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut tse = TseSystem::new();
+    let mut class_names: Vec<String> = Vec::with_capacity(params.classes);
+    let mut props: Vec<Vec<String>> = Vec::with_capacity(params.classes);
+    let mut prop_counter = 0usize;
+
+    for i in 0..params.classes {
+        let name = format!("C{i}");
+        let n_supers = if i == 0 { 0 } else { rng.gen_range(1..=params.max_supers.min(i)) };
+        let mut supers: Vec<usize> = Vec::new();
+        while supers.len() < n_supers {
+            let s = rng.gen_range(0..i);
+            if !supers.contains(&s) {
+                supers.push(s);
+            }
+        }
+        let super_names: Vec<&str> = supers.iter().map(|s| class_names[*s].as_str()).collect();
+        let mut local_props = Vec::new();
+        let mut defs = Vec::new();
+        for _ in 0..params.props_per_class {
+            let pname = format!("p{prop_counter}");
+            prop_counter += 1;
+            let def = match rng.gen_range(0..3) {
+                0 => PropertyDef::stored(&pname, ValueType::Int, Value::Int(0)),
+                1 => PropertyDef::stored(&pname, ValueType::Str, Value::Null),
+                _ => PropertyDef::stored(&pname, ValueType::Float, Value::Float(0.0)),
+            };
+            defs.push(def);
+            local_props.push(pname);
+        }
+        tse.define_base_class(&name, &super_names, defs)?;
+        class_names.push(name);
+        props.push(local_props);
+    }
+
+    let view = tse.create_view_all("R")?;
+    let mut oids = Vec::with_capacity(params.objects);
+    for _ in 0..params.objects {
+        let class = &class_names[rng.gen_range(0..class_names.len())];
+        let oid = tse.create(view, class, &[])?;
+        oids.push(oid);
+    }
+    Ok(RandomSchema { tse, class_names, props, view, oids })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = random_schema(&RandomSchemaParams::default()).unwrap();
+        let b = random_schema(&RandomSchemaParams::default()).unwrap();
+        assert_eq!(a.class_names, b.class_names);
+        assert_eq!(a.props, b.props);
+        assert_eq!(a.oids.len(), b.oids.len());
+        let ca = a.tse.db().schema().class_count();
+        let cb = b.tse.db().schema().class_count();
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_schema(&RandomSchemaParams::default()).unwrap();
+        let b = random_schema(&RandomSchemaParams {
+            seed: 8,
+            ..RandomSchemaParams::default()
+        })
+        .unwrap();
+        // Same class names (deterministic), but structure/extents differ in
+        // general; check extent distribution differs.
+        let ext_a = a.tse.db().extent(a.tse.db().schema().by_name("C0").unwrap()).unwrap().len();
+        let ext_b = b.tse.db().extent(b.tse.db().schema().by_name("C0").unwrap()).unwrap().len();
+        // (This could coincide; the class graph differing is the robust check.)
+        let sup_a: Vec<_> = a
+            .class_names
+            .iter()
+            .map(|n| {
+                let id = a.tse.db().schema().by_name(n).unwrap();
+                a.tse.db().schema().class(id).unwrap().direct_supers().to_vec()
+            })
+            .collect();
+        let sup_b: Vec<_> = b
+            .class_names
+            .iter()
+            .map(|n| {
+                let id = b.tse.db().schema().by_name(n).unwrap();
+                b.tse.db().schema().class(id).unwrap().direct_supers().to_vec()
+            })
+            .collect();
+        assert!(sup_a != sup_b || ext_a != ext_b);
+    }
+
+    #[test]
+    fn generated_schema_is_usable_for_evolution() {
+        let mut r = random_schema(&RandomSchemaParams {
+            classes: 6,
+            objects: 10,
+            ..RandomSchemaParams::default()
+        })
+        .unwrap();
+        let report = r.tse.evolve_cmd("R", "add_attribute extra: int to C3").unwrap();
+        assert!(report.classes_touched >= 1);
+        assert!(r.tse.views_unaffected_except("R").unwrap());
+    }
+}

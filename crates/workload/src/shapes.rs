@@ -1,0 +1,98 @@
+//! Synthetic schema shapes for the benchmark parameter sweeps.
+
+use tse_core::TseSystem;
+use tse_object_model::{ModelResult, PropertyDef, Value, ValueType};
+
+/// A linear inheritance chain `L0 ← L1 ← … ← L{depth-1}`, each class with
+/// one local int attribute `a{i}`. Used by the subschema-evolution sweep and
+/// the inherited-attribute-access measurements (hop count grows with depth).
+pub fn build_chain(tse: &mut TseSystem, depth: usize) -> ModelResult<Vec<String>> {
+    let mut names: Vec<String> = Vec::with_capacity(depth);
+    for i in 0..depth {
+        let name = format!("L{i}");
+        let supers: Vec<&str> =
+            if i == 0 { vec![] } else { vec![names[i - 1].as_str()] };
+        tse.define_base_class(
+            &name,
+            &supers,
+            vec![PropertyDef::stored(&format!("a{i}"), ValueType::Int, Value::Int(0))],
+        )?;
+        names.push(name);
+    }
+    Ok(names)
+}
+
+/// A flat fan: one root `F` with `width` direct subclasses `F0..`, each with
+/// one local attribute. Used for wide-view priming sweeps.
+pub fn build_fan(tse: &mut TseSystem, width: usize) -> ModelResult<Vec<String>> {
+    tse.define_base_class(
+        "F",
+        &[],
+        vec![PropertyDef::stored("root_attr", ValueType::Int, Value::Int(0))],
+    )?;
+    let mut names = vec!["F".to_string()];
+    for i in 0..width {
+        let name = format!("F{i}");
+        tse.define_base_class(
+            &name,
+            &["F"],
+            vec![PropertyDef::stored(&format!("f{i}"), ValueType::Int, Value::Int(0))],
+        )?;
+        names.push(name);
+    }
+    Ok(names)
+}
+
+/// `mixins` independent classes under a common base — the shape that makes
+/// the intersection-class approach explode combinatorially (Table 1's
+/// `#classes` row: up to `2^N_class`).
+pub fn build_mixins(tse: &mut TseSystem, mixins: usize) -> ModelResult<Vec<String>> {
+    tse.define_base_class("Base", &[], vec![])?;
+    let mut names = vec!["Base".to_string()];
+    for i in 0..mixins {
+        let name = format!("M{i}");
+        tse.define_base_class(
+            &name,
+            &["Base"],
+            vec![PropertyDef::stored(&format!("m{i}"), ValueType::Int, Value::Int(0))],
+        )?;
+        names.push(name);
+    }
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_depth_and_inheritance() {
+        let mut tse = TseSystem::new();
+        let names = build_chain(&mut tse, 6).unwrap();
+        assert_eq!(names.len(), 6);
+        let bottom = tse.db().schema().by_name("L5").unwrap();
+        let top = tse.db().schema().by_name("L0").unwrap();
+        assert!(tse.db().schema().is_sub_of(bottom, top));
+        assert_eq!(tse.db().schema().up_distance(bottom, top), Some(5));
+        assert_eq!(tse.db().schema().resolved_type(bottom).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn fan_width() {
+        let mut tse = TseSystem::new();
+        let names = build_fan(&mut tse, 8).unwrap();
+        assert_eq!(names.len(), 9);
+        let root = tse.db().schema().by_name("F").unwrap();
+        assert_eq!(tse.db().schema().class(root).unwrap().direct_subs().len(), 8);
+    }
+
+    #[test]
+    fn mixins_are_independent() {
+        let mut tse = TseSystem::new();
+        build_mixins(&mut tse, 4).unwrap();
+        let m0 = tse.db().schema().by_name("M0").unwrap();
+        let m1 = tse.db().schema().by_name("M1").unwrap();
+        assert!(!tse.db().schema().is_sub_of(m0, m1));
+        assert!(!tse.db().schema().is_sub_of(m1, m0));
+    }
+}

@@ -1,0 +1,169 @@
+//! The university database of Figure 2, and the schemas of the other
+//! figures, as reusable builders.
+
+use tse_core::TseSystem;
+use tse_object_model::{ClassId, ModelResult, Oid, PropertyDef, Value, ValueType};
+use tse_view::ViewId;
+
+/// Handles into the university schema (Figure 2).
+#[derive(Debug, Clone)]
+pub struct University {
+    /// `Person(name, age)`.
+    pub person: ClassId,
+    /// `Student(gpa)` under Person.
+    pub student: ClassId,
+    /// `Staff(salary)` under Person.
+    pub staff: ClassId,
+    /// `TeachingStaff(lecture)` under Staff.
+    pub teaching_staff: ClassId,
+    /// `SupportStaff(boss)` under Staff.
+    pub support_staff: ClassId,
+    /// `TA` under Student and TeachingStaff.
+    pub ta: ClassId,
+    /// `Grader` under TA.
+    pub grader: ClassId,
+    /// `Grad` under Student.
+    pub grad: ClassId,
+    /// `Undergrad` under Student.
+    pub undergrad: ClassId,
+}
+
+/// Build the full university schema of Figure 2 into a fresh [`TseSystem`].
+pub fn build_university() -> ModelResult<(TseSystem, University)> {
+    let mut tse = TseSystem::new();
+    let person = tse.define_base_class(
+        "Person",
+        &[],
+        vec![
+            PropertyDef::stored("name", ValueType::Str, Value::Null),
+            PropertyDef::stored("age", ValueType::Int, Value::Int(0)),
+        ],
+    )?;
+    let student = tse.define_base_class(
+        "Student",
+        &["Person"],
+        vec![PropertyDef::stored("gpa", ValueType::Float, Value::Float(0.0))],
+    )?;
+    let staff = tse.define_base_class(
+        "Staff",
+        &["Person"],
+        vec![PropertyDef::stored("salary", ValueType::Int, Value::Int(0))],
+    )?;
+    let teaching_staff = tse.define_base_class(
+        "TeachingStaff",
+        &["Staff"],
+        vec![PropertyDef::stored("lecture", ValueType::Str, Value::Null)],
+    )?;
+    let support_staff = tse.define_base_class(
+        "SupportStaff",
+        &["Staff"],
+        vec![PropertyDef::stored("boss", ValueType::Str, Value::Null)],
+    )?;
+    let ta = tse.define_base_class("TA", &["Student", "TeachingStaff"], vec![])?;
+    let grader = tse.define_base_class("Grader", &["TA"], vec![])?;
+    let grad = tse.define_base_class("Grad", &["Student"], vec![])?;
+    let undergrad = tse.define_base_class("Undergrad", &["Student"], vec![])?;
+    Ok((
+        tse,
+        University {
+            person,
+            student,
+            staff,
+            teaching_staff,
+            support_staff,
+            ta,
+            grader,
+            grad,
+            undergrad,
+        },
+    ))
+}
+
+/// Populate a university system with `n` people spread across the classes
+/// (deterministic round-robin; attribute values derived from the index).
+pub fn populate_university(
+    tse: &mut TseSystem,
+    view: ViewId,
+    n: usize,
+) -> ModelResult<Vec<Oid>> {
+    let classes = ["Person", "Student", "Staff", "TeachingStaff", "SupportStaff", "TA", "Grad", "Undergrad", "Grader"];
+    let mut oids = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = classes[i % classes.len()];
+        let oid = tse.create(
+            view,
+            class,
+            &[
+                ("name", Value::Str(format!("p{i}"))),
+                ("age", Value::Int(18 + (i as i64 % 50))),
+            ],
+        )?;
+        oids.push(oid);
+    }
+    Ok(oids)
+}
+
+/// The car schema of Figure 5 (for multiple-classification demos).
+pub fn build_cars() -> ModelResult<(TseSystem, ClassId, ClassId, ClassId)> {
+    let mut tse = TseSystem::new();
+    let car = tse.define_base_class(
+        "Car",
+        &[],
+        vec![PropertyDef::stored("model", ValueType::Str, Value::Null)],
+    )?;
+    let jeep = tse.define_base_class(
+        "Jeep",
+        &["Car"],
+        vec![PropertyDef::stored("clearance", ValueType::Int, Value::Int(0))],
+    )?;
+    let imported = tse.define_base_class(
+        "Imported",
+        &["Car"],
+        vec![PropertyDef::stored("nation", ValueType::Str, Value::Null)],
+    )?;
+    Ok((tse, car, jeep, imported))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn university_schema_matches_figure_2() {
+        let (tse, u) = build_university().unwrap();
+        let s = tse.db().schema();
+        assert!(s.is_sub_of(u.ta, u.student));
+        assert!(s.is_sub_of(u.ta, u.teaching_staff));
+        assert!(s.is_sub_of(u.grader, u.person));
+        assert!(s.is_sub_of(u.support_staff, u.staff));
+        // TA inherits from both sides of the diamond.
+        let t = s.resolved_type(u.ta).unwrap();
+        assert!(t.contains_name("gpa"));
+        assert!(t.contains_name("lecture"));
+        assert!(t.contains_name("salary"));
+        assert!(t.contains_name("name"));
+    }
+
+    #[test]
+    fn population_is_deterministic_and_typed() {
+        let (mut tse, u) = build_university().unwrap();
+        let v = tse.create_view_all("ALL").unwrap();
+        let oids = populate_university(&mut tse, v, 30).unwrap();
+        assert_eq!(oids.len(), 30);
+        assert_eq!(tse.db().extent(u.person).unwrap().len(), 30);
+        assert_eq!(
+            tse.get(v, oids[0], "Person", "name").unwrap(),
+            Value::Str("p0".into())
+        );
+        // Round-robin: index 5 is a TA.
+        assert!(tse.db().is_member(oids[5], u.ta).unwrap());
+    }
+
+    #[test]
+    fn car_schema_builds() {
+        let (tse, car, jeep, imported) = build_cars().unwrap();
+        assert!(tse.db().schema().is_sub_of(jeep, car));
+        assert!(tse.db().schema().is_sub_of(imported, car));
+        assert!(!tse.db().schema().is_sub_of(jeep, imported));
+    }
+}

@@ -1,0 +1,55 @@
+//! Replay a field-study-shaped schema-evolution trace (Sjøberg's 18-month
+//! observation: attribute growth dominates; Marche: most attributes change)
+//! and watch the system absorb it: every view version stays live, no other
+//! team's view is ever touched, and the global schema grows monotonically.
+//!
+//! ```text
+//! cargo run --release --example evolution_trace [changes] [seed]
+//! ```
+
+use tse::workload::trace::{generate_and_apply_trace, TraceMix};
+use tse::workload::university::{build_university, populate_university};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(40);
+    let seed: u64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(2026);
+
+    let (mut tse, _) = build_university()?;
+    tse.create_view("dev", &["Person", "Student", "Staff", "TeachingStaff"])?;
+    tse.create_view("observers", &["Person", "TA", "Grad"])?;
+    // Load data through a whole-schema view (population spans classes the
+    // dev view deliberately does not select).
+    let loader = tse.create_view_all("loader")?;
+    let oids = populate_university(&mut tse, loader, 200)?;
+
+    let classes_before = tse.db().schema().live_class_count();
+    let trace = generate_and_apply_trace(&mut tse, "dev", n, &TraceMix::default(), seed)?;
+
+    let mut histogram = std::collections::BTreeMap::new();
+    for c in &trace.changes {
+        *histogram.entry(c.op_name()).or_insert(0usize) += 1;
+    }
+    println!("applied {} schema changes (seed {seed}):", trace.changes.len());
+    for (op, count) in &histogram {
+        println!("  {op:<18} {count}");
+    }
+    println!(
+        "global schema: {} -> {} live classes; view versions: {}",
+        classes_before,
+        tse.db().schema().live_class_count(),
+        tse.views().versions("dev")?.len()
+    );
+
+    // Invariants after the storm:
+    assert!(tse.views_unaffected_except("dev")?, "observers' view untouched");
+    // All objects survive (the untouched loader view sees every one of them;
+    // the dev view's extents may legitimately differ after edge surgery).
+    let survivors = tse.extent(loader, "Person")?;
+    assert_eq!(survivors.len(), oids.len(), "all objects survive schema evolution");
+    // The very first dev version still answers.
+    let v1 = tse.views().versions("dev")?[0];
+    assert!(tse.get(v1, oids[0], "Person", "name").is_ok());
+    println!("observers' view untouched; all {} objects reachable from every version. done.",
+        oids.len());
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Quickstart: transparent schema evolution in a dozen lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use tse::core::TseSystem;
+use tse::object_model::{PropertyDef, Value, ValueType};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A shared base schema.
+    let mut tse = TseSystem::new();
+    tse.define_base_class(
+        "Person",
+        &[],
+        vec![PropertyDef::stored("name", ValueType::Str, Value::Null)],
+    )?;
+    tse.define_base_class("Student", &["Person"], vec![])?;
+
+    // 2. Each developer works against a personal view.
+    let alice_v1 = tse.create_view("alice", &["Person", "Student"])?;
+    let bob_v1 = tse.create_view("bob", &["Person", "Student"])?;
+
+    // 3. Alice's application stores data through her view.
+    let ann = tse.create(alice_v1, "Student", &[("name", "ann".into())])?;
+
+    // 4. Alice needs a new stored attribute. She changes *her view*; nobody
+    //    consults a DBA, and Bob's programs never notice.
+    let report = tse.evolve_cmd("alice", "add_attribute register: bool = false to Student")?;
+    let alice_v2 = report.view;
+    println!("generated view specification:\n{}", report.script);
+
+    // 5. Transparent: the class is still called Student, old data is there,
+    //    and the new attribute is real, stored state.
+    tse.set(alice_v2, ann, "Student", &[("register", Value::Bool(true))])?;
+    println!(
+        "alice v2: name={:?} register={:?}",
+        tse.get(alice_v2, ann, "Student", "name")?,
+        tse.get(alice_v2, ann, "Student", "register")?,
+    );
+
+    // 6. Bob still sees the same object — without the attribute he never
+    //    asked for — and his view schema is untouched.
+    println!("bob   v1: name={:?}", tse.get(bob_v1, ann, "Student", "name")?);
+    assert!(tse.get(bob_v1, ann, "Student", "register").is_err());
+    assert!(tse.views_unaffected_except("alice")?);
+    println!("bob's view unaffected; objects shared. done.");
+    Ok(())
+}

@@ -1,0 +1,299 @@
+//! An interactive TSE shell: define a schema, give users views, evolve them
+//! transparently, and poke at shared objects across schema versions.
+//!
+//! ```text
+//! cargo run --example shell                 # interactive
+//! echo '...commands...' | cargo run --example shell   # scripted
+//! ```
+//!
+//! Commands:
+//! ```text
+//! class <Name> [under A,B] [(attr: type [= default], …)]   define a base class
+//! view <family> = <Class>, <Class>, …                      create a view
+//! use <family>[@version]                                   select current view
+//! evolve <schema-change command>                           evolve current family
+//! show [types]                                             render current view
+//! versions                                                 list the family's versions
+//! new <Class> [attr=value …]                               create an object
+//! get <oid> <Class> <attr>                                 read an attribute
+//! set <oid> <Class> <attr>=<value> …                       write attributes
+//! extent <Class>                                           list members
+//! merge <famA> <famB> into <famC>                          merge two views (§7)
+//! save <path> | load <path>                                 persist / restore
+//! help | quit
+//! ```
+
+use std::io::{BufRead, Write};
+
+use tse::core::{change, TseSystem};
+use tse::object_model::{Oid, PropertyDef, Value};
+use tse::view::ViewId;
+
+struct Shell {
+    tse: TseSystem,
+    family: Option<String>,
+    view: Option<ViewId>,
+}
+
+fn parse_oid(s: &str) -> Result<Oid, String> {
+    s.trim_start_matches('o')
+        .parse::<u64>()
+        .map(Oid)
+        .map_err(|_| format!("bad oid {s:?} (use e.g. o3)"))
+}
+
+fn parse_assignments(parts: &[&str]) -> Result<Vec<(String, Value)>, String> {
+    parts
+        .iter()
+        .map(|p| {
+            let (k, v) = p.split_once('=').ok_or_else(|| format!("expected attr=value, got {p:?}"))?;
+            let value = change::parse_value(v).map_err(|e| e.to_string())?;
+            Ok((k.trim().to_string(), value))
+        })
+        .collect()
+}
+
+impl Shell {
+    fn new() -> Self {
+        Shell { tse: TseSystem::new(), family: None, view: None }
+    }
+
+    fn current(&self) -> Result<(String, ViewId), String> {
+        match (&self.family, self.view) {
+            (Some(f), Some(v)) => Ok((f.clone(), v)),
+            _ => Err("no view selected; `view <fam> = …` then `use <fam>`".into()),
+        }
+    }
+
+    fn exec(&mut self, line: &str) -> Result<String, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(String::new());
+        }
+        let (cmd, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match cmd {
+            "help" => Ok(HELP.to_string()),
+            "class" => self.cmd_class(rest),
+            "view" => self.cmd_view(rest),
+            "use" => self.cmd_use(rest),
+            "evolve" => self.cmd_evolve(rest),
+            "show" => {
+                let (_, v) = self.current()?;
+                let view = self.tse.view(v).map_err(|e| e.to_string())?;
+                Ok(if rest == "types" {
+                    view.render_with_types(self.tse.db())
+                } else {
+                    view.render(self.tse.db())
+                })
+            }
+            "versions" => {
+                let (f, _) = self.current()?;
+                let ids = self.tse.views().versions(&f).map_err(|e| e.to_string())?;
+                Ok(ids
+                    .iter()
+                    .enumerate()
+                    .map(|(i, id)| format!("{f}@{} = {id}\n", i + 1))
+                    .collect())
+            }
+            "new" => self.cmd_new(rest),
+            "get" => self.cmd_get(rest),
+            "set" => self.cmd_set(rest),
+            "extent" => {
+                let (_, v) = self.current()?;
+                let oids = self.tse.extent(v, rest).map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "{{ {} }} ({} members)\n",
+                    oids.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(" "),
+                    oids.len()
+                ))
+            }
+            "merge" => self.cmd_merge(rest),
+            "save" => {
+                self.tse.save(std::path::Path::new(rest)).map_err(|e| e.to_string())?;
+                Ok(format!("saved to {rest}\n"))
+            }
+            "load" => {
+                self.tse = TseSystem::load(std::path::Path::new(rest)).map_err(|e| e.to_string())?;
+                self.family = None;
+                self.view = None;
+                Ok(format!("loaded {rest}; select a view with `use`\n"))
+            }
+            other => Err(format!("unknown command {other:?}; try `help`")),
+        }
+    }
+
+    fn cmd_class(&mut self, rest: &str) -> Result<String, String> {
+        // class Name [under A,B] [(attr: type [= default], ...)]
+        let (head, props_src) = match rest.split_once('(') {
+            Some((h, p)) => (h.trim(), Some(p.trim_end_matches(')').trim())),
+            None => (rest.trim(), None),
+        };
+        let (name, supers) = match head.split_once(" under ") {
+            Some((n, s)) => (n.trim(), s.split(',').map(|x| x.trim()).collect::<Vec<_>>()),
+            None => (head.trim(), vec![]),
+        };
+        let mut props = Vec::new();
+        if let Some(src) = props_src {
+            for decl in src.split(',').filter(|d| !d.trim().is_empty()) {
+                let (pname, rest) = decl
+                    .split_once(':')
+                    .ok_or_else(|| format!("expected 'attr: type', got {decl:?}"))?;
+                let (ty, default) = match rest.split_once('=') {
+                    Some((t, d)) => (
+                        change::parse_type(t).map_err(|e| e.to_string())?,
+                        change::parse_value(d).map_err(|e| e.to_string())?,
+                    ),
+                    None => {
+                        let t = change::parse_type(rest).map_err(|e| e.to_string())?;
+                        let d = change::default_for_type(&t);
+                        (t, d)
+                    }
+                };
+                props.push(PropertyDef::stored(pname.trim(), ty, default));
+            }
+        }
+        self.tse.define_base_class(name, &supers, props).map_err(|e| e.to_string())?;
+        Ok(format!("class {name} defined\n"))
+    }
+
+    fn cmd_view(&mut self, rest: &str) -> Result<String, String> {
+        let (fam, classes) =
+            rest.split_once('=').ok_or("expected `view <fam> = <Class>, …`")?;
+        let names: Vec<&str> = classes.split(',').map(|c| c.trim()).collect();
+        let id = self.tse.create_view(fam.trim(), &names).map_err(|e| e.to_string())?;
+        self.family = Some(fam.trim().to_string());
+        self.view = Some(id);
+        Ok(format!("view {} created and selected\n", fam.trim()))
+    }
+
+    fn cmd_use(&mut self, rest: &str) -> Result<String, String> {
+        let (fam, version) = match rest.split_once('@') {
+            Some((f, v)) => (f.trim(), Some(v.trim().parse::<usize>().map_err(|e| e.to_string())?)),
+            None => (rest.trim(), None),
+        };
+        let versions = self.tse.views().versions(fam).map_err(|e| e.to_string())?;
+        let id = match version {
+            Some(n) if n >= 1 && n <= versions.len() => versions[n - 1],
+            Some(n) => return Err(format!("{fam} has {} versions, not {n}", versions.len())),
+            None => *versions.last().unwrap(),
+        };
+        self.family = Some(fam.to_string());
+        self.view = Some(id);
+        Ok(format!("using {fam} (version {})\n", self.tse.view(id).map_err(|e| e.to_string())?.version))
+    }
+
+    fn cmd_evolve(&mut self, rest: &str) -> Result<String, String> {
+        let (fam, _) = self.current()?;
+        let report = self.tse.evolve_cmd(&fam, rest).map_err(|e| e.to_string())?;
+        self.view = Some(report.view);
+        let mut out = String::new();
+        if !report.script.is_empty() {
+            out.push_str("generated view specification:\n");
+            out.push_str(&report.script);
+        }
+        out.push_str(&format!(
+            "now at version {} ({} classes touched, {} duplicates folded)\n",
+            self.tse.view(report.view).map_err(|e| e.to_string())?.version,
+            report.classes_touched,
+            report.duplicates_folded
+        ));
+        Ok(out)
+    }
+
+    fn cmd_new(&mut self, rest: &str) -> Result<String, String> {
+        let (_, v) = self.current()?;
+        let mut parts = rest.split_whitespace();
+        let class = parts.next().ok_or("expected `new <Class> [attr=value …]`")?;
+        let assigns = parse_assignments(&parts.collect::<Vec<_>>())?;
+        let refs: Vec<(&str, Value)> =
+            assigns.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let oid = self.tse.create(v, class, &refs).map_err(|e| e.to_string())?;
+        Ok(format!("{oid}\n"))
+    }
+
+    fn cmd_get(&mut self, rest: &str) -> Result<String, String> {
+        let (_, v) = self.current()?;
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        let [oid, class, attr] = parts[..] else {
+            return Err("expected `get <oid> <Class> <attr>`".into());
+        };
+        let value = self
+            .tse
+            .get(v, parse_oid(oid)?, class, attr)
+            .map_err(|e| e.to_string())?;
+        Ok(format!("{value:?}\n"))
+    }
+
+    fn cmd_set(&mut self, rest: &str) -> Result<String, String> {
+        let (_, v) = self.current()?;
+        let mut parts = rest.split_whitespace();
+        let oid = parse_oid(parts.next().ok_or("expected `set <oid> <Class> attr=value …`")?)?;
+        let class = parts.next().ok_or("missing class")?;
+        let assigns = parse_assignments(&parts.collect::<Vec<_>>())?;
+        let refs: Vec<(&str, Value)> =
+            assigns.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        self.tse.set(v, oid, class, &refs).map_err(|e| e.to_string())?;
+        Ok("ok\n".into())
+    }
+
+    fn cmd_merge(&mut self, rest: &str) -> Result<String, String> {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        let [a, b, "into", c] = parts[..] else {
+            return Err("expected `merge <famA> <famB> into <famC>`".into());
+        };
+        let id = self.tse.merge_views(a, b, c).map_err(|e| e.to_string())?;
+        self.family = Some(c.to_string());
+        self.view = Some(id);
+        Ok(format!("merged into {c} and selected\n"))
+    }
+}
+
+const HELP: &str = "\
+commands: class, view, use, evolve, show, versions, new, get, set, extent,\n\
+merge, save, load, help, quit — see the file header for syntax.\n";
+
+fn main() {
+    let mut shell = Shell::new();
+    let stdin = std::io::stdin();
+    let interactive = atty_stdin();
+    if interactive {
+        println!("TSE shell — `help` for commands, `quit` to exit.");
+    }
+    loop {
+        if interactive {
+            let prompt = shell.family.clone().unwrap_or_else(|| "tse".into());
+            print!("{prompt}> ");
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        match shell.exec(line) {
+            Ok(out) => print!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+/// Minimal TTY check without a dependency: scripted runs pipe stdin.
+fn atty_stdin() -> bool {
+    use std::os::unix::io::AsRawFd;
+    // SAFETY: isatty on a valid fd.
+    unsafe { libc_isatty(std::io::stdin().as_raw_fd()) }
+}
+
+#[cfg(unix)]
+unsafe fn libc_isatty(fd: i32) -> bool {
+    extern "C" {
+        fn isatty(fd: i32) -> i32;
+    }
+    isatty(fd) == 1
+}

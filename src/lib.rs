@@ -1,0 +1,13 @@
+//! # tse — Transparent Schema Evolution for object-oriented databases
+//!
+//! Facade crate re-exporting the full TSE workspace. See the README for a
+//! tour and `DESIGN.md` for the system inventory.
+
+pub use tse_algebra as algebra;
+pub use tse_baselines as baselines;
+pub use tse_classifier as classifier;
+pub use tse_core as core;
+pub use tse_object_model as object_model;
+pub use tse_storage as storage;
+pub use tse_view as view;
+pub use tse_workload as workload;

@@ -1,0 +1,115 @@
+//! Cross-version interoperability invariants (§2.3): "both old and new
+//! versions of a schema must be able to share the same (persistent) data,
+//! independently from through which schema they were originally created."
+//!
+//! After arbitrary evolution traces, every registered view version must
+//! remain fully operational over the one shared object population.
+
+use proptest::prelude::*;
+
+use tse::core::TseSystem;
+use tse::object_model::Value;
+use tse::workload::trace::{generate_and_apply_trace, TraceMix};
+
+/// A mix without hierarchy surgery: under it, class extents are invariant
+/// across versions (edge ops legitimately reshape extents).
+fn content_mix() -> TraceMix {
+    TraceMix { add_edge: 0, delete_edge: 0, ..TraceMix::default() }
+}
+use tse::workload::university::build_university;
+
+fn setup() -> (TseSystem, Vec<tse::object_model::Oid>) {
+    let (mut tse, _) = build_university().unwrap();
+    tse.create_view("dev", &["Person", "Student", "Staff", "TeachingStaff"]).unwrap();
+    let v1 = tse.views().versions("dev").unwrap()[0];
+    let mut oids = Vec::new();
+    for i in 0..20 {
+        let class = ["Person", "Student", "Staff"][i % 3];
+        oids.push(
+            tse.create(v1, class, &[("name", Value::Str(format!("p{i}")))]).unwrap(),
+        );
+    }
+    (tse, oids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn every_version_stays_operational_after_traces(seed in 0u64..500, n in 1usize..12) {
+        let (mut tse, oids) = setup();
+        generate_and_apply_trace(&mut tse, "dev", n, &content_mix(), seed).unwrap();
+
+        let versions = tse.views().versions("dev").unwrap().to_vec();
+        prop_assert_eq!(versions.len(), n + 1);
+        for vid in versions {
+            // The root class of the evolving view keeps answering extent and
+            // attribute queries in every version.
+            let view = tse.view(vid).unwrap();
+            // Person is never deleted by the generator's mix (only added
+            // classes are deleted), so it is in every version.
+            let person = view.lookup(tse.db(), "Person");
+            prop_assert!(person.is_ok(), "Person present in every version");
+            let ext = tse.extent(vid, "Person").unwrap();
+            prop_assert_eq!(ext.len(), oids.len(), "all objects visible in every version");
+            prop_assert_eq!(
+                tse.get(vid, oids[0], "Person", "name").unwrap(),
+                Value::Str("p0".into())
+            );
+        }
+    }
+
+    #[test]
+    fn writes_flow_between_any_two_versions(seed in 0u64..200, n in 1usize..8) {
+        let (mut tse, oids) = setup();
+        generate_and_apply_trace(&mut tse, "dev", n, &content_mix(), seed).unwrap();
+        let versions = tse.views().versions("dev").unwrap().to_vec();
+        let first = versions[0];
+        let last = *versions.last().unwrap();
+        // Write through the newest version; read through the oldest.
+        tse.set(last, oids[0], "Person", &[("age", Value::Int(33))]).unwrap();
+        prop_assert_eq!(tse.get(first, oids[0], "Person", "age").unwrap(), Value::Int(33));
+        // And the other way round.
+        tse.set(first, oids[1], "Person", &[("age", Value::Int(44))]).unwrap();
+        prop_assert_eq!(tse.get(last, oids[1], "Person", "age").unwrap(), Value::Int(44));
+        // Objects created under the newest version are visible in the first.
+        let newcomer = tse.create(last, "Person", &[("name", "new".into())]).unwrap();
+        prop_assert!(tse.extent(first, "Person").unwrap().contains(&newcomer));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// With the *full* mix (including hierarchy surgery), extents may change
+    /// across versions — but every object survives and the oldest version
+    /// keeps answering.
+    #[test]
+    fn objects_survive_full_mix_traces(seed in 0u64..200, n in 1usize..10) {
+        let (mut tse, oids) = setup();
+        generate_and_apply_trace(&mut tse, "dev", n, &TraceMix::default(), seed).unwrap();
+        prop_assert_eq!(tse.db().object_count(), oids.len());
+        let v1 = tse.views().versions("dev").unwrap()[0];
+        prop_assert_eq!(
+            tse.get(v1, oids[0], "Person", "name").unwrap(),
+            Value::Str("p0".into())
+        );
+        prop_assert!(tse.views_unaffected_except("dev").unwrap());
+    }
+}
+
+#[test]
+fn deleted_attribute_data_survives_for_old_versions() {
+    let (mut tse, oids) = setup();
+    let v1 = tse.views().versions("dev").unwrap()[0];
+    let student = oids[1]; // created as Student
+    tse.set(v1, student, "Student", &[("gpa", Value::Float(3.7))]).unwrap();
+    let v2 = tse.evolve_cmd("dev", "delete_attribute gpa from Student").unwrap().view;
+    // Invisible through v2, alive through v1 — "the attributes to be deleted
+    // are not removed from the underlying global schema".
+    assert!(tse.get(v2, student, "Student", "gpa").is_err());
+    assert_eq!(tse.get(v1, student, "Student", "gpa").unwrap(), Value::Float(3.7));
+    // Still writable through the old version.
+    tse.set(v1, student, "Student", &[("gpa", Value::Float(4.0))]).unwrap();
+    assert_eq!(tse.get(v1, student, "Student", "gpa").unwrap(), Value::Float(4.0));
+}
