@@ -110,5 +110,21 @@ fn bench_scan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_inherited_access, bench_dynamic_classification, bench_scan);
+/// Not a timing loop: run the canonical evolution workload once and leave a
+/// phase-breakdown snapshot (`BENCH_classifier.json`) beside the criterion
+/// output, so classification phase timings land in a machine-readable file.
+fn emit_phase_snapshot(_c: &mut Criterion) {
+    let (tse, samples) = tse_bench::run_phase_workload();
+    let json = tse_bench::phase_breakdown_json("classifier", &tse, &samples);
+    let path = tse_bench::write_bench_json("classifier", &json).expect("write snapshot");
+    println!("phase-breakdown snapshot written to {path}");
+}
+
+criterion_group!(
+    benches,
+    bench_inherited_access,
+    bench_dynamic_classification,
+    bench_scan,
+    emit_phase_snapshot
+);
 criterion_main!(benches);

@@ -299,5 +299,26 @@ fn main() {
     if want("fig16") {
         fig16();
     }
+    if all || arg == "phases" {
+        phases();
+    }
     println!("\nall requested figures reproduced.");
+}
+
+/// Run the canonical evolution workload and leave a machine-readable
+/// per-phase breakdown (`BENCH_figures.json`) next to the printed figures.
+fn phases() {
+    banner("Phase breakdown", "per-phase evolution timings + metrics snapshot");
+    let (tse, samples) = tse_bench::run_phase_workload();
+    for s in &samples {
+        let t = &s.timings;
+        println!(
+            "{:<55} total {:>9}ns = translate {:>7} + classify {:>9} + view_regen {:>7} + swap_in {:>9} (+glue)",
+            s.command, t.total_ns, t.translate_ns, t.classify_ns, t.view_regen_ns, t.swap_in_ns
+        );
+        assert!(t.phases_sum_ns() <= t.total_ns);
+    }
+    let json = tse_bench::phase_breakdown_json("figures", &tse, &samples);
+    let path = tse_bench::write_bench_json("figures", &json).expect("write BENCH_figures.json");
+    println!("phase breakdown written to {path}");
 }

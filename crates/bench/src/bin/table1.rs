@@ -65,4 +65,14 @@ fn main() {
     assert!(s.inherited_access_hops > 0 && i.inherited_access_hops == 0);
     assert!(s.reclassification_copies == 0 && i.reclassification_copies > 0);
     println!("shape checks passed.");
+
+    let json = tse_telemetry::JsonValue::obj(vec![
+        ("bench", "table1".into()),
+        ("objects", w.objects.into()),
+        ("types_per_object", w.types_per_object.into()),
+        ("slicing", tse_bench::phases::backend_numbers_json(s)),
+        ("intersection", tse_bench::phases::backend_numbers_json(i)),
+    ]);
+    let path = tse_bench::write_bench_json("table1", &json).expect("write BENCH_table1.json");
+    println!("measured numbers written to {path}");
 }

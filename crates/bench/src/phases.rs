@@ -1,0 +1,138 @@
+//! Phase-breakdown snapshots for the evolution pipeline.
+//!
+//! Runs a canonical mixed schema-evolution workload against the university
+//! database and renders each operation's [`PhaseTimings`] plus the final
+//! metrics-registry snapshot as one JSON document. The table/figure binaries
+//! write these as `BENCH_<name>.json` so perf runs leave a machine-readable
+//! artifact next to the human-readable tables.
+
+use tse_core::{PhaseTimings, TseSystem};
+use tse_telemetry::JsonValue;
+use tse_workload::university::build_university;
+
+/// One evolution operation with its measured phase breakdown.
+#[derive(Debug, Clone)]
+pub struct PhaseSample {
+    /// The textual schema-change command that was applied.
+    pub command: String,
+    /// The operator name from the evolution report.
+    pub op: String,
+    /// Wall-clock phase breakdown of the evolution.
+    pub timings: PhaseTimings,
+}
+
+/// The canonical mixed workload: one of each primitive family plus one
+/// composite macro, all against the university schema.
+pub const PHASE_WORKLOAD: &[&str] = &[
+    "add_attribute register: bool = false to Student",
+    "delete_attribute gpa from Student",
+    "add_edge SupportStaff - TA",
+    "insert_class Assistant between Student - TA",
+];
+
+/// Run [`PHASE_WORKLOAD`] on a fresh university database, one view over
+/// `Person`/`Student`/`TA`/`Staff` subtrees, returning the evolved system and
+/// the per-operation phase samples.
+pub fn run_phase_workload() -> (TseSystem, Vec<PhaseSample>) {
+    let (mut tse, _) = build_university().expect("university workload builds");
+    tse.create_view_all("PHASES").expect("view over whole schema");
+    let mut samples = Vec::with_capacity(PHASE_WORKLOAD.len());
+    for command in PHASE_WORKLOAD {
+        let report = tse.evolve_cmd("PHASES", command).expect("phase workload evolves");
+        samples.push(PhaseSample {
+            command: command.to_string(),
+            op: report.op.clone(),
+            timings: report.timings.clone(),
+        });
+    }
+    (tse, samples)
+}
+
+fn timings_json(t: &PhaseTimings) -> JsonValue {
+    JsonValue::obj(vec![
+        ("total_ns", t.total_ns.into()),
+        ("translate_ns", t.translate_ns.into()),
+        ("classify_ns", t.classify_ns.into()),
+        ("view_regen_ns", t.view_regen_ns.into()),
+        ("swap_in_ns", t.swap_in_ns.into()),
+        ("phases_sum_ns", t.phases_sum_ns().into()),
+    ])
+}
+
+/// Render the samples plus the system's metrics snapshot as one JSON object
+/// (`{"bench": ..., "phases": [...], "metrics": {...}}`).
+pub fn phase_breakdown_json(bench: &str, tse: &TseSystem, samples: &[PhaseSample]) -> JsonValue {
+    let phases = samples
+        .iter()
+        .map(|s| {
+            JsonValue::obj(vec![
+                ("command", s.command.as_str().into()),
+                ("op", s.op.as_str().into()),
+                ("timings", timings_json(&s.timings)),
+            ])
+        })
+        .collect::<Vec<_>>();
+    JsonValue::obj(vec![
+        ("bench", bench.into()),
+        ("phases", JsonValue::Arr(phases)),
+        ("metrics", tse.telemetry().snapshot().to_json()),
+    ])
+}
+
+/// Render a backend's measured Table 1 numbers as a JSON object.
+pub fn backend_numbers_json(n: &crate::table1::BackendNumbers) -> JsonValue {
+    JsonValue::obj(vec![
+        ("oids", n.oids.into()),
+        ("managerial_bytes", n.managerial_bytes.into()),
+        ("data_bytes", n.data_bytes.into()),
+        ("classes", n.classes.into()),
+        ("scan_page_misses", n.scan_page_misses.into()),
+        ("reclassification_copies", n.reclassification_copies.into()),
+        ("inherited_access_hops", n.inherited_access_hops.into()),
+    ])
+}
+
+/// Write `value` to `BENCH_<name>.json` in the current directory and return
+/// the file name. The content is validated JSON by construction (rendered by
+/// the same writer the journal uses).
+pub fn write_bench_json(name: &str, value: &JsonValue) -> std::io::Result<String> {
+    let path = format!("BENCH_{name}.json");
+    std::fs::write(&path, value.render() + "\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_workload_produces_nonzero_disjoint_timings() {
+        let (tse, samples) = run_phase_workload();
+        assert_eq!(samples.len(), PHASE_WORKLOAD.len());
+        for s in &samples {
+            assert!(s.timings.total_ns > 0, "{}: zero total", s.command);
+            assert!(s.timings.translate_ns > 0, "{}: zero translate", s.command);
+            assert!(s.timings.classify_ns > 0, "{}: zero classify", s.command);
+            assert!(s.timings.view_regen_ns > 0, "{}: zero view_regen", s.command);
+            assert!(s.timings.swap_in_ns > 0, "{}: zero swap_in", s.command);
+            assert!(
+                s.timings.phases_sum_ns() <= s.timings.total_ns,
+                "{}: phases overlap the total",
+                s.command
+            );
+        }
+        // The workload's evolutions all run spans + counters.
+        let snapshot = tse.telemetry().snapshot();
+        assert!(snapshot.counter("evolve.count") >= PHASE_WORKLOAD.len() as u64);
+    }
+
+    #[test]
+    fn breakdown_json_is_valid_and_carries_phases() {
+        let (tse, samples) = run_phase_workload();
+        let json = phase_breakdown_json("test", &tse, &samples);
+        let rendered = json.render();
+        let parsed = tse_telemetry::json::parse(&rendered).expect("valid JSON");
+        assert_eq!(parsed.get("bench").and_then(|b| b.as_str()), Some("test"));
+        assert!(matches!(parsed.get("phases"), Some(JsonValue::Arr(a)) if !a.is_empty()));
+    }
+}

@@ -36,7 +36,30 @@ fn is_retired(db: &Database, c: ClassId) -> bool {
 }
 
 /// Classify a virtual class into the global schema. See module docs.
+///
+/// Telemetry: spans as `classifier.classify`, bumps
+/// `classifier.classifications` / `classifier.duplicates_folded` /
+/// `classifier.promotions` in the database's registry.
 pub fn classify(db: &mut Database, class: ClassId) -> ModelResult<Placement> {
+    let telemetry = db.telemetry().clone();
+    let span = telemetry.span("classifier.classify");
+    let result = classify_inner(db, class);
+    telemetry.incr("classifier.classifications", 1);
+    if let Ok(p) = &result {
+        if p.duplicate_of.is_some() {
+            telemetry.incr("classifier.duplicates_folded", 1);
+        }
+        if !p.promoted.is_empty() {
+            telemetry.incr("classifier.promotions", p.promoted.len() as u64);
+        }
+        span.record("duplicate", p.duplicate_of.is_some());
+        span.record("supers", p.supers.len());
+        span.record("subs", p.subs.len());
+    }
+    result
+}
+
+fn classify_inner(db: &mut Database, class: ClassId) -> ModelResult<Placement> {
     if db.schema().class(class)?.is_base() {
         return Err(ModelError::NotAVirtualClass(class));
     }

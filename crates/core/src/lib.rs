@@ -43,5 +43,5 @@ mod system;
 mod translate;
 
 pub use change::{parse_change, parse_expr, SchemaChange};
-pub use system::{EvolutionReport, TseSystem};
+pub use system::{EvolutionReport, PhaseTimings, TseSystem};
 pub use translate::{translate, ChangePlan};

@@ -38,6 +38,40 @@ pub struct EvolutionReport {
     /// View classes replaced by primed counterparts — the subschema-evolution
     /// cost metric (how much of the schema a change touches).
     pub classes_touched: usize,
+    /// Wall-clock phase breakdown of this evolution.
+    pub timings: PhaseTimings,
+}
+
+/// Per-phase wall-clock breakdown of one schema evolution, in nanoseconds.
+///
+/// The phases mirror the Figure 6 pipeline: the Translator turns the view
+/// change into an algebra script, the script is executed with interleaved
+/// classification, the new view selection is regenerated, and the new
+/// version is swapped into the family history. The phases are measured on
+/// disjoint intervals, so `phases_sum_ns() <= total_ns` always holds.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimings {
+    /// The whole `evolve` call, including composite-macro expansion (for a
+    /// composite change this covers every expanded primitive).
+    pub total_ns: u64,
+    /// `evolve.translate`: change → rendered algebra script.
+    pub translate_ns: u64,
+    /// `evolve.classify`: script execution plus classification of every
+    /// defined class.
+    pub classify_ns: u64,
+    /// `evolve.view_regen`: regenerating the view selection (replacements,
+    /// additions, removals, carried renames).
+    pub view_regen_ns: u64,
+    /// `evolve.swap_in`: generating the new view schema and registering it
+    /// as the family's current version.
+    pub swap_in_ns: u64,
+}
+
+impl PhaseTimings {
+    /// Sum of the four measured phases (excludes untimed glue between them).
+    pub fn phases_sum_ns(&self) -> u64 {
+        self.translate_ns + self.classify_ns + self.view_regen_ns + self.swap_in_ns
+    }
 }
 
 /// The TSE system: one shared database, many evolving views.
@@ -83,6 +117,13 @@ impl TseSystem {
     /// changes create union classes).
     pub fn policy(&self) -> &UpdatePolicy {
         &self.policy
+    }
+
+    /// The telemetry domain shared by every layer of this system — storage,
+    /// object model, classifier, view manager, and the evolution pipeline
+    /// all record into it, producing one coherent journal per system.
+    pub fn telemetry(&self) -> &tse_telemetry::Telemetry {
+        self.db.telemetry()
     }
 
     // ----- base schema construction ----------------------------------------
@@ -172,7 +213,45 @@ impl TseSystem {
     /// version is evolved and a new version registered. Composite macros
     /// expand into primitive sequences (§6.9); the report describes the last
     /// primitive.
+    ///
+    /// Every call runs under an `evolve` telemetry span (composite macros
+    /// nest one `evolve` span per expanded primitive), bumps the `evolve.*`
+    /// counters, and republishes the store's `store.*` gauges, so the
+    /// journal records the full expansion tree of each change.
     pub fn evolve(&mut self, family: &str, change: &SchemaChange) -> ModelResult<EvolutionReport> {
+        let telemetry = self.db.telemetry().clone();
+        let span = telemetry.span_with(
+            "evolve",
+            &[("family", family.into()), ("op", change.op_name().into())],
+        );
+        match self.evolve_inner(family, change) {
+            Ok(mut report) => {
+                span.record("classes_created", report.created.len());
+                span.record("duplicates_folded", report.duplicates_folded);
+                let total = span.finish();
+                // The outer span strictly contains the phase intervals, but
+                // each is clamped to >= 1ns; keep the invariant exact.
+                report.timings.total_ns = total.max(report.timings.phases_sum_ns());
+                telemetry.incr("evolve.count", 1);
+                telemetry.incr("evolve.classes_created", report.created.len() as u64);
+                telemetry.incr("evolve.duplicates_folded", report.duplicates_folded as u64);
+                self.db.publish_store_stats();
+                Ok(report)
+            }
+            Err(e) => {
+                span.record("error", true);
+                span.finish();
+                telemetry.incr("evolve.errors", 1);
+                Err(e)
+            }
+        }
+    }
+
+    fn evolve_inner(
+        &mut self,
+        family: &str,
+        change: &SchemaChange,
+    ) -> ModelResult<EvolutionReport> {
         match change {
             SchemaChange::InsertClass { name, sup, sub } => {
                 // §6.9.1: add_class + add_edge.
@@ -245,8 +324,10 @@ impl TseSystem {
                 } else {
                     renames.insert(target, new.clone());
                 }
+                let span = self.db.telemetry().clone().span("evolve.swap_in");
                 let new_view =
                     self.views.push_version(&self.db, family, view.classes.clone(), renames)?;
+                let swap_in_ns = span.finish();
                 Ok(EvolutionReport {
                     view: new_view,
                     family: family.to_string(),
@@ -255,6 +336,7 @@ impl TseSystem {
                     created: vec![],
                     duplicates_folded: 0,
                     classes_touched: 0,
+                    timings: PhaseTimings { swap_in_ns, ..PhaseTimings::default() },
                 })
             }
             primitive => self.evolve_primitive(family, primitive),
@@ -292,13 +374,25 @@ impl TseSystem {
         family: &str,
         change: &SchemaChange,
     ) -> ModelResult<EvolutionReport> {
+        let telemetry = self.db.telemetry().clone();
         let view = self.views.current(family)?.clone();
+
+        // Phase 1 — translation: view change → algebra script. On an error
+        // path the guard's Drop still closes the span.
+        let span = telemetry.span("evolve.translate");
         let plan = translate(&self.db, &view, change)?;
         let script_text = plan.script.render(&self.db);
-        let (map, duplicates_folded) = self.execute_plan(&plan)?;
+        span.record("statements", plan.script.stmts.len());
+        let translate_ns = span.finish();
 
-        // Build the new selection: replace primed classes, apply additions
-        // and removals, carry renames for untouched classes.
+        // Phase 2 — script execution with interleaved classification.
+        let span = telemetry.span("evolve.classify");
+        let (map, duplicates_folded) = self.execute_plan(&plan)?;
+        let classify_ns = span.finish();
+
+        // Phase 3 — regenerate the view selection: replace primed classes,
+        // apply additions and removals, carry renames for untouched classes.
+        let span = telemetry.span("evolve.view_regen");
         let mut classes = view.classes.clone();
         let mut renames: BTreeMap<ClassId, String> = BTreeMap::new();
         for (c, local) in &view.renames {
@@ -335,8 +429,14 @@ impl TseSystem {
             classes.remove(r);
             renames.remove(r);
         }
+        let view_regen_ns = span.finish();
 
+        // Phase 4 — swap-in: generate the new view schema and register it as
+        // the family's current version (the `view.generate` span nests here).
+        let span = telemetry.span("evolve.swap_in");
         let new_view = self.views.push_version(&self.db, family, classes, renames)?;
+        let swap_in_ns = span.finish();
+
         Ok(EvolutionReport {
             view: new_view,
             family: family.to_string(),
@@ -345,6 +445,13 @@ impl TseSystem {
             created: map.into_iter().collect(),
             duplicates_folded,
             classes_touched: plan.replacements.len(),
+            timings: PhaseTimings {
+                total_ns: 0, // filled in by `evolve`
+                translate_ns,
+                classify_ns,
+                view_regen_ns,
+                swap_in_ns,
+            },
         })
     }
 
@@ -408,8 +515,11 @@ impl TseSystem {
         class_local: &str,
         values: &[(&str, Value)],
     ) -> ModelResult<Oid> {
+        let started = std::time::Instant::now();
         let class = self.resolve_in(view, class_local)?;
-        tse_algebra::create(&mut self.db, &self.policy.clone(), class, values)
+        let out = tse_algebra::create(&mut self.db, &self.policy.clone(), class, values);
+        observe_op(self.db.telemetry(), "create", started);
+        out
     }
 
     /// Read an attribute through a view class.
@@ -420,8 +530,11 @@ impl TseSystem {
         class_local: &str,
         attr: &str,
     ) -> ModelResult<Value> {
+        let started = std::time::Instant::now();
         let class = self.resolve_in(view, class_local)?;
-        self.db.read_attr(oid, class, attr)
+        let out = self.db.read_attr(oid, class, attr);
+        observe_op(self.db.telemetry(), "get", started);
+        out
     }
 
     /// Set attributes through a view class.
@@ -432,8 +545,11 @@ impl TseSystem {
         class_local: &str,
         assignments: &[(&str, Value)],
     ) -> ModelResult<()> {
+        let started = std::time::Instant::now();
         let class = self.resolve_in(view, class_local)?;
-        tse_algebra::set(&mut self.db, &self.policy.clone(), &[oid], class, assignments)
+        let out = tse_algebra::set(&mut self.db, &self.policy.clone(), &[oid], class, assignments);
+        observe_op(self.db.telemetry(), "set", started);
+        out
     }
 
     /// Add existing objects to a view class.
@@ -476,10 +592,13 @@ impl TseSystem {
         class_local: &str,
         expr: &str,
     ) -> ModelResult<Vec<Oid>> {
+        let started = std::time::Instant::now();
         let class = self.resolve_in(view, class_local)?;
         let body = crate::change::parse_expr(expr)?;
         let pred = tse_object_model::Predicate::Expr(body);
-        tse_algebra::select_objects(&self.db, class, &pred)
+        let out = tse_algebra::select_objects(&self.db, class, &pred);
+        observe_op(self.db.telemetry(), "select_where", started);
+        out
     }
 
     /// `( select from <Class> where <expr> ) set [assignments]` — the
@@ -491,9 +610,11 @@ impl TseSystem {
         expr: &str,
         assignments: &[(&str, Value)],
     ) -> ModelResult<usize> {
+        let started = std::time::Instant::now();
         let oids = self.select_where(view, class_local, expr)?;
         let class = self.resolve_in(view, class_local)?;
         tse_algebra::set(&mut self.db, &self.policy.clone(), &oids, class, assignments)?;
+        observe_op(self.db.telemetry(), "update_where", started);
         Ok(oids.len())
     }
 
@@ -543,6 +664,13 @@ impl TseSystem {
         }
         Ok(true)
     }
+}
+
+/// Count a data-plane operation (`op.<name>`) and record its wall-clock
+/// latency into the `latency.<name>` histogram.
+fn observe_op(telemetry: &tse_telemetry::Telemetry, op: &str, started: std::time::Instant) {
+    telemetry.incr(&format!("op.{op}"), 1);
+    telemetry.observe_ns(&format!("latency.{op}"), (started.elapsed().as_nanos() as u64).max(1));
 }
 
 /// Replace by-name references that were folded onto other classes.

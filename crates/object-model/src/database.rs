@@ -91,6 +91,9 @@ pub struct Database {
     data_gen: u64,
     extent_cache: Mutex<ExtentCache>,
     slice_hops: AtomicU64,
+    /// Telemetry domain shared by every layer operating on this database
+    /// (classifier, view manager, TSE system) — one coherent journal per DB.
+    telemetry: tse_telemetry::Telemetry,
 }
 
 impl std::fmt::Debug for Database {
@@ -119,7 +122,20 @@ impl Database {
             data_gen: 0,
             extent_cache: Mutex::new(ExtentCache::default()),
             slice_hops: AtomicU64::new(0),
+            telemetry: tse_telemetry::Telemetry::new(),
         }
+    }
+
+    /// This database's telemetry domain (spans, counters, journal). The
+    /// handle is cheap to clone; all layers above record into it.
+    pub fn telemetry(&self) -> &tse_telemetry::Telemetry {
+        &self.telemetry
+    }
+
+    /// Publish the store's cumulative access counters into the telemetry
+    /// registry under `store.*` (page touches, hit ratio, …).
+    pub fn publish_store_stats(&self) {
+        self.store.stats().publish(&self.telemetry, "store");
     }
 
     /// Read access to the global schema.
@@ -809,6 +825,7 @@ impl Database {
             data_gen: 1,
             extent_cache: Mutex::new(ExtentCache::default()),
             slice_hops: AtomicU64::new(0),
+            telemetry: tse_telemetry::Telemetry::new(),
         }
     }
 }

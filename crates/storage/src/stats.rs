@@ -39,17 +39,39 @@ impl StoreStats {
         }
     }
 
-    /// Difference `self - earlier`, for windowed measurements.
+    /// Difference `self - earlier`, for windowed measurements. Saturating:
+    /// a stale baseline (taken before a store reset) yields zeros instead of
+    /// a `u64` underflow panic.
     pub fn delta_since(&self, earlier: &StoreStats) -> StoreStats {
         StoreStats {
-            record_reads: self.record_reads - earlier.record_reads,
-            record_writes: self.record_writes - earlier.record_writes,
-            page_hits: self.page_hits - earlier.page_hits,
-            page_misses: self.page_misses - earlier.page_misses,
-            records_allocated: self.records_allocated - earlier.records_allocated,
-            records_freed: self.records_freed - earlier.records_freed,
-            record_moves: self.record_moves - earlier.record_moves,
+            record_reads: self.record_reads.saturating_sub(earlier.record_reads),
+            record_writes: self.record_writes.saturating_sub(earlier.record_writes),
+            page_hits: self.page_hits.saturating_sub(earlier.page_hits),
+            page_misses: self.page_misses.saturating_sub(earlier.page_misses),
+            records_allocated: self.records_allocated.saturating_sub(earlier.records_allocated),
+            records_freed: self.records_freed.saturating_sub(earlier.records_freed),
+            record_moves: self.record_moves.saturating_sub(earlier.record_moves),
         }
+    }
+
+    /// Publish every counter (plus the derived page-touch and hit-ratio
+    /// figures) into a telemetry registry under `<prefix>.<field>`. Gauge
+    /// semantics: call with cumulative stats, or with a
+    /// [`StoreStats::delta_since`] window.
+    pub fn publish(&self, telemetry: &tse_telemetry::Telemetry, prefix: &str) {
+        telemetry.set_gauge(&format!("{prefix}.record_reads"), self.record_reads);
+        telemetry.set_gauge(&format!("{prefix}.record_writes"), self.record_writes);
+        telemetry.set_gauge(&format!("{prefix}.page_hits"), self.page_hits);
+        telemetry.set_gauge(&format!("{prefix}.page_misses"), self.page_misses);
+        telemetry.set_gauge(&format!("{prefix}.page_touches"), self.page_touches());
+        telemetry.set_gauge(&format!("{prefix}.records_allocated"), self.records_allocated);
+        telemetry.set_gauge(&format!("{prefix}.records_freed"), self.records_freed);
+        telemetry.set_gauge(&format!("{prefix}.record_moves"), self.record_moves);
+        // Basis points so the ratio survives integer gauges (10000 = all hits).
+        telemetry.set_gauge(
+            &format!("{prefix}.hit_ratio_bp"),
+            (self.hit_ratio() * 10_000.0).round() as u64,
+        );
     }
 }
 

@@ -1,0 +1,226 @@
+//! # tse-telemetry — workspace-wide observability, std-only.
+//!
+//! The paper's evaluation is entirely *measured* behaviour — page touches,
+//! classification cost, view-regeneration overhead — so every layer of the
+//! workspace reports into this crate:
+//!
+//! * **Spans** ([`Telemetry::span`]): hierarchical RAII timing guards over
+//!   the schema-evolution pipeline (`evolve` → `evolve.translate` →
+//!   `evolve.classify` → `evolve.view_regen` → `evolve.swap_in`). Closing a
+//!   span appends a record to the journal and feeds the
+//!   `span.<name>` histogram.
+//! * **Metrics registry** ([`Telemetry::incr`], [`Telemetry::observe_ns`],
+//!   [`Telemetry::set_gauge`]): named `u64` counters/gauges and log₂-bucket
+//!   histograms, snapshotted deterministically with
+//!   [`Telemetry::snapshot`].
+//! * **Event journal** ([`Telemetry::journal_lines`]): every closed span and
+//!   explicit event serialised as JSON-lines for offline analysis; the
+//!   [`json`] module carries the writer and a validating parser.
+//!
+//! A [`Telemetry`] is a cheap cloneable handle (`Arc` inside); the
+//! object-model `Database` owns one and every layer above reaches it through
+//! the database, so one evolution produces one coherent journal.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod json;
+
+mod registry;
+mod span;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use json::JsonValue;
+pub use registry::MetricsSnapshot;
+pub use span::{JournalRecord, SpanGuard};
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+pub(crate) struct State {
+    pub(crate) counters: std::collections::BTreeMap<String, u64>,
+    pub(crate) histograms: std::collections::BTreeMap<String, Histogram>,
+    pub(crate) stack: Vec<span::OpenSpan>,
+    pub(crate) journal: Vec<JournalRecord>,
+    pub(crate) next_span_id: u64,
+}
+
+pub(crate) struct Inner {
+    pub(crate) epoch: Instant,
+    pub(crate) state: Mutex<State>,
+}
+
+/// A cloneable handle to one telemetry domain (registry + journal + span
+/// stack). All methods take `&self` and are internally synchronised.
+#[derive(Clone)]
+pub struct Telemetry {
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.state.lock().unwrap();
+        f.debug_struct("Telemetry")
+            .field("counters", &st.counters.len())
+            .field("histograms", &st.histograms.len())
+            .field("journal_records", &st.journal.len())
+            .field("open_spans", &st.stack.len())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A fresh, empty telemetry domain.
+    pub fn new() -> Self {
+        Telemetry {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                state: Mutex::new(State {
+                    counters: Default::default(),
+                    histograms: Default::default(),
+                    stack: Vec::new(),
+                    journal: Vec::new(),
+                    next_span_id: 1,
+                }),
+            }),
+        }
+    }
+
+    /// Nanoseconds since this domain's epoch (monotonic).
+    pub fn now_ns(&self) -> u64 {
+        self.inner.epoch.elapsed().as_nanos() as u64
+    }
+
+    // ----- counters / gauges -------------------------------------------------
+
+    /// Add `by` to the named counter (creating it at zero).
+    pub fn incr(&self, name: &str, by: u64) {
+        let mut st = self.inner.state.lock().unwrap();
+        *st.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Set the named counter to an absolute value (gauge semantics).
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.counters.insert(name.to_string(), value);
+    }
+
+    /// Current value of a counter/gauge (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.state.lock().unwrap().counters.get(name).copied().unwrap_or(0)
+    }
+
+    // ----- histograms --------------------------------------------------------
+
+    /// Record one observation (e.g. nanoseconds) into the named log₂
+    /// histogram.
+    pub fn observe_ns(&self, name: &str, value: u64) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.histograms.entry(name.to_string()).or_default().record(value);
+    }
+
+    /// Time a closure into the named histogram; returns its result.
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.observe_ns(name, span::nonzero_ns(start.elapsed()));
+        out
+    }
+
+    // ----- events ------------------------------------------------------------
+
+    /// Append a free-form event record to the journal.
+    pub fn event(&self, name: &str, fields: &[(&str, JsonValue)]) {
+        let at_ns = self.now_ns();
+        let mut st = self.inner.state.lock().unwrap();
+        let parent = st.stack.last().map(|s| s.id);
+        st.journal.push(JournalRecord::Event {
+            name: name.to_string(),
+            at_ns,
+            parent,
+            fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        });
+    }
+
+    // ----- snapshot / journal ------------------------------------------------
+
+    /// A deterministic point-in-time copy of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let st = self.inner.state.lock().unwrap();
+        MetricsSnapshot {
+            counters: st.counters.clone(),
+            histograms: st.histograms.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect(),
+        }
+    }
+
+    /// All journal records so far (oldest first).
+    pub fn journal(&self) -> Vec<JournalRecord> {
+        self.inner.state.lock().unwrap().journal.clone()
+    }
+
+    /// The journal serialised as JSON-lines (one object per line).
+    pub fn journal_lines(&self) -> String {
+        let st = self.inner.state.lock().unwrap();
+        let mut out = String::new();
+        for rec in &st.journal {
+            out.push_str(&rec.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Drop all recorded state (counters, histograms, journal). Open span
+    /// guards keep working; their records land in the fresh journal.
+    pub fn reset(&self) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.counters.clear();
+        st.histograms.clear();
+        st.journal.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let t = Telemetry::new();
+        t.incr("op.create", 1);
+        t.incr("op.create", 2);
+        t.set_gauge("store.pages", 7);
+        assert_eq!(t.counter("op.create"), 3);
+        assert_eq!(t.counter("store.pages"), 7);
+        assert_eq!(t.counter("missing"), 0);
+        let snap = t.snapshot();
+        assert_eq!(snap.counters["op.create"], 3);
+    }
+
+    #[test]
+    fn time_feeds_histogram() {
+        let t = Telemetry::new();
+        let v = t.time("h", || 41 + 1);
+        assert_eq!(v, 42);
+        let snap = t.snapshot();
+        assert_eq!(snap.histograms["h"].count, 1);
+        assert!(snap.histograms["h"].sum > 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let t = Telemetry::new();
+        t.incr("c", 1);
+        t.observe_ns("h", 5);
+        t.event("e", &[]);
+        t.reset();
+        let snap = t.snapshot();
+        assert!(snap.counters.is_empty() && snap.histograms.is_empty());
+        assert!(t.journal().is_empty());
+    }
+}

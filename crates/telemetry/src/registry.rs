@@ -1,0 +1,112 @@
+//! Point-in-time snapshots of the metrics registry.
+
+use std::collections::BTreeMap;
+
+use crate::hist::HistogramSnapshot;
+use crate::json::JsonValue;
+
+/// Deterministic copy of every counter/gauge and histogram, sorted by name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter/gauge values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Serialise to one JSON object:
+    /// `{"counters": {...}, "histograms": {name: {count, sum, min, max,
+    /// mean, buckets: [[le, n], ...]}}}`.
+    pub fn to_json(&self) -> JsonValue {
+        let counters = crate::json::counters_obj(&self.counters);
+        let histograms = JsonValue::Obj(
+            self.histograms
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.clone(),
+                        JsonValue::obj(vec![
+                            ("count", h.count.into()),
+                            ("sum", h.sum.into()),
+                            ("min", h.min.into()),
+                            ("max", h.max.into()),
+                            ("mean", h.mean().into()),
+                            (
+                                "buckets",
+                                JsonValue::Arr(
+                                    h.buckets
+                                        .iter()
+                                        .map(|(le, n)| {
+                                            JsonValue::Arr(vec![(*le).into(), (*n).into()])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        JsonValue::obj(vec![("counters", counters), ("histograms", histograms)])
+    }
+
+    /// The counters another snapshot gained relative to this one
+    /// (saturating; disappeared counters report 0).
+    pub fn counter_delta(&self, later: &MetricsSnapshot) -> BTreeMap<String, u64> {
+        later
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.saturating_sub(self.counter(k))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    #[test]
+    fn snapshot_is_deterministic_and_json_valid() {
+        let build = || {
+            let t = Telemetry::new();
+            t.incr("b", 2);
+            t.incr("a", 1);
+            t.observe_ns("h", 100);
+            t.observe_ns("h", 5);
+            t.snapshot()
+        };
+        let (s1, s2) = (build(), build());
+        assert_eq!(s1, s2, "identical runs produce identical snapshots");
+        let text = s1.to_json().render();
+        let parsed = crate::json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("counters").unwrap().get("a").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            parsed.get("histograms").unwrap().get("h").unwrap().get("count").unwrap().as_u64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn counter_delta_saturates() {
+        let t = Telemetry::new();
+        t.incr("x", 5);
+        let before = t.snapshot();
+        t.incr("x", 3);
+        t.incr("y", 1);
+        let after = t.snapshot();
+        let delta = before.counter_delta(&after);
+        assert_eq!(delta["x"], 3);
+        assert_eq!(delta["y"], 1);
+        // Reversed order saturates to zero rather than underflowing.
+        assert_eq!(after.counter_delta(&before)["x"], 0);
+    }
+}

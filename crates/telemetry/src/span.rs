@@ -1,0 +1,285 @@
+//! Hierarchical spans with RAII timing guards.
+//!
+//! A [`SpanGuard`] opens on [`Telemetry::span`] and closes on drop (or
+//! explicit [`SpanGuard::finish`]); closing appends a [`JournalRecord::Span`]
+//! to the journal, records the duration into the `span.<name>` histogram,
+//! and bumps the `span.<name>.count` counter. Spans nest: the guard opened
+//! most recently (and not yet closed) is the parent of the next one.
+
+use std::time::{Duration, Instant};
+
+use crate::json::JsonValue;
+use crate::Telemetry;
+
+/// Clamp a duration to a nonzero nanosecond count (sub-nanosecond work
+/// rounds up to 1 so "this phase ran" is always visible in the journal).
+pub(crate) fn nonzero_ns(d: Duration) -> u64 {
+    (d.as_nanos() as u64).max(1)
+}
+
+/// An open span on the stack.
+pub(crate) struct OpenSpan {
+    pub(crate) id: u64,
+    pub(crate) parent: Option<u64>,
+    pub(crate) name: String,
+    pub(crate) start_ns: u64,
+    pub(crate) started: Instant,
+    pub(crate) fields: Vec<(String, JsonValue)>,
+}
+
+/// One record of the event journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A closed span.
+    Span {
+        /// Span id (unique within the domain, 1-based).
+        id: u64,
+        /// Enclosing span id, if nested.
+        parent: Option<u64>,
+        /// Span name, e.g. `evolve.translate`.
+        name: String,
+        /// Nesting depth at open time (0 = root).
+        depth: u32,
+        /// Start offset from the telemetry epoch, nanoseconds.
+        start_ns: u64,
+        /// Wall-clock duration, nanoseconds (≥ 1).
+        dur_ns: u64,
+        /// Attached key/value fields.
+        fields: Vec<(String, JsonValue)>,
+    },
+    /// A point event.
+    Event {
+        /// Event name.
+        name: String,
+        /// Offset from the telemetry epoch, nanoseconds.
+        at_ns: u64,
+        /// Enclosing span id, if any.
+        parent: Option<u64>,
+        /// Attached key/value fields.
+        fields: Vec<(String, JsonValue)>,
+    },
+}
+
+impl JournalRecord {
+    /// Serialise to one JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            JournalRecord::Span { id, parent, name, depth, start_ns, dur_ns, fields } => {
+                let mut pairs: Vec<(&str, JsonValue)> = vec![
+                    ("kind", "span".into()),
+                    ("id", (*id).into()),
+                    (
+                        "parent",
+                        parent.map(JsonValue::U64).unwrap_or(JsonValue::Null),
+                    ),
+                    ("name", name.as_str().into()),
+                    ("depth", (*depth as u64).into()),
+                    ("start_ns", (*start_ns).into()),
+                    ("dur_ns", (*dur_ns).into()),
+                ];
+                if !fields.is_empty() {
+                    pairs.push((
+                        "fields",
+                        JsonValue::Obj(fields.clone()),
+                    ));
+                }
+                JsonValue::obj(pairs)
+            }
+            JournalRecord::Event { name, at_ns, parent, fields } => {
+                let mut pairs: Vec<(&str, JsonValue)> = vec![
+                    ("kind", "event".into()),
+                    ("name", name.as_str().into()),
+                    (
+                        "parent",
+                        parent.map(JsonValue::U64).unwrap_or(JsonValue::Null),
+                    ),
+                    ("at_ns", (*at_ns).into()),
+                ];
+                if !fields.is_empty() {
+                    pairs.push(("fields", JsonValue::Obj(fields.clone())));
+                }
+                JsonValue::obj(pairs)
+            }
+        }
+    }
+
+    /// The record's name (span or event).
+    pub fn name(&self) -> &str {
+        match self {
+            JournalRecord::Span { name, .. } | JournalRecord::Event { name, .. } => name,
+        }
+    }
+}
+
+/// RAII guard for one span; closes (journals + measures) on drop.
+#[must_use = "a span measures nothing unless held"]
+pub struct SpanGuard {
+    telemetry: Telemetry,
+    id: u64,
+    closed: bool,
+}
+
+impl Telemetry {
+    /// Open a nested span. The returned guard closes it on drop.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_with(name, &[])
+    }
+
+    /// Open a nested span with initial fields.
+    pub fn span_with(&self, name: &str, fields: &[(&str, JsonValue)]) -> SpanGuard {
+        let start_ns = self.now_ns();
+        let mut st = self.inner.state.lock().unwrap();
+        let id = st.next_span_id;
+        st.next_span_id += 1;
+        let parent = st.stack.last().map(|s| s.id);
+        st.stack.push(OpenSpan {
+            id,
+            parent,
+            name: name.to_string(),
+            start_ns,
+            started: Instant::now(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        });
+        SpanGuard { telemetry: self.clone(), id, closed: false }
+    }
+}
+
+impl SpanGuard {
+    /// Attach a field to this span (visible in its journal record).
+    pub fn record(&self, key: &str, value: impl Into<JsonValue>) {
+        let mut st = self.telemetry.inner.state.lock().unwrap();
+        if let Some(frame) = st.stack.iter_mut().find(|f| f.id == self.id) {
+            frame.fields.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Close the span now and return its duration in nanoseconds.
+    pub fn finish(mut self) -> u64 {
+        self.close()
+    }
+
+    fn close(&mut self) -> u64 {
+        if self.closed {
+            return 0;
+        }
+        self.closed = true;
+        let mut st = self.telemetry.inner.state.lock().unwrap();
+        // Out-of-order closes (a child guard outliving its parent) are
+        // tolerated: close every span above ours on the stack first, so
+        // parent links in the journal stay consistent.
+        let Some(pos) = st.stack.iter().position(|f| f.id == self.id) else {
+            return 0;
+        };
+        let mut dur_of_self = 0;
+        while st.stack.len() > pos {
+            let frame = st.stack.pop().expect("stack nonempty by loop bound");
+            let depth = st.stack.len() as u32;
+            let dur_ns = nonzero_ns(frame.started.elapsed());
+            if frame.id == self.id {
+                dur_of_self = dur_ns;
+            }
+            let hist_name = format!("span.{}", frame.name);
+            st.histograms.entry(hist_name).or_default().record(dur_ns);
+            *st.counters.entry(format!("span.{}.count", frame.name)).or_insert(0) += 1;
+            st.journal.push(JournalRecord::Span {
+                id: frame.id,
+                parent: frame.parent,
+                name: frame.name,
+                depth,
+                start_ns: frame.start_ns,
+                dur_ns,
+                fields: frame.fields,
+            });
+        }
+        dur_of_self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_order_in_journal() {
+        let t = Telemetry::new();
+        {
+            let root = t.span("evolve");
+            root.record("op", "add_attribute");
+            {
+                let _translate = t.span("evolve.translate");
+            }
+            {
+                let classify = t.span("evolve.classify");
+                classify.record("classes", 3u64);
+            }
+        }
+        let journal = t.journal();
+        let names: Vec<&str> = journal.iter().map(|r| r.name()).collect();
+        // Children close before the root; order is close order.
+        assert_eq!(names, vec!["evolve.translate", "evolve.classify", "evolve"]);
+        // Parent links point at the root span.
+        let root_id = match &journal[2] {
+            JournalRecord::Span { id, parent, depth, fields, .. } => {
+                assert_eq!(*parent, None);
+                assert_eq!(*depth, 0);
+                assert_eq!(fields[0].0, "op");
+                *id
+            }
+            other => panic!("expected span, got {other:?}"),
+        };
+        for rec in &journal[..2] {
+            match rec {
+                JournalRecord::Span { parent, depth, dur_ns, .. } => {
+                    assert_eq!(*parent, Some(root_id));
+                    assert_eq!(*depth, 1);
+                    assert!(*dur_ns > 0);
+                }
+                other => panic!("expected span, got {other:?}"),
+            }
+        }
+        // Metrics side-channel fed too.
+        assert_eq!(t.counter("span.evolve.count"), 1);
+        assert_eq!(t.snapshot().histograms["span.evolve.classify"].count, 1);
+    }
+
+    #[test]
+    fn out_of_order_close_closes_children_first() {
+        let t = Telemetry::new();
+        let outer = t.span("outer");
+        let _inner = t.span("inner");
+        // Closing the parent first force-closes the child.
+        outer.finish();
+        let journal = t.journal();
+        let names: Vec<&str> = journal.iter().map(|r| r.name()).collect();
+        assert_eq!(names, vec!["inner", "outer"]);
+        // The leaked inner guard's drop is now a no-op.
+        drop(_inner);
+        assert_eq!(t.journal().len(), 2);
+    }
+
+    #[test]
+    fn journal_lines_are_valid_json() {
+        let t = Telemetry::new();
+        {
+            let s = t.span("weird \"name\"\n");
+            s.record("k", "v\\");
+        }
+        t.event("note", &[("detail", "x".into())]);
+        let lines = t.journal_lines();
+        assert_eq!(crate::json::validate_lines(&lines).unwrap(), 2);
+    }
+
+    #[test]
+    fn finish_returns_duration() {
+        let t = Telemetry::new();
+        let s = t.span("timed");
+        std::hint::black_box((0..100).sum::<u64>());
+        assert!(s.finish() > 0);
+    }
+}

@@ -26,6 +26,27 @@ impl ViewManager {
         Self::default()
     }
 
+    /// `build_view` wrapped in telemetry: spans as `view.generate`, bumps
+    /// `view.versions_registered`, and feeds `view.classes_per_view`.
+    fn generate(
+        db: &Database,
+        id: ViewId,
+        family: &str,
+        version: u32,
+        classes: BTreeSet<ClassId>,
+        renames: BTreeMap<ClassId, String>,
+    ) -> ModelResult<ViewSchema> {
+        let telemetry = db.telemetry().clone();
+        let span = telemetry.span("view.generate");
+        span.record("family", family);
+        span.record("version", version as u64);
+        span.record("classes", classes.len());
+        let view = build_view(db, id, family, version, classes, renames)?;
+        telemetry.incr("view.versions_registered", 1);
+        telemetry.observe_ns("view.classes_per_view", view.classes.len() as u64);
+        Ok(view)
+    }
+
     /// Rebuild a manager from persisted views. Ids must be dense (0..n in
     /// vector order); family histories are reconstructed from the views'
     /// family and version fields.
@@ -61,7 +82,7 @@ impl ViewManager {
             return Err(ModelError::Invalid(format!("view family {family:?} already exists")));
         }
         let id = ViewId(self.views.len() as u32);
-        let view = build_view(db, id, family, 1, classes, BTreeMap::new())?;
+        let view = Self::generate(db, id, family, 1, classes, BTreeMap::new())?;
         self.views.push(view);
         self.history.insert(family.to_string(), vec![id]);
         Ok(id)
@@ -82,7 +103,7 @@ impl ViewManager {
             .ok_or_else(|| ModelError::Invalid(format!("no view family {family:?}")))?;
         let version = versions.len() as u32 + 1;
         let id = ViewId(self.views.len() as u32);
-        let view = build_view(db, id, family, version, classes, renames)?;
+        let view = Self::generate(db, id, family, version, classes, renames)?;
         self.views.push(view);
         self.history.get_mut(family).unwrap().push(id);
         Ok(id)
@@ -102,7 +123,7 @@ impl ViewManager {
             return Err(ModelError::Invalid(format!("view family {family:?} already exists")));
         }
         let id = ViewId(self.views.len() as u32);
-        let view = build_view(db, id, family, 1, classes, renames)?;
+        let view = Self::generate(db, id, family, 1, classes, renames)?;
         self.views.push(view);
         self.history.insert(family.to_string(), vec![id]);
         Ok(id)
