@@ -1,0 +1,283 @@
+//! Crash-safe persistence: a [`TseSystem`] backed by a directory holding
+//! checksummed snapshot generations, a `MANIFEST` pointer, and a
+//! write-ahead log of schema-change commands.
+//!
+//! The durability protocol is write-ahead logical logging:
+//!
+//! 1. [`DurableSystem::evolve_cmd`] appends the command text to the WAL and
+//!    fsyncs it **before** applying the change in memory.
+//! 2. A change that fails cleanly is rolled back by the transactional
+//!    evolve and its WAL frame is truncated away — it never replays.
+//! 3. A crash mid-apply leaves the frame in the log; [`TseSystem::open`]
+//!    redoes it against the last snapshot (logical redo).
+//! 4. [`DurableSystem::checkpoint`] writes a new snapshot generation
+//!    crash-atomically, repoints the manifest, and empties the WAL.
+//!
+//! Recovery reads the manifest for the newest generation, falls back to
+//! older generations when a snapshot fails its CRC, replays the WAL tail,
+//! and truncates any torn final frame. Every outcome is surfaced through
+//! the `recovery.*` telemetry counters and a `recovery.complete` journal
+//! event.
+
+use std::ops::{Deref, DerefMut};
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, Bytes};
+use tse_object_model::{ModelError, ModelResult};
+use tse_storage::durable::{self, Wal, WalFrame};
+use tse_storage::FailpointRegistry;
+
+use crate::system::{is_crash, note_fault, EvolutionReport, TseSystem};
+
+fn io(ctx: &str, e: std::io::Error) -> ModelError {
+    ModelError::Storage(tse_storage::StorageError::Io(format!("{ctx}: {e}")))
+}
+
+fn corrupt(msg: &str) -> ModelError {
+    ModelError::Storage(tse_storage::StorageError::Corrupt(msg.to_string()))
+}
+
+/// WAL frame payload: `u32 family_len | family | command`.
+fn wal_payload(family: &str, command: &str) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + family.len() + command.len());
+    buf.extend_from_slice(&(family.len() as u32).to_be_bytes());
+    buf.extend_from_slice(family.as_bytes());
+    buf.extend_from_slice(command.as_bytes());
+    buf
+}
+
+fn parse_wal_payload(payload: &[u8]) -> ModelResult<(String, String)> {
+    if payload.len() < 4 {
+        return Err(corrupt("wal frame too short"));
+    }
+    let family_len = u32::from_be_bytes(payload[..4].try_into().unwrap()) as usize;
+    let rest = &payload[4..];
+    if rest.len() < family_len {
+        return Err(corrupt("wal frame family truncated"));
+    }
+    let family = std::str::from_utf8(&rest[..family_len])
+        .map_err(|_| corrupt("wal frame family not utf-8"))?;
+    let command = std::str::from_utf8(&rest[family_len..])
+        .map_err(|_| corrupt("wal frame command not utf-8"))?;
+    Ok((family.to_string(), command.to_string()))
+}
+
+/// A [`TseSystem`] bound to an on-disk directory, surviving crashes at any
+/// point of a schema change. Derefs to the inner system, so every read and
+/// data-plane operation works unchanged; schema changes go through
+/// [`DurableSystem::evolve_cmd`] to be write-ahead logged.
+pub struct DurableSystem {
+    system: TseSystem,
+    dir: PathBuf,
+    wal: Wal,
+    /// Newest snapshot generation on disk (0 = none yet).
+    generation: u64,
+    /// Highest WAL LSN whose change is applied in `system` — the LSN the
+    /// next snapshot covers.
+    last_lsn: u64,
+    failpoints: FailpointRegistry,
+}
+
+impl Deref for DurableSystem {
+    type Target = TseSystem;
+    fn deref(&self) -> &TseSystem {
+        &self.system
+    }
+}
+
+impl DerefMut for DurableSystem {
+    fn deref_mut(&mut self) -> &mut TseSystem {
+        &mut self.system
+    }
+}
+
+impl TseSystem {
+    /// Open (or create) a durable system in `dir`. See [`DurableSystem`].
+    pub fn open(dir: &Path) -> ModelResult<DurableSystem> {
+        DurableSystem::open(dir)
+    }
+}
+
+impl DurableSystem {
+    /// Open (or create) a durable system in `dir`: recover the newest valid
+    /// snapshot, replay the WAL tail, truncate any torn frame.
+    pub fn open(dir: &Path) -> ModelResult<DurableSystem> {
+        std::fs::create_dir_all(dir).map_err(|e| io("create system dir", e))?;
+        let failpoints = FailpointRegistry::new();
+
+        // Candidate generations, best first: the manifest's if it is
+        // readable, then every snapshot on disk newest-first. An invalid
+        // manifest (torn write that somehow renamed, or bit rot) is not
+        // fatal — the scan order recovers the same snapshot.
+        let hint = durable::read_manifest(dir).unwrap_or(None);
+        let mut candidates: Vec<u64> = hint.into_iter().collect();
+        for g in durable::list_snapshot_generations(dir).map_err(ModelError::Storage)? {
+            if !candidates.contains(&g) {
+                candidates.push(g);
+            }
+        }
+
+        let mut snapshots_skipped = 0u64;
+        let mut recovered: Option<(u64, u64, TseSystem)> = None;
+        for g in candidates {
+            match durable::read_snapshot_file(dir, g)
+                .map_err(ModelError::Storage)
+                .and_then(|(lsn, payload)| {
+                    Ok((lsn, TseSystem::decode(Bytes::from(payload))?))
+                }) {
+                Ok((lsn, system)) => {
+                    recovered = Some((g, lsn, system));
+                    break;
+                }
+                Err(_) => snapshots_skipped += 1,
+            }
+        }
+
+        let (generation, snap_lsn, mut system, fresh) = match recovered {
+            Some((g, lsn, s)) => (g, lsn, s, false),
+            None if snapshots_skipped > 0 => {
+                return Err(corrupt("every snapshot generation is corrupt"))
+            }
+            None => (0, 0, TseSystem::new(), true),
+        };
+        system.db_mut().set_failpoints(failpoints.clone());
+        let telemetry = system.telemetry().clone();
+
+        let (mut wal, wal_recovery) =
+            Wal::open(dir, failpoints.clone()).map_err(ModelError::Storage)?;
+        wal.ensure_next_lsn(snap_lsn + 1);
+
+        let mut last_lsn = snap_lsn;
+        let mut replayed = 0u64;
+        let mut skipped = 0u64;
+        for WalFrame { lsn, payload } in wal_recovery.frames {
+            if lsn <= snap_lsn {
+                continue; // already inside the snapshot
+            }
+            match parse_wal_payload(&payload)
+                .and_then(|(family, cmd)| system.evolve_cmd(&family, &cmd))
+            {
+                Ok(_) => replayed += 1,
+                Err(e) => {
+                    // Redo of a logged change is deterministic; a failure
+                    // here means the frame's change can no longer apply.
+                    // Count it and move on rather than refusing to open.
+                    skipped += 1;
+                    telemetry.event(
+                        "recovery.skip",
+                        &[("lsn", lsn.into()), ("error", e.to_string().into())],
+                    );
+                }
+            }
+            last_lsn = lsn;
+        }
+
+        telemetry.incr("recovery.replayed", replayed);
+        telemetry.incr("recovery.skipped", skipped);
+        telemetry.incr("recovery.torn_bytes", wal_recovery.torn_bytes);
+        telemetry.incr("recovery.snapshots_skipped", snapshots_skipped);
+        telemetry.event(
+            "recovery.complete",
+            &[
+                ("generation", generation.into()),
+                ("replayed", replayed.into()),
+                ("skipped", skipped.into()),
+                ("torn_bytes", wal_recovery.torn_bytes.into()),
+                ("snapshots_skipped", snapshots_skipped.into()),
+                ("fresh", fresh.into()),
+            ],
+        );
+
+        let mut out =
+            DurableSystem { system, dir: dir.to_path_buf(), wal, generation, last_lsn, failpoints };
+        if fresh {
+            // Seed generation 1 so even a crash before the first checkpoint
+            // has a base snapshot to recover onto.
+            out.checkpoint()?;
+        }
+        Ok(out)
+    }
+
+    /// The directory this system persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Newest snapshot generation on disk.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Current WAL size in bytes (0 right after a checkpoint).
+    pub fn wal_len(&self) -> u64 {
+        self.wal.len()
+    }
+
+    /// The shared fault-injection registry (same instance the store and
+    /// evolve pipeline consult).
+    pub fn failpoints(&self) -> &FailpointRegistry {
+        &self.failpoints
+    }
+
+    /// Apply a textual schema change durably: the command is appended to
+    /// the WAL and fsync'd **before** it runs, so a crash mid-change redoes
+    /// it on the next [`TseSystem::open`]. A change that fails cleanly is
+    /// rolled back by the transactional evolve and its frame is removed.
+    pub fn evolve_cmd(&mut self, family: &str, command: &str) -> ModelResult<EvolutionReport> {
+        let len_before = self.wal.len();
+        let lsn = self
+            .wal
+            .append(&wal_payload(family, command))
+            .map_err(ModelError::Storage)
+            .inspect_err(|e| note_fault(self.system.telemetry(), e))?;
+        match self.system.evolve_cmd(family, command) {
+            Ok(report) => {
+                self.last_lsn = lsn;
+                Ok(report)
+            }
+            Err(e) if is_crash(&e) => {
+                // Keep the frame: the change's fate is decided by redo at
+                // recovery, exactly as after a real mid-apply crash.
+                Err(e)
+            }
+            Err(e) => {
+                self.wal.truncate_to(len_before).map_err(ModelError::Storage)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Write a new snapshot generation crash-atomically, repoint the
+    /// manifest, and empty the WAL. Returns the new generation number.
+    /// Failpoint sites: `snapshot.encode`, `durable.snapshot_write`,
+    /// `durable.manifest_write`.
+    pub fn checkpoint(&mut self) -> ModelResult<u64> {
+        let telemetry = self.system.telemetry().clone();
+        self.failpoints
+            .check("snapshot.encode")
+            .map_err(ModelError::Storage)
+            .inspect_err(|e| note_fault(&telemetry, e))?;
+        let span = telemetry.span("durable.checkpoint");
+        let payload = self.system.encode();
+        let generation = self.generation + 1;
+        durable::write_snapshot_file(
+            &self.dir,
+            generation,
+            self.last_lsn,
+            payload.as_ref(),
+            &self.failpoints,
+        )
+        .map_err(ModelError::Storage)
+        .inspect_err(|e| note_fault(&telemetry, e))?;
+        durable::write_manifest(&self.dir, generation, &self.failpoints)
+            .map_err(ModelError::Storage)
+            .inspect_err(|e| note_fault(&telemetry, e))?;
+        self.generation = generation;
+        self.wal.reset().map_err(ModelError::Storage)?;
+        span.record("generation", generation);
+        span.record("bytes", payload.remaining());
+        span.finish();
+        telemetry.incr("durable.checkpoints", 1);
+        Ok(generation)
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod change;
+mod durable;
 mod merge;
 pub mod oracle;
 mod persist;
@@ -43,5 +44,6 @@ mod system;
 mod translate;
 
 pub use change::{parse_change, parse_expr, SchemaChange};
+pub use durable::DurableSystem;
 pub use system::{EvolutionReport, PhaseTimings, TseSystem};
 pub use translate::{translate, ChangePlan};

@@ -1,16 +1,25 @@
 //! Whole-system persistence: database + view history + update policy in one
 //! snapshot. A TSE deployment survives restarts with every schema version
 //! still addressable and every object intact.
+//!
+//! Format `TSESYS02`: each section (database blob, view blob, policy) is
+//! followed by a CRC32 covering its length framing and content, so any
+//! single-bit corruption anywhere in the file is detected as
+//! [`tse_storage::StorageError::Corrupt`] rather than silently misread.
+//! `TSESYS01` files (no checksums) are still read for compatibility.
+//! [`TseSystem::save`] writes crash-atomically (temp file + fsync + rename).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use tse_algebra::{UnionRoute, UpdatePolicy};
 use tse_object_model::{ClassId, ModelError, ModelResult};
+use tse_storage::{durable, Crc32};
 use tse_view::{decode_manager, encode_manager};
 
 use crate::system::TseSystem;
 
-const MAGIC: &[u8; 8] = b"TSESYS01";
+const MAGIC_V1: &[u8; 8] = b"TSESYS01";
+const MAGIC_V2: &[u8; 8] = b"TSESYS02";
 
 fn corrupt(msg: &str) -> ModelError {
     ModelError::Storage(tse_storage::StorageError::Corrupt(msg.to_string()))
@@ -33,37 +42,104 @@ fn route_from(tag: u8) -> ModelResult<UnionRoute> {
     })
 }
 
+/// Append `u64 len | blob | u32 crc(len ‖ blob)`.
+fn put_section(buf: &mut BytesMut, blob: &[u8]) {
+    let len = (blob.len() as u64).to_be_bytes();
+    buf.put_slice(&len);
+    buf.put_slice(blob);
+    let mut h = Crc32::new();
+    h.update(&len);
+    h.update(blob);
+    buf.put_u32(h.finalize());
+}
+
+/// Read a section written by [`put_section`], verifying its CRC.
+fn get_section(bytes: &mut Bytes, what: &str) -> ModelResult<Bytes> {
+    if bytes.remaining() < 8 {
+        return Err(corrupt(&format!("truncated {what} length")));
+    }
+    let len = bytes.get_u64() as usize;
+    if bytes.remaining() < len.saturating_add(4) {
+        return Err(corrupt(&format!("truncated {what} blob")));
+    }
+    let blob = bytes.copy_to_bytes(len);
+    let mut h = Crc32::new();
+    h.update(&(len as u64).to_be_bytes());
+    h.update(blob.as_ref());
+    if bytes.get_u32() != h.finalize() {
+        return Err(corrupt(&format!("{what} section crc mismatch")));
+    }
+    Ok(blob)
+}
+
 impl TseSystem {
-    /// Serialize the whole system.
+    /// Serialize the whole system (format `TSESYS02`).
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::new();
-        buf.put_slice(MAGIC);
-        let db_bytes = tse_object_model::encode_database(&self.db);
-        buf.put_u64(db_bytes.len() as u64);
-        buf.put_slice(&db_bytes);
-        let views_bytes = encode_manager(&self.views);
-        buf.put_u64(views_bytes.len() as u64);
-        buf.put_slice(&views_bytes);
+        buf.put_slice(MAGIC_V2);
+        put_section(&mut buf, &tse_object_model::encode_database(&self.db));
+        put_section(&mut buf, &encode_manager(&self.views));
         // Policy: union routes (the value-closure and intersect defaults are
         // configuration, not state; they reset to defaults on load).
-        buf.put_u32(self.policy.union_routes.len() as u32);
+        let mut pol = BytesMut::new();
+        pol.put_u32(self.policy.union_routes.len() as u32);
         for (class, route) in &self.policy.union_routes {
-            buf.put_u32(class.0);
-            buf.put_u8(route_tag(*route));
+            pol.put_u32(class.0);
+            pol.put_u8(route_tag(*route));
         }
+        let pol = pol.freeze();
+        buf.put_slice(pol.as_ref());
+        buf.put_u32(tse_storage::crc32(pol.as_ref()));
         buf.freeze()
     }
 
-    /// Restore a system from [`TseSystem::encode`] output.
+    /// Restore a system from [`TseSystem::encode`] output (or a legacy
+    /// `TSESYS01` file). Corruption anywhere — flipped bit, truncation,
+    /// trailing garbage — is an error, never a misread system.
     pub fn decode(mut bytes: Bytes) -> ModelResult<TseSystem> {
-        if bytes.remaining() < MAGIC.len() {
+        if bytes.remaining() < MAGIC_V2.len() {
             return Err(corrupt("system snapshot too short"));
         }
         let mut magic = [0u8; 8];
         bytes.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
+        if &magic == MAGIC_V1 {
+            return Self::decode_v1(bytes);
+        }
+        if &magic != MAGIC_V2 {
             return Err(corrupt("bad system snapshot magic"));
         }
+        let db = tse_object_model::decode_database(get_section(&mut bytes, "database")?)?;
+        let views = decode_manager(get_section(&mut bytes, "views")?)?;
+        if bytes.remaining() < 4 {
+            return Err(corrupt("truncated policy"));
+        }
+        let n = bytes.get_u32() as usize;
+        let need = n.checked_mul(5).ok_or_else(|| corrupt("policy count overflow"))?;
+        if bytes.remaining() < need + 4 {
+            return Err(corrupt("truncated policy routes"));
+        }
+        let sect = bytes.copy_to_bytes(need);
+        let mut h = Crc32::new();
+        h.update(&(n as u32).to_be_bytes());
+        h.update(sect.as_ref());
+        if bytes.get_u32() != h.finalize() {
+            return Err(corrupt("policy section crc mismatch"));
+        }
+        let mut policy = UpdatePolicy::default();
+        let mut s = sect;
+        for _ in 0..n {
+            let class = ClassId(s.get_u32());
+            let route = route_from(s.get_u8())?;
+            policy.union_routes.insert(class, route);
+        }
+        if bytes.remaining() > 0 {
+            return Err(corrupt("trailing bytes after system snapshot"));
+        }
+        Ok(TseSystem { db, views, policy })
+    }
+
+    /// Legacy `TSESYS01` body: unchecksummed length-prefixed sections.
+    fn decode_v1(mut bytes: Bytes) -> ModelResult<TseSystem> {
         if bytes.remaining() < 8 {
             return Err(corrupt("truncated database length"));
         }
@@ -93,13 +169,23 @@ impl TseSystem {
             let route = route_from(bytes.get_u8())?;
             policy.union_routes.insert(class, route);
         }
+        if bytes.remaining() > 0 {
+            return Err(corrupt("trailing bytes after system snapshot"));
+        }
         Ok(TseSystem { db, views, policy })
     }
 
-    /// Save the system to a file.
+    /// Save the system to a file, crash-atomically: the bytes land in a
+    /// temp file which is fsync'd and renamed over the target, so a crash
+    /// mid-save leaves the previous file intact.
     pub fn save(&self, path: &std::path::Path) -> ModelResult<()> {
-        std::fs::write(path, self.encode())
-            .map_err(|e| ModelError::Invalid(format!("system snapshot write failed: {e}")))
+        durable::write_atomic(
+            path,
+            self.encode().as_ref(),
+            self.db.failpoints(),
+            "durable.sys_save",
+        )?;
+        Ok(())
     }
 
     /// Load a system from a file.
@@ -137,6 +223,24 @@ mod tests {
         (tse, o, v1, v2)
     }
 
+    /// The retired `TSESYS01` writer, kept to prove read compatibility.
+    fn encode_v1(tse: &TseSystem) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC_V1);
+        let db_bytes = tse_object_model::encode_database(&tse.db);
+        buf.put_u64(db_bytes.len() as u64);
+        buf.put_slice(&db_bytes);
+        let views_bytes = encode_manager(&tse.views);
+        buf.put_u64(views_bytes.len() as u64);
+        buf.put_slice(views_bytes.as_ref());
+        buf.put_u32(tse.policy.union_routes.len() as u32);
+        for (class, route) in &tse.policy.union_routes {
+            buf.put_u32(class.0);
+            buf.put_u8(route_tag(*route));
+        }
+        buf.freeze()
+    }
+
     #[test]
     fn whole_system_roundtrips() {
         let (tse, o, v1, v2) = build();
@@ -169,19 +273,53 @@ mod tests {
     }
 
     #[test]
+    fn v1_snapshots_still_load() {
+        let (tse, o, v1, v2) = build();
+        let restored = TseSystem::decode(encode_v1(&tse)).unwrap();
+        assert_eq!(
+            restored.get(v2, o, "Student", "register").unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(restored.get(v1, o, "Student", "name").unwrap(), Value::Str("ann".into()));
+        assert_eq!(restored.policy().union_routes, tse.policy().union_routes);
+    }
+
+    #[test]
     fn file_roundtrip_and_corruption() {
         let (tse, ..) = build();
-        let dir = std::env::temp_dir().join("tse_system_snapshot");
+        let dir = std::env::temp_dir().join(format!("tse_sys_snap_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("sys.tse");
         tse.save(&path).unwrap();
         let restored = TseSystem::load(&path).unwrap();
         assert_eq!(restored.views().view_count(), tse.views().view_count());
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
 
+        // Every strict prefix must be rejected, never panic or misread.
         let good = tse.encode();
-        for cut in (0..good.len()).step_by(211) {
-            let _ = TseSystem::decode(good.slice(..cut));
+        for cut in 0..good.len() {
+            assert!(TseSystem::decode(good.slice(..cut)).is_err(), "prefix {cut} accepted");
+        }
+        // Trailing garbage is rejected too.
+        let mut padded: Vec<u8> = good.as_slice().to_vec();
+        padded.push(0);
+        assert!(TseSystem::decode(Bytes::from(padded)).is_err());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let (tse, ..) = build();
+        let good = tse.encode();
+        let base: Vec<u8> = good.as_slice().to_vec();
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut bad = base.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    TseSystem::decode(Bytes::from(bad)).is_err(),
+                    "flip at byte {byte} bit {bit} accepted"
+                );
+            }
         }
     }
 }

@@ -12,9 +12,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use tse_algebra::{define_vc, ClassRef, Query, Stmt, UpdatePolicy};
 use tse_classifier::classify;
 use tse_object_model::{
-    ClassId, Database, ModelError, ModelResult, Oid, PendingProp, Value,
+    ClassId, Database, EvolutionTxn, ModelError, ModelResult, Oid, PendingProp, Value,
 };
-use tse_storage::StoreConfig;
+use tse_storage::{FailpointRegistry, StorageError, StoreConfig};
 use tse_view::{ViewId, ViewManager, ViewSchema};
 
 use crate::change::{parse_change, SchemaChange};
@@ -81,6 +81,15 @@ pub struct TseSystem {
     pub(crate) policy: UpdatePolicy,
 }
 
+/// Pre-change state captured by the outermost `evolve` call: the store
+/// transaction (which undoes record/segment mutations) plus clones of the
+/// cheap control-plane structures the undo log does not cover.
+struct ChangeCheckpoint {
+    txn: EvolutionTxn,
+    views: ViewManager,
+    policy: UpdatePolicy,
+}
+
 impl Default for TseSystem {
     fn default() -> Self {
         Self::new()
@@ -124,6 +133,18 @@ impl TseSystem {
     /// all record into it, producing one coherent journal per system.
     pub fn telemetry(&self) -> &tse_telemetry::Telemetry {
         self.db.telemetry()
+    }
+
+    /// The fault-injection registry shared by every layer of this system.
+    /// Arm a site (e.g. `evolve.classify`, `storage.insert`) to make the
+    /// matching operation fail or simulate a crash deterministically.
+    pub fn failpoints(&self) -> &FailpointRegistry {
+        self.db.failpoints()
+    }
+
+    fn check_failpoint(&self, site: &str) -> ModelResult<()> {
+        self.db.failpoints().check(site)?;
+        Ok(())
     }
 
     // ----- base schema construction ----------------------------------------
@@ -218,8 +239,25 @@ impl TseSystem {
     /// nest one `evolve` span per expanded primitive), bumps the `evolve.*`
     /// counters, and republishes the store's `store.*` gauges, so the
     /// journal records the full expansion tree of each change.
+    ///
+    /// Each top-level call is **all-or-nothing**: the outermost frame opens
+    /// a storage transaction and checkpoints the schema, views, and policy;
+    /// on any error the store rolls record/segment mutations back through
+    /// its undo log and the control-plane clones are restored, so no
+    /// partially created classes survive a failed change. The recursive
+    /// sub-evolves a composite macro expands into join the outer
+    /// transaction and leave rollback to this frame.
     pub fn evolve(&mut self, family: &str, change: &SchemaChange) -> ModelResult<EvolutionReport> {
         let telemetry = self.db.telemetry().clone();
+        let checkpoint = if self.db.in_evolution() {
+            None
+        } else {
+            Some(ChangeCheckpoint {
+                txn: self.db.begin_evolution()?,
+                views: self.views.clone(),
+                policy: self.policy.clone(),
+            })
+        };
         let span = telemetry.span_with(
             "evolve",
             &[("family", family.into()), ("op", change.op_name().into())],
@@ -235,6 +273,9 @@ impl TseSystem {
                 telemetry.incr("evolve.count", 1);
                 telemetry.incr("evolve.classes_created", report.created.len() as u64);
                 telemetry.incr("evolve.duplicates_folded", report.duplicates_folded as u64);
+                if let Some(cp) = checkpoint {
+                    self.db.commit_evolution(cp.txn)?;
+                }
                 self.db.publish_store_stats();
                 Ok(report)
             }
@@ -242,6 +283,29 @@ impl TseSystem {
                 span.record("error", true);
                 span.finish();
                 telemetry.incr("evolve.errors", 1);
+                note_fault(&telemetry, &e);
+                if let Some(cp) = checkpoint {
+                    if is_crash(&e) {
+                        // A simulated crash deliberately leaves the
+                        // in-memory state torn mid-change (the transaction
+                        // stays open, poisoning further evolves): recovery
+                        // is exercised by re-opening the system from disk,
+                        // not by in-memory rollback.
+                    } else {
+                        self.views = cp.views;
+                        self.policy = cp.policy;
+                        self.db.rollback_evolution(cp.txn)?;
+                        telemetry.incr("evolve.rollbacks", 1);
+                        telemetry.event(
+                            "evolve.rollback",
+                            &[
+                                ("family", family.into()),
+                                ("op", change.op_name().into()),
+                                ("error", e.to_string().into()),
+                            ],
+                        );
+                    }
+                }
                 Err(e)
             }
         }
@@ -324,6 +388,7 @@ impl TseSystem {
                 } else {
                     renames.insert(target, new.clone());
                 }
+                self.check_failpoint("evolve.swap_in")?;
                 let span = self.db.telemetry().clone().span("evolve.swap_in");
                 let new_view =
                     self.views.push_version(&self.db, family, view.classes.clone(), renames)?;
@@ -343,24 +408,19 @@ impl TseSystem {
         }
     }
 
-    /// Like [`TseSystem::evolve`], but all-or-nothing: on any error the whole
-    /// system (database, views, policy) is restored to its pre-change state
-    /// from an in-memory snapshot. Costs one full snapshot per call; use for
-    /// interactive/administrative changes where partial schema artifacts are
-    /// unacceptable.
+    /// Alias of [`TseSystem::evolve`], kept for API compatibility.
+    ///
+    /// Historically this was the only all-or-nothing entry point and paid
+    /// for it with a full encode/decode snapshot of the system per call.
+    /// Plain `evolve` is now transactional (undo-log rollback plus cheap
+    /// control-plane clones, no record data copied), so the two are
+    /// identical.
     pub fn evolve_atomic(
         &mut self,
         family: &str,
         change: &SchemaChange,
     ) -> ModelResult<EvolutionReport> {
-        let checkpoint = self.encode();
-        match self.evolve(family, change) {
-            Ok(report) => Ok(report),
-            Err(e) => {
-                *self = TseSystem::decode(checkpoint)?;
-                Err(e)
-            }
-        }
+        self.evolve(family, change)
     }
 
     /// Parse and apply a textual schema-change command.
@@ -379,6 +439,7 @@ impl TseSystem {
 
         // Phase 1 — translation: view change → algebra script. On an error
         // path the guard's Drop still closes the span.
+        self.check_failpoint("evolve.translate")?;
         let span = telemetry.span("evolve.translate");
         let plan = translate(&self.db, &view, change)?;
         let script_text = plan.script.render(&self.db);
@@ -386,12 +447,14 @@ impl TseSystem {
         let translate_ns = span.finish();
 
         // Phase 2 — script execution with interleaved classification.
+        self.check_failpoint("evolve.classify")?;
         let span = telemetry.span("evolve.classify");
         let (map, duplicates_folded) = self.execute_plan(&plan)?;
         let classify_ns = span.finish();
 
         // Phase 3 — regenerate the view selection: replace primed classes,
         // apply additions and removals, carry renames for untouched classes.
+        self.check_failpoint("evolve.view_regen")?;
         let span = telemetry.span("evolve.view_regen");
         let mut classes = view.classes.clone();
         let mut renames: BTreeMap<ClassId, String> = BTreeMap::new();
@@ -433,6 +496,7 @@ impl TseSystem {
 
         // Phase 4 — swap-in: generate the new view schema and register it as
         // the family's current version (the `view.generate` span nests here).
+        self.check_failpoint("evolve.swap_in")?;
         let span = telemetry.span("evolve.swap_in");
         let new_view = self.views.push_version(&self.db, family, classes, renames)?;
         let swap_in_ns = span.finish();
@@ -518,6 +582,9 @@ impl TseSystem {
         let started = std::time::Instant::now();
         let class = self.resolve_in(view, class_local)?;
         let out = tse_algebra::create(&mut self.db, &self.policy.clone(), class, values);
+        if let Err(e) = &out {
+            note_fault(self.db.telemetry(), e);
+        }
         observe_op(self.db.telemetry(), "create", started);
         out
     }
@@ -548,6 +615,9 @@ impl TseSystem {
         let started = std::time::Instant::now();
         let class = self.resolve_in(view, class_local)?;
         let out = tse_algebra::set(&mut self.db, &self.policy.clone(), &[oid], class, assignments);
+        if let Err(e) = &out {
+            note_fault(self.db.telemetry(), e);
+        }
         observe_op(self.db.telemetry(), "set", started);
         out
     }
@@ -664,6 +734,26 @@ impl TseSystem {
         }
         Ok(true)
     }
+}
+
+/// Did the error originate from a simulated-crash failpoint?
+pub(crate) fn is_crash(e: &ModelError) -> bool {
+    matches!(e, ModelError::Storage(s) if s.is_crash())
+}
+
+/// Surface a fired failpoint in the `fault.*` counters and the journal, so
+/// the observability layer sees every injected fault.
+pub(crate) fn note_fault(telemetry: &tse_telemetry::Telemetry, e: &ModelError) {
+    let (site, kind) = match e {
+        ModelError::Storage(StorageError::Injected(site)) => (site, "error"),
+        ModelError::Storage(StorageError::SimulatedCrash(site)) => (site, "crash"),
+        _ => return,
+    };
+    telemetry.incr("fault.injected", 1);
+    if kind == "crash" {
+        telemetry.incr("fault.crashes", 1);
+    }
+    telemetry.event("fault.fired", &[("site", site.as_str().into()), ("kind", kind.into())]);
 }
 
 /// Count a data-plane operation (`op.<name>`) and record its wall-clock

@@ -1,0 +1,321 @@
+//! Fault-injected durability tests: the system is killed at every
+//! registered failpoint site and must recover to a consistent state from
+//! disk, with the outcome visible in the `recovery.*` / `fault.*`
+//! telemetry counters.
+
+use std::path::{Path, PathBuf};
+
+use tse_core::{DurableSystem, SchemaChange, TseSystem};
+use tse_object_model::{PropertyDef, Value, ValueType};
+use tse_storage::FailAction;
+use tse_view::ViewId;
+
+/// A unique, empty scratch directory per test.
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tse_crash_{}_{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Open a fresh durable system, build the base schema and one view with an
+/// object, and checkpoint so the baseline is on disk.
+fn seed(dir: &Path) -> (DurableSystem, ViewId, tse_object_model::Oid) {
+    let mut sys = TseSystem::open(dir).unwrap();
+    sys.define_base_class(
+        "Person",
+        &[],
+        vec![PropertyDef::stored("name", ValueType::Str, Value::Null)],
+    )
+    .unwrap();
+    sys.define_base_class("Student", &["Person"], vec![]).unwrap();
+    sys.define_base_class("TA", &["Student"], vec![]).unwrap();
+    let v1 = sys.create_view("VS", &["Person", "Student", "TA"]).unwrap();
+    let oid = sys.create(v1, "Student", &[("name", "ann".into())]).unwrap();
+    sys.checkpoint().unwrap();
+    (sys, v1, oid)
+}
+
+/// Structural consistency: every registered view version resolves, the
+/// whole system snapshot round-trips, and the seeded object still answers.
+fn check_consistency(sys: &DurableSystem, v1: ViewId, oid: tse_object_model::Oid) {
+    for fam in sys.views().families().map(|s| s.to_string()).collect::<Vec<_>>() {
+        sys.views().current(&fam).unwrap();
+        for vid in sys.views().versions(&fam).unwrap() {
+            sys.views().view(*vid).unwrap();
+        }
+    }
+    TseSystem::decode(sys.encode()).unwrap();
+    assert_eq!(sys.get(v1, oid, "Student", "name").unwrap(), Value::Str("ann".into()));
+}
+
+const EVOLVE_SITES: [&str; 4] =
+    ["evolve.translate", "evolve.classify", "evolve.view_regen", "evolve.swap_in"];
+
+#[test]
+fn durable_roundtrip_and_wal_replay() {
+    let dir = tmpdir("roundtrip");
+    let (mut sys, v1, oid) = seed(&dir);
+    // Schema change after the checkpoint lives only in the WAL.
+    let v2 = sys
+        .evolve_cmd("VS", "add_attribute register: bool = false to Student")
+        .unwrap()
+        .view;
+    sys.set(v2, oid, "Student", &[("register", Value::Bool(true))]).unwrap();
+    drop(sys);
+
+    let sys = TseSystem::open(&dir).unwrap();
+    check_consistency(&sys, v1, oid);
+    assert_eq!(sys.telemetry().counter("recovery.replayed"), 1);
+    assert_eq!(sys.telemetry().counter("recovery.torn_bytes"), 0);
+    // The schema change replayed; the un-logged data write did not (it was
+    // made after the checkpoint — data durability comes from checkpoints).
+    assert_eq!(sys.views().versions("VS").unwrap().len(), 2);
+    assert!(sys.telemetry().journal_lines().contains("recovery.complete"));
+}
+
+#[test]
+fn checkpoint_empties_wal_and_survives_reopen() {
+    let dir = tmpdir("checkpoint");
+    let (mut sys, v1, oid) = seed(&dir);
+    sys.evolve_cmd("VS", "add_attribute register: bool = false to Student").unwrap();
+    assert!(sys.wal_len() > 0);
+    let gen = sys.checkpoint().unwrap();
+    assert_eq!(sys.wal_len(), 0);
+    // Generation 1 is the empty seed written at first open, 2 the one from
+    // `seed`, 3 this one.
+    assert_eq!(gen, 3);
+    drop(sys);
+
+    let sys = TseSystem::open(&dir).unwrap();
+    check_consistency(&sys, v1, oid);
+    // Everything came from the snapshot, nothing from the WAL.
+    assert_eq!(sys.telemetry().counter("recovery.replayed"), 0);
+    assert_eq!(sys.generation(), 3);
+    assert_eq!(sys.views().versions("VS").unwrap().len(), 2);
+}
+
+#[test]
+fn crash_at_every_evolve_phase_redoes_the_change_on_reopen() {
+    for site in EVOLVE_SITES {
+        let dir = tmpdir(&format!("crash_{}", site.replace('.', "_")));
+        let (mut sys, v1, oid) = seed(&dir);
+        sys.failpoints().arm(site, 1, FailAction::Crash);
+        let err = sys
+            .evolve_cmd("VS", "add_attribute register: bool = false to Student")
+            .unwrap_err();
+        assert!(err.to_string().contains("simulated crash"), "{site}: {err}");
+        assert!(sys.failpoints().fired(site), "{site} did not fire");
+        drop(sys);
+
+        // The WAL frame was written before the change ran, so recovery
+        // redoes it: the evolved view version exists after reopen.
+        let sys = TseSystem::open(&dir).unwrap();
+        check_consistency(&sys, v1, oid);
+        assert_eq!(sys.telemetry().counter("recovery.replayed"), 1, "at {site}");
+        assert_eq!(sys.views().versions("VS").unwrap().len(), 2, "at {site}");
+        let v2 = *sys.views().versions("VS").unwrap().last().unwrap();
+        assert_eq!(
+            sys.get(v2, oid, "Student", "register").unwrap(),
+            Value::Bool(false),
+            "at {site}"
+        );
+    }
+}
+
+#[test]
+fn crash_in_storage_insert_loses_only_the_unlogged_write() {
+    let dir = tmpdir("storage_insert");
+    let (mut sys, v1, oid) = seed(&dir);
+    sys.failpoints().arm("storage.insert", 1, FailAction::Crash);
+    assert!(sys.create(v1, "Student", &[("name", "bob".into())]).is_err());
+    assert!(sys.telemetry().counter("fault.crashes") >= 1);
+    drop(sys);
+
+    let sys = TseSystem::open(&dir).unwrap();
+    check_consistency(&sys, v1, oid);
+    // Data writes are not WAL-logged; the crashed create is simply absent.
+    assert_eq!(sys.extent(v1, "Student").unwrap().len(), 1);
+}
+
+#[test]
+fn clean_phase_failures_roll_back_to_byte_identical_state() {
+    for site in EVOLVE_SITES {
+        let dir = tmpdir(&format!("clean_{}", site.replace('.', "_")));
+        let (mut sys, v1, oid) = seed(&dir);
+        let before = sys.encode();
+        let wal_before = sys.wal_len();
+        let classes_before = sys.db().schema().class_count();
+
+        sys.failpoints().arm(site, 1, FailAction::Error);
+        let err = sys
+            .evolve_cmd("VS", "add_attribute register: bool = false to Student")
+            .unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{site}: {err}");
+
+        // All-or-nothing: no partial classes, no view version, identical
+        // snapshot bytes, and the WAL frame was truncated away.
+        assert_eq!(sys.db().schema().class_count(), classes_before, "at {site}");
+        assert_eq!(sys.views().versions("VS").unwrap().len(), 1, "at {site}");
+        assert_eq!(sys.encode().as_slice(), before.as_slice(), "at {site}");
+        assert_eq!(sys.wal_len(), wal_before, "at {site}");
+        assert!(sys.telemetry().counter("evolve.rollbacks") >= 1, "at {site}");
+        assert!(sys.telemetry().counter("fault.injected") >= 1, "at {site}");
+
+        // The same system keeps working without a reopen…
+        sys.evolve_cmd("VS", "add_attribute ok: int = 0 to Student").unwrap();
+        drop(sys);
+        // …and a reopen replays only the successful change.
+        let sys = TseSystem::open(&dir).unwrap();
+        check_consistency(&sys, v1, oid);
+        assert_eq!(sys.telemetry().counter("recovery.replayed"), 1, "at {site}");
+        assert_eq!(sys.views().versions("VS").unwrap().len(), 2, "at {site}");
+    }
+}
+
+#[test]
+fn torn_wal_append_is_truncated_on_reopen() {
+    for keep in [1usize, 8, 15, 16, 25] {
+        let dir = tmpdir(&format!("torn_wal_{keep}"));
+        let (mut sys, v1, oid) = seed(&dir);
+        sys.failpoints().arm("durable.wal_append", 1, FailAction::TornWrite { keep_bytes: keep });
+        let err = sys
+            .evolve_cmd("VS", "add_attribute register: bool = false to Student")
+            .unwrap_err();
+        assert!(err.to_string().contains("simulated crash"), "keep={keep}: {err}");
+        drop(sys);
+
+        // The frame never became valid, so the change is gone — exactly
+        // what a crash before the WAL fsync returned means.
+        let sys = TseSystem::open(&dir).unwrap();
+        check_consistency(&sys, v1, oid);
+        assert_eq!(sys.telemetry().counter("recovery.torn_bytes"), keep as u64);
+        assert_eq!(sys.telemetry().counter("recovery.replayed"), 0, "keep={keep}");
+        assert_eq!(sys.views().versions("VS").unwrap().len(), 1, "keep={keep}");
+        assert_eq!(sys.wal_len(), 0, "keep={keep}");
+    }
+}
+
+#[test]
+fn torn_snapshot_write_falls_back_and_wal_still_replays() {
+    for keep in [0usize, 7, 40] {
+        let dir = tmpdir(&format!("torn_snap_{keep}"));
+        let (mut sys, v1, oid) = seed(&dir);
+        sys.evolve_cmd("VS", "add_attribute register: bool = false to Student").unwrap();
+        sys.failpoints()
+            .arm("durable.snapshot_write", 1, FailAction::TornWrite { keep_bytes: keep });
+        assert!(sys.checkpoint().is_err());
+        drop(sys);
+
+        // The torn generation was never renamed into place; the manifest
+        // still points at the seed snapshot and the WAL replays on top.
+        let sys = TseSystem::open(&dir).unwrap();
+        check_consistency(&sys, v1, oid);
+        assert_eq!(sys.generation(), 2, "keep={keep}");
+        assert_eq!(sys.telemetry().counter("recovery.replayed"), 1, "keep={keep}");
+        assert_eq!(sys.views().versions("VS").unwrap().len(), 2, "keep={keep}");
+    }
+}
+
+#[test]
+fn crash_between_snapshot_and_manifest_recovers() {
+    let dir = tmpdir("manifest_crash");
+    let (mut sys, v1, oid) = seed(&dir);
+    sys.evolve_cmd("VS", "add_attribute register: bool = false to Student").unwrap();
+    sys.failpoints().arm("durable.manifest_write", 1, FailAction::Crash);
+    assert!(sys.checkpoint().is_err());
+    drop(sys);
+
+    // Generation 2 exists on disk but the manifest still names 1 and the
+    // WAL was not reset: recovery from gen 1 + replay gives the same state.
+    let sys = TseSystem::open(&dir).unwrap();
+    check_consistency(&sys, v1, oid);
+    assert_eq!(sys.views().versions("VS").unwrap().len(), 2);
+    assert_eq!(sys.telemetry().counter("recovery.replayed"), 1);
+}
+
+#[test]
+fn corrupt_newest_snapshot_falls_back_to_older_generation() {
+    let dir = tmpdir("corrupt_snap");
+    let (mut sys, v1, oid) = seed(&dir);
+    sys.evolve_cmd("VS", "add_attribute register: bool = false to Student").unwrap();
+    sys.checkpoint().unwrap(); // generation 3, WAL emptied
+    drop(sys);
+
+    // Bit-rot the newest snapshot on disk.
+    let snap3 = tse_storage::durable::snapshot_path(&dir, 3);
+    let mut bytes = std::fs::read(&snap3).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&snap3, bytes).unwrap();
+
+    // Recovery skips generation 3 and serves generation 2 — stale by the
+    // checkpointed delta (its WAL frames are gone), but consistent.
+    let sys = TseSystem::open(&dir).unwrap();
+    check_consistency(&sys, v1, oid);
+    assert_eq!(sys.telemetry().counter("recovery.snapshots_skipped"), 1);
+    assert_eq!(sys.generation(), 2);
+    assert_eq!(sys.views().versions("VS").unwrap().len(), 1);
+}
+
+#[test]
+fn snapshot_encode_failpoint_blocks_checkpoint_cleanly() {
+    let dir = tmpdir("encode_fp");
+    let (mut sys, v1, oid) = seed(&dir);
+    sys.evolve_cmd("VS", "add_attribute register: bool = false to Student").unwrap();
+    sys.failpoints().arm("snapshot.encode", 1, FailAction::Error);
+    assert!(sys.checkpoint().is_err());
+    // Nothing was written; the next checkpoint succeeds.
+    assert_eq!(sys.generation(), 2);
+    assert_eq!(sys.checkpoint().unwrap(), 3);
+    check_consistency(&sys, v1, oid);
+}
+
+#[test]
+fn composite_macro_failing_halfway_rolls_back_byte_identically() {
+    // delete_class2 on TA expands into edge surgery followed by the class
+    // drop; failing the *second* swap-in kills the macro mid-flight. Both
+    // evolve and evolve_atomic must restore the byte-identical pre-state:
+    // view history, rename maps, and policy included.
+    let dir = tmpdir("composite");
+    let (mut sys, v1, oid) = seed(&dir);
+    let before = sys.encode();
+    let versions_before = sys.views().versions("VS").unwrap().len();
+    let change = SchemaChange::DeleteClass2 { class: "Student".into() };
+
+    for atomic in [false, true] {
+        sys.failpoints().arm("evolve.swap_in", 2, FailAction::Error);
+        let result = if atomic {
+            sys.evolve_atomic("VS", &change)
+        } else {
+            sys.evolve("VS", &change)
+        };
+        assert!(result.is_err(), "atomic={atomic}");
+        assert!(sys.failpoints().fired("evolve.swap_in"), "atomic={atomic}");
+        sys.failpoints().disarm("evolve.swap_in");
+        assert_eq!(sys.encode().as_slice(), before.as_slice(), "atomic={atomic}");
+        assert_eq!(sys.views().versions("VS").unwrap().len(), versions_before);
+        check_consistency(&sys, v1, oid);
+    }
+    assert!(sys.telemetry().counter("evolve.rollbacks") >= 2);
+
+    // With no failpoint armed the same macro succeeds.
+    sys.evolve("VS", &change).unwrap();
+    assert!(sys.views().current("VS").unwrap().lookup(sys.db(), "Student").is_err());
+}
+
+#[test]
+fn reopening_twice_is_idempotent() {
+    let dir = tmpdir("idempotent");
+    let (mut sys, v1, oid) = seed(&dir);
+    sys.evolve_cmd("VS", "add_attribute register: bool = false to Student").unwrap();
+    drop(sys);
+
+    let first = TseSystem::open(&dir).unwrap();
+    let bytes_first = first.encode();
+    drop(first);
+    let second = TseSystem::open(&dir).unwrap();
+    check_consistency(&second, v1, oid);
+    // Replay is deterministic: two recoveries produce identical systems.
+    assert_eq!(second.encode().as_slice(), bytes_first.as_slice());
+}

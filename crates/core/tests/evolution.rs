@@ -528,10 +528,14 @@ fn evolve_atomic_rolls_back_everything_on_failure() {
     assert!(tse.evolve_atomic("VS", &bad).is_err());
     assert_eq!(tse.db().schema().class_count(), classes_before, "no leftover classes");
     assert_eq!(tse.views().versions("VS").unwrap().len(), versions_before, "no leftover versions");
-    // Plain evolve of the same macro leaves the intermediate version behind
-    // (documented behaviour), which is exactly what evolve_atomic avoids.
+    // Plain evolve is now equally transactional: the whole macro rolls back,
+    // including the intermediate version its first primitive registered.
     assert!(tse.evolve("VS", &bad).is_err());
-    assert!(tse.views().versions("VS").unwrap().len() > versions_before);
+    assert_eq!(tse.db().schema().class_count(), classes_before, "no leftover classes");
+    assert_eq!(tse.views().versions("VS").unwrap().len(), versions_before, "no leftover versions");
+    assert!(tse.telemetry().counter("evolve.rollbacks") >= 2);
+    // The rolled-back system still evolves normally afterwards.
+    tse.evolve_cmd("VS", "add_class Ok connected_to Person").unwrap();
 }
 
 #[test]

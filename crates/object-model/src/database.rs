@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use tse_storage::{RecordId, SliceStore, StoreConfig, StoreStats};
+use tse_storage::{FailpointRegistry, RecordId, SliceStore, StoreConfig, StoreStats, TxnToken};
 
 use crate::class::ClassKind;
 use crate::derivation::Derivation;
@@ -78,6 +78,15 @@ pub struct SlicingStats {
     pub slice_hops: u64,
     /// Classes in the global schema.
     pub classes: u64,
+}
+
+/// An open schema-evolution transaction: the store's undo-log token plus
+/// the schema checkpoint taken when the transaction began. Obtained from
+/// [`Database::begin_evolution`] and consumed by `commit_evolution` /
+/// `rollback_evolution`.
+pub struct EvolutionTxn {
+    token: TxnToken,
+    schema: Schema,
 }
 
 /// The object database (slicing backend).
@@ -158,8 +167,56 @@ impl Database {
         self.store.stats()
     }
 
+    /// The fault-injection registry shared by this database's store (site
+    /// `storage.insert`) and consulted by the evolution pipeline above.
+    pub fn failpoints(&self) -> &FailpointRegistry {
+        self.store.failpoints()
+    }
+
+    /// Share one registry between this database, the durable layer, and
+    /// the evolution pipeline of one system.
+    pub fn set_failpoints(&mut self, failpoints: FailpointRegistry) {
+        self.store.set_failpoints(failpoints);
+    }
+
     fn touch_data(&mut self) {
         self.data_gen += 1;
+    }
+
+    // ----- transactional schema evolution -----------------------------------
+
+    /// Begin a schema-evolution transaction: open the store's undo-log
+    /// transaction and checkpoint the schema. The TSEM calls this once per
+    /// top-level `evolve`; composite macros run their expanded primitives
+    /// inside the outer transaction (see [`Database::in_evolution`]).
+    pub fn begin_evolution(&mut self) -> ModelResult<EvolutionTxn> {
+        let token = self.store.begin_txn()?;
+        Ok(EvolutionTxn { token, schema: self.schema.clone() })
+    }
+
+    /// Whether an evolution transaction is currently open.
+    pub fn in_evolution(&self) -> bool {
+        self.store.in_txn()
+    }
+
+    /// Make the transaction's mutations permanent.
+    pub fn commit_evolution(&mut self, txn: EvolutionTxn) -> ModelResult<()> {
+        self.store.commit_txn(txn.token)?;
+        Ok(())
+    }
+
+    /// Abort: the store rolls back every record and segment mutation via
+    /// its undo log, and the schema is restored from the checkpoint taken
+    /// at `begin` — no partially created classes survive.
+    pub fn rollback_evolution(&mut self, txn: EvolutionTxn) -> ModelResult<()> {
+        self.store.abort_txn(txn.token)?;
+        self.schema = txn.schema;
+        // The restored schema rewinds the generation counter, so a later
+        // change could reuse a (schema_gen, data_gen) pair the extent cache
+        // already holds entries for; bumping the data generation makes the
+        // stale entries unreachable.
+        self.touch_data();
+        Ok(())
     }
 
     // ----- object lifecycle ------------------------------------------------

@@ -29,7 +29,7 @@ pub mod snapshot;
 mod value;
 
 pub use class::{Class, ClassKind};
-pub use database::{Database, ObjRef, SlicingStats};
+pub use database::{Database, EvolutionTxn, ObjRef, SlicingStats};
 pub use derivation::Derivation;
 pub use error::{ModelError, ModelResult};
 pub use ids::{ClassId, Oid, PropKey};

@@ -138,6 +138,24 @@ impl std::fmt::Debug for Schema {
     }
 }
 
+/// Cloning a schema is the checkpoint primitive of transactional evolution:
+/// the TSEM clones the schema before a change and swaps the clone back in on
+/// rollback. The resolution cache is not carried over (it re-fills lazily).
+impl Clone for Schema {
+    fn clone(&self) -> Self {
+        Schema {
+            classes: self.classes.clone(),
+            by_name: self.by_name.clone(),
+            root: self.root,
+            next_prop_key: self.next_prop_key,
+            prop_home: self.prop_home.clone(),
+            generation: self.generation,
+            constraint_count: self.constraint_count,
+            type_cache: Mutex::new(TypeCache::default()),
+        }
+    }
+}
+
 impl Default for Schema {
     fn default() -> Self {
         Self::new()

@@ -29,6 +29,25 @@ pub enum StorageError {
     TxnState(&'static str),
     /// Snapshot bytes were malformed.
     Corrupt(String),
+    /// An operating-system I/O failure in the durable layer.
+    Io(String),
+    /// A failpoint fired with [`crate::FailAction::Error`]: a clean,
+    /// injected failure the caller is expected to recover from by rolling
+    /// back. Carries the site name.
+    Injected(String),
+    /// A failpoint simulated a process crash at this site. Callers must
+    /// propagate it without cleanup — in-memory state is considered torn,
+    /// like after a real crash; tests then re-open the system from disk.
+    SimulatedCrash(String),
+}
+
+impl StorageError {
+    /// True for [`StorageError::SimulatedCrash`] — callers that normally
+    /// roll back cleanly use this to leave state torn, as a real crash
+    /// would.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, StorageError::SimulatedCrash(_))
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -43,6 +62,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::TxnState(msg) => write!(f, "transaction state error: {msg}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            StorageError::Io(msg) => write!(f, "durable i/o error: {msg}"),
+            StorageError::Injected(site) => write!(f, "injected fault at {site}"),
+            StorageError::SimulatedCrash(site) => write!(f, "simulated crash at {site}"),
         }
     }
 }

@@ -20,7 +20,15 @@
 //!   updates with abort/rollback, mirroring the transactional platform the
 //!   paper assumes.
 //! * **Snapshots** — a hand-rolled binary codec (over [`bytes`]) that can
-//!   persist and restore an entire store.
+//!   persist and restore an entire store, with per-section CRC32s so torn
+//!   or bit-rotted blobs are rejected instead of mis-decoded.
+//! * **Durability** — the [`durable`] module: checksummed snapshot
+//!   generations written via temp-file + atomic rename + fsync, a
+//!   CRC32-framed write-ahead log with torn-tail truncation, and the
+//!   manifest naming the current generation.
+//! * **Failpoints** — a [`FailpointRegistry`] of deterministic fault
+//!   injection sites threaded through mutation and persistence paths, so
+//!   crash-recovery tests can kill the system at any point.
 //!
 //! The store itself is single-threaded (`&mut self` for mutation); the layers
 //! above wrap it in a `parking_lot::RwLock` where sharing is needed, which is
@@ -30,7 +38,10 @@
 #![warn(missing_docs)]
 
 mod buffer;
+mod crc;
+pub mod durable;
 mod error;
+mod failpoint;
 mod page;
 mod payload;
 mod segment;
@@ -39,7 +50,9 @@ mod stats;
 mod store;
 mod txn;
 
+pub use crc::{crc32, Crc32};
 pub use error::{StorageError, StorageResult};
+pub use failpoint::{FailAction, FailpointRegistry};
 pub use payload::{Payload, SimplePayload};
 pub use snapshot::{decode_store, encode_store};
 pub use stats::StoreStats;

@@ -2,16 +2,23 @@
 //!
 //! Persists an entire store to bytes and restores it. The format is a
 //! hand-rolled length-prefixed encoding (the workspace deliberately carries
-//! no serde format crate):
+//! no serde format crate). Version 2 adds a CRC32 per section so torn and
+//! bit-rotted blobs are *rejected* instead of mis-decoded:
 //!
 //! ```text
-//! magic "TSESNAP1" | u32 page_size | u32 buffer_pages
-//! u32 n_segment_slots
-//!   per slot: u8 present
+//! magic "TSESNAP2" | u32 page_size | u32 buffer_pages | u32 n_segment_slots
+//! u32 crc32(magic ‖ header fields)
+//! per segment slot:
+//!   section: u8 present
 //!     if present: str name | u32 n_record_slots
 //!       per record slot: u8 present
 //!         if present: u32 n_fields | fields…
+//!   u32 crc32(section bytes)
 //! ```
+//!
+//! Version-1 blobs (`TSESNAP1`, no CRCs) are still decoded for
+//! read-compatibility with snapshots taken before the durability layer
+//! existed; both decoders reject trailing garbage after the last section.
 //!
 //! Record slot **indices are preserved**, so every `RecordId` taken before a
 //! snapshot remains valid after a restore — the property the object model
@@ -19,63 +26,117 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::crc::crc32;
 use crate::error::{StorageError, StorageResult};
 use crate::payload::{get_str, put_str, Payload};
 use crate::segment::Segment;
 use crate::store::{SliceStore, StoreConfig};
 
-const MAGIC: &[u8; 8] = b"TSESNAP1";
+const MAGIC_V1: &[u8; 8] = b"TSESNAP1";
+const MAGIC_V2: &[u8; 8] = b"TSESNAP2";
 
-/// Serialize the whole store.
+/// Serialize the whole store (always the current version-2 format).
 pub fn encode_store<P: Payload>(store: &SliceStore<P>) -> Bytes {
     let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
+    buf.put_slice(MAGIC_V2);
     buf.put_u32(store.config().page_size as u32);
     buf.put_u32(store.config().buffer_pages as u32);
     let segments = store.raw_segments();
     buf.put_u32(segments.len() as u32);
+    let header_crc = crc32(buf.as_ref());
+    buf.put_u32(header_crc);
     for seg in segments {
-        match seg {
-            None => buf.put_u8(0),
-            Some(seg) => {
-                buf.put_u8(1);
-                put_str(&mut buf, &seg.name);
-                let cap = seg.slot_capacity() as u32;
-                buf.put_u32(cap);
-                let mut present = vec![false; cap as usize];
-                let mut records: Vec<Option<&[P]>> = vec![None; cap as usize];
-                for (slot, rec) in seg.iter() {
-                    present[slot as usize] = true;
-                    records[slot as usize] = Some(&rec.fields);
-                }
-                for (slot, is_live) in present.iter().enumerate() {
-                    if *is_live {
-                        buf.put_u8(1);
-                        let fields = records[slot].unwrap();
-                        buf.put_u32(fields.len() as u32);
-                        for f in fields {
-                            f.encode(&mut buf);
-                        }
-                    } else {
-                        buf.put_u8(0);
-                    }
-                }
-            }
-        }
+        let mut section = BytesMut::new();
+        encode_segment(&mut section, seg.as_ref());
+        let crc = crc32(section.as_ref());
+        buf.put_slice(section.as_ref());
+        buf.put_u32(crc);
     }
     buf.freeze()
 }
 
-/// Restore a store from bytes produced by [`encode_store`].
-pub fn decode_store<P: Payload>(mut bytes: Bytes) -> StorageResult<SliceStore<P>> {
-    if bytes.remaining() < MAGIC.len() {
+/// One segment slot: present flag, then name and records. Live records are
+/// taken straight from the segment's iterator — freed slots are written as
+/// absent without ever materializing a record reference for them.
+fn encode_segment<P: Payload>(buf: &mut BytesMut, seg: Option<&Segment<P>>) {
+    let seg = match seg {
+        None => {
+            buf.put_u8(0);
+            return;
+        }
+        Some(seg) => seg,
+    };
+    buf.put_u8(1);
+    put_str(buf, &seg.name);
+    let cap = seg.slot_capacity() as u32;
+    buf.put_u32(cap);
+    let mut records: Vec<Option<&[P]>> = vec![None; cap as usize];
+    for (slot, rec) in seg.iter() {
+        records[slot as usize] = Some(&rec.fields);
+    }
+    for fields in records {
+        match fields {
+            None => buf.put_u8(0),
+            Some(fields) => {
+                buf.put_u8(1);
+                buf.put_u32(fields.len() as u32);
+                for f in fields {
+                    f.encode(buf);
+                }
+            }
+        }
+    }
+}
+
+/// Restore a store from bytes produced by [`encode_store`] — the current
+/// CRC-checked format or a legacy version-1 blob.
+pub fn decode_store<P: Payload>(bytes: Bytes) -> StorageResult<SliceStore<P>> {
+    if bytes.remaining() < 8 {
         return Err(StorageError::Corrupt("snapshot too short".into()));
     }
-    let mut magic = [0u8; 8];
-    bytes.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(StorageError::Corrupt("bad magic".into()));
+    match &bytes[..8] {
+        m if m == MAGIC_V2 => decode_store_v2(bytes),
+        m if m == MAGIC_V1 => decode_store_v1(bytes),
+        _ => Err(StorageError::Corrupt("bad magic".into())),
     }
+}
+
+fn decode_store_v2<P: Payload>(all: Bytes) -> StorageResult<SliceStore<P>> {
+    if all.remaining() < 8 + 12 + 4 {
+        return Err(StorageError::Corrupt("truncated header".into()));
+    }
+    let expected = crc32(&all[..20]);
+    let mut bytes = all.clone();
+    bytes.advance(8);
+    let page_size = bytes.get_u32() as usize;
+    let buffer_pages = bytes.get_u32() as usize;
+    let n_segments = bytes.get_u32() as usize;
+    if bytes.get_u32() != expected {
+        return Err(StorageError::Corrupt("header crc mismatch".into()));
+    }
+    let config = StoreConfig { page_size, buffer_pages };
+    let mut segments: Vec<Option<Segment<P>>> =
+        Vec::with_capacity(n_segments.min(bytes.remaining()));
+    for _ in 0..n_segments {
+        let start = all.len() - bytes.remaining();
+        let seg = decode_segment(&mut bytes, page_size)?;
+        let end = all.len() - bytes.remaining();
+        if bytes.remaining() < 4 {
+            return Err(StorageError::Corrupt("truncated section crc".into()));
+        }
+        if bytes.get_u32() != crc32(&all[start..end]) {
+            return Err(StorageError::Corrupt("section crc mismatch".into()));
+        }
+        segments.push(seg);
+    }
+    if bytes.remaining() > 0 {
+        return Err(StorageError::Corrupt("trailing bytes after snapshot".into()));
+    }
+    Ok(SliceStore::rebuild(config, segments))
+}
+
+fn decode_store_v1<P: Payload>(mut bytes: Bytes) -> StorageResult<SliceStore<P>> {
+    bytes.advance(8);
     if bytes.remaining() < 12 {
         return Err(StorageError::Corrupt("truncated header".into()));
     }
@@ -83,46 +144,58 @@ pub fn decode_store<P: Payload>(mut bytes: Bytes) -> StorageResult<SliceStore<P>
     let buffer_pages = bytes.get_u32() as usize;
     let config = StoreConfig { page_size, buffer_pages };
     let n_segments = bytes.get_u32() as usize;
-    let mut segments: Vec<Option<Segment<P>>> = Vec::with_capacity(n_segments);
+    let mut segments: Vec<Option<Segment<P>>> =
+        Vec::with_capacity(n_segments.min(bytes.remaining()));
     for _ in 0..n_segments {
-        if bytes.remaining() < 1 {
-            return Err(StorageError::Corrupt("truncated segment flag".into()));
-        }
-        if bytes.get_u8() == 0 {
-            segments.push(None);
-            continue;
-        }
-        let name = get_str(&mut bytes)?;
-        if bytes.remaining() < 4 {
-            return Err(StorageError::Corrupt("truncated slot count".into()));
-        }
-        let n_slots = bytes.get_u32() as usize;
-        let mut seg = Segment::new(name);
-        // Gather live records first so freed slots in between stay freed.
-        let mut live: Vec<(u32, Vec<P>)> = Vec::new();
-        for slot in 0..n_slots {
-            if bytes.remaining() < 1 {
-                return Err(StorageError::Corrupt("truncated record flag".into()));
-            }
-            if bytes.get_u8() == 0 {
-                continue;
-            }
-            if bytes.remaining() < 4 {
-                return Err(StorageError::Corrupt("truncated field count".into()));
-            }
-            let n_fields = bytes.get_u32() as usize;
-            let mut fields = Vec::with_capacity(n_fields);
-            for _ in 0..n_fields {
-                fields.push(P::decode(&mut bytes)?);
-            }
-            live.push((slot as u32, fields));
-        }
-        for (slot, fields) in live {
-            seg.restore(slot, fields, page_size);
-        }
-        segments.push(Some(seg));
+        segments.push(decode_segment(&mut bytes, page_size)?);
+    }
+    if bytes.remaining() > 0 {
+        return Err(StorageError::Corrupt("trailing bytes after snapshot".into()));
     }
     Ok(SliceStore::rebuild(config, segments))
+}
+
+/// Decode one segment slot (shared by both format versions; v2 checks the
+/// section CRC around this).
+fn decode_segment<P: Payload>(
+    bytes: &mut Bytes,
+    page_size: usize,
+) -> StorageResult<Option<Segment<P>>> {
+    if bytes.remaining() < 1 {
+        return Err(StorageError::Corrupt("truncated segment flag".into()));
+    }
+    if bytes.get_u8() == 0 {
+        return Ok(None);
+    }
+    let name = get_str(bytes)?;
+    if bytes.remaining() < 4 {
+        return Err(StorageError::Corrupt("truncated slot count".into()));
+    }
+    let n_slots = bytes.get_u32() as usize;
+    let mut seg = Segment::new(name);
+    // Gather live records first so freed slots in between stay freed.
+    let mut live: Vec<(u32, Vec<P>)> = Vec::new();
+    for slot in 0..n_slots {
+        if bytes.remaining() < 1 {
+            return Err(StorageError::Corrupt("truncated record flag".into()));
+        }
+        if bytes.get_u8() == 0 {
+            continue;
+        }
+        if bytes.remaining() < 4 {
+            return Err(StorageError::Corrupt("truncated field count".into()));
+        }
+        let n_fields = bytes.get_u32() as usize;
+        let mut fields = Vec::with_capacity(n_fields.min(bytes.remaining()));
+        for _ in 0..n_fields {
+            fields.push(P::decode(bytes)?);
+        }
+        live.push((slot as u32, fields));
+    }
+    for (slot, fields) in live {
+        seg.restore(slot, fields, page_size);
+    }
+    Ok(Some(seg))
 }
 
 #[cfg(test)]
@@ -131,8 +204,21 @@ mod tests {
     use crate::payload::SimplePayload as SP;
     use crate::store::RecordId;
 
-    #[test]
-    fn roundtrip_preserves_records_and_ids() {
+    /// The legacy version-1 encoder, kept only to prove read-compatibility.
+    fn encode_store_v1(store: &SliceStore<SP>) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC_V1);
+        buf.put_u32(store.config().page_size as u32);
+        buf.put_u32(store.config().buffer_pages as u32);
+        let segments = store.raw_segments();
+        buf.put_u32(segments.len() as u32);
+        for seg in segments {
+            encode_segment(&mut buf, seg.as_ref());
+        }
+        buf.freeze()
+    }
+
+    fn populated() -> (SliceStore<SP>, RecordId, RecordId, RecordId) {
         let mut st = SliceStore::<SP>::new(StoreConfig { page_size: 256, buffer_pages: 8 });
         let people = st.create_segment("Person");
         let cars = st.create_segment("Car");
@@ -140,16 +226,32 @@ mod tests {
         let r2 = st.insert(people, vec![SP::Str("bob".into()), SP::Int(27)]).unwrap();
         let r3 = st.insert(cars, vec![SP::Str("jeep".into())]).unwrap();
         st.free(r2).unwrap();
+        (st, r1, r2, r3)
+    }
 
+    #[test]
+    fn roundtrip_preserves_records_and_ids() {
+        let (st, r1, r2, r3) = populated();
         let bytes = encode_store(&st);
         let restored: SliceStore<SP> = decode_store(bytes).unwrap();
 
         assert_eq!(restored.read(r1).unwrap(), vec![SP::Str("ann".into()), SP::Int(31)]);
         assert_eq!(restored.read(r3).unwrap(), vec![SP::Str("jeep".into())]);
         assert!(restored.read(r2).is_err(), "freed record stays freed");
-        assert_eq!(restored.segment_name(people).unwrap(), "Person");
-        assert_eq!(restored.segment_name(cars).unwrap(), "Car");
+        assert_eq!(restored.segment_name(r1.segment).unwrap(), "Person");
+        assert_eq!(restored.segment_name(r3.segment).unwrap(), "Car");
         assert_eq!(restored.config().page_size, 256);
+    }
+
+    #[test]
+    fn version1_blobs_still_decode() {
+        let (st, r1, r2, r3) = populated();
+        let legacy = encode_store_v1(&st);
+        assert_eq!(&legacy[..8], MAGIC_V1);
+        let restored: SliceStore<SP> = decode_store(legacy).unwrap();
+        assert_eq!(restored.read(r1).unwrap(), vec![SP::Str("ann".into()), SP::Int(31)]);
+        assert_eq!(restored.read(r3).unwrap(), vec![SP::Str("jeep".into())]);
+        assert!(restored.read(r2).is_err());
     }
 
     #[test]
@@ -190,13 +292,39 @@ mod tests {
     fn corrupt_inputs_are_rejected_not_panicking() {
         assert!(decode_store::<SP>(Bytes::from_static(b"short")).is_err());
         assert!(decode_store::<SP>(Bytes::from_static(b"WRONGMAG00000000")).is_err());
-        let mut st = SliceStore::<SP>::default();
-        let seg = st.create_segment("s");
-        st.insert(seg, vec![SP::Str("payload".into())]).unwrap();
+        let (st, ..) = populated();
         let good = encode_store(&st);
-        // Truncate at every prefix: must error, never panic.
+        // Every proper prefix must actually be rejected, never panic and
+        // never decode to a store.
         for cut in 0..good.len() {
-            let _ = decode_store::<SP>(good.slice(..cut));
+            assert!(
+                decode_store::<SP>(good.slice(..cut)).is_err(),
+                "prefix of {cut}/{} bytes decoded successfully",
+                good.len()
+            );
+        }
+        // Appending garbage must be rejected too.
+        let mut padded = good.to_vec();
+        padded.push(0);
+        assert!(
+            decode_store::<SP>(Bytes::from(padded)).is_err(),
+            "trailing byte accepted"
+        );
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let (st, ..) = populated();
+        let good = encode_store(&st);
+        for byte in 0..good.len() {
+            for bit in 0..8u8 {
+                let mut bad = good.to_vec();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode_store::<SP>(Bytes::from(bad)).is_err(),
+                    "bit flip at {byte}.{bit} decoded successfully"
+                );
+            }
         }
     }
 }

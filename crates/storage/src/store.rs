@@ -6,6 +6,7 @@ use parking_lot::Mutex;
 
 use crate::buffer::BufferPool;
 use crate::error::{StorageError, StorageResult};
+use crate::failpoint::FailpointRegistry;
 use crate::payload::Payload;
 use crate::segment::Segment;
 use crate::stats::StoreStats;
@@ -86,6 +87,7 @@ pub struct SliceStore<P: Payload> {
     buffer: Mutex<BufferPool>,
     stats: AtomicStats,
     txn: TxnState<P>,
+    failpoints: FailpointRegistry,
 }
 
 impl<P: Payload> Default for SliceStore<P> {
@@ -103,6 +105,7 @@ impl<P: Payload> SliceStore<P> {
             buffer: Mutex::new(BufferPool::new(config.buffer_pages)),
             stats: AtomicStats::default(),
             txn: TxnState::default(),
+            failpoints: FailpointRegistry::new(),
         }
     }
 
@@ -111,13 +114,28 @@ impl<P: Payload> SliceStore<P> {
         self.config
     }
 
+    /// The fault-injection registry consulted by this store's mutation
+    /// paths (site `storage.insert`). The handle is cheap to clone and
+    /// shared — arming it from a test affects this store immediately.
+    pub fn failpoints(&self) -> &FailpointRegistry {
+        &self.failpoints
+    }
+
+    /// Replace the registry (used to share one registry between a store,
+    /// the durable layer, and the evolution pipeline of one system).
+    pub fn set_failpoints(&mut self, failpoints: FailpointRegistry) {
+        self.failpoints = failpoints;
+    }
+
     // ----- segments -------------------------------------------------------
 
     /// Create a new segment (a per-class record arena).
     pub fn create_segment(&mut self, name: &str) -> SegmentId {
         let id = SegmentId(self.segments.len() as u32);
         self.segments.push(Some(Segment::new(name.to_string())));
-        self.txn.record(Undo::CreateSegment { seg: id });
+        if self.txn.active.is_some() {
+            self.txn.record(Undo::CreateSegment { seg: id });
+        }
         id
     }
 
@@ -183,15 +201,20 @@ impl<P: Payload> SliceStore<P> {
 
     // ----- records --------------------------------------------------------
 
-    /// Insert a record into a segment.
+    /// Insert a record into a segment. Failpoint site: `storage.insert`
+    /// (fires *before* the record is allocated, so an injected failure
+    /// leaves no half-inserted state).
     pub fn insert(&mut self, seg: SegmentId, fields: Vec<P>) -> StorageResult<RecordId> {
+        self.failpoints.check("storage.insert")?;
         let page_size = self.config.page_size;
         let segment = self.segment_mut(seg)?;
         let (slot, page) = segment.insert(fields, page_size);
         let rec = RecordId { segment: seg, slot };
         self.stats.records_allocated.fetch_add(1, Ordering::Relaxed);
         self.touch_page(seg, page);
-        self.txn.record(Undo::Insert { rec });
+        if self.txn.active.is_some() {
+            self.txn.record(Undo::Insert { rec });
+        }
         Ok(rec)
     }
 
@@ -202,7 +225,9 @@ impl<P: Payload> SliceStore<P> {
             .free(rec.slot)
             .ok_or(StorageError::UnknownRecord { segment: rec.segment.0, slot: rec.slot })?;
         self.stats.records_freed.fetch_add(1, Ordering::Relaxed);
-        self.txn.record(Undo::Free { rec, fields: fields.clone() });
+        if self.txn.active.is_some() {
+            self.txn.record(Undo::Free { rec, fields: fields.clone() });
+        }
         Ok(fields)
     }
 
@@ -260,7 +285,9 @@ impl<P: Payload> SliceStore<P> {
             self.stats.record_moves.fetch_add(1, Ordering::Relaxed);
         }
         self.touch_page(rec.segment, page);
-        self.txn.record(Undo::WriteField { rec, idx, old: old_value });
+        if self.txn.active.is_some() {
+            self.txn.record(Undo::WriteField { rec, idx, old: old_value });
+        }
         Ok(())
     }
 
@@ -280,7 +307,9 @@ impl<P: Payload> SliceStore<P> {
             self.stats.record_moves.fetch_add(1, Ordering::Relaxed);
         }
         self.touch_page(rec.segment, page);
-        self.txn.record(Undo::PopField { rec });
+        if self.txn.active.is_some() {
+            self.txn.record(Undo::PopField { rec });
+        }
         Ok(new_idx)
     }
 
@@ -428,6 +457,7 @@ impl<P: Payload> SliceStore<P> {
             buffer: Mutex::new(BufferPool::new(config.buffer_pages)),
             stats: AtomicStats::default(),
             txn: TxnState::default(),
+            failpoints: FailpointRegistry::new(),
         }
     }
 }

@@ -3,8 +3,19 @@
 //! The paper leans on GemStone for transactional behaviour; this module gives
 //! the store a minimal but real equivalent: a single open transaction whose
 //! mutations are recorded as undo entries and rolled back in reverse order on
-//! abort. Higher layers use it to make a multi-statement schema change
-//! all-or-nothing.
+//! abort.
+//!
+//! The actual contract, as used by the layers above: the TSEM opens one
+//! storage transaction around every top-level `evolve` call (composite
+//! macros included — nested primitives run inside the outer transaction).
+//! Store mutations made while the transaction is open — record inserts,
+//! frees, field writes/appends, segment creation — are undo-logged; on any
+//! translate/classify/view-regen/swap-in error the TSEM aborts the
+//! transaction, which restores every record and segment, while the schema,
+//! view history, and update policy are restored from in-memory checkpoints
+//! taken at `begin`. `drop_segment` is rejected inside a transaction
+//! (segment drops are not undoable). Data-plane operations (`create`,
+//! `set`, …) run outside any transaction and are not undo-logged.
 
 use crate::store::RecordId;
 use crate::store::SegmentId;
@@ -43,7 +54,16 @@ impl<P> Default for TxnState<P> {
 }
 
 impl<P> TxnState<P> {
+    /// Record an undo entry for a mutation made while a transaction is
+    /// open. Callers must check [`TxnState::active`] first and only call
+    /// this inside an open transaction — a mutation that reaches here with
+    /// no transaction would be silently untracked during what the caller
+    /// believed was an undoable window, so that is a bug, not a no-op.
     pub fn record(&mut self, undo: Undo<P>) {
+        debug_assert!(
+            self.active.is_some(),
+            "undo entry recorded outside a transaction (untracked mutation)"
+        );
         if self.active.is_some() {
             self.log.push(undo);
         }

@@ -13,8 +13,10 @@ use tse_object_model::{ClassId, Database, ModelError, ModelResult};
 
 use crate::schema::{build_view, ViewId, ViewSchema};
 
-/// Registry of all view schemas plus the per-family history.
-#[derive(Debug, Default)]
+/// Registry of all view schemas plus the per-family history. `Clone` exists
+/// for transactional evolution: the TSEM checkpoints the manager before a
+/// schema change and restores the clone on rollback.
+#[derive(Debug, Default, Clone)]
 pub struct ViewManager {
     views: Vec<ViewSchema>,
     history: BTreeMap<String, Vec<ViewId>>,

@@ -1,0 +1,174 @@
+//! Deterministic kill-at-a-random-failpoint / reopen loop.
+//!
+//! Each iteration arms one failpoint site with a crash-flavoured action
+//! (simulated crash or torn write), runs a schema/data workload until the
+//! fault fires (or the workload completes), then drops the system and
+//! recovers it from disk with [`tse_core::TseSystem::open`]. After every
+//! recovery the system must be structurally consistent: all view versions
+//! resolve, the whole-system snapshot round-trips, and the seeded object
+//! answers reads.
+//!
+//! The schedule is driven by a fixed-seed xorshift generator (override
+//! with `CRASH_LOOP_SEED`), so a failure reproduces exactly. The process
+//! exits nonzero on any violated invariant; stdout is a summary plus the
+//! final recovery journal.
+
+use tse_core::{DurableSystem, TseSystem};
+use tse_object_model::{ModelResult, Oid, PropertyDef, Value, ValueType};
+use tse_storage::FailAction;
+use tse_view::ViewId;
+
+const SITES: [&str; 9] = [
+    "storage.insert",
+    "durable.wal_append",
+    "durable.snapshot_write",
+    "durable.manifest_write",
+    "snapshot.encode",
+    "evolve.translate",
+    "evolve.classify",
+    "evolve.view_regen",
+    "evolve.swap_in",
+];
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        // xorshift64* — deterministic, no external crates.
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One iteration's workload: a unique schema change, a create, and a
+/// periodic checkpoint. Stops at the first error (the armed fault).
+fn workload(sys: &mut DurableSystem, i: u64, view: ViewId) -> ModelResult<()> {
+    sys.evolve_cmd("VS", &format!("add_attribute a{i}: int = 0 to Student"))?;
+    sys.create(view, "Student", &[("name", Value::Str(format!("s{i}")))])?;
+    if i % 5 == 4 {
+        sys.checkpoint()?;
+    }
+    Ok(())
+}
+
+fn check_consistency(sys: &DurableSystem, view: ViewId, oid: Oid) {
+    for fam in sys.views().families().map(|s| s.to_string()).collect::<Vec<_>>() {
+        sys.views().current(&fam).expect("current view resolves");
+        for vid in sys.views().versions(&fam).expect("versions resolve") {
+            sys.views().view(*vid).expect("view version resolves");
+        }
+    }
+    TseSystem::decode(sys.encode()).expect("system snapshot round-trips");
+    assert_eq!(
+        sys.get(view, oid, "Student", "name").expect("seeded object readable"),
+        Value::Str("seed".into())
+    );
+}
+
+fn main() {
+    let seed = std::env::var("CRASH_LOOP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_CAFE_u64);
+    let iterations = 60u64;
+    let mut rng = Rng(seed | 1);
+
+    let dir = std::env::temp_dir().join(format!("tse_crash_loop_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Seed a durable baseline.
+    let (view, oid) = {
+        let mut sys = TseSystem::open(&dir).expect("fresh open");
+        sys.define_base_class(
+            "Person",
+            &[],
+            vec![PropertyDef::stored("name", ValueType::Str, Value::Null)],
+        )
+        .unwrap();
+        sys.define_base_class("Student", &["Person"], vec![]).unwrap();
+        let view = sys.create_view("VS", &["Person", "Student"]).unwrap();
+        let oid = sys.create(view, "Student", &[("name", "seed".into())]).unwrap();
+        sys.checkpoint().unwrap();
+        (view, oid)
+    };
+
+    let mut fired = 0u64;
+    let mut clean = 0u64;
+    let mut recoveries = 0u64;
+    let mut last_journal = String::new();
+
+    for i in 0..iterations {
+        let mut sys = TseSystem::open(&dir).unwrap_or_else(|e| {
+            eprintln!("iteration {i}: recovery failed: {e}");
+            std::process::exit(1);
+        });
+        recoveries += 1;
+        check_consistency(&sys, view, oid);
+        let journal = sys.telemetry().journal_lines();
+        assert!(
+            journal.contains("recovery.complete"),
+            "iteration {i}: journal missing recovery.complete"
+        );
+        for line in journal.lines().filter(|l| !l.trim().is_empty()) {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "iteration {i}: malformed journal line: {line}"
+            );
+        }
+        last_journal = journal;
+
+        let site = SITES[rng.below(SITES.len() as u64) as usize];
+        let action = match rng.below(3) {
+            0 => FailAction::Error,
+            1 => FailAction::Crash,
+            _ => FailAction::TornWrite { keep_bytes: rng.below(64) as usize },
+        };
+        let on_hit = 1 + rng.below(3);
+        sys.failpoints().arm(site, on_hit, action);
+
+        match workload(&mut sys, i, view) {
+            Ok(()) => {}
+            Err(_) if sys.failpoints().fired(site) => {
+                if matches!(action, FailAction::Error) {
+                    clean += 1;
+                    // A clean fault rolls back in place: the system must
+                    // stay usable without a reopen.
+                    sys.failpoints().disarm(site);
+                    check_consistency(&sys, view, oid);
+                } else {
+                    fired += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("iteration {i}: unexpected non-injected error at {site}: {e}");
+                std::process::exit(1);
+            }
+        }
+        // Drop = the process dying; the next iteration recovers from disk.
+    }
+
+    // Final recovery and sanity summary.
+    let sys = TseSystem::open(&dir).unwrap();
+    check_consistency(&sys, view, oid);
+    let versions = sys.views().versions("VS").unwrap().len();
+    assert!(versions > 1, "no schema change ever survived: versions={versions}");
+    assert!(fired + clean > 0, "no failpoint ever fired — schedule is broken");
+    println!(
+        "crash_loop ok: seed={seed:#x} iterations={iterations} recoveries={recoveries} \
+         crashes={fired} clean_faults={clean} surviving_view_versions={versions} \
+         generation={}",
+        sys.generation()
+    );
+    println!("--- final recovery journal ---");
+    print!("{last_journal}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
