@@ -1,0 +1,368 @@
+//! Reader latency while schema evolution is in flight: the measurement
+//! behind the control-plane / data-plane split.
+//!
+//! Two configurations run the same workload — N reader threads at steady
+//! state performing view-mediated `get`s and `select_where`s while another
+//! thread fires a stream of `add_attribute` evolutions:
+//!
+//! * **rwlock baseline** — one `std::sync::RwLock<TseSystem>`; every evolve
+//!   holds the exclusive lock through all four phases, so readers stall for
+//!   whole evolutions at a time.
+//! * **shared** — [`SharedSystem`] sessions; translate/classify/view_regen
+//!   run against a private fork and only the epoch-publishing swap takes
+//!   the exclusive lock (`evolve.exclusive_ns`).
+//!
+//! Readers tag each sample with whether an evolution was active when the
+//! operation started; the headline comparison is the p99 of exactly those
+//! *during-evolve* samples — the reads the naive lock stalls for a whole
+//! evolution and the split should not.
+//!
+//! Emits `BENCH_concurrency.json` at the workspace root with reader
+//! throughput, overall and during-evolve p50/p99/max latency for both
+//! configurations, and the measured exclusive-section evidence. `--quick`
+//! runs a reduced scale.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, RwLock};
+use std::time::{Duration, Instant};
+
+use tse_bench::write_bench_json;
+use tse_core::{SharedSystem, TseSystem};
+use tse_object_model::{Oid, PropertyDef, Value, ValueType};
+use tse_telemetry::JsonValue;
+use tse_view::ViewId;
+
+struct Config {
+    readers: usize,
+    evolutions: usize,
+    objects: usize,
+    quick: bool,
+}
+
+fn build(objects: usize) -> (TseSystem, Vec<Oid>, ViewId) {
+    let mut sys = TseSystem::new();
+    sys.define_base_class(
+        "Person",
+        &[],
+        vec![
+            PropertyDef::stored("name", ValueType::Str, Value::Null),
+            PropertyDef::stored("age", ValueType::Int, Value::Int(0)),
+        ],
+    )
+    .unwrap();
+    let v = sys.create_view("VS", &["Person"]).unwrap();
+    let mut oids = Vec::with_capacity(objects);
+    for i in 0..objects {
+        oids.push(
+            sys.create(
+                v,
+                "Person",
+                &[("name", Value::Str(format!("p{i}"))), ("age", Value::Int(i as i64))],
+            )
+            .unwrap(),
+        );
+    }
+    (sys, oids, v)
+}
+
+fn evolve_command(i: usize) -> String {
+    format!("add_attribute extra{i}: bool = false to Person")
+}
+
+/// One latency sample: nanoseconds, plus whether an evolution was in
+/// flight when the operation started.
+type Sample = (u64, bool);
+
+/// Per-configuration result.
+struct RunStats {
+    samples: Vec<Sample>,
+    reader_elapsed_ns: u64,
+    evolve_total_ns: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx]
+}
+
+/// Drive one reader thread's loop, timing each operation. `op` performs a
+/// point read or a periodic select scan for the given round. Readers are
+/// *paced* — a short sleep between operations models steady-state request
+/// arrival instead of a spin loop (which on small machines saturates the
+/// run queue and measures scheduler preemption, not lock behaviour).
+fn reader_loop(
+    done: &AtomicBool,
+    evolving: &AtomicBool,
+    oids: &[Oid],
+    mut op: impl FnMut(bool, Oid),
+) -> (Vec<Sample>, u64) {
+    let begun = Instant::now();
+    let mut samples = Vec::new();
+    let mut round = 0usize;
+    while !done.load(Ordering::Relaxed) {
+        round += 1;
+        let oid = oids[(round * 7 + 13) % oids.len()];
+        let select = round.is_multiple_of(16);
+        let during = evolving.load(Ordering::Relaxed);
+        let t = Instant::now();
+        op(select, oid);
+        samples.push((t.elapsed().as_nanos() as u64, during));
+        std::thread::sleep(Duration::from_micros(25));
+    }
+    (samples, begun.elapsed().as_nanos() as u64)
+}
+
+fn run_baseline(cfg: &Config) -> RunStats {
+    let (mut sys, oids, view) = build(cfg.objects);
+    // Warmup evolution outside the measured window (page-in, allocator).
+    sys.evolve_cmd("VS", "add_attribute warm: bool = false to Person").unwrap();
+    let shared = Arc::new(RwLock::new(sys));
+    let done = Arc::new(AtomicBool::new(false));
+    let evolving = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(cfg.readers + 1));
+
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..cfg.readers {
+            let shared = Arc::clone(&shared);
+            let done = Arc::clone(&done);
+            let evolving = Arc::clone(&evolving);
+            let start = Arc::clone(&start);
+            let oids = oids.clone();
+            readers.push(scope.spawn(move || {
+                start.wait();
+                reader_loop(&done, &evolving, &oids, |select, oid| {
+                    let sys = shared.read().unwrap();
+                    if select {
+                        sys.select_where(view, "Person", "age >= 100").unwrap();
+                    } else {
+                        sys.get(view, oid, "Person", "age").unwrap();
+                    }
+                })
+            }));
+        }
+
+        start.wait();
+        let mut evolve_total_ns = 0u64;
+        for i in 0..cfg.evolutions {
+            evolving.store(true, Ordering::Relaxed);
+            let t = Instant::now();
+            let mut sys = shared.write().unwrap();
+            sys.evolve_cmd("VS", &evolve_command(i)).unwrap();
+            // Clear the flag *before* releasing the lock: readers unblocked
+            // by the release must not tag their (fast) post-evolve reads as
+            // during-evolve samples.
+            evolving.store(false, Ordering::Relaxed);
+            drop(sys);
+            evolve_total_ns += t.elapsed().as_nanos() as u64;
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        done.store(true, Ordering::Relaxed);
+
+        let mut samples = Vec::new();
+        let mut reader_elapsed_ns = 0u64;
+        for r in readers {
+            let (s, elapsed) = r.join().unwrap();
+            samples.extend(s);
+            reader_elapsed_ns = reader_elapsed_ns.max(elapsed);
+        }
+        RunStats { samples, reader_elapsed_ns, evolve_total_ns }
+    })
+}
+
+fn run_shared(cfg: &Config) -> (RunStats, SharedSystem) {
+    let (sys, oids, view) = build(cfg.objects);
+    let shared = SharedSystem::from_system(sys);
+    // Warmup fork–evolve–swap outside the measured window.
+    shared.evolve_cmd("VS", "add_attribute warm: bool = false to Person").unwrap();
+    shared.telemetry().reset();
+    let done = Arc::new(AtomicBool::new(false));
+    let evolving = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(cfg.readers + 1));
+
+    let stats = std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..cfg.readers {
+            let session = shared.session();
+            let done = Arc::clone(&done);
+            let evolving = Arc::clone(&evolving);
+            let start = Arc::clone(&start);
+            let oids = oids.clone();
+            readers.push(scope.spawn(move || {
+                start.wait();
+                reader_loop(&done, &evolving, &oids, |select, oid| {
+                    if select {
+                        session.select_where(view, "Person", "age >= 100").unwrap();
+                    } else {
+                        session.get(view, oid, "Person", "age").unwrap();
+                    }
+                })
+            }));
+        }
+
+        start.wait();
+        let mut evolve_total_ns = 0u64;
+        for i in 0..cfg.evolutions {
+            evolving.store(true, Ordering::Relaxed);
+            let t = Instant::now();
+            shared.evolve_cmd("VS", &evolve_command(i)).unwrap();
+            evolve_total_ns += t.elapsed().as_nanos() as u64;
+            evolving.store(false, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        done.store(true, Ordering::Relaxed);
+
+        let mut samples = Vec::new();
+        let mut reader_elapsed_ns = 0u64;
+        for r in readers {
+            let (s, elapsed) = r.join().unwrap();
+            samples.extend(s);
+            reader_elapsed_ns = reader_elapsed_ns.max(elapsed);
+        }
+        RunStats { samples, reader_elapsed_ns, evolve_total_ns }
+    });
+    (stats, shared)
+}
+
+fn latency_json(samples: &mut [u64]) -> (JsonValue, u64) {
+    samples.sort_unstable();
+    let p99 = percentile(samples, 99.0);
+    let json = JsonValue::obj(vec![
+        ("ops", (samples.len() as u64).into()),
+        ("p50_ns", percentile(samples, 50.0).into()),
+        ("p99_ns", p99.into()),
+        ("max_ns", percentile(samples, 100.0).into()),
+    ]);
+    (json, p99)
+}
+
+fn stats_json(stats: &RunStats, evolutions: usize) -> (JsonValue, u64) {
+    let mut all: Vec<u64> = stats.samples.iter().map(|(ns, _)| *ns).collect();
+    let mut during: Vec<u64> =
+        stats.samples.iter().filter(|(_, d)| *d).map(|(ns, _)| *ns).collect();
+    let throughput = if stats.reader_elapsed_ns == 0 {
+        0.0
+    } else {
+        all.len() as f64 / (stats.reader_elapsed_ns as f64 / 1e9)
+    };
+    let (all_json, _) = latency_json(&mut all);
+    let (during_json, during_p99) = latency_json(&mut during);
+    let json = JsonValue::obj(vec![
+        ("reader_throughput_ops_per_s", throughput.into()),
+        ("reader_elapsed_ns", stats.reader_elapsed_ns.into()),
+        ("all_ops", all_json),
+        ("during_evolve", during_json),
+        ("evolve_total_ns", stats.evolve_total_ns.into()),
+        ("evolve_mean_ns", (stats.evolve_total_ns / (evolutions.max(1) as u64)).into()),
+    ]);
+    (json, during_p99)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = Config {
+        readers: 4,
+        evolutions: if quick { 16 } else { 24 },
+        objects: if quick { 300 } else { 800 },
+        quick,
+    };
+
+    let trials = 3;
+    println!(
+        "concurrent_evolve: {} readers, {} evolutions, {} objects, {} trials{}",
+        cfg.readers,
+        cfg.evolutions,
+        cfg.objects,
+        trials,
+        if quick { " (quick)" } else { "" }
+    );
+
+    // Interleave baseline/shared trials and pool the samples: a single
+    // trial on a small (or busy) machine measures scheduler luck as much
+    // as lock behaviour.
+    let mut baseline = RunStats { samples: vec![], reader_elapsed_ns: 0, evolve_total_ns: 0 };
+    let mut shared_stats =
+        RunStats { samples: vec![], reader_elapsed_ns: 0, evolve_total_ns: 0 };
+    let mut exclusive =
+        tse_telemetry::HistogramSnapshot { count: 0, sum: 0, min: 0, max: 0, buckets: vec![] };
+    let mut epoch_final = 0u64;
+    for _ in 0..trials {
+        let b = run_baseline(&cfg);
+        baseline.samples.extend(b.samples);
+        baseline.reader_elapsed_ns += b.reader_elapsed_ns;
+        baseline.evolve_total_ns += b.evolve_total_ns;
+
+        let (s, sys) = run_shared(&cfg);
+        shared_stats.samples.extend(s.samples);
+        shared_stats.reader_elapsed_ns += s.reader_elapsed_ns;
+        shared_stats.evolve_total_ns += s.evolve_total_ns;
+        if let Some(h) = sys.telemetry().snapshot().histograms.get("evolve.exclusive_ns") {
+            exclusive.count += h.count;
+            exclusive.sum += h.sum;
+            exclusive.min = if exclusive.count == h.count {
+                h.min
+            } else {
+                exclusive.min.min(h.min)
+            };
+            exclusive.max = exclusive.max.max(h.max);
+        }
+        epoch_final = sys.epoch();
+    }
+    let evolutions_total = cfg.evolutions * trials;
+
+    let (baseline_json, baseline_p99) = stats_json(&baseline, evolutions_total);
+    let (shared_json, shared_p99) = stats_json(&shared_stats, evolutions_total);
+
+    // Exclusive-section evidence: the swap-in critical section measured by
+    // the shared system itself. The bar the split must clear: the exclusive
+    // section is a small fraction of the whole evolution.
+    let evolve_mean = shared_stats.evolve_total_ns as f64 / evolutions_total.max(1) as f64;
+    let exclusive_fraction =
+        if evolve_mean == 0.0 { 0.0 } else { exclusive.mean() / evolve_mean };
+
+    let p99_speedup =
+        if shared_p99 == 0 { 0.0 } else { baseline_p99 as f64 / shared_p99 as f64 };
+
+    let json = JsonValue::obj(vec![
+        ("bench", "concurrency".into()),
+        (
+            "config",
+            JsonValue::obj(vec![
+                ("readers", (cfg.readers as u64).into()),
+                ("evolutions", (cfg.evolutions as u64).into()),
+                ("objects", (cfg.objects as u64).into()),
+                ("trials", (trials as u64).into()),
+                ("quick", cfg.quick.into()),
+            ]),
+        ),
+        ("rwlock_baseline", baseline_json),
+        ("shared", shared_json),
+        (
+            "exclusive_section",
+            JsonValue::obj(vec![
+                ("count", exclusive.count.into()),
+                ("mean_ns", exclusive.mean().into()),
+                ("min_ns", exclusive.min.into()),
+                ("max_ns", exclusive.max.into()),
+                ("fraction_of_evolve", exclusive_fraction.into()),
+            ]),
+        ),
+        ("epoch_final", epoch_final.into()),
+        ("during_evolve_p99_speedup", p99_speedup.into()),
+    ]);
+    let path = write_bench_json("concurrency", &json).expect("write BENCH_concurrency.json");
+
+    println!(
+        "during-evolve reader p99: baseline {baseline_p99} ns | shared {shared_p99} ns | speedup {p99_speedup:.1}x"
+    );
+    println!(
+        "exclusive section mean {:.0} ns, max {} ns ({:.3}% of mean evolve)",
+        exclusive.mean(),
+        exclusive.max,
+        exclusive_fraction * 100.0
+    );
+    println!("written to {path}");
+}

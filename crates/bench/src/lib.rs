@@ -12,7 +12,9 @@ pub mod phases;
 pub mod table1;
 pub mod table2;
 
-pub use phases::{phase_breakdown_json, run_phase_workload, write_bench_json, PhaseSample};
+pub use phases::{
+    bench_artifact_dir, phase_breakdown_json, run_phase_workload, write_bench_json, PhaseSample,
+};
 pub use table1::{run_table1, Table1Numbers, Table1Workload};
 pub use table2::{run_table2, Table2Row};
 

@@ -92,13 +92,36 @@ pub fn backend_numbers_json(n: &crate::table1::BackendNumbers) -> JsonValue {
     ])
 }
 
-/// Write `value` to `BENCH_<name>.json` in the current directory and return
-/// the file name. The content is validated JSON by construction (rendered by
-/// the same writer the journal uses).
+/// The directory bench artifacts belong in: the workspace root. Bench and
+/// test binaries run with the *package* directory as cwd (`crates/bench`),
+/// which used to scatter `BENCH_*.json` files there; walk up from the
+/// manifest directory to the nearest ancestor holding `Cargo.lock` (the
+/// workspace root) instead. Falls back to the current directory when run
+/// outside cargo (e.g. a copied binary).
+pub fn bench_artifact_dir() -> std::path::PathBuf {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let mut dir = std::path::Path::new(&manifest);
+        loop {
+            if dir.join("Cargo.lock").is_file() {
+                return dir.to_path_buf();
+            }
+            match dir.parent() {
+                Some(parent) => dir = parent,
+                None => break,
+            }
+        }
+    }
+    std::path::PathBuf::from(".")
+}
+
+/// Write `value` to `BENCH_<name>.json` at the workspace root (see
+/// [`bench_artifact_dir`]) and return the file path. The content is
+/// validated JSON by construction (rendered by the same writer the journal
+/// uses).
 pub fn write_bench_json(name: &str, value: &JsonValue) -> std::io::Result<String> {
-    let path = format!("BENCH_{name}.json");
+    let path = bench_artifact_dir().join(format!("BENCH_{name}.json"));
     std::fs::write(&path, value.render() + "\n")?;
-    Ok(path)
+    Ok(path.display().to_string())
 }
 
 #[cfg(test)]

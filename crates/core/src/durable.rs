@@ -62,20 +62,36 @@ fn parse_wal_payload(payload: &[u8]) -> ModelResult<(String, String)> {
     Ok((family.to_string(), command.to_string()))
 }
 
+/// The on-disk half of a durable system: directory, WAL, snapshot
+/// generation bookkeeping, and the shared failpoint registry. Factored out
+/// of [`DurableSystem`] so the concurrent [`crate::SharedSystem`] control
+/// plane can thread the same write-ahead protocol around its
+/// fork–evolve–swap pipeline.
+pub(crate) struct DurableState {
+    dir: PathBuf,
+    wal: Wal,
+    /// Newest snapshot generation on disk (0 = none yet).
+    generation: u64,
+    /// Highest WAL LSN whose change is applied in memory — the LSN the
+    /// next snapshot covers.
+    last_lsn: u64,
+    failpoints: FailpointRegistry,
+}
+
+/// Position of an in-flight WAL frame: its LSN plus the log length from
+/// before the append, so an abort can truncate the frame away.
+pub(crate) struct WalMark {
+    lsn: u64,
+    len_before: u64,
+}
+
 /// A [`TseSystem`] bound to an on-disk directory, surviving crashes at any
 /// point of a schema change. Derefs to the inner system, so every read and
 /// data-plane operation works unchanged; schema changes go through
 /// [`DurableSystem::evolve_cmd`] to be write-ahead logged.
 pub struct DurableSystem {
     system: TseSystem,
-    dir: PathBuf,
-    wal: Wal,
-    /// Newest snapshot generation on disk (0 = none yet).
-    generation: u64,
-    /// Highest WAL LSN whose change is applied in `system` — the LSN the
-    /// next snapshot covers.
-    last_lsn: u64,
-    failpoints: FailpointRegistry,
+    state: DurableState,
 }
 
 impl Deref for DurableSystem {
@@ -98,10 +114,12 @@ impl TseSystem {
     }
 }
 
-impl DurableSystem {
-    /// Open (or create) a durable system in `dir`: recover the newest valid
-    /// snapshot, replay the WAL tail, truncate any torn frame.
-    pub fn open(dir: &Path) -> ModelResult<DurableSystem> {
+impl DurableState {
+    /// Open (or create) a durable directory: recover the newest valid
+    /// snapshot, replay the WAL tail, truncate any torn frame. Returns the
+    /// recovered system alongside the on-disk state; `fresh` is true when
+    /// no snapshot existed yet (the caller should seed generation 1).
+    pub(crate) fn open(dir: &Path) -> ModelResult<(TseSystem, DurableState, bool)> {
         std::fs::create_dir_all(dir).map_err(|e| io("create system dir", e))?;
         let failpoints = FailpointRegistry::new();
 
@@ -188,77 +206,70 @@ impl DurableSystem {
             ],
         );
 
-        let mut out =
-            DurableSystem { system, dir: dir.to_path_buf(), wal, generation, last_lsn, failpoints };
-        if fresh {
-            // Seed generation 1 so even a crash before the first checkpoint
-            // has a base snapshot to recover onto.
-            out.checkpoint()?;
-        }
-        Ok(out)
+        let state = DurableState { dir: dir.to_path_buf(), wal, generation, last_lsn, failpoints };
+        Ok((system, state, fresh))
     }
 
-    /// The directory this system persists into.
-    pub fn dir(&self) -> &Path {
+    pub(crate) fn dir(&self) -> &Path {
         &self.dir
     }
 
-    /// Newest snapshot generation on disk.
-    pub fn generation(&self) -> u64 {
+    pub(crate) fn generation(&self) -> u64 {
         self.generation
     }
 
-    /// Current WAL size in bytes (0 right after a checkpoint).
-    pub fn wal_len(&self) -> u64 {
+    pub(crate) fn wal_len(&self) -> u64 {
         self.wal.len()
     }
 
-    /// The shared fault-injection registry (same instance the store and
-    /// evolve pipeline consult).
-    pub fn failpoints(&self) -> &FailpointRegistry {
+    pub(crate) fn failpoints(&self) -> &FailpointRegistry {
         &self.failpoints
     }
 
-    /// Apply a textual schema change durably: the command is appended to
-    /// the WAL and fsync'd **before** it runs, so a crash mid-change redoes
-    /// it on the next [`TseSystem::open`]. A change that fails cleanly is
-    /// rolled back by the transactional evolve and its frame is removed.
-    pub fn evolve_cmd(&mut self, family: &str, command: &str) -> ModelResult<EvolutionReport> {
+    /// Append a schema-change command to the WAL and fsync it **before**
+    /// the change is applied anywhere. Returns the frame's mark for
+    /// [`DurableState::log_commit`] / [`DurableState::log_abort`].
+    pub(crate) fn log_begin(
+        &mut self,
+        telemetry: &tse_telemetry::Telemetry,
+        family: &str,
+        command: &str,
+    ) -> ModelResult<WalMark> {
         let len_before = self.wal.len();
         let lsn = self
             .wal
             .append(&wal_payload(family, command))
             .map_err(ModelError::Storage)
-            .inspect_err(|e| note_fault(self.system.telemetry(), e))?;
-        match self.system.evolve_cmd(family, command) {
-            Ok(report) => {
-                self.last_lsn = lsn;
-                Ok(report)
-            }
-            Err(e) if is_crash(&e) => {
-                // Keep the frame: the change's fate is decided by redo at
-                // recovery, exactly as after a real mid-apply crash.
-                Err(e)
-            }
-            Err(e) => {
-                self.wal.truncate_to(len_before).map_err(ModelError::Storage)?;
-                Err(e)
-            }
-        }
+            .inspect_err(|e| note_fault(telemetry, e))?;
+        Ok(WalMark { lsn, len_before })
+    }
+
+    /// The change applied in memory: the frame's LSN becomes the high-water
+    /// mark the next snapshot covers.
+    pub(crate) fn log_commit(&mut self, mark: WalMark) {
+        self.last_lsn = mark.lsn;
+    }
+
+    /// The change failed cleanly (and was rolled back in memory): truncate
+    /// its frame away so it never replays. A simulated crash must *not*
+    /// abort — the frame's fate is decided by redo at recovery, exactly as
+    /// after a real mid-apply crash.
+    pub(crate) fn log_abort(&mut self, mark: WalMark) -> ModelResult<()> {
+        self.wal.truncate_to(mark.len_before).map_err(ModelError::Storage)
     }
 
     /// Write a new snapshot generation crash-atomically, repoint the
     /// manifest, and empty the WAL. Returns the new generation number.
     /// Failpoint sites: `snapshot.encode`, `durable.snapshot_write`,
     /// `durable.manifest_write`.
-    pub fn checkpoint(&mut self) -> ModelResult<u64> {
-        let telemetry = self.system.telemetry().clone();
+    pub(crate) fn checkpoint(&mut self, system: &TseSystem) -> ModelResult<u64> {
+        let telemetry = system.telemetry().clone();
         self.failpoints
             .check("snapshot.encode")
             .map_err(ModelError::Storage)
             .inspect_err(|e| note_fault(&telemetry, e))?;
         let span = telemetry.span("durable.checkpoint");
-        let payload = self.system.encode();
+        let payload = system.encode();
         let generation = self.generation + 1;
         durable::write_snapshot_file(
             &self.dir,
@@ -279,5 +290,76 @@ impl DurableSystem {
         span.finish();
         telemetry.incr("durable.checkpoints", 1);
         Ok(generation)
+    }
+}
+
+impl DurableSystem {
+    /// Open (or create) a durable system in `dir`: recover the newest valid
+    /// snapshot, replay the WAL tail, truncate any torn frame.
+    pub fn open(dir: &Path) -> ModelResult<DurableSystem> {
+        let (system, state, fresh) = DurableState::open(dir)?;
+        let mut out = DurableSystem { system, state };
+        if fresh {
+            // Seed generation 1 so even a crash before the first checkpoint
+            // has a base snapshot to recover onto.
+            out.checkpoint()?;
+        }
+        Ok(out)
+    }
+
+    /// The directory this system persists into.
+    pub fn dir(&self) -> &Path {
+        self.state.dir()
+    }
+
+    /// Newest snapshot generation on disk.
+    pub fn generation(&self) -> u64 {
+        self.state.generation()
+    }
+
+    /// Current WAL size in bytes (0 right after a checkpoint).
+    pub fn wal_len(&self) -> u64 {
+        self.state.wal_len()
+    }
+
+    /// The shared fault-injection registry (same instance the store and
+    /// evolve pipeline consult).
+    pub fn failpoints(&self) -> &FailpointRegistry {
+        self.state.failpoints()
+    }
+
+    /// Apply a textual schema change durably: the command is appended to
+    /// the WAL and fsync'd **before** it runs, so a crash mid-change redoes
+    /// it on the next [`TseSystem::open`]. A change that fails cleanly is
+    /// rolled back by the transactional evolve and its frame is removed.
+    pub fn evolve_cmd(&mut self, family: &str, command: &str) -> ModelResult<EvolutionReport> {
+        let telemetry = self.system.telemetry().clone();
+        let mark = self.state.log_begin(&telemetry, family, command)?;
+        match self.system.evolve_cmd(family, command) {
+            Ok(report) => {
+                self.state.log_commit(mark);
+                Ok(report)
+            }
+            Err(e) if is_crash(&e) => Err(e),
+            Err(e) => {
+                self.state.log_abort(mark)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Write a new snapshot generation crash-atomically, repoint the
+    /// manifest, and empty the WAL. Returns the new generation number.
+    /// Failpoint sites: `snapshot.encode`, `durable.snapshot_write`,
+    /// `durable.manifest_write`.
+    pub fn checkpoint(&mut self) -> ModelResult<u64> {
+        self.state.checkpoint(&self.system)
+    }
+
+    /// Split this durable system into its recovered in-memory system and
+    /// on-disk state — the handoff [`crate::SharedSystem::open`] uses to
+    /// thread the WAL protocol through its control plane.
+    pub(crate) fn into_parts(self) -> (TseSystem, DurableState) {
+        (self.system, self.state)
     }
 }

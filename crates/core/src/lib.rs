@@ -40,10 +40,12 @@ mod durable;
 mod merge;
 pub mod oracle;
 mod persist;
+mod shared;
 mod system;
 mod translate;
 
 pub use change::{parse_change, parse_expr, SchemaChange};
 pub use durable::DurableSystem;
+pub use shared::{MetaSnapshot, ReadSession, SharedSystem};
 pub use system::{EvolutionReport, PhaseTimings, TseSystem};
 pub use translate::{translate, ChangePlan};

@@ -1,0 +1,565 @@
+//! Control-plane / data-plane split: a concurrently shareable TSE system
+//! with **epoch-published metadata snapshots**.
+//!
+//! The paper's promise is *transparency* — users keep working while the
+//! schema evolves underneath them. A `RwLock<TseSystem>` breaks that
+//! promise under load: every `evolve` holds the exclusive lock through all
+//! four phases (translate / classify / view_regen / swap_in), so readers
+//! stall for the whole evolution. [`SharedSystem`] restores it by splitting
+//! the system into two planes:
+//!
+//! * **Data / read plane** — [`ReadSession`]s pin the current epoch's
+//!   immutable [`MetaSnapshot`] (schema, view schemas, update policy) and
+//!   resolve names against it without any lock; only the record access
+//!   itself takes a short shared lock on the live system.
+//! * **Control plane** — writes (`create`/`set`/…) and schema changes
+//!   serialize through one mutex. `evolve` runs **fork–evolve–swap**:
+//!   translate, classify, and view regeneration all execute against a
+//!   private fork of the system while readers keep using the live one, and
+//!   only the final pointer swap — publishing the next epoch — runs under
+//!   the exclusive lock. The reader-visible critical section shrinks from
+//!   whole-evolve to one `mem::swap` (measured by `evolve.exclusive_ns`).
+//!
+//! Epoch lifecycle: epoch *n*'s snapshot is immutable once published;
+//! sessions opened at epoch *n* keep resolving against it even after *n+1*
+//! is published. That is safe because TSE evolution is capacity-augmenting
+//! — the global schema only ever grows, so class ids resolved under an old
+//! epoch remain valid against the new live system. A failed evolution
+//! drops the private fork and publishes nothing: readers never observe a
+//! torn epoch.
+//!
+//! Lock taxonomy (acquisition order, coarse → fine):
+//! 1. `control` mutex — serializes all writers (`lock.control_wait_ns`).
+//! 2. `system` RwLock — shared for reads (`lock.read_wait_ns`), exclusive
+//!    only for the swap-in and in-place data writes (`lock.write_wait_ns`).
+//! 3. `meta` RwLock — pointer-sized critical sections; writers update it
+//!    while holding the `system` write lock, readers take it alone.
+//!
+//! Readers never hold `meta` while acquiring `system`, so the order is
+//! acyclic and deadlock-free.
+//!
+//! Durability threads through the control plane: [`SharedSystem::open`]
+//! recovers from a snapshot + WAL directory, and
+//! [`SharedSystem::evolve_cmd`] appends the command to the WAL **before**
+//! forking, commits the frame after the swap publishes the new epoch, and
+//! truncates it when the change fails cleanly — so an epoch is published
+//! only for changes the log can redo.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use tse_algebra::UpdatePolicy;
+use tse_object_model::{ClassId, ModelError, ModelResult, Oid, Schema, Value};
+use tse_storage::{FailpointRegistry, StoreConfig};
+use tse_telemetry::Telemetry;
+use tse_view::{ViewId, ViewManager, ViewSchema};
+
+use crate::change::{parse_change, SchemaChange};
+use crate::durable::{DurableState, DurableSystem};
+use crate::system::{is_crash, observe_op, EvolutionReport, TseSystem};
+
+/// One epoch's immutable metadata bundle: everything a reader needs to
+/// resolve view-local names without touching the live system. Published
+/// atomically by the control plane; never mutated afterwards.
+#[derive(Debug)]
+pub struct MetaSnapshot {
+    epoch: u64,
+    schema: Schema,
+    views: ViewManager,
+    policy: UpdatePolicy,
+}
+
+impl MetaSnapshot {
+    fn capture(epoch: u64, system: &TseSystem) -> Self {
+        // Cheap by construction: classes are `Arc<Class>`, view schemas are
+        // `Arc<ViewSchema>`, so both clones copy pointer vectors, not bodies.
+        MetaSnapshot {
+            epoch,
+            schema: system.db().schema().clone(),
+            views: system.views().clone(),
+            policy: system.policy().clone(),
+        }
+    }
+
+    /// The epoch this snapshot was published at (1 = initial state).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The global schema as of this epoch.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The view registry as of this epoch.
+    pub fn views(&self) -> &ViewManager {
+        &self.views
+    }
+
+    /// The update-propagation policy as of this epoch.
+    pub fn policy(&self) -> &UpdatePolicy {
+        &self.policy
+    }
+
+    /// The current version of a view family as of this epoch.
+    pub fn current_view(&self, family: &str) -> ModelResult<&ViewSchema> {
+        self.views.current(family)
+    }
+
+    /// A specific registered view version.
+    pub fn view(&self, id: ViewId) -> ModelResult<&ViewSchema> {
+        self.views.view(id)
+    }
+
+    /// Resolve a view-local class name against this epoch's schema.
+    pub fn resolve(&self, view: ViewId, class_local: &str) -> ModelResult<ClassId> {
+        self.views.view(view)?.lookup_in(&self.schema, class_local)
+    }
+}
+
+/// State owned by the control plane: the optional durable (WAL + snapshot)
+/// backing. Guarded by the control mutex, so schema changes and WAL
+/// appends are serialized as one unit.
+struct ControlState {
+    durable: Option<DurableState>,
+}
+
+struct SharedInner {
+    control: Mutex<ControlState>,
+    system: RwLock<TseSystem>,
+    meta: RwLock<Arc<MetaSnapshot>>,
+    epoch: AtomicU64,
+    telemetry: Telemetry,
+}
+
+/// A concurrently shareable TSE system: clone handles freely and use them
+/// from any thread. Reads go through [`SharedSystem::session`]; writes and
+/// schema changes serialize through the control plane. See the module docs
+/// for the full concurrency model.
+#[derive(Clone)]
+pub struct SharedSystem {
+    inner: Arc<SharedInner>,
+}
+
+/// A data-plane handle pinned to one epoch's [`MetaSnapshot`]. All methods
+/// take `&self`; name resolution is lock-free against the pinned snapshot
+/// and only the record access takes a short shared lock. Sessions are
+/// cheap — open one per thread, or one per batch of operations, and
+/// [`ReadSession::refresh`] to observe a newer epoch.
+pub struct ReadSession {
+    inner: Arc<SharedInner>,
+    meta: Arc<MetaSnapshot>,
+}
+
+impl Default for SharedSystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedSystem {
+    /// A fresh in-memory shared system with default storage configuration.
+    pub fn new() -> Self {
+        Self::from_system(TseSystem::new())
+    }
+
+    /// A fresh in-memory shared system with explicit storage configuration.
+    pub fn with_config(config: StoreConfig) -> Self {
+        Self::from_system(TseSystem::with_config(config))
+    }
+
+    /// Wrap an existing single-threaded system (e.g. one built with the
+    /// plain [`TseSystem`] API) for concurrent sharing. Publishes epoch 1.
+    pub fn from_system(system: TseSystem) -> Self {
+        Self::assemble(system, None)
+    }
+
+    /// Open (or create) a durable shared system in `dir`: recovery is
+    /// exactly [`DurableSystem::open`] (newest valid snapshot + WAL redo),
+    /// after which the control plane owns the WAL and every
+    /// [`SharedSystem::evolve_cmd`] is write-ahead logged.
+    pub fn open(dir: &Path) -> ModelResult<SharedSystem> {
+        let (system, state) = DurableSystem::open(dir)?.into_parts();
+        Ok(Self::assemble(system, Some(state)))
+    }
+
+    fn assemble(system: TseSystem, durable: Option<DurableState>) -> Self {
+        let telemetry = system.telemetry().clone();
+        let meta = Arc::new(MetaSnapshot::capture(1, &system));
+        telemetry.set_gauge("epoch", 1);
+        SharedSystem {
+            inner: Arc::new(SharedInner {
+                control: Mutex::new(ControlState { durable }),
+                system: RwLock::new(system),
+                meta: RwLock::new(meta),
+                epoch: AtomicU64::new(1),
+                telemetry,
+            }),
+        }
+    }
+
+    /// Open a data-plane session pinned to the current epoch.
+    pub fn session(&self) -> ReadSession {
+        ReadSession { inner: self.inner.clone(), meta: self.inner.meta.read().clone() }
+    }
+
+    /// The current epoch (bumped by every published metadata change).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Acquire)
+    }
+
+    /// The telemetry domain shared by every layer of this system.
+    pub fn telemetry(&self) -> Telemetry {
+        self.inner.telemetry.clone()
+    }
+
+    /// The shared fault-injection registry.
+    pub fn failpoints(&self) -> FailpointRegistry {
+        self.inner.system.read().failpoints().clone()
+    }
+
+    /// Run a closure against the live system under the shared lock — the
+    /// escape hatch for read APIs without a session wrapper (oracle checks,
+    /// benchmarks, tests). Do not stash the reference.
+    pub fn with_read<R>(&self, f: impl FnOnce(&TseSystem) -> R) -> R {
+        f(&self.read_timed())
+    }
+
+    // ----- lock plumbing ---------------------------------------------------
+
+    fn lock_control(&self) -> parking_lot::MutexGuard<'_, ControlState> {
+        let started = Instant::now();
+        let guard = self.inner.control.lock();
+        self.inner
+            .telemetry
+            .observe_ns("lock.control_wait_ns", (started.elapsed().as_nanos() as u64).max(1));
+        guard
+    }
+
+    fn read_timed(&self) -> RwLockReadGuard<'_, TseSystem> {
+        read_timed(&self.inner)
+    }
+
+    /// Serialize a data-plane write through the control plane. These apply
+    /// in place — they touch records, not the schema/view metadata readers
+    /// resolve against — so no epoch is published.
+    fn with_write<R>(&self, f: impl FnOnce(&mut TseSystem) -> R) -> R {
+        let _ctl = self.lock_control();
+        let started = Instant::now();
+        let mut sys = self.inner.system.write();
+        self.inner
+            .telemetry
+            .observe_ns("lock.write_wait_ns", (started.elapsed().as_nanos() as u64).max(1));
+        f(&mut sys)
+    }
+
+    /// Serialize a metadata-affecting write and republish the epoch
+    /// snapshot while still holding the exclusive lock.
+    fn with_write_publish<R>(
+        &self,
+        f: impl FnOnce(&mut TseSystem) -> ModelResult<R>,
+    ) -> ModelResult<R> {
+        let _ctl = self.lock_control();
+        let started = Instant::now();
+        let mut sys = self.inner.system.write();
+        self.inner
+            .telemetry
+            .observe_ns("lock.write_wait_ns", (started.elapsed().as_nanos() as u64).max(1));
+        let out = f(&mut sys)?;
+        self.publish_meta_locked(&sys);
+        Ok(out)
+    }
+
+    /// Publish the next epoch's snapshot. Caller must hold the `system`
+    /// write lock (the `&TseSystem` borrow proves a lock is held; the
+    /// control mutex serializes the epoch increment itself).
+    fn publish_meta_locked(&self, sys: &TseSystem) {
+        let epoch = self.inner.epoch.load(Ordering::Relaxed) + 1;
+        *self.inner.meta.write() = Arc::new(MetaSnapshot::capture(epoch, sys));
+        self.inner.epoch.store(epoch, Ordering::Release);
+        self.inner.telemetry.set_gauge("epoch", epoch);
+    }
+
+    // ----- control plane: schema changes -----------------------------------
+
+    /// Apply a schema change to a view family with **fork–evolve–swap**:
+    /// the whole Figure 6 pipeline (translate, classify, view regeneration)
+    /// runs against a private fork while readers keep using the live
+    /// system; only the final swap — publishing the new epoch — takes the
+    /// exclusive lock, and `evolve.exclusive_ns` records exactly that
+    /// window. On error the fork is dropped and no epoch is published.
+    ///
+    /// On a durable system this entry point is **not** write-ahead logged
+    /// (a structured [`SchemaChange`] has no command renderer); use
+    /// [`SharedSystem::evolve_cmd`] for logged changes, mirroring the
+    /// [`DurableSystem`] contract.
+    pub fn evolve(&self, family: &str, change: &SchemaChange) -> ModelResult<EvolutionReport> {
+        let _ctl = self.lock_control();
+        self.evolve_forked(family, change)
+    }
+
+    /// Parse and apply a textual schema-change command. On a durable
+    /// system the command is appended to the WAL and fsync'd before the
+    /// fork evolves, the frame is committed only after the swap publishes
+    /// the new epoch, and a cleanly failed change truncates its frame — so
+    /// the log never replays an epoch that was not published (simulated
+    /// crashes keep the frame, to be decided by redo at the next open).
+    pub fn evolve_cmd(&self, family: &str, command: &str) -> ModelResult<EvolutionReport> {
+        let change = parse_change(command)?;
+        let mut ctl = self.lock_control();
+        let mark = match ctl.durable.as_mut() {
+            Some(d) => Some(d.log_begin(&self.inner.telemetry, family, command)?),
+            None => None,
+        };
+        match self.evolve_forked(family, &change) {
+            Ok(report) => {
+                if let Some(mark) = mark {
+                    ctl.durable.as_mut().expect("durable unchanged").log_commit(mark);
+                }
+                Ok(report)
+            }
+            Err(e) if is_crash(&e) => Err(e),
+            Err(e) => {
+                if let Some(mark) = mark {
+                    ctl.durable.as_mut().expect("durable unchanged").log_abort(mark)?;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Fork, evolve the fork, swap it in. Caller holds the control mutex.
+    fn evolve_forked(&self, family: &str, change: &SchemaChange) -> ModelResult<EvolutionReport> {
+        // Fork under the shared lock: readers are unaffected, and the
+        // control mutex guarantees no writer mutates the live system while
+        // the fork is in flight.
+        let mut private = self.read_timed().fork()?;
+        let report = private.evolve(family, change)?;
+
+        // Swap-in: build the next snapshot *outside* the exclusive
+        // section, then swap the system pointer and publish the epoch.
+        let epoch = self.inner.epoch.load(Ordering::Relaxed) + 1;
+        let next_meta = Arc::new(MetaSnapshot::capture(epoch, &private));
+        let started = Instant::now();
+        let mut sys = self.inner.system.write();
+        self.inner
+            .telemetry
+            .observe_ns("lock.write_wait_ns", (started.elapsed().as_nanos() as u64).max(1));
+        let exclusive = Instant::now();
+        std::mem::swap(&mut *sys, &mut private);
+        let old_meta = std::mem::replace(&mut *self.inner.meta.write(), next_meta);
+        self.inner.epoch.store(epoch, Ordering::Release);
+        drop(sys);
+        self.inner
+            .telemetry
+            .observe_ns("evolve.exclusive_ns", (exclusive.elapsed().as_nanos() as u64).max(1));
+        self.inner.telemetry.set_gauge("epoch", epoch);
+        // `private` now holds the pre-change system and `old_meta` the
+        // superseded snapshot; drop both outside the exclusive section so
+        // deallocation never extends it.
+        drop(old_meta);
+        drop(private);
+        Ok(report)
+    }
+
+    /// Write a new snapshot generation and empty the WAL (durable systems
+    /// only). Readers keep running: encoding happens under the shared lock.
+    pub fn checkpoint(&self) -> ModelResult<u64> {
+        let mut ctl = self.lock_control();
+        let durable = ctl
+            .durable
+            .as_mut()
+            .ok_or_else(|| ModelError::Invalid("checkpoint on a non-durable system".into()))?;
+        let sys = read_timed(&self.inner);
+        durable.checkpoint(&sys)
+    }
+
+    /// Newest snapshot generation on disk (durable systems only).
+    pub fn generation(&self) -> Option<u64> {
+        self.lock_control().durable.as_ref().map(|d| d.generation())
+    }
+
+    /// Current WAL size in bytes (durable systems only).
+    pub fn wal_len(&self) -> Option<u64> {
+        self.lock_control().durable.as_ref().map(|d| d.wal_len())
+    }
+
+    // ----- control plane: base schema + views -------------------------------
+
+    /// Define a base class (global-schema setup). Publishes a new epoch.
+    pub fn define_base_class(
+        &self,
+        name: &str,
+        supers: &[&str],
+        props: Vec<tse_object_model::PendingProp>,
+    ) -> ModelResult<ClassId> {
+        self.with_write_publish(|sys| sys.define_base_class(name, supers, props))
+    }
+
+    /// Create a view over the named global classes. Publishes a new epoch.
+    pub fn create_view(&self, family: &str, class_names: &[&str]) -> ModelResult<ViewId> {
+        self.with_write_publish(|sys| sys.create_view(family, class_names))
+    }
+
+    /// Create a type-closed view (see [`TseSystem::create_view_closed`]).
+    /// Publishes a new epoch.
+    pub fn create_view_closed(&self, family: &str, class_names: &[&str]) -> ModelResult<ViewId> {
+        self.with_write_publish(|sys| sys.create_view_closed(family, class_names))
+    }
+
+    /// Create a whole-schema view (see [`TseSystem::create_view_all`]).
+    /// Publishes a new epoch.
+    pub fn create_view_all(&self, family: &str) -> ModelResult<ViewId> {
+        self.with_write_publish(|sys| sys.create_view_all(family))
+    }
+
+    /// Attach or clear a class constraint through a view. Publishes a new
+    /// epoch (constraints live in the schema readers resolve against).
+    pub fn set_constraint(
+        &self,
+        view: ViewId,
+        class_local: &str,
+        expr: Option<&str>,
+    ) -> ModelResult<()> {
+        self.with_write_publish(|sys| sys.set_constraint(view, class_local, expr))
+    }
+
+    // ----- control plane: data writes ---------------------------------------
+
+    /// Create an object through a view class.
+    pub fn create(
+        &self,
+        view: ViewId,
+        class_local: &str,
+        values: &[(&str, Value)],
+    ) -> ModelResult<Oid> {
+        self.with_write(|sys| sys.create(view, class_local, values))
+    }
+
+    /// Set attributes through a view class.
+    pub fn set(
+        &self,
+        view: ViewId,
+        oid: Oid,
+        class_local: &str,
+        assignments: &[(&str, Value)],
+    ) -> ModelResult<()> {
+        self.with_write(|sys| sys.set(view, oid, class_local, assignments))
+    }
+
+    /// Query-then-update through a view class (§3.3 pipeline).
+    pub fn update_where(
+        &self,
+        view: ViewId,
+        class_local: &str,
+        expr: &str,
+        assignments: &[(&str, Value)],
+    ) -> ModelResult<usize> {
+        self.with_write(|sys| sys.update_where(view, class_local, expr, assignments))
+    }
+
+    /// Add existing objects to a view class.
+    pub fn add_to(&self, view: ViewId, oids: &[Oid], class_local: &str) -> ModelResult<()> {
+        self.with_write(|sys| sys.add_to(view, oids, class_local))
+    }
+
+    /// Remove objects from a view class.
+    pub fn remove_from(&self, view: ViewId, oids: &[Oid], class_local: &str) -> ModelResult<()> {
+        self.with_write(|sys| sys.remove_from(view, oids, class_local))
+    }
+
+    /// Destroy objects.
+    pub fn delete_objects(&self, oids: &[Oid]) -> ModelResult<()> {
+        self.with_write(|sys| sys.delete_objects(oids))
+    }
+}
+
+fn read_timed(inner: &SharedInner) -> RwLockReadGuard<'_, TseSystem> {
+    let started = Instant::now();
+    let guard = inner.system.read();
+    inner.telemetry.observe_ns("lock.read_wait_ns", (started.elapsed().as_nanos() as u64).max(1));
+    guard
+}
+
+impl ReadSession {
+    /// The metadata snapshot this session is pinned to.
+    pub fn meta(&self) -> &MetaSnapshot {
+        &self.meta
+    }
+
+    /// The epoch this session is pinned to.
+    pub fn epoch(&self) -> u64 {
+        self.meta.epoch
+    }
+
+    /// Re-pin to the latest published epoch.
+    pub fn refresh(&mut self) {
+        self.meta = self.inner.meta.read().clone();
+    }
+
+    /// The current version of a view family, as of this session's epoch.
+    pub fn current_view(&self, family: &str) -> ModelResult<&ViewSchema> {
+        self.meta.current_view(family)
+    }
+
+    /// A specific registered view version, as of this session's epoch.
+    pub fn view(&self, id: ViewId) -> ModelResult<&ViewSchema> {
+        self.meta.view(id)
+    }
+
+    /// Read an attribute through a view class. Name resolution is
+    /// lock-free against the pinned snapshot; the record read takes the
+    /// shared lock.
+    pub fn get(&self, view: ViewId, oid: Oid, class_local: &str, attr: &str) -> ModelResult<Value> {
+        let started = Instant::now();
+        let class = self.meta.resolve(view, class_local)?;
+        let sys = read_timed(&self.inner);
+        let out = sys.db().read_attr(oid, class, attr);
+        drop(sys);
+        observe_op(&self.inner.telemetry, "get", started);
+        out
+    }
+
+    /// The extent of a view class.
+    pub fn extent(&self, view: ViewId, class_local: &str) -> ModelResult<Vec<Oid>> {
+        let class = self.meta.resolve(view, class_local)?;
+        let sys = read_timed(&self.inner);
+        Ok(sys.db().extent(class)?.iter().copied().collect())
+    }
+
+    /// `select from <Class> where <expr>` over a view class.
+    pub fn select_where(
+        &self,
+        view: ViewId,
+        class_local: &str,
+        expr: &str,
+    ) -> ModelResult<Vec<Oid>> {
+        let started = Instant::now();
+        let class = self.meta.resolve(view, class_local)?;
+        let body = crate::change::parse_expr(expr)?;
+        let pred = tse_object_model::Predicate::Expr(body);
+        let sys = read_timed(&self.inner);
+        let out = tse_algebra::select_objects(sys.db(), class, &pred);
+        drop(sys);
+        observe_op(&self.inner.telemetry, "select_where", started);
+        out
+    }
+
+    /// Invoke a property with dynamic dispatch through a view class.
+    pub fn invoke(&self, view: ViewId, oid: Oid, class_local: &str, name: &str) -> ModelResult<Value> {
+        let class = self.meta.resolve(view, class_local)?;
+        let sys = read_timed(&self.inner);
+        sys.db().invoke(oid, class, name)
+    }
+}
+
+// The whole point: handles and sessions cross threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SharedSystem>();
+    assert_send_sync::<ReadSession>();
+    assert_send_sync::<MetaSnapshot>();
+};

@@ -112,6 +112,23 @@ impl TseSystem {
         &self.db
     }
 
+    /// An independent copy of this system for **fork–evolve–swap**: the
+    /// shared system runs a schema change against the fork while readers
+    /// keep using `self`, then swaps the evolved fork in under a short
+    /// exclusive section. Schema metadata (`Arc<Class>`), view schemas
+    /// (`Arc<ViewSchema>`), record segments, and object headers are shared
+    /// or cheaply cloned; the telemetry domain and failpoint registry are
+    /// the *same* handles, so spans from the fork land in the same journal
+    /// and armed failpoints fire inside it. Fails if an evolution
+    /// transaction is open (the undo log cannot be split).
+    pub fn fork(&self) -> ModelResult<TseSystem> {
+        Ok(TseSystem {
+            db: self.db.fork()?,
+            views: self.views.clone(),
+            policy: self.policy.clone(),
+        })
+    }
+
     /// Mutable database access (base-schema construction).
     pub fn db_mut(&mut self) -> &mut Database {
         &mut self.db
@@ -415,6 +432,8 @@ impl TseSystem {
     /// Plain `evolve` is now transactional (undo-log rollback plus cheap
     /// control-plane clones, no record data copied), so the two are
     /// identical.
+    #[deprecated(note = "plain `evolve` has been all-or-nothing since the \
+                         transactional rework; call it directly")]
     pub fn evolve_atomic(
         &mut self,
         family: &str,
@@ -758,7 +777,7 @@ pub(crate) fn note_fault(telemetry: &tse_telemetry::Telemetry, e: &ModelError) {
 
 /// Count a data-plane operation (`op.<name>`) and record its wall-clock
 /// latency into the `latency.<name>` histogram.
-fn observe_op(telemetry: &tse_telemetry::Telemetry, op: &str, started: std::time::Instant) {
+pub(crate) fn observe_op(telemetry: &tse_telemetry::Telemetry, op: &str, started: std::time::Instant) {
     telemetry.incr(&format!("op.{op}"), 1);
     telemetry.observe_ns(&format!("latency.{op}"), (started.elapsed().as_nanos() as u64).max(1));
 }

@@ -274,26 +274,22 @@ fn snapshot_encode_failpoint_blocks_checkpoint_cleanly() {
 #[test]
 fn composite_macro_failing_halfway_rolls_back_byte_identically() {
     // delete_class2 on TA expands into edge surgery followed by the class
-    // drop; failing the *second* swap-in kills the macro mid-flight. Both
-    // evolve and evolve_atomic must restore the byte-identical pre-state:
-    // view history, rename maps, and policy included.
+    // drop; failing the *second* swap-in kills the macro mid-flight.
+    // Evolve must restore the byte-identical pre-state — view history,
+    // rename maps, and policy included — and keep doing so on a retry.
     let dir = tmpdir("composite");
     let (mut sys, v1, oid) = seed(&dir);
     let before = sys.encode();
     let versions_before = sys.views().versions("VS").unwrap().len();
     let change = SchemaChange::DeleteClass2 { class: "Student".into() };
 
-    for atomic in [false, true] {
+    for attempt in [1, 2] {
         sys.failpoints().arm("evolve.swap_in", 2, FailAction::Error);
-        let result = if atomic {
-            sys.evolve_atomic("VS", &change)
-        } else {
-            sys.evolve("VS", &change)
-        };
-        assert!(result.is_err(), "atomic={atomic}");
-        assert!(sys.failpoints().fired("evolve.swap_in"), "atomic={atomic}");
+        let result = sys.evolve("VS", &change);
+        assert!(result.is_err(), "attempt={attempt}");
+        assert!(sys.failpoints().fired("evolve.swap_in"), "attempt={attempt}");
         sys.failpoints().disarm("evolve.swap_in");
-        assert_eq!(sys.encode().as_slice(), before.as_slice(), "atomic={atomic}");
+        assert_eq!(sys.encode().as_slice(), before.as_slice(), "attempt={attempt}");
         assert_eq!(sys.views().versions("VS").unwrap().len(), versions_before);
         check_consistency(&sys, v1, oid);
     }

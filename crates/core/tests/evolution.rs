@@ -511,6 +511,9 @@ fn rename_class_is_view_local() {
 }
 
 #[test]
+// Covers the deprecated `evolve_atomic` alias on purpose: it must stay
+// behaviourally identical to `evolve` until it is removed.
+#[allow(deprecated)]
 fn evolve_atomic_rolls_back_everything_on_failure() {
     let mut tse = university();
     tse.create_view("VS", &["Person", "Student", "TA"]).unwrap();

@@ -183,6 +183,30 @@ impl Database {
         self.data_gen += 1;
     }
 
+    /// A private copy of this database for control-plane work: the schema
+    /// clone is shallow (`Arc`-shared classes, copy-on-write), the store
+    /// fork carries segments and cumulative counters, and the telemetry
+    /// domain and failpoint registry are the **same shared handles** — a
+    /// schema change running against the fork records into the same journal
+    /// and honours the same armed failpoints as the original.
+    ///
+    /// Fails if a schema-evolution transaction is open (the store refuses
+    /// to fork mid-transaction).
+    pub fn fork(&self) -> ModelResult<Database> {
+        Ok(Database {
+            schema: self.schema.clone(),
+            store: self.store.fork()?,
+            objects: self.objects.clone(),
+            next_oid: self.next_oid,
+            // One generation ahead of the original so extent-cache entries
+            // can never be confused between the two copies.
+            data_gen: self.data_gen + 1,
+            extent_cache: Mutex::new(ExtentCache::default()),
+            slice_hops: AtomicU64::new(self.slice_hops.load(Ordering::Relaxed)),
+            telemetry: self.telemetry.clone(),
+        })
+    }
+
     // ----- transactional schema evolution -----------------------------------
 
     /// Begin a schema-evolution transaction: open the store's undo-log

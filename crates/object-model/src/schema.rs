@@ -113,8 +113,15 @@ struct TypeCache {
 }
 
 /// The global schema.
+///
+/// Classes are held behind `Arc` so cloning the schema — the checkpoint
+/// primitive of transactional evolution *and* the epoch-snapshot primitive
+/// of the shared-system control plane — is a shallow copy-on-write: the
+/// clone shares every class until one side mutates it through
+/// `Schema::class_mut` (which is when `Arc::make_mut` pays for the copy,
+/// one class at a time).
 pub struct Schema {
-    classes: Vec<Class>,
+    classes: Vec<Arc<Class>>,
     by_name: HashMap<String, ClassId>,
     root: ClassId,
     next_prop_key: u64,
@@ -138,9 +145,13 @@ impl std::fmt::Debug for Schema {
     }
 }
 
-/// Cloning a schema is the checkpoint primitive of transactional evolution:
-/// the TSEM clones the schema before a change and swaps the clone back in on
-/// rollback. The resolution cache is not carried over (it re-fills lazily).
+/// Cloning a schema is the checkpoint primitive of transactional evolution
+/// (the TSEM clones the schema before a change and swaps the clone back in
+/// on rollback) and the snapshot primitive of epoch publication (the shared
+/// system clones it into each `MetaSnapshot`). Classes are `Arc`-shared, so
+/// the clone is shallow — O(classes) pointer copies, no property data — and
+/// copy-on-write afterwards. The resolution cache is not carried over (it
+/// re-fills lazily).
 impl Clone for Schema {
     fn clone(&self) -> Self {
         Schema {
@@ -177,7 +188,7 @@ impl Schema {
         };
         let root = Class::new(ClassId(0), ROOT_CLASS.to_string(), ClassKind::Base);
         schema.by_name.insert(ROOT_CLASS.to_string(), ClassId(0));
-        schema.classes.push(root);
+        schema.classes.push(Arc::new(root));
         schema
     }
 
@@ -199,11 +210,17 @@ impl Schema {
 
     /// Look up a class by id.
     pub fn class(&self, id: ClassId) -> ModelResult<&Class> {
-        self.classes.get(id.0 as usize).ok_or(ModelError::UnknownClass(id))
+        self.classes.get(id.0 as usize).map(|c| c.as_ref()).ok_or(ModelError::UnknownClass(id))
     }
 
+    /// Copy-on-write mutable access: if the class is shared with a snapshot
+    /// (an epoch's `MetaSnapshot` or a transactional checkpoint), the first
+    /// mutation clones it; snapshots keep the pre-mutation version.
     pub(crate) fn class_mut(&mut self, id: ClassId) -> ModelResult<&mut Class> {
-        self.classes.get_mut(id.0 as usize).ok_or(ModelError::UnknownClass(id))
+        self.classes
+            .get_mut(id.0 as usize)
+            .map(Arc::make_mut)
+            .ok_or(ModelError::UnknownClass(id))
     }
 
     /// Look up a class id by global name.
@@ -339,7 +356,7 @@ impl Schema {
             self.class(*s)?;
         }
         let id = ClassId(self.classes.len() as u32);
-        self.classes.push(Class::new(id, name.to_string(), kind));
+        self.classes.push(Arc::new(Class::new(id, name.to_string(), kind)));
         self.by_name.insert(name.to_string(), id);
         let effective: Vec<ClassId> =
             if supers.is_empty() && matches!(self.classes[id.0 as usize].kind, ClassKind::Base) && id != self.root {
@@ -960,7 +977,7 @@ impl Schema {
             cls.subs = sub_list;
         }
         Ok(Schema {
-            classes,
+            classes: classes.into_iter().map(Arc::new).collect(),
             by_name,
             root: ClassId(0),
             next_prop_key,

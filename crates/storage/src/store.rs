@@ -52,6 +52,18 @@ struct AtomicStats {
 }
 
 impl AtomicStats {
+    fn from_snapshot(s: StoreStats) -> Self {
+        AtomicStats {
+            record_reads: AtomicU64::new(s.record_reads),
+            record_writes: AtomicU64::new(s.record_writes),
+            page_hits: AtomicU64::new(s.page_hits),
+            page_misses: AtomicU64::new(s.page_misses),
+            records_allocated: AtomicU64::new(s.records_allocated),
+            records_freed: AtomicU64::new(s.records_freed),
+            record_moves: AtomicU64::new(s.record_moves),
+        }
+    }
+
     fn snapshot(&self) -> StoreStats {
         StoreStats {
             record_reads: self.record_reads.load(Ordering::Relaxed),
@@ -334,9 +346,38 @@ impl<P: Payload> SliceStore<P> {
         }
     }
 
+    // ----- forking --------------------------------------------------------
+
+    /// A private copy of this store for control-plane work: same segments
+    /// and records, cumulative counters carried over, a cold buffer pool,
+    /// no open transaction, and the **same** (shared) failpoint registry.
+    ///
+    /// The TSE control plane forks the store so a schema change can run
+    /// against a private copy while readers keep using the original; the
+    /// evolved fork is swapped in under a short exclusive section. Forking
+    /// while a transaction is open would silently drop the fork's undo
+    /// history, so it is rejected.
+    pub fn fork(&self) -> StorageResult<Self> {
+        if self.txn.active.is_some() {
+            return Err(StorageError::TxnState("fork inside a transaction"));
+        }
+        Ok(SliceStore {
+            config: self.config,
+            segments: self.segments.clone(),
+            buffer: Mutex::new(BufferPool::new(self.config.buffer_pages)),
+            stats: AtomicStats::from_snapshot(self.stats.snapshot()),
+            txn: TxnState::default(),
+            failpoints: self.failpoints.clone(),
+        })
+    }
+
     // ----- stats ----------------------------------------------------------
 
-    /// Snapshot of the access counters.
+    /// Snapshot of the access counters. Each counter is loaded atomically;
+    /// the snapshot as a whole is coherent for a quiescent store and
+    /// monotone under concurrent readers (every counter is add-only), so
+    /// `&self` reads from parallel threads never observe values going
+    /// backwards.
     pub fn stats(&self) -> StoreStats {
         self.stats.snapshot()
     }

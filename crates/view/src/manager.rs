@@ -8,17 +8,21 @@
 //! what keeps old application programs running.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use tse_object_model::{ClassId, Database, ModelError, ModelResult};
 
 use crate::schema::{build_view, ViewId, ViewSchema};
 
 /// Registry of all view schemas plus the per-family history. `Clone` exists
-/// for transactional evolution: the TSEM checkpoints the manager before a
-/// schema change and restores the clone on rollback.
+/// for transactional evolution (the TSEM checkpoints the manager before a
+/// schema change and restores the clone on rollback) and for epoch snapshot
+/// publication in the shared system. View schemas are immutable once
+/// registered, so they live behind `Arc`s: cloning the manager copies only
+/// the vector of pointers plus the family histories, never the view bodies.
 #[derive(Debug, Default, Clone)]
 pub struct ViewManager {
-    views: Vec<ViewSchema>,
+    views: Vec<Arc<ViewSchema>>,
     history: BTreeMap<String, Vec<ViewId>>,
 }
 
@@ -70,7 +74,7 @@ impl ViewManager {
             versions.sort();
             history.insert(family, versions.into_iter().map(|(_, id)| id).collect());
         }
-        Ok(ViewManager { views, history })
+        Ok(ViewManager { views: views.into_iter().map(Arc::new).collect(), history })
     }
 
     /// Create the first version of a view family from a class selection.
@@ -85,7 +89,7 @@ impl ViewManager {
         }
         let id = ViewId(self.views.len() as u32);
         let view = Self::generate(db, id, family, 1, classes, BTreeMap::new())?;
-        self.views.push(view);
+        self.views.push(Arc::new(view));
         self.history.insert(family.to_string(), vec![id]);
         Ok(id)
     }
@@ -106,7 +110,7 @@ impl ViewManager {
         let version = versions.len() as u32 + 1;
         let id = ViewId(self.views.len() as u32);
         let view = Self::generate(db, id, family, version, classes, renames)?;
-        self.views.push(view);
+        self.views.push(Arc::new(view));
         self.history.get_mut(family).unwrap().push(id);
         Ok(id)
     }
@@ -126,7 +130,7 @@ impl ViewManager {
         }
         let id = ViewId(self.views.len() as u32);
         let view = Self::generate(db, id, family, 1, classes, renames)?;
-        self.views.push(view);
+        self.views.push(Arc::new(view));
         self.history.insert(family.to_string(), vec![id]);
         Ok(id)
     }
@@ -135,6 +139,16 @@ impl ViewManager {
     pub fn view(&self, id: ViewId) -> ModelResult<&ViewSchema> {
         self.views
             .get(id.0 as usize)
+            .map(|v| v.as_ref())
+            .ok_or_else(|| ModelError::Invalid(format!("unknown view {id}")))
+    }
+
+    /// Fetch any registered version as a shared pointer — lets epoch
+    /// snapshots and read sessions hold a view beyond the manager borrow.
+    pub fn view_arc(&self, id: ViewId) -> ModelResult<Arc<ViewSchema>> {
+        self.views
+            .get(id.0 as usize)
+            .cloned()
             .ok_or_else(|| ModelError::Invalid(format!("unknown view {id}")))
     }
 

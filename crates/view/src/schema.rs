@@ -10,7 +10,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use tse_object_model::{ClassId, Database, ModelError, ModelResult};
+use tse_object_model::{ClassId, Database, ModelError, ModelResult, Schema};
 
 /// Identifies a view schema (one *version*; a view family is a sequence of
 /// these, see the manager).
@@ -50,17 +50,31 @@ impl ViewSchema {
 
     /// The name a class carries inside this view.
     pub fn local_name(&self, db: &Database, class: ClassId) -> ModelResult<String> {
+        self.local_name_in(db.schema(), class)
+    }
+
+    /// [`ViewSchema::local_name`] against an explicit schema — the form the
+    /// shared system's read sessions use, resolving against an epoch's
+    /// immutable schema snapshot instead of the live database.
+    pub fn local_name_in(&self, schema: &Schema, class: ClassId) -> ModelResult<String> {
         if !self.contains(class) {
             return Err(ModelError::UnknownClass(class));
         }
         if let Some(n) = self.renames.get(&class) {
             return Ok(n.clone());
         }
-        Ok(db.schema().class(class)?.name.clone())
+        Ok(schema.class(class)?.name.clone())
     }
 
     /// Resolve a view-local name to the global class.
     pub fn lookup(&self, db: &Database, name: &str) -> ModelResult<ClassId> {
+        self.lookup_in(db.schema(), name)
+    }
+
+    /// [`ViewSchema::lookup`] against an explicit schema — the form the
+    /// shared system's read sessions use, resolving against an epoch's
+    /// immutable schema snapshot instead of the live database.
+    pub fn lookup_in(&self, schema: &Schema, name: &str) -> ModelResult<ClassId> {
         // Renames take precedence (and shadow the global names they mask).
         for (class, local) in &self.renames {
             if local == name {
@@ -71,7 +85,7 @@ impl ViewSchema {
             if self.renames.contains_key(class) {
                 continue;
             }
-            if db.schema().class(*class)?.name == name {
+            if schema.class(*class)?.name == name {
                 return Ok(*class);
             }
         }

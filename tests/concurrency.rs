@@ -1,14 +1,17 @@
-//! Shared-access correctness: the system is designed for `RwLock` sharing
-//! (the paper's platform provides concurrency control). Reads use interior
-//! mutability for caches and counters, so many parallel readers must be
-//! safe and coherent; writers serialize through the lock.
+//! Shared-access correctness: the legacy whole-system `RwLock` sharing
+//! model (readers and writers both serialize on one lock), and the
+//! control-plane / data-plane split of `SharedSystem`, where read sessions
+//! pin epoch-published metadata snapshots and evolution only takes the
+//! exclusive lock for the final swap-in.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use tse::core::TseSystem;
+use tse::core::{SharedSystem, TseSystem};
 use tse::object_model::{PropertyDef, Value, ValueType};
+use tse::storage::FailAction;
 
 fn build() -> (TseSystem, Vec<tse::object_model::Oid>, tse::view::ViewId) {
     let mut sys = TseSystem::new();
@@ -132,4 +135,175 @@ fn evolution_under_lock_with_concurrent_old_version_readers() {
     });
     let sys = shared.read();
     assert_eq!(sys.views().versions("VS").unwrap().len(), 6);
+}
+
+/// Person ← Student system with a two-class view — the shape a composite
+/// `insert_class` macro needs (it splices a class between the two).
+fn build_two_level() -> (TseSystem, Vec<tse::object_model::Oid>, tse::view::ViewId) {
+    let mut sys = TseSystem::new();
+    sys.define_base_class(
+        "Person",
+        &[],
+        vec![
+            PropertyDef::stored("name", ValueType::Str, Value::Null),
+            PropertyDef::stored("age", ValueType::Int, Value::Int(0)),
+        ],
+    )
+    .unwrap();
+    sys.define_base_class("Student", &["Person"], vec![]).unwrap();
+    let v = sys.create_view("VS", &["Person", "Student"]).unwrap();
+    let mut oids = Vec::new();
+    for i in 0..100 {
+        oids.push(
+            sys.create(
+                v,
+                "Student",
+                &[("name", Value::Str(format!("s{i}"))), ("age", Value::Int(i as i64))],
+            )
+            .unwrap(),
+        );
+    }
+    (sys, oids, v)
+}
+
+#[test]
+fn shared_system_readers_never_observe_torn_epoch() {
+    // A composite macro (insert_class = add_class + add_edge) registers TWO
+    // view versions. Under fork–evolve–swap both publish in one epoch, so a
+    // reader must see the family at 1 version (old epoch) or 3 versions
+    // (new epoch) — never the intermediate 2.
+    let (sys, oids, v1) = build_two_level();
+    let shared = SharedSystem::from_system(sys);
+    let epoch_before = shared.epoch();
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        {
+            let shared = shared.clone();
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                shared
+                    .evolve_cmd("VS", "insert_class Mid between Person - Student")
+                    .unwrap();
+                done.store(true, Ordering::Release);
+            });
+        }
+        for t in 0..4 {
+            let shared = shared.clone();
+            let done = Arc::clone(&done);
+            let oids = oids.clone();
+            scope.spawn(move || {
+                let mut rounds = 0usize;
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    // A fresh session pins whatever epoch is current.
+                    let session = shared.session();
+                    let versions = session.meta().views().versions("VS").unwrap().len();
+                    assert!(
+                        versions == 1 || versions == 3,
+                        "torn epoch: reader saw {versions} view versions"
+                    );
+                    let current = session.current_view("VS").unwrap();
+                    assert!(
+                        current.version == 1 || current.version == 3,
+                        "torn epoch: current view at version {}",
+                        current.version
+                    );
+                    // The session's pinned metadata keeps answering queries
+                    // against the live system mid-evolution.
+                    let idx = (t * 13 + rounds * 7) % oids.len();
+                    assert_eq!(
+                        session.get(v1, oids[idx], "Student", "age").unwrap(),
+                        Value::Int(idx as i64)
+                    );
+                    assert_eq!(
+                        session.select_where(v1, "Student", "age >= 50").unwrap().len(),
+                        50
+                    );
+                    rounds += 1;
+                    if finished {
+                        break;
+                    }
+                }
+                assert!(rounds > 0);
+            });
+        }
+    });
+
+    // One composite change = one published epoch, two new view versions.
+    assert_eq!(shared.epoch(), epoch_before + 1);
+    let session = shared.session();
+    assert_eq!(session.meta().views().versions("VS").unwrap().len(), 3);
+    assert_eq!(session.current_view("VS").unwrap().version, 3);
+    // Old sessions' class resolution stays valid against the new system.
+    assert!(session.select_where(v1, "Mid", "age >= 0").is_err(), "v1 predates Mid");
+}
+
+#[test]
+fn shared_system_aborted_evolve_publishes_no_epoch() {
+    let (sys, oids, v1) = build_two_level();
+    let shared = SharedSystem::from_system(sys);
+    let epoch_before = shared.epoch();
+    let session_before = shared.session();
+    let versions_before = session_before.meta().views().versions("VS").unwrap().len();
+
+    // The failpoint fires inside the *private fork* (fork shares the
+    // registry); the live system and its epoch must be untouched.
+    shared.failpoints().arm("evolve.classify", 1, FailAction::Error);
+    let err = shared.evolve_cmd("VS", "add_attribute gpa: float = 0.0 to Student");
+    assert!(err.is_err());
+    shared.failpoints().disarm("evolve.classify");
+
+    assert_eq!(shared.epoch(), epoch_before, "aborted evolve published an epoch");
+    let session = shared.session();
+    assert_eq!(session.meta().views().versions("VS").unwrap().len(), versions_before);
+    assert!(session.get(v1, oids[0], "Student", "gpa").is_err(), "no trace of the change");
+    assert_eq!(session.get(v1, oids[7], "Student", "age").unwrap(), Value::Int(7));
+
+    // The same change succeeds once the failpoint is gone — the live
+    // system was never poisoned by the aborted fork.
+    shared.evolve_cmd("VS", "add_attribute gpa: float = 0.0 to Student").unwrap();
+    assert_eq!(shared.epoch(), epoch_before + 1);
+    let mut session = session_before;
+    session.refresh();
+    assert_eq!(
+        session.get(session.current_view("VS").unwrap().id, oids[0], "Student", "gpa").unwrap(),
+        Value::Float(0.0)
+    );
+}
+
+#[test]
+fn shared_system_data_writes_interleave_with_readers() {
+    let (sys, oids, v) = build_two_level();
+    let shared = SharedSystem::from_system(sys);
+    std::thread::scope(|scope| {
+        {
+            let shared = shared.clone();
+            let oids = oids.clone();
+            scope.spawn(move || {
+                for (i, oid) in oids.iter().enumerate() {
+                    shared.set(v, *oid, "Student", &[("age", Value::Int(1000 + i as i64))]).unwrap();
+                }
+            });
+        }
+        for _ in 0..3 {
+            let session = shared.session();
+            let oids = oids.clone();
+            scope.spawn(move || {
+                for (i, oid) in oids.iter().enumerate() {
+                    match session.get(v, *oid, "Student", "age").unwrap() {
+                        Value::Int(x) => assert!(
+                            x == i as i64 || x == 1000 + i as i64,
+                            "age of {oid} was {x}"
+                        ),
+                        other => panic!("non-int age {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    let session = shared.session();
+    assert_eq!(session.get(v, oids[5], "Student", "age").unwrap(), Value::Int(1005));
+    // Data writes do not publish epochs; metadata is untouched.
+    assert_eq!(shared.epoch(), 1);
 }
