@@ -128,7 +128,7 @@ fn collect_targets(
 /// `( <class> create [assignments] )`: create an object as an instance of
 /// `class` (base or virtual) with the given attribute values.
 pub fn create(
-    db: &mut Database,
+    db: &Database,
     policy: &UpdatePolicy,
     class: ClassId,
     values: &[(&str, Value)],
@@ -173,7 +173,7 @@ pub fn create(
 }
 
 /// `( <set-expr> delete )`: destroy the objects entirely.
-pub fn delete(db: &mut Database, oids: &[Oid]) -> ModelResult<()> {
+pub fn delete(db: &Database, oids: &[Oid]) -> ModelResult<()> {
     for oid in oids {
         db.delete_object(*oid)?;
     }
@@ -182,7 +182,7 @@ pub fn delete(db: &mut Database, oids: &[Oid]) -> ModelResult<()> {
 
 /// `( <set-expr> add <class> )`: the objects acquire the type of `class`.
 pub fn add(
-    db: &mut Database,
+    db: &Database,
     policy: &UpdatePolicy,
     oids: &[Oid],
     class: ClassId,
@@ -212,7 +212,7 @@ pub fn add(
 
 /// `( <set-expr> remove <class> )`: the objects lose the type of `class`.
 pub fn remove(
-    db: &mut Database,
+    db: &Database,
     policy: &UpdatePolicy,
     oids: &[Oid],
     class: ClassId,
@@ -224,7 +224,7 @@ pub fn remove(
 }
 
 fn remove_one(
-    db: &mut Database,
+    db: &Database,
     policy: &UpdatePolicy,
     oid: Oid,
     class: ClassId,
@@ -287,7 +287,7 @@ fn remove_one(
 /// [`ValueClosure::Reject`], assignments that would make an object invisible
 /// to `class` are rolled back and rejected.
 pub fn set(
-    db: &mut Database,
+    db: &Database,
     policy: &UpdatePolicy,
     oids: &[Oid],
     class: ClassId,
@@ -381,18 +381,18 @@ mod tests {
         let policy = UpdatePolicy::default(); // Reject
 
         // Satisfying creation works and lands in the base class.
-        let o = create(&mut db, &policy, adult, &[("age", Value::Int(30))]).unwrap();
+        let o = create(&db, &policy, adult, &[("age", Value::Int(30))]).unwrap();
         assert!(db.is_member(o, person).unwrap());
         assert!(db.is_member(o, adult).unwrap());
 
         // Violating creation is rejected and leaves nothing behind.
         let n_before = db.object_count();
-        assert!(create(&mut db, &policy, adult, &[("age", Value::Int(10))]).is_err());
+        assert!(create(&db, &policy, adult, &[("age", Value::Int(10))]).is_err());
         assert_eq!(db.object_count(), n_before);
 
         // With Allow, the object is created in the source but invisible here.
         let policy = UpdatePolicy { value_closure: ValueClosure::Allow, ..Default::default() };
-        let o2 = create(&mut db, &policy, adult, &[("age", Value::Int(10))]).unwrap();
+        let o2 = create(&db, &policy, adult, &[("age", Value::Int(10))]).unwrap();
         assert!(db.is_member(o2, person).unwrap());
         assert!(!db.is_member(o2, adult).unwrap());
     }
@@ -411,7 +411,7 @@ mod tests {
         .unwrap();
         let policy = UpdatePolicy::default();
         let o = create(
-            &mut db,
+            &db,
             &policy,
             sp,
             &[("gpa", Value::Float(3.2)), ("register", Value::Bool(true))],
@@ -434,18 +434,18 @@ mod tests {
         .unwrap();
 
         let policy = UpdatePolicy::default(); // First
-        let o1 = create(&mut db, &policy, u, &[]).unwrap();
+        let o1 = create(&db, &policy, u, &[]).unwrap();
         assert!(db.is_member(o1, staff).unwrap());
         assert!(!db.is_member(o1, student).unwrap());
 
         let mut policy2 = UpdatePolicy::default();
         policy2.union_routes.insert(u, UnionRoute::Second);
-        let o2 = create(&mut db, &policy2, u, &[]).unwrap();
+        let o2 = create(&db, &policy2, u, &[]).unwrap();
         assert!(db.is_member(o2, student).unwrap());
 
         let mut policy3 = UpdatePolicy::default();
         policy3.union_routes.insert(u, UnionRoute::Both);
-        let o3 = create(&mut db, &policy3, u, &[]).unwrap();
+        let o3 = create(&db, &policy3, u, &[]).unwrap();
         assert!(db.is_member(o3, staff).unwrap() && db.is_member(o3, student).unwrap());
     }
 
@@ -462,7 +462,7 @@ mod tests {
         let policy = UpdatePolicy::default();
         let o = db.create_object(student, &[]).unwrap();
         db.add_to_class(o, staff).unwrap();
-        remove(&mut db, &policy, &[o], u).unwrap();
+        remove(&db, &policy, &[o], u).unwrap();
         assert!(!db.is_member(o, student).unwrap());
         assert!(!db.is_member(o, staff).unwrap());
         assert!(db.object_exists(o), "remove is not delete");
@@ -479,13 +479,13 @@ mod tests {
         )
         .unwrap();
         let policy = UpdatePolicy::default();
-        let o = create(&mut db, &policy, i, &[]).unwrap();
+        let o = create(&db, &policy, i, &[]).unwrap();
         assert!(db.is_member(o, staff).unwrap() && db.is_member(o, student).unwrap());
         assert!(db.is_member(o, i).unwrap());
 
         let policy_first =
             UpdatePolicy { intersect_remove: IntersectRemove::First, ..Default::default() };
-        remove(&mut db, &policy_first, &[o], i).unwrap();
+        remove(&db, &policy_first, &[o], i).unwrap();
         assert!(!db.is_member(o, staff).unwrap());
         assert!(db.is_member(o, student).unwrap());
         assert!(!db.is_member(o, i).unwrap());
@@ -501,12 +501,12 @@ mod tests {
         )
         .unwrap();
         let policy = UpdatePolicy::default();
-        let o = create(&mut db, &policy, adult, &[("age", Value::Int(30))]).unwrap();
+        let o = create(&db, &policy, adult, &[("age", Value::Int(30))]).unwrap();
         // Setting age below 18 would drop it from Adult → rejected, rolled back.
-        assert!(set(&mut db, &policy, &[o], adult, &[("age", Value::Int(10))]).is_err());
+        assert!(set(&db, &policy, &[o], adult, &[("age", Value::Int(10))]).is_err());
         assert_eq!(db.read_attr(o, person, "age").unwrap(), Value::Int(30));
         // Through Person it is fine.
-        set(&mut db, &policy, &[o], person, &[("age", Value::Int(10))]).unwrap();
+        set(&db, &policy, &[o], person, &[("age", Value::Int(10))]).unwrap();
         assert_eq!(db.read_attr(o, person, "age").unwrap(), Value::Int(10));
         assert!(!db.is_member(o, adult).unwrap());
     }
@@ -521,15 +521,15 @@ mod tests {
         )
         .unwrap();
         let policy = UpdatePolicy::default();
-        let o = create(&mut db, &policy, adult, &[("age", Value::Int(44))]).unwrap();
-        delete(&mut db, &[o]).unwrap();
+        let o = create(&db, &policy, adult, &[("age", Value::Int(44))]).unwrap();
+        delete(&db, &[o]).unwrap();
         assert!(!db.object_exists(o));
         assert!(db.extent(adult).unwrap().is_empty());
     }
 
     #[test]
     fn select_objects_filters_via_perspective() {
-        let (mut db, person, _) = setup();
+        let (db, person, _) = setup();
         let o1 = db.create_object(person, &[("age", Value::Int(10))]).unwrap();
         let o2 = db.create_object(person, &[("age", Value::Int(40))]).unwrap();
         let picked =
@@ -562,19 +562,19 @@ mod tests {
         let top = define_vc(&mut db, "Top", &q).unwrap();
         let policy = UpdatePolicy::default();
 
-        let o = create(&mut db, &policy, top, &[("badge", Value::Int(7))]).unwrap();
+        let o = create(&db, &policy, top, &[("badge", Value::Int(7))]).unwrap();
         assert!(db.is_member(o, top).unwrap());
         assert_eq!(db.read_attr(o, top, "badge").unwrap(), Value::Int(7));
-        set(&mut db, &policy, &[o], top, &[("badge", Value::Int(8))]).unwrap();
+        set(&db, &policy, &[o], top, &[("badge", Value::Int(8))]).unwrap();
         assert_eq!(db.read_attr(o, top, "badge").unwrap(), Value::Int(8));
 
         let o2 = db.create_object(student, &[]).unwrap();
-        add(&mut db, &policy, &[o2], top).unwrap();
+        add(&db, &policy, &[o2], top).unwrap();
         assert!(db.is_member(o2, staff).unwrap(), "add routed to first source");
 
-        remove(&mut db, &policy, &[o], top).unwrap();
+        remove(&db, &policy, &[o], top).unwrap();
         assert!(!db.is_member(o, top).unwrap());
-        delete(&mut db, &[o2]).unwrap();
+        delete(&db, &[o2]).unwrap();
         assert!(!db.object_exists(o2));
     }
 }

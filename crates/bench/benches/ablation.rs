@@ -80,8 +80,8 @@ fn bench_buffer_pool(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/buffer_pool_scan");
     for pool in [2usize, 8, 64] {
         group.bench_function(BenchmarkId::new("double_scan", pool), |b| {
-            let mut store: SliceStore<tse_object_model::Value> =
-                SliceStore::new(StoreConfig { page_size: 1024, buffer_pages: pool });
+            let store: SliceStore<tse_object_model::Value> =
+                SliceStore::new(StoreConfig { page_size: 1024, buffer_pages: pool, ..StoreConfig::default() });
             let seg = store.create_segment("items");
             for i in 0..2_000 {
                 store.insert(seg, vec![Value::Int(i)]).unwrap();

@@ -78,7 +78,7 @@ fn bench_data_plane(c: &mut Criterion) {
     group.bench_function("create_object", |b| {
         b.iter_batched(
             || setup(0).0,
-            |mut db| {
+            |db| {
                 let ta = db.schema().by_name("TA").unwrap();
                 for i in 0..100 {
                     db.create_object(ta, &[("name", Value::Str(format!("x{i}")))]).unwrap();
@@ -90,7 +90,7 @@ fn bench_data_plane(c: &mut Criterion) {
     });
 
     group.bench_function("write_attr", |b| {
-        let (mut db, _, student, _, _, oids) = setup(500);
+        let (db, _, student, _, _, oids) = setup(500);
         let mut i = 0;
         b.iter(|| {
             i += 1;

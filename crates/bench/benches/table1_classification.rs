@@ -52,7 +52,7 @@ fn bench_dynamic_classification(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/dynamic_classification");
 
     group.bench_function("slicing_add_remove", |b| {
-        let (mut db, mixins, oids) = slicing_mixins(&w).unwrap();
+        let (db, mixins, oids) = slicing_mixins(&w).unwrap();
         let mut i = 0usize;
         b.iter(|| {
             let oid = oids[i % oids.len()];
@@ -84,7 +84,7 @@ fn bench_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/select_scan");
 
     let (db, mixins, _) = slicing_mixins(&w).unwrap();
-    let seg = db.schema().class(mixins[0]).unwrap().segment.unwrap();
+    let seg = db.segment_of(mixins[0]).unwrap();
     group.bench_function("slicing_segment_scan", |b| {
         b.iter(|| {
             db.store().clear_buffer();

@@ -89,7 +89,7 @@ fn wide_value(i: usize) -> Value {
 /// Build the mixin workload on the slicing backend.
 pub fn slicing_mixins(w: &Table1Workload) -> ModelResult<(Database, Vec<ClassId>, Vec<Oid>)> {
     let mut rng = StdRng::seed_from_u64(w.seed);
-    let mut db = Database::new(StoreConfig { page_size: w.page_size, buffer_pages: w.buffer_pages });
+    let mut db = Database::new(StoreConfig { page_size: w.page_size, buffer_pages: w.buffer_pages, ..StoreConfig::default() });
     let base = db.schema_mut().create_base_class("Base", &[])?;
     db.schema_mut().add_local_prop(
         base,
@@ -131,7 +131,7 @@ pub fn intersection_mixins(
 ) -> ModelResult<(IntersectionDb, Vec<ClassId>, Vec<Oid>)> {
     let mut rng = StdRng::seed_from_u64(w.seed);
     let mut db =
-        IntersectionDb::new(StoreConfig { page_size: w.page_size, buffer_pages: w.buffer_pages });
+        IntersectionDb::new(StoreConfig { page_size: w.page_size, buffer_pages: w.buffer_pages, ..StoreConfig::default() });
     let base = db.define_class(
         "Base",
         &[],
@@ -167,7 +167,7 @@ pub fn intersection_mixins(
 /// written. Returns hop counts (slicing) measured over one read per object
 /// of the *top* attribute through the *bottom* perspective.
 fn inherited_access_slicing(w: &Table1Workload) -> ModelResult<u64> {
-    let mut db = Database::new(StoreConfig { page_size: w.page_size, buffer_pages: w.buffer_pages });
+    let mut db = Database::new(StoreConfig { page_size: w.page_size, buffer_pages: w.buffer_pages, ..StoreConfig::default() });
     let mut prev: Option<ClassId> = None;
     let mut classes = Vec::new();
     for i in 0..w.chain_depth {
@@ -229,7 +229,7 @@ pub fn run_table1(w: &Table1Workload) -> ModelResult<Table1Numbers> {
         out.slicing.classes = db.schema().live_class_count() as u64;
         // Select-scan locality: scan mixin 0's segment (its narrow slices).
         let seg_class = mixins[0];
-        if let Some(seg) = db.schema().class(seg_class).unwrap().segment {
+        if let Some(seg) = db.segment_of(seg_class) {
             db.store().reset_stats();
             db.store().clear_buffer();
             db.store().scan(seg, |_, _| {}).unwrap();

@@ -46,6 +46,6 @@ mod translate;
 
 pub use change::{parse_change, parse_expr, SchemaChange};
 pub use durable::DurableSystem;
-pub use shared::{MetaSnapshot, ReadSession, SharedSystem};
+pub use shared::{MetaSnapshot, ReadSession, SharedSystem, WriteSession};
 pub use system::{EvolutionReport, PhaseTimings, TseSystem};
 pub use translate::{translate, ChangePlan};

@@ -8,17 +8,25 @@
 //! stall for the whole evolution. [`SharedSystem`] restores it by splitting
 //! the system into two planes:
 //!
-//! * **Data / read plane** — [`ReadSession`]s pin the current epoch's
-//!   immutable [`MetaSnapshot`] (schema, view schemas, update policy) and
-//!   resolve names against it without any lock; only the record access
-//!   itself takes a short shared lock on the live system.
-//! * **Control plane** — writes (`create`/`set`/…) and schema changes
-//!   serialize through one mutex. `evolve` runs **fork–evolve–swap**:
-//!   translate, classify, and view regeneration all execute against a
-//!   private fork of the system while readers keep using the live one, and
-//!   only the final pointer swap — publishing the next epoch — runs under
-//!   the exclusive lock. The reader-visible critical section shrinks from
-//!   whole-evolve to one `mem::swap` (measured by `evolve.exclusive_ns`).
+//! * **Data plane** — [`ReadSession`]s and [`WriteSession`]s pin the
+//!   current epoch's immutable [`MetaSnapshot`] (schema, view schemas,
+//!   update policy) and resolve names against it without any lock. Reads
+//!   take a short shared lock on the live system for the record access.
+//!   Writes (`create`/`set`/…) *also* run under the **shared** system lock:
+//!   the object model mutates through `&self`, with the actual record
+//!   traffic sharded across the store's per-segment lock stripes — so
+//!   write batches on different class segments proceed concurrently
+//!   instead of serializing through the control mutex.
+//! * **Control plane** — schema changes serialize through one mutex.
+//!   `evolve` runs **fork–evolve–swap**: translate, classify, and view
+//!   regeneration all execute against a private fork of the system while
+//!   readers keep using the live one, and only the final pointer swap —
+//!   publishing the next epoch — runs under the exclusive lock. The
+//!   reader-visible critical section shrinks from whole-evolve to one
+//!   `mem::swap` (measured by `evolve.exclusive_ns`). A `swap latch`
+//!   (writer-quiescing RwLock) is held in write mode from fork to swap, so
+//!   an in-flight data write can never fall between the fork and the
+//!   swapped-in successor — `fork()` sees all of a write batch or none.
 //!
 //! Epoch lifecycle: epoch *n*'s snapshot is immutable once published;
 //! sessions opened at epoch *n* keep resolving against it even after *n+1*
@@ -29,13 +37,23 @@
 //! torn epoch.
 //!
 //! Lock taxonomy (acquisition order, coarse → fine):
-//! 1. `control` mutex — serializes all writers (`lock.control_wait_ns`).
-//! 2. `system` RwLock — shared for reads (`lock.read_wait_ns`), exclusive
-//!    only for the swap-in and in-place data writes (`lock.write_wait_ns`).
-//! 3. `meta` RwLock — pointer-sized critical sections; writers update it
+//! 1. `control` mutex — serializes schema changes and durability
+//!    (`lock.control_wait_ns`).
+//! 2. `latch` RwLock — the swap latch. Data writes hold it shared for the
+//!    duration of one operation; fork–evolve–swap and checkpoint hold it
+//!    exclusive to quiesce writers (`lock.write_wait_ns` measures the
+//!    data-plane wait on latch + system).
+//! 3. `system` RwLock — shared for reads *and* data writes
+//!    (`lock.read_wait_ns`), exclusive only for the swap-in and metadata
+//!    writes.
+//! 4. `meta` RwLock — pointer-sized critical sections; publishers update it
 //!    while holding the `system` write lock, readers take it alone.
+//! 5. store stripes — acquired inside the object model, per segment, in
+//!    canonical index order for cross-stripe operations
+//!    (`lock.stripe_wait_ns`, `stripe.conflicts`).
 //!
-//! Readers never hold `meta` while acquiring `system`, so the order is
+//! Readers never hold `meta` while acquiring `system`, and data writers
+//! acquire `latch` before `system` and stripes last, so the order is
 //! acyclic and deadlock-free.
 //!
 //! Durability threads through the control plane: [`SharedSystem::open`]
@@ -59,7 +77,7 @@ use tse_view::{ViewId, ViewManager, ViewSchema};
 
 use crate::change::{parse_change, SchemaChange};
 use crate::durable::{DurableState, DurableSystem};
-use crate::system::{is_crash, observe_op, EvolutionReport, TseSystem};
+use crate::system::{is_crash, note_fault, observe_op, EvolutionReport, TseSystem};
 
 /// One epoch's immutable metadata bundle: everything a reader needs to
 /// resolve view-local names without touching the live system. Published
@@ -129,6 +147,11 @@ struct ControlState {
 
 struct SharedInner {
     control: Mutex<ControlState>,
+    /// Swap latch: data writes hold it shared, fork–evolve–swap and
+    /// checkpoint hold it exclusive. Separate from `system` so writers can
+    /// share the system lock (stripes provide the fine-grained exclusion)
+    /// while the control plane can still quiesce them wholesale.
+    latch: RwLock<()>,
     system: RwLock<TseSystem>,
     meta: RwLock<Arc<MetaSnapshot>>,
     epoch: AtomicU64,
@@ -150,6 +173,19 @@ pub struct SharedSystem {
 /// cheap — open one per thread, or one per batch of operations, and
 /// [`ReadSession::refresh`] to observe a newer epoch.
 pub struct ReadSession {
+    inner: Arc<SharedInner>,
+    meta: Arc<MetaSnapshot>,
+}
+
+/// A data-plane **write** handle pinned to one epoch's [`MetaSnapshot`],
+/// mirroring [`ReadSession`]. Name resolution is lock-free against the
+/// pinned snapshot; each mutation holds the swap latch and the system lock
+/// *shared*, with the record traffic sharded across the store's
+/// per-segment lock stripes — concurrent `WriteSession`s on different
+/// class segments do not serialize. Open one per writer thread (or batch)
+/// via [`SharedSystem::writer`]; [`WriteSession::refresh`] re-pins to the
+/// newest epoch after an evolution.
+pub struct WriteSession {
     inner: Arc<SharedInner>,
     meta: Arc<MetaSnapshot>,
 }
@@ -193,6 +229,7 @@ impl SharedSystem {
         SharedSystem {
             inner: Arc::new(SharedInner {
                 control: Mutex::new(ControlState { durable }),
+                latch: RwLock::new(()),
                 system: RwLock::new(system),
                 meta: RwLock::new(meta),
                 epoch: AtomicU64::new(1),
@@ -201,9 +238,21 @@ impl SharedSystem {
         }
     }
 
-    /// Open a data-plane session pinned to the current epoch.
+    /// Open a data-plane read session pinned to the current epoch.
     pub fn session(&self) -> ReadSession {
         ReadSession { inner: self.inner.clone(), meta: self.inner.meta.read().clone() }
+    }
+
+    /// Open a data-plane write session pinned to the current epoch.
+    ///
+    /// Mirrors [`SharedSystem::session`]: name resolution is lock-free
+    /// against the pinned snapshot, and each mutation runs under the
+    /// *shared* system lock with the record traffic sharded across the
+    /// store's per-segment lock stripes — so writers on different class
+    /// segments proceed concurrently. Schema changes still quiesce all
+    /// write sessions via the swap latch.
+    pub fn writer(&self) -> WriteSession {
+        WriteSession { inner: self.inner.clone(), meta: self.inner.meta.read().clone() }
     }
 
     /// The current epoch (bumped by every published metadata change).
@@ -222,8 +271,13 @@ impl SharedSystem {
     }
 
     /// Run a closure against the live system under the shared lock — the
-    /// escape hatch for read APIs without a session wrapper (oracle checks,
-    /// benchmarks, tests). Do not stash the reference.
+    /// escape hatch for read APIs without a session wrapper. Do not stash
+    /// the reference.
+    ///
+    /// Prefer [`SharedSystem::session`] (and [`ReadSession::stats`] /
+    /// [`ReadSession::store_bytes`] for storage figures); this hatch exists
+    /// for oracle checks that need the whole [`TseSystem`].
+    #[doc(hidden)]
     pub fn with_read<R>(&self, f: impl FnOnce(&TseSystem) -> R) -> R {
         f(&self.read_timed())
     }
@@ -241,19 +295,6 @@ impl SharedSystem {
 
     fn read_timed(&self) -> RwLockReadGuard<'_, TseSystem> {
         read_timed(&self.inner)
-    }
-
-    /// Serialize a data-plane write through the control plane. These apply
-    /// in place — they touch records, not the schema/view metadata readers
-    /// resolve against — so no epoch is published.
-    fn with_write<R>(&self, f: impl FnOnce(&mut TseSystem) -> R) -> R {
-        let _ctl = self.lock_control();
-        let started = Instant::now();
-        let mut sys = self.inner.system.write();
-        self.inner
-            .telemetry
-            .observe_ns("lock.write_wait_ns", (started.elapsed().as_nanos() as u64).max(1));
-        f(&mut sys)
     }
 
     /// Serialize a metadata-affecting write and republish the epoch
@@ -333,11 +374,22 @@ impl SharedSystem {
 
     /// Fork, evolve the fork, swap it in. Caller holds the control mutex.
     fn evolve_forked(&self, family: &str, change: &SchemaChange) -> ModelResult<EvolutionReport> {
-        // Fork under the shared lock: readers are unaffected, and the
-        // control mutex guarantees no writer mutates the live system while
-        // the fork is in flight.
+        // Quiesce data writers for the whole fork→swap window: the swap
+        // latch drains in-flight write batches (each holds it shared for
+        // one operation), so the fork sees every batch completely or not
+        // at all, and nothing written after the fork can be lost at swap.
+        // Readers are unaffected — they never touch the latch.
+        let _latch = self.inner.latch.write();
         let mut private = self.read_timed().fork()?;
         let report = private.evolve(family, change)?;
+
+        // Pre-warm the fork's extent cache for the classes of the evolved
+        // family's current view, so the first extent/select_where after the
+        // epoch swap doesn't pay a cold rebuild.
+        if let Ok(view) = private.views().current(family) {
+            let classes: Vec<ClassId> = view.classes.iter().copied().collect();
+            private.db().warm_extents(&classes);
+        }
 
         // Swap-in: build the next snapshot *outside* the exclusive
         // section, then swap the system pointer and publish the epoch.
@@ -367,12 +419,15 @@ impl SharedSystem {
 
     /// Write a new snapshot generation and empty the WAL (durable systems
     /// only). Readers keep running: encoding happens under the shared lock.
+    /// Data writers are quiesced via the swap latch so the object map and
+    /// the record store are encoded as one consistent image.
     pub fn checkpoint(&self) -> ModelResult<u64> {
         let mut ctl = self.lock_control();
         let durable = ctl
             .durable
             .as_mut()
             .ok_or_else(|| ModelError::Invalid("checkpoint on a non-durable system".into()))?;
+        let _latch = self.inner.latch.write();
         let sys = read_timed(&self.inner);
         durable.checkpoint(&sys)
     }
@@ -427,19 +482,24 @@ impl SharedSystem {
         self.with_write_publish(|sys| sys.set_constraint(view, class_local, expr))
     }
 
-    // ----- control plane: data writes ---------------------------------------
+    // ----- data writes: deprecated forwarders -------------------------------
+    //
+    // The flat write surface predates `WriteSession`; each call opens a
+    // throwaway session pinned to the current epoch. Kept for one release.
 
     /// Create an object through a view class.
+    #[deprecated(since = "0.2.0", note = "use SharedSystem::writer().create(..)")]
     pub fn create(
         &self,
         view: ViewId,
         class_local: &str,
         values: &[(&str, Value)],
     ) -> ModelResult<Oid> {
-        self.with_write(|sys| sys.create(view, class_local, values))
+        self.writer().create(view, class_local, values)
     }
 
     /// Set attributes through a view class.
+    #[deprecated(since = "0.2.0", note = "use SharedSystem::writer().set(..)")]
     pub fn set(
         &self,
         view: ViewId,
@@ -447,10 +507,11 @@ impl SharedSystem {
         class_local: &str,
         assignments: &[(&str, Value)],
     ) -> ModelResult<()> {
-        self.with_write(|sys| sys.set(view, oid, class_local, assignments))
+        self.writer().set(view, oid, class_local, assignments)
     }
 
     /// Query-then-update through a view class (§3.3 pipeline).
+    #[deprecated(since = "0.2.0", note = "use SharedSystem::writer().update_where(..)")]
     pub fn update_where(
         &self,
         view: ViewId,
@@ -458,22 +519,25 @@ impl SharedSystem {
         expr: &str,
         assignments: &[(&str, Value)],
     ) -> ModelResult<usize> {
-        self.with_write(|sys| sys.update_where(view, class_local, expr, assignments))
+        self.writer().update_where(view, class_local, expr, assignments)
     }
 
     /// Add existing objects to a view class.
+    #[deprecated(since = "0.2.0", note = "use SharedSystem::writer().add_to(..)")]
     pub fn add_to(&self, view: ViewId, oids: &[Oid], class_local: &str) -> ModelResult<()> {
-        self.with_write(|sys| sys.add_to(view, oids, class_local))
+        self.writer().add_to(view, oids, class_local)
     }
 
     /// Remove objects from a view class.
+    #[deprecated(since = "0.2.0", note = "use SharedSystem::writer().remove_from(..)")]
     pub fn remove_from(&self, view: ViewId, oids: &[Oid], class_local: &str) -> ModelResult<()> {
-        self.with_write(|sys| sys.remove_from(view, oids, class_local))
+        self.writer().remove_from(view, oids, class_local)
     }
 
     /// Destroy objects.
+    #[deprecated(since = "0.2.0", note = "use SharedSystem::writer().delete_objects(..)")]
     pub fn delete_objects(&self, oids: &[Oid]) -> ModelResult<()> {
-        self.with_write(|sys| sys.delete_objects(oids))
+        self.writer().delete_objects(oids)
     }
 }
 
@@ -482,6 +546,18 @@ fn read_timed(inner: &SharedInner) -> RwLockReadGuard<'_, TseSystem> {
     let guard = inner.system.read();
     inner.telemetry.observe_ns("lock.read_wait_ns", (started.elapsed().as_nanos() as u64).max(1));
     guard
+}
+
+/// Run one data-plane mutation: swap latch shared (so fork–evolve–swap can
+/// quiesce writers), system lock shared (the store's per-segment stripes
+/// provide the fine-grained exclusion). No epoch is published — data writes
+/// touch records, not the metadata readers resolve against.
+fn with_data<R>(inner: &SharedInner, f: impl FnOnce(&TseSystem) -> R) -> R {
+    let started = Instant::now();
+    let _latch = inner.latch.read();
+    let sys = inner.system.read();
+    inner.telemetry.observe_ns("lock.write_wait_ns", (started.elapsed().as_nanos() as u64).max(1));
+    f(&sys)
 }
 
 impl ReadSession {
@@ -554,6 +630,119 @@ impl ReadSession {
         let sys = read_timed(&self.inner);
         sys.db().invoke(oid, class, name)
     }
+
+    /// Cumulative storage access counters of the live system (what the
+    /// benchmark harness reports: record reads/writes, page hits/misses).
+    pub fn stats(&self) -> tse_storage::StoreStats {
+        read_timed(&self.inner).db().store_stats()
+    }
+
+    /// Total bytes used across all store segments of the live system.
+    pub fn store_bytes(&self) -> usize {
+        read_timed(&self.inner).db().store().total_bytes()
+    }
+}
+
+impl WriteSession {
+    /// The metadata snapshot this session is pinned to.
+    pub fn meta(&self) -> &MetaSnapshot {
+        &self.meta
+    }
+
+    /// The epoch this session is pinned to.
+    pub fn epoch(&self) -> u64 {
+        self.meta.epoch
+    }
+
+    /// Re-pin to the latest published epoch.
+    pub fn refresh(&mut self) {
+        self.meta = self.inner.meta.read().clone();
+    }
+
+    /// Create an object through a view class.
+    pub fn create(
+        &self,
+        view: ViewId,
+        class_local: &str,
+        values: &[(&str, Value)],
+    ) -> ModelResult<Oid> {
+        let started = Instant::now();
+        let class = self.meta.resolve(view, class_local)?;
+        let policy = self.meta.policy.clone();
+        let out = with_data(&self.inner, |sys| {
+            tse_algebra::create(sys.db(), &policy, class, values)
+        });
+        if let Err(e) = &out {
+            note_fault(&self.inner.telemetry, e);
+        }
+        observe_op(&self.inner.telemetry, "create", started);
+        out
+    }
+
+    /// Set attributes through a view class.
+    pub fn set(
+        &self,
+        view: ViewId,
+        oid: Oid,
+        class_local: &str,
+        assignments: &[(&str, Value)],
+    ) -> ModelResult<()> {
+        let started = Instant::now();
+        let class = self.meta.resolve(view, class_local)?;
+        let policy = self.meta.policy.clone();
+        let out = with_data(&self.inner, |sys| {
+            tse_algebra::set(sys.db(), &policy, &[oid], class, assignments)
+        });
+        if let Err(e) = &out {
+            note_fault(&self.inner.telemetry, e);
+        }
+        observe_op(&self.inner.telemetry, "set", started);
+        out
+    }
+
+    /// `( select from <Class> where <expr> ) set [assignments]` — the
+    /// query-then-update pipeline of §3.3, as one latched operation.
+    pub fn update_where(
+        &self,
+        view: ViewId,
+        class_local: &str,
+        expr: &str,
+        assignments: &[(&str, Value)],
+    ) -> ModelResult<usize> {
+        let started = Instant::now();
+        let class = self.meta.resolve(view, class_local)?;
+        let body = crate::change::parse_expr(expr)?;
+        let pred = tse_object_model::Predicate::Expr(body);
+        let policy = self.meta.policy.clone();
+        let out = with_data(&self.inner, |sys| -> ModelResult<usize> {
+            let oids = tse_algebra::select_objects(sys.db(), class, &pred)?;
+            tse_algebra::set(sys.db(), &policy, &oids, class, assignments)?;
+            Ok(oids.len())
+        });
+        observe_op(&self.inner.telemetry, "update_where", started);
+        out
+    }
+
+    /// Add existing objects to a view class.
+    pub fn add_to(&self, view: ViewId, oids: &[Oid], class_local: &str) -> ModelResult<()> {
+        let class = self.meta.resolve(view, class_local)?;
+        let policy = self.meta.policy.clone();
+        with_data(&self.inner, |sys| tse_algebra::add(sys.db(), &policy, oids, class))
+    }
+
+    /// Remove objects from a view class.
+    pub fn remove_from(&self, view: ViewId, oids: &[Oid], class_local: &str) -> ModelResult<()> {
+        let class = self.meta.resolve(view, class_local)?;
+        let policy = self.meta.policy.clone();
+        with_data(&self.inner, |sys| tse_algebra::remove(sys.db(), &policy, oids, class))
+    }
+
+    /// Destroy objects. Slices may span several class segments; the store
+    /// frees them stripe by stripe (each acquisition is per-segment), so a
+    /// cross-segment delete cannot deadlock against a same-stripe writer.
+    pub fn delete_objects(&self, oids: &[Oid]) -> ModelResult<()> {
+        with_data(&self.inner, |sys| tse_algebra::delete(sys.db(), oids))
+    }
 }
 
 // The whole point: handles and sessions cross threads.
@@ -561,5 +750,6 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<SharedSystem>();
     assert_send_sync::<ReadSession>();
+    assert_send_sync::<WriteSession>();
     assert_send_sync::<MetaSnapshot>();
 };

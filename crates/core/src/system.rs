@@ -593,14 +593,14 @@ impl TseSystem {
 
     /// Create an object through a view class.
     pub fn create(
-        &mut self,
+        &self,
         view: ViewId,
         class_local: &str,
         values: &[(&str, Value)],
     ) -> ModelResult<Oid> {
         let started = std::time::Instant::now();
         let class = self.resolve_in(view, class_local)?;
-        let out = tse_algebra::create(&mut self.db, &self.policy.clone(), class, values);
+        let out = tse_algebra::create(&self.db, &self.policy.clone(), class, values);
         if let Err(e) = &out {
             note_fault(self.db.telemetry(), e);
         }
@@ -625,7 +625,7 @@ impl TseSystem {
 
     /// Set attributes through a view class.
     pub fn set(
-        &mut self,
+        &self,
         view: ViewId,
         oid: Oid,
         class_local: &str,
@@ -633,7 +633,7 @@ impl TseSystem {
     ) -> ModelResult<()> {
         let started = std::time::Instant::now();
         let class = self.resolve_in(view, class_local)?;
-        let out = tse_algebra::set(&mut self.db, &self.policy.clone(), &[oid], class, assignments);
+        let out = tse_algebra::set(&self.db, &self.policy.clone(), &[oid], class, assignments);
         if let Err(e) = &out {
             note_fault(self.db.telemetry(), e);
         }
@@ -642,25 +642,25 @@ impl TseSystem {
     }
 
     /// Add existing objects to a view class.
-    pub fn add_to(&mut self, view: ViewId, oids: &[Oid], class_local: &str) -> ModelResult<()> {
+    pub fn add_to(&self, view: ViewId, oids: &[Oid], class_local: &str) -> ModelResult<()> {
         let class = self.resolve_in(view, class_local)?;
-        tse_algebra::add(&mut self.db, &self.policy.clone(), oids, class)
+        tse_algebra::add(&self.db, &self.policy.clone(), oids, class)
     }
 
     /// Remove objects from a view class.
     pub fn remove_from(
-        &mut self,
+        &self,
         view: ViewId,
         oids: &[Oid],
         class_local: &str,
     ) -> ModelResult<()> {
         let class = self.resolve_in(view, class_local)?;
-        tse_algebra::remove(&mut self.db, &self.policy.clone(), oids, class)
+        tse_algebra::remove(&self.db, &self.policy.clone(), oids, class)
     }
 
     /// Destroy objects.
-    pub fn delete_objects(&mut self, oids: &[Oid]) -> ModelResult<()> {
-        tse_algebra::delete(&mut self.db, oids)
+    pub fn delete_objects(&self, oids: &[Oid]) -> ModelResult<()> {
+        tse_algebra::delete(&self.db, oids)
     }
 
     /// The extent of a view class.
@@ -693,7 +693,7 @@ impl TseSystem {
     /// `( select from <Class> where <expr> ) set [assignments]` — the
     /// user-level query-update pipeline of §3.3.
     pub fn update_where(
-        &mut self,
+        &self,
         view: ViewId,
         class_local: &str,
         expr: &str,
@@ -702,7 +702,7 @@ impl TseSystem {
         let started = std::time::Instant::now();
         let oids = self.select_where(view, class_local, expr)?;
         let class = self.resolve_in(view, class_local)?;
-        tse_algebra::set(&mut self.db, &self.policy.clone(), &oids, class, assignments)?;
+        tse_algebra::set(&self.db, &self.policy.clone(), &oids, class, assignments)?;
         observe_op(self.db.telemetry(), "update_where", started);
         Ok(oids.len())
     }

@@ -126,7 +126,7 @@ fn crash_at_every_evolve_phase_redoes_the_change_on_reopen() {
 #[test]
 fn crash_in_storage_insert_loses_only_the_unlogged_write() {
     let dir = tmpdir("storage_insert");
-    let (mut sys, v1, oid) = seed(&dir);
+    let (sys, v1, oid) = seed(&dir);
     sys.failpoints().arm("storage.insert", 1, FailAction::Crash);
     assert!(sys.create(v1, "Student", &[("name", "bob".into())]).is_err());
     assert!(sys.telemetry().counter("fault.crashes") >= 1);

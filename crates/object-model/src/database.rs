@@ -18,9 +18,11 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
-use tse_storage::{FailpointRegistry, RecordId, SliceStore, StoreConfig, StoreStats, TxnToken};
+use tse_storage::{
+    FailpointRegistry, RecordId, SegmentId, SliceStore, StoreConfig, StoreStats, TxnToken,
+};
 
 use crate::class::ClassKind;
 use crate::derivation::Derivation;
@@ -56,11 +58,23 @@ pub(crate) struct ObjectEntry {
     home_of: HashMap<PropKey, ClassId>,
 }
 
+/// One cached extent, stamped with the generations it was computed at.
+/// Base-class extents depend only on membership; `Select`-derived extents
+/// also read attribute values, so they carry `value_sensitive` and are
+/// additionally invalidated by value writes. This is the finer-grained
+/// invalidation the striped write path needs: a `set` on a Person record
+/// no longer evicts every base-class extent, only predicate-derived ones.
+struct CachedExtent {
+    mem_gen: u64,
+    val_gen: u64,
+    value_sensitive: bool,
+    extent: Arc<BTreeSet<Oid>>,
+}
+
 #[derive(Default)]
 struct ExtentCache {
     schema_gen: u64,
-    data_gen: u64,
-    map: HashMap<ClassId, Arc<BTreeSet<Oid>>>,
+    map: HashMap<ClassId, CachedExtent>,
 }
 
 /// Aggregate slicing statistics (Table 1 rows for the slicing column).
@@ -90,14 +104,29 @@ pub struct EvolutionTxn {
 }
 
 /// The object database (slicing backend).
+///
+/// Data-plane mutation (`create_object`, `write_attr`, membership changes)
+/// takes `&self`: the object map sits behind its own `RwLock`, record
+/// storage behind the store's per-segment lock stripes, and the generation
+/// counters are atomics. Schema mutation (`schema_mut`, evolution) still
+/// requires `&mut self`, which is what the control plane's exclusive lock
+/// provides.
 pub struct Database {
     schema: Schema,
     store: SliceStore<Value>,
-    objects: BTreeMap<Oid, ObjectEntry>,
-    next_oid: u64,
-    /// Bumped on any object/value mutation; combined with the schema
-    /// generation it keys the extent cache.
-    data_gen: u64,
+    objects: RwLock<BTreeMap<Oid, ObjectEntry>>,
+    next_oid: AtomicU64,
+    /// Bumped on membership mutation (create/delete/add/remove); keys the
+    /// extent cache together with the schema generation.
+    mem_gen: AtomicU64,
+    /// Bumped on attribute-value writes; invalidates only value-sensitive
+    /// (`Select`-derived) extent-cache entries.
+    val_gen: AtomicU64,
+    /// Segments assigned to classes lazily *after* the schema was last
+    /// mutated via `&mut` (data-plane slice creation can't touch the
+    /// copy-on-write `Class` records). Resolved by [`Database::segment_of`];
+    /// merged into the schema clone used for snapshots.
+    late_segments: RwLock<BTreeMap<ClassId, SegmentId>>,
     extent_cache: Mutex<ExtentCache>,
     slice_hops: AtomicU64,
     /// Telemetry domain shared by every layer operating on this database
@@ -109,7 +138,7 @@ impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Database")
             .field("classes", &self.schema.class_count())
-            .field("objects", &self.objects.len())
+            .field("objects", &self.objects.read().len())
             .finish()
     }
 }
@@ -123,15 +152,20 @@ impl Default for Database {
 impl Database {
     /// Create an empty database.
     pub fn new(config: StoreConfig) -> Self {
+        let telemetry = tse_telemetry::Telemetry::new();
+        let mut store = SliceStore::new(config);
+        store.set_telemetry(telemetry.clone());
         Database {
             schema: Schema::new(),
-            store: SliceStore::new(config),
-            objects: BTreeMap::new(),
-            next_oid: 1,
-            data_gen: 0,
+            store,
+            objects: RwLock::new(BTreeMap::new()),
+            next_oid: AtomicU64::new(1),
+            mem_gen: AtomicU64::new(0),
+            val_gen: AtomicU64::new(0),
+            late_segments: RwLock::new(BTreeMap::new()),
             extent_cache: Mutex::new(ExtentCache::default()),
             slice_hops: AtomicU64::new(0),
-            telemetry: tse_telemetry::Telemetry::new(),
+            telemetry,
         }
     }
 
@@ -179,8 +213,16 @@ impl Database {
         self.store.set_failpoints(failpoints);
     }
 
-    fn touch_data(&mut self) {
-        self.data_gen += 1;
+    /// Record a membership mutation (object created/deleted, class
+    /// added/removed) — invalidates every cached extent.
+    fn touch_membership(&self) {
+        self.mem_gen.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Record an attribute-value write — invalidates only value-sensitive
+    /// (predicate-derived) cached extents.
+    fn touch_values(&self) {
+        self.val_gen.fetch_add(1, Ordering::AcqRel);
     }
 
     /// A private copy of this database for control-plane work: the schema
@@ -190,17 +232,23 @@ impl Database {
     /// schema change running against the fork records into the same journal
     /// and honours the same armed failpoints as the original.
     ///
+    /// The caller must quiesce data-plane writers for the duration of the
+    /// call (the `SharedSystem` swap latch does) so the object map and the
+    /// store fork describe the same instant.
+    ///
     /// Fails if a schema-evolution transaction is open (the store refuses
     /// to fork mid-transaction).
     pub fn fork(&self) -> ModelResult<Database> {
         Ok(Database {
             schema: self.schema.clone(),
             store: self.store.fork()?,
-            objects: self.objects.clone(),
-            next_oid: self.next_oid,
+            objects: RwLock::new(self.objects.read().clone()),
+            next_oid: AtomicU64::new(self.next_oid.load(Ordering::Acquire)),
             // One generation ahead of the original so extent-cache entries
             // can never be confused between the two copies.
-            data_gen: self.data_gen + 1,
+            mem_gen: AtomicU64::new(self.mem_gen.load(Ordering::Acquire) + 1),
+            val_gen: AtomicU64::new(self.val_gen.load(Ordering::Acquire) + 1),
+            late_segments: RwLock::new(self.late_segments.read().clone()),
             extent_cache: Mutex::new(ExtentCache::default()),
             slice_hops: AtomicU64::new(self.slice_hops.load(Ordering::Relaxed)),
             telemetry: self.telemetry.clone(),
@@ -235,11 +283,15 @@ impl Database {
     pub fn rollback_evolution(&mut self, txn: EvolutionTxn) -> ModelResult<()> {
         self.store.abort_txn(txn.token)?;
         self.schema = txn.schema;
+        // Late-assigned segments created inside the transaction were rolled
+        // back with the store; drop any overlay entries pointing at them.
+        self.late_segments.write().retain(|_, seg| self.store.segment_name(*seg).is_ok());
         // The restored schema rewinds the generation counter, so a later
         // change could reuse a (schema_gen, data_gen) pair the extent cache
-        // already holds entries for; bumping the data generation makes the
+        // already holds entries for; bumping both data generations makes the
         // stale entries unreachable.
-        self.touch_data();
+        self.touch_membership();
+        self.touch_values();
         Ok(())
     }
 
@@ -248,11 +300,7 @@ impl Database {
     /// Create an object as a member of a *base* class, with initial
     /// attribute values by name. Unspecified stored attributes take their
     /// defaults; REQUIRED attributes must end up non-null.
-    pub fn create_object(
-        &mut self,
-        class: ClassId,
-        values: &[(&str, Value)],
-    ) -> ModelResult<Oid> {
+    pub fn create_object(&self, class: ClassId, values: &[(&str, Value)]) -> ModelResult<Oid> {
         if !self.schema.class(class)?.is_base() {
             return Err(ModelError::NotABaseClass(class));
         }
@@ -261,12 +309,11 @@ impl Database {
         for (name, _) in values {
             rt.get_unique(class, name)?;
         }
-        let oid = Oid(self.next_oid);
-        self.next_oid += 1;
+        let oid = Oid(self.next_oid.fetch_add(1, Ordering::AcqRel));
         let mut entry = ObjectEntry::default();
         entry.direct.insert(class);
-        self.objects.insert(oid, entry);
-        self.touch_data();
+        self.objects.write().insert(oid, entry);
+        self.touch_membership();
 
         // Initialize provided values (a failure — type error or constraint
         // refusal — must not leave a half-created object behind).
@@ -286,8 +333,7 @@ impl Database {
             let (_, def) = self.schema.def_by_key(cand.key)?;
             if let PropKind::Stored { required: true, .. } = &def.kind {
                 if self.read_attr(oid, class, &name)? == Value::Null {
-                    self.objects.remove(&oid);
-                    self.touch_data();
+                    self.delete_object(oid)?;
                     return Err(ModelError::TypeMismatch {
                         name,
                         expected: "non-null (REQUIRED)".into(),
@@ -306,64 +352,68 @@ impl Database {
 
     /// Destroy an object entirely ("removed from all the classes which they
     /// belong to").
-    pub fn delete_object(&mut self, oid: Oid) -> ModelResult<()> {
-        let entry = self.objects.remove(&oid).ok_or(ModelError::UnknownObject(oid))?;
+    pub fn delete_object(&self, oid: Oid) -> ModelResult<()> {
+        let entry = self.objects.write().remove(&oid).ok_or(ModelError::UnknownObject(oid))?;
         for (_, rec) in entry.slices {
             // A dangling record would be a leak, not a correctness issue;
             // propagate errors anyway.
             self.store.free(rec)?;
         }
-        self.touch_data();
+        self.touch_membership();
         Ok(())
     }
 
     /// Add an existing object to a base class (generic `add` operator at the
     /// base level). The object acquires the class's type.
-    pub fn add_to_class(&mut self, oid: Oid, class: ClassId) -> ModelResult<()> {
+    pub fn add_to_class(&self, oid: Oid, class: ClassId) -> ModelResult<()> {
         if !self.schema.class(class)?.is_base() {
             return Err(ModelError::NotABaseClass(class));
         }
-        let entry = self.objects.get_mut(&oid).ok_or(ModelError::UnknownObject(oid))?;
+        let mut objects = self.objects.write();
+        let entry = objects.get_mut(&oid).ok_or(ModelError::UnknownObject(oid))?;
         entry.direct.insert(class);
-        self.touch_data();
+        drop(objects);
+        self.touch_membership();
         Ok(())
     }
 
     /// Remove an object from a base class (generic `remove`): it loses the
     /// class's type, and with it every subclass's type.
-    pub fn remove_from_class(&mut self, oid: Oid, class: ClassId) -> ModelResult<()> {
+    pub fn remove_from_class(&self, oid: Oid, class: ClassId) -> ModelResult<()> {
         if !self.schema.class(class)?.is_base() {
             return Err(ModelError::NotABaseClass(class));
         }
         let doomed = self.schema.descendants(class);
-        let entry = self.objects.get_mut(&oid).ok_or(ModelError::UnknownObject(oid))?;
+        let mut objects = self.objects.write();
+        let entry = objects.get_mut(&oid).ok_or(ModelError::UnknownObject(oid))?;
         let before = entry.direct.len();
         entry.direct.retain(|c| !doomed.contains(c));
         if entry.direct.len() == before {
             return Err(ModelError::NotAMember { oid, class });
         }
-        self.touch_data();
+        drop(objects);
+        self.touch_membership();
         Ok(())
     }
 
     /// Does the object exist?
     pub fn object_exists(&self, oid: Oid) -> bool {
-        self.objects.contains_key(&oid)
+        self.objects.read().contains_key(&oid)
     }
 
     /// The object's explicit (base-class) memberships.
     pub fn direct_classes(&self, oid: Oid) -> ModelResult<BTreeSet<ClassId>> {
-        Ok(self.objects.get(&oid).ok_or(ModelError::UnknownObject(oid))?.direct.clone())
+        Ok(self.objects.read().get(&oid).ok_or(ModelError::UnknownObject(oid))?.direct.clone())
     }
 
     /// All live objects, in oid order.
-    pub fn all_objects(&self) -> impl Iterator<Item = Oid> + '_ {
-        self.objects.keys().copied()
+    pub fn all_objects(&self) -> impl Iterator<Item = Oid> {
+        self.objects.read().keys().copied().collect::<Vec<_>>().into_iter()
     }
 
     /// Number of live objects.
     pub fn object_count(&self) -> usize {
-        self.objects.len()
+        self.objects.read().len()
     }
 
     // ----- membership and extents -------------------------------------------
@@ -371,65 +421,112 @@ impl Database {
     /// Is `oid` a member of `class` (base via explicit membership closure,
     /// virtual via derived extent)?
     pub fn is_member(&self, oid: Oid, class: ClassId) -> ModelResult<bool> {
-        let entry = match self.objects.get(&oid) {
-            Some(e) => e,
-            None => return Ok(false),
+        let direct = {
+            let objects = self.objects.read();
+            match objects.get(&oid) {
+                Some(e) => e.direct.clone(),
+                None => return Ok(false),
+            }
         };
         match &self.schema.class(class)?.kind {
-            ClassKind::Base => Ok(entry
-                .direct
-                .iter()
-                .any(|d| self.schema.is_sub_of(*d, class))),
+            ClassKind::Base => Ok(direct.iter().any(|d| self.schema.is_sub_of(*d, class))),
             ClassKind::Virtual(_) => Ok(self.extent(class)?.contains(&oid)),
         }
     }
 
     /// The (global) extent of a class.
+    ///
+    /// Cached per class under (schema generation, membership generation,
+    /// value generation): membership mutations invalidate everything,
+    /// value writes invalidate only predicate-derived (value-sensitive)
+    /// entries. Concurrent rebuilds are benign — each computes a correct
+    /// extent for the generations it observed; the cache keeps the newest.
     pub fn extent(&self, class: ClassId) -> ModelResult<Arc<BTreeSet<Oid>>> {
         self.schema.class(class)?;
-        {
-            let cache = self.extent_cache.lock();
-            if cache.schema_gen == self.schema.generation() && cache.data_gen == self.data_gen {
-                if let Some(e) = cache.map.get(&class) {
-                    return Ok(Arc::clone(e));
-                }
-            }
+        let sg = self.schema.generation();
+        let mg = self.mem_gen.load(Ordering::Acquire);
+        let vg = self.val_gen.load(Ordering::Acquire);
+        if let Some(hit) = self.cached_extent(class, sg, mg, vg) {
+            return Ok(hit);
         }
         let mut memo = HashMap::new();
-        let result = self.extent_rec(class, &mut memo)?;
+        let (result, _) = self.extent_rec(class, sg, mg, vg, &mut memo)?;
         let mut cache = self.extent_cache.lock();
-        if cache.schema_gen != self.schema.generation() || cache.data_gen != self.data_gen {
-            cache.schema_gen = self.schema.generation();
-            cache.data_gen = self.data_gen;
+        if cache.schema_gen != sg {
+            cache.schema_gen = sg;
             cache.map.clear();
         }
-        for (id, e) in memo {
-            cache.map.insert(id, e);
+        for (id, (extent, value_sensitive)) in memo {
+            cache.map.insert(
+                id,
+                CachedExtent { mem_gen: mg, val_gen: vg, value_sensitive, extent },
+            );
         }
         Ok(result)
+    }
+
+    /// Pre-compute and cache the extents of `classes` (e.g. the capacity
+    /// classes of a view family about to be swapped in), so the first
+    /// `extent`/`select_where` against a fresh fork pays no cold rebuild.
+    /// Unknown classes are skipped — warming is best-effort.
+    pub fn warm_extents(&self, classes: &[ClassId]) {
+        for class in classes {
+            let _ = self.extent(*class);
+        }
+    }
+
+    fn cached_extent(
+        &self,
+        class: ClassId,
+        sg: u64,
+        mg: u64,
+        vg: u64,
+    ) -> Option<Arc<BTreeSet<Oid>>> {
+        let cache = self.extent_cache.lock();
+        if cache.schema_gen != sg {
+            return None;
+        }
+        let e = cache.map.get(&class)?;
+        if e.mem_gen == mg && (!e.value_sensitive || e.val_gen == vg) {
+            Some(Arc::clone(&e.extent))
+        } else {
+            None
+        }
     }
 
     fn extent_rec(
         &self,
         class: ClassId,
-        memo: &mut HashMap<ClassId, Arc<BTreeSet<Oid>>>,
-    ) -> ModelResult<Arc<BTreeSet<Oid>>> {
-        if let Some(e) = memo.get(&class) {
-            return Ok(Arc::clone(e));
+        sg: u64,
+        mg: u64,
+        vg: u64,
+        memo: &mut HashMap<ClassId, (Arc<BTreeSet<Oid>>, bool)>,
+    ) -> ModelResult<(Arc<BTreeSet<Oid>>, bool)> {
+        if let Some((e, s)) = memo.get(&class) {
+            return Ok((Arc::clone(e), *s));
         }
         let cls = self.schema.class(class)?;
-        let result: BTreeSet<Oid> = match &cls.kind {
-            ClassKind::Base => self
-                .objects
-                .iter()
-                .filter(|(_, entry)| {
-                    entry.direct.iter().any(|d| self.schema.is_sub_of(*d, class))
-                })
-                .map(|(oid, _)| *oid)
-                .collect(),
+        let (result, value_sensitive): (BTreeSet<Oid>, bool) = match &cls.kind {
+            ClassKind::Base => {
+                // Still-valid cached base extents short-circuit the scan —
+                // a value write does not evict them.
+                if let Some(hit) = self.cached_extent(class, sg, mg, vg) {
+                    memo.insert(class, (Arc::clone(&hit), false));
+                    return Ok((hit, false));
+                }
+                let objects = self.objects.read();
+                let out = objects
+                    .iter()
+                    .filter(|(_, entry)| {
+                        entry.direct.iter().any(|d| self.schema.is_sub_of(*d, class))
+                    })
+                    .map(|(oid, _)| *oid)
+                    .collect();
+                (out, false)
+            }
             ClassKind::Virtual(derivation) => match derivation.clone() {
                 Derivation::Select { src, pred } => {
-                    let base = self.extent_rec(src, memo)?;
+                    let (base, _) = self.extent_rec(src, sg, mg, vg, memo)?;
                     let mut out = BTreeSet::new();
                     for oid in base.iter() {
                         let src_view = ObjAttrSource { db: self, oid: *oid, via: src, depth: 0 };
@@ -437,31 +534,32 @@ impl Database {
                             out.insert(*oid);
                         }
                     }
-                    out
+                    (out, true)
                 }
                 Derivation::Hide { src, .. } | Derivation::Refine { src, .. } => {
-                    self.extent_rec(src, memo)?.as_ref().clone()
+                    let (e, s) = self.extent_rec(src, sg, mg, vg, memo)?;
+                    (e.as_ref().clone(), s)
                 }
                 Derivation::Union { a, b } => {
-                    let ea = self.extent_rec(a, memo)?;
-                    let eb = self.extent_rec(b, memo)?;
-                    ea.union(&eb).copied().collect()
+                    let (ea, sa) = self.extent_rec(a, sg, mg, vg, memo)?;
+                    let (eb, sb) = self.extent_rec(b, sg, mg, vg, memo)?;
+                    (ea.union(&eb).copied().collect(), sa || sb)
                 }
                 Derivation::Difference { a, b } => {
-                    let ea = self.extent_rec(a, memo)?;
-                    let eb = self.extent_rec(b, memo)?;
-                    ea.difference(&eb).copied().collect()
+                    let (ea, sa) = self.extent_rec(a, sg, mg, vg, memo)?;
+                    let (eb, sb) = self.extent_rec(b, sg, mg, vg, memo)?;
+                    (ea.difference(&eb).copied().collect(), sa || sb)
                 }
                 Derivation::Intersect { a, b } => {
-                    let ea = self.extent_rec(a, memo)?;
-                    let eb = self.extent_rec(b, memo)?;
-                    ea.intersection(&eb).copied().collect()
+                    let (ea, sa) = self.extent_rec(a, sg, mg, vg, memo)?;
+                    let (eb, sb) = self.extent_rec(b, sg, mg, vg, memo)?;
+                    (ea.intersection(&eb).copied().collect(), sa || sb)
                 }
             },
         };
         let arc = Arc::new(result);
-        memo.insert(class, Arc::clone(&arc));
-        Ok(arc)
+        memo.insert(class, (Arc::clone(&arc), value_sensitive));
+        Ok((arc, value_sensitive))
     }
 
     /// Cast an object to a class perspective (validating membership).
@@ -547,11 +645,15 @@ impl Database {
         key: PropKey,
         default: Value,
     ) -> ModelResult<Value> {
-        let entry = self.objects.get(&oid).ok_or(ModelError::UnknownObject(oid))?;
-        let home = match entry.home_of.get(&key) {
-            Some(h) => *h,
-            // Never written → default value, no storage materialized.
-            None => return Ok(default),
+        let (home, rec) = {
+            let objects = self.objects.read();
+            let entry = objects.get(&oid).ok_or(ModelError::UnknownObject(oid))?;
+            let home = match entry.home_of.get(&key) {
+                Some(h) => *h,
+                // Never written → default value, no storage materialized.
+                None => return Ok(default),
+            };
+            (home, entry.slices.get(&home).copied())
         };
         // Slice-hop accounting: distance between perspective and home class.
         let hops = self
@@ -560,8 +662,8 @@ impl Database {
             .or_else(|| self.schema.up_distance(home, via))
             .unwrap_or(1) as u64;
         self.slice_hops.fetch_add(hops, Ordering::Relaxed);
-        let rec = match entry.slices.get(&home) {
-            Some(r) => *r,
+        let rec = match rec {
+            Some(r) => r,
             None => return Ok(default),
         };
         let idx = self
@@ -586,10 +688,16 @@ impl Database {
         // The static resolution must exist (the caller's type must know the
         // name at all).
         self.resolve_for_object(oid, via, name)?;
-        let entry = self.objects.get(&oid).ok_or(ModelError::UnknownObject(oid))?;
+        let direct = self
+            .objects
+            .read()
+            .get(&oid)
+            .ok_or(ModelError::UnknownObject(oid))?
+            .direct
+            .clone();
         // Gather the candidates seen from each direct class.
         let mut winners: Vec<(ClassId, Candidate)> = Vec::new();
-        for d in entry.direct.clone() {
+        for d in direct {
             if let Ok(c) = self.resolve(d, name) {
                 if !winners.iter().any(|(_, w)| w.key == c.key) {
                     winners.push((d, c));
@@ -615,8 +723,12 @@ impl Database {
     }
 
     /// Write a stored attribute through a perspective.
+    ///
+    /// Data-plane: takes `&self`; the touched state (object map, store
+    /// stripe of the home class's segment) is locked internally, so writes
+    /// to different class segments proceed concurrently.
     pub fn write_attr(
-        &mut self,
+        &self,
         oid: Oid,
         via: ClassId,
         name: &str,
@@ -687,7 +799,7 @@ impl Database {
     }
 
     fn write_stored(
-        &mut self,
+        &self,
         oid: Oid,
         via: ClassId,
         key: PropKey,
@@ -708,7 +820,7 @@ impl Database {
             self.store.append_field(rec, fill)?;
         }
         self.store.write_field(rec, idx, value)?;
-        self.touch_data();
+        self.touch_values();
         Ok(())
     }
 
@@ -726,9 +838,10 @@ impl Database {
     ///
     /// Preference order: an already-bound home; then the most specific class
     /// with storage capability for `key` that the object is a member of.
-    fn bind_home(&mut self, oid: Oid, via: ClassId, key: PropKey) -> ModelResult<ClassId> {
+    fn bind_home(&self, oid: Oid, via: ClassId, key: PropKey) -> ModelResult<ClassId> {
         if let Some(h) = self
             .objects
+            .read()
             .get(&oid)
             .ok_or(ModelError::UnknownObject(oid))?
             .home_of
@@ -768,15 +881,52 @@ impl Database {
                     .any(|other| *other != **c && self.schema.is_sub_of(*other, **c))
             })
             .unwrap_or(&member_capable[0]);
-        self.objects.get_mut(&oid).unwrap().home_of.insert(key, chosen);
-        Ok(chosen)
+        // Publish the binding; if a concurrent writer bound this key first,
+        // its choice wins so both writers target the same slice.
+        let mut objects = self.objects.write();
+        let entry = objects.get_mut(&oid).ok_or(ModelError::UnknownObject(oid))?;
+        Ok(*entry.home_of.entry(key).or_insert(chosen))
+    }
+
+    /// The storage segment assigned to `class`, if any: the one baked into
+    /// the schema, or one assigned by a `&self` writer since the schema was
+    /// last rebuilt (the `late_segments` overlay).
+    pub fn segment_of(&self, class: ClassId) -> Option<SegmentId> {
+        match self.schema.class(class) {
+            Ok(cls) => cls.segment.or_else(|| self.late_segments.read().get(&class).copied()),
+            Err(_) => None,
+        }
+    }
+
+    /// The segment for `class`, creating it on first use. Schema classes are
+    /// immutable from the data plane (`&self`), so freshly created segments
+    /// live in the `late_segments` overlay until the next schema rebuild
+    /// folds them in (see `schema_for_snapshot`).
+    fn segment_for(&self, class: ClassId) -> ModelResult<SegmentId> {
+        if let Some(s) = self.schema.class(class)?.segment {
+            return Ok(s);
+        }
+        if let Some(s) = self.late_segments.read().get(&class) {
+            return Ok(*s);
+        }
+        let name = self.schema.class(class)?.name.clone();
+        // Double-checked under the write lock so racing writers agree on one
+        // segment per class. Lock order: late_segments → store stripe.
+        let mut late = self.late_segments.write();
+        if let Some(s) = late.get(&class) {
+            return Ok(*s);
+        }
+        let seg = self.store.create_segment(&name);
+        late.insert(class, seg);
+        Ok(seg)
     }
 
     /// Materialize (or fetch) the slice of `oid` for `class`, creating the
     /// class's segment on first use.
-    fn ensure_slice(&mut self, oid: Oid, class: ClassId) -> ModelResult<RecordId> {
+    fn ensure_slice(&self, oid: Oid, class: ClassId) -> ModelResult<RecordId> {
         if let Some(rec) = self
             .objects
+            .read()
             .get(&oid)
             .ok_or(ModelError::UnknownObject(oid))?
             .slices
@@ -784,25 +934,33 @@ impl Database {
         {
             return Ok(*rec);
         }
-        let seg = match self.schema.class(class)?.segment {
-            Some(s) => s,
-            None => {
-                let name = self.schema.class(class)?.name.clone();
-                let seg = self.store.create_segment(&name);
-                self.schema.class_mut(class)?.segment = Some(seg);
-                seg
-            }
-        };
+        let seg = self.segment_for(class)?;
         let layout: Vec<PropKey> = self.schema.class(class)?.stored_layout().to_vec();
         let fields: Vec<Value> = layout.iter().map(|k| self.default_for(*k)).collect();
+        // Create the record outside the object-map lock, then publish it;
+        // if a concurrent writer materialized the slice first, theirs wins
+        // and our speculative record is freed.
         let rec = self.store.insert(seg, fields)?;
-        self.objects.get_mut(&oid).unwrap().slices.insert(class, rec);
-        Ok(rec)
+        let winner = {
+            let mut objects = self.objects.write();
+            match objects.get_mut(&oid) {
+                Some(entry) => *entry.slices.entry(class).or_insert(rec),
+                None => {
+                    drop(objects);
+                    let _ = self.store.free(rec);
+                    return Err(ModelError::UnknownObject(oid));
+                }
+            }
+        };
+        if winner != rec {
+            let _ = self.store.free(rec);
+        }
+        Ok(winner)
     }
 
     /// Number of implementation objects (slices) an object currently has.
     pub fn slice_count(&self, oid: Oid) -> ModelResult<usize> {
-        Ok(self.objects.get(&oid).ok_or(ModelError::UnknownObject(oid))?.slices.len())
+        Ok(self.objects.read().get(&oid).ok_or(ModelError::UnknownObject(oid))?.slices.len())
     }
 
     // ----- statistics ---------------------------------------------------------
@@ -816,7 +974,7 @@ impl Database {
             slice_hops: self.slice_hops.load(Ordering::Relaxed),
             ..Default::default()
         };
-        for entry in self.objects.values() {
+        for entry in self.objects.read().values() {
             let n_impl = entry.slices.len() as u64;
             stats.objects += 1;
             stats.implementation_objects += n_impl;
@@ -833,10 +991,30 @@ impl Database {
 
     // ----- snapshot support ---------------------------------------------------
 
+    /// The schema as it should be persisted: the in-memory schema with the
+    /// `late_segments` overlay folded into the class records, so a restored
+    /// database sees the segment assignments without the overlay.
+    pub(crate) fn schema_for_snapshot(&self) -> Schema {
+        let late = self.late_segments.read();
+        if late.is_empty() {
+            return self.schema.clone();
+        }
+        let mut schema = self.schema.clone();
+        for (class, seg) in late.iter() {
+            if let Ok(cls) = schema.class_mut(*class) {
+                if cls.segment.is_none() {
+                    cls.segment = Some(*seg);
+                }
+            }
+        }
+        schema
+    }
+
     pub(crate) fn encode_objects_into(&self, buf: &mut bytes::BytesMut) {
         use bytes::BufMut;
-        buf.put_u32(self.objects.len() as u32);
-        for (oid, entry) in &self.objects {
+        let objects = self.objects.read();
+        buf.put_u32(objects.len() as u32);
+        for (oid, entry) in objects.iter() {
             buf.put_u64(oid.0);
             buf.put_u32(entry.direct.len() as u32);
             for c in &entry.direct {
@@ -857,7 +1035,7 @@ impl Database {
                 buf.put_u32(class.0);
             }
         }
-        buf.put_u64(self.next_oid);
+        buf.put_u64(self.next_oid.load(Ordering::Acquire));
     }
 
     pub(crate) fn decode_objects_from(
@@ -898,15 +1076,20 @@ impl Database {
         objects: BTreeMap<Oid, ObjectEntry>,
         next_oid: u64,
     ) -> Database {
+        let telemetry = tse_telemetry::Telemetry::new();
+        let mut store = store;
+        store.set_telemetry(telemetry.clone());
         Database {
             schema,
             store,
-            objects,
-            next_oid,
-            data_gen: 1,
+            objects: RwLock::new(objects),
+            next_oid: AtomicU64::new(next_oid),
+            mem_gen: AtomicU64::new(1),
+            val_gen: AtomicU64::new(1),
+            late_segments: RwLock::new(BTreeMap::new()),
             extent_cache: Mutex::new(ExtentCache::default()),
             slice_hops: AtomicU64::new(0),
-            telemetry: tse_telemetry::Telemetry::new(),
+            telemetry,
         }
     }
 }
@@ -956,7 +1139,7 @@ mod tests {
 
     #[test]
     fn create_and_read_defaults() {
-        let (mut db, _, student, _) = university();
+        let (db, _, student, _) = university();
         let o = db.create_object(student, &[("name", "ann".into())]).unwrap();
         assert_eq!(db.read_attr(o, student, "name").unwrap(), Value::Str("ann".into()));
         assert_eq!(db.read_attr(o, student, "age").unwrap(), Value::Int(0));
@@ -965,7 +1148,7 @@ mod tests {
 
     #[test]
     fn membership_closure_up_the_hierarchy() {
-        let (mut db, person, student, ta) = university();
+        let (db, person, student, ta) = university();
         let o = db.create_object(ta, &[]).unwrap();
         assert!(db.is_member(o, ta).unwrap());
         assert!(db.is_member(o, student).unwrap());
@@ -977,7 +1160,7 @@ mod tests {
 
     #[test]
     fn extents_include_subclass_members() {
-        let (mut db, person, student, ta) = university();
+        let (db, person, student, ta) = university();
         let o1 = db.create_object(person, &[]).unwrap();
         let o2 = db.create_object(student, &[]).unwrap();
         let o3 = db.create_object(ta, &[]).unwrap();
@@ -990,7 +1173,7 @@ mod tests {
 
     #[test]
     fn writes_are_visible_through_any_perspective() {
-        let (mut db, person, student, ta) = university();
+        let (db, person, student, ta) = university();
         let o = db.create_object(ta, &[("name", "kim".into())]).unwrap();
         db.write_attr(o, ta, "age", Value::Int(25)).unwrap();
         assert_eq!(db.read_attr(o, person, "age").unwrap(), Value::Int(25));
@@ -1000,7 +1183,7 @@ mod tests {
 
     #[test]
     fn type_checking_on_write() {
-        let (mut db, _, student, _) = university();
+        let (db, _, student, _) = university();
         let o = db.create_object(student, &[]).unwrap();
         assert!(matches!(
             db.write_attr(o, student, "age", Value::Str("old".into())),
@@ -1127,7 +1310,7 @@ mod tests {
 
     #[test]
     fn slices_materialize_lazily_per_defining_class() {
-        let (mut db, person, student, ta) = university();
+        let (db, person, student, ta) = university();
         let o = db.create_object(ta, &[]).unwrap();
         assert_eq!(db.slice_count(o).unwrap(), 0, "no writes yet → no slices");
         db.write_attr(o, ta, "name", "kim".into()).unwrap();
@@ -1140,7 +1323,7 @@ mod tests {
 
     #[test]
     fn slice_hops_count_distance_to_defining_class() {
-        let (mut db, person, _, ta) = university();
+        let (db, person, _, ta) = university();
         let o = db.create_object(ta, &[]).unwrap();
         db.write_attr(o, ta, "name", "kim".into()).unwrap();
         db.reset_slice_hops();
@@ -1156,7 +1339,7 @@ mod tests {
 
     #[test]
     fn remove_from_class_loses_subtypes_too() {
-        let (mut db, person, student, ta) = university();
+        let (db, person, student, ta) = university();
         let o = db.create_object(ta, &[]).unwrap();
         db.add_to_class(o, person).unwrap();
         db.remove_from_class(o, student).unwrap();
@@ -1171,7 +1354,7 @@ mod tests {
 
     #[test]
     fn delete_object_frees_slices_and_extents() {
-        let (mut db, _, student, _) = university();
+        let (db, _, student, _) = university();
         let o = db.create_object(student, &[("name", "x".into())]).unwrap();
         assert_eq!(db.store_stats().records_allocated, 1);
         db.delete_object(o).unwrap();
@@ -1183,7 +1366,7 @@ mod tests {
 
     #[test]
     fn cast_validates_membership() {
-        let (mut db, person, student, _) = university();
+        let (db, person, student, _) = university();
         let o = db.create_object(person, &[]).unwrap();
         assert!(db.cast(o, person).is_ok());
         assert!(matches!(db.cast(o, student), Err(ModelError::NotAMember { .. })));
@@ -1213,7 +1396,7 @@ mod tests {
 
     #[test]
     fn slicing_stats_follow_table1_formulas() {
-        let (mut db, _, student, _) = university();
+        let (db, _, student, _) = university();
         let o = db.create_object(student, &[("name", "a".into())]).unwrap();
         db.write_attr(o, student, "gpa", Value::Float(3.5)).unwrap();
         let stats = db.slicing_stats();

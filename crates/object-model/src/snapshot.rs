@@ -21,7 +21,9 @@ pub fn encode_database(db: &Database) -> Bytes {
     let store_bytes = encode_store(db.store());
     buf.put_u64(store_bytes.len() as u64);
     buf.put_slice(&store_bytes);
-    db.schema().encode_into(&mut buf);
+    // Fold late (data-plane-assigned) segments into the persisted schema so
+    // the restored database needs no overlay.
+    db.schema_for_snapshot().encode_into(&mut buf);
     db.encode_objects_into(&mut buf);
     buf.freeze()
 }

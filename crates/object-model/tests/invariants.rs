@@ -132,7 +132,7 @@ proptest! {
     fn membership_and_extent_invariants_hold_under_churn(
         ops in proptest::collection::vec(op_strategy(), 1..40),
     ) {
-        let (mut db, bases, virtuals) = build();
+        let (db, bases, virtuals) = build();
         let mut live: Vec<tse_object_model::Oid> = Vec::new();
         for op in ops {
             match op {
@@ -178,7 +178,7 @@ proptest! {
     fn snapshot_preserves_all_invariants(
         ops in proptest::collection::vec(op_strategy(), 1..25),
     ) {
-        let (mut db, bases, virtuals) = build();
+        let (db, bases, virtuals) = build();
         let mut live = Vec::new();
         for op in ops {
             match op {
@@ -317,7 +317,7 @@ fn class_constraints_refuse_updates() {
     assert_eq!(db.read_attr(o, acct, "balance").unwrap(), Value::Int(20));
 
     // The constraint survives a database snapshot.
-    let mut restored =
+    let restored =
         tse_object_model::decode_database(tse_object_model::encode_database(&db)).unwrap();
     assert!(restored.write_attr(o, acct, "balance", Value::Int(-1)).is_err());
     restored.write_attr(o, acct, "balance", Value::Int(7)).unwrap();

@@ -30,10 +30,14 @@
 //!   injection sites threaded through mutation and persistence paths, so
 //!   crash-recovery tests can kill the system at any point.
 //!
-//! The store itself is single-threaded (`&mut self` for mutation); the layers
-//! above wrap it in a `parking_lot::RwLock` where sharing is needed, which is
-//! both simpler and faster than internal fine-grained locking for the
-//! workloads in this reproduction.
+//! The store is internally synchronised: segments are partitioned across
+//! `StoreConfig::write_stripes` lock stripes (keyed by `SegmentId % N`, each
+//! stripe with its own buffer pool), so record operations on different class
+//! segments run concurrently from `&self`. Cross-stripe operations — fork,
+//! totals, snapshot encoding — acquire stripes in canonical index order,
+//! keeping them deadlock-free against single-stripe writers. Stripe
+//! contention is observable as `stripe.conflicts` / `lock.stripe_wait_ns`
+//! once a telemetry domain is attached via `SliceStore::set_telemetry`.
 
 #![warn(missing_docs)]
 

@@ -37,22 +37,23 @@ const MAGIC_V2: &[u8; 8] = b"TSESNAP2";
 
 /// Serialize the whole store (always the current version-2 format).
 pub fn encode_store<P: Payload>(store: &SliceStore<P>) -> Bytes {
-    let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC_V2);
-    buf.put_u32(store.config().page_size as u32);
-    buf.put_u32(store.config().buffer_pages as u32);
-    let segments = store.raw_segments();
-    buf.put_u32(segments.len() as u32);
-    let header_crc = crc32(buf.as_ref());
-    buf.put_u32(header_crc);
-    for seg in segments {
-        let mut section = BytesMut::new();
-        encode_segment(&mut section, seg.as_ref());
-        let crc = crc32(section.as_ref());
-        buf.put_slice(section.as_ref());
-        buf.put_u32(crc);
-    }
-    buf.freeze()
+    store.with_segment_slots(|segments| {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC_V2);
+        buf.put_u32(store.config().page_size as u32);
+        buf.put_u32(store.config().buffer_pages as u32);
+        buf.put_u32(segments.len() as u32);
+        let header_crc = crc32(buf.as_ref());
+        buf.put_u32(header_crc);
+        for seg in segments {
+            let mut section = BytesMut::new();
+            encode_segment(&mut section, *seg);
+            let crc = crc32(section.as_ref());
+            buf.put_slice(section.as_ref());
+            buf.put_u32(crc);
+        }
+        buf.freeze()
+    })
 }
 
 /// One segment slot: present flag, then name and records. Live records are
@@ -114,7 +115,7 @@ fn decode_store_v2<P: Payload>(all: Bytes) -> StorageResult<SliceStore<P>> {
     if bytes.get_u32() != expected {
         return Err(StorageError::Corrupt("header crc mismatch".into()));
     }
-    let config = StoreConfig { page_size, buffer_pages };
+    let config = StoreConfig { page_size, buffer_pages, ..StoreConfig::default() };
     let mut segments: Vec<Option<Segment<P>>> =
         Vec::with_capacity(n_segments.min(bytes.remaining()));
     for _ in 0..n_segments {
@@ -142,7 +143,7 @@ fn decode_store_v1<P: Payload>(mut bytes: Bytes) -> StorageResult<SliceStore<P>>
     }
     let page_size = bytes.get_u32() as usize;
     let buffer_pages = bytes.get_u32() as usize;
-    let config = StoreConfig { page_size, buffer_pages };
+    let config = StoreConfig { page_size, buffer_pages, ..StoreConfig::default() };
     let n_segments = bytes.get_u32() as usize;
     let mut segments: Vec<Option<Segment<P>>> =
         Vec::with_capacity(n_segments.min(bytes.remaining()));
@@ -206,20 +207,25 @@ mod tests {
 
     /// The legacy version-1 encoder, kept only to prove read-compatibility.
     fn encode_store_v1(store: &SliceStore<SP>) -> Bytes {
-        let mut buf = BytesMut::new();
-        buf.put_slice(MAGIC_V1);
-        buf.put_u32(store.config().page_size as u32);
-        buf.put_u32(store.config().buffer_pages as u32);
-        let segments = store.raw_segments();
-        buf.put_u32(segments.len() as u32);
-        for seg in segments {
-            encode_segment(&mut buf, seg.as_ref());
-        }
-        buf.freeze()
+        store.with_segment_slots(|segments| {
+            let mut buf = BytesMut::new();
+            buf.put_slice(MAGIC_V1);
+            buf.put_u32(store.config().page_size as u32);
+            buf.put_u32(store.config().buffer_pages as u32);
+            buf.put_u32(segments.len() as u32);
+            for seg in segments {
+                encode_segment(&mut buf, *seg);
+            }
+            buf.freeze()
+        })
     }
 
     fn populated() -> (SliceStore<SP>, RecordId, RecordId, RecordId) {
-        let mut st = SliceStore::<SP>::new(StoreConfig { page_size: 256, buffer_pages: 8 });
+        let st = SliceStore::<SP>::new(StoreConfig {
+            page_size: 256,
+            buffer_pages: 8,
+            ..StoreConfig::default()
+        });
         let people = st.create_segment("Person");
         let cars = st.create_segment("Car");
         let r1 = st.insert(people, vec![SP::Str("ann".into()), SP::Int(31)]).unwrap();
@@ -256,7 +262,7 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_dropped_segment_holes() {
-        let mut st = SliceStore::<SP>::default();
+        let st = SliceStore::<SP>::default();
         let a = st.create_segment("a");
         let b = st.create_segment("b");
         st.insert(b, vec![SP::Int(1)]).unwrap();
@@ -265,19 +271,18 @@ mod tests {
         assert!(restored.segment_name(a).is_err());
         assert_eq!(restored.segment_name(b).unwrap(), "b");
         // Ids continue after the hole, exactly as in the original.
-        let mut restored = restored;
         let c = restored.create_segment("c");
         assert_eq!(c.0, 2);
     }
 
     #[test]
     fn freed_slot_is_reusable_after_restore() {
-        let mut st = SliceStore::<SP>::default();
+        let st = SliceStore::<SP>::default();
         let seg = st.create_segment("s");
         let r1 = st.insert(seg, vec![SP::Int(1)]).unwrap();
         st.insert(seg, vec![SP::Int(2)]).unwrap();
         st.free(r1).unwrap();
-        let mut restored: SliceStore<SP> = decode_store(encode_store(&st)).unwrap();
+        let restored: SliceStore<SP> = decode_store(encode_store(&st)).unwrap();
         let r_new = restored.insert(seg, vec![SP::Int(3)]).unwrap();
         // Slot of r1 was freed; restore must keep it available (either reuse
         // or fresh slot — but never colliding with the live record).

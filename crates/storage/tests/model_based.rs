@@ -35,7 +35,7 @@ proptest! {
         page_size in 64usize..512,
     ) {
         let mut store: SliceStore<SimplePayload> =
-            SliceStore::new(StoreConfig { page_size, buffer_pages: 4 });
+            SliceStore::new(StoreConfig { page_size, buffer_pages: 4, ..StoreConfig::default() });
         let mut segs = Vec::new();
         for i in 0..4 {
             segs.push(store.create_segment(&format!("s{i}")));
@@ -115,7 +115,7 @@ proptest! {
         before in proptest::collection::vec((0usize..3, any::<i64>()), 1..12),
         inside in proptest::collection::vec(op_strategy(), 1..20),
     ) {
-        let mut store: SliceStore<SimplePayload> = SliceStore::default();
+        let store: SliceStore<SimplePayload> = SliceStore::default();
         let mut segs = Vec::new();
         for i in 0..3 {
             segs.push(store.create_segment(&format!("s{i}")));

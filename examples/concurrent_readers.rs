@@ -26,9 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     )?;
     let view = shared.create_view("LAB", &["Reading"])?;
+    let writer = shared.writer();
     let mut oids = Vec::new();
     for i in 0..500 {
-        oids.push(shared.create(
+        oids.push(writer.create(
             view,
             "Reading",
             &[("sensor", Value::Str(format!("s{}", i % 8))), ("celsius", Value::Int(i % 40))],

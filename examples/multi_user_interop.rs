@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             scope.spawn(move || {
                 let mut created = Vec::new();
                 for i in 0..50 {
-                    let mut sys = shared.write();
+                    let sys = shared.write();
                     let oid = sys
                         .create(v1, "Order", &[("sku", Value::Str(format!("L-{i}")))])
                         .expect("legacy create");
@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             scope.spawn(move || {
                 let mut created = Vec::new();
                 for i in 0..50 {
-                    let mut sys = shared.write();
+                    let sys = shared.write();
                     let oid = sys
                         .create(
                             v2,

@@ -71,14 +71,14 @@ proptest! {
             UpdatePolicy { value_closure: tse::algebra::ValueClosure::Allow, ..Default::default() };
         for &class in &classes {
             // Create through the class…
-            let oid = match algebra::create(&mut db, &policy, class, &[("rank", Value::Int(5))]) {
+            let oid = match algebra::create(&db, &policy, class, &[("rank", Value::Int(5))]) {
                 Ok(oid) => oid,
                 Err(e) => return Err(TestCaseError::fail(format!("create via {class}: {e}"))),
             };
             if !db.is_member(oid, class).unwrap() {
                 // Value-closure anomaly: object exists at the base but is
                 // invisible through this class; nothing further to check.
-                algebra::delete(&mut db, &[oid]).unwrap();
+                algebra::delete(&db, &[oid]).unwrap();
                 continue;
             }
             // …it reaches the origin base classes:
@@ -89,10 +89,10 @@ proptest! {
                 prop_assert!(db.is_member(oid, *t).unwrap());
             }
             // set through the class is visible at a base target:
-            algebra::set(&mut db, &policy, &[oid], class, &[("rank", Value::Int(9))]).unwrap();
+            algebra::set(&db, &policy, &[oid], class, &[("rank", Value::Int(9))]).unwrap();
             if !db.is_member(oid, class).unwrap() {
                 // The set pushed it out of a select class (allowed policy).
-                algebra::delete(&mut db, &[oid]).unwrap();
+                algebra::delete(&db, &[oid]).unwrap();
                 continue;
             }
             prop_assert_eq!(db.read_attr(oid, targets[0], "rank").unwrap(), Value::Int(9));
@@ -100,10 +100,10 @@ proptest! {
             db.write_attr(oid, targets[0], "rank", Value::Int(11)).unwrap();
             prop_assert_eq!(db.read_attr(oid, class, "rank").unwrap(), Value::Int(11));
             // remove / delete:
-            algebra::remove(&mut db, &policy, &[oid], class).unwrap();
+            algebra::remove(&db, &policy, &[oid], class).unwrap();
             prop_assert!(!db.is_member(oid, class).unwrap(), "removed from {class}");
             prop_assert!(db.object_exists(oid), "remove is not delete");
-            algebra::delete(&mut db, &[oid]).unwrap();
+            algebra::delete(&db, &[oid]).unwrap();
             prop_assert!(!db.object_exists(oid));
         }
     }
@@ -143,7 +143,7 @@ fn union_substitution_policy_matches_section_6_5_4() {
     classify(&mut db, u).unwrap();
     let mut policy = UpdatePolicy::default();
     policy.union_routes.insert(u, tse::algebra::UnionRoute::First);
-    let oid = algebra::create(&mut db, &policy, u, &[]).unwrap();
+    let oid = algebra::create(&db, &policy, u, &[]).unwrap();
     assert!(db.is_member(oid, a).unwrap(), "routed to the substituted (first) source");
     assert!(
         !db.is_member(oid, b).unwrap(),
