@@ -6,10 +6,10 @@
 //! two composite macros of §6.9. Class names are **view-local** names — the
 //! whole point of TSE is that the user addresses their own view.
 
-use tse_object_model::{MethodBody, ModelError, ModelResult, Value, ValueType};
+use tse_object_model::{ClassId, MethodBody, ModelError, ModelResult, Oid, Value, ValueType};
 
 mod expr;
-pub use expr::parse_expr;
+pub use expr::{parse_expr, render_expr};
 
 /// A schema-change request against a view.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,6 +106,98 @@ pub enum SchemaChange {
 }
 
 impl SchemaChange {
+    /// Render this change back into its textual command form — the inverse
+    /// of [`parse_change`]: `parse_change(&c.render()?)? == c` whenever
+    /// rendering succeeds. The WAL uses this to serialize structural
+    /// changes that arrive as structured values (via `SharedSystem::evolve`
+    /// or `DurableSystem::apply_change`) rather than as command text.
+    ///
+    /// Errs on shapes the command grammar cannot spell: identifiers with
+    /// whitespace or grammar metacharacters, strings mixing both quote
+    /// kinds, non-finite floats.
+    pub fn render(&self) -> ModelResult<String> {
+        Ok(match self {
+            SchemaChange::AddAttribute { class, name, vtype, default, required } => {
+                let mut cmd = format!(
+                    "add_attribute {}: {}",
+                    renderable_name(name, "attribute")?,
+                    render_type(vtype)
+                );
+                // The parser fills an omitted `= …` with default_for_type,
+                // so an equal default round-trips without being spelled.
+                if *default != default_for_type(vtype) {
+                    cmd.push_str(" = ");
+                    cmd.push_str(&render_value(default)?);
+                }
+                if *required {
+                    cmd.push_str(" required");
+                }
+                cmd.push_str(" to ");
+                cmd.push_str(renderable_name(class, "class")?);
+                cmd
+            }
+            SchemaChange::DeleteAttribute { class, name } => format!(
+                "delete_attribute {} from {}",
+                renderable_name(name, "attribute")?,
+                renderable_name(class, "class")?
+            ),
+            SchemaChange::AddMethod { class, name, vtype, body } => format!(
+                "add_method {}: {} := {} to {}",
+                renderable_name(name, "method")?,
+                render_type(vtype),
+                render_expr(body)?,
+                renderable_name(class, "class")?
+            ),
+            SchemaChange::DeleteMethod { class, name } => format!(
+                "delete_method {} from {}",
+                renderable_name(name, "method")?,
+                renderable_name(class, "class")?
+            ),
+            SchemaChange::AddEdge { sup, sub } => format!(
+                "add_edge {} - {}",
+                renderable_name(sup, "class")?,
+                renderable_name(sub, "class")?
+            ),
+            SchemaChange::DeleteEdge { sup, sub, connected_to } => {
+                let mut cmd = format!(
+                    "delete_edge {} - {}",
+                    renderable_name(sup, "class")?,
+                    renderable_name(sub, "class")?
+                );
+                if let Some(upper) = connected_to {
+                    cmd.push_str(" connected_to ");
+                    cmd.push_str(renderable_name(upper, "class")?);
+                }
+                cmd
+            }
+            SchemaChange::AddClass { name, connected_to } => {
+                let mut cmd = format!("add_class {}", renderable_name(name, "class")?);
+                if let Some(upper) = connected_to {
+                    cmd.push_str(" connected_to ");
+                    cmd.push_str(renderable_name(upper, "class")?);
+                }
+                cmd
+            }
+            SchemaChange::DeleteClass { class } => {
+                format!("delete_class {}", renderable_name(class, "class")?)
+            }
+            SchemaChange::InsertClass { name, sup, sub } => format!(
+                "insert_class {} between {} - {}",
+                renderable_name(name, "class")?,
+                renderable_name(sup, "class")?,
+                renderable_name(sub, "class")?
+            ),
+            SchemaChange::DeleteClass2 { class } => {
+                format!("delete_class_2 {}", renderable_name(class, "class")?)
+            }
+            SchemaChange::RenameClass { old, new } => format!(
+                "rename_class {} to {}",
+                renderable_name(old, "class")?,
+                renderable_name(new, "class")?
+            ),
+        })
+    }
+
     /// Short operator name (for reports).
     pub fn op_name(&self) -> &'static str {
         match self {
@@ -128,12 +220,18 @@ fn err(msg: impl Into<String>) -> ModelError {
     ModelError::Invalid(msg.into())
 }
 
-/// Parse a value type: `int`, `float`, `str`, `bool`, `any`,
-/// `list<...>` (class references are created programmatically, not parsed).
+/// Parse a value type: `int`, `float`, `str`, `bool`, `any`, `list<...>`,
+/// `ref<class-id>` (reference types carry the *global* class id, so the
+/// spelling is only produced/consumed by [`SchemaChange::render`] and the
+/// WAL — user commands normally create references programmatically).
 pub fn parse_type(s: &str) -> ModelResult<ValueType> {
     let s = s.trim();
     if let Some(inner) = s.strip_prefix("list<").and_then(|r| r.strip_suffix('>')) {
         return Ok(ValueType::List(Box::new(parse_type(inner)?)));
+    }
+    if let Some(id) = s.strip_prefix("ref<").and_then(|r| r.strip_suffix('>')) {
+        let id = id.trim().parse::<u32>().map_err(|_| err(format!("bad class id {id:?}")))?;
+        return Ok(ValueType::Ref(ClassId(id)));
     }
     match s {
         "int" => Ok(ValueType::Int),
@@ -146,7 +244,8 @@ pub fn parse_type(s: &str) -> ModelResult<ValueType> {
 }
 
 /// Parse a literal value: `null`, `true`, `false`, integers, floats,
-/// single- or double-quoted strings.
+/// single- or double-quoted strings (no escapes), `ref(oid)` references,
+/// and `[a, b, …]` lists of any of these.
 pub fn parse_value(s: &str) -> ModelResult<Value> {
     let s = s.trim();
     match s {
@@ -160,6 +259,21 @@ pub fn parse_value(s: &str) -> ModelResult<Value> {
     {
         return Ok(Value::Str(s[1..s.len() - 1].to_string()));
     }
+    if let Some(inner) = s.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Ok(Value::List(vec![]));
+        }
+        let items = split_top_level(inner)?
+            .into_iter()
+            .map(parse_value)
+            .collect::<ModelResult<Vec<_>>>()?;
+        return Ok(Value::List(items));
+    }
+    if let Some(oid) = s.strip_prefix("ref(").and_then(|r| r.strip_suffix(')')) {
+        let oid = oid.trim().parse::<u64>().map_err(|_| err(format!("bad ref oid {oid:?}")))?;
+        return Ok(Value::Ref(Oid(oid)));
+    }
     if let Ok(i) = s.parse::<i64>() {
         return Ok(Value::Int(i));
     }
@@ -167,6 +281,105 @@ pub fn parse_value(s: &str) -> ModelResult<Value> {
         return Ok(Value::Float(f));
     }
     Err(err(format!("cannot parse value {s:?}")))
+}
+
+/// Split a list body on top-level commas, ignoring commas inside quotes or
+/// nested brackets/parens.
+fn split_top_level(s: &str) -> ModelResult<Vec<&str>> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut quote: Option<char> = None;
+    let mut start = 0;
+    for (i, ch) in s.char_indices() {
+        match quote {
+            Some(q) => {
+                if ch == q {
+                    quote = None;
+                }
+            }
+            None => match ch {
+                '\'' | '"' => quote = Some(ch),
+                '[' | '(' => depth += 1,
+                ']' | ')' => {
+                    depth = depth
+                        .checked_sub(1)
+                        .ok_or_else(|| err(format!("unbalanced brackets in {s:?}")))?;
+                }
+                ',' if depth == 0 => {
+                    parts.push(&s[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            },
+        }
+    }
+    if quote.is_some() || depth != 0 {
+        return Err(err(format!("unterminated quote or bracket in {s:?}")));
+    }
+    parts.push(&s[start..]);
+    Ok(parts)
+}
+
+/// Render a value type into the spelling [`parse_type`] accepts.
+pub fn render_type(t: &ValueType) -> String {
+    match t {
+        ValueType::Any => "any".to_string(),
+        ValueType::Bool => "bool".to_string(),
+        ValueType::Int => "int".to_string(),
+        ValueType::Float => "float".to_string(),
+        ValueType::Str => "str".to_string(),
+        ValueType::Ref(cid) => format!("ref<{}>", cid.0),
+        ValueType::List(inner) => format!("list<{}>", render_type(inner)),
+    }
+}
+
+/// Render a literal value into the spelling [`parse_value`] accepts. Errs
+/// on non-finite floats and on strings containing both quote kinds (the
+/// grammar has no escape sequences).
+pub fn render_value(v: &Value) -> ModelResult<String> {
+    Ok(match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            if !f.is_finite() {
+                return Err(err("non-finite float has no literal spelling"));
+            }
+            // {:?} keeps the decimal point ("2.0", not "2") so the value
+            // reparses as a float, not an int.
+            format!("{f:?}")
+        }
+        Value::Str(s) => {
+            if !s.contains('\'') {
+                format!("'{s}'")
+            } else if !s.contains('"') {
+                format!("\"{s}\"")
+            } else {
+                return Err(err(format!("string {s:?} mixes both quote kinds (no escapes)")));
+            }
+        }
+        Value::Ref(oid) => format!("ref({})", oid.0),
+        Value::List(items) => {
+            let rendered =
+                items.iter().map(render_value).collect::<ModelResult<Vec<_>>>()?;
+            format!("[{}]", rendered.join(", "))
+        }
+    })
+}
+
+/// Validate that `name` survives a render → parse round trip as an opaque
+/// token: the command grammar splits on whitespace, `-` edges, and the
+/// literal keywords, so a name containing any of those cannot be spelled.
+fn renderable_name<'a>(name: &'a str, what: &str) -> ModelResult<&'a str> {
+    let bad = name.is_empty()
+        || name.chars().any(|c| {
+            c.is_whitespace() || matches!(c, '-' | ':' | '=' | ',' | '(' | ')' | '[' | ']')
+        })
+        || name.contains("connected_to");
+    if bad {
+        return Err(err(format!("{what} name {name:?} cannot be spelled in command syntax")));
+    }
+    Ok(name)
 }
 
 /// Default default-value for a type (used when the command omits `= …`).
@@ -429,5 +642,137 @@ mod tests {
         assert!(parse_value("@@").is_err());
         assert_eq!(parse_type("list<int>").unwrap(), ValueType::List(Box::new(ValueType::Int)));
         assert!(parse_type("object").is_err());
+    }
+
+    #[test]
+    fn parses_ref_and_list_literals() {
+        assert_eq!(parse_value("ref(42)").unwrap(), Value::Ref(Oid(42)));
+        assert_eq!(parse_value("[]").unwrap(), Value::List(vec![]));
+        assert_eq!(
+            parse_value("[1, 'a, b', [true, null]]").unwrap(),
+            Value::List(vec![
+                Value::Int(1),
+                Value::Str("a, b".into()),
+                Value::List(vec![Value::Bool(true), Value::Null]),
+            ])
+        );
+        assert!(parse_value("[1, ").is_err());
+        assert!(parse_value("ref(x)").is_err());
+        assert_eq!(parse_type("ref<7>").unwrap(), ValueType::Ref(ClassId(7)));
+        assert_eq!(
+            parse_type("list<ref<3>>").unwrap(),
+            ValueType::List(Box::new(ValueType::Ref(ClassId(3))))
+        );
+    }
+
+    fn round_trips(c: SchemaChange) {
+        let cmd = c.render().unwrap();
+        assert_eq!(parse_change(&cmd).unwrap(), c, "rendered as {cmd:?}");
+    }
+
+    #[test]
+    fn render_round_trips_every_variant() {
+        round_trips(SchemaChange::AddAttribute {
+            class: "Student".into(),
+            name: "register".into(),
+            vtype: ValueType::Bool,
+            default: Value::Bool(true),
+            required: false,
+        });
+        // Default equal to the type's implicit default is omitted.
+        round_trips(SchemaChange::AddAttribute {
+            class: "Person".into(),
+            name: "age".into(),
+            vtype: ValueType::Int,
+            default: Value::Int(0),
+            required: true,
+        });
+        // Quoted string default containing the grammar keywords.
+        round_trips(SchemaChange::AddAttribute {
+            class: "Person".into(),
+            name: "note".into(),
+            vtype: ValueType::Str,
+            default: Value::Str("went to the required connected_to store".into()),
+            required: true,
+        });
+        round_trips(SchemaChange::AddAttribute {
+            class: "Person".into(),
+            name: "scores".into(),
+            vtype: ValueType::List(Box::new(ValueType::Float)),
+            default: Value::List(vec![Value::Float(1.5), Value::Float(-2.0)]),
+            required: false,
+        });
+        round_trips(SchemaChange::AddAttribute {
+            class: "Person".into(),
+            name: "advisor".into(),
+            vtype: ValueType::Ref(ClassId(9)),
+            default: Value::Ref(Oid(31)),
+            required: false,
+        });
+        round_trips(SchemaChange::DeleteAttribute {
+            class: "Student".into(),
+            name: "register".into(),
+        });
+        // Multi-word method body with a string literal containing " to ".
+        round_trips(SchemaChange::AddMethod {
+            class: "Person".into(),
+            name: "tag".into(),
+            vtype: ValueType::Str,
+            body: parse_expr("if(age >= 18, 'ok to vote', 'minor')").unwrap(),
+        });
+        round_trips(SchemaChange::DeleteMethod { class: "Person".into(), name: "tag".into() });
+        round_trips(SchemaChange::AddEdge { sup: "SupportStaff".into(), sub: "TA".into() });
+        round_trips(SchemaChange::DeleteEdge {
+            sup: "TeachingStaff".into(),
+            sub: "TA".into(),
+            connected_to: Some("Person".into()),
+        });
+        round_trips(SchemaChange::DeleteEdge {
+            sup: "TeachingStaff".into(),
+            sub: "TA".into(),
+            connected_to: None,
+        });
+        round_trips(SchemaChange::AddClass {
+            name: "Honor".into(),
+            connected_to: Some("Student".into()),
+        });
+        round_trips(SchemaChange::AddClass { name: "Root2".into(), connected_to: None });
+        round_trips(SchemaChange::DeleteClass { class: "Grader".into() });
+        round_trips(SchemaChange::InsertClass {
+            name: "Intern".into(),
+            sup: "Staff".into(),
+            sub: "TA".into(),
+        });
+        round_trips(SchemaChange::DeleteClass2 { class: "Student".into() });
+        round_trips(SchemaChange::RenameClass { old: "Student".into(), new: "Pupil".into() });
+    }
+
+    #[test]
+    fn render_rejects_unspellable_shapes() {
+        // Identifier with whitespace cannot survive the whitespace-split
+        // grammar; `-` would be taken for an edge separator.
+        assert!(SchemaChange::DeleteClass { class: "Two Words".into() }.render().is_err());
+        assert!(SchemaChange::AddEdge { sup: "A-B".into(), sub: "C".into() }.render().is_err());
+        assert!(SchemaChange::AddClass { name: "Xconnected_toY".into(), connected_to: None }
+            .render()
+            .is_err());
+        assert!(SchemaChange::AddAttribute {
+            class: "C".into(),
+            name: "s".into(),
+            vtype: ValueType::Str,
+            default: Value::Str("both ' and \" quotes".into()),
+            required: false,
+        }
+        .render()
+        .is_err());
+        assert!(SchemaChange::AddAttribute {
+            class: "C".into(),
+            name: "f".into(),
+            vtype: ValueType::Float,
+            default: Value::Float(f64::NAN),
+            required: false,
+        }
+        .render()
+        .is_err());
     }
 }

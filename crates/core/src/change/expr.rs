@@ -246,9 +246,15 @@ impl Parser {
         if self.eat_op("not") {
             Ok(MethodBody::Not(Box::new(self.unary()?)))
         } else if self.eat_op("-") {
-            // Unary minus: 0 - x.
+            // Unary minus. A negated numeric literal folds into a negative
+            // constant (so `-5` round-trips through render_expr as
+            // `Const(Int(-5))`); anything else becomes 0 - x.
             let inner = self.unary()?;
-            Ok(MethodBody::bin(BinOp::Sub, MethodBody::Const(Value::Int(0)), inner))
+            Ok(match inner {
+                MethodBody::Const(Value::Int(i)) => MethodBody::Const(Value::Int(-i)),
+                MethodBody::Const(Value::Float(f)) => MethodBody::Const(Value::Float(-f)),
+                other => MethodBody::bin(BinOp::Sub, MethodBody::Const(Value::Int(0)), other),
+            })
         } else {
             self.atom()
         }
@@ -302,6 +308,98 @@ impl Parser {
             other => Err(err(format!("unexpected token {other:?}"))),
         }
     }
+}
+
+/// Is `s` a plain identifier the tokenizer would hand back as one token?
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Words the tokenizer/parser claims for itself: an attribute with one of
+/// these names cannot appear in command text.
+const RESERVED: [&str; 6] = ["and", "or", "not", "true", "false", "null"];
+
+fn render_const(v: &Value) -> ModelResult<String> {
+    Ok(match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(true) => "true".to_string(),
+        Value::Bool(false) => "false".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            // `{:?}` keeps the fraction (`2.0`, not `2`), but exponent or
+            // non-finite forms have no literal in the expression grammar.
+            let s = format!("{f:?}");
+            if !f.is_finite() || s.contains('e') || s.contains('E') {
+                return Err(err(format!("float constant {s} has no expression literal")));
+            }
+            s
+        }
+        Value::Str(s) => {
+            if !s.contains('\'') {
+                format!("'{s}'")
+            } else if !s.contains('"') {
+                format!("\"{s}\"")
+            } else {
+                return Err(err(
+                    "string constant mixes both quote kinds; not renderable".to_string(),
+                ));
+            }
+        }
+        Value::Ref(_) | Value::List(_) => {
+            return Err(err(format!(
+                "{} constants have no expression literal",
+                v.kind_name()
+            )))
+        }
+    })
+}
+
+fn op_sym(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+    }
+}
+
+/// Render a [`MethodBody`] back to command text — the inverse of
+/// [`parse_expr`]. Binary operations are fully parenthesized (parentheses
+/// leave no trace in the AST), so `parse_expr(render_expr(b)?) == b` for
+/// every body the renderer accepts. Errors on the few shapes the grammar
+/// cannot spell: list/ref constants, non-finite floats, and attribute names
+/// that are not plain identifiers.
+pub fn render_expr(body: &MethodBody) -> ModelResult<String> {
+    Ok(match body {
+        MethodBody::Const(v) => render_const(v)?,
+        MethodBody::Attr(name) => {
+            if !is_ident(name) || RESERVED.contains(&name.as_str()) {
+                return Err(err(format!("attribute {name:?} is not a renderable identifier")));
+            }
+            name.clone()
+        }
+        MethodBody::Bin(op, a, b) => {
+            format!("({} {} {})", render_expr(a)?, op_sym(*op), render_expr(b)?)
+        }
+        MethodBody::Not(a) => format!("(not {})", render_expr(a)?),
+        MethodBody::If(c, t, e) => {
+            format!("if({}, {}, {})", render_expr(c)?, render_expr(t)?, render_expr(e)?)
+        }
+        MethodBody::Len(a) => format!("len({})", render_expr(a)?),
+    })
 }
 
 /// Parse an expression into a [`MethodBody`].
@@ -371,6 +469,45 @@ mod tests {
         let env = [("salary", Value::Float(100.0))];
         assert_eq!(eval("salary * 1.5", &env), Value::Float(150.0));
         assert_eq!(eval("'a' + 'b'", &[]), Value::Str("ab".into()));
+    }
+
+    #[test]
+    fn render_round_trips_parsed_expressions() {
+        for src in [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "age >= 18 and name == 'ann'",
+            "not (age < 18) or false",
+            "if(len(name) > 2, 'long', 'short')",
+            "salary * 1.5 - 2.0 / 4.0",
+            "-5 + x",
+            "-2.5",
+            "null == null",
+            "'with \"double\" quotes'",
+        ] {
+            let body = parse_expr(src).unwrap();
+            let rendered = render_expr(&body).unwrap();
+            let reparsed = parse_expr(&rendered).unwrap();
+            assert_eq!(reparsed, body, "{src} -> {rendered}");
+        }
+    }
+
+    #[test]
+    fn negative_literals_fold_to_constants() {
+        assert_eq!(parse_expr("-5").unwrap(), MethodBody::Const(Value::Int(-5)));
+        assert_eq!(parse_expr("-2.5").unwrap(), MethodBody::Const(Value::Float(-2.5)));
+        // Non-literal operands still desugar to 0 - x.
+        assert!(matches!(parse_expr("-age").unwrap(), MethodBody::Bin(BinOp::Sub, _, _)));
+        assert_eq!(eval("-4 + 6", &[]), Value::Int(2));
+    }
+
+    #[test]
+    fn render_rejects_unspellable_shapes() {
+        assert!(render_expr(&MethodBody::Const(Value::List(vec![]))).is_err());
+        assert!(render_expr(&MethodBody::Const(Value::Float(f64::INFINITY))).is_err());
+        assert!(render_expr(&MethodBody::Attr("not".into())).is_err());
+        assert!(render_expr(&MethodBody::Attr("two words".into())).is_err());
+        assert!(render_expr(&MethodBody::Const(Value::Str("a'b\"c".into()))).is_err());
     }
 
     #[test]

@@ -1,33 +1,44 @@
 //! Crash-safe persistence: a [`TseSystem`] backed by a directory holding
 //! checksummed snapshot generations, a `MANIFEST` pointer, and a
-//! write-ahead log of schema-change commands.
+//! write-ahead log of **typed redo records** for every mutation.
 //!
-//! The durability protocol is write-ahead logical logging:
+//! The durability protocol is write-ahead logical redo:
 //!
-//! 1. [`DurableSystem::evolve_cmd`] appends the command text to the WAL and
-//!    fsyncs it **before** applying the change in memory.
-//! 2. A change that fails cleanly is rolled back by the transactional
+//! 1. Structural changes ([`DurableSystem::evolve_cmd`] /
+//!    [`DurableSystem::apply_change`], and both evolve entry points of
+//!    [`crate::SharedSystem`]) append a [`WalRecord::Evolve`] frame and
+//!    fsync it **before** applying the change in memory.
+//! 2. Data-plane writes through [`crate::WriteSession`] append effect
+//!    frames (`Create` with the assigned oid, `Set`, `UpdateWhere` with the
+//!    resolved oid set, …) after applying, and are acknowledged only once
+//!    the frame's group-commit batch is on disk.
+//! 3. A change that fails cleanly is rolled back by the transactional
 //!    evolve and its WAL frame is truncated away — it never replays.
-//! 3. A crash mid-apply leaves the frame in the log; [`TseSystem::open`]
+//! 4. A crash mid-apply leaves the frame in the log; [`TseSystem::open`]
 //!    redoes it against the last snapshot (logical redo).
-//! 4. [`DurableSystem::checkpoint`] writes a new snapshot generation
-//!    crash-atomically, repoints the manifest, and empties the WAL.
+//! 5. [`DurableSystem::checkpoint`] appends a [`WalRecord::Checkpoint`]
+//!    marker, writes a new snapshot generation crash-atomically, repoints
+//!    the manifest, and empties the WAL. When the WAL outgrows
+//!    `StoreConfig::wal_autocheckpoint_bytes`, the shared control plane
+//!    runs the same routine automatically.
 //!
 //! Recovery reads the manifest for the newest generation, falls back to
-//! older generations when a snapshot fails its CRC, replays the WAL tail,
-//! and truncates any torn final frame. Every outcome is surfaced through
-//! the `recovery.*` telemetry counters and a `recovery.complete` journal
-//! event.
+//! older generations when a snapshot fails its CRC, replays the WAL tail
+//! (typed frames and legacy v1 text frames alike), and truncates any torn
+//! final frame. Every outcome is surfaced through the `recovery.*`
+//! telemetry counters and a `recovery.complete` journal event.
 
 use std::ops::{Deref, DerefMut};
 use std::path::{Path, PathBuf};
 
 use bytes::{Buf, Bytes};
-use tse_object_model::{ModelError, ModelResult};
-use tse_storage::durable::{self, Wal, WalFrame};
-use tse_storage::FailpointRegistry;
+use tse_object_model::{ModelError, ModelResult, Value};
+use tse_storage::durable::{self, GroupWal, Wal, WalFrame};
+use tse_storage::{FailpointRegistry, StoreConfig};
 
+use crate::change::SchemaChange;
 use crate::system::{is_crash, note_fault, EvolutionReport, TseSystem};
+use crate::walcodec::{decode_frame, encode_frame, WalRecord};
 
 fn io(ctx: &str, e: std::io::Error) -> ModelError {
     ModelError::Storage(tse_storage::StorageError::Io(format!("{ctx}: {e}")))
@@ -37,44 +48,23 @@ fn corrupt(msg: &str) -> ModelError {
     ModelError::Storage(tse_storage::StorageError::Corrupt(msg.to_string()))
 }
 
-/// WAL frame payload: `u32 family_len | family | command`.
-fn wal_payload(family: &str, command: &str) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(4 + family.len() + command.len());
-    buf.extend_from_slice(&(family.len() as u32).to_be_bytes());
-    buf.extend_from_slice(family.as_bytes());
-    buf.extend_from_slice(command.as_bytes());
-    buf
-}
-
-fn parse_wal_payload(payload: &[u8]) -> ModelResult<(String, String)> {
-    if payload.len() < 4 {
-        return Err(corrupt("wal frame too short"));
-    }
-    let family_len = u32::from_be_bytes(payload[..4].try_into().unwrap()) as usize;
-    let rest = &payload[4..];
-    if rest.len() < family_len {
-        return Err(corrupt("wal frame family truncated"));
-    }
-    let family = std::str::from_utf8(&rest[..family_len])
-        .map_err(|_| corrupt("wal frame family not utf-8"))?;
-    let command = std::str::from_utf8(&rest[family_len..])
-        .map_err(|_| corrupt("wal frame command not utf-8"))?;
-    Ok((family.to_string(), command.to_string()))
-}
-
-/// The on-disk half of a durable system: directory, WAL, snapshot
-/// generation bookkeeping, and the shared failpoint registry. Factored out
-/// of [`DurableSystem`] so the concurrent [`crate::SharedSystem`] control
-/// plane can thread the same write-ahead protocol around its
-/// fork–evolve–swap pipeline.
+/// The on-disk half of a durable system: directory, group-commit WAL,
+/// snapshot generation bookkeeping, and the shared failpoint registry.
+/// Factored out of [`DurableSystem`] so the concurrent
+/// [`crate::SharedSystem`] control plane can thread the same write-ahead
+/// protocol around its fork–evolve–swap pipeline (and hand clones of the
+/// [`GroupWal`] to its data plane).
 pub(crate) struct DurableState {
     dir: PathBuf,
-    wal: Wal,
+    wal: GroupWal,
     /// Newest snapshot generation on disk (0 = none yet).
     generation: u64,
     /// Highest WAL LSN whose change is applied in memory — the LSN the
-    /// next snapshot covers.
+    /// next snapshot covers. Data frames are folded in at checkpoint time
+    /// (writers are quiesced, so the log head covers them all).
     last_lsn: u64,
+    /// WAL size that triggers an automatic checkpoint (0 = disabled).
+    autocheckpoint_bytes: u64,
     failpoints: FailpointRegistry,
 }
 
@@ -86,12 +76,14 @@ pub(crate) struct WalMark {
 }
 
 /// A [`TseSystem`] bound to an on-disk directory, surviving crashes at any
-/// point of a schema change. Derefs to the inner system, so every read and
-/// data-plane operation works unchanged; schema changes go through
-/// [`DurableSystem::evolve_cmd`] to be write-ahead logged.
+/// point of a schema change. Derefs to the inner system, so every read
+/// works unchanged; schema changes go through
+/// [`DurableSystem::evolve_cmd`] / [`DurableSystem::apply_change`] to be
+/// write-ahead logged.
 pub struct DurableSystem {
     system: TseSystem,
     state: DurableState,
+    deref_noted: bool,
 }
 
 impl Deref for DurableSystem {
@@ -101,8 +93,31 @@ impl Deref for DurableSystem {
     }
 }
 
+/// Mutable access to the inner system **bypasses the WAL**: mutations made
+/// through it are not redo-logged and survive only until the next crash
+/// (or forever after the next [`DurableSystem::checkpoint`]). It exists
+/// for test scaffolding and base-schema construction that is immediately
+/// checkpointed; every bypass is counted in the `durable.deref_mut`
+/// telemetry counter and the first one per system is journaled. Use
+/// [`DurableSystem::apply_change`] / [`DurableSystem::evolve_cmd`] for
+/// logged schema changes, or [`crate::SharedSystem`] for logged data
+/// writes.
+#[doc(hidden)]
 impl DerefMut for DurableSystem {
     fn deref_mut(&mut self) -> &mut TseSystem {
+        let telemetry = self.system.telemetry().clone();
+        telemetry.incr("durable.deref_mut", 1);
+        if !self.deref_noted {
+            self.deref_noted = true;
+            telemetry.event(
+                "durable.deref_mut",
+                &[(
+                    "hint",
+                    "unlogged mutable access; this state is lost on crash unless checkpointed"
+                        .into(),
+                )],
+            );
+        }
         &mut self.system
     }
 }
@@ -114,12 +129,69 @@ impl TseSystem {
     }
 }
 
+/// Redo one decoded WAL record against the recovering system. `Create`
+/// frames force the allocator to reissue the originally assigned oid, so
+/// replay reproduces the acked state bit-for-bit.
+fn replay_record(system: &mut TseSystem, record: WalRecord) -> ModelResult<bool> {
+    fn own(pairs: &[(String, Value)]) -> Vec<(&str, Value)> {
+        pairs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect()
+    }
+    match record {
+        WalRecord::Evolve { family, command } => {
+            system.evolve_cmd(&family, &command)?;
+        }
+        WalRecord::Create { class, oid, values } => {
+            system.db().set_next_oid(oid.0);
+            let got = tse_algebra::create(system.db(), system.policy(), class, &own(&values))?;
+            if got != oid {
+                return Err(corrupt(&format!(
+                    "replayed create assigned oid {} but the log recorded {}",
+                    got.0, oid.0
+                )));
+            }
+        }
+        WalRecord::Set { class, oids, assignments, .. } => {
+            tse_algebra::set(system.db(), system.policy(), &oids, class, &own(&assignments))?;
+        }
+        WalRecord::AddTo { class, oids } => {
+            tse_algebra::add(system.db(), system.policy(), &oids, class)?;
+        }
+        WalRecord::RemoveFrom { class, oids } => {
+            tse_algebra::remove(system.db(), system.policy(), &oids, class)?;
+        }
+        WalRecord::Delete { oids } => {
+            tse_algebra::delete(system.db(), &oids)?;
+        }
+        WalRecord::Checkpoint => return Ok(false), // marker of an interrupted checkpoint
+    }
+    Ok(true)
+}
+
+/// Highest oid a record references (0 when it references none) — recovery
+/// raises the allocator past it so fresh oids never collide with replayed
+/// ones, whatever order the frames interleaved in.
+fn max_oid(record: &WalRecord) -> u64 {
+    match record {
+        WalRecord::Create { oid, .. } => oid.0,
+        WalRecord::Set { oids, .. }
+        | WalRecord::AddTo { oids, .. }
+        | WalRecord::RemoveFrom { oids, .. }
+        | WalRecord::Delete { oids } => oids.iter().map(|o| o.0).max().unwrap_or(0),
+        WalRecord::Evolve { .. } | WalRecord::Checkpoint => 0,
+    }
+}
+
 impl DurableState {
     /// Open (or create) a durable directory: recover the newest valid
     /// snapshot, replay the WAL tail, truncate any torn frame. Returns the
     /// recovered system alongside the on-disk state; `fresh` is true when
     /// no snapshot existed yet (the caller should seed generation 1).
-    pub(crate) fn open(dir: &Path) -> ModelResult<(TseSystem, DurableState, bool)> {
+    /// Runtime store knobs (stripe count, auto-checkpoint threshold) come
+    /// from `config`; persisted layout parameters win over it.
+    pub(crate) fn open(
+        dir: &Path,
+        config: StoreConfig,
+    ) -> ModelResult<(TseSystem, DurableState, bool)> {
         std::fs::create_dir_all(dir).map_err(|e| io("create system dir", e))?;
         let failpoints = FailpointRegistry::new();
 
@@ -141,7 +213,7 @@ impl DurableState {
             match durable::read_snapshot_file(dir, g)
                 .map_err(ModelError::Storage)
                 .and_then(|(lsn, payload)| {
-                    Ok((lsn, TseSystem::decode(Bytes::from(payload))?))
+                    Ok((lsn, TseSystem::decode_with_config(Bytes::from(payload), config)?))
                 }) {
                 Ok((lsn, system)) => {
                     recovered = Some((g, lsn, system));
@@ -156,7 +228,7 @@ impl DurableState {
             None if snapshots_skipped > 0 => {
                 return Err(corrupt("every snapshot generation is corrupt"))
             }
-            None => (0, 0, TseSystem::new(), true),
+            None => (0, 0, TseSystem::with_config(config), true),
         };
         system.db_mut().set_failpoints(failpoints.clone());
         let telemetry = system.telemetry().clone();
@@ -168,14 +240,17 @@ impl DurableState {
         let mut last_lsn = snap_lsn;
         let mut replayed = 0u64;
         let mut skipped = 0u64;
+        let mut highest_oid = 0u64;
         for WalFrame { lsn, payload } in wal_recovery.frames {
             if lsn <= snap_lsn {
                 continue; // already inside the snapshot
             }
-            match parse_wal_payload(&payload)
-                .and_then(|(family, cmd)| system.evolve_cmd(&family, &cmd))
-            {
-                Ok(_) => replayed += 1,
+            match decode_frame(&payload).and_then(|record| {
+                highest_oid = highest_oid.max(max_oid(&record));
+                replay_record(&mut system, record)
+            }) {
+                Ok(true) => replayed += 1,
+                Ok(false) => {} // checkpoint marker: forensic only
                 Err(e) => {
                     // Redo of a logged change is deterministic; a failure
                     // here means the frame's change can no longer apply.
@@ -189,8 +264,12 @@ impl DurableState {
             }
             last_lsn = lsn;
         }
+        // Whatever order frames interleaved in, fresh allocations must not
+        // collide with replayed oids.
+        system.db().ensure_next_oid(highest_oid + 1);
 
         telemetry.incr("recovery.replayed", replayed);
+        telemetry.incr("recovery.replayed_frames", replayed);
         telemetry.incr("recovery.skipped", skipped);
         telemetry.incr("recovery.torn_bytes", wal_recovery.torn_bytes);
         telemetry.incr("recovery.snapshots_skipped", snapshots_skipped);
@@ -206,7 +285,14 @@ impl DurableState {
             ],
         );
 
-        let state = DurableState { dir: dir.to_path_buf(), wal, generation, last_lsn, failpoints };
+        let state = DurableState {
+            dir: dir.to_path_buf(),
+            wal: GroupWal::new(wal, failpoints.clone(), telemetry),
+            generation,
+            last_lsn,
+            autocheckpoint_bytes: config.wal_autocheckpoint_bytes,
+            failpoints,
+        };
         Ok((system, state, fresh))
     }
 
@@ -226,28 +312,55 @@ impl DurableState {
         &self.failpoints
     }
 
-    /// Append a schema-change command to the WAL and fsync it **before**
-    /// the change is applied anywhere. Returns the frame's mark for
+    /// A clone of the group-commit WAL handle, for the shared data plane
+    /// (logged writes append through it without taking the control mutex).
+    pub(crate) fn group_wal(&self) -> GroupWal {
+        self.wal.clone()
+    }
+
+    /// WAL size that should trigger an automatic checkpoint (0 = never).
+    pub(crate) fn autocheckpoint_bytes(&self) -> u64 {
+        self.autocheckpoint_bytes
+    }
+
+    /// True once the WAL has outgrown the auto-checkpoint threshold.
+    pub(crate) fn autocheckpoint_due(&self) -> bool {
+        self.autocheckpoint_bytes > 0 && self.wal.len() >= self.autocheckpoint_bytes
+    }
+
+    /// Append a structural change to the WAL and fsync it **before** the
+    /// change is applied anywhere. Returns the frame's mark for
     /// [`DurableState::log_commit`] / [`DurableState::log_abort`].
+    ///
+    /// Callers must hold whatever exclusion quiesces concurrent data
+    /// appends (the swap latch in the shared system, `&mut self` in
+    /// [`DurableSystem`]): a later [`DurableState::log_abort`] truncates
+    /// the log back to `len_before`, which must not clip acked data frames
+    /// appended in between.
     pub(crate) fn log_begin(
         &mut self,
         telemetry: &tse_telemetry::Telemetry,
         family: &str,
         command: &str,
     ) -> ModelResult<WalMark> {
-        let len_before = self.wal.len();
-        let lsn = self
-            .wal
-            .append(&wal_payload(family, command))
+        let payload = encode_frame(&WalRecord::Evolve {
+            family: family.to_string(),
+            command: command.to_string(),
+        });
+        self.wal
+            .with_wal(|w| {
+                let len_before = w.len();
+                let lsn = w.append(&payload)?;
+                Ok(WalMark { lsn, len_before })
+            })
             .map_err(ModelError::Storage)
-            .inspect_err(|e| note_fault(telemetry, e))?;
-        Ok(WalMark { lsn, len_before })
+            .inspect_err(|e| note_fault(telemetry, e))
     }
 
     /// The change applied in memory: the frame's LSN becomes the high-water
     /// mark the next snapshot covers.
     pub(crate) fn log_commit(&mut self, mark: WalMark) {
-        self.last_lsn = mark.lsn;
+        self.last_lsn = self.last_lsn.max(mark.lsn);
     }
 
     /// The change failed cleanly (and was rolled back in memory): truncate
@@ -255,11 +368,18 @@ impl DurableState {
     /// abort — the frame's fate is decided by redo at recovery, exactly as
     /// after a real mid-apply crash.
     pub(crate) fn log_abort(&mut self, mark: WalMark) -> ModelResult<()> {
-        self.wal.truncate_to(mark.len_before).map_err(ModelError::Storage)
+        self.wal.with_wal(|w| w.truncate_to(mark.len_before)).map_err(ModelError::Storage)
     }
 
     /// Write a new snapshot generation crash-atomically, repoint the
     /// manifest, and empty the WAL. Returns the new generation number.
+    ///
+    /// A [`WalRecord::Checkpoint`] marker is appended first: its LSN is the
+    /// log head (the caller has quiesced writers), so the snapshot covers
+    /// every frame — structural *and* data — in the log. On success the
+    /// reset wipes the marker; after a crash mid-checkpoint it survives as
+    /// forensic evidence and is skipped on replay.
+    ///
     /// Failpoint sites: `snapshot.encode`, `durable.snapshot_write`,
     /// `durable.manifest_write`.
     pub(crate) fn checkpoint(&mut self, system: &TseSystem) -> ModelResult<u64> {
@@ -269,6 +389,13 @@ impl DurableState {
             .map_err(ModelError::Storage)
             .inspect_err(|e| note_fault(&telemetry, e))?;
         let span = telemetry.span("durable.checkpoint");
+        let marker = encode_frame(&WalRecord::Checkpoint);
+        let head = self
+            .wal
+            .with_wal(|w| w.append(&marker))
+            .map_err(ModelError::Storage)
+            .inspect_err(|e| note_fault(&telemetry, e))?;
+        self.last_lsn = self.last_lsn.max(head);
         let payload = system.encode();
         let generation = self.generation + 1;
         durable::write_snapshot_file(
@@ -284,7 +411,7 @@ impl DurableState {
             .map_err(ModelError::Storage)
             .inspect_err(|e| note_fault(&telemetry, e))?;
         self.generation = generation;
-        self.wal.reset().map_err(ModelError::Storage)?;
+        self.wal.with_wal(|w| w.reset()).map_err(ModelError::Storage)?;
         span.record("generation", generation);
         span.record("bytes", payload.remaining());
         span.finish();
@@ -297,8 +424,15 @@ impl DurableSystem {
     /// Open (or create) a durable system in `dir`: recover the newest valid
     /// snapshot, replay the WAL tail, truncate any torn frame.
     pub fn open(dir: &Path) -> ModelResult<DurableSystem> {
-        let (system, state, fresh) = DurableState::open(dir)?;
-        let mut out = DurableSystem { system, state };
+        Self::open_with_config(dir, StoreConfig::default())
+    }
+
+    /// Like [`DurableSystem::open`] with explicit runtime store knobs
+    /// (stripe count, `wal_autocheckpoint_bytes`); persisted layout
+    /// parameters win over `config`.
+    pub fn open_with_config(dir: &Path, config: StoreConfig) -> ModelResult<DurableSystem> {
+        let (system, state, fresh) = DurableState::open(dir, config)?;
+        let mut out = DurableSystem { system, state, deref_noted: false };
         if fresh {
             // Seed generation 1 so even a crash before the first checkpoint
             // has a base snapshot to recover onto.
@@ -333,9 +467,34 @@ impl DurableSystem {
     /// it on the next [`TseSystem::open`]. A change that fails cleanly is
     /// rolled back by the transactional evolve and its frame is removed.
     pub fn evolve_cmd(&mut self, family: &str, command: &str) -> ModelResult<EvolutionReport> {
+        let change = crate::change::parse_change(command)?;
+        self.evolve_logged(family, &change, command)
+    }
+
+    /// Apply a structured [`SchemaChange`] durably — the logged counterpart
+    /// of the `DerefMut` escape hatch. The change is rendered back to
+    /// command text ([`SchemaChange::render`], guaranteed to re-parse to an
+    /// equal change), write-ahead logged, and then applied; a change whose
+    /// names cannot be rendered is rejected *before* anything is logged or
+    /// applied.
+    pub fn apply_change(
+        &mut self,
+        family: &str,
+        change: &SchemaChange,
+    ) -> ModelResult<EvolutionReport> {
+        let command = change.render()?;
+        self.evolve_logged(family, change, &command)
+    }
+
+    fn evolve_logged(
+        &mut self,
+        family: &str,
+        change: &SchemaChange,
+        command: &str,
+    ) -> ModelResult<EvolutionReport> {
         let telemetry = self.system.telemetry().clone();
         let mark = self.state.log_begin(&telemetry, family, command)?;
-        match self.system.evolve_cmd(family, command) {
+        match self.system.evolve(family, change) {
             Ok(report) => {
                 self.state.log_commit(mark);
                 Ok(report)

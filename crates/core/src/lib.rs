@@ -43,8 +43,9 @@ mod persist;
 mod shared;
 mod system;
 mod translate;
+pub mod walcodec;
 
-pub use change::{parse_change, parse_expr, SchemaChange};
+pub use change::{parse_change, parse_expr, render_expr, SchemaChange};
 pub use durable::DurableSystem;
 pub use shared::{MetaSnapshot, ReadSession, SharedSystem, WriteSession};
 pub use system::{EvolutionReport, PhaseTimings, TseSystem};

@@ -96,19 +96,32 @@ impl TseSystem {
     /// Restore a system from [`TseSystem::encode`] output (or a legacy
     /// `TSESYS01` file). Corruption anywhere — flipped bit, truncation,
     /// trailing garbage — is an error, never a misread system.
-    pub fn decode(mut bytes: Bytes) -> ModelResult<TseSystem> {
+    pub fn decode(bytes: Bytes) -> ModelResult<TseSystem> {
+        Self::decode_with_config(bytes, tse_storage::StoreConfig::default())
+    }
+
+    /// Like [`TseSystem::decode`], but threads runtime store knobs (stripe
+    /// count, auto-checkpoint threshold) through to the restored store.
+    /// Persisted layout parameters (`page_size`, `buffer_pages`) still win.
+    pub fn decode_with_config(
+        mut bytes: Bytes,
+        runtime: tse_storage::StoreConfig,
+    ) -> ModelResult<TseSystem> {
         if bytes.remaining() < MAGIC_V2.len() {
             return Err(corrupt("system snapshot too short"));
         }
         let mut magic = [0u8; 8];
         bytes.copy_to_slice(&mut magic);
         if &magic == MAGIC_V1 {
-            return Self::decode_v1(bytes);
+            return Self::decode_v1(bytes, runtime);
         }
         if &magic != MAGIC_V2 {
             return Err(corrupt("bad system snapshot magic"));
         }
-        let db = tse_object_model::decode_database(get_section(&mut bytes, "database")?)?;
+        let db = tse_object_model::decode_database_with(
+            get_section(&mut bytes, "database")?,
+            runtime,
+        )?;
         let views = decode_manager(get_section(&mut bytes, "views")?)?;
         if bytes.remaining() < 4 {
             return Err(corrupt("truncated policy"));
@@ -139,7 +152,7 @@ impl TseSystem {
     }
 
     /// Legacy `TSESYS01` body: unchecksummed length-prefixed sections.
-    fn decode_v1(mut bytes: Bytes) -> ModelResult<TseSystem> {
+    fn decode_v1(mut bytes: Bytes, runtime: tse_storage::StoreConfig) -> ModelResult<TseSystem> {
         if bytes.remaining() < 8 {
             return Err(corrupt("truncated database length"));
         }
@@ -147,7 +160,7 @@ impl TseSystem {
         if bytes.remaining() < db_len {
             return Err(corrupt("truncated database blob"));
         }
-        let db = tse_object_model::decode_database(bytes.copy_to_bytes(db_len))?;
+        let db = tse_object_model::decode_database_with(bytes.copy_to_bytes(db_len), runtime)?;
         if bytes.remaining() < 8 {
             return Err(corrupt("truncated views length"));
         }

@@ -56,12 +56,24 @@
 //! acquire `latch` before `system` and stripes last, so the order is
 //! acyclic and deadlock-free.
 //!
-//! Durability threads through the control plane: [`SharedSystem::open`]
-//! recovers from a snapshot + WAL directory, and
-//! [`SharedSystem::evolve_cmd`] appends the command to the WAL **before**
-//! forking, commits the frame after the swap publishes the new epoch, and
-//! truncates it when the change fails cleanly — so an epoch is published
-//! only for changes the log can redo.
+//! Durability threads through **both** planes: [`SharedSystem::open`]
+//! recovers from a snapshot + WAL directory, after which every mutation is
+//! redo-logged as a typed frame ([`crate::walcodec`]). Structural changes
+//! ([`SharedSystem::evolve`] and [`SharedSystem::evolve_cmd`] alike) append
+//! their frame **before** forking — while holding the swap latch exclusive,
+//! so a clean-failure truncation can never clip a concurrent data frame —
+//! commit it after the swap publishes the new epoch, and truncate it when
+//! the change fails cleanly. Data writes through a [`WriteSession`] apply
+//! under the latch shared, then append their effect frame through the
+//! group-commit WAL *while still holding the latch* (a checkpoint can
+//! therefore never land between apply and append) and are acknowledged only
+//! once their batch is fsync'd. The WAL mutex is the innermost lock of the
+//! whole system: it is only ever taken after latch/system/stripes, never
+//! before.
+//!
+//! When the WAL outgrows `StoreConfig::wal_autocheckpoint_bytes`, the next
+//! mutation that can take the control plane exclusively runs a checkpoint
+//! automatically (`durable.autocheckpoints` counts them).
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -71,6 +83,7 @@ use std::time::Instant;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use tse_algebra::UpdatePolicy;
 use tse_object_model::{ClassId, ModelError, ModelResult, Oid, Schema, Value};
+use tse_storage::durable::GroupWal;
 use tse_storage::{FailpointRegistry, StoreConfig};
 use tse_telemetry::Telemetry;
 use tse_view::{ViewId, ViewManager, ViewSchema};
@@ -78,6 +91,7 @@ use tse_view::{ViewId, ViewManager, ViewSchema};
 use crate::change::{parse_change, SchemaChange};
 use crate::durable::{DurableState, DurableSystem};
 use crate::system::{is_crash, note_fault, observe_op, EvolutionReport, TseSystem};
+use crate::walcodec::{encode_frame, WalRecord};
 
 /// One epoch's immutable metadata bundle: everything a reader needs to
 /// resolve view-local names without touching the live system. Published
@@ -156,6 +170,12 @@ struct SharedInner {
     meta: RwLock<Arc<MetaSnapshot>>,
     epoch: AtomicU64,
     telemetry: Telemetry,
+    /// Group-commit WAL handle for the data plane (a clone of the one
+    /// inside `control.durable`, reachable without the control mutex).
+    /// `None` on in-memory systems.
+    wal: Option<GroupWal>,
+    /// WAL size that triggers an automatic checkpoint (0 = never).
+    autocheckpoint_bytes: u64,
 }
 
 /// A concurrently shareable TSE system: clone handles freely and use them
@@ -215,10 +235,19 @@ impl SharedSystem {
 
     /// Open (or create) a durable shared system in `dir`: recovery is
     /// exactly [`DurableSystem::open`] (newest valid snapshot + WAL redo),
-    /// after which the control plane owns the WAL and every
-    /// [`SharedSystem::evolve_cmd`] is write-ahead logged.
+    /// after which the control plane owns the WAL and **every** mutation —
+    /// structural changes through either evolve entry point, and data
+    /// writes through [`WriteSession`]s — is write-ahead logged as a typed
+    /// redo frame.
     pub fn open(dir: &Path) -> ModelResult<SharedSystem> {
-        let (system, state) = DurableSystem::open(dir)?.into_parts();
+        Self::open_with_config(dir, StoreConfig::default())
+    }
+
+    /// Like [`SharedSystem::open`] with explicit runtime store knobs
+    /// (stripe count, `wal_autocheckpoint_bytes`); persisted layout
+    /// parameters win over `config`.
+    pub fn open_with_config(dir: &Path, config: StoreConfig) -> ModelResult<SharedSystem> {
+        let (system, state) = DurableSystem::open_with_config(dir, config)?.into_parts();
         Ok(Self::assemble(system, Some(state)))
     }
 
@@ -226,6 +255,9 @@ impl SharedSystem {
         let telemetry = system.telemetry().clone();
         let meta = Arc::new(MetaSnapshot::capture(1, &system));
         telemetry.set_gauge("epoch", 1);
+        let wal = durable.as_ref().map(|d| d.group_wal());
+        let autocheckpoint_bytes =
+            durable.as_ref().map(|d| d.autocheckpoint_bytes()).unwrap_or(0);
         SharedSystem {
             inner: Arc::new(SharedInner {
                 control: Mutex::new(ControlState { durable }),
@@ -234,6 +266,8 @@ impl SharedSystem {
                 meta: RwLock::new(meta),
                 epoch: AtomicU64::new(1),
                 telemetry,
+                wal,
+                autocheckpoint_bytes,
             }),
         }
     }
@@ -333,13 +367,25 @@ impl SharedSystem {
     /// exclusive lock, and `evolve.exclusive_ns` records exactly that
     /// window. On error the fork is dropped and no epoch is published.
     ///
-    /// On a durable system this entry point is **not** write-ahead logged
-    /// (a structured [`SchemaChange`] has no command renderer); use
-    /// [`SharedSystem::evolve_cmd`] for logged changes, mirroring the
-    /// [`DurableSystem`] contract.
+    /// On a durable system the change is rendered back to command text
+    /// ([`SchemaChange::render`], guaranteed to re-parse to an equal
+    /// change) and write-ahead logged exactly like
+    /// [`SharedSystem::evolve_cmd`] — structural durability holds from
+    /// every entry point. A change whose names cannot be rendered is
+    /// rejected before anything is logged or applied.
     pub fn evolve(&self, family: &str, change: &SchemaChange) -> ModelResult<EvolutionReport> {
-        let _ctl = self.lock_control();
-        self.evolve_forked(family, change)
+        let mut ctl = self.lock_control();
+        let out = if ctl.durable.is_some() {
+            let command = change.render()?;
+            self.evolve_logged(&mut ctl, family, change, &command)
+        } else {
+            self.evolve_forked(family, change)
+        };
+        drop(ctl);
+        if out.is_ok() {
+            maybe_autocheckpoint(&self.inner);
+        }
+        out
     }
 
     /// Parse and apply a textual schema-change command. On a durable
@@ -351,22 +397,46 @@ impl SharedSystem {
     pub fn evolve_cmd(&self, family: &str, command: &str) -> ModelResult<EvolutionReport> {
         let change = parse_change(command)?;
         let mut ctl = self.lock_control();
-        let mark = match ctl.durable.as_mut() {
-            Some(d) => Some(d.log_begin(&self.inner.telemetry, family, command)?),
-            None => None,
+        let out = if ctl.durable.is_some() {
+            self.evolve_logged(&mut ctl, family, &change, command)
+        } else {
+            self.evolve_forked(family, &change)
         };
-        match self.evolve_forked(family, &change) {
+        drop(ctl);
+        if out.is_ok() {
+            maybe_autocheckpoint(&self.inner);
+        }
+        out
+    }
+
+    /// The write-ahead-logged evolve path. Caller holds the control mutex
+    /// and has verified `ctl.durable` is present.
+    ///
+    /// The swap latch is taken exclusively **before** the frame is logged:
+    /// a cleanly failed change truncates the log back to its pre-append
+    /// length, and with writers quiesced first no concurrent data frame can
+    /// land in between and be clipped by that truncation.
+    fn evolve_logged(
+        &self,
+        ctl: &mut ControlState,
+        family: &str,
+        change: &SchemaChange,
+        command: &str,
+    ) -> ModelResult<EvolutionReport> {
+        let _latch = self.inner.latch.write();
+        let mark = ctl
+            .durable
+            .as_mut()
+            .expect("caller checked durable")
+            .log_begin(&self.inner.telemetry, family, command)?;
+        match self.evolve_under_latch(family, change) {
             Ok(report) => {
-                if let Some(mark) = mark {
-                    ctl.durable.as_mut().expect("durable unchanged").log_commit(mark);
-                }
+                ctl.durable.as_mut().expect("durable unchanged").log_commit(mark);
                 Ok(report)
             }
             Err(e) if is_crash(&e) => Err(e),
             Err(e) => {
-                if let Some(mark) = mark {
-                    ctl.durable.as_mut().expect("durable unchanged").log_abort(mark)?;
-                }
+                ctl.durable.as_mut().expect("durable unchanged").log_abort(mark)?;
                 Err(e)
             }
         }
@@ -374,12 +444,22 @@ impl SharedSystem {
 
     /// Fork, evolve the fork, swap it in. Caller holds the control mutex.
     fn evolve_forked(&self, family: &str, change: &SchemaChange) -> ModelResult<EvolutionReport> {
-        // Quiesce data writers for the whole fork→swap window: the swap
+        let _latch = self.inner.latch.write();
+        self.evolve_under_latch(family, change)
+    }
+
+    /// The fork–evolve–swap body. Caller holds the control mutex and the
+    /// swap latch exclusively.
+    fn evolve_under_latch(
+        &self,
+        family: &str,
+        change: &SchemaChange,
+    ) -> ModelResult<EvolutionReport> {
+        // Writers are quiesced for the whole fork→swap window: the swap
         // latch drains in-flight write batches (each holds it shared for
         // one operation), so the fork sees every batch completely or not
         // at all, and nothing written after the fork can be lost at swap.
         // Readers are unaffected — they never touch the latch.
-        let _latch = self.inner.latch.write();
         let mut private = self.read_timed().fork()?;
         let report = private.evolve(family, change)?;
 
@@ -552,12 +632,66 @@ fn read_timed(inner: &SharedInner) -> RwLockReadGuard<'_, TseSystem> {
 /// quiesce writers), system lock shared (the store's per-segment stripes
 /// provide the fine-grained exclusion). No epoch is published — data writes
 /// touch records, not the metadata readers resolve against.
-fn with_data<R>(inner: &SharedInner, f: impl FnOnce(&TseSystem) -> R) -> R {
+///
+/// On a durable system the mutation's effect frame (built by `record` from
+/// the operation's result) is appended through the group-commit WAL and the
+/// call returns only once the frame's batch is fsync'd. The append happens
+/// **while still holding the latch shared**: a checkpoint (latch exclusive)
+/// can therefore never land between apply and append, so a snapshot either
+/// contains the op or the op's frame survives in the WAL — never neither.
+/// Apply-then-log means a crash between the two loses the *unacked* op,
+/// which is exactly the contract: every acked write survives, no acked
+/// write is lost.
+fn with_data_logged<R>(
+    inner: &SharedInner,
+    op: impl FnOnce(&TseSystem) -> ModelResult<R>,
+    record: impl FnOnce(&R) -> WalRecord,
+) -> ModelResult<R> {
     let started = Instant::now();
     let _latch = inner.latch.read();
     let sys = inner.system.read();
     inner.telemetry.observe_ns("lock.write_wait_ns", (started.elapsed().as_nanos() as u64).max(1));
-    f(&sys)
+    let out = op(&sys)?;
+    if let Some(wal) = &inner.wal {
+        wal.append(&encode_frame(&record(&out)))
+            .map_err(ModelError::Storage)
+            .inspect_err(|e| note_fault(&inner.telemetry, e))?;
+    }
+    Ok(out)
+}
+
+/// Checkpoint opportunistically once the WAL outgrows the configured
+/// threshold. Runs in whichever mutation path next finds the control plane
+/// free — a busy control mutex means an evolve or checkpoint is already in
+/// flight, so skipping is always safe (the next write re-checks).
+fn maybe_autocheckpoint(inner: &SharedInner) {
+    if inner.autocheckpoint_bytes == 0 {
+        return;
+    }
+    let due = match &inner.wal {
+        Some(wal) => wal.len() >= inner.autocheckpoint_bytes,
+        None => false,
+    };
+    if !due {
+        return;
+    }
+    let Some(mut ctl) = inner.control.try_lock() else { return };
+    let Some(durable) = ctl.durable.as_mut() else { return };
+    let _latch = inner.latch.write();
+    if !durable.autocheckpoint_due() {
+        return; // someone checkpointed while we waited for the latch
+    }
+    let sys = read_timed(inner);
+    match durable.checkpoint(&sys) {
+        Ok(_) => inner.telemetry.incr("durable.autocheckpoints", 1),
+        Err(e) => note_fault(&inner.telemetry, &e),
+    }
+}
+
+/// Clone a borrowed assignment slice into the owned pairs a WAL frame
+/// carries.
+fn own_pairs(pairs: &[(&str, Value)]) -> Vec<(String, Value)> {
+    pairs.iter().map(|(n, v)| (n.to_string(), v.clone())).collect()
 }
 
 impl ReadSession {
@@ -659,7 +793,9 @@ impl WriteSession {
         self.meta = self.inner.meta.read().clone();
     }
 
-    /// Create an object through a view class.
+    /// Create an object through a view class. On a durable system the
+    /// effect is redo-logged with the *assigned* oid, so recovery reissues
+    /// exactly it.
     pub fn create(
         &self,
         view: ViewId,
@@ -669,13 +805,16 @@ impl WriteSession {
         let started = Instant::now();
         let class = self.meta.resolve(view, class_local)?;
         let policy = self.meta.policy.clone();
-        let out = with_data(&self.inner, |sys| {
-            tse_algebra::create(sys.db(), &policy, class, values)
-        });
+        let out = with_data_logged(
+            &self.inner,
+            |sys| tse_algebra::create(sys.db(), &policy, class, values),
+            |oid| WalRecord::Create { class, oid: *oid, values: own_pairs(values) },
+        );
         if let Err(e) = &out {
             note_fault(&self.inner.telemetry, e);
         }
         observe_op(&self.inner.telemetry, "create", started);
+        maybe_autocheckpoint(&self.inner);
         out
     }
 
@@ -690,18 +829,29 @@ impl WriteSession {
         let started = Instant::now();
         let class = self.meta.resolve(view, class_local)?;
         let policy = self.meta.policy.clone();
-        let out = with_data(&self.inner, |sys| {
-            tse_algebra::set(sys.db(), &policy, &[oid], class, assignments)
-        });
+        let out = with_data_logged(
+            &self.inner,
+            |sys| tse_algebra::set(sys.db(), &policy, &[oid], class, assignments),
+            |_| WalRecord::Set {
+                class,
+                oids: vec![oid],
+                assignments: own_pairs(assignments),
+                from_update_where: false,
+            },
+        );
         if let Err(e) = &out {
             note_fault(&self.inner.telemetry, e);
         }
         observe_op(&self.inner.telemetry, "set", started);
+        maybe_autocheckpoint(&self.inner);
         out
     }
 
     /// `( select from <Class> where <expr> ) set [assignments]` — the
-    /// query-then-update pipeline of §3.3, as one latched operation.
+    /// query-then-update pipeline of §3.3, as one latched operation. The
+    /// redo frame carries the **resolved** oid set, not the predicate:
+    /// re-evaluating the predicate against a half-replayed store could
+    /// match a different set.
     pub fn update_where(
         &self,
         view: ViewId,
@@ -714,12 +864,23 @@ impl WriteSession {
         let body = crate::change::parse_expr(expr)?;
         let pred = tse_object_model::Predicate::Expr(body);
         let policy = self.meta.policy.clone();
-        let out = with_data(&self.inner, |sys| -> ModelResult<usize> {
-            let oids = tse_algebra::select_objects(sys.db(), class, &pred)?;
-            tse_algebra::set(sys.db(), &policy, &oids, class, assignments)?;
-            Ok(oids.len())
-        });
+        let out = with_data_logged(
+            &self.inner,
+            |sys| -> ModelResult<Vec<Oid>> {
+                let oids = tse_algebra::select_objects(sys.db(), class, &pred)?;
+                tse_algebra::set(sys.db(), &policy, &oids, class, assignments)?;
+                Ok(oids)
+            },
+            |oids| WalRecord::Set {
+                class,
+                oids: oids.clone(),
+                assignments: own_pairs(assignments),
+                from_update_where: true,
+            },
+        )
+        .map(|oids| oids.len());
         observe_op(&self.inner.telemetry, "update_where", started);
+        maybe_autocheckpoint(&self.inner);
         out
     }
 
@@ -727,21 +888,39 @@ impl WriteSession {
     pub fn add_to(&self, view: ViewId, oids: &[Oid], class_local: &str) -> ModelResult<()> {
         let class = self.meta.resolve(view, class_local)?;
         let policy = self.meta.policy.clone();
-        with_data(&self.inner, |sys| tse_algebra::add(sys.db(), &policy, oids, class))
+        let out = with_data_logged(
+            &self.inner,
+            |sys| tse_algebra::add(sys.db(), &policy, oids, class),
+            |_| WalRecord::AddTo { class, oids: oids.to_vec() },
+        );
+        maybe_autocheckpoint(&self.inner);
+        out
     }
 
     /// Remove objects from a view class.
     pub fn remove_from(&self, view: ViewId, oids: &[Oid], class_local: &str) -> ModelResult<()> {
         let class = self.meta.resolve(view, class_local)?;
         let policy = self.meta.policy.clone();
-        with_data(&self.inner, |sys| tse_algebra::remove(sys.db(), &policy, oids, class))
+        let out = with_data_logged(
+            &self.inner,
+            |sys| tse_algebra::remove(sys.db(), &policy, oids, class),
+            |_| WalRecord::RemoveFrom { class, oids: oids.to_vec() },
+        );
+        maybe_autocheckpoint(&self.inner);
+        out
     }
 
     /// Destroy objects. Slices may span several class segments; the store
     /// frees them stripe by stripe (each acquisition is per-segment), so a
     /// cross-segment delete cannot deadlock against a same-stripe writer.
     pub fn delete_objects(&self, oids: &[Oid]) -> ModelResult<()> {
-        with_data(&self.inner, |sys| tse_algebra::delete(sys.db(), oids))
+        let out = with_data_logged(
+            &self.inner,
+            |sys| tse_algebra::delete(sys.db(), oids),
+            |_| WalRecord::Delete { oids: oids.to_vec() },
+        );
+        maybe_autocheckpoint(&self.inner);
+        out
     }
 }
 

@@ -1,0 +1,449 @@
+//! Typed WAL frame codec: the versioned binary payload format every
+//! mutation — structural *and* data-plane — is redo-logged in.
+//!
+//! Frame layout (all integers big-endian):
+//!
+//! ```text
+//! u8 version (0xA2) | u8 kind | u32 body_len | u32 crc32(kind ‖ body_len ‖ body) | body
+//! ```
+//!
+//! The version byte is `0xA2` rather than a small integer on purpose: no
+//! single-bit flip of `0xA2` yields `0x00`, and `0x00` is exactly what the
+//! first byte of a legacy v1 text frame looks like (the high byte of its
+//! `u32` family-length prefix). A flipped version byte therefore lands in
+//! the v1 parser with an impossible multi-gigabyte family length and is
+//! rejected — every single-bit corruption of a typed frame is detected,
+//! either by that route or by the CRC, which covers everything after the
+//! version byte.
+//!
+//! v1 read-compat: [`decode_frame`] still accepts the PR-2 text frames
+//! (`u32 family_len | family | command`), decoding them as
+//! [`WalRecord::Evolve`] — a log written before this format upgrade
+//! replays unchanged. New frames are always written typed.
+//!
+//! Data frames log **effects, not requests**: `Create` carries the oid the
+//! original call assigned (recovery forces the allocator to reissue it),
+//! `UpdateWhere` carries the oids its predicate resolved to (re-evaluating
+//! the predicate against a half-replayed store could match a different
+//! set), and every frame carries resolved *global* [`ClassId`]s rather
+//! than view-local names, so replay does not depend on view state.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tse_object_model::{ClassId, ModelError, ModelResult, Oid, Value};
+use tse_storage::{Crc32, Payload, StorageError};
+
+/// Version byte of the typed frame format.
+pub const FRAME_VERSION: u8 = 0xA2;
+
+fn corrupt(msg: impl Into<String>) -> ModelError {
+    ModelError::Storage(StorageError::Corrupt(msg.into()))
+}
+
+/// Discriminates the operation a WAL frame redoes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// A structural schema change (rendered command text).
+    Evolve = 1,
+    /// `WriteSession::create` — carries the assigned oid.
+    Create = 2,
+    /// `WriteSession::set`.
+    Set = 3,
+    /// `WriteSession::update_where` — carries the resolved oids.
+    UpdateWhere = 4,
+    /// `WriteSession::add_to`.
+    AddTo = 5,
+    /// `WriteSession::remove_from`.
+    RemoveFrom = 6,
+    /// `WriteSession::delete_objects`.
+    Delete = 7,
+    /// Checkpoint marker, appended before a snapshot is cut. A successful
+    /// checkpoint resets the log (wiping the marker); one surviving a
+    /// crash is skipped on replay and serves as forensic evidence of how
+    /// far the checkpoint got.
+    Checkpoint = 8,
+}
+
+impl FrameKind {
+    fn from_u8(b: u8) -> ModelResult<FrameKind> {
+        Ok(match b {
+            1 => FrameKind::Evolve,
+            2 => FrameKind::Create,
+            3 => FrameKind::Set,
+            4 => FrameKind::UpdateWhere,
+            5 => FrameKind::AddTo,
+            6 => FrameKind::RemoveFrom,
+            7 => FrameKind::Delete,
+            8 => FrameKind::Checkpoint,
+            other => return Err(corrupt(format!("unknown wal frame kind {other}"))),
+        })
+    }
+}
+
+/// One decoded redo record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// Structural change: re-run `evolve_cmd(family, command)`.
+    Evolve {
+        /// View family the change targets.
+        family: String,
+        /// Rendered command text ([`crate::SchemaChange::render`]).
+        command: String,
+    },
+    /// Re-run `create` and force the allocator to hand out `oid`.
+    Create {
+        /// Resolved global class.
+        class: ClassId,
+        /// The oid the original (acked) call assigned.
+        oid: Oid,
+        /// Initial attribute values by name.
+        values: Vec<(String, Value)>,
+    },
+    /// Re-run `set` on the logged oids (also used for `update_where`,
+    /// which logs its resolved oid set under [`FrameKind::UpdateWhere`]).
+    Set {
+        /// Resolved global class.
+        class: ClassId,
+        /// Target objects.
+        oids: Vec<Oid>,
+        /// Attribute assignments by name.
+        assignments: Vec<(String, Value)>,
+        /// True when the frame was logged by `update_where` (kind
+        /// round-trips so forensics can tell the entry points apart).
+        from_update_where: bool,
+    },
+    /// Re-run `add` (view-class membership).
+    AddTo {
+        /// Resolved global class.
+        class: ClassId,
+        /// Objects added.
+        oids: Vec<Oid>,
+    },
+    /// Re-run `remove`.
+    RemoveFrom {
+        /// Resolved global class.
+        class: ClassId,
+        /// Objects removed.
+        oids: Vec<Oid>,
+    },
+    /// Re-run `delete`.
+    Delete {
+        /// Objects destroyed.
+        oids: Vec<Oid>,
+    },
+    /// Checkpoint marker — skipped on replay.
+    Checkpoint,
+}
+
+impl WalRecord {
+    /// The frame kind this record encodes as.
+    pub fn kind(&self) -> FrameKind {
+        match self {
+            WalRecord::Evolve { .. } => FrameKind::Evolve,
+            WalRecord::Create { .. } => FrameKind::Create,
+            WalRecord::Set { from_update_where: false, .. } => FrameKind::Set,
+            WalRecord::Set { from_update_where: true, .. } => FrameKind::UpdateWhere,
+            WalRecord::AddTo { .. } => FrameKind::AddTo,
+            WalRecord::RemoveFrom { .. } => FrameKind::RemoveFrom,
+            WalRecord::Delete { .. } => FrameKind::Delete,
+            WalRecord::Checkpoint => FrameKind::Checkpoint,
+        }
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_oids(buf: &mut BytesMut, oids: &[Oid]) {
+    buf.put_u32(oids.len() as u32);
+    for oid in oids {
+        buf.put_u64(oid.0);
+    }
+}
+
+fn put_pairs(buf: &mut BytesMut, pairs: &[(String, Value)]) {
+    buf.put_u32(pairs.len() as u32);
+    for (name, value) in pairs {
+        put_str(buf, name);
+        value.encode(buf);
+    }
+}
+
+/// Encode `record` into a complete typed frame (version byte through body).
+pub fn encode_frame(record: &WalRecord) -> Vec<u8> {
+    let mut body = BytesMut::new();
+    match record {
+        WalRecord::Evolve { family, command } => {
+            put_str(&mut body, family);
+            put_str(&mut body, command);
+        }
+        WalRecord::Create { class, oid, values } => {
+            body.put_u32(class.0);
+            body.put_u64(oid.0);
+            put_pairs(&mut body, values);
+        }
+        WalRecord::Set { class, oids, assignments, .. } => {
+            body.put_u32(class.0);
+            put_oids(&mut body, oids);
+            put_pairs(&mut body, assignments);
+        }
+        WalRecord::AddTo { class, oids } | WalRecord::RemoveFrom { class, oids } => {
+            body.put_u32(class.0);
+            put_oids(&mut body, oids);
+        }
+        WalRecord::Delete { oids } => {
+            put_oids(&mut body, oids);
+        }
+        WalRecord::Checkpoint => {}
+    }
+    let kind = record.kind() as u8;
+    let len = body.len() as u32;
+    let mut crc = Crc32::new();
+    crc.update(&[kind]);
+    crc.update(&len.to_be_bytes());
+    crc.update(body.as_ref());
+    let mut frame = Vec::with_capacity(10 + body.len());
+    frame.push(FRAME_VERSION);
+    frame.push(kind);
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(&crc.finalize().to_be_bytes());
+    frame.extend_from_slice(body.as_ref());
+    frame
+}
+
+fn get_str(buf: &mut Bytes) -> ModelResult<String> {
+    if buf.remaining() < 4 {
+        return Err(corrupt("wal frame: truncated string length"));
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(corrupt("wal frame: truncated string"));
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("wal frame: string not utf-8"))
+}
+
+fn get_oids(buf: &mut Bytes) -> ModelResult<Vec<Oid>> {
+    if buf.remaining() < 4 {
+        return Err(corrupt("wal frame: truncated oid count"));
+    }
+    let n = buf.get_u32() as usize;
+    if buf.remaining() < n * 8 {
+        return Err(corrupt("wal frame: truncated oid list"));
+    }
+    Ok((0..n).map(|_| Oid(buf.get_u64())).collect())
+}
+
+fn get_pairs(buf: &mut Bytes) -> ModelResult<Vec<(String, Value)>> {
+    if buf.remaining() < 4 {
+        return Err(corrupt("wal frame: truncated pair count"));
+    }
+    let n = buf.get_u32() as usize;
+    let mut pairs = Vec::with_capacity(n.min(buf.remaining()));
+    for _ in 0..n {
+        let name = get_str(buf)?;
+        let value = Value::decode(buf).map_err(ModelError::Storage)?;
+        pairs.push((name, value));
+    }
+    Ok(pairs)
+}
+
+fn get_class(buf: &mut Bytes) -> ModelResult<ClassId> {
+    if buf.remaining() < 4 {
+        return Err(corrupt("wal frame: truncated class id"));
+    }
+    Ok(ClassId(buf.get_u32()))
+}
+
+/// Decode one WAL frame payload — a typed frame, or a legacy v1 text frame
+/// (accepted read-only, as [`WalRecord::Evolve`]). Every framing, length,
+/// or CRC violation is an error; a frame never decodes "partially".
+pub fn decode_frame(payload: &[u8]) -> ModelResult<WalRecord> {
+    if payload.first() != Some(&FRAME_VERSION) {
+        return decode_v1_frame(payload);
+    }
+    if payload.len() < 10 {
+        return Err(corrupt("wal frame: truncated typed header"));
+    }
+    let kind_byte = payload[1];
+    let body_len = u32::from_be_bytes(payload[2..6].try_into().unwrap()) as usize;
+    let crc = u32::from_be_bytes(payload[6..10].try_into().unwrap());
+    let body = &payload[10..];
+    if body.len() != body_len {
+        return Err(corrupt(format!(
+            "wal frame: body is {} bytes, header says {body_len}",
+            body.len()
+        )));
+    }
+    let mut h = Crc32::new();
+    h.update(&[kind_byte]);
+    h.update(&(body_len as u32).to_be_bytes());
+    h.update(body);
+    if h.finalize() != crc {
+        return Err(corrupt("wal frame: crc mismatch"));
+    }
+    let kind = FrameKind::from_u8(kind_byte)?;
+    let mut buf = Bytes::from(body.to_vec());
+    let record = match kind {
+        FrameKind::Evolve => {
+            WalRecord::Evolve { family: get_str(&mut buf)?, command: get_str(&mut buf)? }
+        }
+        FrameKind::Create => WalRecord::Create {
+            class: get_class(&mut buf)?,
+            oid: {
+                if buf.remaining() < 8 {
+                    return Err(corrupt("wal frame: truncated oid"));
+                }
+                Oid(buf.get_u64())
+            },
+            values: get_pairs(&mut buf)?,
+        },
+        FrameKind::Set | FrameKind::UpdateWhere => WalRecord::Set {
+            class: get_class(&mut buf)?,
+            oids: get_oids(&mut buf)?,
+            assignments: get_pairs(&mut buf)?,
+            from_update_where: kind == FrameKind::UpdateWhere,
+        },
+        FrameKind::AddTo => {
+            WalRecord::AddTo { class: get_class(&mut buf)?, oids: get_oids(&mut buf)? }
+        }
+        FrameKind::RemoveFrom => {
+            WalRecord::RemoveFrom { class: get_class(&mut buf)?, oids: get_oids(&mut buf)? }
+        }
+        FrameKind::Delete => WalRecord::Delete { oids: get_oids(&mut buf)? },
+        FrameKind::Checkpoint => WalRecord::Checkpoint,
+    };
+    if buf.remaining() > 0 {
+        return Err(corrupt("wal frame: trailing bytes in body"));
+    }
+    Ok(record)
+}
+
+/// Legacy v1 text frame: `u32 family_len | family | command`.
+fn decode_v1_frame(payload: &[u8]) -> ModelResult<WalRecord> {
+    if payload.len() < 4 {
+        return Err(corrupt("wal frame too short"));
+    }
+    let family_len = u32::from_be_bytes(payload[..4].try_into().unwrap()) as usize;
+    let rest = &payload[4..];
+    if rest.len() < family_len {
+        return Err(corrupt("wal frame family truncated"));
+    }
+    let family = std::str::from_utf8(&rest[..family_len])
+        .map_err(|_| corrupt("wal frame family not utf-8"))?;
+    let command = std::str::from_utf8(&rest[family_len..])
+        .map_err(|_| corrupt("wal frame command not utf-8"))?;
+    Ok(WalRecord::Evolve { family: family.to_string(), command: command.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Evolve {
+                family: "STUDENTS".into(),
+                command: "add_attribute gpa: float to Student".into(),
+            },
+            WalRecord::Create {
+                class: ClassId(3),
+                oid: Oid(41),
+                values: vec![
+                    ("name".into(), Value::Str("ann".into())),
+                    ("age".into(), Value::Int(30)),
+                    ("tags".into(), Value::List(vec![Value::Str("a".into()), Value::Null])),
+                ],
+            },
+            WalRecord::Set {
+                class: ClassId(9),
+                oids: vec![Oid(1), Oid(2)],
+                assignments: vec![("payload".into(), Value::Float(2.5))],
+                from_update_where: false,
+            },
+            WalRecord::Set {
+                class: ClassId(9),
+                oids: vec![Oid(7)],
+                assignments: vec![("flag".into(), Value::Bool(true))],
+                from_update_where: true,
+            },
+            WalRecord::AddTo { class: ClassId(2), oids: vec![Oid(5)] },
+            WalRecord::RemoveFrom { class: ClassId(2), oids: vec![Oid(5), Oid(6)] },
+            WalRecord::Delete { oids: vec![Oid(8)] },
+            WalRecord::Checkpoint,
+        ]
+    }
+
+    #[test]
+    fn every_record_round_trips() {
+        for record in sample_records() {
+            let frame = encode_frame(&record);
+            assert_eq!(frame[0], FRAME_VERSION);
+            let decoded = decode_frame(&frame).unwrap();
+            assert_eq!(decoded, record);
+        }
+    }
+
+    #[test]
+    fn v1_text_frames_still_decode() {
+        // The PR-2 format: u32 family_len | family | command.
+        let family = b"COURSES";
+        let command = b"delete_attribute units from Course";
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(family.len() as u32).to_be_bytes());
+        payload.extend_from_slice(family);
+        payload.extend_from_slice(command);
+        assert_eq!(
+            decode_frame(&payload).unwrap(),
+            WalRecord::Evolve {
+                family: "COURSES".into(),
+                command: "delete_attribute units from Course".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        for record in sample_records() {
+            let good = encode_frame(&record);
+            for byte in 0..good.len() {
+                for bit in 0..8u8 {
+                    let mut bad = good.clone();
+                    bad[byte] ^= 1 << bit;
+                    match decode_frame(&bad) {
+                        Err(_) => {}
+                        Ok(decoded) => panic!(
+                            "flip of byte {byte} bit {bit} in {record:?} decoded as {decoded:?}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_tails_are_rejected() {
+        for record in sample_records() {
+            let good = encode_frame(&record);
+            for cut in 0..good.len() {
+                assert!(
+                    decode_frame(&good[..cut]).is_err(),
+                    "truncation to {cut} bytes of {record:?} decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefixes_error_cleanly() {
+        // A typed frame whose header claims more body than exists.
+        let mut frame = encode_frame(&WalRecord::Checkpoint);
+        frame[5] = 0xFF; // body_len low byte
+        assert!(decode_frame(&frame).is_err());
+        // A v1 frame with an absurd family length.
+        let v1 = [0x00, 0xFF, 0xFF, 0xFF, b'x'];
+        assert!(decode_frame(&v1).is_err());
+    }
+}

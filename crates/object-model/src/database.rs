@@ -297,6 +297,21 @@ impl Database {
 
     // ----- object lifecycle ------------------------------------------------
 
+    /// Force the next [`Database::create_object`] to assign exactly
+    /// `oid`. **Replay only**: WAL recovery uses this to make re-executed
+    /// `Create` frames hand out the same oids the original run acked.
+    /// Never call it while other writers are live — a forced counter can
+    /// collide with an existing object.
+    pub fn set_next_oid(&self, oid: u64) {
+        self.next_oid.store(oid, Ordering::Release);
+    }
+
+    /// Raise the oid counter to at least `min` (replay epilogue: after
+    /// forcing individual oids, restore monotonicity past everything seen).
+    pub fn ensure_next_oid(&self, min: u64) {
+        self.next_oid.fetch_max(min, Ordering::AcqRel);
+    }
+
     /// Create an object as a member of a *base* class, with initial
     /// attribute values by name. Unspecified stored attributes take their
     /// defaults; REQUIRED attributes must end up non-null.

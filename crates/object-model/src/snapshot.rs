@@ -5,7 +5,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use tse_storage::{decode_store, encode_store, StorageError};
+use tse_storage::{decode_store_with, encode_store, StorageError, StoreConfig};
 
 use crate::database::Database;
 use crate::error::{ModelError, ModelResult};
@@ -28,8 +28,17 @@ pub fn encode_database(db: &Database) -> Bytes {
     buf.freeze()
 }
 
-/// Restore a database from bytes produced by [`encode_database`].
-pub fn decode_database(mut bytes: Bytes) -> ModelResult<Database> {
+/// Restore a database from bytes produced by [`encode_database`]. Runtime
+/// store knobs (stripe count, auto-checkpoint threshold) take the process
+/// default; see [`decode_database_with`] to supply them.
+pub fn decode_database(bytes: Bytes) -> ModelResult<Database> {
+    decode_database_with(bytes, StoreConfig::default())
+}
+
+/// Restore a database, threading `runtime` store knobs through to
+/// [`tse_storage::decode_store_with`] (persisted `page_size`/`buffer_pages`
+/// still win — they shape the stored layout).
+pub fn decode_database_with(mut bytes: Bytes, runtime: StoreConfig) -> ModelResult<Database> {
     if bytes.remaining() < MAGIC.len() {
         return Err(ModelError::Storage(StorageError::Corrupt("snapshot too short".into())));
     }
@@ -46,7 +55,7 @@ pub fn decode_database(mut bytes: Bytes) -> ModelResult<Database> {
         return Err(ModelError::Storage(StorageError::Corrupt("truncated store blob".into())));
     }
     let store_bytes = bytes.copy_to_bytes(store_len);
-    let store = decode_store(store_bytes)?;
+    let store = decode_store_with(store_bytes, runtime)?;
     let schema = Schema::decode_from(&mut bytes)?;
     let (objects, next_oid) = Database::decode_objects_from(&mut bytes)?;
     Ok(Database::from_parts(schema, store, objects, next_oid))

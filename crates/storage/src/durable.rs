@@ -28,6 +28,10 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use tse_telemetry::Telemetry;
 
 use crate::crc::{crc32, Crc32};
 use crate::error::{StorageError, StorageResult};
@@ -234,6 +238,7 @@ pub struct Wal {
     path: PathBuf,
     len: u64,
     next_lsn: u64,
+    poisoned: bool,
     failpoints: FailpointRegistry,
 }
 
@@ -284,7 +289,7 @@ impl Wal {
             file.sync_all().map_err(|e| io_err("fsync wal", e))?;
         }
         file.seek(SeekFrom::End(0)).map_err(|e| io_err("seek wal", e))?;
-        let wal = Wal { file, path, len: offset as u64, next_lsn, failpoints };
+        let wal = Wal { file, path, len: offset as u64, next_lsn, poisoned: false, failpoints };
         Ok((wal, WalRecovery { frames, torn_bytes }))
     }
 
@@ -303,11 +308,27 @@ impl Wal {
         self.next_lsn
     }
 
-    /// Append one frame and fsync it. Returns the frame's LSN. Failpoint
-    /// site `durable.wal_append` supports torn writes: only the first
-    /// `keep_bytes` bytes of the frame reach the file before the simulated
-    /// crash, which `open` must then detect and truncate.
+    /// Append one frame and fsync it. Returns the frame's LSN. Equivalent
+    /// to [`Wal::append_nosync`] followed by [`Wal::sync`].
     pub fn append(&mut self, payload: &[u8]) -> StorageResult<u64> {
+        let lsn = self.append_nosync(payload)?;
+        self.sync()?;
+        Ok(lsn)
+    }
+
+    /// Append one frame **without** fsyncing it. The frame is durable only
+    /// after a subsequent [`Wal::sync`] succeeds — group commit uses this
+    /// to batch many frames under one fsync. Returns the frame's LSN.
+    ///
+    /// Failpoint site `durable.wal_append` supports torn writes: only the
+    /// first `keep_bytes` bytes of the frame reach the file before the
+    /// simulated crash, which `open` must then detect and truncate. Crash
+    /// and torn-write injections also poison the log, so other threads of a
+    /// "dead" process cannot keep appending past the tear.
+    pub fn append_nosync(&mut self, payload: &[u8]) -> StorageResult<u64> {
+        if self.poisoned {
+            return Err(poisoned_err());
+        }
         let lsn = self.next_lsn;
         let mut frame = Vec::with_capacity(16 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
@@ -320,10 +341,13 @@ impl Wal {
 
         match self.failpoints.hit("durable.wal_append") {
             Some(FailAction::Error) => {
-                return Err(StorageError::Injected("durable.wal_append".into()))
+                // Clean injected failure: nothing reached the file, the log
+                // is intact and stays usable.
+                return Err(StorageError::Injected("durable.wal_append".into()));
             }
             Some(FailAction::Crash) => {
-                return Err(StorageError::SimulatedCrash("durable.wal_append".into()))
+                self.poisoned = true;
+                return Err(StorageError::SimulatedCrash("durable.wal_append".into()));
             }
             Some(FailAction::TornWrite { keep_bytes }) => {
                 let keep = keep_bytes.min(frame.len());
@@ -332,15 +356,65 @@ impl Wal {
                     .map_err(|e| io_err("torn wal append", e))?;
                 self.file.sync_data().ok();
                 self.len += keep as u64;
+                self.poisoned = true;
                 return Err(StorageError::SimulatedCrash("durable.wal_append".into()));
             }
             None => {}
         }
-        self.file.write_all(&frame).map_err(|e| io_err("wal append", e))?;
-        self.file.sync_data().map_err(|e| io_err("wal fsync", e))?;
+        if let Err(e) = self.file.write_all(&frame) {
+            // A partial write leaves the tail in an unknown state.
+            self.poisoned = true;
+            return Err(io_err("wal append", e));
+        }
         self.len += frame.len() as u64;
         self.next_lsn = lsn + 1;
         Ok(lsn)
+    }
+
+    /// Fsync all appended frames. A failure **poisons** the log: after a
+    /// failed fsync the kernel may have discarded the dirty pages, so
+    /// retrying could silently ack frames that never reach disk — the only
+    /// safe response is fail-stop (every later append or sync returns
+    /// [`StorageError::Poisoned`]; recovery re-opens from disk). Failpoint
+    /// site: `durable.wal_fsync`.
+    pub fn sync(&mut self) -> StorageResult<()> {
+        if self.poisoned {
+            return Err(poisoned_err());
+        }
+        match self.failpoints.hit("durable.wal_fsync") {
+            Some(FailAction::Error) => {
+                self.poisoned = true;
+                return Err(StorageError::Injected("durable.wal_fsync".into()));
+            }
+            Some(FailAction::Crash) | Some(FailAction::TornWrite { .. }) => {
+                self.poisoned = true;
+                return Err(StorageError::SimulatedCrash("durable.wal_fsync".into()));
+            }
+            None => {}
+        }
+        if let Err(e) = self.file.sync_data() {
+            self.poisoned = true;
+            return Err(io_err("wal fsync", e));
+        }
+        Ok(())
+    }
+
+    /// True once a failed fsync (or torn append) has switched the log to
+    /// fail-stop mode.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Switch the log to fail-stop mode explicitly. [`GroupWal`] calls this
+    /// when its out-of-lock fsync on a cloned handle fails.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// A second handle to the log file, for fsyncing outside the owner's
+    /// lock (the kernel flushes per file, not per descriptor).
+    pub fn try_clone_file(&self) -> StorageResult<File> {
+        self.file.try_clone().map_err(|e| io_err("clone wal handle", e))
     }
 
     /// Truncate the log back to `offset` (undo of an appended frame whose
@@ -375,6 +449,155 @@ impl Wal {
     /// Path of the log file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+}
+
+fn poisoned_err() -> StorageError {
+    StorageError::Poisoned("an earlier fsync failed; reopen the log from disk".into())
+}
+
+// ----- group commit ---------------------------------------------------------
+
+struct GroupState {
+    wal: Wal,
+    /// Sequence number of the newest appended (possibly unsynced) frame.
+    append_seq: u64,
+    /// Every append with sequence ≤ this is on disk.
+    flushed_seq: u64,
+    /// A leader is fsyncing outside the lock right now.
+    syncing: bool,
+}
+
+struct GroupInner {
+    state: Mutex<GroupState>,
+    flushed: Condvar,
+    failpoints: FailpointRegistry,
+    telemetry: Telemetry,
+}
+
+/// Group-commit wrapper around [`Wal`], shared by concurrent appenders.
+///
+/// [`GroupWal::append`] writes the frame under a short mutex hold, then one
+/// appender becomes the *flush leader*: it clones the file handle, releases
+/// the lock, and fsyncs the whole batch while followers wait on a condvar
+/// (and new appenders keep writing frames for the *next* batch). The fsync
+/// happening outside the lock is what makes batches form: with the lock
+/// held, appends and fsyncs would interleave 1:1.
+///
+/// Per-flush telemetry: `wal.group_size` (frames per fsync, the batching
+/// evidence) and `wal.fsync_ns`. A failed fsync poisons the underlying log
+/// (`wal.poisoned` counter) and wakes every waiter with
+/// [`StorageError::Poisoned`].
+#[derive(Clone)]
+pub struct GroupWal {
+    inner: Arc<GroupInner>,
+}
+
+impl GroupWal {
+    /// Wrap `wal` for group commit. `failpoints` guards the leader's fsync
+    /// (site `durable.wal_fsync`); flush telemetry lands in `telemetry`.
+    pub fn new(wal: Wal, failpoints: FailpointRegistry, telemetry: Telemetry) -> GroupWal {
+        GroupWal {
+            inner: Arc::new(GroupInner {
+                state: Mutex::new(GroupState {
+                    wal,
+                    append_seq: 0,
+                    flushed_seq: 0,
+                    syncing: false,
+                }),
+                flushed: Condvar::new(),
+                failpoints,
+                telemetry,
+            }),
+        }
+    }
+
+    /// Append one frame and return once it is **durable** (its batch has
+    /// been fsynced). Returns the frame's LSN.
+    pub fn append(&self, payload: &[u8]) -> StorageResult<u64> {
+        let inner = &*self.inner;
+        let mut st = inner.state.lock().unwrap();
+        let lsn = st.wal.append_nosync(payload)?;
+        st.append_seq += 1;
+        let my_seq = st.append_seq;
+        while st.flushed_seq < my_seq {
+            if st.wal.is_poisoned() {
+                return Err(poisoned_err());
+            }
+            if st.syncing {
+                // A leader is already flushing (possibly a batch that does
+                // not cover us yet) — wait for its verdict.
+                st = inner.flushed.wait(st).unwrap();
+                continue;
+            }
+            // Become the flush leader for everything appended so far.
+            st.syncing = true;
+            let target = st.append_seq;
+            let batch = target - st.flushed_seq;
+            let file = st.wal.try_clone_file();
+            drop(st);
+            let result = file.and_then(|f| self.fsync_outside_lock(&f));
+            st = inner.state.lock().unwrap();
+            st.syncing = false;
+            match result {
+                Ok(()) => {
+                    if st.flushed_seq < target {
+                        st.flushed_seq = target;
+                    }
+                    inner.telemetry.observe_ns("wal.group_size", batch);
+                    inner.flushed.notify_all();
+                }
+                Err(e) => {
+                    st.wal.poison();
+                    inner.telemetry.incr("wal.poisoned", 1);
+                    inner.flushed.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+        Ok(lsn)
+    }
+
+    fn fsync_outside_lock(&self, file: &File) -> StorageResult<()> {
+        match self.inner.failpoints.hit("durable.wal_fsync") {
+            Some(FailAction::Error) => {
+                return Err(StorageError::Injected("durable.wal_fsync".into()));
+            }
+            Some(FailAction::Crash) | Some(FailAction::TornWrite { .. }) => {
+                return Err(StorageError::SimulatedCrash("durable.wal_fsync".into()));
+            }
+            None => {}
+        }
+        let begun = Instant::now();
+        file.sync_data().map_err(|e| io_err("group wal fsync", e))?;
+        self.inner.telemetry.observe_ns("wal.fsync_ns", begun.elapsed().as_nanos() as u64);
+        Ok(())
+    }
+
+    /// Run `f` on the underlying log with no flush in flight. Exclusive
+    /// sections (evolve, checkpoint) use this for append/truncate/reset
+    /// sequences that must not interleave with a leader's fsync.
+    pub fn with_wal<R>(&self, f: impl FnOnce(&mut Wal) -> R) -> R {
+        let mut st = self.inner.state.lock().unwrap();
+        while st.syncing {
+            st = self.inner.flushed.wait(st).unwrap();
+        }
+        f(&mut st.wal)
+    }
+
+    /// Current log size in bytes.
+    pub fn len(&self) -> u64 {
+        self.inner.state.lock().unwrap().wal.len()
+    }
+
+    /// True when the log holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once the underlying log is in fail-stop mode.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.state.lock().unwrap().wal.is_poisoned()
     }
 }
 
@@ -467,6 +690,72 @@ mod tests {
         let (_, rec) = Wal::open(&dir, fp).unwrap();
         assert_eq!(rec.frames.len(), 1);
         assert_eq!(rec.frames[0].payload, b"keep");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_failure_poisons_the_log() {
+        let dir = tmpdir("wal_poison");
+        let fp = FailpointRegistry::new();
+        let (mut wal, _) = Wal::open(&dir, fp.clone()).unwrap();
+        wal.append(b"good").unwrap();
+        fp.arm("durable.wal_fsync", 1, FailAction::Error);
+        let err = wal.append(b"doomed").unwrap_err();
+        assert!(matches!(err, StorageError::Injected(_)));
+        assert!(wal.is_poisoned());
+        // Fail-stop: every further append/sync refuses without touching
+        // the file. Poisoning promises "no further acks", not that the
+        // doomed frame is absent (its bytes may sit in the page cache).
+        assert!(matches!(wal.append(b"after").unwrap_err(), StorageError::Poisoned(_)));
+        assert!(matches!(wal.sync().unwrap_err(), StorageError::Poisoned(_)));
+        drop(wal);
+        let (wal, rec) = Wal::open(&dir, fp).unwrap();
+        assert!(!wal.is_poisoned());
+        assert!(rec.frames.iter().any(|f| f.payload == b"good"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_appends_from_many_threads() {
+        let dir = tmpdir("wal_group");
+        let fp = FailpointRegistry::new();
+        let telemetry = Telemetry::new();
+        let (wal, _) = Wal::open(&dir, fp.clone()).unwrap();
+        let group = GroupWal::new(wal, fp.clone(), telemetry.clone());
+        let (threads, per) = (8usize, 25usize);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let group = group.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        group.append(format!("t{t}i{i}").as_bytes()).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(group.with_wal(|w| w.next_lsn()), (threads * per) as u64 + 1);
+        drop(group);
+        let (_, rec) = Wal::open(&dir, fp).unwrap();
+        assert_eq!(rec.frames.len(), threads * per, "every acked append is on disk");
+        let snap = telemetry.snapshot();
+        let sizes = snap.histograms.get("wal.group_size").expect("group_size recorded");
+        assert!(sizes.count >= 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_fsync_failure_poisons_and_fails_stop() {
+        let dir = tmpdir("wal_group_poison");
+        let fp = FailpointRegistry::new();
+        let telemetry = Telemetry::new();
+        let (wal, _) = Wal::open(&dir, fp.clone()).unwrap();
+        let group = GroupWal::new(wal, fp.clone(), telemetry.clone());
+        group.append(b"fine").unwrap();
+        fp.arm("durable.wal_fsync", 1, FailAction::Error);
+        assert!(matches!(group.append(b"doomed").unwrap_err(), StorageError::Injected(_)));
+        assert!(group.is_poisoned());
+        assert!(matches!(group.append(b"later").unwrap_err(), StorageError::Poisoned(_)));
+        assert_eq!(telemetry.snapshot().counter("wal.poisoned"), 1);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -31,6 +31,11 @@ pub enum StorageError {
     Corrupt(String),
     /// An operating-system I/O failure in the durable layer.
     Io(String),
+    /// The write-ahead log refused an operation because an earlier fsync
+    /// failed. After a failed fsync the kernel may have dropped the dirty
+    /// pages, so the log's durable contents are unknowable — the only safe
+    /// behavior is fail-stop: no further appends, reopen from disk.
+    Poisoned(String),
     /// A failpoint fired with [`crate::FailAction::Error`]: a clean,
     /// injected failure the caller is expected to recover from by rolling
     /// back. Carries the site name.
@@ -63,6 +68,7 @@ impl fmt::Display for StorageError {
             StorageError::TxnState(msg) => write!(f, "transaction state error: {msg}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
             StorageError::Io(msg) => write!(f, "durable i/o error: {msg}"),
+            StorageError::Poisoned(msg) => write!(f, "wal poisoned: {msg}"),
             StorageError::Injected(site) => write!(f, "injected fault at {site}"),
             StorageError::SimulatedCrash(site) => write!(f, "simulated crash at {site}"),
         }

@@ -58,7 +58,7 @@ pub use crc::{crc32, Crc32};
 pub use error::{StorageError, StorageResult};
 pub use failpoint::{FailAction, FailpointRegistry};
 pub use payload::{Payload, SimplePayload};
-pub use snapshot::{decode_store, encode_store};
+pub use snapshot::{decode_store, decode_store_with, encode_store};
 pub use stats::StoreStats;
 pub use store::{RecordId, SegmentId, SliceStore, StoreConfig};
 pub use txn::TxnToken;

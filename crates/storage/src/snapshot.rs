@@ -90,19 +90,31 @@ fn encode_segment<P: Payload>(buf: &mut BytesMut, seg: Option<&Segment<P>>) {
 }
 
 /// Restore a store from bytes produced by [`encode_store`] — the current
-/// CRC-checked format or a legacy version-1 blob.
+/// CRC-checked format or a legacy version-1 blob. Runtime knobs
+/// (`write_stripes`, `wal_autocheckpoint_bytes`) take the process default;
+/// see [`decode_store_with`] to supply them.
 pub fn decode_store<P: Payload>(bytes: Bytes) -> StorageResult<SliceStore<P>> {
+    decode_store_with(bytes, StoreConfig::default())
+}
+
+/// Restore a store, taking `page_size`/`buffer_pages` from the snapshot
+/// (they shape the persisted layout) and every runtime knob — stripe
+/// count, auto-checkpoint threshold — from `runtime`.
+pub fn decode_store_with<P: Payload>(
+    bytes: Bytes,
+    runtime: StoreConfig,
+) -> StorageResult<SliceStore<P>> {
     if bytes.remaining() < 8 {
         return Err(StorageError::Corrupt("snapshot too short".into()));
     }
     match &bytes[..8] {
-        m if m == MAGIC_V2 => decode_store_v2(bytes),
-        m if m == MAGIC_V1 => decode_store_v1(bytes),
+        m if m == MAGIC_V2 => decode_store_v2(bytes, runtime),
+        m if m == MAGIC_V1 => decode_store_v1(bytes, runtime),
         _ => Err(StorageError::Corrupt("bad magic".into())),
     }
 }
 
-fn decode_store_v2<P: Payload>(all: Bytes) -> StorageResult<SliceStore<P>> {
+fn decode_store_v2<P: Payload>(all: Bytes, runtime: StoreConfig) -> StorageResult<SliceStore<P>> {
     if all.remaining() < 8 + 12 + 4 {
         return Err(StorageError::Corrupt("truncated header".into()));
     }
@@ -115,7 +127,7 @@ fn decode_store_v2<P: Payload>(all: Bytes) -> StorageResult<SliceStore<P>> {
     if bytes.get_u32() != expected {
         return Err(StorageError::Corrupt("header crc mismatch".into()));
     }
-    let config = StoreConfig { page_size, buffer_pages, ..StoreConfig::default() };
+    let config = StoreConfig { page_size, buffer_pages, ..runtime };
     let mut segments: Vec<Option<Segment<P>>> =
         Vec::with_capacity(n_segments.min(bytes.remaining()));
     for _ in 0..n_segments {
@@ -136,14 +148,17 @@ fn decode_store_v2<P: Payload>(all: Bytes) -> StorageResult<SliceStore<P>> {
     Ok(SliceStore::rebuild(config, segments))
 }
 
-fn decode_store_v1<P: Payload>(mut bytes: Bytes) -> StorageResult<SliceStore<P>> {
+fn decode_store_v1<P: Payload>(
+    mut bytes: Bytes,
+    runtime: StoreConfig,
+) -> StorageResult<SliceStore<P>> {
     bytes.advance(8);
     if bytes.remaining() < 12 {
         return Err(StorageError::Corrupt("truncated header".into()));
     }
     let page_size = bytes.get_u32() as usize;
     let buffer_pages = bytes.get_u32() as usize;
-    let config = StoreConfig { page_size, buffer_pages, ..StoreConfig::default() };
+    let config = StoreConfig { page_size, buffer_pages, ..runtime };
     let n_segments = bytes.get_u32() as usize;
     let mut segments: Vec<Option<Segment<P>>> =
         Vec::with_capacity(n_segments.min(bytes.remaining()));

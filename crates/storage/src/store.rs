@@ -46,14 +46,32 @@ pub struct StoreConfig {
     pub buffer_pages: usize,
     /// Number of lock stripes the segments are partitioned across
     /// (clamped to ≥ 1). A runtime tuning knob — not persisted in
-    /// snapshots; restored stores use the decoding process's default.
+    /// snapshots; restored stores use the decoding process's value. The
+    /// default adapts to the host: `available_parallelism`, clamped to
+    /// [1, 64].
     pub write_stripes: usize,
+    /// WAL size (bytes) past which a durable system checkpoints in its
+    /// next exclusive section, bounding the log and recovery time. A
+    /// runtime knob, not persisted; 0 disables auto-checkpointing.
+    pub wal_autocheckpoint_bytes: u64,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { page_size: 4096, buffer_pages: 256, write_stripes: 8 }
+        StoreConfig {
+            page_size: 4096,
+            buffer_pages: 256,
+            write_stripes: default_write_stripes(),
+            wal_autocheckpoint_bytes: 4 * 1024 * 1024,
+        }
     }
+}
+
+/// Stripe-count default: one stripe per hardware thread, clamped to
+/// [1, 64]. More stripes than threads buys nothing (writers can't run
+/// concurrently anyway); the cap bounds per-store memory on huge hosts.
+fn default_write_stripes() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8).clamp(1, 64)
 }
 
 #[derive(Debug, Default)]
@@ -213,6 +231,7 @@ impl<P: Payload> SliceStore<P> {
     /// them.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         telemetry.incr("stripe.conflicts", 0);
+        telemetry.set_gauge("store.write_stripes", self.stripes.len() as u64);
         self.telemetry = telemetry;
     }
 
@@ -647,7 +666,12 @@ mod tests {
     use crate::payload::SimplePayload as SP;
 
     fn store() -> SliceStore<SP> {
-        SliceStore::new(StoreConfig { page_size: 128, buffer_pages: 4, write_stripes: 4 })
+        SliceStore::new(StoreConfig {
+            page_size: 128,
+            buffer_pages: 4,
+            write_stripes: 4,
+            ..StoreConfig::default()
+        })
     }
 
     #[test]
@@ -803,6 +827,7 @@ mod tests {
             page_size: 128,
             buffer_pages: 4,
             write_stripes: 1,
+            ..StoreConfig::default()
         });
         let a = st.create_segment("a");
         let b = st.create_segment("b");
@@ -818,6 +843,7 @@ mod tests {
             page_size: 128,
             buffer_pages: 4,
             write_stripes: 0,
+            ..StoreConfig::default()
         });
         assert_eq!(st.stripe_count(), 1);
         let seg = st.create_segment("s");

@@ -1,0 +1,409 @@
+//! Randomized crash-schedule torture loop for the shared durable system.
+//!
+//! Each iteration runs a random workload (creates, sets, single-target
+//! query-updates, deletes, structural evolutions, checkpoints) against a
+//! durable [`tse_core::SharedSystem`], with one failpoint site armed to
+//! kill the "process" (simulated crash, torn write, or injected error) at
+//! a random point — across WAL append, fsync, data apply, snapshot write,
+//! and the fork–evolve–swap pipeline. The moment a fault fires (or the
+//! workload finishes), the system is dropped without a clean shutdown and
+//! reopened from disk.
+//!
+//! The invariant is checked against an in-memory oracle: a non-durable
+//! system replaying exactly the **acknowledged** operations. The recovered
+//! state must be semantically equal to the oracle — or, when one operation
+//! was in flight at the kill, to the oracle plus that single operation
+//! (apply-then-log means an unacknowledged frame may or may not have
+//! reached the disk; both outcomes are correct, a partial one is not).
+//!
+//! The schedule is driven by a fixed-seed xorshift generator (override
+//! with `CRASH_TORTURE_SEED`; iterations with `CRASH_TORTURE_ITERS`), so
+//! any failure reproduces exactly. The process exits nonzero on a violated
+//! invariant and prints the seed plus the recovery journal.
+
+use std::path::Path;
+
+use tse_core::SharedSystem;
+use tse_object_model::{Oid, PropertyDef, Value, ValueType};
+use tse_storage::{FailAction, StoreConfig};
+use tse_view::ViewId;
+
+const SITES: [&str; 10] = [
+    "durable.wal_append",
+    "durable.wal_fsync",
+    "storage.insert",
+    "durable.snapshot_write",
+    "durable.manifest_write",
+    "snapshot.encode",
+    "evolve.translate",
+    "evolve.classify",
+    "evolve.view_regen",
+    "evolve.swap_in",
+];
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        // xorshift64* — deterministic, no external crates.
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One logical operation, described abstractly so it can be applied to the
+/// durable system and replayed verbatim on the in-memory oracle. Objects
+/// are addressed by their unique `tag` (stored in the `age` attribute):
+/// oids are assigned by each side's allocator and may legitimately differ
+/// once faults skip allocations, so they never appear in the digest.
+#[derive(Clone, Debug)]
+enum Op {
+    Create { name: String, tag: i64 },
+    Set { tag: i64, attr: String, value: Value },
+    UpdateWhere { tag: i64, attr: String, value: Value },
+    Delete { tag: i64 },
+    AddAttr { attr: String, default: i64 },
+    Checkpoint,
+}
+
+/// Apply one op to a system. `oids` maps tag → oid on *that* side.
+/// Returns the created oid for `Create`.
+fn apply(
+    shared: &SharedSystem,
+    oids: &mut std::collections::BTreeMap<i64, Oid>,
+    op: &Op,
+) -> tse_object_model::ModelResult<()> {
+    let view = current_view(shared);
+    match op {
+        Op::Create { name, tag } => {
+            let oid = shared.writer().create(
+                view,
+                "Student",
+                &[("name", Value::Str(name.clone())), ("age", Value::Int(*tag))],
+            )?;
+            oids.insert(*tag, oid);
+        }
+        Op::Set { tag, attr, value } => {
+            let oid = oids[tag];
+            shared.writer().set(view, oid, "Student", &[(attr, value.clone())])?;
+        }
+        Op::UpdateWhere { tag, attr, value } => {
+            // Single-target by construction: `age` tags are unique, so the
+            // update touches at most one object and is atomic under crash.
+            shared.writer().update_where(
+                view,
+                "Student",
+                &format!("age == {tag}"),
+                &[(attr, value.clone())],
+            )?;
+        }
+        Op::Delete { tag } => {
+            let oid = oids[tag];
+            shared.writer().delete_objects(&[oid])?;
+            oids.remove(tag);
+        }
+        Op::AddAttr { attr, default } => {
+            shared.evolve_cmd("VS", &format!("add_attribute {attr}: int = {default} to Student"))?;
+        }
+        Op::Checkpoint => {
+            shared.checkpoint()?;
+        }
+    }
+    Ok(())
+}
+
+fn current_view(shared: &SharedSystem) -> ViewId {
+    let s = shared.session();
+    *s.meta().views().versions("VS").expect("VS exists").last().expect("one version")
+}
+
+/// Semantic digest of the Student extent: one sorted row per object over
+/// the given attribute set. Oids are deliberately excluded (see [`Op`]).
+fn digest(shared: &SharedSystem, attrs: &[String]) -> String {
+    let s = shared.session();
+    let view = current_view(shared);
+    let mut rows = Vec::new();
+    for oid in s.extent(view, "Student").expect("extent readable") {
+        let mut row = Vec::new();
+        for attr in attrs {
+            let v = s
+                .get(view, oid, "Student", attr)
+                .map(|v| format!("{v:?}"))
+                .unwrap_or_else(|_| "<missing>".into());
+            row.push(format!("{attr}={v}"));
+        }
+        rows.push(row.join(";"));
+    }
+    rows.sort();
+    rows.join("\n")
+}
+
+/// Build a fresh in-memory oracle and replay `ops` through it.
+fn oracle_replay(ops: &[Op]) -> (SharedSystem, Vec<String>) {
+    let shared = SharedSystem::new();
+    seed_schema(&shared);
+    let mut oids = std::collections::BTreeMap::new();
+    let mut attrs = vec!["name".to_string(), "age".to_string()];
+    for op in ops {
+        if matches!(op, Op::Checkpoint) {
+            continue; // durability-only; no semantic effect to mirror
+        }
+        apply(&shared, &mut oids, op).expect("oracle replay is fault-free");
+        if let Op::AddAttr { attr, .. } = op {
+            attrs.push(attr.clone());
+        }
+    }
+    (shared, attrs)
+}
+
+fn seed_schema(shared: &SharedSystem) {
+    shared
+        .define_base_class(
+            "Person",
+            &[],
+            vec![
+                PropertyDef::stored("name", ValueType::Str, Value::Null),
+                PropertyDef::stored("age", ValueType::Int, Value::Int(0)),
+            ],
+        )
+        .unwrap();
+    shared.define_base_class("Student", &["Person"], vec![]).unwrap();
+    shared.create_view("VS", &["Person", "Student"]).unwrap();
+}
+
+fn reopen(dir: &Path, config: StoreConfig, seed: u64, iteration: u64) -> SharedSystem {
+    SharedSystem::open_with_config(dir, config).unwrap_or_else(|e| {
+        eprintln!("seed={seed:#x} iteration={iteration}: recovery failed: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn fail(shared: &SharedSystem, seed: u64, iteration: u64, msg: &str) -> ! {
+    eprintln!("seed={seed:#x} iteration={iteration}: {msg}");
+    eprintln!("--- recovery journal ---");
+    eprint!("{}", shared.telemetry().journal_lines());
+    std::process::exit(1);
+}
+
+fn main() {
+    let seed = std::env::var("CRASH_TORTURE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x7042_7475_7265_5EED_u64);
+    let iterations: u64 = std::env::var("CRASH_TORTURE_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48);
+    // Odd multiplier keeps the state nonzero and distinct for every seed
+    // (a plain `seed | 1` would alias each even seed with its successor).
+    let mut rng = Rng(seed.wrapping_mul(2).wrapping_add(1));
+    println!("crash_torture: seed={seed:#x} iterations={iterations}");
+
+    // A small auto-checkpoint threshold so checkpoints also happen *inside*
+    // the torture window, not only when the workload asks for one.
+    let config = StoreConfig { wal_autocheckpoint_bytes: 640, ..StoreConfig::default() };
+
+    let dir = std::env::temp_dir().join(format!("tse_crash_torture_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Seed a durable baseline on disk.
+    {
+        let shared = SharedSystem::open_with_config(&dir, config).expect("fresh open");
+        seed_schema(&shared);
+        shared.checkpoint().unwrap();
+    }
+
+    // Oracle state: the exact sequence of acknowledged operations, plus the
+    // live system's tag → oid map (survives recovery because replay
+    // reissues logged oids).
+    let mut acked: Vec<Op> = Vec::new();
+    let mut live_oids = std::collections::BTreeMap::new();
+    // Attributes known to exist on the live side (acknowledged AddAttrs);
+    // mutation targets are drawn from here so every generated op is
+    // well-typed against both the live schema and the oracle's.
+    let mut live_attrs: Vec<String> = Vec::new();
+    let mut next_tag: i64 = 0;
+    let mut next_attr: u64 = 0;
+    let mut kills = 0u64;
+    let mut faults = 0u64;
+    let mut matched_present = 0u64;
+    let mut matched_absent = 0u64;
+    let mut autocheckpoints = 0u64;
+
+    for iteration in 0..iterations {
+        let shared = reopen(&dir, config, seed, iteration);
+
+        // Arm one random site most iterations; some iterations kill with no
+        // fault at all, exercising pure pull-the-plug recovery.
+        let armed = if rng.below(5) > 0 {
+            let site = SITES[rng.below(SITES.len() as u64) as usize];
+            let action = match rng.below(4) {
+                0 => FailAction::Error,
+                1 | 2 => FailAction::Crash,
+                _ => FailAction::TornWrite { keep_bytes: rng.below(48) as usize },
+            };
+            shared.failpoints().arm(site, 1 + rng.below(4), action);
+            Some(site)
+        } else {
+            None
+        };
+
+        // Run random ops until a fault fires or the budget is spent. The
+        // op that errors (or that an async-swallowed fault interrupted) is
+        // the single in-flight candidate.
+        let mut in_flight: Option<Op> = None;
+        for _ in 0..(2 + rng.below(6)) {
+            let tags: Vec<i64> = live_oids.keys().copied().collect();
+            let op = match rng.below(8) {
+                0..=2 => {
+                    let tag = next_tag;
+                    next_tag += 1;
+                    Op::Create { name: format!("s{tag}"), tag }
+                }
+                3 | 4 if !tags.is_empty() => {
+                    let tag = tags[rng.below(tags.len() as u64) as usize];
+                    // Never touch `age` — it is the tag objects are
+                    // addressed by. Mutate an evolved attribute when one
+                    // exists, else rewrite the name.
+                    let (attr, value) = if !live_attrs.is_empty() && rng.below(2) == 0 {
+                        let a = &live_attrs[rng.below(live_attrs.len() as u64) as usize];
+                        (a.clone(), Value::Int(rng.below(1000) as i64))
+                    } else {
+                        ("name".to_string(), Value::Str(format!("n{}", rng.below(1000))))
+                    };
+                    if rng.below(2) == 0 {
+                        Op::Set { tag, attr, value }
+                    } else {
+                        Op::UpdateWhere { tag, attr, value }
+                    }
+                }
+                5 if !tags.is_empty() => {
+                    Op::Delete { tag: tags[rng.below(tags.len() as u64) as usize] }
+                }
+                6 => {
+                    let attr = format!("a{next_attr}");
+                    next_attr += 1;
+                    Op::AddAttr { attr, default: rng.below(100) as i64 }
+                }
+                7 => Op::Checkpoint,
+                _ => continue,
+            };
+            match apply(&shared, &mut live_oids, &op) {
+                Ok(()) => {
+                    if let Op::AddAttr { attr, .. } = &op {
+                        live_attrs.push(attr.clone());
+                    }
+                    acked.push(op);
+                    // A fault swallowed inside an auto-checkpoint still
+                    // means the plug gets pulled here.
+                    if armed.is_some_and(|s| shared.failpoints().fired(s)) {
+                        faults += 1;
+                        break;
+                    }
+                }
+                Err(e) => {
+                    let fired = armed.is_some_and(|s| shared.failpoints().fired(s));
+                    let poisoned = e.to_string().contains("wal poisoned");
+                    if !fired && !poisoned {
+                        fail(&shared, seed, iteration, &format!("non-injected error: {e}"));
+                    }
+                    faults += 1;
+                    in_flight = Some(op);
+                    break;
+                }
+            }
+        }
+
+        // Pull the plug. (Telemetry dies with the process, so roll the
+        // auto-checkpoint count into the harness total first.)
+        autocheckpoints += shared.telemetry().counter("durable.autocheckpoints");
+        drop(shared);
+        kills += 1;
+
+        // Recover and compare against the oracle.
+        let recovered = reopen(&dir, config, seed, iteration);
+        let (oracle_a, attrs_a) = oracle_replay(&acked);
+        let expect_a = digest(&oracle_a, &attrs_a);
+        let got_a = digest(&recovered, &attrs_a);
+        if got_a == expect_a {
+            matched_absent += 1;
+        } else if let Some(op) = in_flight.clone() {
+            let mut with = acked.clone();
+            with.push(op.clone());
+            let (oracle_b, attrs_b) = oracle_replay(&with);
+            let expect_b = digest(&oracle_b, &attrs_b);
+            let got_b = digest(&recovered, &attrs_b);
+            if got_b == expect_b {
+                matched_present += 1;
+                // The in-flight op reached the disk: it is now part of
+                // durable history and every future recovery replays it.
+                acked = with;
+                match op {
+                    Op::Create { tag, .. } => {
+                        // Resolve its oid on the live side so later ops can
+                        // target it like any acknowledged object.
+                        let s = recovered.session();
+                        let view = current_view(&recovered);
+                        let found = s
+                            .select_where(view, "Student", &format!("age == {tag}"))
+                            .expect("recovered extent readable");
+                        assert_eq!(found.len(), 1, "in-flight create present exactly once");
+                        live_oids.insert(tag, found[0]);
+                    }
+                    Op::Delete { tag } => {
+                        live_oids.remove(&tag);
+                    }
+                    Op::AddAttr { attr, .. } => {
+                        live_attrs.push(attr);
+                    }
+                    _ => {}
+                }
+            } else {
+                fail(
+                    &recovered,
+                    seed,
+                    iteration,
+                    &format!(
+                        "recovered state matches neither acked-only nor acked+in-flight\n\
+                         in-flight: {op:?}\n--- acked-only ---\n{expect_a}\n\
+                         --- acked+in-flight ---\n{expect_b}\n--- recovered ---\n{got_a}"
+                    ),
+                );
+            }
+        } else {
+            fail(
+                &recovered,
+                seed,
+                iteration,
+                &format!(
+                    "recovered state lost acknowledged operations\n\
+                     --- expected ---\n{expect_a}\n--- recovered ---\n{got_a}"
+                ),
+            );
+        }
+        drop(recovered);
+    }
+
+    // Final recovery must also be self-consistent and telemetry-visible.
+    let shared = reopen(&dir, config, seed, iterations);
+    let journal = shared.telemetry().journal_lines();
+    assert!(journal.contains("recovery.complete"), "final journal missing recovery.complete");
+    assert!(faults > 0, "no failpoint ever fired — the schedule is broken");
+    println!(
+        "crash_torture ok: seed={seed:#x} kills={kills} faults={faults} \
+         inflight_present={matched_present} inflight_absent={matched_absent} \
+         acked_ops={} generation={:?} autocheckpoints={autocheckpoints}",
+        acked.len(),
+        shared.generation(),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
