@@ -232,6 +232,10 @@ impl DurableState {
         };
         system.db_mut().set_failpoints(failpoints.clone());
         let telemetry = system.telemetry().clone();
+        // Recovery replay is one causal unit: `recovery.skip` events, the
+        // replayed evolves' spans, and `recovery.complete` all share a
+        // `recovery` trace in the journal.
+        let _trace = telemetry.ensure_trace("recovery");
 
         let (mut wal, wal_recovery) =
             Wal::open(dir, failpoints.clone()).map_err(ModelError::Storage)?;

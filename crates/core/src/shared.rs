@@ -195,6 +195,9 @@ pub struct SharedSystem {
 pub struct ReadSession {
     inner: Arc<SharedInner>,
     meta: Arc<MetaSnapshot>,
+    /// Trace id minted at open; every operation on this session runs under
+    /// it, so all its journal records share one trace.
+    trace: u64,
 }
 
 /// A data-plane **write** handle pinned to one epoch's [`MetaSnapshot`],
@@ -208,6 +211,8 @@ pub struct ReadSession {
 pub struct WriteSession {
     inner: Arc<SharedInner>,
     meta: Arc<MetaSnapshot>,
+    /// Trace id minted at open; see [`ReadSession::trace`].
+    trace: u64,
 }
 
 impl Default for SharedSystem {
@@ -272,9 +277,12 @@ impl SharedSystem {
         }
     }
 
-    /// Open a data-plane read session pinned to the current epoch.
+    /// Open a data-plane read session pinned to the current epoch. Mints a
+    /// `read_session` trace id that stamps every journal record the
+    /// session's operations emit.
     pub fn session(&self) -> ReadSession {
-        ReadSession { inner: self.inner.clone(), meta: self.inner.meta.read().clone() }
+        let trace = self.inner.telemetry.mint_trace("read_session");
+        ReadSession { inner: self.inner.clone(), meta: self.inner.meta.read().clone(), trace }
     }
 
     /// Open a data-plane write session pinned to the current epoch.
@@ -286,7 +294,8 @@ impl SharedSystem {
     /// segments proceed concurrently. Schema changes still quiesce all
     /// write sessions via the swap latch.
     pub fn writer(&self) -> WriteSession {
-        WriteSession { inner: self.inner.clone(), meta: self.inner.meta.read().clone() }
+        let trace = self.inner.telemetry.mint_trace("write_session");
+        WriteSession { inner: self.inner.clone(), meta: self.inner.meta.read().clone(), trace }
     }
 
     /// The current epoch (bumped by every published metadata change).
@@ -374,6 +383,7 @@ impl SharedSystem {
     /// every entry point. A change whose names cannot be rendered is
     /// rejected before anything is logged or applied.
     pub fn evolve(&self, family: &str, change: &SchemaChange) -> ModelResult<EvolutionReport> {
+        let _trace = self.inner.telemetry.ensure_trace("evolve");
         let mut ctl = self.lock_control();
         let out = if ctl.durable.is_some() {
             let command = change.render()?;
@@ -395,6 +405,7 @@ impl SharedSystem {
     /// the log never replays an epoch that was not published (simulated
     /// crashes keep the frame, to be decided by redo at the next open).
     pub fn evolve_cmd(&self, family: &str, command: &str) -> ModelResult<EvolutionReport> {
+        let _trace = self.inner.telemetry.ensure_trace("evolve");
         let change = parse_change(command)?;
         let mut ctl = self.lock_control();
         let out = if ctl.durable.is_some() {
@@ -502,6 +513,7 @@ impl SharedSystem {
     /// Data writers are quiesced via the swap latch so the object map and
     /// the record store are encoded as one consistent image.
     pub fn checkpoint(&self) -> ModelResult<u64> {
+        let _trace = self.inner.telemetry.ensure_trace("checkpoint");
         let mut ctl = self.lock_control();
         let durable = ctl
             .durable
@@ -677,6 +689,9 @@ fn maybe_autocheckpoint(inner: &SharedInner) {
     }
     let Some(mut ctl) = inner.control.try_lock() else { return };
     let Some(durable) = ctl.durable.as_mut() else { return };
+    // The checkpoint is its own causal unit: a fresh trace linked back to
+    // the mutation that tripped the threshold via `follows_from`.
+    let _trace = inner.telemetry.new_trace("autocheckpoint");
     let _latch = inner.latch.write();
     if !durable.autocheckpoint_due() {
         return; // someone checkpointed while we waited for the latch
@@ -724,6 +739,7 @@ impl ReadSession {
     /// lock-free against the pinned snapshot; the record read takes the
     /// shared lock.
     pub fn get(&self, view: ViewId, oid: Oid, class_local: &str, attr: &str) -> ModelResult<Value> {
+        let _t = self.inner.telemetry.enter_trace(self.trace);
         let started = Instant::now();
         let class = self.meta.resolve(view, class_local)?;
         let sys = read_timed(&self.inner);
@@ -735,9 +751,14 @@ impl ReadSession {
 
     /// The extent of a view class.
     pub fn extent(&self, view: ViewId, class_local: &str) -> ModelResult<Vec<Oid>> {
+        let _t = self.inner.telemetry.enter_trace(self.trace);
+        let started = Instant::now();
         let class = self.meta.resolve(view, class_local)?;
         let sys = read_timed(&self.inner);
-        Ok(sys.db().extent(class)?.iter().copied().collect())
+        let out = Ok(sys.db().extent(class)?.iter().copied().collect());
+        drop(sys);
+        observe_op(&self.inner.telemetry, "extent", started);
+        out
     }
 
     /// `select from <Class> where <expr>` over a view class.
@@ -747,6 +768,7 @@ impl ReadSession {
         class_local: &str,
         expr: &str,
     ) -> ModelResult<Vec<Oid>> {
+        let _t = self.inner.telemetry.enter_trace(self.trace);
         let started = Instant::now();
         let class = self.meta.resolve(view, class_local)?;
         let body = crate::change::parse_expr(expr)?;
@@ -760,9 +782,14 @@ impl ReadSession {
 
     /// Invoke a property with dynamic dispatch through a view class.
     pub fn invoke(&self, view: ViewId, oid: Oid, class_local: &str, name: &str) -> ModelResult<Value> {
+        let _t = self.inner.telemetry.enter_trace(self.trace);
+        let started = Instant::now();
         let class = self.meta.resolve(view, class_local)?;
         let sys = read_timed(&self.inner);
-        sys.db().invoke(oid, class, name)
+        let out = sys.db().invoke(oid, class, name);
+        drop(sys);
+        observe_op(&self.inner.telemetry, "invoke", started);
+        out
     }
 
     /// Cumulative storage access counters of the live system (what the
@@ -802,6 +829,7 @@ impl WriteSession {
         class_local: &str,
         values: &[(&str, Value)],
     ) -> ModelResult<Oid> {
+        let _t = self.inner.telemetry.enter_trace(self.trace);
         let started = Instant::now();
         let class = self.meta.resolve(view, class_local)?;
         let policy = self.meta.policy.clone();
@@ -826,6 +854,7 @@ impl WriteSession {
         class_local: &str,
         assignments: &[(&str, Value)],
     ) -> ModelResult<()> {
+        let _t = self.inner.telemetry.enter_trace(self.trace);
         let started = Instant::now();
         let class = self.meta.resolve(view, class_local)?;
         let policy = self.meta.policy.clone();
@@ -859,6 +888,7 @@ impl WriteSession {
         expr: &str,
         assignments: &[(&str, Value)],
     ) -> ModelResult<usize> {
+        let _t = self.inner.telemetry.enter_trace(self.trace);
         let started = Instant::now();
         let class = self.meta.resolve(view, class_local)?;
         let body = crate::change::parse_expr(expr)?;
@@ -886,6 +916,8 @@ impl WriteSession {
 
     /// Add existing objects to a view class.
     pub fn add_to(&self, view: ViewId, oids: &[Oid], class_local: &str) -> ModelResult<()> {
+        let _t = self.inner.telemetry.enter_trace(self.trace);
+        let started = Instant::now();
         let class = self.meta.resolve(view, class_local)?;
         let policy = self.meta.policy.clone();
         let out = with_data_logged(
@@ -893,12 +925,15 @@ impl WriteSession {
             |sys| tse_algebra::add(sys.db(), &policy, oids, class),
             |_| WalRecord::AddTo { class, oids: oids.to_vec() },
         );
+        observe_op(&self.inner.telemetry, "add_to", started);
         maybe_autocheckpoint(&self.inner);
         out
     }
 
     /// Remove objects from a view class.
     pub fn remove_from(&self, view: ViewId, oids: &[Oid], class_local: &str) -> ModelResult<()> {
+        let _t = self.inner.telemetry.enter_trace(self.trace);
+        let started = Instant::now();
         let class = self.meta.resolve(view, class_local)?;
         let policy = self.meta.policy.clone();
         let out = with_data_logged(
@@ -906,6 +941,7 @@ impl WriteSession {
             |sys| tse_algebra::remove(sys.db(), &policy, oids, class),
             |_| WalRecord::RemoveFrom { class, oids: oids.to_vec() },
         );
+        observe_op(&self.inner.telemetry, "remove_from", started);
         maybe_autocheckpoint(&self.inner);
         out
     }
@@ -914,11 +950,14 @@ impl WriteSession {
     /// frees them stripe by stripe (each acquisition is per-segment), so a
     /// cross-segment delete cannot deadlock against a same-stripe writer.
     pub fn delete_objects(&self, oids: &[Oid]) -> ModelResult<()> {
+        let _t = self.inner.telemetry.enter_trace(self.trace);
+        let started = Instant::now();
         let out = with_data_logged(
             &self.inner,
             |sys| tse_algebra::delete(sys.db(), oids),
             |_| WalRecord::Delete { oids: oids.to_vec() },
         );
+        observe_op(&self.inner.telemetry, "delete_objects", started);
         maybe_autocheckpoint(&self.inner);
         out
     }

@@ -266,6 +266,10 @@ impl TseSystem {
     /// transaction and leave rollback to this frame.
     pub fn evolve(&mut self, family: &str, change: &SchemaChange) -> ModelResult<EvolutionReport> {
         let telemetry = self.db.telemetry().clone();
+        // One trace per top-level change: a composite macro's recursive
+        // sub-evolves re-enter the same trace, so the whole expansion tree
+        // shares one trace id in the journal.
+        let _trace = telemetry.ensure_trace("evolve");
         let checkpoint = if self.db.in_evolution() {
             None
         } else {
@@ -778,8 +782,7 @@ pub(crate) fn note_fault(telemetry: &tse_telemetry::Telemetry, e: &ModelError) {
 /// Count a data-plane operation (`op.<name>`) and record its wall-clock
 /// latency into the `latency.<name>` histogram.
 pub(crate) fn observe_op(telemetry: &tse_telemetry::Telemetry, op: &str, started: std::time::Instant) {
-    telemetry.incr(&format!("op.{op}"), 1);
-    telemetry.observe_ns(&format!("latency.{op}"), (started.elapsed().as_nanos() as u64).max(1));
+    telemetry.observe_op(op, (started.elapsed().as_nanos() as u64).max(1));
 }
 
 /// Replace by-name references that were folded onto other classes.

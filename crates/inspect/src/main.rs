@@ -1,0 +1,176 @@
+//! `tse-inspect` — offline forensics for TSE telemetry journals.
+//!
+//! ```text
+//! tse-inspect [--check] [--traces] [--evolve] [--locks] [--wal] \
+//!             [--slow] [--prometheus] <journal.jsonl | ->
+//! ```
+//!
+//! With no section flag, prints the full human-readable report (traces,
+//! evolve timelines, lock/WAL breakdowns, slow ops). `--prometheus` dumps
+//! the last embedded metrics snapshot as Prometheus text exposition.
+//! `--check` runs the CI gate: exit 1 on parse errors, zero traces,
+//! causality violations, or `journal.dropped > 0`.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use tse_inspect::{prometheus, report, Journal};
+
+const USAGE: &str = "usage: tse-inspect [--check] [--traces] [--evolve] [--locks] \
+                     [--wal] [--slow] [--prometheus] <journal.jsonl | ->";
+
+fn main() -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut check = false;
+    let mut sections: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--traces" | "--evolve" | "--locks" | "--wal" | "--slow" | "--prometheus" => {
+                sections.push(arg[2..].to_string());
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with("--") => {
+                eprintln!("tse-inspect: unknown flag {arg}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            _ => {
+                if path.replace(arg).is_some() {
+                    eprintln!("tse-inspect: more than one input file\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("tse-inspect: no journal file given\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let input = if path == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("tse-inspect: reading stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("tse-inspect: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let journal = match Journal::parse(&input) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("tse-inspect: {path}: journal parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if check {
+        let r = journal.check();
+        println!(
+            "check: {} records, {} traces, dropped = {}{}",
+            r.records,
+            r.traces,
+            r.dropped.map(|d| d.to_string()).unwrap_or_else(|| "unknown".into()),
+            if r.torn { ", torn final line" } else { "" }
+        );
+        if r.problems.is_empty() {
+            println!("check: OK");
+            return ExitCode::SUCCESS;
+        }
+        for p in &r.problems {
+            eprintln!("check: FAIL: {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    if sections.is_empty() {
+        print!("{}", report(&journal));
+        return ExitCode::SUCCESS;
+    }
+
+    for section in &sections {
+        match section.as_str() {
+            "traces" => {
+                for t in journal.trace_summaries() {
+                    let tids: Vec<String> = t.tids.iter().map(|t| t.to_string()).collect();
+                    println!(
+                        "trace {} kind={} records={} spans={} tids=[{}] span_ns={}",
+                        t.id,
+                        t.kind,
+                        t.records,
+                        t.spans,
+                        tids.join(","),
+                        t.last_ns.saturating_sub(t.first_ns)
+                    );
+                }
+            }
+            "evolve" => {
+                for tl in journal.evolve_timelines() {
+                    let trace =
+                        tl.trace.map(|t| t.to_string()).unwrap_or_else(|| "-".into());
+                    println!(
+                        "evolve span={} trace={trace} total_ns={} complete={}",
+                        tl.span, tl.total_ns, tl.complete
+                    );
+                    for p in &tl.phases {
+                        println!(
+                            "  {} start_ns={} dur_ns={} tid={}",
+                            p.name, p.start_ns, p.dur_ns, p.tid
+                        );
+                    }
+                }
+            }
+            "locks" => {
+                for h in journal.hist_stats("lock.") {
+                    println!(
+                        "{} count={} sum={} min={} max={} mean={:.0}",
+                        h.name, h.count, h.sum, h.min, h.max, h.mean
+                    );
+                }
+            }
+            "wal" => {
+                for h in journal.hist_stats("wal.") {
+                    println!(
+                        "{} count={} sum={} min={} max={} mean={:.1}",
+                        h.name, h.count, h.sum, h.min, h.max, h.mean
+                    );
+                }
+            }
+            "slow" => {
+                for s in journal.slow_ops() {
+                    let waits: Vec<String> =
+                        s.waits.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    let trace =
+                        s.trace.map(|t| t.to_string()).unwrap_or_else(|| "-".into());
+                    println!(
+                        "{} dur_ns={} trace={trace} tid={} {}",
+                        s.op,
+                        s.dur_ns,
+                        s.tid,
+                        waits.join(" ")
+                    );
+                }
+            }
+            "prometheus" => match journal.last_snapshot() {
+                Some(snap) => print!("{}", prometheus(snap)),
+                None => {
+                    eprintln!("tse-inspect: no embedded metrics snapshot in {path}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => unreachable!("flags validated above"),
+        }
+    }
+    ExitCode::SUCCESS
+}

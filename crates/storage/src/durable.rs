@@ -516,6 +516,7 @@ impl GroupWal {
     /// been fsynced). Returns the frame's LSN.
     pub fn append(&self, payload: &[u8]) -> StorageResult<u64> {
         let inner = &*self.inner;
+        let begun = Instant::now();
         let mut st = inner.state.lock().unwrap();
         let lsn = st.wal.append_nosync(payload)?;
         st.append_seq += 1;
@@ -555,6 +556,13 @@ impl GroupWal {
                 }
             }
         }
+        drop(st);
+        // Total time from append to durability ack — lock wait + queueing
+        // behind a leader's fsync + our own flush. Attributed to the calling
+        // thread so a slow op can cite its commit wait.
+        inner
+            .telemetry
+            .observe_ns("wal.commit_wait_ns", (begun.elapsed().as_nanos() as u64).max(1));
         Ok(lsn)
     }
 

@@ -182,9 +182,15 @@ pub fn counters_obj(counters: &BTreeMap<String, u64>) -> JsonValue {
 
 // ----- validating parser -----------------------------------------------------
 
+/// Maximum object/array nesting the parser accepts. Journal records are a
+/// few levels deep; anything past this is hostile or corrupt input and gets
+/// rejected instead of risking a stack overflow in the recursive descent.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -234,12 +240,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<JsonValue, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Obj(pairs));
         }
         loop {
@@ -254,6 +270,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Obj(pairs));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -263,10 +280,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<JsonValue, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Arr(items));
         }
         loop {
@@ -276,6 +295,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -305,16 +325,30 @@ impl<'a> Parser<'a> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            if self.pos + 4 >= self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
-                            }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                    .map_err(|_| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let code = self.hex4_at(self.pos + 1)?;
                             self.pos += 4;
+                            if (0xD800..=0xDBFF).contains(&code) {
+                                // High surrogate: combine with an
+                                // immediately following \uDC00–\uDFFF into
+                                // one supplementary-plane scalar. A lone or
+                                // mispaired surrogate degrades to U+FFFD.
+                                let paired = self.bytes.get(self.pos + 1)
+                                    == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 2) == Some(&b'u');
+                                let low =
+                                    if paired { Some(self.hex4_at(self.pos + 3)?) } else { None };
+                                match low {
+                                    Some(lo) if (0xDC00..=0xDFFF).contains(&lo) => {
+                                        let c =
+                                            0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                        out.push(char::from_u32(c).unwrap_or('\u{fffd}'));
+                                        self.pos += 6;
+                                    }
+                                    _ => out.push('\u{fffd}'),
+                                }
+                            } else {
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
                         }
                         _ => return Err(self.err("bad escape")),
                     }
@@ -330,6 +364,16 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+    }
+
+    /// Read four hex digits starting at byte `at` (does not move `pos`).
+    fn hex4_at(&self, at: usize) -> Result<u32, String> {
+        if at + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[at..at + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))
     }
 
     fn number(&mut self) -> Result<JsonValue, String> {
@@ -362,7 +406,7 @@ impl<'a> Parser<'a> {
 
 /// Parse a complete JSON document.
 pub fn parse(input: &str) -> Result<JsonValue, String> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
@@ -387,6 +431,29 @@ pub fn validate_lines(input: &str) -> Result<usize, String> {
         return Err("no JSON records found".to_string());
     }
     Ok(n)
+}
+
+/// Like [`validate_lines`] but tolerates a single torn **final** line — the
+/// normal state of a streaming flight-recorder sink cut off mid-record by a
+/// crash or kill. Returns `(records, torn)` where `torn` reports whether the
+/// last line failed to parse and was skipped. A malformed line anywhere
+/// else is still an error, as is an input with no complete record at all.
+pub fn validate_lines_tolerant(input: &str) -> Result<(usize, bool), String> {
+    let lines: Vec<(usize, &str)> =
+        input.lines().enumerate().filter(|(_, l)| !l.trim().is_empty()).collect();
+    let mut n = 0usize;
+    let mut torn = false;
+    for (k, (i, line)) in lines.iter().enumerate() {
+        match parse(line) {
+            Ok(_) => n += 1,
+            Err(_) if k + 1 == lines.len() => torn = true,
+            Err(e) => return Err(format!("line {}: {e}", i + 1)),
+        }
+    }
+    if n == 0 {
+        return Err("no JSON records found".to_string());
+    }
+    Ok((n, torn))
 }
 
 #[cfg(test)]
@@ -415,6 +482,66 @@ mod tests {
     fn escapes_control_chars() {
         assert_eq!(escape("a\u{1}b"), "a\\u0001b");
         assert_eq!(parse("\"a\\u0041b\"").unwrap().as_str(), Some("aAb"));
+    }
+
+    #[test]
+    fn surrogate_pairs_combine_and_lone_surrogates_degrade() {
+        // A paired 😀 is one supplementary-plane char (😀).
+        assert_eq!(parse("\"\\uD83D\\uDE00\"").unwrap().as_str(), Some("😀"));
+        // U+10FFFF, the last scalar, via its surrogate pair.
+        assert_eq!(parse("\"\\uDBFF\\uDFFF\"").unwrap().as_str(), Some("\u{10FFFF}"));
+        // Lone high, lone low, and a mispaired high each degrade to U+FFFD
+        // without corrupting the rest of the string.
+        assert_eq!(parse("\"a\\uD83Db\"").unwrap().as_str(), Some("a\u{fffd}b"));
+        assert_eq!(parse("\"a\\uDE00b\"").unwrap().as_str(), Some("a\u{fffd}b"));
+        assert_eq!(parse("\"\\uD83D\\u0041\"").unwrap().as_str(), Some("\u{fffd}A"));
+        // Truncated escape after a high surrogate is still a hard error.
+        assert!(parse("\"\\uD83D\\uDE\"").is_err());
+    }
+
+    #[test]
+    fn u64_max_counters_roundtrip_exactly() {
+        let v = JsonValue::obj(vec![("c", u64::MAX.into())]);
+        let text = v.render();
+        assert!(text.contains("18446744073709551615"));
+        let back = parse(&text).unwrap();
+        assert_eq!(back.get("c").unwrap().as_u64(), Some(u64::MAX));
+        // One past u64::MAX no longer fits an integer and is rejected
+        // rather than silently rounded through f64.
+        assert!(parse("18446744073709551616").is_err());
+        assert_eq!(parse("-9223372036854775808").unwrap(), JsonValue::I64(i64::MIN));
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let ok = format!("{}0{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&ok).is_ok(), "100 levels must parse");
+        let deep = format!("{}0{}", "[".repeat(300), "]".repeat(300));
+        let err = parse(&deep).unwrap_err();
+        assert!(err.contains("nesting too deep"), "got: {err}");
+        // Deeply nested *fields* (objects) hit the same bound.
+        let mut obj = String::new();
+        for _ in 0..300 {
+            obj.push_str("{\"f\":");
+        }
+        obj.push('1');
+        obj.push_str(&"}".repeat(300));
+        assert!(parse(&obj).unwrap_err().contains("nesting too deep"));
+    }
+
+    #[test]
+    fn tolerant_validation_accepts_one_torn_final_line() {
+        let torn = "{\"a\":1}\n{\"b\":2}\n{\"c\":tru";
+        // Strict validation rejects the torn tail...
+        assert!(validate_lines(torn).is_err());
+        // ...tolerant validation counts the complete records and flags it.
+        assert_eq!(validate_lines_tolerant(torn).unwrap(), (2, true));
+        // An intact file reports torn = false.
+        assert_eq!(validate_lines_tolerant("{\"a\":1}\n").unwrap(), (1, false));
+        // Garbage in the middle is never tolerated.
+        assert!(validate_lines_tolerant("{\"a\":1}\nnope\n{\"b\":2}\n").is_err());
+        // A file that is nothing but a torn line has no records to count.
+        assert!(validate_lines_tolerant("{\"a\":").is_err());
     }
 
     #[test]

@@ -8,14 +8,31 @@
 //!   the schema-evolution pipeline (`evolve` → `evolve.translate` →
 //!   `evolve.classify` → `evolve.view_regen` → `evolve.swap_in`). Closing a
 //!   span appends a record to the journal and feeds the
-//!   `span.<name>` histogram.
+//!   `span.<name>` histogram. Span nesting is **per thread**: each thread
+//!   owns its own span stack inside the shared domain, so concurrent
+//!   sessions can never misattribute parentage or close one another's
+//!   spans.
+//! * **Traces** ([`Telemetry::ensure_trace`], [`Telemetry::enter_trace`]):
+//!   every journal record is stamped with the trace id active on its
+//!   thread, and cross-thread causality is linked explicitly via
+//!   [`Telemetry::handoff`]/[`Telemetry::adopt`] (`follows_from` on the
+//!   adopted thread's root spans) rather than implied by a global stack.
 //! * **Metrics registry** ([`Telemetry::incr`], [`Telemetry::observe_ns`],
 //!   [`Telemetry::set_gauge`]): named `u64` counters/gauges and log₂-bucket
 //!   histograms, snapshotted deterministically with
 //!   [`Telemetry::snapshot`].
-//! * **Event journal** ([`Telemetry::journal_lines`]): every closed span and
-//!   explicit event serialised as JSON-lines for offline analysis; the
-//!   [`json`] module carries the writer and a validating parser.
+//! * **Flight recorder** ([`Telemetry::journal_lines`]): every closed span
+//!   and explicit event lands in a **bounded ring buffer** (default
+//!   [`DEFAULT_JOURNAL_CAPACITY`] records; overflow evicts the oldest
+//!   record and bumps `journal.dropped`) and, when a sink is attached
+//!   ([`Telemetry::attach_sink`]), is also streamed to a JSON-lines file so
+//!   long runs keep full history on disk with bounded memory. The [`json`]
+//!   module carries the writer and a validating parser.
+//! * **Slow-op log** ([`Telemetry::set_slow_op_threshold_ns`]): operations
+//!   measured through [`Telemetry::observe_op`] that exceed the threshold
+//!   emit a `slow_op` journal event enriched with the lock/WAL waits the
+//!   thread accumulated during the operation, so tail latency is
+//!   attributable offline.
 //!
 //! A [`Telemetry`] is a cheap cloneable handle (`Arc` inside); the
 //! object-model `Database` owns one and every layer above reaches it through
@@ -34,15 +51,116 @@ pub use json::JsonValue;
 pub use registry::MetricsSnapshot;
 pub use span::{JournalRecord, SpanGuard};
 
+use std::collections::{HashMap, VecDeque};
+use std::io::Write as _;
+use std::path::Path;
 use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
 use std::time::Instant;
+
+/// Default capacity of the in-memory journal ring buffer (~64Ki records).
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 64 * 1024;
+
+/// Wait histograms that also accumulate into the observing thread's
+/// operation context, so a `slow_op` event can attribute where a slow
+/// operation spent its time. Every name here is observed *on the thread
+/// performing the operation* (lock acquisition and group-commit waits run
+/// inline), which is what makes the attribution causally correct.
+const TRACKED_WAITS: &[&str] = &[
+    "lock.stripe_wait_ns",
+    "lock.read_wait_ns",
+    "lock.write_wait_ns",
+    "lock.control_wait_ns",
+    "wal.fsync_ns",
+    "wal.commit_wait_ns",
+];
+
+/// One trace scope entered on a thread (innermost last on the stack).
+pub(crate) struct TraceScope {
+    pub(crate) trace: u64,
+    /// Span id (possibly from another thread) the first root span opened
+    /// under this scope should link to with `follows_from`.
+    pub(crate) follows_span: Option<u64>,
+}
+
+/// Per-thread span/trace context, registered with the shared domain the
+/// first time a thread opens a span, enters a trace, or emits an event.
+pub(crate) struct ThreadCtx {
+    /// Dense per-domain thread index (1-based), stamped on journal records
+    /// as `tid`.
+    pub(crate) tid: u64,
+    pub(crate) stack: Vec<span::OpenSpan>,
+    pub(crate) traces: Vec<TraceScope>,
+    /// Tracked waits accumulated since the last [`Telemetry::observe_op`]
+    /// on this thread (name → summed ns).
+    pub(crate) waits: Vec<(&'static str, u64)>,
+}
 
 pub(crate) struct State {
     pub(crate) counters: std::collections::BTreeMap<String, u64>,
     pub(crate) histograms: std::collections::BTreeMap<String, Histogram>,
-    pub(crate) stack: Vec<span::OpenSpan>,
-    pub(crate) journal: Vec<JournalRecord>,
+    pub(crate) threads: HashMap<ThreadId, ThreadCtx>,
+    /// Dense 1-based thread numbering, assigned on first touch and **kept
+    /// for the domain's lifetime** even when the heavy [`ThreadCtx`] is
+    /// GC'd — a thread's `tid` in the journal never changes.
+    pub(crate) tids: HashMap<ThreadId, u64>,
+    pub(crate) next_tid: u64,
+    pub(crate) journal: VecDeque<JournalRecord>,
+    pub(crate) journal_capacity: usize,
+    pub(crate) sink: Option<std::io::BufWriter<std::fs::File>>,
+    pub(crate) sink_records: u64,
     pub(crate) next_span_id: u64,
+    pub(crate) next_trace_id: u64,
+    pub(crate) slow_op_threshold_ns: u64,
+}
+
+impl State {
+    /// The calling thread's context, creating (and numbering) it on first
+    /// touch.
+    pub(crate) fn ctx(&mut self) -> &mut ThreadCtx {
+        let key = std::thread::current().id();
+        let next_tid = &mut self.next_tid;
+        let tid = *self.tids.entry(key).or_insert_with(|| {
+            let tid = *next_tid;
+            *next_tid += 1;
+            tid
+        });
+        self.threads.entry(key).or_insert_with(|| ThreadCtx {
+            tid,
+            stack: Vec::new(),
+            traces: Vec::new(),
+            waits: Vec::new(),
+        })
+    }
+
+    /// Drop a thread context that holds nothing, so thread churn cannot
+    /// grow the map without bound.
+    pub(crate) fn gc_ctx(&mut self, key: ThreadId) {
+        if let Some(ctx) = self.threads.get(&key) {
+            if ctx.stack.is_empty() && ctx.traces.is_empty() && ctx.waits.is_empty() {
+                self.threads.remove(&key);
+            }
+        }
+    }
+
+    /// Append one record: stream it to the sink (if any), then push it into
+    /// the bounded ring, evicting (and counting) the oldest on overflow.
+    pub(crate) fn push_record(&mut self, rec: JournalRecord) {
+        if let Some(sink) = &mut self.sink {
+            let mut line = rec.to_json().render();
+            line.push('\n');
+            if sink.write_all(line.as_bytes()).is_ok() {
+                self.sink_records += 1;
+            } else {
+                *self.counters.entry("journal.sink_errors".into()).or_insert(0) += 1;
+            }
+        }
+        while self.journal.len() >= self.journal_capacity.max(1) {
+            self.journal.pop_front();
+            *self.counters.entry("journal.dropped".into()).or_insert(0) += 1;
+        }
+        self.journal.push_back(rec);
+    }
 }
 
 pub(crate) struct Inner {
@@ -50,11 +168,60 @@ pub(crate) struct Inner {
     pub(crate) state: Mutex<State>,
 }
 
-/// A cloneable handle to one telemetry domain (registry + journal + span
-/// stack). All methods take `&self` and are internally synchronised.
+/// A cloneable handle to one telemetry domain (registry + journal + the
+/// per-thread span/trace contexts). All methods take `&self` and are
+/// internally synchronised.
 #[derive(Clone)]
 pub struct Telemetry {
     pub(crate) inner: Arc<Inner>,
+}
+
+/// Captured cross-thread causality: the trace active on the capturing
+/// thread plus its innermost open span. Pass it to another thread and
+/// [`Telemetry::adopt`] it there — root spans on the adopting thread carry
+/// `follows_from` links back to the captured span instead of corrupting the
+/// capturing thread's stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHandoff {
+    /// The trace the capturing thread was in.
+    pub trace: u64,
+    /// The innermost span open on the capturing thread, if any.
+    pub span: Option<u64>,
+}
+
+/// RAII guard for one trace scope on the current thread; leaving the scope
+/// (drop) pops it. The guard must be dropped on the thread that entered it
+/// (debug-asserted); traces themselves move across threads via
+/// [`Telemetry::handoff`] / [`Telemetry::adopt`].
+#[must_use = "a trace scope ends as soon as the guard drops"]
+pub struct TraceGuard {
+    telemetry: Telemetry,
+    owner: ThreadId,
+    trace: u64,
+}
+
+impl TraceGuard {
+    /// The trace id this guard keeps active.
+    pub fn trace(&self) -> u64 {
+        self.trace
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        debug_assert_eq!(
+            self.owner,
+            std::thread::current().id(),
+            "TraceGuard dropped on a different thread than it was entered on"
+        );
+        let mut st = self.telemetry.inner.state.lock().unwrap();
+        if let Some(ctx) = st.threads.get_mut(&self.owner) {
+            if let Some(pos) = ctx.traces.iter().rposition(|s| s.trace == self.trace) {
+                ctx.traces.remove(pos);
+            }
+        }
+        st.gc_ctx(self.owner);
+    }
 }
 
 impl Default for Telemetry {
@@ -70,23 +237,38 @@ impl std::fmt::Debug for Telemetry {
             .field("counters", &st.counters.len())
             .field("histograms", &st.histograms.len())
             .field("journal_records", &st.journal.len())
-            .field("open_spans", &st.stack.len())
+            .field("threads", &st.threads.len())
+            .field("open_spans", &st.threads.values().map(|c| c.stack.len()).sum::<usize>())
             .finish()
     }
 }
 
 impl Telemetry {
-    /// A fresh, empty telemetry domain.
+    /// A fresh, empty telemetry domain with the default journal capacity.
     pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// A fresh domain whose journal ring holds at most `capacity` records
+    /// (clamped to ≥ 1). Overflow evicts the oldest record and bumps the
+    /// `journal.dropped` counter.
+    pub fn with_capacity(capacity: usize) -> Self {
         Telemetry {
             inner: Arc::new(Inner {
                 epoch: Instant::now(),
                 state: Mutex::new(State {
                     counters: Default::default(),
                     histograms: Default::default(),
-                    stack: Vec::new(),
-                    journal: Vec::new(),
+                    threads: HashMap::new(),
+                    tids: HashMap::new(),
+                    next_tid: 1,
+                    journal: VecDeque::new(),
+                    journal_capacity: capacity.max(1),
+                    sink: None,
+                    sink_records: 0,
                     next_span_id: 1,
+                    next_trace_id: 1,
+                    slow_op_threshold_ns: 0,
                 }),
             }),
         }
@@ -119,10 +301,19 @@ impl Telemetry {
     // ----- histograms --------------------------------------------------------
 
     /// Record one observation (e.g. nanoseconds) into the named log₂
-    /// histogram.
+    /// histogram. Tracked wait names (`lock.*_wait_ns`, `wal.fsync_ns`,
+    /// `wal.commit_wait_ns`) additionally accumulate into the calling
+    /// thread's operation context for slow-op attribution.
     pub fn observe_ns(&self, name: &str, value: u64) {
         let mut st = self.inner.state.lock().unwrap();
         st.histograms.entry(name.to_string()).or_default().record(value);
+        if let Some(tracked) = TRACKED_WAITS.iter().find(|w| **w == name) {
+            let ctx = st.ctx();
+            match ctx.waits.iter_mut().find(|(n, _)| n == tracked) {
+                Some((_, sum)) => *sum += value,
+                None => ctx.waits.push((tracked, value)),
+            }
+        }
     }
 
     /// Time a closure into the named histogram; returns its result.
@@ -133,19 +324,227 @@ impl Telemetry {
         out
     }
 
+    // ----- operations / slow-op log -----------------------------------------
+
+    /// Operations measured through [`Telemetry::observe_op`] that take at
+    /// least `ns` nanoseconds emit a `slow_op` journal event enriched with
+    /// the thread's tracked waits. `0` (the default) disables the log.
+    pub fn set_slow_op_threshold_ns(&self, ns: u64) {
+        self.inner.state.lock().unwrap().slow_op_threshold_ns = ns;
+    }
+
+    /// Count one data-plane operation (`op.<name>`), record its latency
+    /// into `latency.<name>`, and — when a slow-op threshold is configured
+    /// and exceeded — emit a `slow_op` event carrying the operation name,
+    /// duration, and every tracked wait the calling thread accumulated
+    /// since its previous measured operation (stripe/lock waits, WAL fsync
+    /// and group-commit waits). The wait accumulators reset either way.
+    pub fn observe_op(&self, op: &str, dur_ns: u64) {
+        let dur_ns = dur_ns.max(1);
+        let at_ns = self.now_ns();
+        let mut st = self.inner.state.lock().unwrap();
+        *st.counters.entry(format!("op.{op}")).or_insert(0) += 1;
+        st.histograms.entry(format!("latency.{op}")).or_default().record(dur_ns);
+        let threshold = st.slow_op_threshold_ns;
+        let waits = std::mem::take(&mut st.ctx().waits);
+        if threshold > 0 && dur_ns >= threshold {
+            *st.counters.entry("slow_op.count".into()).or_insert(0) += 1;
+            let mut fields: Vec<(String, JsonValue)> = vec![
+                ("op".into(), op.into()),
+                ("dur_ns".into(), dur_ns.into()),
+                ("threshold_ns".into(), threshold.into()),
+            ];
+            for (name, sum) in waits {
+                fields.push((name.to_string(), sum.into()));
+            }
+            let (tid, trace, parent) = stamp(&mut st);
+            let rec = JournalRecord::Event { name: "slow_op".into(), at_ns, parent, trace, tid, fields };
+            st.push_record(rec);
+        }
+    }
+
+    // ----- traces ------------------------------------------------------------
+
+    /// Mint a fresh trace id and journal a `trace.begin` event stamped with
+    /// it (without entering the trace on this thread). Use this to give a
+    /// long-lived session its identity once, then [`Telemetry::enter_trace`]
+    /// per operation.
+    pub fn mint_trace(&self, kind: &str) -> u64 {
+        let at_ns = self.now_ns();
+        let mut st = self.inner.state.lock().unwrap();
+        let trace = st.next_trace_id;
+        st.next_trace_id += 1;
+        let tid = st.ctx().tid;
+        let rec = JournalRecord::Event {
+            name: "trace.begin".into(),
+            at_ns,
+            parent: None,
+            trace: Some(trace),
+            tid,
+            fields: vec![("kind".into(), kind.into())],
+        };
+        st.push_record(rec);
+        trace
+    }
+
+    /// Enter an existing trace on the current thread; spans and events
+    /// opened while the guard lives are stamped with it.
+    pub fn enter_trace(&self, trace: u64) -> TraceGuard {
+        let mut st = self.inner.state.lock().unwrap();
+        st.ctx().traces.push(TraceScope { trace, follows_span: None });
+        drop(st);
+        TraceGuard { telemetry: self.clone(), owner: std::thread::current().id(), trace }
+    }
+
+    /// Enter the trace already active on this thread, or mint a new one
+    /// (journaling `trace.begin` with `kind`) when there is none. This is
+    /// how `evolve` gets a trace from every entry point without double-
+    /// minting inside composite macros.
+    pub fn ensure_trace(&self, kind: &str) -> TraceGuard {
+        if let Some(trace) = self.current_trace() {
+            return self.enter_trace(trace);
+        }
+        let trace = self.mint_trace(kind);
+        self.enter_trace(trace)
+    }
+
+    /// Mint and enter a **new** trace even when one is active — for work
+    /// that is causally triggered by the current operation but is its own
+    /// unit (e.g. an opportunistic auto-checkpoint riding a write). The
+    /// `trace.begin` event carries a `follows_from_trace` link to the
+    /// enclosing trace when there is one.
+    pub fn new_trace(&self, kind: &str) -> TraceGuard {
+        let at_ns = self.now_ns();
+        let mut st = self.inner.state.lock().unwrap();
+        let trace = st.next_trace_id;
+        st.next_trace_id += 1;
+        let ctx = st.ctx();
+        let prev = ctx.traces.last().map(|s| s.trace);
+        let follows_span = ctx.stack.last().map(|s| s.id);
+        let tid = ctx.tid;
+        ctx.traces.push(TraceScope { trace, follows_span });
+        let mut fields: Vec<(String, JsonValue)> = vec![("kind".into(), kind.into())];
+        if let Some(p) = prev {
+            fields.push(("follows_from_trace".into(), p.into()));
+        }
+        let rec = JournalRecord::Event {
+            name: "trace.begin".into(),
+            at_ns,
+            parent: None,
+            trace: Some(trace),
+            tid,
+            fields,
+        };
+        st.push_record(rec);
+        drop(st);
+        TraceGuard { telemetry: self.clone(), owner: std::thread::current().id(), trace }
+    }
+
+    /// The trace active on the calling thread, if any.
+    pub fn current_trace(&self) -> Option<u64> {
+        let mut st = self.inner.state.lock().unwrap();
+        st.ctx().traces.last().map(|s| s.trace)
+    }
+
+    /// Capture the calling thread's trace context for handoff to another
+    /// thread. `None` when no trace is active.
+    pub fn handoff(&self) -> Option<TraceHandoff> {
+        let mut st = self.inner.state.lock().unwrap();
+        let ctx = st.ctx();
+        let trace = ctx.traces.last().map(|s| s.trace)?;
+        let span = ctx.stack.last().map(|s| s.id);
+        Some(TraceHandoff { trace, span })
+    }
+
+    /// Adopt a handed-off trace context on the current thread: the same
+    /// trace continues here, and root spans opened under the guard carry a
+    /// `follows_from` link back to the captured span — explicit cross-
+    /// thread causality instead of a corrupted global stack.
+    pub fn adopt(&self, h: TraceHandoff) -> TraceGuard {
+        let mut st = self.inner.state.lock().unwrap();
+        st.ctx().traces.push(TraceScope { trace: h.trace, follows_span: h.span });
+        drop(st);
+        TraceGuard { telemetry: self.clone(), owner: std::thread::current().id(), trace: h.trace }
+    }
+
     // ----- events ------------------------------------------------------------
 
-    /// Append a free-form event record to the journal.
+    /// Append a free-form event record to the journal, stamped with the
+    /// calling thread's id and active trace.
     pub fn event(&self, name: &str, fields: &[(&str, JsonValue)]) {
         let at_ns = self.now_ns();
         let mut st = self.inner.state.lock().unwrap();
-        let parent = st.stack.last().map(|s| s.id);
-        st.journal.push(JournalRecord::Event {
+        let (tid, trace, parent) = stamp(&mut st);
+        let rec = JournalRecord::Event {
             name: name.to_string(),
             at_ns,
             parent,
+            trace,
+            tid,
             fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
-        });
+        };
+        st.push_record(rec);
+    }
+
+    // ----- flight recorder ---------------------------------------------------
+
+    /// Resize the journal ring buffer. Shrinking evicts the oldest records
+    /// (counted in `journal.dropped`).
+    pub fn set_journal_capacity(&self, capacity: usize) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.journal_capacity = capacity.max(1);
+        while st.journal.len() > st.journal_capacity {
+            st.journal.pop_front();
+            *st.counters.entry("journal.dropped".into()).or_insert(0) += 1;
+        }
+    }
+
+    /// The journal ring's current capacity in records.
+    pub fn journal_capacity(&self) -> usize {
+        self.inner.state.lock().unwrap().journal_capacity
+    }
+
+    /// Records evicted from the ring so far (the `journal.dropped`
+    /// counter). A sink, if attached early, still holds them on disk.
+    pub fn journal_dropped(&self) -> u64 {
+        self.counter("journal.dropped")
+    }
+
+    /// Stream every subsequent journal record to a JSON-lines file as it is
+    /// appended, so the in-memory ring can stay bounded while long runs
+    /// keep full history on disk. Replaces any previous sink (flushing it
+    /// first). Write failures bump `journal.sink_errors` and do not fail
+    /// the instrumented operation.
+    pub fn attach_sink(&self, path: &Path) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut st = self.inner.state.lock().unwrap();
+        if let Some(mut old) = st.sink.take() {
+            let _ = old.flush();
+        }
+        st.sink = Some(std::io::BufWriter::new(file));
+        st.sink_records = 0;
+        Ok(())
+    }
+
+    /// Flush the attached sink (no-op without one) and return how many
+    /// records it has received since it was attached.
+    pub fn flush_sink(&self) -> std::io::Result<u64> {
+        let mut st = self.inner.state.lock().unwrap();
+        if let Some(sink) = &mut st.sink {
+            sink.flush()?;
+        }
+        Ok(st.sink_records)
+    }
+
+    /// Detach the sink, flushing it; returns the record count it received.
+    pub fn detach_sink(&self) -> std::io::Result<u64> {
+        let mut st = self.inner.state.lock().unwrap();
+        let n = st.sink_records;
+        if let Some(mut sink) = st.sink.take() {
+            sink.flush()?;
+        }
+        st.sink_records = 0;
+        Ok(n)
     }
 
     // ----- snapshot / journal ------------------------------------------------
@@ -159,12 +558,22 @@ impl Telemetry {
         }
     }
 
-    /// All journal records so far (oldest first).
-    pub fn journal(&self) -> Vec<JournalRecord> {
-        self.inner.state.lock().unwrap().journal.clone()
+    /// Embed the current metrics snapshot in the journal as a
+    /// `metrics.snapshot` event, so an offline reader (`tse-inspect`) can
+    /// report counters and histograms alongside the trace timeline.
+    pub fn journal_metrics_snapshot(&self) {
+        let snap = self.snapshot().to_json();
+        self.event("metrics.snapshot", &[("snapshot", snap)]);
     }
 
-    /// The journal serialised as JSON-lines (one object per line).
+    /// The journal records currently in the ring (oldest first). Under
+    /// sustained load with a full ring this is the *tail* of history; the
+    /// sink keeps the rest.
+    pub fn journal(&self) -> Vec<JournalRecord> {
+        self.inner.state.lock().unwrap().journal.iter().cloned().collect()
+    }
+
+    /// The in-ring journal serialised as JSON-lines (one object per line).
     pub fn journal_lines(&self) -> String {
         let st = self.inner.state.lock().unwrap();
         let mut out = String::new();
@@ -175,14 +584,24 @@ impl Telemetry {
         out
     }
 
-    /// Drop all recorded state (counters, histograms, journal). Open span
-    /// guards keep working; their records land in the fresh journal.
+    /// Drop all recorded state (counters, histograms, journal ring). Open
+    /// span guards and entered traces keep working; their records land in
+    /// the fresh journal. An attached sink is left in place.
     pub fn reset(&self) {
         let mut st = self.inner.state.lock().unwrap();
         st.counters.clear();
         st.histograms.clear();
         st.journal.clear();
     }
+}
+
+/// Current thread's journal stamp: `(tid, active trace, innermost open span)`.
+/// Falls back to the innermost open span's trace when no trace scope is
+/// entered (a span guard held across a scope exit keeps attributing).
+pub(crate) fn stamp(st: &mut State) -> (u64, Option<u64>, Option<u64>) {
+    let ctx = st.ctx();
+    let trace = ctx.traces.last().map(|s| s.trace).or_else(|| ctx.stack.last().and_then(|s| s.trace));
+    (ctx.tid, trace, ctx.stack.last().map(|s| s.id))
 }
 
 #[cfg(test)]
@@ -222,5 +641,189 @@ mod tests {
         let snap = t.snapshot();
         assert!(snap.counters.is_empty() && snap.histograms.is_empty());
         assert!(t.journal().is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_bounds_memory_and_counts_drops() {
+        let t = Telemetry::with_capacity(8);
+        for i in 0..20u64 {
+            t.event("e", &[("i", i.into())]);
+        }
+        let journal = t.journal();
+        assert_eq!(journal.len(), 8, "ring bounded at capacity");
+        assert_eq!(t.journal_dropped(), 12, "evictions counted");
+        // The ring holds the *newest* records.
+        match &journal[0] {
+            JournalRecord::Event { fields, .. } => {
+                assert_eq!(fields[0].1, JsonValue::U64(12));
+            }
+            other => panic!("expected event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_and_counts() {
+        let t = Telemetry::with_capacity(16);
+        for _ in 0..10 {
+            t.event("e", &[]);
+        }
+        t.set_journal_capacity(4);
+        assert_eq!(t.journal().len(), 4);
+        assert_eq!(t.journal_dropped(), 6);
+        assert_eq!(t.journal_capacity(), 4);
+    }
+
+    #[test]
+    fn sink_receives_all_records_past_ring_capacity() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("tse_sink_test_{}.jsonl", std::process::id()));
+        let t = Telemetry::with_capacity(4);
+        t.attach_sink(&path).unwrap();
+        for i in 0..33u64 {
+            t.event("e", &[("i", i.into())]);
+        }
+        let sunk = t.detach_sink().unwrap();
+        assert_eq!(sunk, 33, "sink saw every record");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(crate::json::validate_lines(&text).unwrap(), 33);
+        assert_eq!(t.journal().len(), 4);
+        assert_eq!(t.journal_dropped() + t.journal().len() as u64, 33);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tid_is_stable_across_context_gc() {
+        let t = Telemetry::new();
+        // Each enter/exit cycle empties and GCs the thread's heavy context;
+        // the dense tid must survive the churn.
+        let tid_of = |t: &Telemetry| {
+            let tr = t.mint_trace("probe");
+            let g = t.enter_trace(tr);
+            t.event("probe", &[]);
+            drop(g);
+            t.journal().last().unwrap().tid()
+        };
+        let first = tid_of(&t);
+        let again = tid_of(&t);
+        assert_eq!(first, again, "tid changed after context GC");
+        // A different thread still gets its own distinct tid.
+        let t2 = t.clone();
+        let other = std::thread::spawn(move || tid_of(&t2)).join().unwrap();
+        assert_ne!(first, other);
+    }
+
+    #[test]
+    fn trace_mint_enter_and_stamping() {
+        let t = Telemetry::new();
+        assert_eq!(t.current_trace(), None);
+        let tr = t.mint_trace("session");
+        {
+            let guard = t.enter_trace(tr);
+            assert_eq!(guard.trace(), tr);
+            assert_eq!(t.current_trace(), Some(tr));
+            t.event("inside", &[]);
+        }
+        assert_eq!(t.current_trace(), None);
+        t.event("outside", &[]);
+        let journal = t.journal();
+        // trace.begin, inside, outside.
+        assert_eq!(journal.len(), 3);
+        match &journal[1] {
+            JournalRecord::Event { name, trace, .. } => {
+                assert_eq!(name, "inside");
+                assert_eq!(*trace, Some(tr));
+            }
+            other => panic!("expected event, got {other:?}"),
+        }
+        match &journal[2] {
+            JournalRecord::Event { trace, .. } => assert_eq!(*trace, None),
+            other => panic!("expected event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ensure_trace_reuses_and_new_trace_links() {
+        let t = Telemetry::new();
+        let outer = t.ensure_trace("evolve");
+        let inner = t.ensure_trace("evolve");
+        assert_eq!(outer.trace(), inner.trace(), "ensure_trace reuses the active trace");
+        let fresh = t.new_trace("autocheckpoint");
+        assert_ne!(fresh.trace(), outer.trace());
+        let journal = t.journal();
+        // One trace.begin from ensure_trace's mint, one from new_trace.
+        let begins: Vec<_> = journal
+            .iter()
+            .filter(|r| r.name() == "trace.begin")
+            .collect();
+        assert_eq!(begins.len(), 2);
+        match begins[1] {
+            JournalRecord::Event { fields, .. } => {
+                assert!(fields.iter().any(|(k, v)| {
+                    k == "follows_from_trace" && *v == JsonValue::U64(outer.trace())
+                }));
+            }
+            other => panic!("expected event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slow_op_log_fires_over_threshold_with_waits() {
+        let t = Telemetry::new();
+        t.set_slow_op_threshold_ns(1000);
+        t.observe_ns("lock.stripe_wait_ns", 77);
+        t.observe_op("fast", 999);
+        assert_eq!(t.counter("slow_op.count"), 0, "below threshold: no event");
+        t.observe_ns("lock.stripe_wait_ns", 500);
+        t.observe_ns("lock.stripe_wait_ns", 11);
+        t.observe_op("slow", 5000);
+        assert_eq!(t.counter("slow_op.count"), 1);
+        let journal = t.journal();
+        let slow = journal.iter().find(|r| r.name() == "slow_op").expect("slow_op event");
+        match slow {
+            JournalRecord::Event { fields, .. } => {
+                assert!(fields.iter().any(|(k, v)| k == "op" && *v == JsonValue::Str("slow".into())));
+                assert!(fields.iter().any(|(k, v)| k == "dur_ns" && *v == JsonValue::U64(5000)));
+                // Waits drained by the earlier fast op do not leak in; only
+                // the 500+11 accumulated since then are attributed.
+                assert!(fields
+                    .iter()
+                    .any(|(k, v)| k == "lock.stripe_wait_ns" && *v == JsonValue::U64(511)));
+            }
+            other => panic!("expected event, got {other:?}"),
+        }
+        // op counter and latency histogram still fed.
+        assert_eq!(t.counter("op.slow"), 1);
+        assert_eq!(t.snapshot().histograms["latency.slow"].count, 1);
+    }
+
+    #[test]
+    fn handoff_and_adopt_cross_threads() {
+        let t = Telemetry::new();
+        let tr = t.mint_trace("pipeline");
+        let _guard = t.enter_trace(tr);
+        let root = t.span("stage1");
+        let h = t.handoff().expect("trace active");
+        assert_eq!(h.trace, tr);
+        let t2 = t.clone();
+        std::thread::spawn(move || {
+            let _g = t2.adopt(h);
+            let _s = t2.span("stage2");
+        })
+        .join()
+        .unwrap();
+        root.finish();
+        let journal = t.journal();
+        let stage2 = journal
+            .iter()
+            .find(|r| r.name() == "stage2")
+            .expect("adopted thread's span journaled");
+        match stage2 {
+            JournalRecord::Span { trace, parent, follows_from, .. } => {
+                assert_eq!(*trace, Some(tr), "same trace continues on the adopting thread");
+                assert_eq!(*parent, None, "no fake same-thread parent");
+                assert!(follows_from.is_some(), "explicit follows_from link");
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
     }
 }

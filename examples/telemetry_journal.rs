@@ -1,56 +1,140 @@
-//! Dump the telemetry journal of one schema evolution as JSON-lines.
+//! Dump the telemetry journal of a concurrent workload as JSON-lines.
 //!
 //! ```text
-//! cargo run --example telemetry_journal
+//! cargo run --example telemetry_journal [journal-sink.jsonl]
 //! ```
 //!
-//! Builds the university database, applies a single `add_attribute` change
-//! through a view, performs a few data-plane operations, and prints the
-//! system's event journal — one JSON object per line — followed by the
-//! metrics-registry snapshot. The example validates its own output (every
-//! line parses as JSON; the pipeline phase spans are present with nonzero
-//! durations), so CI can use it as a telemetry smoke test.
+//! Builds the university database, runs concurrent read/write sessions
+//! while a schema evolution swaps epochs under them, and prints the
+//! system's flight-recorder journal — one traced JSON object per line —
+//! with a `metrics.snapshot` event embedded at the end so `tse-inspect`
+//! can expose the counters offline:
+//!
+//! ```text
+//! cargo run --example telemetry_journal > journal.jsonl
+//! cargo run -p tse-inspect -- --check journal.jsonl
+//! ```
+//!
+//! The example then exercises the bounded ring past capacity on a separate
+//! telemetry domain with a streaming file sink attached, asserting the
+//! `journal.dropped` counter and the sink agree on record counts. All
+//! self-checks double as the CI telemetry-smoke contract.
 
+use tse::core::SharedSystem;
 use tse::object_model::Value;
 use tse::telemetry::json::validate_lines;
+use tse::telemetry::Telemetry;
 use tse::workload::university::build_university;
 
 fn main() {
-    let (mut tse, _) = build_university().expect("university schema builds");
-    tse.create_view("VS1", &["Person", "Student", "TA"]).expect("view");
+    let (tse_sys, _) = build_university().expect("university schema builds");
+    let shared = SharedSystem::from_system(tse_sys);
+    let telemetry = shared.telemetry();
+    let v = shared.create_view("VS1", &["Person", "Student", "TA"]).expect("view");
 
-    let report = tse
-        .evolve_cmd("VS1", "add_attribute register: bool = false to Student")
-        .expect("schema evolution");
-    let o = tse
-        .create(report.view, "Student", &[("register", Value::Bool(true))])
-        .expect("create through view");
-    assert_eq!(
-        tse.get(report.view, o, "Student", "register").expect("read through view"),
-        Value::Bool(true)
-    );
-    tse.update_where(report.view, "Student", "register == true", &[("register", Value::Bool(false))])
-        .expect("update through view");
+    // Journal the data plane too (every op becomes a slow-op event), and
+    // start the journal fresh so every printed record is traced.
+    telemetry.reset();
+    telemetry.set_slow_op_threshold_ns(1);
 
-    // The journal: one JSON object per completed span or event.
-    let lines = tse.telemetry().journal_lines();
+    // Concurrent sessions during an evolve: two writers, two readers, and
+    // the evolving main thread.
+    let start = std::sync::Barrier::new(5);
+    std::thread::scope(|scope| {
+        for w in 0..2i64 {
+            let shared = shared.clone();
+            let start = &start;
+            scope.spawn(move || {
+                let writer = shared.writer();
+                start.wait();
+                for i in 0..25 {
+                    writer
+                        .create(v, "Student", &[("age", Value::Int(20 + (w * 25 + i) % 10))])
+                        .expect("create through view");
+                }
+            });
+        }
+        for _ in 0..2 {
+            let shared = shared.clone();
+            let start = &start;
+            scope.spawn(move || {
+                let session = shared.session();
+                start.wait();
+                for _ in 0..25 {
+                    session.extent(v, "Student").expect("extent through view");
+                    session.select_where(v, "Student", "age >= 21").expect("select");
+                }
+            });
+        }
+        start.wait();
+        shared
+            .evolve_cmd("VS1", "add_attribute register: bool = false to Student")
+            .expect("schema evolution under concurrent sessions");
+    });
+
+    // Embed the metrics snapshot for offline exposition, then print. The
+    // embed runs under its own trace so every printed record is traced.
+    {
+        let _t = telemetry.ensure_trace("snapshot");
+        telemetry.journal_metrics_snapshot();
+    }
+    let lines = telemetry.journal_lines();
     print!("{lines}");
 
     // Self-validation — this is the CI smoke contract.
     let records = validate_lines(&lines).expect("journal is well-formed JSON-lines");
-    assert!(records > 0, "journal must not be empty");
-    for phase in ["evolve", "evolve.translate", "evolve.classify", "evolve.view_regen", "evolve.swap_in", "view.generate"] {
+    assert!(records > 100, "journal must capture the whole workload, got {records}");
+    for phase in ["evolve", "evolve.translate", "evolve.classify", "evolve.view_regen",
+                  "evolve.swap_in", "view.generate"] {
         assert!(
             lines.lines().any(|l| l.contains(&format!("\"name\":\"{phase}\""))),
             "journal is missing the {phase} span"
         );
     }
-    let t = &report.timings;
-    assert!(t.translate_ns > 0 && t.classify_ns > 0 && t.view_regen_ns > 0 && t.swap_in_ns > 0);
-    assert!(t.phases_sum_ns() <= t.total_ns, "phase intervals must not overlap the total");
+    assert!(
+        !lines.lines().any(|l| l.contains("\"trace\":null")),
+        "every record must carry a trace id"
+    );
+    assert_eq!(telemetry.journal_dropped(), 0, "default capacity must not drop");
 
-    tse.db().publish_store_stats(); // refresh store.* gauges past the data-plane ops
-    eprintln!("\n-- metrics snapshot --");
-    eprintln!("{}", tse.telemetry().snapshot().to_json().render());
-    eprintln!("\n{records} journal records; phase spans present with nonzero durations. OK");
+    // ----- bounded flight recorder + streaming sink -------------------------
+    //
+    // A separate domain with a tiny ring and a JSONL file sink: push far
+    // past capacity, then check that (records still in the ring) + (dropped)
+    // equals what the sink persisted — long runs keep full history on disk
+    // with bounded memory.
+    let sink_path = std::env::args().nth(1).unwrap_or_else(|| {
+        std::env::temp_dir().join("tse_telemetry_sink.jsonl").to_string_lossy().into_owned()
+    });
+    let ring = Telemetry::with_capacity(32);
+    ring.attach_sink(std::path::Path::new(&sink_path)).expect("sink file opens");
+    let trace = ring.mint_trace("overflow_demo");
+    let guard = ring.enter_trace(trace);
+    for i in 0..500u64 {
+        ring.event("tick", &[("i", i.into())]);
+    }
+    drop(guard);
+    let sink_records = ring.detach_sink().expect("sink flushes cleanly");
+
+    let in_ring = ring.journal().len() as u64;
+    let dropped = ring.journal_dropped();
+    assert!(in_ring <= 32, "ring exceeded capacity: {in_ring}");
+    assert!(dropped > 0, "501 records through 32 slots must drop");
+    assert_eq!(
+        in_ring + dropped,
+        sink_records,
+        "ring + dropped must equal the sink's record count"
+    );
+    let sink_text = std::fs::read_to_string(&sink_path).expect("sink readable");
+    assert_eq!(
+        validate_lines(&sink_text).expect("sink is well-formed JSONL") as u64,
+        sink_records,
+        "sink file contents must match the sink record count"
+    );
+    let _ = std::fs::remove_file(&sink_path);
+
+    eprintln!(
+        "\n{records} journal records (all traced); ring kept {in_ring}, dropped {dropped}, \
+         sink persisted {sink_records}. OK"
+    );
 }

@@ -78,6 +78,35 @@ fn journal_is_valid_json_lines_with_pipeline_spans() {
 }
 
 #[test]
+fn evolve_journal_records_share_one_trace() {
+    let tse = run_workload();
+    let lines = tse.telemetry().journal_lines();
+    let journal = tse_inspect::Journal::parse(&lines).unwrap();
+    // Every evolve-pipeline span carries the evolve's trace id — one trace
+    // for the whole expansion tree.
+    let traces: Vec<Option<u64>> = journal
+        .records
+        .iter()
+        .filter(|r| {
+            r.get("name")
+                .and_then(|n| n.as_str())
+                .is_some_and(|n| n == "evolve" || n.starts_with("evolve."))
+        })
+        .map(|r| r.get("trace").and_then(|t| t.as_u64()))
+        .collect();
+    assert!(!traces.is_empty());
+    assert!(traces.iter().all(|t| t.is_some()), "untraced evolve span");
+    assert_eq!(
+        traces.iter().collect::<std::collections::BTreeSet<_>>().len(),
+        1,
+        "evolve pipeline fragmented across traces: {traces:?}"
+    );
+    assert!(journal.causality_errors().is_empty());
+    // And the offline reconstruction is complete.
+    assert!(journal.evolve_timelines().iter().any(|tl| tl.complete));
+}
+
+#[test]
 fn data_plane_counters_and_latency_histograms_recorded() {
     let tse = run_workload();
     let snap = tse.telemetry().snapshot();
