@@ -30,15 +30,20 @@
 
 use std::ops::{Deref, DerefMut};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use bytes::{Buf, Bytes};
-use tse_object_model::{ModelError, ModelResult, Value};
+use tse_object_model::{ClassId, ModelError, ModelResult, PendingProp, Value};
 use tse_storage::durable::{self, GroupWal, Wal, WalFrame};
-use tse_storage::{FailpointRegistry, StoreConfig};
+use tse_storage::{
+    scrub_dir, with_retries, FailpointRegistry, RetryPolicy, ScrubReport, StoreConfig,
+};
+use tse_view::ViewId;
 
 use crate::change::SchemaChange;
+use crate::health::{observe_io_error, HealthMachine, SystemHealth};
 use crate::system::{is_crash, note_fault, EvolutionReport, TseSystem};
-use crate::walcodec::{decode_frame, encode_frame, WalRecord};
+use crate::walcodec::{decode_frame, encode_frame, ViewMode, WalRecord};
 
 fn io(ctx: &str, e: std::io::Error) -> ModelError {
     ModelError::Storage(tse_storage::StorageError::Io(format!("{ctx}: {e}")))
@@ -66,6 +71,12 @@ pub(crate) struct DurableState {
     /// WAL size that triggers an automatic checkpoint (0 = disabled).
     autocheckpoint_bytes: u64,
     failpoints: FailpointRegistry,
+    /// Pre-ack retry policy for transient snapshot/manifest writes (the
+    /// WAL's own appends retry inside [`GroupWal`] with the same policy).
+    retry: RetryPolicy,
+    /// Health state machine, shared with the control/data planes (an
+    /// `Arc` so [`crate::SharedSystem`] clones observe one machine).
+    health: Arc<HealthMachine>,
 }
 
 /// Position of an in-flight WAL frame: its LSN plus the log length from
@@ -163,6 +174,18 @@ fn replay_record(system: &mut TseSystem, record: WalRecord) -> ModelResult<bool>
             tse_algebra::delete(system.db(), &oids)?;
         }
         WalRecord::Checkpoint => return Ok(false), // marker of an interrupted checkpoint
+        WalRecord::DefineClass { name, supers, props } => {
+            let supers: Vec<&str> = supers.iter().map(|s| s.as_str()).collect();
+            system.define_base_class(&name, &supers, props)?;
+        }
+        WalRecord::CreateView { family, classes, mode } => {
+            let classes: Vec<&str> = classes.iter().map(|s| s.as_str()).collect();
+            match mode {
+                ViewMode::Plain => system.create_view(&family, &classes)?,
+                ViewMode::Closed => system.create_view_closed(&family, &classes)?,
+                ViewMode::All => system.create_view_all(&family)?,
+            };
+        }
     }
     Ok(true)
 }
@@ -177,7 +200,10 @@ fn max_oid(record: &WalRecord) -> u64 {
         | WalRecord::AddTo { oids, .. }
         | WalRecord::RemoveFrom { oids, .. }
         | WalRecord::Delete { oids } => oids.iter().map(|o| o.0).max().unwrap_or(0),
-        WalRecord::Evolve { .. } | WalRecord::Checkpoint => 0,
+        WalRecord::Evolve { .. }
+        | WalRecord::Checkpoint
+        | WalRecord::DefineClass { .. }
+        | WalRecord::CreateView { .. } => 0,
     }
 }
 
@@ -223,10 +249,30 @@ impl DurableState {
             }
         }
 
+        // Open the WAL before settling on a snapshot: when *every* snapshot
+        // generation is corrupt but the log still starts at LSN 1 (it has
+        // never been emptied by a checkpoint), the complete history lives in
+        // the log and the system can be rebuilt by full replay alone.
+        let (mut wal, wal_recovery) =
+            Wal::open(dir, failpoints.clone()).map_err(ModelError::Storage)?;
+
+        let mut full_replay = false;
         let (generation, snap_lsn, mut system, fresh) = match recovered {
             Some((g, lsn, s)) => (g, lsn, s, false),
             None if snapshots_skipped > 0 => {
-                return Err(corrupt("every snapshot generation is corrupt"))
+                if !wal_recovery.frames.first().map(|f| f.lsn == 1).unwrap_or(false) {
+                    return Err(corrupt("every snapshot generation is corrupt"));
+                }
+                // Keep the corrupt generations' numbers reserved so the next
+                // checkpoint writes a *new* file instead of clobbering
+                // evidence the scrubber may still want to quarantine.
+                let g = durable::list_snapshot_generations(dir)
+                    .map_err(ModelError::Storage)?
+                    .into_iter()
+                    .max()
+                    .unwrap_or(0);
+                full_replay = true;
+                (g, 0, TseSystem::with_config(config), false)
             }
             None => (0, 0, TseSystem::with_config(config), true),
         };
@@ -236,9 +282,6 @@ impl DurableState {
         // replayed evolves' spans, and `recovery.complete` all share a
         // `recovery` trace in the journal.
         let _trace = telemetry.ensure_trace("recovery");
-
-        let (mut wal, wal_recovery) =
-            Wal::open(dir, failpoints.clone()).map_err(ModelError::Storage)?;
         wal.ensure_next_lsn(snap_lsn + 1);
 
         let mut last_lsn = snap_lsn;
@@ -277,6 +320,9 @@ impl DurableState {
         telemetry.incr("recovery.skipped", skipped);
         telemetry.incr("recovery.torn_bytes", wal_recovery.torn_bytes);
         telemetry.incr("recovery.snapshots_skipped", snapshots_skipped);
+        if full_replay {
+            telemetry.incr("recovery.full_replay", 1);
+        }
         telemetry.event(
             "recovery.complete",
             &[
@@ -286,16 +332,19 @@ impl DurableState {
                 ("torn_bytes", wal_recovery.torn_bytes.into()),
                 ("snapshots_skipped", snapshots_skipped.into()),
                 ("fresh", fresh.into()),
+                ("full_replay", full_replay.into()),
             ],
         );
 
         let state = DurableState {
             dir: dir.to_path_buf(),
-            wal: GroupWal::new(wal, failpoints.clone(), telemetry),
+            wal: GroupWal::new(wal, failpoints.clone(), telemetry, config.retry),
             generation,
             last_lsn,
             autocheckpoint_bytes: config.wal_autocheckpoint_bytes,
             failpoints,
+            retry: config.retry,
+            health: Arc::new(HealthMachine::new()),
         };
         Ok((system, state, fresh))
     }
@@ -314,6 +363,24 @@ impl DurableState {
 
     pub(crate) fn failpoints(&self) -> &FailpointRegistry {
         &self.failpoints
+    }
+
+    /// The health state machine (shared — clones observe one machine).
+    pub(crate) fn health(&self) -> &Arc<HealthMachine> {
+        &self.health
+    }
+
+    /// Pre-ack retry policy for transient durable-path faults.
+    pub(crate) fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Classify a durable-path error and advance the health machine (see
+    /// `crate::health::observe_io_error` for the rules).
+    pub(crate) fn observe_error(&self, telemetry: &tse_telemetry::Telemetry, e: &ModelError) {
+        if let ModelError::Storage(se) = e {
+            observe_io_error(&self.health, self.wal.is_poisoned(), telemetry, se);
+        }
     }
 
     /// A clone of the group-commit WAL handle, for the shared data plane
@@ -347,18 +414,35 @@ impl DurableState {
         family: &str,
         command: &str,
     ) -> ModelResult<WalMark> {
-        let payload = encode_frame(&WalRecord::Evolve {
-            family: family.to_string(),
-            command: command.to_string(),
-        });
+        self.log_structural(
+            telemetry,
+            &WalRecord::Evolve { family: family.to_string(), command: command.to_string() },
+        )
+    }
+
+    /// Append any structural record (evolve, class definition, view
+    /// creation) to the WAL and fsync it before it is applied anywhere.
+    /// Transient append/fsync faults are retried with backoff *before*
+    /// the frame is acknowledged; an error that still surfaces here has
+    /// exhausted its retry budget and advances the health machine.
+    pub(crate) fn log_structural(
+        &mut self,
+        telemetry: &tse_telemetry::Telemetry,
+        record: &WalRecord,
+    ) -> ModelResult<WalMark> {
+        let payload = encode_frame(record);
+        let retry = self.retry;
         self.wal
             .with_wal(|w| {
                 let len_before = w.len();
-                let lsn = w.append(&payload)?;
+                let lsn = w.append_retry(&payload, &retry)?;
                 Ok(WalMark { lsn, len_before })
             })
             .map_err(ModelError::Storage)
-            .inspect_err(|e| note_fault(telemetry, e))
+            .inspect_err(|e| {
+                note_fault(telemetry, e);
+                self.observe_error(telemetry, e);
+            })
     }
 
     /// The change applied in memory: the frame's LSN becomes the high-water
@@ -394,26 +478,48 @@ impl DurableState {
             .inspect_err(|e| note_fault(&telemetry, e))?;
         let span = telemetry.span("durable.checkpoint");
         let marker = encode_frame(&WalRecord::Checkpoint);
+        let retry = self.retry;
         let head = self
             .wal
-            .with_wal(|w| w.append(&marker))
+            .with_wal(|w| w.append_retry(&marker, &retry))
             .map_err(ModelError::Storage)
-            .inspect_err(|e| note_fault(&telemetry, e))?;
+            .inspect_err(|e| {
+                note_fault(&telemetry, e);
+                self.observe_error(&telemetry, e);
+            })?;
         self.last_lsn = self.last_lsn.max(head);
         let payload = system.encode();
         let generation = self.generation + 1;
-        durable::write_snapshot_file(
-            &self.dir,
-            generation,
-            self.last_lsn,
-            payload.as_ref(),
+        with_retries(
+            &self.retry,
             &self.failpoints,
+            |_, _, _| telemetry.incr("fault.retries", 1),
+            || {
+                durable::write_snapshot_file(
+                    &self.dir,
+                    generation,
+                    self.last_lsn,
+                    payload.as_ref(),
+                    &self.failpoints,
+                )
+            },
         )
         .map_err(ModelError::Storage)
-        .inspect_err(|e| note_fault(&telemetry, e))?;
-        durable::write_manifest(&self.dir, generation, &self.failpoints)
-            .map_err(ModelError::Storage)
-            .inspect_err(|e| note_fault(&telemetry, e))?;
+        .inspect_err(|e| {
+            note_fault(&telemetry, e);
+            self.observe_error(&telemetry, e);
+        })?;
+        with_retries(
+            &self.retry,
+            &self.failpoints,
+            |_, _, _| telemetry.incr("fault.retries", 1),
+            || durable::write_manifest(&self.dir, generation, &self.failpoints),
+        )
+        .map_err(ModelError::Storage)
+        .inspect_err(|e| {
+            note_fault(&telemetry, e);
+            self.observe_error(&telemetry, e);
+        })?;
         self.generation = generation;
         self.wal.with_wal(|w| w.reset()).map_err(ModelError::Storage)?;
         span.record("generation", generation);
@@ -421,6 +527,76 @@ impl DurableState {
         span.finish();
         telemetry.incr("durable.checkpoints", 1);
         Ok(generation)
+    }
+
+    /// Attempt to restore a `Degraded` system to `Healthy` without a
+    /// restart: rotate the WAL (re-opening the file from disk drops the
+    /// poisoned in-memory handle; every durable frame is re-read, so no
+    /// acked write is lost), run an emergency checkpoint (persists the
+    /// in-memory state and empties the log — the cure for `disk_full`),
+    /// and verify the fresh log accepts a durable round-trip append.
+    ///
+    /// No-op when already `Healthy`. Refused when `Poisoned`: the durable
+    /// contents of a corrupt store are unknowable, so healing in place
+    /// could silently ack lost writes — restart and recover from disk.
+    ///
+    /// Callers must quiesce writers (control mutex + swap latch in the
+    /// shared system, `&mut self` in [`DurableSystem`]). Failpoint site:
+    /// `durable.wal_rotate`.
+    pub(crate) fn try_heal(&mut self, system: &TseSystem) -> ModelResult<SystemHealth> {
+        let telemetry = system.telemetry().clone();
+        match self.health.current() {
+            SystemHealth::Healthy => return Ok(SystemHealth::Healthy),
+            SystemHealth::Poisoned => {
+                return Err(ModelError::Invalid(
+                    "cannot heal a poisoned system; restart and recover from disk".to_string(),
+                ))
+            }
+            SystemHealth::Degraded { .. } => {}
+        }
+        let span = telemetry.span("durable.heal");
+        self.failpoints
+            .check("durable.wal_rotate")
+            .map_err(ModelError::Storage)
+            .inspect_err(|e| note_fault(&telemetry, e))?;
+        // Rotation must come before the emergency checkpoint: a poisoned
+        // handle refuses the checkpoint's marker append.
+        let dir = self.dir.clone();
+        let fp = self.failpoints.clone();
+        self.wal
+            .with_wal(move |w| {
+                let min = w.next_lsn();
+                let (mut fresh, _) = Wal::open(&dir, fp)?;
+                fresh.ensure_next_lsn(min);
+                *w = fresh;
+                Ok(())
+            })
+            .map_err(ModelError::Storage)
+            .inspect_err(|e| note_fault(&telemetry, e))?;
+        self.checkpoint(system)?;
+        // Probe: the healed log must complete one durable append before we
+        // declare victory (the frame is truncated away immediately).
+        let marker = encode_frame(&WalRecord::Checkpoint);
+        self.wal
+            .with_wal(|w| {
+                let len = w.len();
+                w.append(&marker)?;
+                w.truncate_to(len)
+            })
+            .map_err(ModelError::Storage)
+            .inspect_err(|e| note_fault(&telemetry, e))?;
+        self.health.healed(&telemetry);
+        telemetry.incr("durable.heals", 1);
+        span.finish();
+        Ok(self.health.current())
+    }
+
+    /// Run one integrity scrub pass over the directory: re-verify every
+    /// snapshot generation's CRC (quarantining corrupt ones), cross-check
+    /// the MANIFEST, and scan the WAL up to its committed length.
+    pub(crate) fn scrub(&self, telemetry: &tse_telemetry::Telemetry) -> ModelResult<ScrubReport> {
+        scrub_dir(&self.dir, &self.failpoints, &self.retry, telemetry, Some(self.wal.len()))
+            .map_err(ModelError::Storage)
     }
 }
 
@@ -435,14 +611,11 @@ impl DurableSystem {
     /// (stripe count, `wal_autocheckpoint_bytes`); persisted layout
     /// parameters win over `config`.
     pub fn open_with_config(dir: &Path, config: StoreConfig) -> ModelResult<DurableSystem> {
-        let (system, state, fresh) = DurableState::open(dir, config)?;
-        let mut out = DurableSystem { system, state, deref_noted: false };
-        if fresh {
-            // Seed generation 1 so even a crash before the first checkpoint
-            // has a base snapshot to recover onto.
-            out.checkpoint()?;
-        }
-        Ok(out)
+        // No seed checkpoint for a fresh directory: class definitions and
+        // view creations are WAL frames now, so a crash before the first
+        // checkpoint recovers by full replay from an empty system.
+        let (system, state, _fresh) = DurableState::open(dir, config)?;
+        Ok(DurableSystem { system, state, deref_noted: false })
     }
 
     /// The directory this system persists into.
@@ -464,6 +637,106 @@ impl DurableSystem {
     /// evolve pipeline consult).
     pub fn failpoints(&self) -> &FailpointRegistry {
         self.state.failpoints()
+    }
+
+    /// Current service health: `Healthy`, `Degraded` (read-only), or
+    /// `Poisoned` (fail-stop).
+    pub fn health(&self) -> SystemHealth {
+        self.state.health().current()
+    }
+
+    /// Attempt to restore a `Degraded` system to `Healthy` without a
+    /// restart: rotate the WAL, run an emergency checkpoint, and verify the
+    /// fresh log completes a durable round-trip append. No-op when already
+    /// healthy; refused (with `ModelError::Invalid`) when poisoned.
+    pub fn try_heal(&mut self) -> ModelResult<SystemHealth> {
+        self.state.try_heal(&self.system)
+    }
+
+    /// Run one integrity scrub pass: re-verify every snapshot generation's
+    /// CRC (renaming corrupt ones to `*.quarantine` so recovery never
+    /// trusts them again), cross-check the MANIFEST, and scan the WAL up to
+    /// its committed length. Findings land in the `scrub.*` telemetry
+    /// counters and journal events.
+    pub fn scrub_now(&self) -> ModelResult<ScrubReport> {
+        self.state.scrub(self.system.telemetry())
+    }
+
+    /// Define a new base class durably. The definition is write-ahead
+    /// logged as a `DefineClass` frame before it is applied, so a fresh
+    /// directory is recoverable from its WAL alone — no seed checkpoint
+    /// required. Shadows [`TseSystem::define_base_class`] (still reachable,
+    /// unlogged, through the `DerefMut` escape hatch).
+    pub fn define_base_class(
+        &mut self,
+        name: &str,
+        supers: &[&str],
+        props: Vec<PendingProp>,
+    ) -> ModelResult<ClassId> {
+        let telemetry = self.system.telemetry().clone();
+        let record = WalRecord::DefineClass {
+            name: name.to_string(),
+            supers: supers.iter().map(|s| s.to_string()).collect(),
+            props: props.clone(),
+        };
+        let mark = self.state.log_structural(&telemetry, &record)?;
+        match self.system.define_base_class(name, supers, props) {
+            Ok(id) => {
+                self.state.log_commit(mark);
+                Ok(id)
+            }
+            Err(e) if is_crash(&e) => Err(e),
+            Err(e) => {
+                self.state.log_abort(mark)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// WAL-logged counterpart of [`TseSystem::create_view`].
+    pub fn create_view(&mut self, family: &str, classes: &[&str]) -> ModelResult<ViewId> {
+        self.create_view_logged(family, classes, ViewMode::Plain)
+    }
+
+    /// WAL-logged counterpart of [`TseSystem::create_view_closed`].
+    pub fn create_view_closed(&mut self, family: &str, classes: &[&str]) -> ModelResult<ViewId> {
+        self.create_view_logged(family, classes, ViewMode::Closed)
+    }
+
+    /// WAL-logged counterpart of [`TseSystem::create_view_all`].
+    pub fn create_view_all(&mut self, family: &str) -> ModelResult<ViewId> {
+        self.create_view_logged(family, &[], ViewMode::All)
+    }
+
+    fn create_view_logged(
+        &mut self,
+        family: &str,
+        classes: &[&str],
+        mode: ViewMode,
+    ) -> ModelResult<ViewId> {
+        let telemetry = self.system.telemetry().clone();
+        let record = WalRecord::CreateView {
+            family: family.to_string(),
+            classes: classes.iter().map(|s| s.to_string()).collect(),
+            mode,
+        };
+        let mark = self.state.log_structural(&telemetry, &record)?;
+        let applied = match mode {
+            ViewMode::Plain => self.system.create_view(family, classes),
+            ViewMode::Closed => self.system.create_view_closed(family, classes),
+            ViewMode::All => self.system.create_view_all(family),
+        };
+        match applied {
+            Ok(id) => {
+                self.state.log_commit(mark);
+                Ok(id)
+            }
+            Err(e) if is_crash(&e) => Err(e),
+            Err(e) => {
+                self.state.log_abort(mark)?;
+                Err(e)
+            }
+        }
     }
 
     /// Apply a textual schema change durably: the command is appended to

@@ -37,6 +37,7 @@
 
 pub mod change;
 mod durable;
+pub mod health;
 mod merge;
 pub mod oracle;
 mod persist;
@@ -47,6 +48,7 @@ pub mod walcodec;
 
 pub use change::{parse_change, parse_expr, render_expr, SchemaChange};
 pub use durable::DurableSystem;
-pub use shared::{MetaSnapshot, ReadSession, SharedSystem, WriteSession};
+pub use health::{DegradedReason, SystemHealth};
+pub use shared::{MetaSnapshot, ReadSession, ScrubberHandle, SharedSystem, WriteSession};
 pub use system::{EvolutionReport, PhaseTimings, TseSystem};
 pub use translate::{translate, ChangePlan};

@@ -78,18 +78,19 @@
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use tse_algebra::UpdatePolicy;
 use tse_object_model::{ClassId, ModelError, ModelResult, Oid, Schema, Value};
 use tse_storage::durable::GroupWal;
-use tse_storage::{FailpointRegistry, StoreConfig};
+use tse_storage::{FailpointRegistry, ScrubReport, StoreConfig};
 use tse_telemetry::Telemetry;
 use tse_view::{ViewId, ViewManager, ViewSchema};
 
 use crate::change::{parse_change, SchemaChange};
 use crate::durable::{DurableState, DurableSystem};
+use crate::health::{observe_io_error, HealthMachine, SystemHealth};
 use crate::system::{is_crash, note_fault, observe_op, EvolutionReport, TseSystem};
 use crate::walcodec::{encode_frame, WalRecord};
 
@@ -176,6 +177,31 @@ struct SharedInner {
     wal: Option<GroupWal>,
     /// WAL size that triggers an automatic checkpoint (0 = never).
     autocheckpoint_bytes: u64,
+    /// Health state machine shared with `control.durable` (reachable
+    /// without the control mutex, so the data plane's per-write health
+    /// check never serializes). `None` on in-memory systems — they have no
+    /// durable path to fault.
+    health: Option<Arc<HealthMachine>>,
+    /// Client backoff hint carried in `ModelError::Unavailable`, derived
+    /// from the store's retry policy.
+    retry_after_ms: u64,
+}
+
+/// Refuse writes while degraded: reads keep serving from the published
+/// snapshot, writers get typed backpressure instead of a permanent failure.
+/// A *poisoned* system falls through — the WAL's own fail-stop error is the
+/// better diagnostic and must keep surfacing verbatim.
+fn check_writable(inner: &SharedInner) -> ModelResult<()> {
+    if let Some(health) = &inner.health {
+        if let SystemHealth::Degraded { reason } = health.current() {
+            inner.telemetry.incr("health.rejected_writes", 1);
+            return Err(ModelError::Unavailable {
+                reason: reason.name().to_string(),
+                retry_after_ms: inner.retry_after_ms,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// A concurrently shareable TSE system: clone handles freely and use them
@@ -263,6 +289,11 @@ impl SharedSystem {
         let wal = durable.as_ref().map(|d| d.group_wal());
         let autocheckpoint_bytes =
             durable.as_ref().map(|d| d.autocheckpoint_bytes()).unwrap_or(0);
+        let health = durable.as_ref().map(|d| d.health().clone());
+        let retry_after_ms = durable
+            .as_ref()
+            .map(|d| (d.retry().max_backoff_ns / 1_000_000).max(1))
+            .unwrap_or(1);
         SharedSystem {
             inner: Arc::new(SharedInner {
                 control: Mutex::new(ControlState { durable }),
@@ -273,6 +304,8 @@ impl SharedSystem {
                 telemetry,
                 wal,
                 autocheckpoint_bytes,
+                health,
+                retry_after_ms,
             }),
         }
     }
@@ -434,6 +467,7 @@ impl SharedSystem {
         change: &SchemaChange,
         command: &str,
     ) -> ModelResult<EvolutionReport> {
+        check_writable(&self.inner)?;
         let _latch = self.inner.latch.write();
         let mark = ctl
             .durable
@@ -524,6 +558,75 @@ impl SharedSystem {
         durable.checkpoint(&sys)
     }
 
+    /// Current service health: `Healthy`, `Degraded` (read-only), or
+    /// `Poisoned` (fail-stop). In-memory systems are always healthy — they
+    /// have no durable path to fault.
+    pub fn health(&self) -> SystemHealth {
+        self.inner.health.as_ref().map(|h| h.current()).unwrap_or(SystemHealth::Healthy)
+    }
+
+    /// Attempt to restore a `Degraded` system to `Healthy` without a
+    /// restart: quiesce writers, rotate the WAL, run an emergency
+    /// checkpoint (reclaiming log space), and verify the fresh log
+    /// completes a durable round-trip append. No-op when already healthy;
+    /// refused when poisoned (restart and recover from disk instead).
+    pub fn try_heal(&self) -> ModelResult<SystemHealth> {
+        let _trace = self.inner.telemetry.ensure_trace("heal");
+        let mut ctl = self.lock_control();
+        let durable = ctl
+            .durable
+            .as_mut()
+            .ok_or_else(|| ModelError::Invalid("try_heal on a non-durable system".into()))?;
+        let _latch = self.inner.latch.write();
+        let sys = read_timed(&self.inner);
+        durable.try_heal(&sys)
+    }
+
+    /// Run one integrity scrub pass (durable systems only): re-verify every
+    /// snapshot generation's CRC — renaming corrupt ones to `*.quarantine`
+    /// so recovery never trusts them again — cross-check the MANIFEST, and
+    /// scan the WAL up to its committed length. Reads and writes keep
+    /// flowing: the scrub serializes only with the control plane (evolve /
+    /// checkpoint), never with the data plane.
+    pub fn scrub_now(&self) -> ModelResult<ScrubReport> {
+        let _trace = self.inner.telemetry.ensure_trace("scrub");
+        let ctl = self.lock_control();
+        let durable = ctl
+            .durable
+            .as_ref()
+            .ok_or_else(|| ModelError::Invalid("scrub on a non-durable system".into()))?;
+        durable.scrub(&self.inner.telemetry)
+    }
+
+    /// Start a background scrubber thread running
+    /// [`SharedSystem::scrub_now`] every `interval`. The returned handle
+    /// stops and joins the thread when dropped (or explicitly via
+    /// [`ScrubberHandle::stop`]).
+    pub fn start_scrubber(&self, interval: Duration) -> ScrubberHandle {
+        let sys = self.clone();
+        let stop = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let stop_thread = stop.clone();
+        let join = std::thread::Builder::new()
+            .name("tse-scrubber".into())
+            .spawn(move || loop {
+                {
+                    let (flag, cvar) = &*stop_thread;
+                    let mut stopped = flag.lock().unwrap();
+                    if !*stopped {
+                        stopped = cvar.wait_timeout(stopped, interval).unwrap().0;
+                    }
+                    if *stopped {
+                        return;
+                    }
+                }
+                if sys.scrub_now().is_err() {
+                    sys.inner.telemetry.incr("scrub.errors", 1);
+                }
+            })
+            .expect("spawn scrubber thread");
+        ScrubberHandle { stop, join: Some(join) }
+    }
+
     /// Newest snapshot generation on disk (durable systems only).
     pub fn generation(&self) -> Option<u64> {
         self.lock_control().durable.as_ref().map(|d| d.generation())
@@ -536,31 +639,101 @@ impl SharedSystem {
 
     // ----- control plane: base schema + views -------------------------------
 
-    /// Define a base class (global-schema setup). Publishes a new epoch.
+    /// Log a structural record (class definition, view creation), apply the
+    /// change under the exclusive system lock, and publish the new epoch.
+    /// The WAL frame is appended — with writers quiesced via the swap
+    /// latch, so a clean-failure truncation can never clip a concurrent
+    /// data frame — **before** the change applies, committed once the epoch
+    /// publishes, and truncated away when the change fails cleanly.
+    /// In-memory systems skip the logging and just apply + publish.
+    fn structural_logged<R>(
+        &self,
+        record: WalRecord,
+        f: impl FnOnce(&mut TseSystem) -> ModelResult<R>,
+    ) -> ModelResult<R> {
+        check_writable(&self.inner)?;
+        let mut ctl = self.lock_control();
+        let _latch = self.inner.latch.write();
+        let mark = match ctl.durable.as_mut() {
+            Some(d) => Some(d.log_structural(&self.inner.telemetry, &record)?),
+            None => None,
+        };
+        let started = Instant::now();
+        let mut sys = self.inner.system.write();
+        self.inner
+            .telemetry
+            .observe_ns("lock.write_wait_ns", (started.elapsed().as_nanos() as u64).max(1));
+        match f(&mut sys) {
+            Ok(out) => {
+                self.publish_meta_locked(&sys);
+                drop(sys);
+                if let (Some(d), Some(mark)) = (ctl.durable.as_mut(), mark) {
+                    d.log_commit(mark);
+                }
+                Ok(out)
+            }
+            Err(e) => {
+                drop(sys);
+                if let (Some(d), Some(mark)) = (ctl.durable.as_mut(), mark) {
+                    if !is_crash(&e) {
+                        d.log_abort(mark)?;
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Define a base class (global-schema setup). Publishes a new epoch;
+    /// on a durable system the definition is write-ahead logged as a
+    /// `DefineClass` frame, so a fresh directory recovers its base schema
+    /// from the WAL alone — no seed checkpoint required.
     pub fn define_base_class(
         &self,
         name: &str,
         supers: &[&str],
         props: Vec<tse_object_model::PendingProp>,
     ) -> ModelResult<ClassId> {
-        self.with_write_publish(|sys| sys.define_base_class(name, supers, props))
+        let record = WalRecord::DefineClass {
+            name: name.to_string(),
+            supers: supers.iter().map(|s| s.to_string()).collect(),
+            props: props.clone(),
+        };
+        self.structural_logged(record, |sys| sys.define_base_class(name, supers, props))
     }
 
-    /// Create a view over the named global classes. Publishes a new epoch.
+    /// Create a view over the named global classes. Publishes a new epoch;
+    /// WAL-logged on durable systems (see
+    /// [`SharedSystem::define_base_class`]).
     pub fn create_view(&self, family: &str, class_names: &[&str]) -> ModelResult<ViewId> {
-        self.with_write_publish(|sys| sys.create_view(family, class_names))
+        let record = WalRecord::CreateView {
+            family: family.to_string(),
+            classes: class_names.iter().map(|s| s.to_string()).collect(),
+            mode: crate::walcodec::ViewMode::Plain,
+        };
+        self.structural_logged(record, |sys| sys.create_view(family, class_names))
     }
 
     /// Create a type-closed view (see [`TseSystem::create_view_closed`]).
-    /// Publishes a new epoch.
+    /// Publishes a new epoch; WAL-logged on durable systems.
     pub fn create_view_closed(&self, family: &str, class_names: &[&str]) -> ModelResult<ViewId> {
-        self.with_write_publish(|sys| sys.create_view_closed(family, class_names))
+        let record = WalRecord::CreateView {
+            family: family.to_string(),
+            classes: class_names.iter().map(|s| s.to_string()).collect(),
+            mode: crate::walcodec::ViewMode::Closed,
+        };
+        self.structural_logged(record, |sys| sys.create_view_closed(family, class_names))
     }
 
     /// Create a whole-schema view (see [`TseSystem::create_view_all`]).
-    /// Publishes a new epoch.
+    /// Publishes a new epoch; WAL-logged on durable systems.
     pub fn create_view_all(&self, family: &str) -> ModelResult<ViewId> {
-        self.with_write_publish(|sys| sys.create_view_all(family))
+        let record = WalRecord::CreateView {
+            family: family.to_string(),
+            classes: Vec::new(),
+            mode: crate::walcodec::ViewMode::All,
+        };
+        self.structural_logged(record, |sys| sys.create_view_all(family))
     }
 
     /// Attach or clear a class constraint through a view. Publishes a new
@@ -659,6 +832,9 @@ fn with_data_logged<R>(
     op: impl FnOnce(&TseSystem) -> ModelResult<R>,
     record: impl FnOnce(&R) -> WalRecord,
 ) -> ModelResult<R> {
+    // Degraded backpressure comes first: while read-only, the mutation must
+    // not even apply in memory (it could never be made durable).
+    check_writable(inner)?;
     let started = Instant::now();
     let _latch = inner.latch.read();
     let sys = inner.system.read();
@@ -667,9 +843,47 @@ fn with_data_logged<R>(
     if let Some(wal) = &inner.wal {
         wal.append(&encode_frame(&record(&out)))
             .map_err(ModelError::Storage)
-            .inspect_err(|e| note_fault(&inner.telemetry, e))?;
+            .inspect_err(|e| {
+                note_fault(&inner.telemetry, e);
+                // Retries (bounded, pre-ack) already happened inside the
+                // group-commit WAL; an error surfacing here is final and
+                // advances the health machine.
+                if let (Some(health), ModelError::Storage(se)) = (&inner.health, e) {
+                    observe_io_error(health, wal.is_poisoned(), &inner.telemetry, se);
+                }
+            })?;
     }
     Ok(out)
+}
+
+/// Handle to a background integrity-scrubber thread started by
+/// [`SharedSystem::start_scrubber`]. Dropping the handle stops and joins
+/// the thread.
+pub struct ScrubberHandle {
+    stop: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ScrubberHandle {
+    /// Stop the scrubber and join its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let (flag, cvar) = &*self.stop;
+        *flag.lock().unwrap() = true;
+        cvar.notify_all();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ScrubberHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
 }
 
 /// Checkpoint opportunistically once the WAL outgrows the configured

@@ -29,7 +29,10 @@
 //! than view-local names, so replay does not depend on view state.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use tse_object_model::{ClassId, ModelError, ModelResult, Oid, Value};
+use tse_object_model::{
+    get_pending_prop, put_pending_prop, ClassId, ModelError, ModelResult, Oid, PendingProp,
+    Value,
+};
 use tse_storage::{Crc32, Payload, StorageError};
 
 /// Version byte of the typed frame format.
@@ -62,6 +65,12 @@ pub enum FrameKind {
     /// crash is skipped on replay and serves as forensic evidence of how
     /// far the checkpoint got.
     Checkpoint = 8,
+    /// `define_base_class` — carries the pending property definitions, so
+    /// a fresh directory replays its schema without needing a seed
+    /// checkpoint.
+    DefineClass = 9,
+    /// `create_view` / `create_view_closed` / `create_view_all`.
+    CreateView = 10,
 }
 
 impl FrameKind {
@@ -75,6 +84,8 @@ impl FrameKind {
             6 => FrameKind::RemoveFrom,
             7 => FrameKind::Delete,
             8 => FrameKind::Checkpoint,
+            9 => FrameKind::DefineClass,
+            10 => FrameKind::CreateView,
             other => return Err(corrupt(format!("unknown wal frame kind {other}"))),
         })
     }
@@ -133,6 +144,55 @@ pub enum WalRecord {
     },
     /// Checkpoint marker — skipped on replay.
     Checkpoint,
+    /// Re-run `define_base_class(name, supers, props)`.
+    DefineClass {
+        /// Class name.
+        name: String,
+        /// Superclass names (resolved at replay time, like the original
+        /// call resolved them).
+        supers: Vec<String>,
+        /// Property definitions, logged verbatim.
+        props: Vec<PendingProp>,
+    },
+    /// Re-run view creation for `family`.
+    CreateView {
+        /// View family name.
+        family: String,
+        /// Member class names (empty for [`ViewMode::All`]).
+        classes: Vec<String>,
+        /// Which `create_view*` entry point was used.
+        mode: ViewMode,
+    },
+}
+
+/// Which view-creation entry point a [`WalRecord::CreateView`] frame logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewMode {
+    /// `create_view(family, classes)`.
+    Plain,
+    /// `create_view_closed(family, classes)` — type-closure probe included.
+    Closed,
+    /// `create_view_all(family)` — every base class.
+    All,
+}
+
+impl ViewMode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ViewMode::Plain => 0,
+            ViewMode::Closed => 1,
+            ViewMode::All => 2,
+        }
+    }
+
+    fn from_u8(b: u8) -> ModelResult<ViewMode> {
+        Ok(match b {
+            0 => ViewMode::Plain,
+            1 => ViewMode::Closed,
+            2 => ViewMode::All,
+            other => return Err(corrupt(format!("unknown view mode {other}"))),
+        })
+    }
 }
 
 impl WalRecord {
@@ -147,6 +207,8 @@ impl WalRecord {
             WalRecord::RemoveFrom { .. } => FrameKind::RemoveFrom,
             WalRecord::Delete { .. } => FrameKind::Delete,
             WalRecord::Checkpoint => FrameKind::Checkpoint,
+            WalRecord::DefineClass { .. } => FrameKind::DefineClass,
+            WalRecord::CreateView { .. } => FrameKind::CreateView,
         }
     }
 }
@@ -168,6 +230,13 @@ fn put_pairs(buf: &mut BytesMut, pairs: &[(String, Value)]) {
     for (name, value) in pairs {
         put_str(buf, name);
         value.encode(buf);
+    }
+}
+
+fn put_strs(buf: &mut BytesMut, strs: &[String]) {
+    buf.put_u32(strs.len() as u32);
+    for s in strs {
+        put_str(buf, s);
     }
 }
 
@@ -197,6 +266,19 @@ pub fn encode_frame(record: &WalRecord) -> Vec<u8> {
             put_oids(&mut body, oids);
         }
         WalRecord::Checkpoint => {}
+        WalRecord::DefineClass { name, supers, props } => {
+            put_str(&mut body, name);
+            put_strs(&mut body, supers);
+            body.put_u32(props.len() as u32);
+            for p in props {
+                put_pending_prop(&mut body, p);
+            }
+        }
+        WalRecord::CreateView { family, classes, mode } => {
+            put_str(&mut body, family);
+            put_strs(&mut body, classes);
+            body.put_u8(mode.to_u8());
+        }
     }
     let kind = record.kind() as u8;
     let len = body.len() as u32;
@@ -248,6 +330,18 @@ fn get_pairs(buf: &mut Bytes) -> ModelResult<Vec<(String, Value)>> {
         pairs.push((name, value));
     }
     Ok(pairs)
+}
+
+fn get_strs(buf: &mut Bytes) -> ModelResult<Vec<String>> {
+    if buf.remaining() < 4 {
+        return Err(corrupt("wal frame: truncated string count"));
+    }
+    let n = buf.get_u32() as usize;
+    let mut out = Vec::with_capacity(n.min(buf.remaining()));
+    for _ in 0..n {
+        out.push(get_str(buf)?);
+    }
+    Ok(out)
 }
 
 fn get_class(buf: &mut Bytes) -> ModelResult<ClassId> {
@@ -314,6 +408,29 @@ pub fn decode_frame(payload: &[u8]) -> ModelResult<WalRecord> {
         }
         FrameKind::Delete => WalRecord::Delete { oids: get_oids(&mut buf)? },
         FrameKind::Checkpoint => WalRecord::Checkpoint,
+        FrameKind::DefineClass => {
+            let name = get_str(&mut buf)?;
+            let supers = get_strs(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(corrupt("wal frame: truncated prop count"));
+            }
+            let n = buf.get_u32() as usize;
+            let mut props = Vec::with_capacity(n.min(buf.remaining()));
+            for _ in 0..n {
+                props.push(get_pending_prop(&mut buf).map_err(ModelError::Storage)?);
+            }
+            WalRecord::DefineClass { name, supers, props }
+        }
+        FrameKind::CreateView => WalRecord::CreateView {
+            family: get_str(&mut buf)?,
+            classes: get_strs(&mut buf)?,
+            mode: {
+                if buf.remaining() < 1 {
+                    return Err(corrupt("wal frame: truncated view mode"));
+                }
+                ViewMode::from_u8(buf.get_u8())?
+            },
+        },
     };
     if buf.remaining() > 0 {
         return Err(corrupt("wal frame: trailing bytes in body"));
@@ -373,6 +490,27 @@ mod tests {
             WalRecord::RemoveFrom { class: ClassId(2), oids: vec![Oid(5), Oid(6)] },
             WalRecord::Delete { oids: vec![Oid(8)] },
             WalRecord::Checkpoint,
+            WalRecord::DefineClass {
+                name: "Student".into(),
+                supers: vec!["Person".into()],
+                props: vec![tse_object_model::PropertyDef::stored(
+                    "gpa",
+                    tse_object_model::ValueType::Float,
+                    Value::Float(0.0),
+                )],
+            },
+            WalRecord::DefineClass { name: "Root".into(), supers: vec![], props: vec![] },
+            WalRecord::CreateView {
+                family: "VS".into(),
+                classes: vec!["Person".into(), "Student".into()],
+                mode: ViewMode::Plain,
+            },
+            WalRecord::CreateView {
+                family: "VC".into(),
+                classes: vec!["Person".into()],
+                mode: ViewMode::Closed,
+            },
+            WalRecord::CreateView { family: "VA".into(), classes: vec![], mode: ViewMode::All },
         ]
     }
 

@@ -82,16 +82,16 @@ fn checkpoint_empties_wal_and_survives_reopen() {
     assert!(sys.wal_len() > 0);
     let gen = sys.checkpoint().unwrap();
     assert_eq!(sys.wal_len(), 0);
-    // Generation 1 is the empty seed written at first open, 2 the one from
-    // `seed`, 3 this one.
-    assert_eq!(gen, 3);
+    // Generation 1 is the one from `seed` (a fresh directory writes no
+    // seed snapshot — the base schema lives in the WAL), 2 this one.
+    assert_eq!(gen, 2);
     drop(sys);
 
     let sys = TseSystem::open(&dir).unwrap();
     check_consistency(&sys, v1, oid);
     // Everything came from the snapshot, nothing from the WAL.
     assert_eq!(sys.telemetry().counter("recovery.replayed"), 0);
-    assert_eq!(sys.generation(), 3);
+    assert_eq!(sys.generation(), 2);
     assert_eq!(sys.views().versions("VS").unwrap().len(), 2);
 }
 
@@ -211,7 +211,7 @@ fn torn_snapshot_write_falls_back_and_wal_still_replays() {
         // still points at the seed snapshot and the WAL replays on top.
         let sys = TseSystem::open(&dir).unwrap();
         check_consistency(&sys, v1, oid);
-        assert_eq!(sys.generation(), 2, "keep={keep}");
+        assert_eq!(sys.generation(), 1, "keep={keep}");
         assert_eq!(sys.telemetry().counter("recovery.replayed"), 1, "keep={keep}");
         assert_eq!(sys.views().versions("VS").unwrap().len(), 2, "keep={keep}");
     }
@@ -239,22 +239,22 @@ fn corrupt_newest_snapshot_falls_back_to_older_generation() {
     let dir = tmpdir("corrupt_snap");
     let (mut sys, v1, oid) = seed(&dir);
     sys.evolve_cmd("VS", "add_attribute register: bool = false to Student").unwrap();
-    sys.checkpoint().unwrap(); // generation 3, WAL emptied
+    sys.checkpoint().unwrap(); // generation 2, WAL emptied
     drop(sys);
 
     // Bit-rot the newest snapshot on disk.
-    let snap3 = tse_storage::durable::snapshot_path(&dir, 3);
-    let mut bytes = std::fs::read(&snap3).unwrap();
+    let snap2 = tse_storage::durable::snapshot_path(&dir, 2);
+    let mut bytes = std::fs::read(&snap2).unwrap();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x40;
-    std::fs::write(&snap3, bytes).unwrap();
+    std::fs::write(&snap2, bytes).unwrap();
 
-    // Recovery skips generation 3 and serves generation 2 — stale by the
+    // Recovery skips generation 2 and serves generation 1 — stale by the
     // checkpointed delta (its WAL frames are gone), but consistent.
     let sys = TseSystem::open(&dir).unwrap();
     check_consistency(&sys, v1, oid);
     assert_eq!(sys.telemetry().counter("recovery.snapshots_skipped"), 1);
-    assert_eq!(sys.generation(), 2);
+    assert_eq!(sys.generation(), 1);
     assert_eq!(sys.views().versions("VS").unwrap().len(), 1);
 }
 
@@ -266,8 +266,8 @@ fn snapshot_encode_failpoint_blocks_checkpoint_cleanly() {
     sys.failpoints().arm("snapshot.encode", 1, FailAction::Error);
     assert!(sys.checkpoint().is_err());
     // Nothing was written; the next checkpoint succeeds.
-    assert_eq!(sys.generation(), 2);
-    assert_eq!(sys.checkpoint().unwrap(), 3);
+    assert_eq!(sys.generation(), 1);
+    assert_eq!(sys.checkpoint().unwrap(), 2);
     check_consistency(&sys, v1, oid);
 }
 

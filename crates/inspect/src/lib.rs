@@ -376,8 +376,10 @@ impl Journal {
             .collect()
     }
 
-    /// Run the CI gate: fail on zero traces, any causality violation, or
-    /// `journal.dropped > 0` in the embedded snapshot.
+    /// Run the CI gate: fail on zero traces, any causality violation,
+    /// `journal.dropped > 0` in the embedded snapshot, a poisoned WAL,
+    /// quarantined snapshot generations, or a `health.transition` into
+    /// degraded/poisoned that never recovered.
     pub fn check(&self) -> CheckReport {
         let traces = self.trace_summaries();
         let dropped = self.snapshot_counter("journal.dropped");
@@ -388,6 +390,33 @@ impl Journal {
         if let Some(d) = dropped {
             if d > 0 {
                 problems.push(format!("journal.dropped = {d}: flight recorder overflowed"));
+            }
+        }
+        // Health: the journal's *last* transition tells the ending state —
+        // a degradation followed by a heal ends at `healthy` and passes;
+        // anything else means the system ended the run impaired.
+        let last_health = self
+            .records
+            .iter()
+            .rev()
+            .find(|r| get_str(r, "name") == Some("health.transition"));
+        if let Some(fields) = last_health.and_then(|r| r.get("fields")) {
+            let to = get_str(fields, "to").unwrap_or("");
+            if to != "healthy" {
+                let reason = get_str(fields, "reason").unwrap_or("?");
+                problems.push(format!(
+                    "health: last transition entered `{to}` ({reason}) and never recovered"
+                ));
+            }
+        }
+        for (counter, hint) in [
+            ("wal.poisoned", "the write-ahead log fail-stopped"),
+            ("scrub.quarantined", "the scrubber quarantined corrupt snapshot generations"),
+        ] {
+            if let Some(v) = self.snapshot_counter(counter) {
+                if v > 0 {
+                    problems.push(format!("{counter} = {v}: {hint}"));
+                }
             }
         }
         problems.extend(self.causality_errors());
@@ -662,6 +691,57 @@ mod tests {
             .causality_errors()
             .iter()
             .any(|e| e.contains("another thread")));
+    }
+
+    #[test]
+    fn check_flags_unrecovered_health_poisoned_wal_and_quarantines() {
+        // Degrade → heal ends at `healthy`: passes.
+        let t = Telemetry::new();
+        let tr = t.mint_trace("chaos");
+        let _g = t.enter_trace(tr);
+        t.event(
+            "health.transition",
+            &[("from", "healthy".into()), ("to", "degraded".into()), ("reason", "disk_full".into())],
+        );
+        t.event(
+            "health.transition",
+            &[("from", "degraded".into()), ("to", "healthy".into()), ("reason", "heal".into())],
+        );
+        let j = Journal::parse(&t.journal_lines()).unwrap();
+        assert!(
+            !j.check().problems.iter().any(|p| p.contains("health")),
+            "{:?}",
+            j.check().problems
+        );
+
+        // A degradation that never heals fails.
+        t.event(
+            "health.transition",
+            &[
+                ("from", "healthy".into()),
+                ("to", "degraded".into()),
+                ("reason", "retries_exhausted".into()),
+            ],
+        );
+        let j = Journal::parse(&t.journal_lines()).unwrap();
+        assert!(j
+            .check()
+            .problems
+            .iter()
+            .any(|p| p.contains("degraded") && p.contains("never recovered")));
+
+        // Poisoned-WAL and quarantine counters in the embedded snapshot fail.
+        let t2 = Telemetry::new();
+        let tr2 = t2.mint_trace("chaos");
+        let _g2 = t2.enter_trace(tr2);
+        t2.event("something", &[]);
+        t2.incr("wal.poisoned", 1);
+        t2.incr("scrub.quarantined", 2);
+        t2.journal_metrics_snapshot();
+        let j2 = Journal::parse(&t2.journal_lines()).unwrap();
+        let problems = j2.check().problems;
+        assert!(problems.iter().any(|p| p.contains("wal.poisoned = 1")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("scrub.quarantined = 2")), "{problems:?}");
     }
 
     #[test]

@@ -361,6 +361,46 @@ pub(crate) fn put_local_prop(buf: &mut BytesMut, lp: &LocalProp) {
     }
 }
 
+/// Encode a [`crate::PendingProp`] (a property definition not yet keyed by a
+/// class). Public because the core crate's WAL codec logs `DefineClass`
+/// frames carrying the pending definitions verbatim.
+pub fn put_pending_prop(buf: &mut BytesMut, p: &crate::property::PendingProp) {
+    put_str(buf, &p.name);
+    match &p.kind {
+        PropKind::Stored { vtype, default, required } => {
+            buf.put_u8(0);
+            put_vtype(buf, vtype);
+            default.encode(buf);
+            buf.put_u8(*required as u8);
+        }
+        PropKind::Method { body, vtype } => {
+            buf.put_u8(1);
+            put_body(buf, body);
+            put_vtype(buf, vtype);
+        }
+    }
+}
+
+/// Decode a [`crate::PendingProp`] written by [`put_pending_prop`].
+pub fn get_pending_prop(buf: &mut Bytes) -> StorageResult<crate::property::PendingProp> {
+    let name = get_str(buf)?;
+    let kind = match get_u8(buf)? {
+        0 => {
+            let vtype = get_vtype(buf)?;
+            let default = Value::decode(buf)?;
+            let required = get_u8(buf)? != 0;
+            PropKind::Stored { vtype, default, required }
+        }
+        1 => {
+            let body = get_body(buf)?;
+            let vtype = get_vtype(buf)?;
+            PropKind::Method { body, vtype }
+        }
+        t => return Err(corrupt(&format!("unknown pending prop kind tag {t}"))),
+    };
+    Ok(crate::property::PendingProp { name, kind })
+}
+
 pub(crate) fn get_local_prop(buf: &mut Bytes) -> StorageResult<LocalProp> {
     let key = PropKey(get_u64(buf)?);
     let name = get_str(buf)?;

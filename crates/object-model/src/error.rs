@@ -85,6 +85,16 @@ pub enum ModelError {
     MethodEval(String),
     /// Bubbled-up storage error.
     Storage(StorageError),
+    /// The system is degraded to read-only (exhausted I/O retries or a full
+    /// disk) and refuses new writes as backpressure instead of failing them
+    /// permanently. Reads keep serving; writers should retry after
+    /// `retry_after_ms`, or an operator can run `try_heal()`.
+    Unavailable {
+        /// Why the system is read-only.
+        reason: String,
+        /// Suggested client backoff before retrying, milliseconds.
+        retry_after_ms: u64,
+    },
     /// Any other constraint violation, with context.
     Invalid(String),
 }
@@ -120,6 +130,10 @@ impl fmt::Display for ModelError {
             ModelError::NotAVirtualClass(c) => write!(f, "class {c} is not a virtual class"),
             ModelError::MethodEval(msg) => write!(f, "method evaluation failed: {msg}"),
             ModelError::Storage(e) => write!(f, "storage error: {e}"),
+            ModelError::Unavailable { reason, retry_after_ms } => write!(
+                f,
+                "service degraded (read-only): {reason}; retry after {retry_after_ms}ms"
+            ),
             ModelError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
         }
     }

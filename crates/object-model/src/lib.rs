@@ -29,6 +29,7 @@ pub mod snapshot;
 mod value;
 
 pub use class::{Class, ClassKind};
+pub use codec::{get_pending_prop, put_pending_prop};
 pub use database::{Database, EvolutionTxn, ObjRef, SlicingStats};
 pub use derivation::Derivation;
 pub use error::{ModelError, ModelResult};

@@ -36,6 +36,7 @@ use tse_telemetry::Telemetry;
 use crate::crc::{crc32, Crc32};
 use crate::error::{StorageError, StorageResult};
 use crate::failpoint::{FailAction, FailpointRegistry};
+use crate::fault::{IoFaultKind, RetryPolicy};
 
 const MANIFEST_MAGIC: &[u8; 8] = b"TSEMANI1";
 const SNAPSHOT_MAGIC: &[u8; 8] = b"TSEDURS1";
@@ -49,7 +50,7 @@ fn io_err(ctx: &str, e: std::io::Error) -> StorageError {
     StorageError::Io(format!("{ctx}: {e}"))
 }
 
-fn sync_dir(dir: &Path) -> StorageResult<()> {
+pub(crate) fn sync_dir(dir: &Path) -> StorageResult<()> {
     // Directory fsync makes the rename itself durable (POSIX requires it for
     // the new directory entry to survive a crash).
     let d = File::open(dir).map_err(|e| io_err("open dir for fsync", e))?;
@@ -80,6 +81,12 @@ pub fn write_atomic(
             f.write_all(&bytes[..keep]).map_err(|e| io_err("torn write", e))?;
             f.sync_all().ok();
             return Err(StorageError::SimulatedCrash(site.to_string()));
+        }
+        // Transient/disk-full injections fail before any byte is written —
+        // the target file is untouched, so retrying (transient) or degrading
+        // (disk-full) is safe.
+        Some(a @ FailAction::TransientError { .. }) | Some(a @ FailAction::DiskFull) => {
+            return Err(a.to_error(site));
         }
         None => {}
     }
@@ -316,6 +323,47 @@ impl Wal {
         Ok(lsn)
     }
 
+    /// [`Wal::append`] with bounded retry of *transient* faults, before the
+    /// frame is acknowledged. The append is retried while nothing has
+    /// reached the file; a transient fsync stall is retried on the same
+    /// descriptor. If the sync retries are exhausted the log is poisoned —
+    /// an appended-but-unsynced frame has unknowable durability, the same
+    /// fail-stop rule as a real failed fsync.
+    pub fn append_retry(&mut self, payload: &[u8], policy: &RetryPolicy) -> StorageResult<u64> {
+        let fp = self.failpoints.clone();
+        let mut attempt = 0u32;
+        let lsn = loop {
+            match self.append_nosync(payload) {
+                Ok(l) => break l,
+                Err(e)
+                    if IoFaultKind::of(&e) == IoFaultKind::Transient
+                        && attempt < policy.max_retries =>
+                {
+                    fp.backoff_sleep(policy.backoff_ns(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let mut attempt = 0u32;
+        loop {
+            match self.sync() {
+                Ok(()) => return Ok(lsn),
+                Err(e)
+                    if IoFaultKind::of(&e) == IoFaultKind::Transient
+                        && attempt < policy.max_retries =>
+                {
+                    fp.backoff_sleep(policy.backoff_ns(attempt));
+                    attempt += 1;
+                }
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
     /// Append one frame **without** fsyncing it. The frame is durable only
     /// after a subsequent [`Wal::sync`] succeeds — group commit uses this
     /// to batch many frames under one fsync. Returns the frame's LSN.
@@ -359,6 +407,12 @@ impl Wal {
                 self.poisoned = true;
                 return Err(StorageError::SimulatedCrash("durable.wal_append".into()));
             }
+            // Nothing reached the file: the log stays intact and usable, so
+            // neither action poisons. Transient is retried by the caller's
+            // bounded backoff loop; disk-full degrades the system instead.
+            Some(a @ FailAction::TransientError { .. }) | Some(a @ FailAction::DiskFull) => {
+                return Err(a.to_error("durable.wal_append"));
+            }
             None => {}
         }
         if let Err(e) = self.file.write_all(&frame) {
@@ -389,6 +443,20 @@ impl Wal {
             Some(FailAction::Crash) | Some(FailAction::TornWrite { .. }) => {
                 self.poisoned = true;
                 return Err(StorageError::SimulatedCrash("durable.wal_fsync".into()));
+            }
+            // An injected transient fsync failure simulates a stall where
+            // the fsync never ran — no pages were dropped, so the log is
+            // not poisoned and the *pre-ack* retry loop may try again.
+            // (A real fsync failure below still poisons: after the kernel
+            // reports an fsync error the dirty pages may be gone.)
+            Some(a @ FailAction::TransientError { .. }) => {
+                return Err(a.to_error("durable.wal_fsync"));
+            }
+            // Disk-full at fsync: the batch's durability is unknowable,
+            // exactly like a failed fsync — fail-stop until healed.
+            Some(a @ FailAction::DiskFull) => {
+                self.poisoned = true;
+                return Err(a.to_error("durable.wal_fsync"));
             }
             None => {}
         }
@@ -473,6 +541,8 @@ struct GroupInner {
     flushed: Condvar,
     failpoints: FailpointRegistry,
     telemetry: Telemetry,
+    /// Pre-ack retry policy for transient append/fsync faults.
+    policy: RetryPolicy,
 }
 
 /// Group-commit wrapper around [`Wal`], shared by concurrent appenders.
@@ -495,8 +565,15 @@ pub struct GroupWal {
 
 impl GroupWal {
     /// Wrap `wal` for group commit. `failpoints` guards the leader's fsync
-    /// (site `durable.wal_fsync`); flush telemetry lands in `telemetry`.
-    pub fn new(wal: Wal, failpoints: FailpointRegistry, telemetry: Telemetry) -> GroupWal {
+    /// (site `durable.wal_fsync`); flush telemetry lands in `telemetry`;
+    /// transient append/fsync faults are retried per `policy` *before* any
+    /// caller's append is acknowledged.
+    pub fn new(
+        wal: Wal,
+        failpoints: FailpointRegistry,
+        telemetry: Telemetry,
+        policy: RetryPolicy,
+    ) -> GroupWal {
         GroupWal {
             inner: Arc::new(GroupInner {
                 state: Mutex::new(GroupState {
@@ -508,6 +585,7 @@ impl GroupWal {
                 flushed: Condvar::new(),
                 failpoints,
                 telemetry,
+                policy,
             }),
         }
     }
@@ -518,7 +596,24 @@ impl GroupWal {
         let inner = &*self.inner;
         let begun = Instant::now();
         let mut st = inner.state.lock().unwrap();
-        let lsn = st.wal.append_nosync(payload)?;
+        // Transient append faults are retried under the mutex — nothing has
+        // reached the file, and the retry must observe the same log tail.
+        // Backoff goes through the failpoint clock, so tests are instant.
+        let mut attempt = 0u32;
+        let lsn = loop {
+            match st.wal.append_nosync(payload) {
+                Ok(l) => break l,
+                Err(e)
+                    if IoFaultKind::of(&e) == IoFaultKind::Transient
+                        && attempt < inner.policy.max_retries =>
+                {
+                    inner.telemetry.incr("fault.retries", 1);
+                    inner.failpoints.backoff_sleep(inner.policy.backoff_ns(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        };
         st.append_seq += 1;
         let my_seq = st.append_seq;
         while st.flushed_seq < my_seq {
@@ -567,12 +662,37 @@ impl GroupWal {
     }
 
     fn fsync_outside_lock(&self, file: &File) -> StorageResult<()> {
+        // Transient fsync stalls are retried here, outside the lock, before
+        // any waiter of this batch is acknowledged. Non-transient failures
+        // (and exhausted retries) propagate to the leader, which poisons
+        // the log.
+        let mut attempt = 0u32;
+        loop {
+            match self.fsync_once(file) {
+                Ok(()) => return Ok(()),
+                Err(e)
+                    if IoFaultKind::of(&e) == IoFaultKind::Transient
+                        && attempt < self.inner.policy.max_retries =>
+                {
+                    self.inner.telemetry.incr("fault.retries", 1);
+                    self.inner.failpoints.backoff_sleep(self.inner.policy.backoff_ns(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn fsync_once(&self, file: &File) -> StorageResult<()> {
         match self.inner.failpoints.hit("durable.wal_fsync") {
             Some(FailAction::Error) => {
                 return Err(StorageError::Injected("durable.wal_fsync".into()));
             }
             Some(FailAction::Crash) | Some(FailAction::TornWrite { .. }) => {
                 return Err(StorageError::SimulatedCrash("durable.wal_fsync".into()));
+            }
+            Some(a @ FailAction::TransientError { .. }) | Some(a @ FailAction::DiskFull) => {
+                return Err(a.to_error("durable.wal_fsync"));
             }
             None => {}
         }
@@ -729,7 +849,7 @@ mod tests {
         let fp = FailpointRegistry::new();
         let telemetry = Telemetry::new();
         let (wal, _) = Wal::open(&dir, fp.clone()).unwrap();
-        let group = GroupWal::new(wal, fp.clone(), telemetry.clone());
+        let group = GroupWal::new(wal, fp.clone(), telemetry.clone(), RetryPolicy::default());
         let (threads, per) = (8usize, 25usize);
         std::thread::scope(|s| {
             for t in 0..threads {
@@ -757,13 +877,90 @@ mod tests {
         let fp = FailpointRegistry::new();
         let telemetry = Telemetry::new();
         let (wal, _) = Wal::open(&dir, fp.clone()).unwrap();
-        let group = GroupWal::new(wal, fp.clone(), telemetry.clone());
+        let group = GroupWal::new(wal, fp.clone(), telemetry.clone(), RetryPolicy::none());
         group.append(b"fine").unwrap();
         fp.arm("durable.wal_fsync", 1, FailAction::Error);
         assert!(matches!(group.append(b"doomed").unwrap_err(), StorageError::Injected(_)));
         assert!(group.is_poisoned());
         assert!(matches!(group.append(b"later").unwrap_err(), StorageError::Poisoned(_)));
         assert_eq!(telemetry.snapshot().counter("wal.poisoned"), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_append_rides_out_transient_fsync_faults() {
+        let dir = tmpdir("wal_group_transient");
+        let fp = FailpointRegistry::new();
+        fp.set_virtual_clock(true);
+        let telemetry = Telemetry::new();
+        let (wal, _) = Wal::open(&dir, fp.clone()).unwrap();
+        let policy = RetryPolicy { max_retries: 4, base_backoff_ns: 1000, max_backoff_ns: 8000 };
+        let group = GroupWal::new(wal, fp.clone(), telemetry.clone(), policy);
+        // Three consecutive fsync stalls, then the device recovers: the
+        // append must succeed with no poisoning and no lost ack.
+        fp.arm("durable.wal_fsync", 1, FailAction::TransientError { succeed_after: 3 });
+        group.append(b"survives").unwrap();
+        assert!(!group.is_poisoned());
+        assert_eq!(telemetry.snapshot().counter("fault.retries"), 3);
+        assert_eq!(fp.virtual_slept_ns(), 1000 + 2000 + 4000, "exponential backoff schedule");
+        drop(group);
+        let (_, rec) = Wal::open(&dir, fp).unwrap();
+        assert_eq!(rec.frames.len(), 1, "the acked frame is durable");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exhausted_transient_fsync_retries_poison_fail_stop() {
+        let dir = tmpdir("wal_group_exhaust");
+        let fp = FailpointRegistry::new();
+        fp.set_virtual_clock(true);
+        let telemetry = Telemetry::new();
+        let (wal, _) = Wal::open(&dir, fp.clone()).unwrap();
+        let policy = RetryPolicy { max_retries: 2, base_backoff_ns: 1, max_backoff_ns: 8 };
+        let group = GroupWal::new(wal, fp.clone(), telemetry.clone(), policy);
+        // The stall outlasts the retry budget: the append fails with a
+        // transient error and the log is poisoned (the frame is appended
+        // but of unknowable durability — fail-stop, never ack).
+        fp.arm("durable.wal_fsync", 1, FailAction::TransientError { succeed_after: 10 });
+        assert!(matches!(group.append(b"doomed").unwrap_err(), StorageError::Transient(_)));
+        assert!(group.is_poisoned());
+        assert_eq!(telemetry.snapshot().counter("wal.poisoned"), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_full_append_leaves_log_usable_after_disarm() {
+        let dir = tmpdir("wal_disk_full");
+        let fp = FailpointRegistry::new();
+        let telemetry = Telemetry::new();
+        let (wal, _) = Wal::open(&dir, fp.clone()).unwrap();
+        let group = GroupWal::new(wal, fp.clone(), telemetry, RetryPolicy::default());
+        group.append(b"before").unwrap();
+        fp.arm("durable.wal_append", 1, FailAction::DiskFull);
+        // Disk-full is sticky and not retried: every append fails cleanly
+        // with nothing written and no poisoning.
+        assert!(matches!(group.append(b"a").unwrap_err(), StorageError::DiskFull(_)));
+        assert!(matches!(group.append(b"b").unwrap_err(), StorageError::DiskFull(_)));
+        assert!(!group.is_poisoned());
+        fp.disarm("durable.wal_append");
+        group.append(b"after").unwrap();
+        drop(group);
+        let (_, rec) = Wal::open(&dir, fp).unwrap();
+        let payloads: Vec<&[u8]> = rec.frames.iter().map(|f| f.payload.as_slice()).collect();
+        assert_eq!(payloads, vec![b"before".as_slice(), b"after".as_slice()]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_retry_rides_out_transient_append_faults() {
+        let dir = tmpdir("wal_append_retry");
+        let fp = FailpointRegistry::new();
+        fp.set_virtual_clock(true);
+        let (mut wal, _) = Wal::open(&dir, fp.clone()).unwrap();
+        let policy = RetryPolicy { max_retries: 3, base_backoff_ns: 1, max_backoff_ns: 8 };
+        fp.arm("durable.wal_append", 1, FailAction::TransientError { succeed_after: 2 });
+        assert_eq!(wal.append_retry(b"ok", &policy).unwrap(), 1);
+        assert!(!wal.is_poisoned());
         fs::remove_dir_all(&dir).ok();
     }
 

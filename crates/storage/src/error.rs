@@ -44,6 +44,16 @@ pub enum StorageError {
     /// propagate it without cleanup — in-memory state is considered torn,
     /// like after a real crash; tests then re-open the system from disk.
     SimulatedCrash(String),
+    /// A transient I/O failure (e.g. `EINTR`, a momentary device stall, or
+    /// an injected [`crate::FailAction::TransientError`]). Nothing was
+    /// written; retrying the same operation may succeed. The retry loop in
+    /// [`crate::fault::with_retries`] only retries this kind.
+    Transient(String),
+    /// The device is out of space (`ENOSPC` or an injected
+    /// [`crate::FailAction::DiskFull`]). Retrying without freeing space is
+    /// pointless — callers should degrade to read-only and reclaim space
+    /// (checkpoint + log reset) before healing.
+    DiskFull(String),
 }
 
 impl StorageError {
@@ -71,6 +81,8 @@ impl fmt::Display for StorageError {
             StorageError::Poisoned(msg) => write!(f, "wal poisoned: {msg}"),
             StorageError::Injected(site) => write!(f, "injected fault at {site}"),
             StorageError::SimulatedCrash(site) => write!(f, "simulated crash at {site}"),
+            StorageError::Transient(msg) => write!(f, "transient i/o error: {msg}"),
+            StorageError::DiskFull(msg) => write!(f, "disk full: {msg}"),
         }
     }
 }

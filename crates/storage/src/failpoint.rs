@@ -16,7 +16,7 @@
 //! wall-clock or randomness, so every injected fault is replayable.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -41,6 +41,19 @@ pub enum FailAction {
         /// Bytes of the attempted write that reach the disk.
         keep_bytes: usize,
     },
+    /// Return [`StorageError::Transient`] for `succeed_after` consecutive
+    /// hits starting at the trigger hit, then pass forever: a momentary
+    /// device stall that a bounded retry loop rides out. Unlike the other
+    /// actions this one is multi-shot — it fires on hits
+    /// `[trigger, trigger + succeed_after)`.
+    TransientError {
+        /// Number of consecutive hits that fail before the site recovers.
+        succeed_after: u64,
+    },
+    /// Return [`StorageError::DiskFull`] on every hit from the trigger on,
+    /// until the site is disarmed — a full disk stays full until space is
+    /// reclaimed. Sticky, not one-shot.
+    DiskFull,
 }
 
 impl FailAction {
@@ -50,6 +63,12 @@ impl FailAction {
             FailAction::Error => StorageError::Injected(site.to_string()),
             FailAction::Crash | FailAction::TornWrite { .. } => {
                 StorageError::SimulatedCrash(site.to_string())
+            }
+            FailAction::TransientError { .. } => {
+                StorageError::Transient(format!("injected transient fault at {site}"))
+            }
+            FailAction::DiskFull => {
+                StorageError::DiskFull(format!("injected disk-full at {site}"))
             }
         }
     }
@@ -71,6 +90,12 @@ struct Inner {
     /// Fast path: false ⇒ no site is armed, `hit` returns immediately.
     any_armed: AtomicBool,
     map: Mutex<HashMap<String, Armed>>,
+    /// When true, [`FailpointRegistry::backoff_sleep`] accumulates into
+    /// `virtual_slept_ns` instead of blocking the thread — deterministic,
+    /// instant backoff for tests.
+    virtual_clock: AtomicBool,
+    /// Total nanoseconds "slept" while the virtual clock was on.
+    virtual_slept_ns: AtomicU64,
 }
 
 /// Shared registry of armed failpoints. Clones share state.
@@ -145,9 +170,30 @@ impl FailpointRegistry {
         let mut map = self.inner.map.lock();
         let armed = map.get_mut(site)?;
         armed.hits += 1;
-        if !armed.fired && armed.hits == armed.trigger_on_hit {
-            armed.fired = true;
-            return Some(armed.action);
+        match armed.action {
+            // Multi-shot: fail on hits [trigger, trigger + succeed_after),
+            // then pass forever — the device "recovered".
+            FailAction::TransientError { succeed_after } => {
+                let window_end = armed.trigger_on_hit.saturating_add(succeed_after);
+                if armed.hits >= armed.trigger_on_hit && armed.hits < window_end {
+                    armed.fired = true;
+                    return Some(armed.action);
+                }
+            }
+            // Sticky: a full disk stays full until disarmed.
+            FailAction::DiskFull => {
+                if armed.hits >= armed.trigger_on_hit {
+                    armed.fired = true;
+                    return Some(armed.action);
+                }
+            }
+            // One-shot actions fire exactly on the trigger hit.
+            _ => {
+                if !armed.fired && armed.hits == armed.trigger_on_hit {
+                    armed.fired = true;
+                    return Some(armed.action);
+                }
+            }
         }
         None
     }
@@ -158,6 +204,30 @@ impl FailpointRegistry {
             Some(action) => Err(action.to_error(site)),
             None => Ok(()),
         }
+    }
+
+    /// Switch retry-backoff sleeps to a virtual clock (tests) or back to
+    /// real `thread::sleep` (production default).
+    pub fn set_virtual_clock(&self, on: bool) {
+        self.inner.virtual_clock.store(on, Ordering::Release);
+    }
+
+    /// Sleep `ns` nanoseconds before a retry. Under the virtual clock the
+    /// duration is accumulated instead of slept, so deterministic tests run
+    /// at full speed while still asserting the schedule production would
+    /// follow.
+    pub fn backoff_sleep(&self, ns: u64) {
+        if self.inner.virtual_clock.load(Ordering::Acquire) {
+            self.inner.virtual_slept_ns.fetch_add(ns, Ordering::Relaxed);
+        } else if ns > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(ns));
+        }
+    }
+
+    /// Total nanoseconds accumulated by [`Self::backoff_sleep`] while the
+    /// virtual clock was on.
+    pub fn virtual_slept_ns(&self) -> u64 {
+        self.inner.virtual_slept_ns.load(Ordering::Relaxed)
     }
 }
 
@@ -207,6 +277,43 @@ mod tests {
     }
 
     #[test]
+    fn transient_error_fires_for_window_then_passes() {
+        let fp = FailpointRegistry::new();
+        fp.arm("s", 2, FailAction::TransientError { succeed_after: 3 });
+        assert_eq!(fp.hit("s"), None, "hit 1: before trigger");
+        for i in 0..3 {
+            assert!(
+                matches!(fp.hit("s"), Some(FailAction::TransientError { .. })),
+                "hit {} inside the failure window",
+                i + 2
+            );
+        }
+        assert_eq!(fp.hit("s"), None, "hit 5: device recovered");
+        assert_eq!(fp.hit("s"), None, "stays recovered");
+        assert!(fp.fired("s"));
+    }
+
+    #[test]
+    fn disk_full_is_sticky_until_disarmed() {
+        let fp = FailpointRegistry::new();
+        fp.arm("s", 1, FailAction::DiskFull);
+        for _ in 0..5 {
+            assert_eq!(fp.hit("s"), Some(FailAction::DiskFull));
+        }
+        fp.disarm("s");
+        assert_eq!(fp.hit("s"), None, "space reclaimed");
+    }
+
+    #[test]
+    fn virtual_clock_accumulates_instead_of_sleeping() {
+        let fp = FailpointRegistry::new();
+        fp.set_virtual_clock(true);
+        fp.backoff_sleep(5_000_000_000); // 5 s — would hang a real sleep
+        fp.backoff_sleep(1);
+        assert_eq!(fp.virtual_slept_ns(), 5_000_000_001);
+    }
+
+    #[test]
     fn actions_map_to_errors() {
         assert!(matches!(
             FailAction::Error.to_error("x"),
@@ -219,6 +326,14 @@ mod tests {
         assert!(matches!(
             FailAction::TornWrite { keep_bytes: 4 }.to_error("x"),
             StorageError::SimulatedCrash(_)
+        ));
+        assert!(matches!(
+            FailAction::TransientError { succeed_after: 1 }.to_error("x"),
+            StorageError::Transient(s) if s.contains("x")
+        ));
+        assert!(matches!(
+            FailAction::DiskFull.to_error("x"),
+            StorageError::DiskFull(s) if s.contains("x")
         ));
     }
 }

@@ -1,0 +1,224 @@
+//! Typed I/O fault taxonomy and bounded retry with exponential backoff.
+//!
+//! Every durable-path error is classified into an [`IoFaultKind`] so callers
+//! can react by *kind* rather than by string matching:
+//!
+//! - [`IoFaultKind::Transient`] — retrying the same operation may succeed
+//!   (momentary device stall, `EINTR`, injected transient fault). The only
+//!   kind [`with_retries`] retries.
+//! - [`IoFaultKind::DiskFull`] — `ENOSPC`. Retrying without freeing space is
+//!   pointless; the system should degrade to read-only and reclaim space.
+//! - [`IoFaultKind::Corruption`] — bytes on disk fail validation. Never
+//!   retried; the corrupt artifact must be quarantined or skipped.
+//! - [`IoFaultKind::Permanent`] — everything else (poisoned log, simulated
+//!   crash, clean injected failure). The caller's normal error path applies.
+//!
+//! Retries always happen *before* an operation is acknowledged — a caller
+//! that observed `Ok` never has its write silently redone, and a caller that
+//! observed `Err` knows every retry was already spent.
+//!
+//! Backoff sleeps go through [`crate::FailpointRegistry::backoff_sleep`] so
+//! tests with the virtual clock enabled run at full speed while still
+//! recording exactly how long production would have slept.
+
+use crate::error::{StorageError, StorageResult};
+use crate::failpoint::FailpointRegistry;
+
+/// Classification of a durable-path error — see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// Retrying the same operation may succeed.
+    Transient,
+    /// The device is out of space; degrade and reclaim instead of retrying.
+    DiskFull,
+    /// On-disk bytes failed validation (CRC mismatch, bad magic, short
+    /// file). Quarantine or skip the artifact.
+    Corruption,
+    /// Not an I/O fault the durability layer can do anything about.
+    Permanent,
+}
+
+impl IoFaultKind {
+    /// Classify a [`StorageError`].
+    ///
+    /// Raw [`StorageError::Io`] is inspected for the two shapes
+    /// `std::io::Error` prints for `ENOSPC`; unrecognized I/O errors are
+    /// treated as transient (one bounded retry round is cheap, and a truly
+    /// broken device fails again immediately).
+    pub fn of(e: &StorageError) -> IoFaultKind {
+        match e {
+            StorageError::Transient(_) => IoFaultKind::Transient,
+            StorageError::DiskFull(_) => IoFaultKind::DiskFull,
+            StorageError::Io(msg) => {
+                if msg.contains("os error 28") || msg.contains("No space left") {
+                    IoFaultKind::DiskFull
+                } else {
+                    IoFaultKind::Transient
+                }
+            }
+            StorageError::Corrupt(_) => IoFaultKind::Corruption,
+            _ => IoFaultKind::Permanent,
+        }
+    }
+
+    /// Stable lowercase name, used in telemetry fields.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoFaultKind::Transient => "transient",
+            IoFaultKind::DiskFull => "disk_full",
+            IoFaultKind::Corruption => "corruption",
+            IoFaultKind::Permanent => "permanent",
+        }
+    }
+}
+
+/// Bounded exponential backoff for transient durable-path faults.
+///
+/// Attempt `k` (0-based) sleeps `min(base_backoff_ns << k, max_backoff_ns)`
+/// before retrying; after `max_retries` failed retries the last error is
+/// returned. Lives on `StoreConfig` so one policy governs the whole system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (0 = no retries).
+    pub max_retries: u32,
+    /// Sleep before the first retry, nanoseconds.
+    pub base_backoff_ns: u64,
+    /// Backoff ceiling, nanoseconds.
+    pub max_backoff_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff_ns: 1_000_000,   // 1 ms
+            max_backoff_ns: 100_000_000,  // 100 ms
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy { max_retries: 0, base_backoff_ns: 0, max_backoff_ns: 0 }
+    }
+
+    /// Backoff before retry `attempt` (0-based), capped at the ceiling.
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        if self.base_backoff_ns == 0 {
+            return 0;
+        }
+        // A shift that would push the top bit out has already exceeded any
+        // ceiling a u64 can hold.
+        if attempt >= self.base_backoff_ns.leading_zeros() {
+            return self.max_backoff_ns;
+        }
+        (self.base_backoff_ns << attempt).min(self.max_backoff_ns)
+    }
+}
+
+/// Run `f`, retrying per `policy` while it fails with a
+/// [`IoFaultKind::Transient`] error. Non-transient errors and exhausted
+/// retries return the last error unchanged. Each retry is reported through
+/// `on_retry(attempt, backoff_ns, &err)` so callers can emit telemetry
+/// without this crate depending on the telemetry crate.
+pub fn with_retries<T>(
+    policy: &RetryPolicy,
+    fp: &FailpointRegistry,
+    mut on_retry: impl FnMut(u32, u64, &StorageError),
+    mut f: impl FnMut() -> StorageResult<T>,
+) -> StorageResult<T> {
+    let mut attempt = 0u32;
+    loop {
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                if IoFaultKind::of(&e) != IoFaultKind::Transient || attempt >= policy.max_retries {
+                    return Err(e);
+                }
+                let backoff = policy.backoff_ns(attempt);
+                on_retry(attempt, backoff, &e);
+                fp.backoff_sleep(backoff);
+                attempt += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_kind() {
+        assert_eq!(IoFaultKind::of(&StorageError::Transient("x".into())), IoFaultKind::Transient);
+        assert_eq!(IoFaultKind::of(&StorageError::DiskFull("x".into())), IoFaultKind::DiskFull);
+        assert_eq!(
+            IoFaultKind::of(&StorageError::Io("write failed: No space left on device (os error 28)".into())),
+            IoFaultKind::DiskFull
+        );
+        assert_eq!(IoFaultKind::of(&StorageError::Io("timed out".into())), IoFaultKind::Transient);
+        assert_eq!(IoFaultKind::of(&StorageError::Corrupt("bad crc".into())), IoFaultKind::Corruption);
+        assert_eq!(IoFaultKind::of(&StorageError::Poisoned("x".into())), IoFaultKind::Permanent);
+        assert_eq!(IoFaultKind::of(&StorageError::Injected("x".into())), IoFaultKind::Permanent);
+        assert_eq!(IoFaultKind::of(&StorageError::SimulatedCrash("x".into())), IoFaultKind::Permanent);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy { max_retries: 10, base_backoff_ns: 100, max_backoff_ns: 500 };
+        assert_eq!(p.backoff_ns(0), 100);
+        assert_eq!(p.backoff_ns(1), 200);
+        assert_eq!(p.backoff_ns(2), 400);
+        assert_eq!(p.backoff_ns(3), 500, "capped");
+        assert_eq!(p.backoff_ns(63), 500, "huge shifts saturate to the cap");
+    }
+
+    #[test]
+    fn retries_transient_until_success() {
+        let fp = FailpointRegistry::new();
+        fp.set_virtual_clock(true);
+        let policy = RetryPolicy { max_retries: 4, base_backoff_ns: 10, max_backoff_ns: 1000 };
+        let mut calls = 0;
+        let out = with_retries(&policy, &fp, |_, _, _| {}, || {
+            calls += 1;
+            if calls < 3 { Err(StorageError::Transient("stall".into())) } else { Ok(calls) }
+        });
+        assert_eq!(out, Ok(3));
+        assert_eq!(fp.virtual_slept_ns(), 10 + 20, "two backoffs accumulated on the virtual clock");
+    }
+
+    #[test]
+    fn exhausted_retries_return_last_error() {
+        let fp = FailpointRegistry::new();
+        fp.set_virtual_clock(true);
+        let policy = RetryPolicy { max_retries: 2, base_backoff_ns: 1, max_backoff_ns: 8 };
+        let mut calls = 0;
+        let mut retries = Vec::new();
+        let out: StorageResult<()> = with_retries(
+            &policy,
+            &fp,
+            |attempt, backoff, _| retries.push((attempt, backoff)),
+            || {
+                calls += 1;
+                Err(StorageError::Transient("still down".into()))
+            },
+        );
+        assert!(matches!(out, Err(StorageError::Transient(_))));
+        assert_eq!(calls, 3, "initial attempt + 2 retries");
+        assert_eq!(retries, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn non_transient_errors_fail_immediately() {
+        let fp = FailpointRegistry::new();
+        let policy = RetryPolicy::default();
+        let mut calls = 0;
+        let out: StorageResult<()> = with_retries(&policy, &fp, |_, _, _| {}, || {
+            calls += 1;
+            Err(StorageError::DiskFull("no space".into()))
+        });
+        assert!(matches!(out, Err(StorageError::DiskFull(_))));
+        assert_eq!(calls, 1);
+    }
+}

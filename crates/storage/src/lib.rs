@@ -46,9 +46,11 @@ mod crc;
 pub mod durable;
 mod error;
 mod failpoint;
+pub mod fault;
 mod page;
 mod payload;
 mod segment;
+pub mod scrub;
 mod snapshot;
 mod stats;
 mod store;
@@ -57,6 +59,8 @@ mod txn;
 pub use crc::{crc32, Crc32};
 pub use error::{StorageError, StorageResult};
 pub use failpoint::{FailAction, FailpointRegistry};
+pub use fault::{with_retries, IoFaultKind, RetryPolicy};
+pub use scrub::{scrub_dir, GenerationStatus, ScrubReport};
 pub use payload::{Payload, SimplePayload};
 pub use snapshot::{decode_store, decode_store_with, encode_store};
 pub use stats::StoreStats;

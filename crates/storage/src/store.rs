@@ -54,6 +54,11 @@ pub struct StoreConfig {
     /// next exclusive section, bounding the log and recovery time. A
     /// runtime knob, not persisted; 0 disables auto-checkpointing.
     pub wal_autocheckpoint_bytes: u64,
+    /// Bounded retry-with-backoff policy for transient durable-path I/O
+    /// faults (WAL append/fsync, snapshot and manifest writes, scrub
+    /// reads). Retries always run *before* a write is acknowledged. A
+    /// runtime knob, not persisted.
+    pub retry: crate::fault::RetryPolicy,
 }
 
 impl Default for StoreConfig {
@@ -63,6 +68,7 @@ impl Default for StoreConfig {
             buffer_pages: 256,
             write_stripes: default_write_stripes(),
             wal_autocheckpoint_bytes: 4 * 1024 * 1024,
+            retry: crate::fault::RetryPolicy::default(),
         }
     }
 }

@@ -145,14 +145,50 @@ impl State {
 
     /// Append one record: stream it to the sink (if any), then push it into
     /// the bounded ring, evicting (and counting) the oldest on overflow.
+    ///
+    /// A sink write failure is retried once (a transient stall — a signal,
+    /// a momentarily full pipe — usually clears immediately); a second
+    /// failure detaches the sink cleanly so journaling never turns a
+    /// telemetry fault into a mutation fault. The detachment itself is
+    /// recorded: `journal.sink_errors` + `journal.sink_detached` counters
+    /// and a synthetic `journal.sink_detached` event in the ring, so an
+    /// offline `tse-inspect` run can tell "quiet system" from "sink died".
     pub(crate) fn push_record(&mut self, rec: JournalRecord) {
         if let Some(sink) = &mut self.sink {
             let mut line = rec.to_json().render();
             line.push('\n');
-            if sink.write_all(line.as_bytes()).is_ok() {
+            let wrote = sink.write_all(line.as_bytes()).or_else(|_| {
+                *self.counters.entry("journal.sink_errors".into()).or_insert(0) += 1;
+                sink.write_all(line.as_bytes())
+            });
+            if wrote.is_ok() {
                 self.sink_records += 1;
             } else {
                 *self.counters.entry("journal.sink_errors".into()).or_insert(0) += 1;
+                *self.counters.entry("journal.sink_detached".into()).or_insert(0) += 1;
+                self.sink = None;
+                self.sink_records = 0;
+                let tid = self.ctx().tid;
+                let at_ns = match &rec {
+                    JournalRecord::Event { at_ns, .. } => *at_ns,
+                    JournalRecord::Span { start_ns, dur_ns, .. } => start_ns + dur_ns,
+                };
+                let detached = JournalRecord::Event {
+                    name: "journal.sink_detached".into(),
+                    at_ns,
+                    parent: None,
+                    trace: None,
+                    tid,
+                    fields: vec![(
+                        "hint".to_string(),
+                        "sink write failed twice; detached".into(),
+                    )],
+                };
+                while self.journal.len() >= self.journal_capacity.max(1) {
+                    self.journal.pop_front();
+                    *self.counters.entry("journal.dropped".into()).or_insert(0) += 1;
+                }
+                self.journal.push_back(detached);
             }
         }
         while self.journal.len() >= self.journal_capacity.max(1) {
@@ -689,6 +725,29 @@ mod tests {
         assert_eq!(t.journal().len(), 4);
         assert_eq!(t.journal_dropped() + t.journal().len() as u64, 33);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failing_sink_detaches_after_one_retry_and_journaling_survives() {
+        // /dev/full fails every flushed write with ENOSPC (Linux); skip
+        // elsewhere.
+        let full = std::path::Path::new("/dev/full");
+        if !full.exists() {
+            return;
+        }
+        let t = Telemetry::new();
+        t.attach_sink(full).unwrap();
+        // Enough bytes to force the BufWriter to hit the device.
+        let pad = "x".repeat(512);
+        for _ in 0..64 {
+            t.event("spam", &[("pad", pad.as_str().into())]);
+        }
+        assert_eq!(t.counter("journal.sink_detached"), 1, "sink detaches exactly once");
+        assert!(t.counter("journal.sink_errors") >= 2, "first failure retried before detach");
+        assert!(t.journal_lines().contains("journal.sink_detached"));
+        // Ring-only journaling keeps working after the detach.
+        t.event("after_detach", &[]);
+        assert!(t.journal_lines().contains("after_detach"));
     }
 
     #[test]

@@ -1,13 +1,23 @@
-//! Randomized crash-schedule torture loop for the shared durable system.
+//! Randomized fault-schedule torture loop for the shared durable system,
+//! with three arms selected by `CRASH_TORTURE_MODE`:
 //!
-//! Each iteration runs a random workload (creates, sets, single-target
-//! query-updates, deletes, structural evolutions, checkpoints) against a
-//! durable [`tse_core::SharedSystem`], with one failpoint site armed to
-//! kill the "process" (simulated crash, torn write, or injected error) at
-//! a random point — across WAL append, fsync, data apply, snapshot write,
-//! and the fork–evolve–swap pipeline. The moment a fault fires (or the
-//! workload finishes), the system is dropped without a clean shutdown and
-//! reopened from disk.
+//! - `kill` (default): each iteration runs a random workload (creates,
+//!   sets, single-target query-updates, deletes, structural evolutions,
+//!   checkpoints) with one failpoint site armed to kill the "process"
+//!   (simulated crash, torn write, or injected error) at a random point —
+//!   across WAL append, fsync, data apply, snapshot write, and the
+//!   fork–evolve–swap pipeline. The moment a fault fires (or the workload
+//!   finishes), the system is dropped without a clean shutdown and
+//!   reopened from disk.
+//! - `chaos`: injects *recoverable* fault schedules — transient stalls
+//!   inside the retry budget (which must ride out invisibly), and
+//!   exhausted-transient / disk-full faults (which must degrade the
+//!   system to read-only with typed `Unavailable` backpressure, then heal
+//!   via `try_heal()` and resume) — with zero acknowledged-write loss,
+//!   verified against the oracle after periodic pulled plugs.
+//! - `poison`: injects a *permanent* fsync fault. The system must
+//!   fail-stop (`Poisoned`) without acknowledging the unsynced frame,
+//!   refuse to heal in place, and recover cleanly on restart.
 //!
 //! The invariant is checked against an in-memory oracle: a non-durable
 //! system replaying exactly the **acknowledged** operations. The recovered
@@ -19,12 +29,17 @@
 //! The schedule is driven by a fixed-seed xorshift generator (override
 //! with `CRASH_TORTURE_SEED`; iterations with `CRASH_TORTURE_ITERS`), so
 //! any failure reproduces exactly. The process exits nonzero on a violated
-//! invariant and prints the seed plus the recovery journal.
+//! invariant and prints the seed plus the recovery journal. When
+//! `CRASH_TORTURE_JOURNAL` names a file, the run's telemetry journal
+//! (with an embedded metrics snapshot) is written there for
+//! `tse-inspect --check`: the chaos arm's journal must pass the gate,
+//! the poison arm's must fail it.
 
-use std::path::Path;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
-use tse_core::SharedSystem;
-use tse_object_model::{Oid, PropertyDef, Value, ValueType};
+use tse_core::{DegradedReason, SharedSystem, SystemHealth};
+use tse_object_model::{ModelError, Oid, PropertyDef, Value, ValueType};
 use tse_storage::{FailAction, StoreConfig};
 use tse_view::ViewId;
 
@@ -78,7 +93,7 @@ enum Op {
 /// Returns the created oid for `Create`.
 fn apply(
     shared: &SharedSystem,
-    oids: &mut std::collections::BTreeMap<i64, Oid>,
+    oids: &mut BTreeMap<i64, Oid>,
     op: &Op,
 ) -> tse_object_model::ModelResult<()> {
     let view = current_view(shared);
@@ -150,7 +165,7 @@ fn digest(shared: &SharedSystem, attrs: &[String]) -> String {
 fn oracle_replay(ops: &[Op]) -> (SharedSystem, Vec<String>) {
     let shared = SharedSystem::new();
     seed_schema(&shared);
-    let mut oids = std::collections::BTreeMap::new();
+    let mut oids = BTreeMap::new();
     let mut attrs = vec!["name".to_string(), "age".to_string()];
     for op in ops {
         if matches!(op, Op::Checkpoint) {
@@ -193,6 +208,96 @@ fn fail(shared: &SharedSystem, seed: u64, iteration: u64, msg: &str) -> ! {
     std::process::exit(1);
 }
 
+/// Compare `shared` against the oracle's replay of `acked`, tolerating at
+/// most one `in_flight` operation that may legitimately have landed either
+/// way. When it did land, it becomes part of durable history: it is folded
+/// into `acked` and the live-side tag maps, so every later comparison (and
+/// every future recovery) accounts for it. Returns true in that case;
+/// exits nonzero when the state matches neither world.
+fn reconcile(
+    shared: &SharedSystem,
+    acked: &mut Vec<Op>,
+    live_oids: &mut BTreeMap<i64, Oid>,
+    live_attrs: &mut Vec<String>,
+    in_flight: Option<Op>,
+    seed: u64,
+    iteration: u64,
+) -> bool {
+    let (oracle_a, attrs_a) = oracle_replay(acked);
+    let expect_a = digest(&oracle_a, &attrs_a);
+    let got_a = digest(shared, &attrs_a);
+    if got_a == expect_a {
+        return false;
+    }
+    let Some(op) = in_flight else {
+        fail(
+            shared,
+            seed,
+            iteration,
+            &format!(
+                "state lost acknowledged operations\n\
+                 --- expected ---\n{expect_a}\n--- got ---\n{got_a}"
+            ),
+        );
+    };
+    let mut with = acked.clone();
+    with.push(op.clone());
+    let (oracle_b, attrs_b) = oracle_replay(&with);
+    let expect_b = digest(&oracle_b, &attrs_b);
+    let got_b = digest(shared, &attrs_b);
+    if got_b != expect_b {
+        fail(
+            shared,
+            seed,
+            iteration,
+            &format!(
+                "state matches neither acked-only nor acked+in-flight\n\
+                 in-flight: {op:?}\n--- acked-only ---\n{expect_a}\n\
+                 --- acked+in-flight ---\n{expect_b}\n--- got ---\n{got_a}"
+            ),
+        );
+    }
+    *acked = with;
+    match op {
+        Op::Create { tag, .. } => {
+            // Resolve its oid on the live side so later ops can target it
+            // like any acknowledged object.
+            let s = shared.session();
+            let view = current_view(shared);
+            let found = s
+                .select_where(view, "Student", &format!("age == {tag}"))
+                .expect("extent readable");
+            assert_eq!(found.len(), 1, "in-flight create present exactly once");
+            live_oids.insert(tag, found[0]);
+        }
+        Op::Delete { tag } => {
+            live_oids.remove(&tag);
+        }
+        Op::AddAttr { attr, .. } => {
+            live_attrs.push(attr);
+        }
+        _ => {}
+    }
+    true
+}
+
+/// When `CRASH_TORTURE_JOURNAL` is set, embed a metrics snapshot and dump
+/// the live journal there for offline gating with `tse-inspect --check`.
+fn write_journal(shared: &SharedSystem) {
+    if let Ok(path) = std::env::var("CRASH_TORTURE_JOURNAL") {
+        shared.telemetry().journal_metrics_snapshot();
+        std::fs::write(&path, shared.telemetry().journal_lines()).expect("write journal file");
+        println!("journal written to {path}");
+    }
+}
+
+fn scratch_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tse_crash_torture_{label}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
 fn main() {
     let seed = std::env::var("CRASH_TORTURE_SEED")
         .ok()
@@ -202,18 +307,29 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(48);
+    let mode = std::env::var("CRASH_TORTURE_MODE").unwrap_or_else(|_| "kill".into());
+    match mode.as_str() {
+        "kill" => run_kill(seed, iterations),
+        "chaos" => run_chaos(seed, iterations),
+        "poison" => run_poison(seed),
+        other => {
+            eprintln!("crash_torture: unknown CRASH_TORTURE_MODE `{other}` (kill|chaos|poison)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The original arm: kill at a random failpoint, reopen, compare.
+fn run_kill(seed: u64, iterations: u64) {
     // Odd multiplier keeps the state nonzero and distinct for every seed
     // (a plain `seed | 1` would alias each even seed with its successor).
     let mut rng = Rng(seed.wrapping_mul(2).wrapping_add(1));
-    println!("crash_torture: seed={seed:#x} iterations={iterations}");
+    println!("crash_torture[kill]: seed={seed:#x} iterations={iterations}");
 
     // A small auto-checkpoint threshold so checkpoints also happen *inside*
     // the torture window, not only when the workload asks for one.
     let config = StoreConfig { wal_autocheckpoint_bytes: 640, ..StoreConfig::default() };
-
-    let dir = std::env::temp_dir().join(format!("tse_crash_torture_{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = scratch_dir("kill");
 
     // Seed a durable baseline on disk.
     {
@@ -226,7 +342,7 @@ fn main() {
     // live system's tag → oid map (survives recovery because replay
     // reissues logged oids).
     let mut acked: Vec<Op> = Vec::new();
-    let mut live_oids = std::collections::BTreeMap::new();
+    let mut live_oids = BTreeMap::new();
     // Attributes known to exist on the live side (acknowledged AddAttrs);
     // mutation targets are drawn from here so every generated op is
     // well-typed against both the live schema and the oracle's.
@@ -331,64 +447,18 @@ fn main() {
 
         // Recover and compare against the oracle.
         let recovered = reopen(&dir, config, seed, iteration);
-        let (oracle_a, attrs_a) = oracle_replay(&acked);
-        let expect_a = digest(&oracle_a, &attrs_a);
-        let got_a = digest(&recovered, &attrs_a);
-        if got_a == expect_a {
-            matched_absent += 1;
-        } else if let Some(op) = in_flight.clone() {
-            let mut with = acked.clone();
-            with.push(op.clone());
-            let (oracle_b, attrs_b) = oracle_replay(&with);
-            let expect_b = digest(&oracle_b, &attrs_b);
-            let got_b = digest(&recovered, &attrs_b);
-            if got_b == expect_b {
-                matched_present += 1;
-                // The in-flight op reached the disk: it is now part of
-                // durable history and every future recovery replays it.
-                acked = with;
-                match op {
-                    Op::Create { tag, .. } => {
-                        // Resolve its oid on the live side so later ops can
-                        // target it like any acknowledged object.
-                        let s = recovered.session();
-                        let view = current_view(&recovered);
-                        let found = s
-                            .select_where(view, "Student", &format!("age == {tag}"))
-                            .expect("recovered extent readable");
-                        assert_eq!(found.len(), 1, "in-flight create present exactly once");
-                        live_oids.insert(tag, found[0]);
-                    }
-                    Op::Delete { tag } => {
-                        live_oids.remove(&tag);
-                    }
-                    Op::AddAttr { attr, .. } => {
-                        live_attrs.push(attr);
-                    }
-                    _ => {}
-                }
-            } else {
-                fail(
-                    &recovered,
-                    seed,
-                    iteration,
-                    &format!(
-                        "recovered state matches neither acked-only nor acked+in-flight\n\
-                         in-flight: {op:?}\n--- acked-only ---\n{expect_a}\n\
-                         --- acked+in-flight ---\n{expect_b}\n--- recovered ---\n{got_a}"
-                    ),
-                );
-            }
+        if reconcile(
+            &recovered,
+            &mut acked,
+            &mut live_oids,
+            &mut live_attrs,
+            in_flight,
+            seed,
+            iteration,
+        ) {
+            matched_present += 1;
         } else {
-            fail(
-                &recovered,
-                seed,
-                iteration,
-                &format!(
-                    "recovered state lost acknowledged operations\n\
-                     --- expected ---\n{expect_a}\n--- recovered ---\n{got_a}"
-                ),
-            );
+            matched_absent += 1;
         }
         drop(recovered);
     }
@@ -398,12 +468,282 @@ fn main() {
     let journal = shared.telemetry().journal_lines();
     assert!(journal.contains("recovery.complete"), "final journal missing recovery.complete");
     assert!(faults > 0, "no failpoint ever fired — the schedule is broken");
+    write_journal(&shared);
     println!(
-        "crash_torture ok: seed={seed:#x} kills={kills} faults={faults} \
+        "crash_torture[kill] ok: seed={seed:#x} kills={kills} faults={faults} \
          inflight_present={matched_present} inflight_absent={matched_absent} \
          acked_ops={} generation={:?} autocheckpoints={autocheckpoints}",
         acked.len(),
         shared.generation(),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The graceful-degradation arm: recoverable fault schedules only. Small
+/// transient stalls must ride out inside the retry budget; exhausted
+/// transients and ENOSPC must degrade → heal → resume, losing nothing.
+fn run_chaos(seed: u64, iterations: u64) {
+    let mut rng = Rng(seed.wrapping_mul(2).wrapping_add(1));
+    println!("crash_torture[chaos]: seed={seed:#x} iterations={iterations}");
+    let config = StoreConfig::default();
+    let dir = scratch_dir("chaos");
+
+    let mut shared = SharedSystem::open_with_config(&dir, config).expect("fresh open");
+    seed_schema(&shared);
+    shared.checkpoint().unwrap();
+    // Backoff sleeps accumulate on the virtual clock: the schedule is
+    // deterministic and the run takes no real wall-clock delay.
+    shared.failpoints().set_virtual_clock(true);
+
+    let mut acked: Vec<Op> = Vec::new();
+    let mut live_oids = BTreeMap::new();
+    let mut live_attrs: Vec<String> = Vec::new();
+    let mut next_tag: i64 = 0;
+    let mut next_attr: u64 = 0;
+    let mut rideouts = 0u64;
+    let mut degrades = 0u64;
+    let mut heals = 0u64;
+    let mut rejected = 0u64;
+    let mut plugs = 0u64;
+
+    for iteration in 0..iterations {
+        // Occasionally interleave a calm, unarmed op (a set or a schema
+        // evolution) so degrade episodes land on a varied history.
+        if rng.below(3) == 0 {
+            let tags: Vec<i64> = live_oids.keys().copied().collect();
+            let op = if !tags.is_empty() && rng.below(2) == 0 {
+                let tag = tags[rng.below(tags.len() as u64) as usize];
+                Op::Set { tag, attr: "name".into(), value: Value::Str(format!("n{iteration}")) }
+            } else {
+                let attr = format!("a{next_attr}");
+                next_attr += 1;
+                Op::AddAttr { attr, default: rng.below(100) as i64 }
+            };
+            if let Err(e) = apply(&shared, &mut live_oids, &op) {
+                fail(&shared, seed, iteration, &format!("calm op failed: {e}"));
+            }
+            if let Op::AddAttr { attr, .. } = &op {
+                live_attrs.push(attr.clone());
+            }
+            acked.push(op);
+        }
+
+        let retries_before = shared.telemetry().counter("fault.retries");
+        match rng.below(3) {
+            0 => {
+                // Transient stall inside the retry budget: the caller never
+                // sees it and health never moves.
+                let site =
+                    if rng.below(2) == 0 { "durable.wal_fsync" } else { "durable.wal_append" };
+                let succeed_after = 1 + rng.below(3);
+                shared.failpoints().arm(site, 1, FailAction::TransientError { succeed_after });
+                let tag = next_tag;
+                next_tag += 1;
+                let op = Op::Create { name: format!("s{tag}"), tag };
+                if let Err(e) = apply(&shared, &mut live_oids, &op) {
+                    fail(&shared, seed, iteration, &format!("ride-out write failed: {e}"));
+                }
+                acked.push(op);
+                if shared.health() != SystemHealth::Healthy {
+                    fail(&shared, seed, iteration, "health moved on a rode-out transient");
+                }
+                if shared.telemetry().counter("fault.retries") == retries_before {
+                    fail(&shared, seed, iteration, "transient schedule spent no retries");
+                }
+                shared.failpoints().disarm(site);
+                rideouts += 1;
+            }
+            kind => {
+                // A fault that outlasts the retry budget (kind 1) or
+                // ENOSPC (kind 2): the write fails, the system degrades.
+                let (action, want) = if kind == 1 {
+                    (
+                        FailAction::TransientError { succeed_after: 1_000 },
+                        DegradedReason::RetriesExhausted,
+                    )
+                } else {
+                    (FailAction::DiskFull, DegradedReason::DiskFull)
+                };
+                shared.failpoints().arm("durable.wal_append", 1, action);
+                let tag = next_tag;
+                next_tag += 1;
+                let op = Op::Create { name: format!("s{tag}"), tag };
+                let err = match apply(&shared, &mut live_oids, &op) {
+                    Err(e) => e,
+                    Ok(()) => fail(&shared, seed, iteration, "armed fault did not fire"),
+                };
+                if shared.health() != (SystemHealth::Degraded { reason: want }) {
+                    fail(
+                        &shared,
+                        seed,
+                        iteration,
+                        &format!(
+                            "expected degraded ({}) after `{err}`, got {}",
+                            want.name(),
+                            shared.health()
+                        ),
+                    );
+                }
+                degrades += 1;
+
+                // While degraded: writers get typed backpressure, readers
+                // keep serving.
+                let probe = Op::Create { name: "rejected".into(), tag: next_tag };
+                match apply(&shared, &mut live_oids, &probe) {
+                    Err(ModelError::Unavailable { .. }) => rejected += 1,
+                    other => fail(
+                        &shared,
+                        seed,
+                        iteration,
+                        &format!("degraded write was not rejected as Unavailable: {other:?}"),
+                    ),
+                }
+                let (_, attrs) = oracle_replay(&acked);
+                let _ = digest(&shared, &attrs); // reads must not error
+
+                // The operator clears the fault and heals without restart.
+                shared.failpoints().disarm("durable.wal_append");
+                match shared.try_heal() {
+                    Ok(SystemHealth::Healthy) => heals += 1,
+                    other => fail(&shared, seed, iteration, &format!("try_heal: {other:?}")),
+                }
+                // The failed op had applied in memory before its log append
+                // failed, so the healing checkpoint may have made it
+                // durable — fold it into history if so; losing anything
+                // *acknowledged* is fatal.
+                reconcile(
+                    &shared,
+                    &mut acked,
+                    &mut live_oids,
+                    &mut live_attrs,
+                    Some(op),
+                    seed,
+                    iteration,
+                );
+            }
+        }
+
+        // Periodically pull the plug mid-run: heals must never have
+        // compromised durability of the acknowledged history.
+        if rng.below(8) == 0 {
+            drop(shared);
+            plugs += 1;
+            shared = reopen(&dir, config, seed, iteration);
+            shared.failpoints().set_virtual_clock(true);
+            reconcile(&shared, &mut acked, &mut live_oids, &mut live_attrs, None, seed, iteration);
+        }
+    }
+
+    // Force one deterministic degrade→heal episode at the end so the
+    // captured journal always demonstrates a full recovered cycle.
+    shared.failpoints().arm("durable.wal_append", 1, FailAction::DiskFull);
+    let tag = next_tag;
+    let op = Op::Create { name: format!("s{tag}"), tag };
+    if apply(&shared, &mut live_oids, &op).is_ok() {
+        fail(&shared, seed, iterations, "final disk-full fault did not fire");
+    }
+    shared.failpoints().disarm("durable.wal_append");
+    if shared.try_heal() != Ok(SystemHealth::Healthy) {
+        fail(&shared, seed, iterations, "final heal failed");
+    }
+    heals += 1;
+    degrades += 1;
+    reconcile(&shared, &mut acked, &mut live_oids, &mut live_attrs, Some(op), seed, iterations);
+
+    let virtual_slept_ms = shared.failpoints().virtual_slept_ns() / 1_000_000;
+    let journal = shared.telemetry().journal_lines();
+    assert!(journal.contains("health.transition"), "journal missing health transitions");
+    assert!(shared.telemetry().counter("durable.heals") >= 1);
+    assert_eq!(shared.health(), SystemHealth::Healthy, "chaos run must end healthy");
+    write_journal(&shared);
+    drop(shared);
+
+    // Final pulled plug: recovery must reproduce the acked history exactly.
+    let shared = reopen(&dir, config, seed, iterations);
+    reconcile(&shared, &mut acked, &mut live_oids, &mut live_attrs, None, seed, iterations);
+    let report = shared.scrub_now().unwrap_or_else(|e| {
+        fail(&shared, seed, iterations, &format!("final scrub failed: {e}"))
+    });
+    if !report.clean() {
+        fail(&shared, seed, iterations, "final scrub found damage after a chaos run");
+    }
+    assert!(degrades > 0 && rideouts > 0, "schedule never exercised both arms");
+    assert_eq!(heals, degrades, "every degradation must heal");
+    println!(
+        "crash_torture[chaos] ok: seed={seed:#x} rideouts={rideouts} degrades={degrades} \
+         heals={heals} rejected_writes={rejected} plugs={plugs} acked_ops={} \
+         virtual_backoff_ms={virtual_slept_ms} generation={:?}",
+        acked.len(),
+        shared.generation(),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The fail-stop arm: a permanent fsync fault must poison the system
+/// without acknowledging the unsynced frame, refuse an in-place heal, and
+/// recover cleanly only through a restart.
+fn run_poison(seed: u64) {
+    println!("crash_torture[poison]: seed={seed:#x}");
+    let config = StoreConfig::default();
+    let dir = scratch_dir("poison");
+
+    let shared = SharedSystem::open_with_config(&dir, config).expect("fresh open");
+    seed_schema(&shared);
+    shared.checkpoint().unwrap();
+
+    let mut acked: Vec<Op> = Vec::new();
+    let mut live_oids = BTreeMap::new();
+    let mut live_attrs: Vec<String> = Vec::new();
+    for tag in 0..5i64 {
+        let op = Op::Create { name: format!("s{tag}"), tag };
+        apply(&shared, &mut live_oids, &op).expect("pre-fault writes ack");
+        acked.push(op);
+    }
+
+    // A permanent (non-transient, non-ENOSPC) fsync failure: the log's
+    // durable contents are unknowable, so the system must fail-stop.
+    shared.failpoints().arm("durable.wal_fsync", 1, FailAction::Error);
+    let in_flight = Op::Create { name: "s5".into(), tag: 5 };
+    if apply(&shared, &mut live_oids, &in_flight).is_ok() {
+        fail(&shared, seed, 0, "write acked through a failed fsync");
+    }
+    if shared.health() != SystemHealth::Poisoned {
+        fail(&shared, seed, 0, &format!("expected poisoned, got {}", shared.health()));
+    }
+    if shared.try_heal().is_ok() {
+        fail(&shared, seed, 0, "try_heal healed a poisoned system in place");
+    }
+    let probe = Op::Create { name: "s6".into(), tag: 6 };
+    match apply(&shared, &mut live_oids, &probe) {
+        Err(e) if e.to_string().contains("poison") => {}
+        other => fail(&shared, seed, 0, &format!("poisoned write not fail-stopped: {other:?}")),
+    }
+    // The captured journal carries the unrecovered transition and the
+    // poisoned-log counter — `tse-inspect --check` must FAIL on it.
+    write_journal(&shared);
+    drop(shared);
+
+    // Restart-and-recover: every acked write present; the unsynced frame
+    // may have reached the disk but was never acknowledged — either world
+    // is correct.
+    let shared = reopen(&dir, config, seed, 1);
+    if shared.health() != SystemHealth::Healthy {
+        fail(&shared, seed, 1, "reopened system not healthy");
+    }
+    let present = reconcile(
+        &shared,
+        &mut acked,
+        &mut live_oids,
+        &mut live_attrs,
+        Some(in_flight),
+        seed,
+        1,
+    );
+    let next = Op::Create { name: "s7".into(), tag: 7 };
+    apply(&shared, &mut live_oids, &next).expect("writes resume after restart");
+    println!(
+        "crash_torture[poison] ok: seed={seed:#x} acked_ops={} unsynced_frame_landed={present}",
+        acked.len()
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
