@@ -1,7 +1,7 @@
 //! Reader latency while schema evolution is in flight: the measurement
 //! behind the control-plane / data-plane split.
 //!
-//! Two configurations run the same workload — N reader threads at steady
+//! Three configurations run the same workload — N reader threads at steady
 //! state performing view-mediated `get`s and `select_where`s while another
 //! thread fires a stream of `add_attribute` evolutions:
 //!
@@ -9,8 +9,13 @@
 //!   holds the exclusive lock through all four phases, so readers stall for
 //!   whole evolutions at a time.
 //! * **shared** — [`SharedSystem`] sessions; translate/classify/view_regen
-//!   run against a private fork and only the epoch-publishing swap takes
-//!   the exclusive lock (`evolve.exclusive_ns`).
+//!   run against a copy-free shared fork and only the epoch-publishing swap
+//!   takes the exclusive lock (`evolve.exclusive_ns`).
+//! * **shared pinned (versioned)** — the MVCC arm: readers hold sessions
+//!   pinned before a writer thread starts rewriting every object each
+//!   round, so each read resolves an old version through a growing chain
+//!   while asserting snapshot isolation; emits the post-unpin
+//!   `mvcc_gc_reclaimed` evidence.
 //!
 //! Readers tag each sample with whether an evolution was active when the
 //! operation started; the headline comparison is the p99 of exactly those
@@ -227,6 +232,99 @@ fn run_shared(cfg: &Config) -> (RunStats, SharedSystem) {
     (stats, shared)
 }
 
+/// Versioned-read arm: every reader holds ONE session pinned *before* any
+/// churn begins, while a writer thread rewrites every object's age each
+/// round and the evolver fires swap-ins. Each read must resolve an old
+/// version under a growing chain, so this prices MVCC version resolution —
+/// and every sample doubles as a snapshot-isolation check: a pinned reader
+/// observing a churned value (or a shrunken select) panics the bench.
+fn run_shared_pinned(cfg: &Config) -> (RunStats, SharedSystem) {
+    let (sys, oids, view) = build(cfg.objects);
+    let shared = SharedSystem::from_system(sys);
+    shared.evolve_cmd("VS", "add_attribute warm: bool = false to Person").unwrap();
+    shared.telemetry().reset();
+    let done = Arc::new(AtomicBool::new(false));
+    let evolving = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(cfg.readers + 2));
+    let expect_select = cfg.objects - 100;
+
+    let stats = std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..cfg.readers {
+            let session = shared.session(); // pinned before the churn below
+            let done = Arc::clone(&done);
+            let evolving = Arc::clone(&evolving);
+            let start = Arc::clone(&start);
+            let oids = oids.clone();
+            readers.push(scope.spawn(move || {
+                start.wait();
+                reader_loop(&done, &evolving, &oids, |select, oid| {
+                    if select {
+                        let n = session.select_where(view, "Person", "age >= 100").unwrap();
+                        assert_eq!(n.len(), expect_select, "pinned select drifted");
+                    } else {
+                        match session.get(view, oid, "Person", "age").unwrap() {
+                            Value::Int(x) => {
+                                assert!(x < 1_000_000, "pinned read saw churned value {x}")
+                            }
+                            other => panic!("non-int age {other:?}"),
+                        }
+                    }
+                })
+            }));
+        }
+
+        // Writer churn: rewrite every object each round, growing the
+        // version chains the pinned readers must resolve through.
+        {
+            let writer = shared.writer();
+            let done = Arc::clone(&done);
+            let start = Arc::clone(&start);
+            scope.spawn(move || {
+                start.wait();
+                let mut k = 0i64;
+                while !done.load(Ordering::Relaxed) {
+                    k += 1;
+                    writer
+                        .update_where(
+                            view,
+                            "Person",
+                            "age >= 0",
+                            &[("age", Value::Int(1_000_000 + k))],
+                        )
+                        .unwrap();
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            });
+        }
+
+        start.wait();
+        let mut evolve_total_ns = 0u64;
+        for i in 0..cfg.evolutions {
+            evolving.store(true, Ordering::Relaxed);
+            let t = Instant::now();
+            shared.evolve_cmd("VS", &evolve_command(i)).unwrap();
+            evolve_total_ns += t.elapsed().as_nanos() as u64;
+            evolving.store(false, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        done.store(true, Ordering::Relaxed);
+
+        let mut samples = Vec::new();
+        let mut reader_elapsed_ns = 0u64;
+        for r in readers {
+            let (s, elapsed) = r.join().unwrap();
+            samples.extend(s);
+            reader_elapsed_ns = reader_elapsed_ns.max(elapsed);
+        }
+        RunStats { samples, reader_elapsed_ns, evolve_total_ns }
+    });
+    // Sessions have dropped: everything the churn superseded is now below
+    // the watermark. Reclaim it so the emitted GC evidence is non-trivial.
+    shared.gc_now();
+    (stats, shared)
+}
+
 fn latency_json(samples: &mut [u64]) -> (JsonValue, u64) {
     samples.sort_unstable();
     let p99 = percentile(samples, 99.0);
@@ -286,6 +384,9 @@ fn main() {
     let mut baseline = RunStats { samples: vec![], reader_elapsed_ns: 0, evolve_total_ns: 0 };
     let mut shared_stats =
         RunStats { samples: vec![], reader_elapsed_ns: 0, evolve_total_ns: 0 };
+    let mut pinned_stats =
+        RunStats { samples: vec![], reader_elapsed_ns: 0, evolve_total_ns: 0 };
+    let mut gc_reclaimed = 0u64;
     let mut exclusive =
         tse_telemetry::HistogramSnapshot { count: 0, sum: 0, min: 0, max: 0, buckets: vec![] };
     let mut epoch_final = 0u64;
@@ -299,6 +400,12 @@ fn main() {
         shared_stats.samples.extend(s.samples);
         shared_stats.reader_elapsed_ns += s.reader_elapsed_ns;
         shared_stats.evolve_total_ns += s.evolve_total_ns;
+
+        let (p, psys) = run_shared_pinned(&cfg);
+        pinned_stats.samples.extend(p.samples);
+        pinned_stats.reader_elapsed_ns += p.reader_elapsed_ns;
+        pinned_stats.evolve_total_ns += p.evolve_total_ns;
+        gc_reclaimed += psys.telemetry().counter("mvcc.gc_reclaimed");
         if let Some(h) = sys.telemetry().snapshot().histograms.get("evolve.exclusive_ns") {
             exclusive.count += h.count;
             exclusive.sum += h.sum;
@@ -315,6 +422,7 @@ fn main() {
 
     let (baseline_json, baseline_p99) = stats_json(&baseline, evolutions_total);
     let (shared_json, shared_p99) = stats_json(&shared_stats, evolutions_total);
+    let (pinned_json, pinned_p99) = stats_json(&pinned_stats, evolutions_total);
 
     // Exclusive-section evidence: the swap-in critical section measured by
     // the shared system itself. The bar the split must clear: the exclusive
@@ -340,6 +448,8 @@ fn main() {
         ),
         ("rwlock_baseline", baseline_json),
         ("shared", shared_json),
+        ("shared_pinned_versioned", pinned_json),
+        ("mvcc_gc_reclaimed", gc_reclaimed.into()),
         (
             "exclusive_section",
             JsonValue::obj(vec![
@@ -357,6 +467,10 @@ fn main() {
 
     println!(
         "during-evolve reader p99: baseline {baseline_p99} ns | shared {shared_p99} ns | speedup {p99_speedup:.1}x"
+    );
+    println!(
+        "pinned versioned readers under churn: during-evolve p99 {pinned_p99} ns, \
+         gc reclaimed {gc_reclaimed} versions after unpin"
     );
     println!(
         "exclusive section mean {:.0} ns, max {} ns ({:.3}% of mean evolve)",

@@ -20,12 +20,18 @@
 //!   one external mutex, reproducing the pre-stripe `with_write` world
 //!   where every data write held the system lock exclusively.
 //!
+//! Two MVCC arms ride along: **versioned reads** (4 pinned sessions
+//! sweeping a record set while 4 writers churn the same class — neither
+//! side blocks the other) and **fork cost** (physical-copy `fork` vs the
+//! copy-free `fork_shared` version-pin the evolution path now uses).
+//!
 //! Emits `BENCH_parallel_writes.json` at the workspace root. The JSON
 //! records `cpu_cores`: on a single-core host every configuration
 //! timeslices onto the same CPU and the scaling figure is meaningless —
 //! CI's 1.5× gate applies it only on multi-core runners. `--quick` runs a
 //! reduced scale.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
@@ -223,6 +229,111 @@ fn scratch_dir() -> std::path::PathBuf {
     base.join(format!("tse_bench_durable_{}", std::process::id()))
 }
 
+/// Versioned-read arm: 4 writers churn one contended class while 4
+/// readers sweep a fixed record set, each sweep under a freshly pinned
+/// `ReadSession`. MVCC readers resolve versions at their pinned epoch and
+/// never block (or get blocked by) the writers, so both throughputs come
+/// from the same wall-clock window.
+fn versioned_read_arm(cfg: &Config) -> JsonValue {
+    let (shared, view) = build();
+    let writer = shared.writer();
+    let mut oids = Vec::new();
+    for i in 0..256 {
+        oids.push(writer.create(view, &shard_name(0), &[("payload", Value::Int(i))]).unwrap());
+    }
+    drop(writer);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let read_ops = Arc::new(AtomicU64::new(0));
+    let begun = Instant::now();
+    let mut writer_ns = 0u64;
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let shared = shared.clone();
+            let oids = oids.clone();
+            let stop = Arc::clone(&stop);
+            let read_ops = Arc::clone(&read_ops);
+            scope.spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let session = shared.session();
+                    for oid in &oids {
+                        session.get(view, *oid, "Shard0", "payload").unwrap();
+                        n += 1;
+                    }
+                }
+                read_ops.fetch_add(n, Ordering::AcqRel);
+            });
+        }
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let writer = shared.writer();
+                let ops = cfg.ops_per_thread;
+                scope.spawn(move || writer_loop(&writer, view, "Shard0", ops))
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        writer_ns = begun.elapsed().as_nanos() as u64;
+        stop.store(true, Ordering::Release);
+    });
+    let total_ns = begun.elapsed().as_nanos() as u64;
+    let reads = read_ops.load(Ordering::Acquire);
+    let write_ops = 4 * cfg.ops_per_thread;
+    let write_tput = throughput(write_ops, writer_ns);
+    let read_tput = throughput(reads as usize, total_ns);
+    println!(
+        "versioned reads: {read_tput:.0} pinned reads/s alongside {write_tput:.0} writes/s"
+    );
+    JsonValue::obj(vec![
+        ("reader_threads", 4usize.into()),
+        ("writer_threads", 4usize.into()),
+        ("pinned_read_ops", reads.into()),
+        ("pinned_reads_per_sec", read_tput.into()),
+        ("concurrent_write_ops", write_ops.into()),
+        ("concurrent_writes_per_sec", write_tput.into()),
+    ])
+}
+
+/// Fork cost: the evolution control plane used to quiesce every stripe and
+/// physically copy each segment before evolving the copy; it now clones a
+/// handle onto the same versioned store. Measure both on the same
+/// populated system and report the delta the MVCC rebuild bought.
+fn fork_cost_arm(quick: bool) -> JsonValue {
+    let mut sys = TseSystem::new();
+    sys.define_base_class(
+        "Bulk",
+        &[],
+        vec![PropertyDef::stored("payload", ValueType::Int, Value::Int(0))],
+    )
+    .unwrap();
+    let v = sys.create_view("BULK", &["Bulk"]).unwrap();
+    let records: usize = if quick { 2_000 } else { 20_000 };
+    for i in 0..records {
+        sys.create(v, "Bulk", &[("payload", Value::Int(i as i64))]).unwrap();
+    }
+    let t0 = Instant::now();
+    let copy = sys.fork().expect("physical fork");
+    let physical_ns = (t0.elapsed().as_nanos() as u64).max(1);
+    drop(copy);
+    let t0 = Instant::now();
+    let pin = sys.fork_shared().expect("shared fork");
+    let shared_ns = (t0.elapsed().as_nanos() as u64).max(1);
+    drop(pin);
+    let speedup = physical_ns as f64 / shared_ns as f64;
+    println!(
+        "fork cost over {records} records: physical copy {physical_ns} ns, \
+         version-pin {shared_ns} ns ({speedup:.0}x)"
+    );
+    JsonValue::obj(vec![
+        ("records", records.into()),
+        ("physical_copy_fork_ns", physical_ns.into()),
+        ("version_pin_fork_ns", shared_ns.into()),
+        ("physical_over_pin", speedup.into()),
+    ])
+}
+
 fn run_json(tput: f64, elapsed_ns: u64, ops: usize, threads: usize) -> JsonValue {
     JsonValue::obj(vec![
         ("threads", threads.into()),
@@ -300,10 +411,17 @@ fn main() {
     let _ = std::fs::remove_dir_all(&disk_dir);
     println!("group commit on disk: {} batches, max batch size {}", group.0, group.1);
 
+    // Versioned-read and fork-cost arms: pinned MVCC readers alongside
+    // writer churn, and the physical-copy vs version-pin fork delta.
+    let versioned = versioned_read_arm(&cfg);
+    let fork = fork_cost_arm(quick);
+
     // Stripe telemetry evidence, from a dedicated run kept alive for
     // inspection: the contended path populates `stripe.conflicts` when
-    // try-lock fails, and fork–evolve–swap (one evolve) records the
-    // acquire-all quiesce into `lock.stripe_wait_ns`.
+    // try-lock fails and times the blocking acquisitions into
+    // `lock.stripe_wait_ns`. (Evolve no longer quiesces the stripes —
+    // its fork is a copy-free version-pin — so contention is the only
+    // remaining source of stripe waits.)
     let (shared, view) = build();
     let _ = timed_run(&shared, view, 4, cfg.ops_per_thread.min(800), |_| 0, None);
     shared.evolve_cmd("SHARDS", "add_attribute extra: int to Shard0").unwrap();
@@ -315,7 +433,7 @@ fn main() {
         ("stripe_wait_present", wait.is_some().into()),
         ("stripe_wait_count", wait.map(|h| h.count).unwrap_or(0).into()),
         ("stripe_wait_max_ns", wait.map(|h| h.max).unwrap_or(0).into()),
-        ("write_stripes", shared.with_read(|sys| sys.db().store().stripe_count()).into()),
+        ("write_stripes", shared.store_stripes().into()),
     ]);
 
     let json = JsonValue::obj(vec![
@@ -337,6 +455,8 @@ fn main() {
             ]),
         ),
         ("stripe_evidence", evidence),
+        ("versioned_read_4r_4w", versioned),
+        ("fork", fork),
     ]);
     let path = write_bench_json("parallel_writes", &json).expect("write BENCH_parallel_writes.json");
     println!("wrote {path}");

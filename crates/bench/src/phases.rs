@@ -118,15 +118,51 @@ pub fn bench_artifact_dir() -> std::path::PathBuf {
 /// [`bench_artifact_dir`]) and return the file path. The content is
 /// validated JSON by construction (rendered by the same writer the journal
 /// uses).
+///
+/// Every top-level object artifact is stamped with `cpu_cores`
+/// (`available_parallelism` of the emitting host) unless the bench already
+/// recorded it: scaling and speedup figures are meaningless on a 1-core
+/// host, and `tse-inspect --check` uses the stamp to flag them.
 pub fn write_bench_json(name: &str, value: &JsonValue) -> std::io::Result<String> {
     let path = bench_artifact_dir().join(format!("BENCH_{name}.json"));
+    let value = stamp_cpu_cores(value.clone());
     std::fs::write(&path, value.render() + "\n")?;
     Ok(path.display().to_string())
+}
+
+/// Add `cpu_cores` to a top-level JSON object that lacks it; non-objects
+/// and artifacts that already carry the field pass through unchanged.
+fn stamp_cpu_cores(mut value: JsonValue) -> JsonValue {
+    if let JsonValue::Obj(pairs) = &mut value {
+        if !pairs.iter().any(|(k, _)| k == "cpu_cores") {
+            let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            pairs.push(("cpu_cores".to_string(), JsonValue::U64(cores as u64)));
+        }
+    }
+    value
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cpu_cores_is_stamped_unless_already_present() {
+        let stamped = stamp_cpu_cores(JsonValue::obj(vec![("bench", "x".into())]));
+        let JsonValue::Obj(pairs) = &stamped else { panic!("not an object") };
+        assert!(
+            pairs.iter().any(|(k, v)| k == "cpu_cores" && matches!(v, JsonValue::U64(n) if *n >= 1)),
+            "missing cpu_cores stamp: {}",
+            stamped.render()
+        );
+
+        // A bench that recorded its own value keeps it.
+        let own = stamp_cpu_cores(JsonValue::obj(vec![("cpu_cores", 3u64.into())]));
+        assert_eq!(own.render(), r#"{"cpu_cores":3}"#);
+
+        // Non-objects pass through untouched.
+        assert_eq!(stamp_cpu_cores(JsonValue::U64(9)).render(), "9");
+    }
 
     #[test]
     fn phase_workload_produces_nonzero_disjoint_timings() {

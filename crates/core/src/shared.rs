@@ -36,6 +36,21 @@
 //! drops the private fork and publishes nothing: readers never observe a
 //! torn epoch.
 //!
+//! **MVCC — repeatable reads.** Metadata pinning alone left record reads
+//! at read-committed: a session saw whatever the store held at each `get`.
+//! Now every [`ReadSession`] additionally holds a [`ReadPin`] on the
+//! store's [`EpochClock`]: all of its `get`/`extent`/`select_where`/
+//! `invoke` calls resolve record versions and object membership at the
+//! pinned epoch, for the session's whole lifetime — true snapshot
+//! isolation for readers. Write batches ([`WriteSession`] ops, evolutions)
+//! run under a `WriteTicket`, so a session opened mid-batch observes none
+//! of it and one opened after observes all of it; writers never block on
+//! readers, they just stamp new versions. The evolve path forks with
+//! [`TseSystem::fork_shared`] — a handful of `Arc` clones instead of a
+//! physical store copy — and superseded versions are reclaimed by
+//! [`SharedSystem::gc_now`] (or opportunistically when sessions drop) once
+//! the oldest pin advances past them (`mvcc.*` telemetry).
+//!
 //! Lock taxonomy (acquisition order, coarse → fine):
 //! 1. `control` mutex — serializes schema changes and durability
 //!    (`lock.control_wait_ns`).
@@ -84,7 +99,10 @@ use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use tse_algebra::UpdatePolicy;
 use tse_object_model::{ClassId, ModelError, ModelResult, Oid, Schema, Value};
 use tse_storage::durable::GroupWal;
-use tse_storage::{FailpointRegistry, ScrubReport, StoreConfig};
+use tse_storage::{
+    EpochClock, FailpointRegistry, ReadEpochGuard, ReadPin, ScrubReport, StoreConfig,
+    WriteStampGuard,
+};
 use tse_telemetry::Telemetry;
 use tse_view::{ViewId, ViewManager, ViewSchema};
 
@@ -221,6 +239,13 @@ pub struct SharedSystem {
 pub struct ReadSession {
     inner: Arc<SharedInner>,
     meta: Arc<MetaSnapshot>,
+    /// The store family's epoch clock (shared across evolve swap-ins).
+    clock: Arc<EpochClock>,
+    /// MVCC pin: every record/membership read of this session resolves at
+    /// this epoch — repeatable reads across concurrent write batches and
+    /// evolution swap-ins. `Option` only so `Drop` can release it before
+    /// the post-drop bookkeeping; always `Some` while the session is live.
+    pin: Option<ReadPin>,
     /// Trace id minted at open; every operation on this session runs under
     /// it, so all its journal records share one trace.
     trace: u64,
@@ -310,12 +335,18 @@ impl SharedSystem {
         }
     }
 
-    /// Open a data-plane read session pinned to the current epoch. Mints a
-    /// `read_session` trace id that stamps every journal record the
-    /// session's operations emit.
+    /// Open a data-plane read session pinned to the current epoch — both
+    /// the metadata snapshot *and* an MVCC read epoch on the store clock,
+    /// so every read the session performs is repeatable for its lifetime.
+    /// Mints a `read_session` trace id that stamps every journal record
+    /// the session's operations emit.
     pub fn session(&self) -> ReadSession {
         let trace = self.inner.telemetry.mint_trace("read_session");
-        ReadSession { inner: self.inner.clone(), meta: self.inner.meta.read().clone(), trace }
+        let meta = self.inner.meta.read().clone();
+        let clock = Arc::clone(self.read_timed().db().store().clock());
+        let pin = clock.pin();
+        self.inner.telemetry.set_gauge("mvcc.pinned_epochs", clock.pinned_epochs() as u64);
+        ReadSession { inner: self.inner.clone(), meta, clock, pin: Some(pin), trace }
     }
 
     /// Open a data-plane write session pinned to the current epoch.
@@ -346,16 +377,24 @@ impl SharedSystem {
         self.inner.system.read().failpoints().clone()
     }
 
-    /// Run a closure against the live system under the shared lock — the
-    /// escape hatch for read APIs without a session wrapper. Do not stash
-    /// the reference.
-    ///
-    /// Prefer [`SharedSystem::session`] (and [`ReadSession::stats`] /
-    /// [`ReadSession::store_bytes`] for storage figures); this hatch exists
-    /// for oracle checks that need the whole [`TseSystem`].
-    #[doc(hidden)]
-    pub fn with_read<R>(&self, f: impl FnOnce(&TseSystem) -> R) -> R {
-        f(&self.read_timed())
+    /// Number of write stripes of the live store (bench/topology sizing
+    /// aid; replaces the former `with_read` escape hatch — sessions cover
+    /// every read API, so no caller needs the raw [`TseSystem`] anymore).
+    pub fn store_stripes(&self) -> usize {
+        self.read_timed().db().store().stripe_count()
+    }
+
+    /// Run one MVCC garbage-collection pass now: reclaim record versions,
+    /// tombstoned slots, and dead object entries superseded below the
+    /// clock's GC watermark (the oldest epoch any live or future
+    /// [`ReadSession`] can observe). Returns the number of versions and
+    /// entries reclaimed; `mvcc.gc_reclaimed` / `mvcc.versions` telemetry
+    /// is updated as a side effect. Safe to call concurrently with readers
+    /// and writers — GC only touches state no pin can reach.
+    pub fn gc_now(&self) -> u64 {
+        let sys = self.read_timed();
+        let watermark = sys.db().store().clock().gc_watermark();
+        sys.db().gc(watermark)
     }
 
     // ----- lock plumbing ---------------------------------------------------
@@ -505,8 +544,23 @@ impl SharedSystem {
         // one operation), so the fork sees every batch completely or not
         // at all, and nothing written after the fork can be lost at swap.
         // Readers are unaffected — they never touch the latch.
-        let mut private = self.read_timed().fork()?;
-        let report = private.evolve(family, change)?;
+        //
+        // The fork is **copy-free**: it shares the store contents and
+        // object map with the live system (MVCC version chains keep
+        // pinned readers on their epoch), so fork cost no longer scales
+        // with data volume. Everything the evolution installs is stamped
+        // under one write ticket: no reader can pin an epoch that sees a
+        // half-applied evolution, and a failed run's versions are popped
+        // by the undo log before the ticket is released.
+        let (clock, mut private) = {
+            let sys = self.read_timed();
+            (Arc::clone(sys.db().store().clock()), sys.fork_shared()?)
+        };
+        let ticket = clock.begin_write();
+        let report = {
+            let _stamp = WriteStampGuard::new(ticket.stamp());
+            private.evolve(family, change)
+        }?;
 
         // Pre-warm the fork's extent cache for the classes of the evolved
         // family's current view, so the first extent/select_where after the
@@ -515,6 +569,14 @@ impl SharedSystem {
             let classes: Vec<ClassId> = view.classes.iter().copied().collect();
             private.db().warm_extents(&classes);
         }
+
+        // Publish the evolution's versions before the metadata swap:
+        // sessions opened after the swap must pin an epoch that already
+        // includes everything the evolution installed. (Evolution is
+        // capacity-augmenting, so a session pinning between here and the
+        // swap sees the new record versions under the old metadata —
+        // harmless, the old schema simply doesn't name the new capacity.)
+        ticket.end();
 
         // Swap-in: build the next snapshot *outside* the exclusive
         // section, then swap the system pointer and publish the epoch.
@@ -747,63 +809,6 @@ impl SharedSystem {
         self.with_write_publish(|sys| sys.set_constraint(view, class_local, expr))
     }
 
-    // ----- data writes: deprecated forwarders -------------------------------
-    //
-    // The flat write surface predates `WriteSession`; each call opens a
-    // throwaway session pinned to the current epoch. Kept for one release.
-
-    /// Create an object through a view class.
-    #[deprecated(since = "0.2.0", note = "use SharedSystem::writer().create(..)")]
-    pub fn create(
-        &self,
-        view: ViewId,
-        class_local: &str,
-        values: &[(&str, Value)],
-    ) -> ModelResult<Oid> {
-        self.writer().create(view, class_local, values)
-    }
-
-    /// Set attributes through a view class.
-    #[deprecated(since = "0.2.0", note = "use SharedSystem::writer().set(..)")]
-    pub fn set(
-        &self,
-        view: ViewId,
-        oid: Oid,
-        class_local: &str,
-        assignments: &[(&str, Value)],
-    ) -> ModelResult<()> {
-        self.writer().set(view, oid, class_local, assignments)
-    }
-
-    /// Query-then-update through a view class (§3.3 pipeline).
-    #[deprecated(since = "0.2.0", note = "use SharedSystem::writer().update_where(..)")]
-    pub fn update_where(
-        &self,
-        view: ViewId,
-        class_local: &str,
-        expr: &str,
-        assignments: &[(&str, Value)],
-    ) -> ModelResult<usize> {
-        self.writer().update_where(view, class_local, expr, assignments)
-    }
-
-    /// Add existing objects to a view class.
-    #[deprecated(since = "0.2.0", note = "use SharedSystem::writer().add_to(..)")]
-    pub fn add_to(&self, view: ViewId, oids: &[Oid], class_local: &str) -> ModelResult<()> {
-        self.writer().add_to(view, oids, class_local)
-    }
-
-    /// Remove objects from a view class.
-    #[deprecated(since = "0.2.0", note = "use SharedSystem::writer().remove_from(..)")]
-    pub fn remove_from(&self, view: ViewId, oids: &[Oid], class_local: &str) -> ModelResult<()> {
-        self.writer().remove_from(view, oids, class_local)
-    }
-
-    /// Destroy objects.
-    #[deprecated(since = "0.2.0", note = "use SharedSystem::writer().delete_objects(..)")]
-    pub fn delete_objects(&self, oids: &[Oid]) -> ModelResult<()> {
-        self.writer().delete_objects(oids)
-    }
 }
 
 fn read_timed(inner: &SharedInner) -> RwLockReadGuard<'_, TseSystem> {
@@ -839,7 +844,16 @@ fn with_data_logged<R>(
     let _latch = inner.latch.read();
     let sys = inner.system.read();
     inner.telemetry.observe_ns("lock.write_wait_ns", (started.elapsed().as_nanos() as u64).max(1));
-    let out = op(&sys)?;
+    // One MVCC write ticket per operation: every version the op installs
+    // carries the ticket's stamp, and the stable frontier stays below it
+    // until this function returns — a ReadSession opened mid-operation
+    // pins an epoch that sees all of the batch or none of it. The ticket
+    // outlives the WAL append, so a batch becomes visible only once acked.
+    let ticket = sys.db().store().clock().begin_write();
+    let out = {
+        let _stamp = WriteStampGuard::new(ticket.stamp());
+        op(&sys)
+    }?;
     if let Some(wal) = &inner.wal {
         wal.append(&encode_frame(&record(&out)))
             .map_err(ModelError::Storage)
@@ -923,6 +937,10 @@ fn own_pairs(pairs: &[(&str, Value)]) -> Vec<(String, Value)> {
     pairs.iter().map(|(n, v)| (n.to_string(), v.clone())).collect()
 }
 
+/// Superseded-version backlog above which a dropping [`ReadSession`] runs
+/// an opportunistic GC pass (its pin may have been the watermark holder).
+const GC_BACKLOG_THRESHOLD: u64 = 256;
+
 impl ReadSession {
     /// The metadata snapshot this session is pinned to.
     pub fn meta(&self) -> &MetaSnapshot {
@@ -934,9 +952,25 @@ impl ReadSession {
         self.meta.epoch
     }
 
-    /// Re-pin to the latest published epoch.
+    /// The MVCC read epoch this session's record and membership reads
+    /// resolve at (distinct from the metadata [`ReadSession::epoch`]: this
+    /// one counts write batches, not schema publishes).
+    pub fn pinned_epoch(&self) -> u64 {
+        self.pin.as_ref().map(|p| p.epoch()).expect("pin held while session is live")
+    }
+
+    /// Re-pin to the latest published epoch — both the metadata snapshot
+    /// and the MVCC read epoch advance; reads before and after `refresh`
+    /// may observe different states.
     pub fn refresh(&mut self) {
         self.meta = self.inner.meta.read().clone();
+        self.pin = Some(self.clock.pin());
+    }
+
+    /// Guard that routes every store/object-model read inside one session
+    /// operation to the pinned epoch.
+    fn epoch_guard(&self) -> ReadEpochGuard {
+        ReadEpochGuard::new(self.pinned_epoch())
     }
 
     /// The current version of a view family, as of this session's epoch.
@@ -956,6 +990,7 @@ impl ReadSession {
         let _t = self.inner.telemetry.enter_trace(self.trace);
         let started = Instant::now();
         let class = self.meta.resolve(view, class_local)?;
+        let _epoch = self.epoch_guard();
         let sys = read_timed(&self.inner);
         let out = sys.db().read_attr(oid, class, attr);
         drop(sys);
@@ -968,6 +1003,7 @@ impl ReadSession {
         let _t = self.inner.telemetry.enter_trace(self.trace);
         let started = Instant::now();
         let class = self.meta.resolve(view, class_local)?;
+        let _epoch = self.epoch_guard();
         let sys = read_timed(&self.inner);
         let out = Ok(sys.db().extent(class)?.iter().copied().collect());
         drop(sys);
@@ -987,6 +1023,7 @@ impl ReadSession {
         let class = self.meta.resolve(view, class_local)?;
         let body = crate::change::parse_expr(expr)?;
         let pred = tse_object_model::Predicate::Expr(body);
+        let _epoch = self.epoch_guard();
         let sys = read_timed(&self.inner);
         let out = tse_algebra::select_objects(sys.db(), class, &pred);
         drop(sys);
@@ -999,6 +1036,7 @@ impl ReadSession {
         let _t = self.inner.telemetry.enter_trace(self.trace);
         let started = Instant::now();
         let class = self.meta.resolve(view, class_local)?;
+        let _epoch = self.epoch_guard();
         let sys = read_timed(&self.inner);
         let out = sys.db().invoke(oid, class, name);
         drop(sys);
@@ -1015,6 +1053,25 @@ impl ReadSession {
     /// Total bytes used across all store segments of the live system.
     pub fn store_bytes(&self) -> usize {
         read_timed(&self.inner).db().store().total_bytes()
+    }
+}
+
+impl Drop for ReadSession {
+    fn drop(&mut self) {
+        drop(self.pin.take());
+        self.inner
+            .telemetry
+            .set_gauge("mvcc.pinned_epochs", self.clock.pinned_epochs() as u64);
+        // Opportunistic GC: if this was the oldest pin and enough
+        // superseded versions have piled up, reclaim them now. `try_read`
+        // keeps Drop non-blocking — if an evolution swap holds the system
+        // lock, the backlog just waits for the next session to drop.
+        if let Some(sys) = self.inner.system.try_read() {
+            if sys.db().store().superseded_versions() > GC_BACKLOG_THRESHOLD {
+                let watermark = sys.db().store().clock().gc_watermark();
+                sys.db().gc(watermark);
+            }
+        }
     }
 }
 

@@ -129,6 +129,22 @@ impl TseSystem {
         })
     }
 
+    /// A **copy-free** fork for fork–evolve–swap: the returned system
+    /// shares the store contents and object map with `self` (see
+    /// [`Database::fork_shared`]) — only schema/view/policy metadata is
+    /// (shallowly) cloned. Mutations the fork installs are MVCC versions on
+    /// the shared data, invisible to readers pinned before them and
+    /// undo-poppable on rollback, so the swap-in is a metadata publish, not
+    /// a data migration. The caller must quiesce writers for the fork's
+    /// lifetime. Fails if an evolution transaction is open.
+    pub fn fork_shared(&self) -> ModelResult<TseSystem> {
+        Ok(TseSystem {
+            db: self.db.fork_shared()?,
+            views: self.views.clone(),
+            policy: self.policy.clone(),
+        })
+    }
+
     /// Mutable database access (base-schema construction).
     pub fn db_mut(&mut self) -> &mut Database {
         &mut self.db

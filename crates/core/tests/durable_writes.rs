@@ -103,11 +103,13 @@ fn structured_evolve_is_logged_and_replays_after_simulated_crash() {
 
     let shared = SharedSystem::open(&dir).unwrap();
     assert_eq!(shared.telemetry().counter("recovery.replayed_frames"), 1);
-    let s = shared.session();
+    let mut s = shared.session();
     let versions = s.meta().views().versions("VS").unwrap().to_vec();
     assert_eq!(versions.len(), 2, "the structured change replayed");
     let v2 = *versions.last().unwrap();
     let oid = shared.writer().create(v2, "Student", &[("name", "ann".into())]).unwrap();
+    // The session pinned its epoch before the create; re-pin to see it.
+    s.refresh();
     assert_eq!(s.get(v2, oid, "Student", "register").unwrap(), Value::Bool(false));
 }
 

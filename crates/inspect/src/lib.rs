@@ -134,6 +134,72 @@ pub struct CheckReport {
     pub problems: Vec<String>,
 }
 
+/// Result of checking one `BENCH_*.json` artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCheckReport {
+    /// The `cpu_cores` stamp, if present.
+    pub cpu_cores: Option<u64>,
+    /// Keys anywhere in the artifact whose names claim parallel scaling
+    /// (`scaling*`, `speedup*`).
+    pub scaling_keys: Vec<String>,
+    /// Everything that makes the gate fail (empty = pass).
+    pub problems: Vec<String>,
+    /// Advisory findings; printed but do not fail the gate.
+    pub warnings: Vec<String>,
+}
+
+/// CI gate for a benchmark artifact (a single `BENCH_*.json` object, as
+/// opposed to a JSONL journal): FAIL when the artifact is not an object or
+/// lacks the `cpu_cores` stamp, WARN (without failing) when a scaling or
+/// speedup figure was measured on a 1-core host — every configuration
+/// timeslices onto the same CPU there, so the claim is noise.
+pub fn check_bench_artifact(text: &str) -> Result<BenchCheckReport, String> {
+    let value = parse(text.trim())?;
+    if !matches!(value, JsonValue::Obj(_)) {
+        return Err("bench artifact is not a JSON object".to_string());
+    }
+    let cpu_cores = get_u64(&value, "cpu_cores");
+    let mut scaling_keys = Vec::new();
+    collect_scaling_keys(&value, "", &mut scaling_keys);
+    let mut problems = Vec::new();
+    let mut warnings = Vec::new();
+    match cpu_cores {
+        None => problems.push(
+            "cpu_cores missing: artifact predates the host stamp; re-run the bench".to_string(),
+        ),
+        Some(1) if !scaling_keys.is_empty() => warnings.push(format!(
+            "scaling claim from a 1-core artifact: {} measured with every thread \
+             timesliced onto one CPU",
+            scaling_keys.join(", ")
+        )),
+        Some(_) => {}
+    }
+    Ok(BenchCheckReport { cpu_cores, scaling_keys, problems, warnings })
+}
+
+/// Walk the artifact and record dotted paths of keys that name a parallel
+/// scaling figure.
+fn collect_scaling_keys(value: &JsonValue, prefix: &str, out: &mut Vec<String>) {
+    match value {
+        JsonValue::Obj(pairs) => {
+            for (k, v) in pairs {
+                let path =
+                    if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                if k.contains("scaling") || k.contains("speedup") {
+                    out.push(path.clone());
+                }
+                collect_scaling_keys(v, &path, out);
+            }
+        }
+        JsonValue::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                collect_scaling_keys(v, &format!("{prefix}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
 fn get_u64(rec: &JsonValue, key: &str) -> Option<u64> {
     rec.get(key).and_then(|v| v.as_u64())
 }
@@ -767,6 +833,37 @@ mod tests {
         let j = Journal::parse(&text).unwrap();
         assert!(j.torn);
         assert!(report(&j).contains("torn final line skipped"));
+    }
+
+    #[test]
+    fn bench_artifact_check_gates_cpu_cores_and_flags_1_core_scaling() {
+        // Missing stamp: FAIL.
+        let r = check_bench_artifact(r#"{"bench":"x","scaling_4_over_1":3.2}"#).unwrap();
+        assert_eq!(r.cpu_cores, None);
+        assert!(!r.problems.is_empty());
+
+        // 1-core with a scaling claim: WARN, not FAIL. The nested
+        // speedup key is found too.
+        let r = check_bench_artifact(
+            r#"{"cpu_cores":1,"scaling_4_over_1":3.2,"fork":{"speedup":40.0}}"#,
+        )
+        .unwrap();
+        assert!(r.problems.is_empty());
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+        assert_eq!(r.scaling_keys, vec!["scaling_4_over_1", "fork.speedup"]);
+
+        // Multi-core with claims, or 1-core without claims: clean.
+        assert!(check_bench_artifact(r#"{"cpu_cores":8,"scaling_4_over_1":3.2}"#)
+            .unwrap()
+            .warnings
+            .is_empty());
+        assert!(check_bench_artifact(r#"{"cpu_cores":1,"total_ns":5}"#)
+            .unwrap()
+            .warnings
+            .is_empty());
+
+        // Non-objects are a parse-level error.
+        assert!(check_bench_artifact("[1,2]").is_err());
     }
 
     #[test]

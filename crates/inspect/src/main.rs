@@ -9,12 +9,15 @@
 //! evolve timelines, lock/WAL breakdowns, slow ops). `--prometheus` dumps
 //! the last embedded metrics snapshot as Prometheus text exposition.
 //! `--check` runs the CI gate: exit 1 on parse errors, zero traces,
-//! causality violations, or `journal.dropped > 0`.
+//! causality violations, or `journal.dropped > 0`. Given a `BENCH_*.json`
+//! file instead of a journal, `--check` gates the benchmark artifact:
+//! exit 1 when the `cpu_cores` stamp is missing, and warn (exit 0) when a
+//! scaling/speedup figure was measured on a 1-core host.
 
 use std::io::Read as _;
 use std::process::ExitCode;
 
-use tse_inspect::{prometheus, report, Journal};
+use tse_inspect::{check_bench_artifact, prometheus, report, Journal};
 
 const USAGE: &str = "usage: tse-inspect [--check] [--traces] [--evolve] [--locks] \
                      [--wal] [--slow] [--prometheus] <journal.jsonl | ->";
@@ -66,6 +69,36 @@ fn main() -> ExitCode {
             }
         }
     };
+
+    let is_bench_artifact = std::path::Path::new(&path)
+        .file_name()
+        .is_some_and(|f| f.to_string_lossy().starts_with("BENCH_"));
+    if check && is_bench_artifact {
+        match check_bench_artifact(&input) {
+            Ok(r) => {
+                println!(
+                    "check: bench artifact, cpu_cores = {}, scaling keys = [{}]",
+                    r.cpu_cores.map(|c| c.to_string()).unwrap_or_else(|| "missing".into()),
+                    r.scaling_keys.join(", ")
+                );
+                for w in &r.warnings {
+                    eprintln!("check: WARN: {w}");
+                }
+                if r.problems.is_empty() {
+                    println!("check: OK");
+                    return ExitCode::SUCCESS;
+                }
+                for p in &r.problems {
+                    eprintln!("check: FAIL: {p}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("tse-inspect: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let journal = match Journal::parse(&input) {
         Ok(j) => j,

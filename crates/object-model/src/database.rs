@@ -13,6 +13,15 @@
 //!   of all its superclasses);
 //! * virtual-class extents are *derived* from the class's [`Derivation`],
 //!   evaluated recursively and cached per (schema, data) generation.
+//!
+//! MVCC: the store already versions every record; this layer versions the
+//! *membership map* the same way. Each object's direct-class set is a small
+//! version chain stamped by the store's epoch clock, deletion is a
+//! tombstone stamp, and every reader resolves the chain against the calling
+//! thread's ambient read epoch ([`tse_storage::current_read_epoch`]), so a
+//! pinned session sees one consistent object population no matter what
+//! writers install concurrently. [`Database::fork_shared`] clones handles
+//! instead of data, and [`Database::gc`] prunes what no pin can reach.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,7 +30,8 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use tse_storage::{
-    FailpointRegistry, RecordId, SegmentId, SliceStore, StoreConfig, StoreStats, TxnToken,
+    current_read_epoch, current_write_stamp, FailpointRegistry, RecordId, SegmentId, SliceStore,
+    StorageError, StoreConfig, StoreStats, TxnToken,
 };
 
 use crate::class::ClassKind;
@@ -49,13 +59,59 @@ pub struct ObjRef {
 
 #[derive(Debug, Clone, Default)]
 pub(crate) struct ObjectEntry {
-    /// Most-specific base classes the object is an explicit member of.
-    direct: BTreeSet<ClassId>,
-    /// Implementation objects: class → slice record.
+    /// Versioned membership: `(write stamp, most-specific base classes)`
+    /// oldest first. A reader resolves the newest entry at or below its
+    /// epoch — the same visibility rule the store applies to record
+    /// version chains. Stamp 0 is the bootstrap stamp (restored objects),
+    /// visible at every epoch.
+    directs: Vec<(u64, BTreeSet<ClassId>)>,
+    /// Deletion stamp, if the object has been destroyed. The entry (and
+    /// its tombstoned slice records) linger until [`Database::gc`] proves
+    /// no pinned reader can still observe the object.
+    dead: Option<u64>,
+    /// Implementation objects: class → slice record. Not versioned:
+    /// bindings only grow (delete tombstones the records, not the map),
+    /// and a record invisible at a reader's epoch resolves to the
+    /// attribute default, which is exactly what the pre-binding state
+    /// read as.
     slices: BTreeMap<ClassId, RecordId>,
     /// Where each stored attribute of this object lives (bound on first
     /// write; models the conceptual↔implementation pointers).
     home_of: HashMap<PropKey, ClassId>,
+}
+
+impl ObjectEntry {
+    /// Membership visible at `epoch` (`None` = latest). `None` for an
+    /// object dead at the epoch or created after it.
+    fn direct_at(&self, epoch: Option<u64>) -> Option<&BTreeSet<ClassId>> {
+        match epoch {
+            None => {
+                if self.dead.is_some() {
+                    return None;
+                }
+                self.directs.last().map(|(_, s)| s)
+            }
+            Some(e) => {
+                if self.dead.is_some_and(|d| d <= e) {
+                    return None;
+                }
+                self.directs.iter().rev().find(|(stamp, _)| *stamp <= e).map(|(_, s)| s)
+            }
+        }
+    }
+
+    /// Push a membership version at `stamp`. Stamps arrive nearly sorted;
+    /// a straggler (solo stamp taken before a racing later one landed) is
+    /// spliced into place so the chain stays ordered.
+    fn set_direct(&mut self, stamp: u64, set: BTreeSet<ClassId>) {
+        match self.directs.last() {
+            Some((last, _)) if *last > stamp => {
+                let at = self.directs.partition_point(|(s, _)| *s <= stamp);
+                self.directs.insert(at, (stamp, set));
+            }
+            _ => self.directs.push((stamp, set)),
+        }
+    }
 }
 
 /// One cached extent, stamped with the generations it was computed at.
@@ -71,10 +127,20 @@ struct CachedExtent {
     extent: Arc<BTreeSet<Oid>>,
 }
 
+/// Extent-cache entries are keyed by `(class, epoch)` where `epoch` is the
+/// reader's pinned epoch or [`LATEST_EPOCH_KEY`] for unpinned reads, so a
+/// pinned session's extents never mix with live ones. Pinned entries are
+/// few and cheap to rebuild; the whole map is cleared when it outgrows
+/// this bound rather than tracking per-epoch eviction.
+const EXTENT_CACHE_CAP: usize = 1024;
+
+/// Cache-key epoch used for unpinned ("latest") extent reads.
+const LATEST_EPOCH_KEY: u64 = u64::MAX;
+
 #[derive(Default)]
 struct ExtentCache {
     schema_gen: u64,
-    map: HashMap<ClassId, CachedExtent>,
+    map: HashMap<(ClassId, u64), CachedExtent>,
 }
 
 /// Aggregate slicing statistics (Table 1 rows for the slicing column).
@@ -114,7 +180,10 @@ pub struct EvolutionTxn {
 pub struct Database {
     schema: Schema,
     store: SliceStore<Value>,
-    objects: RwLock<BTreeMap<Oid, ObjectEntry>>,
+    /// Shared with every [`Database::fork_shared`] handle — the map itself
+    /// is MVCC (versioned entries), so sharing it is what makes the fork
+    /// copy-free.
+    objects: Arc<RwLock<BTreeMap<Oid, ObjectEntry>>>,
     next_oid: AtomicU64,
     /// Bumped on membership mutation (create/delete/add/remove); keys the
     /// extent cache together with the schema generation.
@@ -125,8 +194,9 @@ pub struct Database {
     /// Segments assigned to classes lazily *after* the schema was last
     /// mutated via `&mut` (data-plane slice creation can't touch the
     /// copy-on-write `Class` records). Resolved by [`Database::segment_of`];
-    /// merged into the schema clone used for snapshots.
-    late_segments: RwLock<BTreeMap<ClassId, SegmentId>>,
+    /// merged into the schema clone used for snapshots. Shared with
+    /// `fork_shared` handles, like the object map.
+    late_segments: Arc<RwLock<BTreeMap<ClassId, SegmentId>>>,
     extent_cache: Mutex<ExtentCache>,
     slice_hops: AtomicU64,
     /// Telemetry domain shared by every layer operating on this database
@@ -158,11 +228,11 @@ impl Database {
         Database {
             schema: Schema::new(),
             store,
-            objects: RwLock::new(BTreeMap::new()),
+            objects: Arc::new(RwLock::new(BTreeMap::new())),
             next_oid: AtomicU64::new(1),
             mem_gen: AtomicU64::new(0),
             val_gen: AtomicU64::new(0),
-            late_segments: RwLock::new(BTreeMap::new()),
+            late_segments: Arc::new(RwLock::new(BTreeMap::new())),
             extent_cache: Mutex::new(ExtentCache::default()),
             slice_hops: AtomicU64::new(0),
             telemetry,
@@ -242,17 +312,55 @@ impl Database {
         Ok(Database {
             schema: self.schema.clone(),
             store: self.store.fork()?,
-            objects: RwLock::new(self.objects.read().clone()),
+            objects: Arc::new(RwLock::new(self.objects.read().clone())),
             next_oid: AtomicU64::new(self.next_oid.load(Ordering::Acquire)),
             // One generation ahead of the original so extent-cache entries
             // can never be confused between the two copies.
             mem_gen: AtomicU64::new(self.mem_gen.load(Ordering::Acquire) + 1),
             val_gen: AtomicU64::new(self.val_gen.load(Ordering::Acquire) + 1),
-            late_segments: RwLock::new(self.late_segments.read().clone()),
+            late_segments: Arc::new(RwLock::new(self.late_segments.read().clone())),
             extent_cache: Mutex::new(ExtentCache::default()),
             slice_hops: AtomicU64::new(self.slice_hops.load(Ordering::Relaxed)),
             telemetry: self.telemetry.clone(),
         })
+    }
+
+    /// A **copy-free** fork: a second handle onto the *same* store
+    /// contents, object map, and late-segment overlay, sharing the
+    /// original's epoch clock. The schema is still cloned (shallow,
+    /// copy-on-write classes): an evolution mutates the fork's schema
+    /// privately and the swap-in publishes it, while its store and
+    /// membership mutations are MVCC versions — undo-logged for rollback,
+    /// invisible to pinned readers until published.
+    ///
+    /// Cost is a handful of `Arc` clones regardless of data volume, which
+    /// is what retires the physical store copy for capacity-preserving
+    /// evolutions. The caller must quiesce data-plane writers (the
+    /// `SharedSystem` swap latch does) for the fork's lifetime — the
+    /// handles are shared, so concurrent writers through both would
+    /// interleave.
+    ///
+    /// Fails if a schema-evolution transaction is open.
+    pub fn fork_shared(&self) -> ModelResult<Database> {
+        Ok(Database {
+            schema: self.schema.clone(),
+            store: self.store.fork_shared()?,
+            objects: Arc::clone(&self.objects),
+            next_oid: AtomicU64::new(self.next_oid.load(Ordering::Acquire)),
+            mem_gen: AtomicU64::new(self.mem_gen.load(Ordering::Acquire) + 1),
+            val_gen: AtomicU64::new(self.val_gen.load(Ordering::Acquire) + 1),
+            late_segments: Arc::clone(&self.late_segments),
+            extent_cache: Mutex::new(ExtentCache::default()),
+            slice_hops: AtomicU64::new(self.slice_hops.load(Ordering::Relaxed)),
+            telemetry: self.telemetry.clone(),
+        })
+    }
+
+    /// The write stamp for a membership mutation: the ambient batch stamp
+    /// when a `WriteStampGuard` is active (sessions, evolutions), else a
+    /// fresh solo stamp from the store's clock.
+    fn membership_stamp(&self) -> u64 {
+        current_write_stamp().unwrap_or_else(|| self.store.clock().solo_stamp())
     }
 
     // ----- transactional schema evolution -----------------------------------
@@ -326,7 +434,7 @@ impl Database {
         }
         let oid = Oid(self.next_oid.fetch_add(1, Ordering::AcqRel));
         let mut entry = ObjectEntry::default();
-        entry.direct.insert(class);
+        entry.set_direct(self.membership_stamp(), BTreeSet::from([class]));
         self.objects.write().insert(oid, entry);
         self.touch_membership();
 
@@ -366,10 +474,22 @@ impl Database {
     }
 
     /// Destroy an object entirely ("removed from all the classes which they
-    /// belong to").
+    /// belong to"). MVCC: the entry is stamped dead and its slice records
+    /// tombstoned rather than erased — readers pinned before the delete
+    /// keep resolving the pre-delete object; [`Database::gc`] reclaims the
+    /// remains once no pin can reach them.
     pub fn delete_object(&self, oid: Oid) -> ModelResult<()> {
-        let entry = self.objects.write().remove(&oid).ok_or(ModelError::UnknownObject(oid))?;
-        for (_, rec) in entry.slices {
+        let stamp = self.membership_stamp();
+        let slices: Vec<RecordId> = {
+            let mut objects = self.objects.write();
+            let entry = objects.get_mut(&oid).ok_or(ModelError::UnknownObject(oid))?;
+            if entry.dead.is_some() {
+                return Err(ModelError::UnknownObject(oid));
+            }
+            entry.dead = Some(stamp);
+            entry.slices.values().copied().collect()
+        };
+        for rec in slices {
             // A dangling record would be a leak, not a correctness issue;
             // propagate errors anyway.
             self.store.free(rec)?;
@@ -384,9 +504,13 @@ impl Database {
         if !self.schema.class(class)?.is_base() {
             return Err(ModelError::NotABaseClass(class));
         }
+        let stamp = self.membership_stamp();
         let mut objects = self.objects.write();
         let entry = objects.get_mut(&oid).ok_or(ModelError::UnknownObject(oid))?;
-        entry.direct.insert(class);
+        let mut set =
+            entry.direct_at(None).cloned().ok_or(ModelError::UnknownObject(oid))?;
+        set.insert(class);
+        entry.set_direct(stamp, set);
         drop(objects);
         self.touch_membership();
         Ok(())
@@ -399,36 +523,54 @@ impl Database {
             return Err(ModelError::NotABaseClass(class));
         }
         let doomed = self.schema.descendants(class);
+        let stamp = self.membership_stamp();
         let mut objects = self.objects.write();
         let entry = objects.get_mut(&oid).ok_or(ModelError::UnknownObject(oid))?;
-        let before = entry.direct.len();
-        entry.direct.retain(|c| !doomed.contains(c));
-        if entry.direct.len() == before {
+        let cur = entry.direct_at(None).cloned().ok_or(ModelError::UnknownObject(oid))?;
+        let set: BTreeSet<ClassId> =
+            cur.iter().copied().filter(|c| !doomed.contains(c)).collect();
+        if set.len() == cur.len() {
             return Err(ModelError::NotAMember { oid, class });
         }
+        entry.set_direct(stamp, set);
         drop(objects);
         self.touch_membership();
         Ok(())
     }
 
-    /// Does the object exist?
+    /// Does the object exist at the calling thread's read epoch?
     pub fn object_exists(&self, oid: Oid) -> bool {
-        self.objects.read().contains_key(&oid)
+        let epoch = current_read_epoch();
+        self.objects.read().get(&oid).is_some_and(|e| e.direct_at(epoch).is_some())
     }
 
     /// The object's explicit (base-class) memberships.
     pub fn direct_classes(&self, oid: Oid) -> ModelResult<BTreeSet<ClassId>> {
-        Ok(self.objects.read().get(&oid).ok_or(ModelError::UnknownObject(oid))?.direct.clone())
+        let epoch = current_read_epoch();
+        self.objects
+            .read()
+            .get(&oid)
+            .and_then(|e| e.direct_at(epoch))
+            .cloned()
+            .ok_or(ModelError::UnknownObject(oid))
     }
 
-    /// All live objects, in oid order.
+    /// All objects live at the calling thread's read epoch, in oid order.
     pub fn all_objects(&self) -> impl Iterator<Item = Oid> {
-        self.objects.read().keys().copied().collect::<Vec<_>>().into_iter()
+        let epoch = current_read_epoch();
+        self.objects
+            .read()
+            .iter()
+            .filter(|(_, e)| e.direct_at(epoch).is_some())
+            .map(|(oid, _)| *oid)
+            .collect::<Vec<_>>()
+            .into_iter()
     }
 
-    /// Number of live objects.
+    /// Number of objects live at the calling thread's read epoch.
     pub fn object_count(&self) -> usize {
-        self.objects.read().len()
+        let epoch = current_read_epoch();
+        self.objects.read().values().filter(|e| e.direct_at(epoch).is_some()).count()
     }
 
     // ----- membership and extents -------------------------------------------
@@ -438,8 +580,8 @@ impl Database {
     pub fn is_member(&self, oid: Oid, class: ClassId) -> ModelResult<bool> {
         let direct = {
             let objects = self.objects.read();
-            match objects.get(&oid) {
-                Some(e) => e.direct.clone(),
+            match objects.get(&oid).and_then(|e| e.direct_at(current_read_epoch())) {
+                Some(s) => s.clone(),
                 None => return Ok(false),
             }
         };
@@ -461,19 +603,23 @@ impl Database {
         let sg = self.schema.generation();
         let mg = self.mem_gen.load(Ordering::Acquire);
         let vg = self.val_gen.load(Ordering::Acquire);
-        if let Some(hit) = self.cached_extent(class, sg, mg, vg) {
+        let ek = current_read_epoch().unwrap_or(LATEST_EPOCH_KEY);
+        if let Some(hit) = self.cached_extent(class, sg, mg, vg, ek) {
             return Ok(hit);
         }
         let mut memo = HashMap::new();
-        let (result, _) = self.extent_rec(class, sg, mg, vg, &mut memo)?;
+        let (result, _) = self.extent_rec(class, sg, mg, vg, ek, &mut memo)?;
         let mut cache = self.extent_cache.lock();
         if cache.schema_gen != sg {
             cache.schema_gen = sg;
             cache.map.clear();
         }
+        if cache.map.len() + memo.len() > EXTENT_CACHE_CAP {
+            cache.map.clear();
+        }
         for (id, (extent, value_sensitive)) in memo {
             cache.map.insert(
-                id,
+                (id, ek),
                 CachedExtent { mem_gen: mg, val_gen: vg, value_sensitive, extent },
             );
         }
@@ -496,12 +642,13 @@ impl Database {
         sg: u64,
         mg: u64,
         vg: u64,
+        ek: u64,
     ) -> Option<Arc<BTreeSet<Oid>>> {
         let cache = self.extent_cache.lock();
         if cache.schema_gen != sg {
             return None;
         }
-        let e = cache.map.get(&class)?;
+        let e = cache.map.get(&(class, ek))?;
         if e.mem_gen == mg && (!e.value_sensitive || e.val_gen == vg) {
             Some(Arc::clone(&e.extent))
         } else {
@@ -515,6 +662,7 @@ impl Database {
         sg: u64,
         mg: u64,
         vg: u64,
+        ek: u64,
         memo: &mut HashMap<ClassId, (Arc<BTreeSet<Oid>>, bool)>,
     ) -> ModelResult<(Arc<BTreeSet<Oid>>, bool)> {
         if let Some((e, s)) = memo.get(&class) {
@@ -525,15 +673,18 @@ impl Database {
             ClassKind::Base => {
                 // Still-valid cached base extents short-circuit the scan —
                 // a value write does not evict them.
-                if let Some(hit) = self.cached_extent(class, sg, mg, vg) {
+                if let Some(hit) = self.cached_extent(class, sg, mg, vg, ek) {
                     memo.insert(class, (Arc::clone(&hit), false));
                     return Ok((hit, false));
                 }
+                let epoch = (ek != LATEST_EPOCH_KEY).then_some(ek);
                 let objects = self.objects.read();
                 let out = objects
                     .iter()
                     .filter(|(_, entry)| {
-                        entry.direct.iter().any(|d| self.schema.is_sub_of(*d, class))
+                        entry
+                            .direct_at(epoch)
+                            .is_some_and(|s| s.iter().any(|d| self.schema.is_sub_of(*d, class)))
                     })
                     .map(|(oid, _)| *oid)
                     .collect();
@@ -541,7 +692,7 @@ impl Database {
             }
             ClassKind::Virtual(derivation) => match derivation.clone() {
                 Derivation::Select { src, pred } => {
-                    let (base, _) = self.extent_rec(src, sg, mg, vg, memo)?;
+                    let (base, _) = self.extent_rec(src, sg, mg, vg, ek, memo)?;
                     let mut out = BTreeSet::new();
                     for oid in base.iter() {
                         let src_view = ObjAttrSource { db: self, oid: *oid, via: src, depth: 0 };
@@ -552,22 +703,22 @@ impl Database {
                     (out, true)
                 }
                 Derivation::Hide { src, .. } | Derivation::Refine { src, .. } => {
-                    let (e, s) = self.extent_rec(src, sg, mg, vg, memo)?;
+                    let (e, s) = self.extent_rec(src, sg, mg, vg, ek, memo)?;
                     (e.as_ref().clone(), s)
                 }
                 Derivation::Union { a, b } => {
-                    let (ea, sa) = self.extent_rec(a, sg, mg, vg, memo)?;
-                    let (eb, sb) = self.extent_rec(b, sg, mg, vg, memo)?;
+                    let (ea, sa) = self.extent_rec(a, sg, mg, vg, ek, memo)?;
+                    let (eb, sb) = self.extent_rec(b, sg, mg, vg, ek, memo)?;
                     (ea.union(&eb).copied().collect(), sa || sb)
                 }
                 Derivation::Difference { a, b } => {
-                    let (ea, sa) = self.extent_rec(a, sg, mg, vg, memo)?;
-                    let (eb, sb) = self.extent_rec(b, sg, mg, vg, memo)?;
+                    let (ea, sa) = self.extent_rec(a, sg, mg, vg, ek, memo)?;
+                    let (eb, sb) = self.extent_rec(b, sg, mg, vg, ek, memo)?;
                     (ea.difference(&eb).copied().collect(), sa || sb)
                 }
                 Derivation::Intersect { a, b } => {
-                    let (ea, sa) = self.extent_rec(a, sg, mg, vg, memo)?;
-                    let (eb, sb) = self.extent_rec(b, sg, mg, vg, memo)?;
+                    let (ea, sa) = self.extent_rec(a, sg, mg, vg, ek, memo)?;
+                    let (eb, sb) = self.extent_rec(b, sg, mg, vg, ek, memo)?;
                     (ea.intersection(&eb).copied().collect(), sa || sb)
                 }
             },
@@ -660,9 +811,14 @@ impl Database {
         key: PropKey,
         default: Value,
     ) -> ModelResult<Value> {
+        let epoch = current_read_epoch();
         let (home, rec) = {
             let objects = self.objects.read();
             let entry = objects.get(&oid).ok_or(ModelError::UnknownObject(oid))?;
+            if entry.direct_at(epoch).is_none() {
+                // Dead at (or created after) the reader's epoch.
+                return Err(ModelError::UnknownObject(oid));
+            }
             let home = match entry.home_of.get(&key) {
                 Some(h) => *h,
                 // Never written → default value, no storage materialized.
@@ -686,7 +842,14 @@ impl Database {
             .class(home)?
             .layout_index(key)
             .ok_or_else(|| ModelError::Invalid(format!("home {home} lost layout for {key}")))?;
-        if idx >= self.store.field_count(rec)? {
+        let len = match self.store.field_count(rec) {
+            Ok(len) => len,
+            // The slice was materialized after this reader's pinned epoch:
+            // at that epoch the attribute had never been written.
+            Err(StorageError::UnknownRecord { .. }) if epoch.is_some() => return Ok(default),
+            Err(e) => return Err(e.into()),
+        };
+        if idx >= len {
             // Slice predates a layout extension: value was never written.
             return Ok(default);
         }
@@ -707,9 +870,9 @@ impl Database {
             .objects
             .read()
             .get(&oid)
-            .ok_or(ModelError::UnknownObject(oid))?
-            .direct
-            .clone();
+            .and_then(|e| e.direct_at(current_read_epoch()))
+            .cloned()
+            .ok_or(ModelError::UnknownObject(oid))?;
         // Gather the candidates seen from each direct class.
         let mut winners: Vec<(ClassId, Candidate)> = Vec::new();
         for d in direct {
@@ -975,7 +1138,13 @@ impl Database {
 
     /// Number of implementation objects (slices) an object currently has.
     pub fn slice_count(&self, oid: Oid) -> ModelResult<usize> {
-        Ok(self.objects.read().get(&oid).ok_or(ModelError::UnknownObject(oid))?.slices.len())
+        let epoch = current_read_epoch();
+        let objects = self.objects.read();
+        let entry = objects.get(&oid).ok_or(ModelError::UnknownObject(oid))?;
+        if entry.direct_at(epoch).is_none() {
+            return Err(ModelError::UnknownObject(oid));
+        }
+        Ok(entry.slices.len())
     }
 
     // ----- statistics ---------------------------------------------------------
@@ -990,6 +1159,9 @@ impl Database {
             ..Default::default()
         };
         for entry in self.objects.read().values() {
+            if entry.dead.is_some() {
+                continue; // awaiting GC; not part of the live population
+            }
             let n_impl = entry.slices.len() as u64;
             stats.objects += 1;
             stats.implementation_objects += n_impl;
@@ -1002,6 +1174,38 @@ impl Database {
     /// Reset the slice-hop counter.
     pub fn reset_slice_hops(&self) {
         self.slice_hops.store(0, Ordering::Relaxed);
+    }
+
+    // ----- MVCC garbage collection --------------------------------------------
+
+    /// Reclaim MVCC garbage that no current or future reader can observe:
+    /// superseded record versions and unpinned tombstoned slots in the
+    /// store, plus superseded membership versions and dead object entries
+    /// in the map. `watermark` is normally the store clock's
+    /// `gc_watermark()`. Returns the number of versions/entries reclaimed.
+    ///
+    /// Safe to run concurrently with readers and writers: everything it
+    /// removes is invisible at every epoch ≥ `watermark`, and the clock
+    /// guarantees no pin below the watermark exists or will ever be taken.
+    pub fn gc(&self, watermark: u64) -> u64 {
+        let mut reclaimed = self.store.gc(watermark);
+        let mut objects = self.objects.write();
+        objects.retain(|_, entry| {
+            if let Some(d) = entry.dead {
+                if d <= watermark {
+                    reclaimed += 1;
+                    return false;
+                }
+            }
+            if let Some(keep) = entry.directs.iter().rposition(|(s, _)| *s <= watermark) {
+                if keep > 0 {
+                    entry.directs.drain(..keep);
+                    reclaimed += keep as u64;
+                }
+            }
+            true
+        });
+        reclaimed
     }
 
     // ----- snapshot support ---------------------------------------------------
@@ -1028,11 +1232,18 @@ impl Database {
     pub(crate) fn encode_objects_into(&self, buf: &mut bytes::BytesMut) {
         use bytes::BufMut;
         let objects = self.objects.read();
-        buf.put_u32(objects.len() as u32);
-        for (oid, entry) in objects.iter() {
+        // Snapshots persist only the latest state: dead entries (and
+        // superseded membership versions) are MVCC garbage a restored
+        // database has no pins into.
+        let live: Vec<(&Oid, &ObjectEntry)> =
+            objects.iter().filter(|(_, e)| e.dead.is_none()).collect();
+        buf.put_u32(live.len() as u32);
+        for (oid, entry) in live {
             buf.put_u64(oid.0);
-            buf.put_u32(entry.direct.len() as u32);
-            for c in &entry.direct {
+            let empty = BTreeSet::new();
+            let direct = entry.direct_at(None).unwrap_or(&empty);
+            buf.put_u32(direct.len() as u32);
+            for c in direct {
                 buf.put_u32(c.0);
             }
             buf.put_u32(entry.slices.len() as u32);
@@ -1063,9 +1274,13 @@ impl Database {
             let oid = Oid(get_u64(buf)?);
             let mut entry = ObjectEntry::default();
             let n_direct = get_u32(buf)? as usize;
+            let mut direct = BTreeSet::new();
             for _ in 0..n_direct {
-                entry.direct.insert(ClassId(get_u32(buf)?));
+                direct.insert(ClassId(get_u32(buf)?));
             }
+            // Bootstrap stamp 0: restored membership is visible at every
+            // epoch, mirroring how the store stamps restored records.
+            entry.set_direct(0, direct);
             let n_slices = get_u32(buf)? as usize;
             for _ in 0..n_slices {
                 let class = ClassId(get_u32(buf)?);
@@ -1097,11 +1312,11 @@ impl Database {
         Database {
             schema,
             store,
-            objects: RwLock::new(objects),
+            objects: Arc::new(RwLock::new(objects)),
             next_oid: AtomicU64::new(next_oid),
             mem_gen: AtomicU64::new(1),
             val_gen: AtomicU64::new(1),
-            late_segments: RwLock::new(BTreeMap::new()),
+            late_segments: Arc::new(RwLock::new(BTreeMap::new())),
             extent_cache: Mutex::new(ExtentCache::default()),
             slice_hops: AtomicU64::new(0),
             telemetry,
@@ -1407,6 +1622,50 @@ mod tests {
         dbm.remove_from_class(o, c2).unwrap();
         assert!(!dbm.is_member(o, c2).unwrap());
         assert!(dbm.is_member(o, student).unwrap());
+    }
+
+    #[test]
+    fn pinned_reader_survives_delete_and_membership_change() {
+        let (db, person, student, _) = university();
+        let o = db.create_object(student, &[("name", "ann".into())]).unwrap();
+        db.write_attr(o, student, "gpa", Value::Float(3.0)).unwrap();
+        let pin = db.store().pin_read();
+        db.write_attr(o, student, "gpa", Value::Float(4.0)).unwrap();
+        db.delete_object(o).unwrap();
+        assert!(!db.object_exists(o), "latest view: gone");
+        {
+            let _g = tse_storage::ReadEpochGuard::new(pin.epoch());
+            assert!(db.object_exists(o), "pinned view: still there");
+            assert_eq!(db.read_attr(o, student, "gpa").unwrap(), Value::Float(3.0));
+            assert!(db.extent(person).unwrap().contains(&o));
+        }
+        assert!(db.extent(person).unwrap().is_empty());
+        drop(pin);
+    }
+
+    #[test]
+    fn gc_reclaims_dead_entries_once_unpinned() {
+        let (db, _, student, _) = university();
+        let o = db.create_object(student, &[("name", "x".into())]).unwrap();
+        let pin = db.store().pin_read();
+        db.delete_object(o).unwrap();
+        db.gc(db.store().clock().gc_watermark());
+        assert!(db.objects.read().contains_key(&o), "pin holds the dead entry");
+        drop(pin);
+        let freed = db.gc(db.store().clock().gc_watermark());
+        assert!(freed > 0, "tombstones and the entry are reclaimable now");
+        assert!(!db.objects.read().contains_key(&o));
+    }
+
+    #[test]
+    fn fork_shared_is_a_handle_onto_the_same_database() {
+        let (db, _, student, _) = university();
+        let o = db.create_object(student, &[("name", "a".into())]).unwrap();
+        let fork = db.fork_shared().unwrap();
+        assert!(fork.store().shares_contents_with(db.store()));
+        assert_eq!(fork.read_attr(o, student, "name").unwrap(), Value::Str("a".into()));
+        let o2 = fork.create_object(student, &[]).unwrap();
+        assert!(db.object_exists(o2), "shared object map: both handles see new objects");
     }
 
     #[test]

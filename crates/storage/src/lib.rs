@@ -19,6 +19,12 @@
 //! * **Transactions** — a single-writer undo log providing atomic multi-record
 //!   updates with abort/rollback, mirroring the transactional platform the
 //!   paper assumes.
+//! * **MVCC** — every record carries a small version chain stamped by a
+//!   shared [`EpochClock`]; readers pin an epoch ([`mvcc`]) and resolve
+//!   the version visible at it, so writers install new versions without
+//!   ever blocking readers, `fork_shared` makes the control plane's fork a
+//!   copy-free handle clone, and `SliceStore::gc` reclaims superseded
+//!   versions once the oldest pin advances.
 //! * **Snapshots** — a hand-rolled binary codec (over [`bytes`]) that can
 //!   persist and restore an entire store, with per-section CRC32s so torn
 //!   or bit-rotted blobs are rejected instead of mis-decoded.
@@ -47,6 +53,7 @@ pub mod durable;
 mod error;
 mod failpoint;
 pub mod fault;
+pub mod mvcc;
 mod page;
 mod payload;
 mod segment;
@@ -60,6 +67,10 @@ pub use crc::{crc32, Crc32};
 pub use error::{StorageError, StorageResult};
 pub use failpoint::{FailAction, FailpointRegistry};
 pub use fault::{with_retries, IoFaultKind, RetryPolicy};
+pub use mvcc::{
+    current_read_epoch, current_write_stamp, EpochClock, ReadEpochGuard, ReadPin,
+    WriteStampGuard, WriteTicket,
+};
 pub use scrub::{scrub_dir, GenerationStatus, ScrubReport};
 pub use payload::{Payload, SimplePayload};
 pub use snapshot::{decode_store, decode_store_with, encode_store};

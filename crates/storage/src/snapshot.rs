@@ -56,9 +56,11 @@ pub fn encode_store<P: Payload>(store: &SliceStore<P>) -> Bytes {
     })
 }
 
-/// One segment slot: present flag, then name and records. Live records are
-/// taken straight from the segment's iterator — freed slots are written as
-/// absent without ever materializing a record reference for them.
+/// One segment slot: present flag, then name and records. Only the
+/// **current** version of each record is persisted — version history is
+/// runtime state for pinned readers, not durable state — and tombstoned
+/// or freed slots are written as absent, so a restored store starts
+/// single-version with every slot hole genuinely free.
 fn encode_segment<P: Payload>(buf: &mut BytesMut, seg: Option<&Segment<P>>) {
     let seg = match seg {
         None => {
@@ -72,8 +74,8 @@ fn encode_segment<P: Payload>(buf: &mut BytesMut, seg: Option<&Segment<P>>) {
     let cap = seg.slot_capacity() as u32;
     buf.put_u32(cap);
     let mut records: Vec<Option<&[P]>> = vec![None; cap as usize];
-    for (slot, rec) in seg.iter() {
-        records[slot as usize] = Some(&rec.fields);
+    for (slot, fields) in seg.iter_at(None) {
+        records[slot as usize] = Some(fields.as_slice());
     }
     for fields in records {
         match fields {

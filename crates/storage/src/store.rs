@@ -1,14 +1,23 @@
-//! The store: lock-striped segments + per-stripe buffer pools + counters +
-//! transactions.
+//! The store: lock-striped multi-versioned segments + per-stripe buffer
+//! pools + counters + transactions.
 //!
 //! Segments (one per class in the object model) are partitioned across
 //! `StoreConfig::write_stripes` lock stripes keyed by `SegmentId % N`, so
 //! record operations on different class segments proceed concurrently from
-//! `&self`. Cross-stripe operations (fork, totals, snapshot encoding)
-//! acquire stripes in canonical (index) order, which keeps them
-//! deadlock-free against any set of single-stripe writers.
+//! `&self`. Cross-stripe operations (physical fork, totals, snapshot
+//! encoding, GC) acquire stripes in canonical (index) order, which keeps
+//! them deadlock-free against any set of single-stripe writers.
+//!
+//! Every mutation installs a new record version stamped by the shared
+//! [`EpochClock`]; reads resolve against the calling thread's pinned epoch
+//! (see [`crate::mvcc`]) or the latest version when unpinned. The store's
+//! contents live behind an `Arc` so [`SliceStore::fork_shared`] is a
+//! handle clone — the control plane's copy-free fork — while the legacy
+//! physical [`SliceStore::fork`] (deep copy, all stripes quiesced)
+//! remains for single-owner embedded use and as a benchmark baseline.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
@@ -17,8 +26,9 @@ use tse_telemetry::Telemetry;
 use crate::buffer::BufferPool;
 use crate::error::{StorageError, StorageResult};
 use crate::failpoint::FailpointRegistry;
+use crate::mvcc::{current_read_epoch, current_write_stamp, EpochClock, ReadPin};
 use crate::payload::Payload;
-use crate::segment::Segment;
+use crate::segment::{PopOutcome, Segment};
 use crate::stats::StoreStats;
 use crate::txn::{TxnState, TxnToken, Undo};
 
@@ -165,6 +175,29 @@ impl<P: Payload> Stripe<P> {
     }
 }
 
+/// The shared contents of a store family: everything except the per-handle
+/// failpoint/telemetry attachments. `SliceStore::fork_shared` clones the
+/// `Arc` around this, so a live system and its evolution fork mutate the
+/// same stripes — isolation comes from version stamps, not from copying.
+#[derive(Debug)]
+struct StoreInner<P: Payload> {
+    config: StoreConfig,
+    stripes: Vec<Stripe<P>>,
+    next_segment: AtomicU32,
+    stats: AtomicStats,
+    /// Undo log for the (single, control-plane) transaction. `txn_active`
+    /// mirrors `txn.active.is_some()` so the data-plane fast path can skip
+    /// the mutex entirely when no transaction is open.
+    txn: Mutex<TxnState>,
+    txn_active: AtomicBool,
+    /// The stamp source shared by every handle (and every physical fork)
+    /// of this store family.
+    clock: Arc<EpochClock>,
+    /// Superseded version entries awaiting GC, maintained incrementally by
+    /// the mutation paths and recomputed authoritatively by `gc`.
+    superseded: AtomicU64,
+}
+
 /// The paged record store. Generic over the field payload type.
 ///
 /// All record and segment operations take `&self`: reads go through stripe
@@ -173,15 +206,7 @@ impl<P: Payload> Stripe<P> {
 /// parallel with no outer `&mut` required.
 #[derive(Debug)]
 pub struct SliceStore<P: Payload> {
-    config: StoreConfig,
-    stripes: Vec<Stripe<P>>,
-    next_segment: AtomicU32,
-    stats: AtomicStats,
-    /// Undo log for the (single, control-plane) transaction. `txn_active`
-    /// mirrors `txn.active.is_some()` so the data-plane fast path can skip
-    /// the mutex entirely when no transaction is open.
-    txn: Mutex<TxnState<P>>,
-    txn_active: AtomicBool,
+    inner: Arc<StoreInner<P>>,
     failpoints: FailpointRegistry,
     telemetry: Telemetry,
 }
@@ -197,12 +222,16 @@ impl<P: Payload> SliceStore<P> {
     pub fn new(config: StoreConfig) -> Self {
         let n = config.write_stripes.max(1);
         SliceStore {
-            config,
-            stripes: (0..n).map(|_| Stripe::new(config.buffer_pages)).collect(),
-            next_segment: AtomicU32::new(0),
-            stats: AtomicStats::default(),
-            txn: Mutex::new(TxnState::default()),
-            txn_active: AtomicBool::new(false),
+            inner: Arc::new(StoreInner {
+                config,
+                stripes: (0..n).map(|_| Stripe::new(config.buffer_pages)).collect(),
+                next_segment: AtomicU32::new(0),
+                stats: AtomicStats::default(),
+                txn: Mutex::new(TxnState::default()),
+                txn_active: AtomicBool::new(false),
+                clock: Arc::new(EpochClock::new()),
+                superseded: AtomicU64::new(0),
+            }),
             failpoints: FailpointRegistry::new(),
             telemetry: Telemetry::new(),
         }
@@ -210,12 +239,24 @@ impl<P: Payload> SliceStore<P> {
 
     /// The configuration this store was created with.
     pub fn config(&self) -> StoreConfig {
-        self.config
+        self.inner.config
     }
 
     /// Number of lock stripes actually in use.
     pub fn stripe_count(&self) -> usize {
-        self.stripes.len()
+        self.inner.stripes.len()
+    }
+
+    /// The MVCC stamp clock shared by this store family. Sessions pin read
+    /// epochs and write batches register tickets here.
+    pub fn clock(&self) -> &Arc<EpochClock> {
+        &self.inner.clock
+    }
+
+    /// Pin the current stable epoch for repeatable reads (shorthand for
+    /// `store.clock().pin()`).
+    pub fn pin_read(&self) -> ReadPin {
+        self.inner.clock.pin()
     }
 
     /// The fault-injection registry consulted by this store's mutation
@@ -232,29 +273,51 @@ impl<P: Payload> SliceStore<P> {
     }
 
     /// Attach the owning system's telemetry domain so stripe contention
-    /// surfaces as `stripe.conflicts` / `lock.stripe_wait_ns`. Registers
-    /// both metrics immediately (at zero / empty) so snapshots always carry
+    /// surfaces as `stripe.conflicts` / `lock.stripe_wait_ns` and MVCC
+    /// reclamation as `mvcc.gc_reclaimed` / `mvcc.versions`. Registers
+    /// the metrics immediately (at zero / empty) so snapshots always carry
     /// them.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         telemetry.incr("stripe.conflicts", 0);
-        telemetry.set_gauge("store.write_stripes", self.stripes.len() as u64);
+        telemetry.incr("mvcc.gc_reclaimed", 0);
+        telemetry.set_gauge("mvcc.versions", self.inner.superseded.load(Ordering::Relaxed));
+        telemetry.set_gauge("store.write_stripes", self.inner.stripes.len() as u64);
         self.telemetry = telemetry;
     }
 
     fn stripe(&self, seg: SegmentId) -> &Stripe<P> {
-        &self.stripes[seg.0 as usize % self.stripes.len()]
+        &self.inner.stripes[seg.0 as usize % self.inner.stripes.len()]
+    }
+
+    /// The stamp for one mutation: the ambient batch ticket's stamp when a
+    /// `WriteStampGuard` is active on this thread, else a fresh solo stamp
+    /// (immediately stable — single-record mutations need no all-or-none
+    /// window).
+    fn mutation_stamp(&self) -> u64 {
+        current_write_stamp().unwrap_or_else(|| self.inner.clock.solo_stamp())
+    }
+
+    fn superseded_add(&self, n: u64) {
+        self.inner.superseded.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn superseded_sub(&self, n: u64) {
+        let _ = self
+            .inner
+            .superseded
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(n)));
     }
 
     // ----- segments -------------------------------------------------------
 
     /// Create a new segment (a per-class record arena).
     pub fn create_segment(&self, name: &str) -> SegmentId {
-        let id = SegmentId(self.next_segment.fetch_add(1, Ordering::AcqRel));
+        let id = SegmentId(self.inner.next_segment.fetch_add(1, Ordering::AcqRel));
         self.stripe(id)
             .write_segments(&self.telemetry)
             .insert(id.0, Segment::new(name.to_string()));
-        if self.txn_active.load(Ordering::Acquire) {
-            self.txn.lock().record(Undo::CreateSegment { seg: id });
+        if self.inner.txn_active.load(Ordering::Acquire) {
+            self.inner.txn.lock().record(Undo::CreateSegment { seg: id });
         }
         id
     }
@@ -262,7 +325,7 @@ impl<P: Payload> SliceStore<P> {
     /// Drop a segment and everything in it. Not permitted inside a
     /// transaction (segment drops are not undoable).
     pub fn drop_segment(&self, seg: SegmentId) -> StorageResult<()> {
-        if self.txn_active.load(Ordering::Acquire) {
+        if self.inner.txn_active.load(Ordering::Acquire) {
             return Err(StorageError::TxnState("drop_segment inside a transaction"));
         }
         let stripe = self.stripe(seg);
@@ -279,7 +342,7 @@ impl<P: Payload> SliceStore<P> {
         self.with_segment(seg, |s| s.name.clone())
     }
 
-    /// Number of live records in a segment.
+    /// Number of records live at the latest epoch in a segment.
     pub fn segment_len(&self, seg: SegmentId) -> StorageResult<usize> {
         self.with_segment(seg, |s| s.len())
     }
@@ -297,7 +360,7 @@ impl<P: Payload> SliceStore<P> {
     /// All live segment ids with their names, in id order.
     pub fn segments(&self) -> Vec<(SegmentId, String)> {
         let mut out = Vec::new();
-        for stripe in &self.stripes {
+        for stripe in &self.inner.stripes {
             let guard = stripe.segments.read();
             out.extend(guard.iter().map(|(id, seg)| (SegmentId(*id), seg.name.clone())));
         }
@@ -332,121 +395,140 @@ impl<P: Payload> SliceStore<P> {
     /// leaves no half-inserted state).
     pub fn insert(&self, seg: SegmentId, fields: Vec<P>) -> StorageResult<RecordId> {
         self.failpoints.check("storage.insert")?;
-        let page_size = self.config.page_size;
-        let (slot, page) = self.with_segment_mut(seg, |s| s.insert(fields, page_size))?;
+        let page_size = self.inner.config.page_size;
+        let stamp = self.mutation_stamp();
+        let (slot, page) = self.with_segment_mut(seg, |s| s.insert(fields, page_size, stamp))?;
         let rec = RecordId { segment: seg, slot };
-        self.stats.records_allocated.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.records_allocated.fetch_add(1, Ordering::Relaxed);
         self.touch_page(seg, page);
-        if self.txn_active.load(Ordering::Acquire) {
-            self.txn.lock().record(Undo::Insert { rec });
+        if self.inner.txn_active.load(Ordering::Acquire) {
+            self.inner.txn.lock().record(Undo::PopVersion { rec });
         }
         Ok(rec)
     }
 
-    /// Free a record, returning its fields.
+    /// Delete a record by installing a tombstone version, returning the
+    /// fields it superseded. Pinned readers keep resolving the record's
+    /// history; the slot is reclaimed by [`SliceStore::gc`] once no epoch
+    /// can reach it.
     pub fn free(&self, rec: RecordId) -> StorageResult<Vec<P>> {
+        let stamp = self.mutation_stamp();
         let fields = self
-            .with_segment_mut(rec.segment, |s| s.free(rec.slot))?
+            .with_segment_mut(rec.segment, |s| s.free(rec.slot, stamp))?
             .ok_or(StorageError::UnknownRecord { segment: rec.segment.0, slot: rec.slot })?;
-        self.stats.records_freed.fetch_add(1, Ordering::Relaxed);
-        if self.txn_active.load(Ordering::Acquire) {
-            self.txn.lock().record(Undo::Free { rec, fields: fields.clone() });
+        self.inner.stats.records_freed.fetch_add(1, Ordering::Relaxed);
+        // The superseded live version plus the tombstone itself are both
+        // reclaimable once the watermark passes the tombstone.
+        self.superseded_add(2);
+        if self.inner.txn_active.load(Ordering::Acquire) {
+            self.inner.txn.lock().record(Undo::PopVersion { rec });
         }
         Ok(fields)
     }
 
-    /// Read a whole record (counts one record read and one page touch).
+    /// Read a whole record at the calling thread's pinned epoch — latest
+    /// when unpinned (counts one record read and one page touch).
     pub fn read(&self, rec: RecordId) -> StorageResult<Vec<P>> {
+        let epoch = current_read_epoch();
         let (fields, page) = self.with_segment(rec.segment, |s| {
-            s.get(rec.slot).map(|r| (r.fields.clone(), r.page))
+            s.record(rec.slot).and_then(|r| r.fields_at(epoch).map(|f| (f.clone(), r.page)))
         })?
         .ok_or(StorageError::UnknownRecord { segment: rec.segment.0, slot: rec.slot })?;
-        self.stats.record_reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.record_reads.fetch_add(1, Ordering::Relaxed);
         self.touch_page(rec.segment, page);
         Ok(fields)
     }
 
-    /// Read one field of a record.
+    /// Read one field of a record at the calling thread's pinned epoch.
     pub fn read_field(&self, rec: RecordId, idx: usize) -> StorageResult<P> {
+        let epoch = current_read_epoch();
         let (field, len, page) = self.with_segment(rec.segment, |s| {
-            s.get(rec.slot).map(|r| (r.fields.get(idx).cloned(), r.fields.len(), r.page))
+            s.record(rec.slot).and_then(|r| {
+                r.fields_at(epoch).map(|f| (f.get(idx).cloned(), f.len(), r.page))
+            })
         })?
         .ok_or(StorageError::UnknownRecord { segment: rec.segment.0, slot: rec.slot })?;
-        self.stats.record_reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.record_reads.fetch_add(1, Ordering::Relaxed);
         self.touch_page(rec.segment, page);
         field.ok_or(StorageError::FieldOutOfBounds { index: idx, len })
     }
 
-    /// Number of fields in a record (no page touch; catalog metadata).
+    /// Number of fields in a record at the calling thread's pinned epoch
+    /// (no page touch; catalog metadata).
     pub fn field_count(&self, rec: RecordId) -> StorageResult<usize> {
-        self.with_segment(rec.segment, |s| s.get(rec.slot).map(|r| r.fields.len()))?
+        let epoch = current_read_epoch();
+        self.with_segment(rec.segment, |s| s.fields_at(rec.slot, epoch).map(|f| f.len()))?
             .ok_or(StorageError::UnknownRecord { segment: rec.segment.0, slot: rec.slot })
     }
 
-    /// Overwrite one field of a record.
+    /// Overwrite one field of a record. Installs a new version — readers
+    /// pinned to earlier epochs keep seeing the old value.
     pub fn write_field(&self, rec: RecordId, idx: usize, value: P) -> StorageResult<()> {
-        let page_size = self.config.page_size;
+        let page_size = self.inner.config.page_size;
+        let stamp = self.mutation_stamp();
         let outcome = self.with_segment_mut(rec.segment, |segment| {
-            let record = segment
-                .get_mut(rec.slot)
-                .ok_or(StorageError::UnknownRecord { segment: rec.segment.0, slot: rec.slot })?;
-            let len = record.fields.len();
-            let old = record
-                .fields
-                .get_mut(idx)
-                .ok_or(StorageError::FieldOutOfBounds { index: idx, len })?;
-            let old_value = std::mem::replace(old, value);
-            let (page, moved) = segment.resize(rec.slot, page_size);
-            Ok::<_, StorageError>((old_value, page, moved))
+            segment.modify(rec.slot, stamp, page_size, move |fields| {
+                let len = fields.len();
+                let slot =
+                    fields.get_mut(idx).ok_or(StorageError::FieldOutOfBounds { index: idx, len })?;
+                *slot = value;
+                Ok::<_, StorageError>(())
+            })
         })?;
-        let (old_value, page, moved) = outcome?;
-        self.stats.record_writes.fetch_add(1, Ordering::Relaxed);
+        let (_, page, moved) = outcome
+            .ok_or(StorageError::UnknownRecord { segment: rec.segment.0, slot: rec.slot })??;
+        self.inner.stats.record_writes.fetch_add(1, Ordering::Relaxed);
         if moved {
-            self.stats.record_moves.fetch_add(1, Ordering::Relaxed);
+            self.inner.stats.record_moves.fetch_add(1, Ordering::Relaxed);
         }
+        self.superseded_add(1);
         self.touch_page(rec.segment, page);
-        if self.txn_active.load(Ordering::Acquire) {
-            self.txn.lock().record(Undo::WriteField { rec, idx, old: old_value });
+        if self.inner.txn_active.load(Ordering::Acquire) {
+            self.inner.txn.lock().record(Undo::PopVersion { rec });
         }
         Ok(())
     }
 
     /// Append a field to a record (dynamic restructuring: a slice acquiring
-    /// storage for a newly added stored attribute).
+    /// storage for a newly added stored attribute). Installs a new version.
     pub fn append_field(&self, rec: RecordId, value: P) -> StorageResult<usize> {
-        let page_size = self.config.page_size;
-        let (new_idx, page, moved) = self
-            .with_segment_mut(rec.segment, |segment| {
-                let record = segment.get_mut(rec.slot)?;
-                record.fields.push(value);
-                let new_idx = record.fields.len() - 1;
-                let (page, moved) = segment.resize(rec.slot, page_size);
-                Some((new_idx, page, moved))
-            })?
-            .ok_or(StorageError::UnknownRecord { segment: rec.segment.0, slot: rec.slot })?;
-        self.stats.record_writes.fetch_add(1, Ordering::Relaxed);
+        let page_size = self.inner.config.page_size;
+        let stamp = self.mutation_stamp();
+        let outcome = self.with_segment_mut(rec.segment, |segment| {
+            segment.modify(rec.slot, stamp, page_size, move |fields| {
+                fields.push(value);
+                Ok::<_, StorageError>(fields.len() - 1)
+            })
+        })?;
+        let (new_idx, page, moved) = outcome
+            .ok_or(StorageError::UnknownRecord { segment: rec.segment.0, slot: rec.slot })??;
+        self.inner.stats.record_writes.fetch_add(1, Ordering::Relaxed);
         if moved {
-            self.stats.record_moves.fetch_add(1, Ordering::Relaxed);
+            self.inner.stats.record_moves.fetch_add(1, Ordering::Relaxed);
         }
+        self.superseded_add(1);
         self.touch_page(rec.segment, page);
-        if self.txn_active.load(Ordering::Acquire) {
-            self.txn.lock().record(Undo::PopField { rec });
+        if self.inner.txn_active.load(Ordering::Acquire) {
+            self.inner.txn.lock().record(Undo::PopVersion { rec });
         }
         Ok(new_idx)
     }
 
-    /// Scan all live records of a segment in slot (≈ page) order, invoking
-    /// `f` for each. Counts one record read + page touch per record. The
-    /// stripe read lock is held across the whole scan, so `f` must not call
-    /// back into this store.
+    /// Scan the records of a segment visible at the calling thread's
+    /// pinned epoch in slot (≈ page) order, invoking `f` for each. Counts
+    /// one record read + page touch per record. The stripe read lock is
+    /// held across the whole scan, so `f` must not call back into this
+    /// store.
     pub fn scan<F: FnMut(RecordId, &[P])>(&self, seg: SegmentId, mut f: F) -> StorageResult<()> {
+        let epoch = current_read_epoch();
         let guard = self.stripe(seg).segments.read();
         let segment = guard.get(&seg.0).ok_or(StorageError::UnknownSegment(seg.0))?;
         let mut touches: Vec<u32> = Vec::new();
-        for (slot, record) in segment.iter() {
-            self.stats.record_reads.fetch_add(1, Ordering::Relaxed);
+        for (slot, record) in segment.iter_records() {
+            let Some(fields) = record.fields_at(epoch) else { continue };
+            self.inner.stats.record_reads.fetch_add(1, Ordering::Relaxed);
             touches.push(record.page);
-            f(RecordId { segment: seg, slot }, &record.fields);
+            f(RecordId { segment: seg, slot }, fields);
         }
         drop(guard);
         for page in touches {
@@ -458,53 +540,124 @@ impl<P: Payload> SliceStore<P> {
     fn touch_page(&self, seg: SegmentId, page: u32) {
         let hit = self.stripe(seg).buffer.lock().touch((seg.0, page));
         if hit {
-            self.stats.page_hits.fetch_add(1, Ordering::Relaxed);
+            self.inner.stats.page_hits.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.stats.page_misses.fetch_add(1, Ordering::Relaxed);
+            self.inner.stats.page_misses.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     // ----- forking --------------------------------------------------------
 
-    /// A private copy of this store for control-plane work: same segments
-    /// and records, cumulative counters carried over, cold buffer pools,
-    /// no open transaction, and the **same** (shared) failpoint registry
-    /// and telemetry domain.
+    /// A **copy-free fork**: a new handle onto the *same* store contents
+    /// (same `Arc`), with this handle's failpoint registry and telemetry
+    /// attached. The control plane uses this for evolution — the fork's
+    /// mutations are stamped by an unfinished write ticket, so readers
+    /// pinned to earlier epochs never observe them, and nothing is copied.
+    /// Forking while a transaction is open is rejected (the fork would
+    /// share, and could interleave with, the open undo log).
+    pub fn fork_shared(&self) -> StorageResult<Self> {
+        if self.inner.txn_active.load(Ordering::Acquire) {
+            return Err(StorageError::TxnState("fork inside a transaction"));
+        }
+        Ok(SliceStore {
+            inner: Arc::clone(&self.inner),
+            failpoints: self.failpoints.clone(),
+            telemetry: self.telemetry.clone(),
+        })
+    }
+
+    /// A private **physical copy** of this store: same segments and
+    /// records, cumulative counters carried over, cold buffer pools, no
+    /// open transaction, the **same** (shared) failpoint registry,
+    /// telemetry domain, and — so stamps stay monotone across copies —
+    /// the same epoch clock.
     ///
-    /// The TSE control plane forks the store so a schema change can run
-    /// against a private copy while readers keep using the original; the
-    /// evolved fork is swapped in under a short exclusive section. The fork
-    /// quiesces all stripes — write locks acquired in canonical (index)
-    /// order — so the copy is a consistent point-in-time image even while
-    /// data-plane writers are running; the quiesce latency is observed as
-    /// `lock.stripe_wait_ns`. Forking while a transaction is open would
-    /// silently drop the fork's undo history, so it is rejected.
+    /// The fork quiesces all stripes — write locks acquired in canonical
+    /// (index) order — so the copy is a consistent point-in-time image
+    /// even while data-plane writers are running; the quiesce latency is
+    /// observed as `lock.stripe_wait_ns`. The shared control plane no
+    /// longer uses this path for evolution (see
+    /// [`SliceStore::fork_shared`]); it remains for single-owner embedded
+    /// systems and as the benchmark baseline for the fork-cost delta.
+    /// Forking while a transaction is open would silently drop the fork's
+    /// undo history, so it is rejected.
     pub fn fork(&self) -> StorageResult<Self> {
-        if self.txn_active.load(Ordering::Acquire) {
+        if self.inner.txn_active.load(Ordering::Acquire) {
             return Err(StorageError::TxnState("fork inside a transaction"));
         }
         let begun = Instant::now();
-        let guards: Vec<_> = self.stripes.iter().map(|s| s.segments.write()).collect();
+        let guards: Vec<_> = self.inner.stripes.iter().map(|s| s.segments.write()).collect();
         self.telemetry
             .observe_ns("lock.stripe_wait_ns", (begun.elapsed().as_nanos() as u64).max(1));
         let stripes: Vec<Stripe<P>> = guards
             .iter()
             .map(|g| Stripe {
                 segments: RwLock::new((**g).clone()),
-                buffer: Mutex::new(BufferPool::new(self.config.buffer_pages)),
+                buffer: Mutex::new(BufferPool::new(self.inner.config.buffer_pages)),
             })
             .collect();
         drop(guards);
         Ok(SliceStore {
-            config: self.config,
-            stripes,
-            next_segment: AtomicU32::new(self.next_segment.load(Ordering::Acquire)),
-            stats: AtomicStats::from_snapshot(self.stats.snapshot()),
-            txn: Mutex::new(TxnState::default()),
-            txn_active: AtomicBool::new(false),
+            inner: Arc::new(StoreInner {
+                config: self.inner.config,
+                stripes,
+                next_segment: AtomicU32::new(self.inner.next_segment.load(Ordering::Acquire)),
+                stats: AtomicStats::from_snapshot(self.inner.stats.snapshot()),
+                txn: Mutex::new(TxnState::default()),
+                txn_active: AtomicBool::new(false),
+                clock: Arc::clone(&self.inner.clock),
+                superseded: AtomicU64::new(self.inner.superseded.load(Ordering::Relaxed)),
+            }),
             failpoints: self.failpoints.clone(),
             telemetry: self.telemetry.clone(),
         })
+    }
+
+    /// Whether two handles share the same store contents (true for
+    /// [`SliceStore::fork_shared`] pairs, false for physical forks).
+    pub fn shares_contents_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    // ----- garbage collection --------------------------------------------
+
+    /// Prune version history unreachable from `watermark` (normally
+    /// `store.clock().gc_watermark()`): superseded versions older than the
+    /// watermark-visible one are dropped, and slots whose surviving chain
+    /// is a single watermark-visible tombstone are recycled. Stripes are
+    /// locked one at a time, so GC never stalls the whole store. Returns
+    /// the number of version entries reclaimed and refreshes the
+    /// `mvcc.gc_reclaimed` counter and `mvcc.versions` gauge.
+    pub fn gc(&self, watermark: u64) -> u64 {
+        let mut reclaimed = 0u64;
+        for stripe in &self.inner.stripes {
+            let mut guard = stripe.write_segments(&self.telemetry);
+            for segment in guard.values_mut() {
+                reclaimed += segment.gc(watermark);
+            }
+        }
+        // Recompute the backlog authoritatively (incremental accounting
+        // can drift across rollbacks).
+        let backlog = self.version_backlog();
+        self.inner.superseded.store(backlog, Ordering::Relaxed);
+        self.telemetry.incr("mvcc.gc_reclaimed", reclaimed);
+        self.telemetry.set_gauge("mvcc.versions", backlog);
+        reclaimed
+    }
+
+    /// Superseded version entries currently awaiting GC (incrementally
+    /// maintained estimate; exact right after a [`SliceStore::gc`]).
+    pub fn superseded_versions(&self) -> u64 {
+        self.inner.superseded.load(Ordering::Relaxed)
+    }
+
+    /// Count superseded version entries by scanning every segment.
+    pub fn version_backlog(&self) -> u64 {
+        self.inner
+            .stripes
+            .iter()
+            .map(|s| s.segments.read().values().map(|seg| seg.version_backlog()).sum::<u64>())
+            .sum()
     }
 
     // ----- stats ----------------------------------------------------------
@@ -515,24 +668,25 @@ impl<P: Payload> SliceStore<P> {
     /// `&self` reads from parallel threads never observe values going
     /// backwards.
     pub fn stats(&self) -> StoreStats {
-        self.stats.snapshot()
+        self.inner.stats.snapshot()
     }
 
     /// Zero all access counters (does not evict the buffer pools).
     pub fn reset_stats(&self) {
-        self.stats.reset();
+        self.inner.stats.reset();
     }
 
     /// Evict every stripe's buffer pool (cold-cache measurements).
     pub fn clear_buffer(&self) {
-        for stripe in &self.stripes {
+        for stripe in &self.inner.stripes {
             stripe.buffer.lock().clear();
         }
     }
 
     /// Total bytes used across all segments.
     pub fn total_bytes(&self) -> usize {
-        self.stripes
+        self.inner
+            .stripes
             .iter()
             .map(|s| s.segments.read().values().map(|seg| seg.pages.bytes_used()).sum::<usize>())
             .sum()
@@ -540,7 +694,8 @@ impl<P: Payload> SliceStore<P> {
 
     /// Total pages across all segments.
     pub fn total_pages(&self) -> usize {
-        self.stripes
+        self.inner
+            .stripes
             .iter()
             .map(|s| s.segments.read().values().map(|seg| seg.pages.page_count()).sum::<usize>())
             .sum()
@@ -550,12 +705,13 @@ impl<P: Payload> SliceStore<P> {
 
     /// Begin a transaction. Errors if one is already open.
     ///
-    /// The transaction machinery serves the single-threaded control plane
-    /// (evolution runs against a private fork): the undo log is one global
-    /// journal, not per-stripe, and concurrent data-plane writers must not
-    /// be active on this store while a transaction is open.
+    /// The transaction machinery serves the single-threaded control plane:
+    /// the undo log is one global journal, not per-stripe, and concurrent
+    /// data-plane writers must not be active on this store while a
+    /// transaction is open. The shared control plane guarantees this by
+    /// holding the swap latch exclusively for the whole logged evolution.
     pub fn begin_txn(&self) -> StorageResult<TxnToken> {
-        let mut txn = self.txn.lock();
+        let mut txn = self.inner.txn.lock();
         if txn.active.is_some() {
             return Err(StorageError::TxnState("transaction already active"));
         }
@@ -563,64 +719,52 @@ impl<P: Payload> SliceStore<P> {
         txn.next_id += 1;
         txn.active = Some(id);
         txn.log.clear();
-        self.txn_active.store(true, Ordering::Release);
+        self.inner.txn_active.store(true, Ordering::Release);
         Ok(TxnToken(id))
     }
 
     /// Whether a transaction is currently open.
     pub fn in_txn(&self) -> bool {
-        self.txn_active.load(Ordering::Acquire)
+        self.inner.txn_active.load(Ordering::Acquire)
     }
 
     /// Commit: discard the undo log, making all mutations permanent.
     pub fn commit_txn(&self, token: TxnToken) -> StorageResult<()> {
-        let mut txn = self.txn.lock();
+        let mut txn = self.inner.txn.lock();
         Self::check_token(&txn, token)?;
         txn.active = None;
         txn.log.clear();
-        self.txn_active.store(false, Ordering::Release);
+        self.inner.txn_active.store(false, Ordering::Release);
         Ok(())
     }
 
-    /// Abort: roll every logged mutation back, in reverse order.
+    /// Abort: roll every logged mutation back, in reverse order, by
+    /// popping the version each one pushed.
     pub fn abort_txn(&self, token: TxnToken) -> StorageResult<()> {
         let log = {
-            let mut txn = self.txn.lock();
+            let mut txn = self.inner.txn.lock();
             Self::check_token(&txn, token)?;
             txn.active = None;
-            self.txn_active.store(false, Ordering::Release);
+            self.inner.txn_active.store(false, Ordering::Release);
             std::mem::take(&mut txn.log)
         };
-        let page_size = self.config.page_size;
+        let page_size = self.inner.config.page_size;
         for undo in log.into_iter().rev() {
             match undo {
-                Undo::WriteField { rec, idx, old } => {
-                    self.with_segment_mut(rec.segment, |segment| {
-                        if let Some(record) = segment.get_mut(rec.slot) {
-                            record.fields[idx] = old;
-                            segment.resize(rec.slot, page_size);
+                Undo::PopVersion { rec } => {
+                    let outcome = self
+                        .with_segment_mut(rec.segment, |s| s.pop_version(rec.slot, page_size))?;
+                    match outcome {
+                        PopOutcome::Removed => {
+                            self.inner.stats.records_freed.fetch_add(1, Ordering::Relaxed);
                         }
-                    })?;
-                }
-                Undo::PopField { rec } => {
-                    self.with_segment_mut(rec.segment, |segment| {
-                        if let Some(record) = segment.get_mut(rec.slot) {
-                            record.fields.pop();
-                            segment.resize(rec.slot, page_size);
+                        PopOutcome::Undeleted => {
+                            self.inner.stats.records_allocated.fetch_add(1, Ordering::Relaxed);
+                            self.superseded_sub(2);
                         }
-                    })?;
-                }
-                Undo::Insert { rec } => {
-                    self.with_segment_mut(rec.segment, |segment| {
-                        segment.free(rec.slot);
-                    })?;
-                    self.stats.records_freed.fetch_add(1, Ordering::Relaxed);
-                }
-                Undo::Free { rec, fields } => {
-                    self.with_segment_mut(rec.segment, |segment| {
-                        segment.restore(rec.slot, fields, page_size);
-                    })?;
-                    self.stats.records_allocated.fetch_add(1, Ordering::Relaxed);
+                        PopOutcome::Reverted => self.superseded_sub(1),
+                        PopOutcome::Missing => {}
+                    }
                 }
                 Undo::CreateSegment { seg } => {
                     let stripe = self.stripe(seg);
@@ -632,7 +776,7 @@ impl<P: Payload> SliceStore<P> {
         Ok(())
     }
 
-    fn check_token(txn: &TxnState<P>, token: TxnToken) -> StorageResult<()> {
+    fn check_token(txn: &TxnState, token: TxnToken) -> StorageResult<()> {
         match txn.active {
             Some(id) if id == token.0 => Ok(()),
             Some(_) => Err(StorageError::TxnState("token does not match active transaction")),
@@ -647,8 +791,8 @@ impl<P: Payload> SliceStore<P> {
     /// for dropped/never-created holes), with every stripe read-locked in
     /// canonical order for a consistent image.
     pub(crate) fn with_segment_slots<R>(&self, f: impl FnOnce(&[Option<&Segment<P>>]) -> R) -> R {
-        let guards: Vec<_> = self.stripes.iter().map(|s| s.segments.read()).collect();
-        let n = self.next_segment.load(Ordering::Acquire) as usize;
+        let guards: Vec<_> = self.inner.stripes.iter().map(|s| s.segments.read()).collect();
+        let n = self.inner.next_segment.load(Ordering::Acquire) as usize;
         let slots: Vec<Option<&Segment<P>>> =
             (0..n).map(|i| guards[i % guards.len()].get(&(i as u32))).collect();
         f(&slots)
@@ -656,7 +800,7 @@ impl<P: Payload> SliceStore<P> {
 
     pub(crate) fn rebuild(config: StoreConfig, segments: Vec<Option<Segment<P>>>) -> Self {
         let store = Self::new(config);
-        store.next_segment.store(segments.len() as u32, Ordering::Release);
+        store.inner.next_segment.store(segments.len() as u32, Ordering::Release);
         for (i, seg) in segments.into_iter().enumerate() {
             if let Some(seg) = seg {
                 store.stripe(SegmentId(i as u32)).segments.write().insert(i as u32, seg);
@@ -669,6 +813,7 @@ impl<P: Payload> SliceStore<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mvcc::ReadEpochGuard;
     use crate::payload::SimplePayload as SP;
 
     fn store() -> SliceStore<SP> {
@@ -711,8 +856,9 @@ mod tests {
         assert!(st.read(RecordId { segment: seg, slot: 99 }).is_err());
         assert!(st.read_field(rec, 5).is_err());
         st.free(rec).unwrap();
-        assert!(st.read(rec).is_err());
-        assert!(st.free(rec).is_err());
+        assert!(st.read(rec).is_err(), "deleted at latest");
+        assert!(st.free(rec).is_err(), "double free rejected");
+        assert!(st.write_field(rec, 0, SP::Int(2)).is_err(), "write to deleted rejected");
     }
 
     #[test]
@@ -912,5 +1058,92 @@ mod tests {
             }
             stop.store(true, Ordering::Relaxed);
         });
+    }
+
+    #[test]
+    fn pinned_epoch_reads_are_repeatable() {
+        let st = store();
+        let seg = st.create_segment("s");
+        let rec = st.insert(seg, vec![SP::Int(1)]).unwrap();
+        let victim = st.insert(seg, vec![SP::Int(2)]).unwrap();
+        let pin = st.pin_read();
+        st.write_field(rec, 0, SP::Int(99)).unwrap();
+        st.free(victim).unwrap();
+        let late = st.insert(seg, vec![SP::Int(3)]).unwrap();
+        {
+            let _g = ReadEpochGuard::new(pin.epoch());
+            assert_eq!(st.read_field(rec, 0).unwrap(), SP::Int(1), "pre-write value");
+            assert_eq!(st.read(victim).unwrap(), vec![SP::Int(2)], "deleted record still visible");
+            assert!(st.read(late).is_err(), "post-pin insert invisible");
+            let mut seen = Vec::new();
+            st.scan(seg, |_, f| seen.push(f[0].clone())).unwrap();
+            assert_eq!(seen, vec![SP::Int(1), SP::Int(2)]);
+        }
+        // Unpinned reads see the latest state.
+        assert_eq!(st.read_field(rec, 0).unwrap(), SP::Int(99));
+        assert!(st.read(victim).is_err());
+        assert_eq!(st.read(late).unwrap(), vec![SP::Int(3)]);
+    }
+
+    #[test]
+    fn write_tickets_make_batches_all_or_none_for_new_pins() {
+        let st = store();
+        let seg = st.create_segment("s");
+        let a = st.insert(seg, vec![SP::Int(1)]).unwrap();
+        let b = st.insert(seg, vec![SP::Int(2)]).unwrap();
+        let ticket = st.clock().begin_write();
+        {
+            let _g = crate::mvcc::WriteStampGuard::new(ticket.stamp());
+            st.write_field(a, 0, SP::Int(10)).unwrap();
+            // A pin taken mid-batch sees *neither* write.
+            let pin = st.pin_read();
+            let _r = ReadEpochGuard::new(pin.epoch());
+            assert_eq!(st.read_field(a, 0).unwrap(), SP::Int(1));
+            drop(_r);
+            st.write_field(b, 0, SP::Int(20)).unwrap();
+        }
+        ticket.end();
+        let pin = st.pin_read();
+        let _r = ReadEpochGuard::new(pin.epoch());
+        assert_eq!(st.read_field(a, 0).unwrap(), SP::Int(10));
+        assert_eq!(st.read_field(b, 0).unwrap(), SP::Int(20));
+    }
+
+    #[test]
+    fn fork_shared_is_a_handle_onto_the_same_contents() {
+        let st = store();
+        let seg = st.create_segment("s");
+        let rec = st.insert(seg, vec![SP::Int(1)]).unwrap();
+        let fork = st.fork_shared().unwrap();
+        assert!(st.shares_contents_with(&fork));
+        fork.write_field(rec, 0, SP::Int(2)).unwrap();
+        assert_eq!(st.read_field(rec, 0).unwrap(), SP::Int(2), "mutation visible via original");
+        let physical = st.fork().unwrap();
+        assert!(!st.shares_contents_with(&physical));
+    }
+
+    #[test]
+    fn gc_reclaims_superseded_versions_once_unpinned() {
+        let st = store();
+        let seg = st.create_segment("s");
+        let rec = st.insert(seg, vec![SP::Int(0)]).unwrap();
+        let pin = st.pin_read();
+        for i in 1..=10 {
+            st.write_field(rec, 0, SP::Int(i)).unwrap();
+        }
+        let victim = st.insert(seg, vec![SP::Int(100)]).unwrap();
+        st.free(victim).unwrap();
+        assert!(st.superseded_versions() >= 10);
+        // The pin protects everything visible at its epoch.
+        let early = st.gc(st.clock().gc_watermark());
+        {
+            let _g = ReadEpochGuard::new(pin.epoch());
+            assert_eq!(st.read_field(rec, 0).unwrap(), SP::Int(0), "pinned view survives GC");
+        }
+        drop(pin);
+        let late = st.gc(st.clock().gc_watermark());
+        assert!(late > 0, "superseded versions reclaimed after unpin (early={early}, late={late})");
+        assert_eq!(st.version_backlog(), 0);
+        assert_eq!(st.read_field(rec, 0).unwrap(), SP::Int(10));
     }
 }

@@ -5,17 +5,24 @@
 //! mutations are recorded as undo entries and rolled back in reverse order on
 //! abort.
 //!
+//! With the multi-versioned segments the undo log collapses to two entry
+//! kinds. Every record mutation — insert, field write/append, delete —
+//! pushes exactly one new [`crate::segment::Version`] onto a slot's chain,
+//! so undoing it is always "pop the newest version off that slot"
+//! ([`Undo::PopVersion`]); segment creation remains its own entry. The old
+//! field-level entries (`WriteField`/`PopField`/`Insert`/`Free`) are gone:
+//! version chains already carry the before-image.
+//!
 //! The actual contract, as used by the layers above: the TSEM opens one
 //! storage transaction around every top-level `evolve` call (composite
 //! macros included — nested primitives run inside the outer transaction).
-//! Store mutations made while the transaction is open — record inserts,
-//! frees, field writes/appends, segment creation — are undo-logged; on any
-//! translate/classify/view-regen/swap-in error the TSEM aborts the
-//! transaction, which restores every record and segment, while the schema,
-//! view history, and update policy are restored from in-memory checkpoints
-//! taken at `begin`. `drop_segment` is rejected inside a transaction
-//! (segment drops are not undoable). Data-plane operations (`create`,
-//! `set`, …) run outside any transaction and are not undo-logged.
+//! Store mutations made while the transaction is open are undo-logged; on
+//! any translate/classify/view-regen/swap-in error the TSEM aborts the
+//! transaction, which pops every version the evolution installed, while the
+//! schema, view history, and update policy are restored from in-memory
+//! checkpoints taken at `begin`. `drop_segment` is rejected inside a
+//! transaction (segment drops are not undoable). Data-plane operations
+//! (`create`, `set`, …) run outside any transaction and are not undo-logged.
 
 use crate::store::RecordId;
 use crate::store::SegmentId;
@@ -27,39 +34,27 @@ pub struct TxnToken(pub(crate) u64);
 
 /// One reversible mutation.
 #[derive(Debug, Clone)]
-pub(crate) enum Undo<P> {
-    /// A field was overwritten; restore the previous value.
-    WriteField { rec: RecordId, idx: usize, old: P },
-    /// A field was appended; pop it.
-    PopField { rec: RecordId },
-    /// A record was inserted; free it.
-    Insert { rec: RecordId },
-    /// A record was freed; restore it with its old fields.
-    Free { rec: RecordId, fields: Vec<P> },
+pub(crate) enum Undo {
+    /// A mutation pushed a version onto this record's chain; pop it.
+    PopVersion { rec: RecordId },
     /// A segment was created; drop it.
     CreateSegment { seg: SegmentId },
 }
 
-#[derive(Debug)]
-pub(crate) struct TxnState<P> {
+#[derive(Debug, Default)]
+pub(crate) struct TxnState {
     pub active: Option<u64>,
     pub next_id: u64,
-    pub log: Vec<Undo<P>>,
+    pub log: Vec<Undo>,
 }
 
-impl<P> Default for TxnState<P> {
-    fn default() -> Self {
-        TxnState { active: None, next_id: 0, log: Vec::new() }
-    }
-}
-
-impl<P> TxnState<P> {
+impl TxnState {
     /// Record an undo entry for a mutation made while a transaction is
     /// open. Callers must check [`TxnState::active`] first and only call
     /// this inside an open transaction — a mutation that reaches here with
     /// no transaction would be silently untracked during what the caller
     /// believed was an undoable window, so that is a bug, not a no-op.
-    pub fn record(&mut self, undo: Undo<P>) {
+    pub fn record(&mut self, undo: Undo) {
         debug_assert!(
             self.active.is_some(),
             "undo entry recorded outside a transaction (untracked mutation)"

@@ -1,0 +1,161 @@
+//! MVCC race: pinned readers vs writer churn vs an evolution swap.
+//!
+//! ```text
+//! cargo run --release --example mvcc_race > mvcc.jsonl
+//! cargo run --release -p tse-inspect -- --check mvcc.jsonl
+//! ```
+//!
+//! Four reader threads each pin a `ReadSession` *before* the churn starts
+//! and sweep the same accounts for the whole run, asserting every value
+//! and extent matches what the session saw at pin time — while two writer
+//! threads rewrite every balance each round and grow the extent, and the
+//! main thread swaps a schema evolution in underneath them. After the
+//! pins drop, the epoch GC must reclaim the superseded version backlog:
+//! the example asserts `mvcc.gc_reclaimed > 0` and embeds the GC counters
+//! in the printed journal (one traced JSON object per line, with a
+//! `metrics.snapshot` event at the end) so `tse-inspect` can gate the run
+//! offline. All self-checks double as the CI concurrency contract.
+
+use tse::core::{SharedSystem, TseSystem};
+use tse::object_model::{PropertyDef, Value, ValueType};
+use tse::telemetry::json::validate_lines;
+
+const ACCOUNTS: usize = 64;
+const READER_ROUNDS: usize = 25;
+const WRITER_ROUNDS: i64 = 40;
+
+fn main() {
+    let mut sys = TseSystem::new();
+    sys.define_base_class(
+        "Account",
+        &[],
+        vec![
+            PropertyDef::stored("owner", ValueType::Str, Value::Null),
+            PropertyDef::stored("balance", ValueType::Int, Value::Int(0)),
+        ],
+    )
+    .expect("schema builds");
+    let v = sys.create_view("BANK", &["Account"]).expect("view");
+    let mut oids = Vec::with_capacity(ACCOUNTS);
+    for i in 0..ACCOUNTS {
+        oids.push(
+            sys.create(
+                v,
+                "Account",
+                &[
+                    ("owner", Value::Str(format!("acct{i}"))),
+                    ("balance", Value::Int(i as i64)),
+                ],
+            )
+            .expect("seed create"),
+        );
+    }
+    let shared = SharedSystem::from_system(sys);
+    let telemetry = shared.telemetry();
+
+    // Journal the data plane too (every op becomes a slow-op event), and
+    // start fresh so every printed record belongs to the race below.
+    telemetry.reset();
+    telemetry.set_slow_op_threshold_ns(1);
+
+    let start = std::sync::Barrier::new(7); // 4 readers + 2 writers + evolver
+    std::thread::scope(|scope| {
+        for r in 0..4 {
+            let shared = shared.clone();
+            let oids = oids.clone();
+            let start = &start;
+            scope.spawn(move || {
+                let session = shared.session(); // pinned BEFORE any churn
+                let frozen: Vec<Value> = oids
+                    .iter()
+                    .map(|o| session.get(v, *o, "Account", "balance").expect("pin-time read"))
+                    .collect();
+                start.wait();
+                for round in 0..READER_ROUNDS {
+                    for (k, oid) in oids.iter().enumerate() {
+                        let now = session.get(v, *oid, "Account", "balance").unwrap();
+                        assert_eq!(
+                            now, frozen[k],
+                            "reader {r} round {round}: pinned read drifted under churn"
+                        );
+                    }
+                    assert_eq!(
+                        session.extent(v, "Account").unwrap().len(),
+                        oids.len(),
+                        "reader {r} round {round}: late create leaked into pinned extent"
+                    );
+                }
+            });
+        }
+        for w in 0..2i64 {
+            let shared = shared.clone();
+            let start = &start;
+            scope.spawn(move || {
+                let writer = shared.writer();
+                start.wait();
+                for i in 0..WRITER_ROUNDS {
+                    // Rewrite every seeded balance (new version per object,
+                    // per round) and grow the live extent.
+                    writer
+                        .update_where(
+                            v,
+                            "Account",
+                            "balance >= 0",
+                            &[("balance", Value::Int(1_000 + w * 100 + i))],
+                        )
+                        .expect("churn update");
+                    writer
+                        .create(
+                            v,
+                            "Account",
+                            &[
+                                ("owner", Value::Str(format!("late{w}-{i}"))),
+                                ("balance", Value::Int(-1)),
+                            ],
+                        )
+                        .expect("late create");
+                }
+            });
+        }
+        start.wait();
+        shared
+            .evolve_cmd("BANK", "add_attribute frozen: bool = false to Account")
+            .expect("schema evolution under pinned sessions");
+    });
+
+    // Every pin has dropped: the whole churn backlog sits below the GC
+    // watermark now. Reclaim it (session drops may already have) and
+    // embed the counters in the journal for offline inspection.
+    let reclaimed_now = shared.gc_now();
+    let reclaimed_total = telemetry.counter("mvcc.gc_reclaimed");
+    assert!(
+        reclaimed_total > 0,
+        "GC must reclaim superseded versions once pins drop (reclaimed {reclaimed_total})"
+    );
+    {
+        let _t = telemetry.ensure_trace("mvcc_gc");
+        telemetry.event(
+            "mvcc.gc_now",
+            &[
+                ("reclaimed_now", reclaimed_now.into()),
+                ("reclaimed_total", reclaimed_total.into()),
+                ("backlog_after", telemetry.counter("mvcc.versions").into()),
+            ],
+        );
+        telemetry.journal_metrics_snapshot();
+    }
+    let lines = telemetry.journal_lines();
+    print!("{lines}");
+
+    // Self-validation — this is the CI contract.
+    let records = validate_lines(&lines).expect("journal is well-formed JSON-lines");
+    assert!(records > 100, "journal must capture the race, got {records}");
+    assert!(
+        lines.contains("mvcc.gc_reclaimed"),
+        "embedded snapshot must carry the GC counters"
+    );
+    assert_eq!(telemetry.journal_dropped(), 0, "default capacity must not drop");
+    eprintln!(
+        "mvcc_race: ok — {records} journal records, {reclaimed_total} versions reclaimed"
+    );
+}
