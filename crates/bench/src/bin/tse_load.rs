@@ -1,0 +1,327 @@
+//! `tse-load` — drive a `tse-server` with a multi-connection client
+//! workload and report wire-level latency, including the tail *during* a
+//! live schema evolution.
+//!
+//! ```text
+//! cargo run --release -p tse-bench --bin tse-load -- \
+//!     [--connect HOST:PORT] [--requests N] [--evolves N] [--seed N] [--shutdown]
+//! ```
+//!
+//! - `--connect`: measure an already-running server; without it the binary
+//!   self-hosts an in-memory server on an ephemeral port (same code path,
+//!   loopback wire included).
+//! - `--requests`: requests per connection per arm (default 400).
+//! - `--evolves`: schema changes replayed during the evolve arm (default 12).
+//! - `--seed`: trace-generation seed (default 9).
+//! - `--shutdown`: send the wire `Shutdown` request at the end so a CI
+//!   wrapper can start the daemon, point tse-load at it, and have both
+//!   exit cleanly.
+//!
+//! The workload is the Sjøberg-shaped schema-change trace from
+//! `tse-workload`, rendered to command text and replayed through an admin
+//! client's `evolve` while load connections keep reading and writing
+//! through their own bound views — the paper's transparency claim, put on
+//! a latency budget. Emits `BENCH_server.json`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use tse_bench::write_bench_json;
+use tse_core::{TseClient, TseReader, TseSystem, TseWriter};
+use tse_object_model::{PendingProp, PropertyDef, Value, ValueType};
+use tse_server::{RemoteClient, ServerConfig, TseServer};
+use tse_telemetry::JsonValue;
+use tse_workload::trace::{generate_and_apply_trace, TraceMix};
+
+struct Args {
+    connect: Option<String>,
+    requests: usize,
+    evolves: usize,
+    seed: u64,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { connect: None, requests: 400, evolves: 12, seed: 9, shutdown: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        let num = |name: &str, v: String| {
+            v.parse::<u64>().map_err(|_| format!("{name} must be a number"))
+        };
+        match flag.as_str() {
+            "--connect" => args.connect = Some(value("--connect")?),
+            "--requests" => args.requests = num("--requests", value("--requests")?)? as usize,
+            "--evolves" => args.evolves = num("--evolves", value("--evolves")?)? as usize,
+            "--seed" => args.seed = num("--seed", value("--seed")?)?,
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: tse-load [--connect HOST:PORT] [--requests N] [--evolves N] \
+                     [--seed N] [--shutdown]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The schema every arm runs against, spelled once: used to seed the
+/// server (remotely) and the scratch trace-generation system (locally).
+const FAMILY: &str = "VS";
+
+fn person_props() -> Vec<PendingProp> {
+    vec![
+        PropertyDef::stored("name", ValueType::Str, Value::Null),
+        PropertyDef::stored("age", ValueType::Int, Value::Int(0)),
+    ]
+}
+
+/// Seed `Person` + view family through the wire. Tolerates an
+/// already-seeded server (`--connect` to a warm daemon).
+fn seed_remote(admin: &RemoteClient) {
+    if admin.versions().expect("versions") > 0 {
+        return;
+    }
+    admin.define_class("Person", &[], person_props()).expect("define Person");
+    admin.create_view(&["Person"]).expect("create view");
+    let w = admin.writer().expect("writer");
+    for i in 0..100i64 {
+        w.create("Person", &[("name", format!("p{i}").into()), ("age", Value::Int(i % 90))])
+            .expect("seed object");
+    }
+}
+
+/// Render the evolve-arm command list: generate the trace against a
+/// scratch in-memory system seeded with the identical schema, so every
+/// command is valid when replayed in order against the server's family.
+fn evolve_commands(n: usize, seed: u64) -> Vec<String> {
+    let mut scratch = TseSystem::new();
+    scratch.define_base_class("Person", &[], person_props()).expect("scratch class");
+    scratch.create_view(FAMILY, &["Person"]).expect("scratch view");
+    let trace = generate_and_apply_trace(&mut scratch, FAMILY, n, &TraceMix::default(), seed)
+        .expect("trace generation");
+    trace.changes.iter().map(|c| c.render().expect("renderable change")).collect()
+}
+
+/// One connection's request loop: a pinned reader and writer issuing a
+/// fixed read-heavy mix, pushing per-request wire latencies (ns).
+fn run_connection(addr: &str, user: &str, requests: usize) -> Vec<u64> {
+    let mut client = RemoteClient::open(addr.to_string(), user).expect("connect");
+    client.bind(FAMILY).expect("bind");
+    let mut reader = client.session().expect("session");
+    let writer = client.writer().expect("writer");
+    let extent = reader.extent("Person").expect("extent");
+    assert!(!extent.is_empty(), "server not seeded");
+    let mut latencies = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let oid = extent[i % extent.len()];
+        let start = Instant::now();
+        // 8-step mix: 5 point reads, extent, predicate scan, one write.
+        match i % 8 {
+            7 => {
+                writer
+                    .create(
+                        "Person",
+                        &[("name", format!("{user}-{i}").into()), ("age", Value::Int(41))],
+                    )
+                    .map(|_| ())
+                    .expect("create");
+            }
+            6 => {
+                reader.select_where("Person", "age >= 60").map(|_| ()).expect("select");
+            }
+            5 => {
+                reader.extent("Person").map(|_| ()).expect("extent");
+            }
+            _ => {
+                reader.get(oid, "Person", "name").map(|_| ()).expect("get");
+            }
+        }
+        latencies.push(start.elapsed().as_nanos() as u64);
+        if i % 64 == 63 {
+            reader.refresh().expect("refresh");
+        }
+    }
+    latencies
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+struct ArmResult {
+    connections: usize,
+    requests: usize,
+    elapsed_ns: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+    ops_per_sec: f64,
+}
+
+impl ArmResult {
+    fn json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("connections", JsonValue::U64(self.connections as u64)),
+            ("requests", JsonValue::U64(self.requests as u64)),
+            ("elapsed_ns", JsonValue::U64(self.elapsed_ns)),
+            ("p50_ns", JsonValue::U64(self.p50_ns)),
+            ("p99_ns", JsonValue::U64(self.p99_ns)),
+            ("max_ns", JsonValue::U64(self.max_ns)),
+            ("ops_per_sec", JsonValue::F64(self.ops_per_sec)),
+        ])
+    }
+}
+
+/// Run `connections` concurrent request loops and fold their latencies.
+fn run_arm(addr: &str, label: &str, connections: usize, requests: usize) -> ArmResult {
+    let started = Instant::now();
+    let mut all: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let user = format!("{label}{c}");
+                scope.spawn(move || run_connection(addr, &user, requests))
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("connection thread")).collect()
+    });
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    all.sort_unstable();
+    let total = all.len();
+    ArmResult {
+        connections,
+        requests: total,
+        elapsed_ns,
+        p50_ns: percentile(&all, 0.50),
+        p99_ns: percentile(&all, 0.99),
+        max_ns: all.last().copied().unwrap_or(0),
+        ops_per_sec: total as f64 / (elapsed_ns as f64 / 1e9),
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("tse-load: {msg}");
+            std::process::exit(2);
+        }
+    };
+
+    // Self-host unless pointed at a running daemon — identical wire path.
+    let mut hosted: Option<TseServer> = None;
+    let addr = match &args.connect {
+        Some(addr) => addr.clone(),
+        None => {
+            let server = TseServer::start(
+                tse_core::SharedSystem::new(),
+                "127.0.0.1:0",
+                ServerConfig::default(),
+            )
+            .expect("self-hosted server");
+            let addr = server.addr().to_string();
+            hosted = Some(server);
+            addr
+        }
+    };
+
+    let admin = RemoteClient::open(addr.clone(), FAMILY).expect("admin connect");
+    seed_remote(&admin);
+
+    // Steady-state arms across connection counts.
+    let mut arms = Vec::new();
+    for connections in [1usize, 4] {
+        let arm = run_arm(&addr, "steady", connections, args.requests);
+        println!(
+            "steady  conns={connections}  p50={}us  p99={}us  {:.0} ops/s",
+            arm.p50_ns / 1_000,
+            arm.p99_ns / 1_000,
+            arm.ops_per_sec
+        );
+        arms.push(arm.json());
+    }
+
+    // During-evolve arm: the same 4-connection workload while an admin
+    // replays a rendered schema-change trace. Load connections stay bound
+    // to their pre-evolution versions — no request may fail or tear.
+    let commands = evolve_commands(args.evolves, args.seed);
+    let applied = Arc::new(AtomicU64::new(0));
+    let evolve_elapsed_ns = Arc::new(AtomicU64::new(0));
+    let during = std::thread::scope(|scope| {
+        let admin = &admin;
+        let commands = &commands;
+        let applied = Arc::clone(&applied);
+        let evolve_elapsed_ns = Arc::clone(&evolve_elapsed_ns);
+        scope.spawn(move || {
+            let started = Instant::now();
+            for cmd in commands {
+                admin.evolve(cmd).expect("evolve during load");
+                applied.fetch_add(1, Ordering::Relaxed);
+            }
+            evolve_elapsed_ns.store(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        });
+        run_arm(&addr, "evolving", 4, args.requests)
+    });
+    println!(
+        "evolve  conns=4  p50={}us  p99={}us  {:.0} ops/s  ({} changes applied)",
+        during.p50_ns / 1_000,
+        during.p99_ns / 1_000,
+        during.ops_per_sec,
+        applied.load(Ordering::Relaxed)
+    );
+    assert_eq!(
+        applied.load(Ordering::Relaxed),
+        commands.len() as u64,
+        "every generated change must apply"
+    );
+    assert_eq!(admin.versions().expect("versions"), 1 + commands.len() as u32);
+
+    let report = JsonValue::obj(vec![
+        ("bench", JsonValue::Str("server_load".to_string())),
+        ("transport", JsonValue::Str("tcp_loopback".to_string())),
+        (
+            "self_hosted",
+            JsonValue::Bool(hosted.is_some()),
+        ),
+        ("requests_per_connection", JsonValue::U64(args.requests as u64)),
+        ("arms", JsonValue::Arr(arms)),
+        (
+            "during_evolve",
+            JsonValue::obj(vec![
+                ("workload", during.json()),
+                ("evolves_applied", JsonValue::U64(applied.load(Ordering::Relaxed))),
+                (
+                    "evolve_elapsed_ns",
+                    JsonValue::U64(evolve_elapsed_ns.load(Ordering::Relaxed)),
+                ),
+                ("trace_seed", JsonValue::U64(args.seed)),
+            ]),
+        ),
+    ]);
+    match write_bench_json("server", &report) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("tse-load: writing BENCH_server.json failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if args.shutdown {
+        admin.shutdown_server().expect("shutdown request");
+    }
+    drop(admin);
+    if let Some(mut server) = hosted {
+        server.drain();
+    }
+}

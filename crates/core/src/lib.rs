@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod change;
 mod durable;
 pub mod health;
@@ -46,6 +47,10 @@ mod system;
 mod translate;
 pub mod walcodec;
 
+pub use api::{
+    EvolveSummary, HealthStatus, LocalClient, LocalReader, LocalWriter, SystemBuilder,
+    TseClient, TseCode, TseError, TseReader, TseResult, TseWriter,
+};
 pub use change::{parse_change, parse_expr, render_expr, SchemaChange};
 pub use durable::DurableSystem;
 pub use health::{DegradedReason, SystemHealth};

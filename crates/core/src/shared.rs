@@ -279,6 +279,10 @@ impl SharedSystem {
     }
 
     /// A fresh in-memory shared system with explicit storage configuration.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use the builder: `SharedSystem::builder().write_stripes(n)...open()`"
+    )]
     pub fn with_config(config: StoreConfig) -> Self {
         Self::from_system(TseSystem::with_config(config))
     }
@@ -296,13 +300,21 @@ impl SharedSystem {
     /// writes through [`WriteSession`]s — is write-ahead logged as a typed
     /// redo frame.
     pub fn open(dir: &Path) -> ModelResult<SharedSystem> {
-        Self::open_with_config(dir, StoreConfig::default())
+        Self::open_impl(dir, StoreConfig::default())
     }
 
     /// Like [`SharedSystem::open`] with explicit runtime store knobs
     /// (stripe count, `wal_autocheckpoint_bytes`); persisted layout
     /// parameters win over `config`.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use the builder: `TseSystem::builder(dir).write_stripes(n)...open()`"
+    )]
     pub fn open_with_config(dir: &Path, config: StoreConfig) -> ModelResult<SharedSystem> {
+        Self::open_impl(dir, config)
+    }
+
+    pub(crate) fn open_impl(dir: &Path, config: StoreConfig) -> ModelResult<SharedSystem> {
         let (system, state) = DurableSystem::open_with_config(dir, config)?.into_parts();
         Ok(Self::assemble(system, Some(state)))
     }
@@ -382,6 +394,21 @@ impl SharedSystem {
     /// every read API, so no caller needs the raw [`TseSystem`] anymore).
     pub fn store_stripes(&self) -> usize {
         self.read_timed().db().store().stripe_count()
+    }
+
+    /// Render a view (classes and local names) for humans — the client
+    /// API's `describe`. Resolves against the *live* system so any view
+    /// version ever published can be rendered.
+    pub fn describe_view(&self, view: ViewId) -> ModelResult<String> {
+        let sys = self.read_timed();
+        Ok(sys.view(view)?.render(sys.db()))
+    }
+
+    /// The client backoff hint (milliseconds) carried in
+    /// `Unavailable` backpressure, derived from the store's retry policy.
+    /// Zero on in-memory systems (no durable path to degrade).
+    pub fn backoff_hint_ms(&self) -> u64 {
+        self.inner.retry_after_ms
     }
 
     /// Run one MVCC garbage-collection pass now: reclaim record versions,

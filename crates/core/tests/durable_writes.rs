@@ -26,7 +26,7 @@ fn seed(dir: &Path) -> (SharedSystem, ViewId) {
 }
 
 fn seed_with(dir: &Path, config: StoreConfig) -> (SharedSystem, ViewId) {
-    let shared = SharedSystem::open_with_config(dir, config).unwrap();
+    let shared = SharedSystem::builder().dir(dir).store_config(config).open().unwrap();
     seed_schema(&shared)
 }
 

@@ -1,0 +1,127 @@
+//! The `tse-server` daemon: serve a (durable or in-memory) TSE system over
+//! the wire protocol.
+//!
+//! ```text
+//! tse-server [--dir PATH] [--addr HOST:PORT] [--max-conns N]
+//!            [--journal PATH] [--run-secs N]
+//! ```
+//!
+//! - `--dir`: back the system with this directory (recovering it if it
+//!   exists); in-memory without it.
+//! - `--addr`: listen address, default `127.0.0.1:7421` (`:0` picks an
+//!   ephemeral port, printed on stdout).
+//! - `--max-conns`: admission-control cap (default 64).
+//! - `--journal`: stream the telemetry journal to this JSONL file and
+//!   embed a final metrics snapshot on exit — `tse-inspect --check` ready.
+//! - `--run-secs`: exit (with a graceful drain) after N seconds; without
+//!   it the server runs until a client sends `Shutdown` or the process is
+//!   killed. Exit is always a drain: in-flight requests finish and flush.
+//!
+//! The bound address is printed as `listening on <addr>` once the server
+//! accepts connections, so wrappers can scrape the ephemeral port.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use tse_core::TseSystem;
+use tse_server::{ServerConfig, TseServer};
+
+struct Args {
+    dir: Option<PathBuf>,
+    addr: String,
+    max_conns: usize,
+    journal: Option<PathBuf>,
+    run_secs: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dir: None,
+        addr: "127.0.0.1:7421".to_string(),
+        max_conns: 64,
+        journal: None,
+        run_secs: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--dir" => args.dir = Some(PathBuf::from(value("--dir")?)),
+            "--addr" => args.addr = value("--addr")?,
+            "--max-conns" => {
+                args.max_conns = value("--max-conns")?
+                    .parse()
+                    .map_err(|_| "--max-conns must be a number".to_string())?
+            }
+            "--journal" => args.journal = Some(PathBuf::from(value("--journal")?)),
+            "--run-secs" => {
+                args.run_secs = Some(
+                    value("--run-secs")?
+                        .parse()
+                        .map_err(|_| "--run-secs must be a number".to_string())?,
+                )
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: tse-server [--dir PATH] [--addr HOST:PORT] [--max-conns N] \
+                     [--journal PATH] [--run-secs N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("tse-server: {msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let sys = match &args.dir {
+        Some(dir) => TseSystem::builder(dir).open().unwrap_or_else(|e| {
+            eprintln!("tse-server: open {} failed: {e}", dir.display());
+            std::process::exit(1);
+        }),
+        None => tse_core::SharedSystem::new(),
+    };
+    if let Some(journal) = &args.journal {
+        if let Err(e) = sys.telemetry().attach_sink(journal) {
+            eprintln!("tse-server: journal sink {} failed: {e}", journal.display());
+            std::process::exit(1);
+        }
+    }
+
+    let config = ServerConfig { max_connections: args.max_conns, ..ServerConfig::default() };
+    let mut server = TseServer::start(sys.clone(), &args.addr, config).unwrap_or_else(|e| {
+        eprintln!("tse-server: {e}");
+        std::process::exit(1);
+    });
+    println!("listening on {}", server.addr());
+
+    let started = Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        if server.shutdown_requested() {
+            eprintln!("tse-server: shutdown requested by client, draining");
+            break;
+        }
+        if let Some(secs) = args.run_secs {
+            if started.elapsed() >= Duration::from_secs(secs) {
+                eprintln!("tse-server: --run-secs elapsed, draining");
+                break;
+            }
+        }
+    }
+    server.drain();
+    // Embed the final metrics snapshot so the journal passes the
+    // `tse-inspect --check` forensics gate on its own.
+    sys.telemetry().journal_metrics_snapshot();
+}

@@ -1,0 +1,387 @@
+//! [`RemoteClient`]: the wire-protocol implementation of [`TseClient`].
+//!
+//! One TCP connection per client; requests serialize through a mutex
+//! (write frame, read matching response), so a client plus its readers and
+//! writers can be shared across threads the same way a [`tse_core::LocalClient`]
+//! can. Error frames decode back into [`TseError`] verbatim — the numeric
+//! code a remote caller matches on is the one the server's in-process call
+//! produced — and `Retry` frames (admission control, degraded-system
+//! backpressure) surface as [`TseCode::Unavailable`] with the server's
+//! backoff hint.
+
+use std::net::TcpStream;
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tse_core::{
+    EvolveSummary, HealthStatus, TseClient, TseCode, TseError, TseReader, TseResult, TseWriter,
+};
+use tse_object_model::{Oid, PendingProp, Value};
+
+use crate::proto::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response,
+};
+
+struct Conn {
+    stream: TcpStream,
+}
+
+impl Conn {
+    /// One request/response exchange. Protocol-level failures come back as
+    /// [`TseCode::Protocol`]/[`TseCode::Io`]; `Err` and `Retry` frames are
+    /// converted to the [`TseError`] they carry.
+    fn call(&mut self, req: &Request) -> TseResult<Response> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
+            TseError::new(TseCode::Io, "server closed the connection mid-request")
+        })?;
+        match decode_response(&frame)? {
+            Response::Err { code, retry_after_ms, message } => {
+                Err(Response::to_error(code, retry_after_ms, &message))
+            }
+            Response::Retry { retry_after_ms } => Err(TseError::new(
+                TseCode::Unavailable,
+                "server backpressure: retry later",
+            )
+            .with_retry_after_ms(retry_after_ms)),
+            other => Ok(other),
+        }
+    }
+}
+
+fn unexpected(what: &str, got: &Response) -> TseError {
+    TseError::protocol(format!("expected {what} response, got {got:?}"))
+}
+
+/// A [`TseClient`] over the TSE wire protocol. `Target` is the server
+/// address (`"host:port"`).
+pub struct RemoteClient {
+    conn: Arc<Mutex<Conn>>,
+    user: String,
+    family: Mutex<String>,
+}
+
+impl RemoteClient {
+    fn rpc(&self, req: &Request) -> TseResult<Response> {
+        self.conn.lock().call(req)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> TseResult<()> {
+        match self.rpc(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Ask the server to drain and exit (in-flight requests on all
+    /// connections finish first). The connection is closed afterwards.
+    pub fn shutdown_server(&self) -> TseResult<()> {
+        match self.rpc(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected("Bye", &other)),
+        }
+    }
+}
+
+impl TseClient for RemoteClient {
+    type Reader = RemoteReader;
+    type Writer = RemoteWriter;
+    type Target = String;
+
+    fn open(target: String, user: &str) -> TseResult<RemoteClient> {
+        let stream = TcpStream::connect(&target)
+            .map_err(|e| TseError::new(TseCode::Io, format!("connect {target} failed: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let mut conn = Conn { stream };
+        match conn.call(&Request::Hello { user: user.to_string() })? {
+            Response::Welcome { .. } => {}
+            other => return Err(unexpected("Welcome", &other)),
+        }
+        Ok(RemoteClient {
+            conn: Arc::new(Mutex::new(conn)),
+            user: user.to_string(),
+            family: Mutex::new(user.to_string()),
+        })
+    }
+
+    fn user(&self) -> &str {
+        &self.user
+    }
+
+    fn family(&self) -> String {
+        self.family.lock().clone()
+    }
+
+    fn bind(&mut self, family: &str) -> TseResult<u32> {
+        match self.rpc(&Request::Bind { family: family.to_string() })? {
+            Response::Bound { version } => {
+                *self.family.lock() = family.to_string();
+                Ok(version)
+            }
+            other => Err(unexpected("Bound", &other)),
+        }
+    }
+
+    fn session(&self) -> TseResult<RemoteReader> {
+        match self.rpc(&Request::OpenReader)? {
+            Response::ReaderOpened { sid, version } => {
+                Ok(RemoteReader { conn: Arc::clone(&self.conn), sid, version })
+            }
+            other => Err(unexpected("ReaderOpened", &other)),
+        }
+    }
+
+    fn writer(&self) -> TseResult<RemoteWriter> {
+        match self.rpc(&Request::OpenWriter)? {
+            Response::WriterOpened { wid } => {
+                Ok(RemoteWriter { conn: Arc::clone(&self.conn), wid })
+            }
+            other => Err(unexpected("WriterOpened", &other)),
+        }
+    }
+
+    fn define_class(
+        &self,
+        name: &str,
+        supers: &[&str],
+        props: Vec<PendingProp>,
+    ) -> TseResult<()> {
+        let req = Request::DefineClass {
+            name: name.to_string(),
+            supers: supers.iter().map(|s| s.to_string()).collect(),
+            props,
+        };
+        match self.rpc(&req)? {
+            Response::Unit => Ok(()),
+            other => Err(unexpected("Unit", &other)),
+        }
+    }
+
+    fn create_view(&self, classes: &[&str]) -> TseResult<u32> {
+        let req =
+            Request::CreateView { classes: classes.iter().map(|s| s.to_string()).collect() };
+        match self.rpc(&req)? {
+            Response::ViewVersion(version) => Ok(version),
+            other => Err(unexpected("ViewVersion", &other)),
+        }
+    }
+
+    fn evolve(&self, command: &str) -> TseResult<EvolveSummary> {
+        match self.rpc(&Request::Evolve { command: command.to_string() })? {
+            Response::Evolved { version, classes_touched, duplicates_folded, script } => {
+                Ok(EvolveSummary { version, classes_touched, duplicates_folded, script })
+            }
+            other => Err(unexpected("Evolved", &other)),
+        }
+    }
+
+    fn describe(&self) -> TseResult<String> {
+        match self.rpc(&Request::Describe)? {
+            Response::Described(text) => Ok(text),
+            other => Err(unexpected("Described", &other)),
+        }
+    }
+
+    fn versions(&self) -> TseResult<u32> {
+        match self.rpc(&Request::Versions)? {
+            Response::ViewVersion(n) => Ok(n),
+            other => Err(unexpected("ViewVersion", &other)),
+        }
+    }
+
+    fn health(&self) -> TseResult<HealthStatus> {
+        match self.rpc(&Request::Health)? {
+            Response::HealthIs { status: 0, .. } => Ok(HealthStatus::Healthy),
+            Response::HealthIs { status: 1, reason, retry_after_ms } => {
+                Ok(HealthStatus::Degraded { reason, retry_after_ms })
+            }
+            Response::HealthIs { status: 2, .. } => Ok(HealthStatus::Poisoned),
+            other => Err(unexpected("HealthIs", &other)),
+        }
+    }
+}
+
+impl Drop for RemoteClient {
+    fn drop(&mut self) {
+        let _ = self.conn.lock().call(&Request::Bye);
+    }
+}
+
+/// A pinned remote read handle ([`TseReader`] over the wire).
+pub struct RemoteReader {
+    conn: Arc<Mutex<Conn>>,
+    sid: u64,
+    version: u32,
+}
+
+impl RemoteReader {
+    fn rpc(&self, req: &Request) -> TseResult<Response> {
+        self.conn.lock().call(req)
+    }
+}
+
+impl TseReader for RemoteReader {
+    fn view_version(&self) -> u32 {
+        self.version
+    }
+
+    fn get(&self, oid: Oid, class: &str, attr: &str) -> TseResult<Value> {
+        let req = Request::Get {
+            sid: self.sid,
+            oid,
+            class: class.to_string(),
+            attr: attr.to_string(),
+        };
+        match self.rpc(&req)? {
+            Response::Val(v) => Ok(v),
+            other => Err(unexpected("Val", &other)),
+        }
+    }
+
+    fn extent(&self, class: &str) -> TseResult<Vec<Oid>> {
+        match self.rpc(&Request::Extent { sid: self.sid, class: class.to_string() })? {
+            Response::Oids(oids) => Ok(oids),
+            other => Err(unexpected("Oids", &other)),
+        }
+    }
+
+    fn select_where(&self, class: &str, expr: &str) -> TseResult<Vec<Oid>> {
+        let req = Request::SelectWhere {
+            sid: self.sid,
+            class: class.to_string(),
+            expr: expr.to_string(),
+        };
+        match self.rpc(&req)? {
+            Response::Oids(oids) => Ok(oids),
+            other => Err(unexpected("Oids", &other)),
+        }
+    }
+
+    fn invoke(&self, oid: Oid, class: &str, name: &str) -> TseResult<Value> {
+        let req = Request::Invoke {
+            sid: self.sid,
+            oid,
+            class: class.to_string(),
+            name: name.to_string(),
+        };
+        match self.rpc(&req)? {
+            Response::Val(v) => Ok(v),
+            other => Err(unexpected("Val", &other)),
+        }
+    }
+
+    fn refresh(&mut self) -> TseResult<()> {
+        match self.rpc(&Request::RefreshReader { sid: self.sid })? {
+            Response::Refreshed => Ok(()),
+            other => Err(unexpected("Refreshed", &other)),
+        }
+    }
+}
+
+impl Drop for RemoteReader {
+    fn drop(&mut self) {
+        let _ = self.rpc(&Request::CloseReader { sid: self.sid });
+    }
+}
+
+/// A pinned remote write handle ([`TseWriter`] over the wire).
+pub struct RemoteWriter {
+    conn: Arc<Mutex<Conn>>,
+    wid: u64,
+}
+
+impl RemoteWriter {
+    fn rpc(&self, req: &Request) -> TseResult<Response> {
+        self.conn.lock().call(req)
+    }
+}
+
+impl TseWriter for RemoteWriter {
+    fn create(&self, class: &str, values: &[(&str, Value)]) -> TseResult<Oid> {
+        let req = Request::Create {
+            wid: self.wid,
+            class: class.to_string(),
+            values: values.iter().map(|(n, v)| (n.to_string(), v.clone())).collect(),
+        };
+        match self.rpc(&req)? {
+            Response::OidIs(oid) => Ok(oid),
+            other => Err(unexpected("OidIs", &other)),
+        }
+    }
+
+    fn set(&self, oid: Oid, class: &str, assignments: &[(&str, Value)]) -> TseResult<()> {
+        let req = Request::SetAttrs {
+            wid: self.wid,
+            oid,
+            class: class.to_string(),
+            assignments: assignments.iter().map(|(n, v)| (n.to_string(), v.clone())).collect(),
+        };
+        match self.rpc(&req)? {
+            Response::Unit => Ok(()),
+            other => Err(unexpected("Unit", &other)),
+        }
+    }
+
+    fn update_where(
+        &self,
+        class: &str,
+        expr: &str,
+        assignments: &[(&str, Value)],
+    ) -> TseResult<usize> {
+        let req = Request::UpdateWhere {
+            wid: self.wid,
+            class: class.to_string(),
+            expr: expr.to_string(),
+            assignments: assignments.iter().map(|(n, v)| (n.to_string(), v.clone())).collect(),
+        };
+        match self.rpc(&req)? {
+            Response::Count(n) => Ok(n as usize),
+            other => Err(unexpected("Count", &other)),
+        }
+    }
+
+    fn add_to(&self, oids: &[Oid], class: &str) -> TseResult<()> {
+        let req = Request::AddTo {
+            wid: self.wid,
+            class: class.to_string(),
+            oids: oids.to_vec(),
+        };
+        match self.rpc(&req)? {
+            Response::Unit => Ok(()),
+            other => Err(unexpected("Unit", &other)),
+        }
+    }
+
+    fn remove_from(&self, oids: &[Oid], class: &str) -> TseResult<()> {
+        let req = Request::RemoveFrom {
+            wid: self.wid,
+            class: class.to_string(),
+            oids: oids.to_vec(),
+        };
+        match self.rpc(&req)? {
+            Response::Unit => Ok(()),
+            other => Err(unexpected("Unit", &other)),
+        }
+    }
+
+    fn delete_objects(&self, oids: &[Oid]) -> TseResult<()> {
+        match self.rpc(&Request::Delete { wid: self.wid, oids: oids.to_vec() })? {
+            Response::Unit => Ok(()),
+            other => Err(unexpected("Unit", &other)),
+        }
+    }
+
+    fn refresh(&mut self) -> TseResult<()> {
+        match self.rpc(&Request::RefreshWriter { wid: self.wid })? {
+            Response::Refreshed => Ok(()),
+            other => Err(unexpected("Refreshed", &other)),
+        }
+    }
+}
+
+impl Drop for RemoteWriter {
+    fn drop(&mut self) {
+        let _ = self.rpc(&Request::CloseWriter { wid: self.wid });
+    }
+}

@@ -1,0 +1,40 @@
+//! # tse-server — the TSE service layer
+//!
+//! The engine/driver/server split for the transparent-schema-evolution
+//! system: [`proto`] defines a versioned, CRC32-framed binary wire
+//! protocol; [`TseServer`] serves it thread-per-connection over a
+//! [`tse_core::SharedSystem`] with admission control and graceful drain;
+//! [`RemoteClient`] implements the [`tse_core::TseClient`] trait over a
+//! TCP connection, so programs written against the trait run unchanged
+//! in-process or remote.
+//!
+//! ```
+//! use tse_core::{SharedSystem, TseClient, TseReader, TseWriter};
+//! use tse_object_model::{PropertyDef, Value, ValueType};
+//! use tse_server::{RemoteClient, ServerConfig, TseServer};
+//!
+//! let sys = SharedSystem::new();
+//! let mut server =
+//!     TseServer::start(sys, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//!
+//! let client = RemoteClient::open(server.addr().to_string(), "alice").unwrap();
+//! client.define_class("Person", &[], vec![
+//!     PropertyDef::stored("name", ValueType::Str, Value::Null),
+//! ]).unwrap();
+//! client.create_view(&["Person"]).unwrap();
+//! let oid = client.writer().unwrap().create("Person", &[("name", "ann".into())]).unwrap();
+//! let reader = client.session().unwrap();
+//! assert_eq!(reader.get(oid, "Person", "name").unwrap(), Value::Str("ann".into()));
+//!
+//! drop((reader, client));
+//! server.drain();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+mod server;
+
+pub use client::{RemoteClient, RemoteReader, RemoteWriter};
+pub use server::{ServerConfig, TseServer};

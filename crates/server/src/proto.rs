@@ -1,0 +1,1071 @@
+//! The TSE wire protocol: versioned, CRC32-framed binary request/response
+//! messages, reusing the `walcodec` framing discipline.
+//!
+//! Frame layout (all integers big-endian), identical in both directions:
+//!
+//! ```text
+//! u8 version (0xB3) | u8 kind | u32 body_len | u32 crc32(kind ‖ body_len ‖ body) | body
+//! ```
+//!
+//! The version byte is `0xB3` for the same reason the WAL's is `0xA2`: it
+//! is not a small integer, so a single-bit flip never turns it into another
+//! valid version, and everything after it is covered by the CRC — every
+//! single-bit corruption of a frame is detected (see the fuzz tests).
+//! Request kinds occupy `1..=63`, response kinds `64..`, so a frame
+//! accidentally decoded in the wrong direction fails on its kind byte
+//! instead of mis-parsing.
+//!
+//! Error payloads are [`TseError`] verbatim — `u16 code | u64 retry_after |
+//! string message` — so a remote caller matches on exactly the numeric
+//! codes an in-process caller gets. Value and property-definition bodies
+//! reuse the storage layer's [`Payload`] codecs; nothing is re-specified.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tse_core::{TseCode, TseError, TseResult};
+use tse_object_model::{get_pending_prop, put_pending_prop, Oid, PendingProp, Value};
+use tse_storage::{Crc32, Payload};
+
+/// Version byte of the wire frame format.
+pub const WIRE_VERSION: u8 = 0xB3;
+
+/// Frame header length: version, kind, body length, CRC.
+pub const HEADER_LEN: usize = 10;
+
+/// Upper bound on a frame body. Large enough for any realistic extent or
+/// batch, small enough that a corrupt length prefix cannot make a peer
+/// allocate gigabytes.
+pub const MAX_FRAME_BODY: usize = 16 * 1024 * 1024;
+
+fn protocol(msg: impl Into<String>) -> TseError {
+    TseError::protocol(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+/// A client → server message. `sid`/`wid` are server-assigned handle ids
+/// from [`Response::ReaderOpened`]/[`Response::WriterOpened`]; every data
+/// operation goes through such a pinned handle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// First frame on every connection: authenticate as `user`, binding
+    /// the connection to the user's view family.
+    Hello {
+        /// User identity (doubles as the initial view family).
+        user: String,
+    },
+    /// Re-bind the connection to another view family's current version.
+    Bind {
+        /// Family name.
+        family: String,
+    },
+    /// Open a pinned read handle at the connection's bound view version.
+    OpenReader,
+    /// Close a read handle.
+    CloseReader {
+        /// Handle id.
+        sid: u64,
+    },
+    /// Re-pin a read handle to the newest data epoch.
+    RefreshReader {
+        /// Handle id.
+        sid: u64,
+    },
+    /// [`tse_core::TseReader::get`].
+    Get {
+        /// Handle id.
+        sid: u64,
+        /// Target object.
+        oid: Oid,
+        /// View-local class name.
+        class: String,
+        /// Attribute name.
+        attr: String,
+    },
+    /// [`tse_core::TseReader::extent`].
+    Extent {
+        /// Handle id.
+        sid: u64,
+        /// View-local class name.
+        class: String,
+    },
+    /// [`tse_core::TseReader::select_where`].
+    SelectWhere {
+        /// Handle id.
+        sid: u64,
+        /// View-local class name.
+        class: String,
+        /// Predicate expression text.
+        expr: String,
+    },
+    /// [`tse_core::TseReader::invoke`].
+    Invoke {
+        /// Handle id.
+        sid: u64,
+        /// Target object.
+        oid: Oid,
+        /// View-local class name.
+        class: String,
+        /// Property name.
+        name: String,
+    },
+    /// Open a pinned write handle at the connection's bound view version.
+    OpenWriter,
+    /// Close a write handle.
+    CloseWriter {
+        /// Handle id.
+        wid: u64,
+    },
+    /// Re-pin a write handle to the newest metadata epoch.
+    RefreshWriter {
+        /// Handle id.
+        wid: u64,
+    },
+    /// [`tse_core::TseWriter::create`].
+    Create {
+        /// Handle id.
+        wid: u64,
+        /// View-local class name.
+        class: String,
+        /// Initial attribute values.
+        values: Vec<(String, Value)>,
+    },
+    /// [`tse_core::TseWriter::set`].
+    SetAttrs {
+        /// Handle id.
+        wid: u64,
+        /// Target object.
+        oid: Oid,
+        /// View-local class name.
+        class: String,
+        /// Attribute assignments.
+        assignments: Vec<(String, Value)>,
+    },
+    /// [`tse_core::TseWriter::update_where`].
+    UpdateWhere {
+        /// Handle id.
+        wid: u64,
+        /// View-local class name.
+        class: String,
+        /// Predicate expression text.
+        expr: String,
+        /// Attribute assignments.
+        assignments: Vec<(String, Value)>,
+    },
+    /// [`tse_core::TseWriter::add_to`].
+    AddTo {
+        /// Handle id.
+        wid: u64,
+        /// View-local class name.
+        class: String,
+        /// Objects to add.
+        oids: Vec<Oid>,
+    },
+    /// [`tse_core::TseWriter::remove_from`].
+    RemoveFrom {
+        /// Handle id.
+        wid: u64,
+        /// View-local class name.
+        class: String,
+        /// Objects to remove.
+        oids: Vec<Oid>,
+    },
+    /// [`tse_core::TseWriter::delete_objects`].
+    Delete {
+        /// Handle id.
+        wid: u64,
+        /// Objects to destroy.
+        oids: Vec<Oid>,
+    },
+    /// [`tse_core::TseClient::define_class`].
+    DefineClass {
+        /// Class name.
+        name: String,
+        /// Superclass names.
+        supers: Vec<String>,
+        /// Property definitions.
+        props: Vec<PendingProp>,
+    },
+    /// [`tse_core::TseClient::create_view`] over the bound family.
+    CreateView {
+        /// Global class names the view exposes.
+        classes: Vec<String>,
+    },
+    /// [`tse_core::TseClient::evolve`] on the bound family.
+    Evolve {
+        /// Schema-change command text.
+        command: String,
+    },
+    /// [`tse_core::TseClient::describe`].
+    Describe,
+    /// [`tse_core::TseClient::versions`].
+    Versions,
+    /// [`tse_core::TseClient::health`].
+    Health,
+    /// Liveness probe.
+    Ping,
+    /// Ask the whole server to drain and exit (used by CI smoke runs and
+    /// operators; in-flight requests on other connections finish first).
+    Shutdown,
+    /// Clean connection close.
+    Bye,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Hello`]: the connection is authenticated and
+    /// bound (version 0 = the family has no view yet).
+    Welcome {
+        /// Bound view version.
+        version: u32,
+    },
+    /// Reply to [`Request::Bind`].
+    Bound {
+        /// Bound view version (0 = none yet).
+        version: u32,
+    },
+    /// Reply to [`Request::OpenReader`].
+    ReaderOpened {
+        /// Handle id for subsequent read requests.
+        sid: u64,
+        /// The view version the handle is pinned to.
+        version: u32,
+    },
+    /// Reply to [`Request::OpenWriter`].
+    WriterOpened {
+        /// Handle id for subsequent write requests.
+        wid: u64,
+    },
+    /// Handle closed.
+    Closed,
+    /// Handle re-pinned.
+    Refreshed,
+    /// A single value.
+    Val(
+        /// The value.
+        Value,
+    ),
+    /// A single object id.
+    OidIs(
+        /// The oid.
+        Oid,
+    ),
+    /// A list of object ids.
+    Oids(
+        /// The oids.
+        Vec<Oid>,
+    ),
+    /// A count (e.g. objects matched by `update_where`).
+    Count(
+        /// The count.
+        u64,
+    ),
+    /// Success with no payload.
+    Unit,
+    /// A view version number (create_view, versions).
+    ViewVersion(
+        /// The version.
+        u32,
+    ),
+    /// Reply to [`Request::Evolve`].
+    Evolved {
+        /// The family's new view version.
+        version: u32,
+        /// View classes replaced by primed counterparts.
+        classes_touched: u64,
+        /// Newly derived classes folded onto duplicates.
+        duplicates_folded: u64,
+        /// Generated view specification script.
+        script: String,
+    },
+    /// Reply to [`Request::Describe`].
+    Described(
+        /// Rendered view text.
+        String,
+    ),
+    /// Reply to [`Request::Health`]. `status` is 0 = healthy, 1 =
+    /// degraded, 2 = poisoned.
+    HealthIs {
+        /// Status discriminant.
+        status: u8,
+        /// Degradation reason ("" unless degraded).
+        reason: String,
+        /// Suggested write backoff, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Liveness reply.
+    Pong,
+    /// Admission control: the server is at its connection cap (or
+    /// draining) and did not register this connection. Reconnect after
+    /// the hint.
+    Retry {
+        /// Suggested reconnect backoff, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request failed; payload is a [`TseError`] verbatim.
+    Err {
+        /// Stable numeric code ([`TseCode`]).
+        code: u16,
+        /// Backoff hint, milliseconds (0 = none).
+        retry_after_ms: u64,
+        /// Human-readable context.
+        message: String,
+    },
+    /// Clean close acknowledgement.
+    Bye,
+}
+
+impl Response {
+    /// Build the error response carrying `err` verbatim.
+    pub fn from_error(err: &TseError) -> Response {
+        Response::Err {
+            code: err.code().as_u16(),
+            retry_after_ms: err.retry_after_ms(),
+            message: err.message().to_string(),
+        }
+    }
+
+    /// Reconstruct the [`TseError`] an error response carries.
+    pub fn to_error(code: u16, retry_after_ms: u64, message: &str) -> TseError {
+        TseError::new(TseCode::from_u16(code), message).with_retry_after_ms(retry_after_ms)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Body primitives (same shapes as walcodec)
+// ---------------------------------------------------------------------------
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_strs(buf: &mut BytesMut, strs: &[String]) {
+    buf.put_u32(strs.len() as u32);
+    for s in strs {
+        put_str(buf, s);
+    }
+}
+
+fn put_oids(buf: &mut BytesMut, oids: &[Oid]) {
+    buf.put_u32(oids.len() as u32);
+    for oid in oids {
+        buf.put_u64(oid.0);
+    }
+}
+
+fn put_pairs(buf: &mut BytesMut, pairs: &[(String, Value)]) {
+    buf.put_u32(pairs.len() as u32);
+    for (name, value) in pairs {
+        put_str(buf, name);
+        value.encode(buf);
+    }
+}
+
+fn get_str(buf: &mut Bytes) -> TseResult<String> {
+    if buf.remaining() < 4 {
+        return Err(protocol("frame: truncated string length"));
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(protocol("frame: truncated string"));
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| protocol("frame: string not utf-8"))
+}
+
+fn get_strs(buf: &mut Bytes) -> TseResult<Vec<String>> {
+    if buf.remaining() < 4 {
+        return Err(protocol("frame: truncated string count"));
+    }
+    let n = buf.get_u32() as usize;
+    let mut out = Vec::with_capacity(n.min(buf.remaining()));
+    for _ in 0..n {
+        out.push(get_str(buf)?);
+    }
+    Ok(out)
+}
+
+fn get_oids(buf: &mut Bytes) -> TseResult<Vec<Oid>> {
+    if buf.remaining() < 4 {
+        return Err(protocol("frame: truncated oid count"));
+    }
+    let n = buf.get_u32() as usize;
+    if buf.remaining() < n * 8 {
+        return Err(protocol("frame: truncated oid list"));
+    }
+    Ok((0..n).map(|_| Oid(buf.get_u64())).collect())
+}
+
+fn get_pairs(buf: &mut Bytes) -> TseResult<Vec<(String, Value)>> {
+    if buf.remaining() < 4 {
+        return Err(protocol("frame: truncated pair count"));
+    }
+    let n = buf.get_u32() as usize;
+    let mut pairs = Vec::with_capacity(n.min(buf.remaining()));
+    for _ in 0..n {
+        let name = get_str(buf)?;
+        let value = Value::decode(buf)
+            .map_err(|e| protocol(format!("frame: bad value payload: {e}")))?;
+        pairs.push((name, value));
+    }
+    Ok(pairs)
+}
+
+fn get_u64(buf: &mut Bytes, what: &str) -> TseResult<u64> {
+    if buf.remaining() < 8 {
+        return Err(protocol(format!("frame: truncated {what}")));
+    }
+    Ok(buf.get_u64())
+}
+
+fn get_u32(buf: &mut Bytes, what: &str) -> TseResult<u32> {
+    if buf.remaining() < 4 {
+        return Err(protocol(format!("frame: truncated {what}")));
+    }
+    Ok(buf.get_u32())
+}
+
+fn get_oid(buf: &mut Bytes) -> TseResult<Oid> {
+    Ok(Oid(get_u64(buf, "oid")?))
+}
+
+// ---------------------------------------------------------------------------
+// Request codec
+// ---------------------------------------------------------------------------
+
+impl Request {
+    fn kind(&self) -> u8 {
+        match self {
+            Request::Hello { .. } => 1,
+            Request::Bind { .. } => 2,
+            Request::OpenReader => 3,
+            Request::CloseReader { .. } => 4,
+            Request::RefreshReader { .. } => 5,
+            Request::Get { .. } => 6,
+            Request::Extent { .. } => 7,
+            Request::SelectWhere { .. } => 8,
+            Request::Invoke { .. } => 9,
+            Request::OpenWriter => 10,
+            Request::CloseWriter { .. } => 11,
+            Request::RefreshWriter { .. } => 12,
+            Request::Create { .. } => 13,
+            Request::SetAttrs { .. } => 14,
+            Request::UpdateWhere { .. } => 15,
+            Request::AddTo { .. } => 16,
+            Request::RemoveFrom { .. } => 17,
+            Request::Delete { .. } => 18,
+            Request::DefineClass { .. } => 19,
+            Request::CreateView { .. } => 20,
+            Request::Evolve { .. } => 21,
+            Request::Describe => 22,
+            Request::Versions => 23,
+            Request::Health => 24,
+            Request::Ping => 25,
+            Request::Shutdown => 26,
+            Request::Bye => 27,
+        }
+    }
+
+    fn encode_body(&self, body: &mut BytesMut) {
+        match self {
+            Request::Hello { user } => put_str(body, user),
+            Request::Bind { family } => put_str(body, family),
+            Request::OpenReader
+            | Request::OpenWriter
+            | Request::Describe
+            | Request::Versions
+            | Request::Health
+            | Request::Ping
+            | Request::Shutdown
+            | Request::Bye => {}
+            Request::CloseReader { sid }
+            | Request::RefreshReader { sid } => body.put_u64(*sid),
+            Request::CloseWriter { wid } | Request::RefreshWriter { wid } => body.put_u64(*wid),
+            Request::Get { sid, oid, class, attr } => {
+                body.put_u64(*sid);
+                body.put_u64(oid.0);
+                put_str(body, class);
+                put_str(body, attr);
+            }
+            Request::Extent { sid, class } => {
+                body.put_u64(*sid);
+                put_str(body, class);
+            }
+            Request::SelectWhere { sid, class, expr } => {
+                body.put_u64(*sid);
+                put_str(body, class);
+                put_str(body, expr);
+            }
+            Request::Invoke { sid, oid, class, name } => {
+                body.put_u64(*sid);
+                body.put_u64(oid.0);
+                put_str(body, class);
+                put_str(body, name);
+            }
+            Request::Create { wid, class, values } => {
+                body.put_u64(*wid);
+                put_str(body, class);
+                put_pairs(body, values);
+            }
+            Request::SetAttrs { wid, oid, class, assignments } => {
+                body.put_u64(*wid);
+                body.put_u64(oid.0);
+                put_str(body, class);
+                put_pairs(body, assignments);
+            }
+            Request::UpdateWhere { wid, class, expr, assignments } => {
+                body.put_u64(*wid);
+                put_str(body, class);
+                put_str(body, expr);
+                put_pairs(body, assignments);
+            }
+            Request::AddTo { wid, class, oids } | Request::RemoveFrom { wid, class, oids } => {
+                body.put_u64(*wid);
+                put_str(body, class);
+                put_oids(body, oids);
+            }
+            Request::Delete { wid, oids } => {
+                body.put_u64(*wid);
+                put_oids(body, oids);
+            }
+            Request::DefineClass { name, supers, props } => {
+                put_str(body, name);
+                put_strs(body, supers);
+                body.put_u32(props.len() as u32);
+                for p in props {
+                    put_pending_prop(body, p);
+                }
+            }
+            Request::CreateView { classes } => put_strs(body, classes),
+            Request::Evolve { command } => put_str(body, command),
+        }
+    }
+
+    fn decode_body(kind: u8, buf: &mut Bytes) -> TseResult<Request> {
+        Ok(match kind {
+            1 => Request::Hello { user: get_str(buf)? },
+            2 => Request::Bind { family: get_str(buf)? },
+            3 => Request::OpenReader,
+            4 => Request::CloseReader { sid: get_u64(buf, "sid")? },
+            5 => Request::RefreshReader { sid: get_u64(buf, "sid")? },
+            6 => Request::Get {
+                sid: get_u64(buf, "sid")?,
+                oid: get_oid(buf)?,
+                class: get_str(buf)?,
+                attr: get_str(buf)?,
+            },
+            7 => Request::Extent { sid: get_u64(buf, "sid")?, class: get_str(buf)? },
+            8 => Request::SelectWhere {
+                sid: get_u64(buf, "sid")?,
+                class: get_str(buf)?,
+                expr: get_str(buf)?,
+            },
+            9 => Request::Invoke {
+                sid: get_u64(buf, "sid")?,
+                oid: get_oid(buf)?,
+                class: get_str(buf)?,
+                name: get_str(buf)?,
+            },
+            10 => Request::OpenWriter,
+            11 => Request::CloseWriter { wid: get_u64(buf, "wid")? },
+            12 => Request::RefreshWriter { wid: get_u64(buf, "wid")? },
+            13 => Request::Create {
+                wid: get_u64(buf, "wid")?,
+                class: get_str(buf)?,
+                values: get_pairs(buf)?,
+            },
+            14 => Request::SetAttrs {
+                wid: get_u64(buf, "wid")?,
+                oid: get_oid(buf)?,
+                class: get_str(buf)?,
+                assignments: get_pairs(buf)?,
+            },
+            15 => Request::UpdateWhere {
+                wid: get_u64(buf, "wid")?,
+                class: get_str(buf)?,
+                expr: get_str(buf)?,
+                assignments: get_pairs(buf)?,
+            },
+            16 => Request::AddTo {
+                wid: get_u64(buf, "wid")?,
+                class: get_str(buf)?,
+                oids: get_oids(buf)?,
+            },
+            17 => Request::RemoveFrom {
+                wid: get_u64(buf, "wid")?,
+                class: get_str(buf)?,
+                oids: get_oids(buf)?,
+            },
+            18 => Request::Delete { wid: get_u64(buf, "wid")?, oids: get_oids(buf)? },
+            19 => {
+                let name = get_str(buf)?;
+                let supers = get_strs(buf)?;
+                let n = get_u32(buf, "prop count")? as usize;
+                let mut props = Vec::with_capacity(n.min(buf.remaining()));
+                for _ in 0..n {
+                    props.push(
+                        get_pending_prop(buf)
+                            .map_err(|e| protocol(format!("frame: bad property: {e}")))?,
+                    );
+                }
+                Request::DefineClass { name, supers, props }
+            }
+            20 => Request::CreateView { classes: get_strs(buf)? },
+            21 => Request::Evolve { command: get_str(buf)? },
+            22 => Request::Describe,
+            23 => Request::Versions,
+            24 => Request::Health,
+            25 => Request::Ping,
+            26 => Request::Shutdown,
+            27 => Request::Bye,
+            other => return Err(protocol(format!("unknown request kind {other}"))),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response codec
+// ---------------------------------------------------------------------------
+
+impl Response {
+    fn kind(&self) -> u8 {
+        match self {
+            Response::Welcome { .. } => 64,
+            Response::Bound { .. } => 65,
+            Response::ReaderOpened { .. } => 66,
+            Response::WriterOpened { .. } => 67,
+            Response::Closed => 68,
+            Response::Refreshed => 69,
+            Response::Val(_) => 70,
+            Response::OidIs(_) => 71,
+            Response::Oids(_) => 72,
+            Response::Count(_) => 73,
+            Response::Unit => 74,
+            Response::ViewVersion(_) => 75,
+            Response::Evolved { .. } => 76,
+            Response::Described(_) => 77,
+            Response::HealthIs { .. } => 78,
+            Response::Pong => 79,
+            Response::Retry { .. } => 80,
+            Response::Err { .. } => 81,
+            Response::Bye => 82,
+        }
+    }
+
+    fn encode_body(&self, body: &mut BytesMut) {
+        match self {
+            Response::Welcome { version } | Response::Bound { version } => {
+                body.put_u32(*version)
+            }
+            Response::ReaderOpened { sid, version } => {
+                body.put_u64(*sid);
+                body.put_u32(*version);
+            }
+            Response::WriterOpened { wid } => body.put_u64(*wid),
+            Response::Closed | Response::Refreshed | Response::Unit | Response::Pong
+            | Response::Bye => {}
+            Response::Val(v) => v.encode(body),
+            Response::OidIs(oid) => body.put_u64(oid.0),
+            Response::Oids(oids) => put_oids(body, oids),
+            Response::Count(n) => body.put_u64(*n),
+            Response::ViewVersion(v) => body.put_u32(*v),
+            Response::Evolved { version, classes_touched, duplicates_folded, script } => {
+                body.put_u32(*version);
+                body.put_u64(*classes_touched);
+                body.put_u64(*duplicates_folded);
+                put_str(body, script);
+            }
+            Response::Described(text) => put_str(body, text),
+            Response::HealthIs { status, reason, retry_after_ms } => {
+                body.put_u8(*status);
+                put_str(body, reason);
+                body.put_u64(*retry_after_ms);
+            }
+            Response::Retry { retry_after_ms } => body.put_u64(*retry_after_ms),
+            Response::Err { code, retry_after_ms, message } => {
+                body.put_u16(*code);
+                body.put_u64(*retry_after_ms);
+                put_str(body, message);
+            }
+        }
+    }
+
+    fn decode_body(kind: u8, buf: &mut Bytes) -> TseResult<Response> {
+        Ok(match kind {
+            64 => Response::Welcome { version: get_u32(buf, "version")? },
+            65 => Response::Bound { version: get_u32(buf, "version")? },
+            66 => Response::ReaderOpened {
+                sid: get_u64(buf, "sid")?,
+                version: get_u32(buf, "version")?,
+            },
+            67 => Response::WriterOpened { wid: get_u64(buf, "wid")? },
+            68 => Response::Closed,
+            69 => Response::Refreshed,
+            70 => Response::Val(
+                Value::decode(buf)
+                    .map_err(|e| protocol(format!("frame: bad value payload: {e}")))?,
+            ),
+            71 => Response::OidIs(get_oid(buf)?),
+            72 => Response::Oids(get_oids(buf)?),
+            73 => Response::Count(get_u64(buf, "count")?),
+            74 => Response::Unit,
+            75 => Response::ViewVersion(get_u32(buf, "version")?),
+            76 => Response::Evolved {
+                version: get_u32(buf, "version")?,
+                classes_touched: get_u64(buf, "classes_touched")?,
+                duplicates_folded: get_u64(buf, "duplicates_folded")?,
+                script: get_str(buf)?,
+            },
+            77 => Response::Described(get_str(buf)?),
+            78 => Response::HealthIs {
+                status: {
+                    if buf.remaining() < 1 {
+                        return Err(protocol("frame: truncated health status"));
+                    }
+                    buf.get_u8()
+                },
+                reason: get_str(buf)?,
+                retry_after_ms: get_u64(buf, "retry_after_ms")?,
+            },
+            79 => Response::Pong,
+            80 => Response::Retry { retry_after_ms: get_u64(buf, "retry_after_ms")? },
+            81 => Response::Err {
+                code: {
+                    if buf.remaining() < 2 {
+                        return Err(protocol("frame: truncated error code"));
+                    }
+                    buf.get_u16()
+                },
+                retry_after_ms: get_u64(buf, "retry_after_ms")?,
+                message: get_str(buf)?,
+            },
+            82 => Response::Bye,
+            other => return Err(protocol(format!("unknown response kind {other}"))),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+fn encode_frame(kind: u8, body: &BytesMut) -> Vec<u8> {
+    let len = body.len() as u32;
+    let mut crc = Crc32::new();
+    crc.update(&[kind]);
+    crc.update(&len.to_be_bytes());
+    crc.update(body.as_ref());
+    let mut frame = Vec::with_capacity(HEADER_LEN + body.len());
+    frame.push(WIRE_VERSION);
+    frame.push(kind);
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(&crc.finalize().to_be_bytes());
+    frame.extend_from_slice(body.as_ref());
+    frame
+}
+
+/// Encode a request into a complete frame.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut body = BytesMut::new();
+    req.encode_body(&mut body);
+    encode_frame(req.kind(), &body)
+}
+
+/// Encode a response into a complete frame.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut body = BytesMut::new();
+    resp.encode_body(&mut body);
+    encode_frame(resp.kind(), &body)
+}
+
+/// Validate a complete frame (version, length, CRC) and hand back the kind
+/// byte and body. Shared by both decode directions.
+fn check_frame(frame: &[u8]) -> TseResult<(u8, Bytes)> {
+    if frame.first() != Some(&WIRE_VERSION) {
+        return Err(protocol(format!(
+            "unsupported protocol version {:#04x} (expected {WIRE_VERSION:#04x})",
+            frame.first().copied().unwrap_or(0)
+        )));
+    }
+    if frame.len() < HEADER_LEN {
+        return Err(protocol("frame: truncated header"));
+    }
+    let kind = frame[1];
+    let body_len = u32::from_be_bytes(frame[2..6].try_into().unwrap()) as usize;
+    let crc = u32::from_be_bytes(frame[6..10].try_into().unwrap());
+    let body = &frame[HEADER_LEN..];
+    if body.len() != body_len {
+        return Err(protocol(format!(
+            "frame: body is {} bytes, header says {body_len}",
+            body.len()
+        )));
+    }
+    let mut h = Crc32::new();
+    h.update(&[kind]);
+    h.update(&(body_len as u32).to_be_bytes());
+    h.update(body);
+    if h.finalize() != crc {
+        return Err(protocol("frame: crc mismatch"));
+    }
+    Ok((kind, Bytes::from(body.to_vec())))
+}
+
+fn check_trailing(buf: &Bytes) -> TseResult<()> {
+    if buf.remaining() > 0 {
+        return Err(protocol("frame: trailing bytes in body"));
+    }
+    Ok(())
+}
+
+/// Decode one complete request frame.
+pub fn decode_request(frame: &[u8]) -> TseResult<Request> {
+    let (kind, mut buf) = check_frame(frame)?;
+    let req = Request::decode_body(kind, &mut buf)?;
+    check_trailing(&buf)?;
+    Ok(req)
+}
+
+/// Decode one complete response frame.
+pub fn decode_response(frame: &[u8]) -> TseResult<Response> {
+    let (kind, mut buf) = check_frame(frame)?;
+    let resp = Response::decode_body(kind, &mut buf)?;
+    check_trailing(&buf)?;
+    Ok(resp)
+}
+
+/// Read one complete frame from a stream. Returns `Ok(None)` on clean EOF
+/// at a frame boundary. The header is validated (version byte, body-length
+/// cap) **before** the body is read, so a corrupt length prefix can never
+/// make the peer allocate or block on gigabytes.
+pub fn read_frame(r: &mut impl Read) -> TseResult<Option<Vec<u8>>> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < 1 {
+        match r.read(&mut header[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_error(e)),
+        }
+    }
+    r.read_exact(&mut header[1..]).map_err(io_error)?;
+    if header[0] != WIRE_VERSION {
+        return Err(protocol(format!(
+            "unsupported protocol version {:#04x} (expected {WIRE_VERSION:#04x})",
+            header[0]
+        )));
+    }
+    let body_len = u32::from_be_bytes(header[2..6].try_into().unwrap()) as usize;
+    if body_len > MAX_FRAME_BODY {
+        return Err(protocol(format!(
+            "frame body of {body_len} bytes exceeds the {MAX_FRAME_BODY}-byte cap"
+        )));
+    }
+    let mut frame = vec![0u8; HEADER_LEN + body_len];
+    frame[..HEADER_LEN].copy_from_slice(&header);
+    r.read_exact(&mut frame[HEADER_LEN..]).map_err(io_error)?;
+    Ok(Some(frame))
+}
+
+/// Write one complete frame and flush it.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> TseResult<()> {
+    w.write_all(frame).map_err(io_error)?;
+    w.flush().map_err(io_error)
+}
+
+fn io_error(e: io::Error) -> TseError {
+    TseError::new(TseCode::Io, format!("connection i/o failed: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        use tse_object_model::{PropertyDef, ValueType};
+        vec![
+            Request::Hello { user: "alice".into() },
+            Request::Bind { family: "VS".into() },
+            Request::OpenReader,
+            Request::CloseReader { sid: 7 },
+            Request::RefreshReader { sid: 7 },
+            Request::Get { sid: 7, oid: Oid(3), class: "Person".into(), attr: "name".into() },
+            Request::Extent { sid: 7, class: "Person".into() },
+            Request::SelectWhere { sid: 7, class: "Person".into(), expr: "age > 3".into() },
+            Request::Invoke { sid: 7, oid: Oid(3), class: "Person".into(), name: "id".into() },
+            Request::OpenWriter,
+            Request::CloseWriter { wid: 9 },
+            Request::RefreshWriter { wid: 9 },
+            Request::Create {
+                wid: 9,
+                class: "Person".into(),
+                values: vec![("name".into(), Value::Str("ann".into()))],
+            },
+            Request::SetAttrs {
+                wid: 9,
+                oid: Oid(3),
+                class: "Person".into(),
+                assignments: vec![("age".into(), Value::Int(30))],
+            },
+            Request::UpdateWhere {
+                wid: 9,
+                class: "Person".into(),
+                expr: "age == 0".into(),
+                assignments: vec![("age".into(), Value::Int(1))],
+            },
+            Request::AddTo { wid: 9, class: "Club".into(), oids: vec![Oid(1), Oid(2)] },
+            Request::RemoveFrom { wid: 9, class: "Club".into(), oids: vec![Oid(2)] },
+            Request::Delete { wid: 9, oids: vec![Oid(1), Oid(2), Oid(3)] },
+            Request::DefineClass {
+                name: "Person".into(),
+                supers: vec!["Agent".into()],
+                props: vec![PropertyDef::stored("name", ValueType::Str, Value::Null)],
+            },
+            Request::CreateView { classes: vec!["Person".into(), "Agent".into()] },
+            Request::Evolve { command: "add_attribute age: int = 0 to Person".into() },
+            Request::Describe,
+            Request::Versions,
+            Request::Health,
+            Request::Ping,
+            Request::Shutdown,
+            Request::Bye,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Welcome { version: 2 },
+            Response::Bound { version: 0 },
+            Response::ReaderOpened { sid: 7, version: 2 },
+            Response::WriterOpened { wid: 9 },
+            Response::Closed,
+            Response::Refreshed,
+            Response::Val(Value::Str("ann".into())),
+            Response::OidIs(Oid(3)),
+            Response::Oids(vec![Oid(1), Oid(2)]),
+            Response::Count(41),
+            Response::Unit,
+            Response::ViewVersion(3),
+            Response::Evolved {
+                version: 2,
+                classes_touched: 4,
+                duplicates_folded: 1,
+                script: "define view ...".into(),
+            },
+            Response::Described("view VS (version 2)".into()),
+            Response::HealthIs { status: 1, reason: "disk_full".into(), retry_after_ms: 64 },
+            Response::Pong,
+            Response::Retry { retry_after_ms: 100 },
+            Response::Err { code: 5, retry_after_ms: 64, message: "service degraded".into() },
+            Response::Bye,
+        ]
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        for req in sample_requests() {
+            let frame = encode_request(&req);
+            assert_eq!(decode_request(&frame).unwrap(), req, "round trip of {req:?}");
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        for resp in sample_responses() {
+            let frame = encode_response(&resp);
+            assert_eq!(decode_response(&frame).unwrap(), resp, "round trip of {resp:?}");
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_stream() {
+        let mut pipe: Vec<u8> = Vec::new();
+        for req in sample_requests() {
+            write_frame(&mut pipe, &encode_request(&req)).unwrap();
+        }
+        let mut cursor = io::Cursor::new(pipe);
+        for req in sample_requests() {
+            let frame = read_frame(&mut cursor).unwrap().expect("frame present");
+            assert_eq!(decode_request(&frame).unwrap(), req);
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF after last frame");
+    }
+
+    // ---- fuzz suite mirroring walcodec's ---------------------------------
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        for req in sample_requests() {
+            let frame = encode_request(&req);
+            for byte in 0..frame.len() {
+                for bit in 0..8 {
+                    let mut mutated = frame.clone();
+                    mutated[byte] ^= 1 << bit;
+                    match decode_request(&mutated) {
+                        Err(_) => {}
+                        Ok(decoded) => panic!(
+                            "bit flip at byte {byte} bit {bit} of {req:?} \
+                             decoded silently as {decoded:?}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_tails_are_rejected() {
+        for resp in sample_responses() {
+            let frame = encode_response(&resp);
+            for keep in 0..frame.len() {
+                assert!(
+                    decode_response(&frame[..keep]).is_err(),
+                    "truncation to {keep} bytes of {resp:?} must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefixes_error_cleanly() {
+        let mut frame = encode_request(&Request::Ping);
+        frame[2..6].copy_from_slice(&(u32::MAX).to_be_bytes());
+        // Direct decode: header/body length mismatch.
+        assert!(decode_request(&frame).is_err());
+        // Stream read: rejected by the cap before any allocation.
+        let mut cursor = io::Cursor::new(frame);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.code(), TseCode::Protocol);
+        assert!(err.message().contains("cap"), "unexpected message: {}", err.message());
+    }
+
+    #[test]
+    fn v_next_version_byte_is_refused_not_misparsed() {
+        let mut frame = encode_request(&Request::Hello { user: "alice".into() });
+        frame[0] = 0xB4; // hypothetical v-next
+        let err = decode_request(&frame).unwrap_err();
+        assert_eq!(err.code(), TseCode::Protocol);
+        assert!(err.message().contains("version"));
+        let mut cursor = io::Cursor::new(frame);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn error_payload_is_a_tse_error_verbatim() {
+        let original = TseError::new(TseCode::Unavailable, "service degraded: disk_full")
+            .with_retry_after_ms(64);
+        let frame = encode_response(&Response::from_error(&original));
+        match decode_response(&frame).unwrap() {
+            Response::Err { code, retry_after_ms, message } => {
+                let rebuilt = Response::to_error(code, retry_after_ms, &message);
+                assert_eq!(rebuilt, original);
+            }
+            other => panic!("expected Err response, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! End-to-end service-layer tests: multi-user tenancy over the wire,
+//! pinned reads across a live evolution, graceful drain with in-flight
+//! requests, admission control, and error-code parity between the
+//! in-process and remote transports.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use tse_core::{
+    SharedSystem, TseClient, TseCode, TseReader, TseSystem, TseWriter,
+};
+use tse_object_model::{PropertyDef, Value, ValueType};
+use tse_server::proto::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response,
+};
+use tse_server::{RemoteClient, ServerConfig, TseServer};
+use tse_storage::FailAction;
+
+/// A unique, empty scratch directory per test.
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tse_server_{}_{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start(sys: SharedSystem, config: ServerConfig) -> TseServer {
+    TseServer::start(sys, "127.0.0.1:0", config).unwrap()
+}
+
+/// Define the Person schema and the admin's "VS" view through the wire.
+fn seed_remote(admin: &RemoteClient) {
+    admin
+        .define_class(
+            "Person",
+            &[],
+            vec![
+                PropertyDef::stored("name", ValueType::Str, Value::Null),
+                PropertyDef::stored("age", ValueType::Int, Value::Int(0)),
+            ],
+        )
+        .unwrap();
+    assert_eq!(admin.create_view(&["Person"]).unwrap(), 1);
+}
+
+#[test]
+fn users_are_tenants_bound_to_their_view_families() {
+    let mut server = start(SharedSystem::new(), ServerConfig::default());
+    let addr = server.addr().to_string();
+
+    // "VS" is both a user identity and the view family it owns.
+    let admin = RemoteClient::open(addr.clone(), "VS").unwrap();
+    seed_remote(&admin);
+    let w = admin.writer().unwrap();
+    let ann = w.create("Person", &[("name", "ann".into()), ("age", Value::Int(30))]).unwrap();
+
+    // A second user starts in their own (empty) family and re-binds.
+    let mut legacy = RemoteClient::open(addr.clone(), "legacy").unwrap();
+    assert_eq!(legacy.versions().unwrap(), 0);
+    assert_eq!(legacy.bind("VS").unwrap(), 1);
+    let r = legacy.session().unwrap();
+    assert_eq!(r.get(ann, "Person", "name").unwrap(), Value::Str("ann".into()));
+    assert_eq!(r.select_where("Person", "age == 30").unwrap(), vec![ann]);
+    assert!(admin.describe().unwrap().contains("version 1"));
+
+    // The admin evolves; only the admin's binding moves to v2.
+    let summary = admin.evolve("add_attribute rank: int = 5 to Person").unwrap();
+    assert_eq!(summary.version, 2);
+    let modern = admin.session().unwrap();
+    assert_eq!(modern.view_version(), 2);
+    assert_eq!(modern.get(ann, "Person", "rank").unwrap(), Value::Int(5));
+
+    let still_v1 = legacy.session().unwrap();
+    assert_eq!(still_v1.view_version(), 1);
+    let err = still_v1.get(ann, "Person", "rank").unwrap_err();
+    assert_eq!(err.code(), TseCode::NotFound);
+
+    drop((r, modern, still_v1, w, admin, legacy));
+    server.drain();
+}
+
+#[test]
+fn pinned_reader_survives_evolution_until_it_completes() {
+    let mut server = start(SharedSystem::new(), ServerConfig::default());
+    let addr = server.addr().to_string();
+    let admin = RemoteClient::open(addr.clone(), "VS").unwrap();
+    seed_remote(&admin);
+    let w = admin.writer().unwrap();
+    for i in 0..5 {
+        w.create("Person", &[("name", format!("p{i}").into()), ("age", Value::Int(i))])
+            .unwrap();
+    }
+
+    // Reader opened (and epoch-pinned) before the evolution.
+    let mut legacy = RemoteClient::open(addr, "reader").unwrap();
+    legacy.bind("VS").unwrap();
+    let mut pinned = legacy.session().unwrap();
+    assert_eq!(pinned.extent("Person").unwrap().len(), 5);
+
+    admin.evolve("add_attribute rank: int = 1 to Person").unwrap();
+    w.create("Person", &[("name", "post".into()), ("age", Value::Int(99))]).unwrap();
+
+    // The evolution did not sever the connection, and the pinned handle
+    // keeps its pre-swap view and data epoch: the post-evolve object and
+    // the new attribute are both invisible.
+    assert_eq!(pinned.extent("Person").unwrap().len(), 5, "pinned reader must not see churn");
+    let some = pinned.extent("Person").unwrap()[0];
+    assert_eq!(pinned.get(some, "Person", "rank").unwrap_err().code(), TseCode::NotFound);
+
+    // refresh() advances the data epoch, never the bound view version.
+    pinned.refresh().unwrap();
+    assert_eq!(pinned.extent("Person").unwrap().len(), 6);
+    assert_eq!(pinned.view_version(), 1);
+
+    drop((pinned, w, admin, legacy));
+    server.drain();
+}
+
+#[test]
+fn drain_finishes_in_flight_requests_and_refuses_new_connections() {
+    let mut server = start(SharedSystem::new(), ServerConfig::default());
+    let addr = server.addr().to_string();
+    let admin = RemoteClient::open(addr.clone(), "VS").unwrap();
+    seed_remote(&admin);
+    let w = admin.writer().unwrap();
+    for i in 0..50 {
+        w.create("Person", &[("name", format!("p{i}").into())]).unwrap();
+    }
+
+    // A loop of sequential extents races the drain. Every call must either
+    // return the complete, correct extent or a clean connection error —
+    // a short or corrupt response would decode as Protocol garbage.
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_reader = Arc::clone(&stop);
+    let reader_addr = addr.clone();
+    let reads = std::thread::spawn(move || {
+        let mut rc = RemoteClient::open(reader_addr, "looper").unwrap();
+        rc.bind("VS").unwrap();
+        let session = rc.session().unwrap();
+        let mut complete = 0u32;
+        while !stop_reader.load(Ordering::SeqCst) {
+            match session.extent("Person") {
+                Ok(oids) => {
+                    assert_eq!(oids.len(), 50, "drained mid-response: torn extent");
+                    complete += 1;
+                }
+                Err(e) => {
+                    // Connection closed by drain — must be a transport
+                    // error, never a mis-framed payload.
+                    assert_eq!(e.code(), TseCode::Io, "unexpected failure: {e}");
+                    break;
+                }
+            }
+        }
+        complete
+    });
+    // Let the loop get going, then drain underneath it.
+    while server.active_connections() < 2 {
+        std::thread::yield_now();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    server.drain();
+    stop.store(true, Ordering::SeqCst);
+    let complete = reads.join().unwrap();
+    assert!(complete > 0, "no request completed before the drain");
+
+    // Post-drain connections are refused outright.
+    assert!(RemoteClient::open(addr, "late").is_err());
+}
+
+#[test]
+fn admission_cap_returns_typed_retry() {
+    let config = ServerConfig { max_connections: 1, retry_after_ms: 42 };
+    let mut server = start(SharedSystem::new(), config);
+    let addr = server.addr().to_string();
+
+    let held = RemoteClient::open(addr.clone(), "one").unwrap();
+    held.ping().unwrap();
+
+    let err = RemoteClient::open(addr.clone(), "two").err().expect("cap must refuse");
+    assert_eq!(err.code(), TseCode::Unavailable);
+    assert_eq!(err.retry_after_ms(), 42);
+
+    // The slot frees once the first client leaves.
+    drop(held);
+    while server.active_connections() > 0 {
+        std::thread::yield_now();
+    }
+    let ok = RemoteClient::open(addr, "two").unwrap();
+    ok.ping().unwrap();
+    drop(ok);
+    server.drain();
+}
+
+#[test]
+fn requests_before_hello_are_rejected() {
+    let mut server = start(SharedSystem::new(), ServerConfig::default());
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut raw, &encode_request(&Request::OpenReader)).unwrap();
+    let frame = read_frame(&mut raw).unwrap().unwrap();
+    match decode_response(&frame).unwrap() {
+        Response::Err { code, .. } => {
+            assert_eq!(TseCode::from_u16(code), TseCode::FailedPrecondition)
+        }
+        other => panic!("expected Err, got {other:?}"),
+    }
+    drop(raw);
+    server.drain();
+}
+
+#[test]
+fn degraded_writes_surface_the_same_code_locally_and_remotely() {
+    let dir = tmpdir("degraded_parity");
+    let sys = TseSystem::builder(&dir).open().unwrap();
+    let mut server = start(sys.clone(), ServerConfig::default());
+    let addr = server.addr().to_string();
+
+    let admin = RemoteClient::open(addr, "VS").unwrap();
+    seed_remote(&admin);
+    let remote_writer = admin.writer().unwrap();
+    remote_writer.create("Person", &[("name", "pre".into())]).unwrap();
+
+    // Fill the disk: the next durable write fails once and the system
+    // degrades to read-only.
+    let fp = sys.failpoints();
+    fp.set_virtual_clock(true);
+    fp.arm("durable.wal_append", 1, FailAction::DiskFull);
+    let tripped = remote_writer.create("Person", &[("name", "trip".into())]).unwrap_err();
+    assert_eq!(tripped.code(), TseCode::Io);
+
+    // In-process rejection through the same client API…
+    let mut local = sys.client("local");
+    local.bind("VS").unwrap();
+    let local_err =
+        local.writer().unwrap().create("Person", &[("name", "l".into())]).unwrap_err();
+    assert_eq!(local_err.code(), TseCode::Unavailable);
+    assert!(local_err.retry_after_ms() >= 1);
+
+    // …and over the wire: the identical numeric code and backoff hint.
+    let remote_err =
+        remote_writer.create("Person", &[("name", "r".into())]).unwrap_err();
+    assert_eq!(remote_err.code(), local_err.code());
+    assert_eq!(remote_err.retry_after_ms(), local_err.retry_after_ms());
+
+    // Health is visible through both transports too.
+    let remote_health = admin.health().unwrap();
+    let local_health = local.health().unwrap();
+    assert_eq!(remote_health, local_health);
+    assert_eq!(remote_health.name(), "degraded");
+
+    drop((remote_writer, admin, local));
+    server.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -195,7 +195,7 @@ fn seed_schema(shared: &SharedSystem) {
 }
 
 fn reopen(dir: &Path, config: StoreConfig, seed: u64, iteration: u64) -> SharedSystem {
-    SharedSystem::open_with_config(dir, config).unwrap_or_else(|e| {
+    SharedSystem::builder().dir(dir).store_config(config).open().unwrap_or_else(|e| {
         eprintln!("seed={seed:#x} iteration={iteration}: recovery failed: {e}");
         std::process::exit(1);
     })
@@ -333,7 +333,7 @@ fn run_kill(seed: u64, iterations: u64) {
 
     // Seed a durable baseline on disk.
     {
-        let shared = SharedSystem::open_with_config(&dir, config).expect("fresh open");
+        let shared = SharedSystem::builder().dir(&dir).store_config(config).open().expect("fresh open");
         seed_schema(&shared);
         shared.checkpoint().unwrap();
     }
@@ -488,7 +488,7 @@ fn run_chaos(seed: u64, iterations: u64) {
     let config = StoreConfig::default();
     let dir = scratch_dir("chaos");
 
-    let mut shared = SharedSystem::open_with_config(&dir, config).expect("fresh open");
+    let mut shared = SharedSystem::builder().dir(&dir).store_config(config).open().expect("fresh open");
     seed_schema(&shared);
     shared.checkpoint().unwrap();
     // Backoff sleeps accumulate on the virtual clock: the schedule is
@@ -687,7 +687,7 @@ fn run_poison(seed: u64) {
     let config = StoreConfig::default();
     let dir = scratch_dir("poison");
 
-    let shared = SharedSystem::open_with_config(&dir, config).expect("fresh open");
+    let shared = SharedSystem::builder().dir(&dir).store_config(config).open().expect("fresh open");
     seed_schema(&shared);
     shared.checkpoint().unwrap();
 

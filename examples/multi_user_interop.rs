@@ -3,20 +3,23 @@
 //! evolves and uses the changed schema — both threads interoperate on the
 //! same objects (the paper's interoperability requirement, §2.3).
 //!
+//! Both users go through the [`TseClient`] trait, so this program would run
+//! unchanged against a remote `tse-server` by swapping `LocalClient` for
+//! `RemoteClient`.
+//!
 //! ```text
 //! cargo run --example multi_user_interop
 //! ```
 
-use std::sync::Arc;
-
-use parking_lot::RwLock;
-
-use tse::core::TseSystem;
+use tse::core::{SharedSystem, TseClient, TseCode, TseReader, TseWriter};
 use tse::object_model::{Oid, PropertyDef, Value, ValueType};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut sys = TseSystem::new();
-    sys.define_base_class(
+    let sys = SharedSystem::new();
+
+    // The "orders" user owns the family; define the schema and version 1.
+    let modern = sys.client("orders");
+    modern.define_class(
         "Order",
         &[],
         vec![
@@ -24,74 +27,73 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             PropertyDef::stored("qty", ValueType::Int, Value::Int(1)),
         ],
     )?;
-    let v1 = sys.create_view("orders", &["Order"])?;
-    // The evolution happens before the clients start (schema changes are
-    // serialized through the TSEM; data operations then run concurrently).
-    let v2 = sys.evolve_cmd("orders", "add_attribute priority: int = 3 to Order")?.view;
+    modern.create_view(&["Order"])?;
 
-    let shared = Arc::new(RwLock::new(sys));
+    // The legacy client binds while version 1 is current — and keeps that
+    // binding when the family evolves underneath it.
+    let mut legacy = sys.client("legacy");
+    assert_eq!(legacy.bind("orders")?, 1);
+
+    // The evolution happens before the clients start writing (schema
+    // changes are serialized through the TSEM; data operations then run
+    // concurrently). Only `modern` is re-bound to version 2.
+    let summary = modern.evolve("add_attribute priority: int = 3 to Order")?;
+    assert_eq!(summary.version, 2);
+
     let mut legacy_oids: Vec<Oid> = Vec::new();
     let mut modern_oids: Vec<Oid> = Vec::new();
-
     std::thread::scope(|scope| {
-        // The legacy client: compiled against view version 1, no idea that
+        // The legacy client: bound to view version 1, no idea that
         // `priority` exists.
-        let legacy = {
-            let shared = Arc::clone(&shared);
-            scope.spawn(move || {
-                let mut created = Vec::new();
-                for i in 0..50 {
-                    let sys = shared.write();
-                    let oid = sys
-                        .create(v1, "Order", &[("sku", Value::Str(format!("L-{i}")))])
-                        .expect("legacy create");
-                    created.push(oid);
-                }
-                created
-            })
-        };
+        let legacy_writes = scope.spawn(|| {
+            let w = legacy.writer().expect("legacy writer");
+            (0..50)
+                .map(|i| {
+                    w.create("Order", &[("sku", Value::Str(format!("L-{i}")))])
+                        .expect("legacy create")
+                })
+                .collect::<Vec<Oid>>()
+        });
         // The modern client: uses version 2 with priorities.
-        let modern = {
-            let shared = Arc::clone(&shared);
-            scope.spawn(move || {
-                let mut created = Vec::new();
-                for i in 0..50 {
-                    let sys = shared.write();
-                    let oid = sys
-                        .create(
-                            v2,
-                            "Order",
-                            &[
-                                ("sku", Value::Str(format!("M-{i}"))),
-                                ("priority", Value::Int((i % 5) as i64)),
-                            ],
-                        )
-                        .expect("modern create");
-                    created.push(oid);
-                }
-                created
-            })
-        };
-        legacy_oids = legacy.join().expect("legacy thread");
-        modern_oids = modern.join().expect("modern thread");
+        let modern_writes = scope.spawn(|| {
+            let w = modern.writer().expect("modern writer");
+            (0..50)
+                .map(|i| {
+                    w.create(
+                        "Order",
+                        &[
+                            ("sku", Value::Str(format!("M-{i}"))),
+                            ("priority", Value::Int((i % 5) as i64)),
+                        ],
+                    )
+                    .expect("modern create")
+                })
+                .collect::<Vec<Oid>>()
+        });
+        legacy_oids = legacy_writes.join().expect("legacy thread");
+        modern_oids = modern_writes.join().expect("modern thread");
     });
 
-    let sys = shared.read();
     // Interop both ways: each client sees all 100 orders through its view.
-    assert_eq!(sys.extent(v1, "Order")?.len(), 100);
-    assert_eq!(sys.extent(v2, "Order")?.len(), 100);
+    let old_eyes = legacy.session()?;
+    let new_eyes = modern.session()?;
+    assert_eq!(old_eyes.view_version(), 1);
+    assert_eq!(new_eyes.view_version(), 2);
+    assert_eq!(old_eyes.extent("Order")?.len(), 100);
+    assert_eq!(new_eyes.extent("Order")?.len(), 100);
     // The modern client reads priorities of legacy orders (defaults), the
     // legacy client cannot even name the attribute.
     let legacy_order = legacy_oids[0];
-    assert_eq!(sys.get(v2, legacy_order, "Order", "priority")?, Value::Int(3));
-    assert!(sys.get(v1, legacy_order, "Order", "priority").is_err());
+    assert_eq!(new_eyes.get(legacy_order, "Order", "priority")?, Value::Int(3));
+    let hidden = old_eyes.get(legacy_order, "Order", "priority").unwrap_err();
+    assert_eq!(hidden.code(), TseCode::NotFound);
     // And legacy reads modern data it understands.
     let modern_order = modern_oids[0];
-    assert_eq!(sys.get(v1, modern_order, "Order", "sku")?, Value::Str("M-0".into()));
+    assert_eq!(old_eyes.get(modern_order, "Order", "sku")?, Value::Str("M-0".into()));
     println!(
         "100 shared orders; legacy view sees {} of them, modern view sees {}.",
-        sys.extent(v1, "Order")?.len(),
-        sys.extent(v2, "Order")?.len()
+        old_eyes.extent("Order")?.len(),
+        new_eyes.extent("Order")?.len()
     );
     println!("legacy cannot see `priority`; modern reads defaults on legacy data. done.");
     Ok(())

@@ -1,38 +1,40 @@
 //! An interactive TSE shell: define a schema, give users views, evolve them
 //! transparently, and poke at shared objects across schema versions.
 //!
+//! The shell is written against the [`TseClient`] trait, so the same loop
+//! drives an in-process system or a remote `tse-server`:
+//!
 //! ```text
-//! cargo run --example shell                 # interactive
-//! echo '...commands...' | cargo run --example shell   # scripted
+//! cargo run --example shell                          # in-process, interactive
+//! echo '...commands...' | cargo run --example shell  # scripted
+//! cargo run --example shell -- --connect 127.0.0.1:7421 --user ann
 //! ```
 //!
 //! Commands:
 //! ```text
 //! class <Name> [under A,B] [(attr: type [= default], …)]   define a base class
-//! view <family> = <Class>, <Class>, …                      create a view
-//! use <family>[@version]                                   select current view
-//! evolve <schema-change command>                           evolve current family
-//! show [types]                                             render current view
-//! versions                                                 list the family's versions
+//! view <family> = <Class>, <Class>, …                      create a view family
+//! use <family>                                             bind to a family
+//! evolve <schema-change command>                           evolve bound family
+//! show                                                     render bound view
+//! versions                                                 count the family's versions
 //! new <Class> [attr=value …]                               create an object
 //! get <oid> <Class> <attr>                                 read an attribute
 //! set <oid> <Class> <attr>=<value> …                       write attributes
 //! extent <Class>                                           list members
-//! merge <famA> <famB> into <famC>                          merge two views (§7)
-//! save <path> | load <path>                                 persist / restore
+//! select <Class> where <expr>                              filter members
+//! health                                                   service health
 //! help | quit
 //! ```
 
 use std::io::{BufRead, Write};
 
-use tse::core::{change, TseSystem};
+use tse::core::{change, SharedSystem, TseClient, TseReader, TseWriter};
 use tse::object_model::{Oid, PropertyDef, Value};
-use tse::view::ViewId;
+use tse::server::RemoteClient;
 
-struct Shell {
-    tse: TseSystem,
-    family: Option<String>,
-    view: Option<ViewId>,
+struct Shell<C: TseClient> {
+    client: C,
 }
 
 fn parse_oid(s: &str) -> Result<Oid, String> {
@@ -53,16 +55,9 @@ fn parse_assignments(parts: &[&str]) -> Result<Vec<(String, Value)>, String> {
         .collect()
 }
 
-impl Shell {
-    fn new() -> Self {
-        Shell { tse: TseSystem::new(), family: None, view: None }
-    }
-
-    fn current(&self) -> Result<(String, ViewId), String> {
-        match (&self.family, self.view) {
-            (Some(f), Some(v)) => Ok((f.clone(), v)),
-            _ => Err("no view selected; `view <fam> = …` then `use <fam>`".into()),
-        }
+impl<C: TseClient> Shell<C> {
+    fn new(client: C) -> Self {
+        Shell { client }
     }
 
     fn exec(&mut self, line: &str) -> Result<String, String> {
@@ -76,48 +71,36 @@ impl Shell {
             "help" => Ok(HELP.to_string()),
             "class" => self.cmd_class(rest),
             "view" => self.cmd_view(rest),
-            "use" => self.cmd_use(rest),
-            "evolve" => self.cmd_evolve(rest),
-            "show" => {
-                let (_, v) = self.current()?;
-                let view = self.tse.view(v).map_err(|e| e.to_string())?;
-                Ok(if rest == "types" {
-                    view.render_with_types(self.tse.db())
+            "use" => {
+                let version = self.client.bind(rest).map_err(|e| e.to_string())?;
+                if version == 0 {
+                    Ok(format!("bound to {rest} (no view yet; `view {rest} = …`)\n"))
                 } else {
-                    view.render(self.tse.db())
-                })
+                    Ok(format!("using {rest} (version {version})\n"))
+                }
             }
+            "evolve" => self.cmd_evolve(rest),
+            "show" => self.client.describe().map_err(|e| e.to_string()),
             "versions" => {
-                let (f, _) = self.current()?;
-                let ids = self.tse.views().versions(&f).map_err(|e| e.to_string())?;
-                Ok(ids
-                    .iter()
-                    .enumerate()
-                    .map(|(i, id)| format!("{f}@{} = {id}\n", i + 1))
-                    .collect())
+                let family = self.client.family();
+                let n = self.client.versions().map_err(|e| e.to_string())?;
+                Ok((1..=n).map(|v| format!("{family}@{v}\n")).collect())
             }
             "new" => self.cmd_new(rest),
             "get" => self.cmd_get(rest),
             "set" => self.cmd_set(rest),
             "extent" => {
-                let (_, v) = self.current()?;
-                let oids = self.tse.extent(v, rest).map_err(|e| e.to_string())?;
-                Ok(format!(
-                    "{{ {} }} ({} members)\n",
-                    oids.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(" "),
-                    oids.len()
-                ))
+                let oids = self
+                    .client
+                    .session()
+                    .and_then(|s| s.extent(rest))
+                    .map_err(|e| e.to_string())?;
+                Ok(render_oids(&oids))
             }
-            "merge" => self.cmd_merge(rest),
-            "save" => {
-                self.tse.save(std::path::Path::new(rest)).map_err(|e| e.to_string())?;
-                Ok(format!("saved to {rest}\n"))
-            }
-            "load" => {
-                self.tse = TseSystem::load(std::path::Path::new(rest)).map_err(|e| e.to_string())?;
-                self.family = None;
-                self.view = None;
-                Ok(format!("loaded {rest}; select a view with `use`\n"))
+            "select" => self.cmd_select(rest),
+            "health" => {
+                let health = self.client.health().map_err(|e| e.to_string())?;
+                Ok(format!("{}\n", health.name()))
             }
             other => Err(format!("unknown command {other:?}; try `help`")),
         }
@@ -153,7 +136,7 @@ impl Shell {
                 props.push(PropertyDef::stored(pname.trim(), ty, default));
             }
         }
-        self.tse.define_base_class(name, &supers, props).map_err(|e| e.to_string())?;
+        self.client.define_class(name, &supers, props).map_err(|e| e.to_string())?;
         Ok(format!("class {name} defined\n"))
     }
 
@@ -161,100 +144,92 @@ impl Shell {
         let (fam, classes) =
             rest.split_once('=').ok_or("expected `view <fam> = <Class>, …`")?;
         let names: Vec<&str> = classes.split(',').map(|c| c.trim()).collect();
-        let id = self.tse.create_view(fam.trim(), &names).map_err(|e| e.to_string())?;
-        self.family = Some(fam.trim().to_string());
-        self.view = Some(id);
+        self.client.bind(fam.trim()).map_err(|e| e.to_string())?;
+        self.client.create_view(&names).map_err(|e| e.to_string())?;
         Ok(format!("view {} created and selected\n", fam.trim()))
     }
 
-    fn cmd_use(&mut self, rest: &str) -> Result<String, String> {
-        let (fam, version) = match rest.split_once('@') {
-            Some((f, v)) => (f.trim(), Some(v.trim().parse::<usize>().map_err(|e| e.to_string())?)),
-            None => (rest.trim(), None),
-        };
-        let versions = self.tse.views().versions(fam).map_err(|e| e.to_string())?;
-        let id = match version {
-            Some(n) if n >= 1 && n <= versions.len() => versions[n - 1],
-            Some(n) => return Err(format!("{fam} has {} versions, not {n}", versions.len())),
-            None => *versions.last().unwrap(),
-        };
-        self.family = Some(fam.to_string());
-        self.view = Some(id);
-        Ok(format!("using {fam} (version {})\n", self.tse.view(id).map_err(|e| e.to_string())?.version))
-    }
-
     fn cmd_evolve(&mut self, rest: &str) -> Result<String, String> {
-        let (fam, _) = self.current()?;
-        let report = self.tse.evolve_cmd(&fam, rest).map_err(|e| e.to_string())?;
-        self.view = Some(report.view);
+        let summary = self.client.evolve(rest).map_err(|e| e.to_string())?;
         let mut out = String::new();
-        if !report.script.is_empty() {
+        if !summary.script.is_empty() {
             out.push_str("generated view specification:\n");
-            out.push_str(&report.script);
+            out.push_str(&summary.script);
         }
         out.push_str(&format!(
             "now at version {} ({} classes touched, {} duplicates folded)\n",
-            self.tse.view(report.view).map_err(|e| e.to_string())?.version,
-            report.classes_touched,
-            report.duplicates_folded
+            summary.version, summary.classes_touched, summary.duplicates_folded
         ));
         Ok(out)
     }
 
     fn cmd_new(&mut self, rest: &str) -> Result<String, String> {
-        let (_, v) = self.current()?;
         let mut parts = rest.split_whitespace();
         let class = parts.next().ok_or("expected `new <Class> [attr=value …]`")?;
         let assigns = parse_assignments(&parts.collect::<Vec<_>>())?;
         let refs: Vec<(&str, Value)> =
             assigns.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
-        let oid = self.tse.create(v, class, &refs).map_err(|e| e.to_string())?;
+        let oid = self
+            .client
+            .writer()
+            .and_then(|w| w.create(class, &refs))
+            .map_err(|e| e.to_string())?;
         Ok(format!("{oid}\n"))
     }
 
     fn cmd_get(&mut self, rest: &str) -> Result<String, String> {
-        let (_, v) = self.current()?;
         let parts: Vec<&str> = rest.split_whitespace().collect();
         let [oid, class, attr] = parts[..] else {
             return Err("expected `get <oid> <Class> <attr>`".into());
         };
+        let oid = parse_oid(oid)?;
         let value = self
-            .tse
-            .get(v, parse_oid(oid)?, class, attr)
+            .client
+            .session()
+            .and_then(|s| s.get(oid, class, attr))
             .map_err(|e| e.to_string())?;
         Ok(format!("{value:?}\n"))
     }
 
     fn cmd_set(&mut self, rest: &str) -> Result<String, String> {
-        let (_, v) = self.current()?;
         let mut parts = rest.split_whitespace();
         let oid = parse_oid(parts.next().ok_or("expected `set <oid> <Class> attr=value …`")?)?;
         let class = parts.next().ok_or("missing class")?;
         let assigns = parse_assignments(&parts.collect::<Vec<_>>())?;
         let refs: Vec<(&str, Value)> =
             assigns.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
-        self.tse.set(v, oid, class, &refs).map_err(|e| e.to_string())?;
+        self.client
+            .writer()
+            .and_then(|w| w.set(oid, class, &refs))
+            .map_err(|e| e.to_string())?;
         Ok("ok\n".into())
     }
 
-    fn cmd_merge(&mut self, rest: &str) -> Result<String, String> {
-        let parts: Vec<&str> = rest.split_whitespace().collect();
-        let [a, b, "into", c] = parts[..] else {
-            return Err("expected `merge <famA> <famB> into <famC>`".into());
-        };
-        let id = self.tse.merge_views(a, b, c).map_err(|e| e.to_string())?;
-        self.family = Some(c.to_string());
-        self.view = Some(id);
-        Ok(format!("merged into {c} and selected\n"))
+    fn cmd_select(&mut self, rest: &str) -> Result<String, String> {
+        let (class, expr) =
+            rest.split_once(" where ").ok_or("expected `select <Class> where <expr>`")?;
+        let oids = self
+            .client
+            .session()
+            .and_then(|s| s.select_where(class.trim(), expr.trim()))
+            .map_err(|e| e.to_string())?;
+        Ok(render_oids(&oids))
     }
+}
+
+fn render_oids(oids: &[Oid]) -> String {
+    format!(
+        "{{ {} }} ({} members)\n",
+        oids.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(" "),
+        oids.len()
+    )
 }
 
 const HELP: &str = "\
 commands: class, view, use, evolve, show, versions, new, get, set, extent,\n\
-merge, save, load, help, quit — see the file header for syntax.\n";
+select, health, help, quit — see the file header for syntax.\n";
 
-fn main() {
-    let mut shell = Shell::new();
+fn run<C: TseClient>(mut shell: Shell<C>) {
     let stdin = std::io::stdin();
     let interactive = atty_stdin();
     if interactive {
@@ -262,8 +237,7 @@ fn main() {
     }
     loop {
         if interactive {
-            let prompt = shell.family.clone().unwrap_or_else(|| "tse".into());
-            print!("{prompt}> ");
+            print!("{}> ", shell.client.family());
             std::io::stdout().flush().ok();
         }
         let mut line = String::new();
@@ -280,6 +254,44 @@ fn main() {
             Ok(out) => print!("{out}"),
             Err(e) => println!("error: {e}"),
         }
+    }
+}
+
+fn main() {
+    let mut connect: Option<String> = None;
+    let mut user = "shell".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--connect" => match it.next() {
+                Some(addr) => connect = Some(addr),
+                None => {
+                    eprintln!("shell: --connect requires HOST:PORT");
+                    std::process::exit(2);
+                }
+            },
+            "--user" => match it.next() {
+                Some(name) => user = name,
+                None => {
+                    eprintln!("shell: --user requires a name");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("shell: unknown flag {other:?} (try --connect, --user)");
+                std::process::exit(2);
+            }
+        }
+    }
+    match connect {
+        Some(addr) => match RemoteClient::open(addr.clone(), &user) {
+            Ok(client) => run(Shell::new(client)),
+            Err(e) => {
+                eprintln!("shell: connecting to {addr} failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => run(Shell::new(SharedSystem::new().client(&user))),
     }
 }
 

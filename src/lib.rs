@@ -8,6 +8,7 @@ pub use tse_baselines as baselines;
 pub use tse_classifier as classifier;
 pub use tse_core as core;
 pub use tse_object_model as object_model;
+pub use tse_server as server;
 pub use tse_storage as storage;
 pub use tse_telemetry as telemetry;
 pub use tse_view as view;
