@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run --release -p tse-bench --bin tse-load -- \
-//!     [--connect HOST:PORT] [--requests N] [--evolves N] [--seed N] [--shutdown]
+//!     [--connect HOST:PORT] [--requests N] [--evolves N] [--seed N] \
+//!     [--chaos] [--chaos-seed N] [--journal PATH] [--shutdown]
 //! ```
 //!
 //! - `--connect`: measure an already-running server; without it the binary
@@ -13,6 +14,17 @@
 //! - `--requests`: requests per connection per arm (default 400).
 //! - `--evolves`: schema changes replayed during the evolve arm (default 12).
 //! - `--seed`: trace-generation seed (default 9).
+//! - `--chaos`: add a chaos arm that drives the workload through a
+//!   `tse-netfault` proxy (seeded severs, black holes, delays, byte-level
+//!   fragmentation) while the admin keeps evolving over a direct
+//!   connection, then audits every acked write for exactly-once
+//!   application. Self-host only (incompatible with `--connect`).
+//! - `--chaos-seed`: fault-schedule seed for the chaos arm (default: `--seed`).
+//! - `--journal`: stream the shared telemetry journal (server *and*
+//!   client counters — `client.{reconnects,retries,dedup_hits}`,
+//!   `server.{idle_reaped,dedup_window,dedup_hits}`) to this JSONL file,
+//!   ending with a metrics snapshot so `tse-inspect --check` can gate it.
+//!   Self-host only.
 //! - `--shutdown`: send the wire `Shutdown` request at the end so a CI
 //!   wrapper can start the daemon, point tse-load at it, and have both
 //!   exit cleanly.
@@ -23,15 +35,19 @@
 //! through their own bound views — the paper's transparency claim, put on
 //! a latency budget. Emits `BENCH_server.json`.
 
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use tse_bench::write_bench_json;
-use tse_core::{TseClient, TseReader, TseSystem, TseWriter};
+use tse_core::{SharedSystem, TseClient, TseReader, TseSystem, TseWriter};
+use tse_netfault::{ChaosConfig, NetFault};
 use tse_object_model::{PendingProp, PropertyDef, Value, ValueType};
-use tse_server::{RemoteClient, ServerConfig, TseServer};
-use tse_telemetry::JsonValue;
+use tse_server::{ClientConfig, RemoteClient, ServerConfig, TseServer};
+use tse_storage::RetryPolicy;
+use tse_telemetry::{JsonValue, Telemetry};
 use tse_workload::trace::{generate_and_apply_trace, TraceMix};
 
 struct Args {
@@ -39,12 +55,23 @@ struct Args {
     requests: usize,
     evolves: usize,
     seed: u64,
+    chaos: bool,
+    chaos_seed: Option<u64>,
+    journal: Option<PathBuf>,
     shutdown: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { connect: None, requests: 400, evolves: 12, seed: 9, shutdown: false };
+    let mut args = Args {
+        connect: None,
+        requests: 400,
+        evolves: 12,
+        seed: 9,
+        chaos: false,
+        chaos_seed: None,
+        journal: None,
+        shutdown: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -58,16 +85,26 @@ fn parse_args() -> Result<Args, String> {
             "--requests" => args.requests = num("--requests", value("--requests")?)? as usize,
             "--evolves" => args.evolves = num("--evolves", value("--evolves")?)? as usize,
             "--seed" => args.seed = num("--seed", value("--seed")?)?,
+            "--chaos" => args.chaos = true,
+            "--chaos-seed" => {
+                args.chaos_seed = Some(num("--chaos-seed", value("--chaos-seed")?)?)
+            }
+            "--journal" => args.journal = Some(PathBuf::from(value("--journal")?)),
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => {
                 println!(
                     "usage: tse-load [--connect HOST:PORT] [--requests N] [--evolves N] \
-                     [--seed N] [--shutdown]"
+                     [--seed N] [--chaos] [--chaos-seed N] [--journal PATH] [--shutdown]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if args.connect.is_some() && (args.chaos || args.journal.is_some()) {
+        return Err(
+            "--chaos and --journal need the self-hosted server (omit --connect)".to_string()
+        );
     }
     Ok(args)
 }
@@ -210,6 +247,193 @@ fn run_arm(addr: &str, label: &str, connections: usize, requests: usize) -> ArmR
     }
 }
 
+/// One chaos connection: a read-heavy mix with every fourth op a create,
+/// driven through the fault proxy with a generous retry budget and a
+/// short read timeout (so black holes cost half a second, not ten).
+/// Returns the names of every *acked* create — the oracle the post-run
+/// audit replays against the real store.
+fn chaos_connection(
+    proxy_addr: &str,
+    index: usize,
+    requests: usize,
+    telemetry: Telemetry,
+    failed_ops: &AtomicU64,
+) -> Vec<String> {
+    let config = ClientConfig {
+        // A connection may draw several hostile fault plans in a row
+        // before a clean one; severs are cheap, so retry hard.
+        retry: RetryPolicy {
+            max_retries: 16,
+            base_backoff_ns: 2_000_000,
+            max_backoff_ns: 50_000_000,
+        },
+        read_timeout_ms: 500,
+        connect_timeout_ms: 1_000,
+        telemetry: Some(telemetry),
+        ..ClientConfig::default()
+    };
+    let user = format!("chaos{index}");
+    let mut client =
+        RemoteClient::open_with(proxy_addr.to_string(), &user, config).expect("chaos connect");
+    client.bind(FAMILY).expect("chaos bind");
+    let mut reader = client.session().expect("chaos session");
+    let writer = client.writer().expect("chaos writer");
+    let mut acked = Vec::with_capacity(requests / 4 + 1);
+    for i in 0..requests {
+        if i % 4 == 3 {
+            let name = format!("{user}-{i}");
+            match writer
+                .create("Person", &[("name", name.clone().into()), ("age", Value::Int(41))])
+            {
+                Ok(_) => acked.push(name),
+                // An un-acked write may or may not have applied; the
+                // audit only demands it did not apply twice.
+                Err(_) => {
+                    failed_ops.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        } else {
+            let op = if i % 8 == 1 {
+                reader.extent("Person").map(|_| ())
+            } else {
+                reader.select_where("Person", "age >= 60").map(|_| ())
+            };
+            if op.is_err() {
+                failed_ops.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if i % 64 == 63 {
+            let _ = reader.refresh();
+        }
+    }
+    acked
+}
+
+/// The chaos arm: the workload runs through a seeded `tse-netfault` proxy
+/// (severs, black holes, delays, fragmentation) while the admin keeps
+/// evolving the family over a *direct* connection. Afterwards a direct
+/// reader audits the store against the acked-write oracle: every acked
+/// name present exactly once, and no chaos-minted name duplicated.
+fn run_chaos_arm(
+    sys: &SharedSystem,
+    direct_addr: &str,
+    admin: &RemoteClient,
+    args: &Args,
+) -> JsonValue {
+    let seed = args.chaos_seed.unwrap_or(args.seed);
+    let proxy = NetFault::start(direct_addr.to_string(), ChaosConfig::seeded(seed))
+        .expect("start netfault proxy");
+    let proxy_addr = proxy.addr().to_string();
+    let connections = 4usize;
+
+    // Continue the evolution trace where the during-evolve arm left off:
+    // rebuild the scratch up to the server's current schema, then render
+    // the next changes from there so each replays validly in order.
+    let chaos_evolves = 4usize;
+    let mut scratch = TseSystem::new();
+    scratch.define_base_class("Person", &[], person_props()).expect("scratch class");
+    scratch.create_view(FAMILY, &["Person"]).expect("scratch view");
+    generate_and_apply_trace(&mut scratch, FAMILY, args.evolves, &TraceMix::default(), args.seed)
+        .expect("replay prior trace");
+    let trace = generate_and_apply_trace(
+        &mut scratch,
+        FAMILY,
+        chaos_evolves,
+        &TraceMix::default(),
+        seed ^ 0x5eed,
+    )
+    .expect("chaos trace");
+    let commands: Vec<String> =
+        trace.changes.iter().map(|c| c.render().expect("renderable change")).collect();
+
+    let failed_ops = AtomicU64::new(0);
+    let started = Instant::now();
+    let (acked, evolves_applied) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let proxy_addr = proxy_addr.clone();
+                let telemetry = sys.telemetry();
+                let failed_ops = &failed_ops;
+                scope.spawn(move || {
+                    chaos_connection(&proxy_addr, c, args.requests, telemetry, failed_ops)
+                })
+            })
+            .collect();
+        let evolver = scope.spawn(|| {
+            let mut applied = 0u64;
+            for cmd in &commands {
+                admin.evolve(cmd).expect("evolve during chaos");
+                applied += 1;
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            applied
+        });
+        let acked: Vec<String> =
+            handles.into_iter().flat_map(|h| h.join().expect("chaos thread")).collect();
+        (acked, evolver.join().expect("evolver thread"))
+    });
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    let stats = proxy.stop();
+    assert_eq!(evolves_applied, commands.len() as u64, "every chaos-arm change must apply");
+
+    // The audit reads through a clean direct connection at the latest
+    // view version. Seeded attributes are never dropped by the generated
+    // trace, so `name` is readable at every version.
+    let mut verifier =
+        RemoteClient::open(direct_addr.to_string(), "chaos-verify").expect("verifier connect");
+    verifier.bind(FAMILY).expect("verifier bind");
+    let reader = verifier.session().expect("verifier session");
+    let mut counts: HashMap<String, u32> = HashMap::new();
+    for oid in reader.extent("Person").expect("verify extent") {
+        if let Value::Str(name) = reader.get(oid, "Person", "name").expect("verify get") {
+            *counts.entry(name).or_insert(0) += 1;
+        }
+    }
+    for name in &acked {
+        assert_eq!(
+            counts.get(name).copied().unwrap_or(0),
+            1,
+            "acked write {name:?} must be applied exactly once"
+        );
+    }
+    let duplicated: Vec<&String> = counts
+        .iter()
+        .filter(|(name, &n)| name.starts_with("chaos") && n > 1)
+        .map(|(name, _)| name)
+        .collect();
+    assert!(duplicated.is_empty(), "writes applied more than once: {duplicated:?}");
+
+    println!(
+        "chaos   conns={connections}  acked={}  failed={}  proxied={}  severed={}  \
+         black_holed={}  exactly-once verified",
+        acked.len(),
+        failed_ops.load(Ordering::Relaxed),
+        stats.connections,
+        stats.severed,
+        stats.black_holed,
+    );
+
+    JsonValue::obj(vec![
+        ("seed", JsonValue::U64(seed)),
+        ("connections", JsonValue::U64(connections as u64)),
+        ("elapsed_ns", JsonValue::U64(elapsed_ns)),
+        ("acked_writes", JsonValue::U64(acked.len() as u64)),
+        ("failed_ops", JsonValue::U64(failed_ops.load(Ordering::Relaxed))),
+        ("evolves_applied", JsonValue::U64(evolves_applied)),
+        ("exactly_once_verified", JsonValue::Bool(true)),
+        (
+            "proxy",
+            JsonValue::obj(vec![
+                ("proxied_connections", JsonValue::U64(stats.connections)),
+                ("severed", JsonValue::U64(stats.severed)),
+                ("black_holed", JsonValue::U64(stats.black_holed)),
+                ("fragmented", JsonValue::U64(stats.fragmented)),
+                ("forwarded_bytes", JsonValue::U64(stats.forwarded_bytes)),
+            ]),
+        ),
+    ])
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(args) => args,
@@ -221,17 +445,22 @@ fn main() {
 
     // Self-host unless pointed at a running daemon — identical wire path.
     let mut hosted: Option<TseServer> = None;
+    let mut hosted_sys: Option<SharedSystem> = None;
     let addr = match &args.connect {
         Some(addr) => addr.clone(),
         None => {
-            let server = TseServer::start(
-                tse_core::SharedSystem::new(),
-                "127.0.0.1:0",
-                ServerConfig::default(),
-            )
-            .expect("self-hosted server");
+            let sys = SharedSystem::new();
+            if let Some(journal) = &args.journal {
+                if let Err(e) = sys.telemetry().attach_sink(journal) {
+                    eprintln!("tse-load: journal sink {} failed: {e}", journal.display());
+                    std::process::exit(1);
+                }
+            }
+            let server = TseServer::start(sys.clone(), "127.0.0.1:0", ServerConfig::default())
+                .expect("self-hosted server");
             let addr = server.addr().to_string();
             hosted = Some(server);
+            hosted_sys = Some(sys);
             addr
         }
     };
@@ -287,6 +516,14 @@ fn main() {
     );
     assert_eq!(admin.versions().expect("versions"), 1 + commands.len() as u32);
 
+    // Chaos arm: same workload through the fault proxy, exactly-once audit.
+    let chaos = if args.chaos {
+        let sys = hosted_sys.as_ref().expect("--chaos is self-host only");
+        run_chaos_arm(sys, &addr, &admin, &args)
+    } else {
+        JsonValue::Null
+    };
+
     let report = JsonValue::obj(vec![
         ("bench", JsonValue::Str("server_load".to_string())),
         ("transport", JsonValue::Str("tcp_loopback".to_string())),
@@ -308,6 +545,7 @@ fn main() {
                 ("trace_seed", JsonValue::U64(args.seed)),
             ]),
         ),
+        ("chaos", chaos),
     ]);
     match write_bench_json("server", &report) {
         Ok(path) => println!("wrote {path}"),
@@ -323,5 +561,10 @@ fn main() {
     drop(admin);
     if let Some(mut server) = hosted {
         server.drain();
+    }
+    // Embed the final metrics snapshot (client and server counters) so an
+    // attached journal passes the `tse-inspect --check` forensics gate.
+    if let Some(sys) = hosted_sys {
+        sys.telemetry().journal_metrics_snapshot();
     }
 }

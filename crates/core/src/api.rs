@@ -75,6 +75,11 @@ pub enum TseCode {
     /// Anything that does not fit the categories above (injected test
     /// faults, internal invariant violations).
     Internal = 10,
+    /// A deadline elapsed: a per-operation timeout expired client-side,
+    /// or a peer stalled mid-frame past the socket read/write budget.
+    /// Unlike [`TseCode::Io`], the operation *may* have executed — the
+    /// network layer retries it only when it is idempotent.
+    DeadlineExceeded = 11,
 }
 
 impl TseCode {
@@ -96,6 +101,7 @@ impl TseCode {
             7 => TseCode::Io,
             8 => TseCode::Poisoned,
             9 => TseCode::Protocol,
+            11 => TseCode::DeadlineExceeded,
             _ => TseCode::Internal,
         }
     }
@@ -113,6 +119,7 @@ impl TseCode {
             TseCode::Poisoned => "poisoned",
             TseCode::Protocol => "protocol",
             TseCode::Internal => "internal",
+            TseCode::DeadlineExceeded => "deadline_exceeded",
         }
     }
 }
@@ -736,6 +743,7 @@ mod tests {
             TseCode::Poisoned,
             TseCode::Protocol,
             TseCode::Internal,
+            TseCode::DeadlineExceeded,
         ] {
             assert_eq!(TseCode::from_u16(code.as_u16()), code);
         }
@@ -743,6 +751,7 @@ mod tests {
         assert_eq!(TseCode::NotFound.as_u16(), 1);
         assert_eq!(TseCode::Unavailable.as_u16(), 5);
         assert_eq!(TseCode::Protocol.as_u16(), 9);
+        assert_eq!(TseCode::DeadlineExceeded.as_u16(), 11);
         // A v-next peer's unknown code degrades, not fails.
         assert_eq!(TseCode::from_u16(999), TseCode::Internal);
     }

@@ -132,6 +132,8 @@ pub struct CheckReport {
     pub dropped: Option<u64>,
     /// Everything that makes the gate fail (empty = pass).
     pub problems: Vec<String>,
+    /// Advisory findings; printed but do not fail the gate.
+    pub warnings: Vec<String>,
 }
 
 /// Result of checking one `BENCH_*.json` artifact.
@@ -444,12 +446,19 @@ impl Journal {
 
     /// Run the CI gate: fail on zero traces, any causality violation,
     /// `journal.dropped > 0` in the embedded snapshot, a poisoned WAL,
-    /// quarantined snapshot generations, or a `health.transition` into
-    /// degraded/poisoned that never recovered.
+    /// quarantined snapshot generations, a `health.transition` into
+    /// degraded/poisoned that never recovered, or a dedup-window overflow
+    /// (`server.dedup_overflow > 0` — the server evicted an idempotency
+    /// entry a client might still retry against, voiding exactly-once).
+    /// Warns — without failing — when the journal records client
+    /// reconnects but no server drain, a context mismatch: the client and
+    /// server halves came from different runs, or connections died
+    /// without the server ever shutting down cleanly.
     pub fn check(&self) -> CheckReport {
         let traces = self.trace_summaries();
         let dropped = self.snapshot_counter("journal.dropped");
         let mut problems = Vec::new();
+        let mut warnings = Vec::new();
         if traces.is_empty() {
             problems.push("no traces: no record carries a trace id".to_string());
         }
@@ -478,11 +487,27 @@ impl Journal {
         for (counter, hint) in [
             ("wal.poisoned", "the write-ahead log fail-stopped"),
             ("scrub.quarantined", "the scrubber quarantined corrupt snapshot generations"),
+            (
+                "server.dedup_overflow",
+                "the idempotency window evicted entries a client may still retry against",
+            ),
         ] {
             if let Some(v) = self.snapshot_counter(counter) {
                 if v > 0 {
                     problems.push(format!("{counter} = {v}: {hint}"));
                 }
+            }
+        }
+        if self.snapshot_counter("client.reconnects").unwrap_or(0) > 0 {
+            let drained =
+                self.hist_stats("server.drain_ns").iter().any(|h| h.count > 0);
+            if !drained {
+                warnings.push(
+                    "client.reconnects recorded but server.drain_ns never observed: \
+                     client and server telemetry look like mismatched runs, or \
+                     connections died without a clean server drain"
+                        .to_string(),
+                );
             }
         }
         problems.extend(self.causality_errors());
@@ -492,6 +517,7 @@ impl Journal {
             traces: traces.len(),
             dropped,
             problems,
+            warnings,
         }
     }
 }
@@ -808,6 +834,42 @@ mod tests {
         let problems = j2.check().problems;
         assert!(problems.iter().any(|p| p.contains("wal.poisoned = 1")), "{problems:?}");
         assert!(problems.iter().any(|p| p.contains("scrub.quarantined = 2")), "{problems:?}");
+    }
+
+    #[test]
+    fn check_flags_dedup_overflow_and_reconnects_without_drain() {
+        // Reconnects with no drain observation: WARN, not FAIL.
+        let t = Telemetry::new();
+        let tr = t.mint_trace("chaos");
+        let _g = t.enter_trace(tr);
+        t.event("net", &[]);
+        t.incr("client.reconnects", 3);
+        t.journal_metrics_snapshot();
+        let j = Journal::parse(&t.journal_lines()).unwrap();
+        let r = j.check();
+        assert!(r.problems.is_empty(), "{:?}", r.problems);
+        assert!(
+            r.warnings.iter().any(|w| w.contains("client.reconnects")),
+            "{:?}",
+            r.warnings
+        );
+
+        // The same reconnects alongside a recorded drain: clean.
+        t.observe_ns("server.drain_ns", 1_000);
+        t.journal_metrics_snapshot();
+        let j = Journal::parse(&t.journal_lines()).unwrap();
+        assert!(j.check().warnings.is_empty(), "{:?}", j.check().warnings);
+
+        // A dedup-window overflow is a hard failure: the server evicted
+        // idempotency state a client may still retry against.
+        t.incr("server.dedup_overflow", 2);
+        t.journal_metrics_snapshot();
+        let j = Journal::parse(&t.journal_lines()).unwrap();
+        assert!(
+            j.check().problems.iter().any(|p| p.contains("server.dedup_overflow = 2")),
+            "{:?}",
+            j.check().problems
+        );
     }
 
     #[test]

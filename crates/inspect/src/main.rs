@@ -117,6 +117,9 @@ fn main() -> ExitCode {
             r.dropped.map(|d| d.to_string()).unwrap_or_else(|| "unknown".into()),
             if r.torn { ", torn final line" } else { "" }
         );
+        for w in &r.warnings {
+            eprintln!("check: WARN: {w}");
+        }
         if r.problems.is_empty() {
             println!("check: OK");
             return ExitCode::SUCCESS;

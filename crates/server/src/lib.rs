@@ -8,6 +8,15 @@
 //! TCP connection, so programs written against the trait run unchanged
 //! in-process or remote.
 //!
+//! The transport is fault-tolerant end to end: the client reconnects and
+//! re-binds transparently (backing off per its [`ClientConfig`] retry
+//! policy and the server's `retry_after_ms` hints), data writes carry
+//! idempotency ids deduplicated by a bounded per-user server window so a
+//! retried acked write applies exactly once, and both sides enforce
+//! deadlines — per-op timeouts and socket read/write budgets on the
+//! client, idle-connection reaping and a slow-client write budget on the
+//! server.
+//!
 //! ```
 //! use tse_core::{SharedSystem, TseClient, TseReader, TseWriter};
 //! use tse_object_model::{PropertyDef, Value, ValueType};
@@ -36,5 +45,5 @@ pub mod client;
 pub mod proto;
 mod server;
 
-pub use client::{RemoteClient, RemoteReader, RemoteWriter};
+pub use client::{ClientConfig, RemoteClient, RemoteReader, RemoteWriter};
 pub use server::{ServerConfig, TseServer};

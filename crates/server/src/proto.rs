@@ -4,13 +4,16 @@
 //! Frame layout (all integers big-endian), identical in both directions:
 //!
 //! ```text
-//! u8 version (0xB3) | u8 kind | u32 body_len | u32 crc32(kind ‖ body_len ‖ body) | body
+//! u8 version (0xB4) | u8 kind | u32 body_len | u32 crc32(kind ‖ body_len ‖ body) | body
 //! ```
 //!
-//! The version byte is `0xB3` for the same reason the WAL's is `0xA2`: it
+//! The version byte is `0xB4` for the same reason the WAL's is `0xA2`: it
 //! is not a small integer, so a single-bit flip never turns it into another
 //! valid version, and everything after it is covered by the CRC — every
 //! single-bit corruption of a frame is detected (see the fuzz tests).
+//! (`0xB3` was the pre-idempotency framing; v2 stamps an idempotency id
+//! into every data-write body and a session nonce into `Welcome`, so the
+//! two dialects are mutually unintelligible by design.)
 //! Request kinds occupy `1..=63`, response kinds `64..`, so a frame
 //! accidentally decoded in the wrong direction fails on its kind byte
 //! instead of mis-parsing.
@@ -28,7 +31,7 @@ use tse_object_model::{get_pending_prop, put_pending_prop, Oid, PendingProp, Val
 use tse_storage::{Crc32, Payload};
 
 /// Version byte of the wire frame format.
-pub const WIRE_VERSION: u8 = 0xB3;
+pub const WIRE_VERSION: u8 = 0xB4;
 
 /// Frame header length: version, kind, body length, CRC.
 pub const HEADER_LEN: usize = 10;
@@ -128,6 +131,8 @@ pub enum Request {
     Create {
         /// Handle id.
         wid: u64,
+        /// Idempotency id (0 = no dedup requested).
+        idem: u64,
         /// View-local class name.
         class: String,
         /// Initial attribute values.
@@ -137,6 +142,8 @@ pub enum Request {
     SetAttrs {
         /// Handle id.
         wid: u64,
+        /// Idempotency id (0 = no dedup requested).
+        idem: u64,
         /// Target object.
         oid: Oid,
         /// View-local class name.
@@ -148,6 +155,8 @@ pub enum Request {
     UpdateWhere {
         /// Handle id.
         wid: u64,
+        /// Idempotency id (0 = no dedup requested).
+        idem: u64,
         /// View-local class name.
         class: String,
         /// Predicate expression text.
@@ -159,6 +168,8 @@ pub enum Request {
     AddTo {
         /// Handle id.
         wid: u64,
+        /// Idempotency id (0 = no dedup requested).
+        idem: u64,
         /// View-local class name.
         class: String,
         /// Objects to add.
@@ -168,6 +179,8 @@ pub enum Request {
     RemoveFrom {
         /// Handle id.
         wid: u64,
+        /// Idempotency id (0 = no dedup requested).
+        idem: u64,
         /// View-local class name.
         class: String,
         /// Objects to remove.
@@ -177,6 +190,8 @@ pub enum Request {
     Delete {
         /// Handle id.
         wid: u64,
+        /// Idempotency id (0 = no dedup requested).
+        idem: u64,
         /// Objects to destroy.
         oids: Vec<Oid>,
     },
@@ -214,6 +229,25 @@ pub enum Request {
     Bye,
 }
 
+impl Request {
+    /// The idempotency id stamped into a data-write request, if any.
+    /// `Some(0)` means the client declined dedup for this write; reads,
+    /// handle management, and schema DDL return [`None`] — retrying a
+    /// read is free and retrying DDL is observable (an extra view
+    /// version), so the server's dedup window only tracks data writes.
+    pub fn idem(&self) -> Option<u64> {
+        match self {
+            Request::Create { idem, .. }
+            | Request::SetAttrs { idem, .. }
+            | Request::UpdateWhere { idem, .. }
+            | Request::AddTo { idem, .. }
+            | Request::RemoveFrom { idem, .. }
+            | Request::Delete { idem, .. } => Some(*idem),
+            _ => None,
+        }
+    }
+}
+
 /// A server → client message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -222,6 +256,10 @@ pub enum Response {
     Welcome {
         /// Bound view version.
         version: u32,
+        /// Server-minted session nonce. Clients derive idempotency ids
+        /// from it (`nonce << 32 | counter`) so ids never collide across
+        /// a user's concurrent or successive connections.
+        nonce: u64,
     },
     /// Reply to [`Request::Bind`].
     Bound {
@@ -507,30 +545,36 @@ impl Request {
                 put_str(body, class);
                 put_str(body, name);
             }
-            Request::Create { wid, class, values } => {
+            Request::Create { wid, idem, class, values } => {
                 body.put_u64(*wid);
+                body.put_u64(*idem);
                 put_str(body, class);
                 put_pairs(body, values);
             }
-            Request::SetAttrs { wid, oid, class, assignments } => {
+            Request::SetAttrs { wid, idem, oid, class, assignments } => {
                 body.put_u64(*wid);
+                body.put_u64(*idem);
                 body.put_u64(oid.0);
                 put_str(body, class);
                 put_pairs(body, assignments);
             }
-            Request::UpdateWhere { wid, class, expr, assignments } => {
+            Request::UpdateWhere { wid, idem, class, expr, assignments } => {
                 body.put_u64(*wid);
+                body.put_u64(*idem);
                 put_str(body, class);
                 put_str(body, expr);
                 put_pairs(body, assignments);
             }
-            Request::AddTo { wid, class, oids } | Request::RemoveFrom { wid, class, oids } => {
+            Request::AddTo { wid, idem, class, oids }
+            | Request::RemoveFrom { wid, idem, class, oids } => {
                 body.put_u64(*wid);
+                body.put_u64(*idem);
                 put_str(body, class);
                 put_oids(body, oids);
             }
-            Request::Delete { wid, oids } => {
+            Request::Delete { wid, idem, oids } => {
                 body.put_u64(*wid);
+                body.put_u64(*idem);
                 put_oids(body, oids);
             }
             Request::DefineClass { name, supers, props } => {
@@ -576,32 +620,41 @@ impl Request {
             12 => Request::RefreshWriter { wid: get_u64(buf, "wid")? },
             13 => Request::Create {
                 wid: get_u64(buf, "wid")?,
+                idem: get_u64(buf, "idem")?,
                 class: get_str(buf)?,
                 values: get_pairs(buf)?,
             },
             14 => Request::SetAttrs {
                 wid: get_u64(buf, "wid")?,
+                idem: get_u64(buf, "idem")?,
                 oid: get_oid(buf)?,
                 class: get_str(buf)?,
                 assignments: get_pairs(buf)?,
             },
             15 => Request::UpdateWhere {
                 wid: get_u64(buf, "wid")?,
+                idem: get_u64(buf, "idem")?,
                 class: get_str(buf)?,
                 expr: get_str(buf)?,
                 assignments: get_pairs(buf)?,
             },
             16 => Request::AddTo {
                 wid: get_u64(buf, "wid")?,
+                idem: get_u64(buf, "idem")?,
                 class: get_str(buf)?,
                 oids: get_oids(buf)?,
             },
             17 => Request::RemoveFrom {
                 wid: get_u64(buf, "wid")?,
+                idem: get_u64(buf, "idem")?,
                 class: get_str(buf)?,
                 oids: get_oids(buf)?,
             },
-            18 => Request::Delete { wid: get_u64(buf, "wid")?, oids: get_oids(buf)? },
+            18 => Request::Delete {
+                wid: get_u64(buf, "wid")?,
+                idem: get_u64(buf, "idem")?,
+                oids: get_oids(buf)?,
+            },
             19 => {
                 let name = get_str(buf)?;
                 let supers = get_strs(buf)?;
@@ -659,9 +712,11 @@ impl Response {
 
     fn encode_body(&self, body: &mut BytesMut) {
         match self {
-            Response::Welcome { version } | Response::Bound { version } => {
-                body.put_u32(*version)
+            Response::Welcome { version, nonce } => {
+                body.put_u32(*version);
+                body.put_u64(*nonce);
             }
+            Response::Bound { version } => body.put_u32(*version),
             Response::ReaderOpened { sid, version } => {
                 body.put_u64(*sid);
                 body.put_u32(*version);
@@ -697,7 +752,10 @@ impl Response {
 
     fn decode_body(kind: u8, buf: &mut Bytes) -> TseResult<Response> {
         Ok(match kind {
-            64 => Response::Welcome { version: get_u32(buf, "version")? },
+            64 => Response::Welcome {
+                version: get_u32(buf, "version")?,
+                nonce: get_u64(buf, "nonce")?,
+            },
             65 => Response::Bound { version: get_u32(buf, "version")? },
             66 => Response::ReaderOpened {
                 sid: get_u64(buf, "sid")?,
@@ -838,22 +896,47 @@ pub fn decode_response(frame: &[u8]) -> TseResult<Response> {
     Ok(resp)
 }
 
-/// Read one complete frame from a stream. Returns `Ok(None)` on clean EOF
-/// at a frame boundary. The header is validated (version byte, body-length
-/// cap) **before** the body is read, so a corrupt length prefix can never
-/// make the peer allocate or block on gigabytes.
-pub fn read_frame(r: &mut impl Read) -> TseResult<Option<Vec<u8>>> {
-    let mut header = [0u8; HEADER_LEN];
-    let mut filled = 0;
-    while filled < 1 {
-        match r.read(&mut header[..1]) {
-            Ok(0) => return Ok(None),
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(io_error(e)),
+/// Outcome of [`read_frame_idle`]: a frame, a clean EOF, or an idle tick.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// One complete frame.
+    Frame(Vec<u8>),
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// The socket read timeout fired before the first byte of a frame
+    /// arrived: the peer is idle, not broken or stalled. The caller
+    /// decides whether to keep waiting (and for how long).
+    Idle,
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// `read_exact` for bytes *inside* a frame: once the first byte of a frame
+/// has arrived, a read timeout no longer means "idle" — the peer stalled
+/// mid-frame, which is a deadline violation, not quiet.
+fn read_exact_mid_frame(r: &mut impl Read, buf: &mut [u8]) -> TseResult<()> {
+    r.read_exact(buf).map_err(|e| {
+        if is_timeout(&e) {
+            TseError::new(
+                TseCode::DeadlineExceeded,
+                "peer stalled mid-frame (read timeout elapsed)",
+            )
+        } else {
+            io_error(e)
         }
-    }
-    r.read_exact(&mut header[1..]).map_err(io_error)?;
+    })
+}
+
+/// Read the remainder of a frame whose first (version) byte is `first`.
+/// The header is validated (version byte, body-length cap) **before** the
+/// body is read, so a corrupt length prefix can never make the peer
+/// allocate or block on gigabytes.
+fn finish_frame(r: &mut impl Read, first: u8) -> TseResult<Vec<u8>> {
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = first;
+    read_exact_mid_frame(r, &mut header[1..])?;
     if header[0] != WIRE_VERSION {
         return Err(protocol(format!(
             "unsupported protocol version {:#04x} (expected {WIRE_VERSION:#04x})",
@@ -868,8 +951,50 @@ pub fn read_frame(r: &mut impl Read) -> TseResult<Option<Vec<u8>>> {
     }
     let mut frame = vec![0u8; HEADER_LEN + body_len];
     frame[..HEADER_LEN].copy_from_slice(&header);
-    r.read_exact(&mut frame[HEADER_LEN..]).map_err(io_error)?;
-    Ok(Some(frame))
+    read_exact_mid_frame(r, &mut frame[HEADER_LEN..])?;
+    Ok(frame)
+}
+
+/// Read one complete frame from a stream. Returns `Ok(None)` on clean EOF
+/// at a frame boundary. A read timeout — before the first byte or mid-frame
+/// — surfaces as [`TseCode::DeadlineExceeded`]; callers that want to treat
+/// pre-frame quiet as benign use [`read_frame_idle`] instead.
+pub fn read_frame(r: &mut impl Read) -> TseResult<Option<Vec<u8>>> {
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                return Err(TseError::new(
+                    TseCode::DeadlineExceeded,
+                    "timed out waiting for a frame",
+                ))
+            }
+            Err(e) => return Err(io_error(e)),
+        }
+    }
+    finish_frame(r, first[0]).map(Some)
+}
+
+/// Like [`read_frame`], but a read timeout before the first byte of a
+/// frame returns [`FrameRead::Idle`] instead of an error, so a server
+/// handler can use its socket read timeout as an idle-reaping tick
+/// without conflating "quiet client" with "stalled client". A timeout
+/// *mid-frame* is still an error (the slow-client read budget).
+pub fn read_frame_idle(r: &mut impl Read) -> TseResult<FrameRead> {
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(FrameRead::Eof),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => return Ok(FrameRead::Idle),
+            Err(e) => return Err(io_error(e)),
+        }
+    }
+    finish_frame(r, first[0]).map(FrameRead::Frame)
 }
 
 /// Write one complete frame and flush it.
@@ -903,24 +1028,32 @@ mod tests {
             Request::RefreshWriter { wid: 9 },
             Request::Create {
                 wid: 9,
+                idem: (11 << 32) | 1,
                 class: "Person".into(),
                 values: vec![("name".into(), Value::Str("ann".into()))],
             },
             Request::SetAttrs {
                 wid: 9,
+                idem: (11 << 32) | 2,
                 oid: Oid(3),
                 class: "Person".into(),
                 assignments: vec![("age".into(), Value::Int(30))],
             },
             Request::UpdateWhere {
                 wid: 9,
+                idem: (11 << 32) | 3,
                 class: "Person".into(),
                 expr: "age == 0".into(),
                 assignments: vec![("age".into(), Value::Int(1))],
             },
-            Request::AddTo { wid: 9, class: "Club".into(), oids: vec![Oid(1), Oid(2)] },
-            Request::RemoveFrom { wid: 9, class: "Club".into(), oids: vec![Oid(2)] },
-            Request::Delete { wid: 9, oids: vec![Oid(1), Oid(2), Oid(3)] },
+            Request::AddTo {
+                wid: 9,
+                idem: 0,
+                class: "Club".into(),
+                oids: vec![Oid(1), Oid(2)],
+            },
+            Request::RemoveFrom { wid: 9, idem: 4, class: "Club".into(), oids: vec![Oid(2)] },
+            Request::Delete { wid: 9, idem: 5, oids: vec![Oid(1), Oid(2), Oid(3)] },
             Request::DefineClass {
                 name: "Person".into(),
                 supers: vec!["Agent".into()],
@@ -939,7 +1072,7 @@ mod tests {
 
     fn sample_responses() -> Vec<Response> {
         vec![
-            Response::Welcome { version: 2 },
+            Response::Welcome { version: 2, nonce: 41 },
             Response::Bound { version: 0 },
             Response::ReaderOpened { sid: 7, version: 2 },
             Response::WriterOpened { wid: 9 },
@@ -1047,12 +1180,128 @@ mod tests {
     #[test]
     fn v_next_version_byte_is_refused_not_misparsed() {
         let mut frame = encode_request(&Request::Hello { user: "alice".into() });
-        frame[0] = 0xB4; // hypothetical v-next
+        frame[0] = 0xB5; // hypothetical v-next
         let err = decode_request(&frame).unwrap_err();
         assert_eq!(err.code(), TseCode::Protocol);
         assert!(err.message().contains("version"));
         let mut cursor = io::Cursor::new(frame);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn v_prev_version_byte_is_refused_not_misparsed() {
+        // The pre-idempotency dialect (0xB3) must be refused up front, not
+        // decoded against the v2 body shapes.
+        let mut frame = encode_request(&Request::Ping);
+        frame[0] = 0xB3;
+        assert_eq!(decode_request(&frame).unwrap_err().code(), TseCode::Protocol);
+    }
+
+    #[test]
+    fn only_data_writes_carry_idempotency_ids() {
+        for req in sample_requests() {
+            let dedupable = matches!(
+                req,
+                Request::Create { .. }
+                    | Request::SetAttrs { .. }
+                    | Request::UpdateWhere { .. }
+                    | Request::AddTo { .. }
+                    | Request::RemoveFrom { .. }
+                    | Request::Delete { .. }
+            );
+            assert_eq!(req.idem().is_some(), dedupable, "idem() of {req:?}");
+        }
+    }
+
+    // ---- adversarial transport behaviour ---------------------------------
+
+    /// A reader that hands back at most one byte per `read` call — the
+    /// worst legal TCP fragmentation.
+    struct OneByteAtATime<R>(R);
+
+    impl<R: Read> Read for OneByteAtATime<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(1);
+            self.0.read(&mut buf[..n])
+        }
+    }
+
+    /// A reader that yields `limit` bytes, then stalls (WouldBlock, as a
+    /// socket with `set_read_timeout` surfaces an expired timer).
+    struct StallAfter {
+        data: io::Cursor<Vec<u8>>,
+        limit: usize,
+    }
+
+    impl Read for StallAfter {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.limit == 0 {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "read timed out"));
+            }
+            let n = buf.len().min(self.limit);
+            let read = self.data.read(&mut buf[..n])?;
+            self.limit -= read;
+            Ok(read)
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_fragmented_reads_reassemble_every_frame() {
+        let mut pipe: Vec<u8> = Vec::new();
+        for req in sample_requests() {
+            write_frame(&mut pipe, &encode_request(&req)).unwrap();
+        }
+        let mut fragmented = OneByteAtATime(io::Cursor::new(pipe));
+        for req in sample_requests() {
+            let frame = read_frame(&mut fragmented).unwrap().expect("frame present");
+            assert_eq!(decode_request(&frame).unwrap(), req);
+        }
+        assert!(read_frame(&mut fragmented).unwrap().is_none(), "clean EOF at the end");
+    }
+
+    #[test]
+    fn mid_frame_disconnect_is_an_io_error_not_a_clean_eof() {
+        let frame = encode_request(&Request::Evolve { command: "drop_attribute x".into() });
+        // Sever at every interior byte boundary: mid-header and mid-body.
+        for keep in 1..frame.len() {
+            let mut cursor = io::Cursor::new(frame[..keep].to_vec());
+            let err = read_frame(&mut cursor)
+                .expect_err(&format!("sever after {keep} bytes must error"));
+            assert_eq!(err.code(), TseCode::Io, "sever after {keep} bytes: {err}");
+        }
+        // Severing at the frame boundary (0 bytes) is the one clean EOF.
+        let mut empty = io::Cursor::new(Vec::new());
+        assert!(read_frame(&mut empty).unwrap().is_none());
+    }
+
+    #[test]
+    fn write_stalled_between_header_and_body_trips_the_deadline() {
+        let frame = encode_request(&Request::Bind { family: "VS".into() });
+        // The peer sends the full header, then nothing: a mid-frame stall
+        // is a deadline violation for both read entry points.
+        let stalled = || StallAfter { data: io::Cursor::new(frame.clone()), limit: HEADER_LEN };
+        let err = read_frame(&mut stalled()).unwrap_err();
+        assert_eq!(err.code(), TseCode::DeadlineExceeded);
+        assert!(err.message().contains("mid-frame"), "unexpected message: {}", err.message());
+        let err = match read_frame_idle(&mut stalled()) {
+            Err(e) => e,
+            Ok(other) => panic!("mid-frame stall must error, got {other:?}"),
+        };
+        assert_eq!(err.code(), TseCode::DeadlineExceeded);
+    }
+
+    #[test]
+    fn pre_frame_quiet_is_idle_for_the_server_and_a_deadline_for_the_client() {
+        // No bytes at all: read_frame_idle reports Idle (reap-eligible,
+        // not an error); read_frame treats it as a missed response.
+        let quiet = || StallAfter { data: io::Cursor::new(Vec::new()), limit: 0 };
+        assert!(matches!(read_frame_idle(&mut quiet()).unwrap(), FrameRead::Idle));
+        assert_eq!(read_frame(&mut quiet()).unwrap_err().code(), TseCode::DeadlineExceeded);
+        // One byte then quiet: now *both* entry points call it a stall.
+        let frame = encode_request(&Request::Ping);
+        let stall = || StallAfter { data: io::Cursor::new(frame.clone()), limit: 1 };
+        assert!(read_frame_idle(&mut stall()).is_err());
+        assert!(read_frame(&mut stall()).is_err());
     }
 
     #[test]

@@ -25,13 +25,13 @@
 //! invisible to the server, and pinned handles keep their pre-swap view
 //! (see the drain-across-evolve test).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use tse_core::{
@@ -41,7 +41,8 @@ use tse_core::{
 use tse_object_model::Value;
 
 use crate::proto::{
-    decode_request, encode_response, read_frame, write_frame, Request, Response,
+    decode_request, encode_response, read_frame_idle, write_frame, FrameRead, Request,
+    Response,
 };
 
 /// Server runtime knobs.
@@ -53,12 +54,39 @@ pub struct ServerConfig {
     /// Backoff hint (milliseconds) carried in admission-control `Retry`
     /// frames.
     pub retry_after_ms: u64,
+    /// Reap a connection that sends no frame for this long (0 disables).
+    /// Doubles as the slow-client *read* budget: once a frame has started,
+    /// stalling mid-frame past this window drops the connection.
+    pub idle_timeout_ms: u64,
+    /// Slow-client write budget: a response write blocked for this long
+    /// drops the connection instead of pinning its handler thread forever
+    /// (0 disables).
+    pub write_timeout_ms: u64,
+    /// Per-user idempotency dedup window: successful data-write responses
+    /// remembered per user, so a retried acked write is answered from the
+    /// cache instead of applied twice. Evicting past this bound is an
+    /// overflow (`server.dedup_overflow`) — size it above the largest
+    /// write burst a client could still be retrying.
+    pub dedup_capacity: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
-        ServerConfig { max_connections: 64, retry_after_ms: 100 }
+        ServerConfig {
+            max_connections: 64,
+            retry_after_ms: 100,
+            idle_timeout_ms: 60_000,
+            write_timeout_ms: 5_000,
+            dedup_capacity: 1024,
+        }
     }
+}
+
+/// One user's bounded dedup window: insertion order + cached responses.
+#[derive(Default)]
+struct DedupWindow {
+    order: VecDeque<u64>,
+    cached: HashMap<u64, Response>,
 }
 
 struct Shared {
@@ -68,10 +96,45 @@ struct Shared {
     shutdown_requested: AtomicBool,
     active: AtomicUsize,
     next_conn: AtomicU64,
+    /// Session-nonce mint for `Welcome` frames (idempotency-id prefixes).
+    next_nonce: AtomicU64,
+    /// Per-user idempotency windows. Keyed by user, not connection: a
+    /// retried write arrives on a *new* connection after a reconnect.
+    dedup: Mutex<HashMap<String, DedupWindow>>,
     /// Read-half clones of live connections, so drain can wake handlers
     /// blocked in `read_frame` without severing their write side.
     conns: Mutex<HashMap<u64, TcpStream>>,
     handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn dedup_lookup(&self, user: &str, idem: u64) -> Option<Response> {
+        self.dedup.lock().get(user).and_then(|w| w.cached.get(&idem).cloned())
+    }
+
+    fn dedup_record(&self, user: &str, idem: u64, response: &Response) {
+        let mut windows = self.dedup.lock();
+        let window = windows.entry(user.to_string()).or_default();
+        if window.cached.insert(idem, response.clone()).is_none() {
+            window.order.push_back(idem);
+        }
+        let mut overflowed = 0u64;
+        while window.order.len() > self.config.dedup_capacity.max(1) {
+            if let Some(evicted) = window.order.pop_front() {
+                window.cached.remove(&evicted);
+                overflowed += 1;
+            }
+        }
+        let total: u64 = windows.values().map(|w| w.order.len() as u64).sum();
+        drop(windows);
+        let telemetry = self.sys.telemetry();
+        if overflowed > 0 {
+            // An evicted id could in principle still be retried — the
+            // exactly-once guarantee is weakened. CI treats this as fatal.
+            telemetry.incr("server.dedup_overflow", overflowed);
+        }
+        telemetry.set_gauge("server.dedup_window", total);
+    }
 }
 
 /// A running TSE server. Dropping the handle does **not** stop the server;
@@ -98,6 +161,8 @@ impl TseServer {
             shutdown_requested: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             next_conn: AtomicU64::new(1),
+            next_nonce: AtomicU64::new(1),
+            dedup: Mutex::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
             handlers: Mutex::new(Vec::new()),
         });
@@ -216,6 +281,8 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 /// Per-connection state: the authenticated client plus its open handles.
 struct ConnState {
     client: Option<LocalClient>,
+    /// The authenticated user — the dedup-window key.
+    user: Option<String>,
     readers: HashMap<u64, LocalReader>,
     writers: HashMap<u64, LocalWriter>,
     next_handle: u64,
@@ -255,19 +322,44 @@ impl ConnState {
 
 fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     let telemetry = shared.sys.telemetry().clone();
+    // Deadlines: the read timeout is both the idle-reaping tick (no frame
+    // started) and the slow-client read budget (frame started, then
+    // stalled); the write timeout bounds how long one hung peer can pin
+    // this handler thread on a response flush.
+    if shared.config.idle_timeout_ms > 0 {
+        let _ = stream
+            .set_read_timeout(Some(Duration::from_millis(shared.config.idle_timeout_ms)));
+    }
+    if shared.config.write_timeout_ms > 0 {
+        let _ = stream
+            .set_write_timeout(Some(Duration::from_millis(shared.config.write_timeout_ms)));
+    }
     let mut state = ConnState {
         client: None,
+        user: None,
         readers: HashMap::new(),
         writers: HashMap::new(),
         next_handle: 1,
     };
     loop {
-        let frame = match read_frame(&mut stream) {
-            Ok(Some(frame)) => frame,
+        let frame = match read_frame_idle(&mut stream) {
+            Ok(FrameRead::Frame(frame)) => frame,
             // Clean EOF: the peer closed, or drain half-closed our read
             // side after the last in-flight response flushed.
-            Ok(None) => break,
-            Err(_) => break,
+            Ok(FrameRead::Eof) => break,
+            // A full idle budget passed without even a first byte: reap
+            // the connection so quiet peers cannot pin handler threads.
+            Ok(FrameRead::Idle) => {
+                telemetry.incr("server.idle_reaped", 1);
+                telemetry.event("server.idle_reaped", &[]);
+                break;
+            }
+            Err(e) => {
+                if e.code() == TseCode::DeadlineExceeded {
+                    telemetry.incr("server.slow_client_dropped", 1);
+                }
+                break;
+            }
         };
         let started = Instant::now();
         telemetry.incr("server.requests", 1);
@@ -295,14 +387,33 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
 /// failure is a [`TseError`]; `Unavailable` backpressure becomes a wire
 /// `Retry` frame, everything else an `Err` frame carrying the code
 /// verbatim.
+///
+/// Data writes carrying a non-zero idempotency id consult the user's
+/// dedup window first: a retried write whose original ack was lost in
+/// transit is answered from the cache, never applied twice. Only
+/// *successful* responses are cached — a `Retry` frame means the write
+/// was never executed, and typed errors are deterministic replays.
 fn dispatch(shared: &Shared, state: &mut ConnState, request: Request) -> Response {
-    match apply(shared, state, request) {
+    let idem = request.idem().filter(|&i| i != 0);
+    if let (Some(idem), Some(user)) = (idem, state.user.as_deref()) {
+        if let Some(cached) = shared.dedup_lookup(user, idem) {
+            shared.sys.telemetry().incr("server.dedup_hits", 1);
+            return cached;
+        }
+    }
+    let response = match apply(shared, state, request) {
         Ok(response) => response,
         Err(e) if e.code() == TseCode::Unavailable && e.retry_after_ms() > 0 => {
             Response::Retry { retry_after_ms: e.retry_after_ms() }
         }
         Err(e) => Response::from_error(&e),
+    };
+    if let (Some(idem), Some(user)) = (idem, state.user.as_deref()) {
+        if !matches!(response, Response::Retry { .. } | Response::Err { .. }) {
+            shared.dedup_record(user, idem, &response);
+        }
     }
+    response
 }
 
 fn apply(shared: &Shared, state: &mut ConnState, request: Request) -> TseResult<Response> {
@@ -312,7 +423,9 @@ fn apply(shared: &Shared, state: &mut ConnState, request: Request) -> TseResult<
             let version = client.bound_version().unwrap_or(0);
             shared.sys.telemetry().event("server.hello", &[("user", user.as_str().into())]);
             state.client = Some(client);
-            Response::Welcome { version }
+            state.user = Some(user);
+            let nonce = shared.next_nonce.fetch_add(1, Ordering::SeqCst);
+            Response::Welcome { version, nonce }
         }
         Request::Bind { family } => {
             state.client()?;
@@ -360,31 +473,31 @@ fn apply(shared: &Shared, state: &mut ConnState, request: Request) -> TseResult<
             state.writer_mut(wid)?.refresh()?;
             Response::Refreshed
         }
-        Request::Create { wid, class, values } => {
+        Request::Create { wid, class, values, .. } => {
             let borrowed: Vec<(&str, Value)> =
                 values.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
             Response::OidIs(state.writer(wid)?.create(&class, &borrowed)?)
         }
-        Request::SetAttrs { wid, oid, class, assignments } => {
+        Request::SetAttrs { wid, oid, class, assignments, .. } => {
             let borrowed: Vec<(&str, Value)> =
                 assignments.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
             state.writer(wid)?.set(oid, &class, &borrowed)?;
             Response::Unit
         }
-        Request::UpdateWhere { wid, class, expr, assignments } => {
+        Request::UpdateWhere { wid, class, expr, assignments, .. } => {
             let borrowed: Vec<(&str, Value)> =
                 assignments.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
             Response::Count(state.writer(wid)?.update_where(&class, &expr, &borrowed)? as u64)
         }
-        Request::AddTo { wid, class, oids } => {
+        Request::AddTo { wid, class, oids, .. } => {
             state.writer(wid)?.add_to(&oids, &class)?;
             Response::Unit
         }
-        Request::RemoveFrom { wid, class, oids } => {
+        Request::RemoveFrom { wid, class, oids, .. } => {
             state.writer(wid)?.remove_from(&oids, &class)?;
             Response::Unit
         }
-        Request::Delete { wid, oids } => {
+        Request::Delete { wid, oids, .. } => {
             state.writer(wid)?.delete_objects(&oids)?;
             Response::Unit
         }

@@ -11,12 +11,13 @@ use std::sync::Arc;
 use tse_core::{
     SharedSystem, TseClient, TseCode, TseReader, TseSystem, TseWriter,
 };
+use tse_netfault::{ChaosConfig, NetFault};
 use tse_object_model::{PropertyDef, Value, ValueType};
 use tse_server::proto::{
     decode_response, encode_request, read_frame, write_frame, Request, Response,
 };
-use tse_server::{RemoteClient, ServerConfig, TseServer};
-use tse_storage::FailAction;
+use tse_server::{ClientConfig, RemoteClient, ServerConfig, TseServer};
+use tse_storage::{FailAction, RetryPolicy};
 
 /// A unique, empty scratch directory per test.
 fn tmpdir(name: &str) -> PathBuf {
@@ -172,7 +173,8 @@ fn drain_finishes_in_flight_requests_and_refuses_new_connections() {
 
 #[test]
 fn admission_cap_returns_typed_retry() {
-    let config = ServerConfig { max_connections: 1, retry_after_ms: 42 };
+    let config =
+        ServerConfig { max_connections: 1, retry_after_ms: 42, ..ServerConfig::default() };
     let mut server = start(SharedSystem::new(), config);
     let addr = server.addr().to_string();
 
@@ -207,6 +209,181 @@ fn requests_before_hello_are_rejected() {
         other => panic!("expected Err, got {other:?}"),
     }
     drop(raw);
+    server.drain();
+}
+
+#[test]
+fn client_rides_out_repeated_severs_with_exactly_once_writes() {
+    let mut server = start(SharedSystem::new(), ServerConfig::default());
+    let addr = server.addr().to_string();
+    let admin = RemoteClient::open(addr.clone(), "VS").unwrap();
+    seed_remote(&admin);
+
+    // Every proxied connection is severed shortly after it starts talking,
+    // so the client must redial, re-Hello, re-bind, and re-open its
+    // handles over and over — while each acked write applies exactly once.
+    let chaos = ChaosConfig {
+        seed: 7,
+        sever_one_in: 1,
+        black_hole_one_in: 0,
+        fragment_one_in: 0,
+        max_delay_ms: 0,
+        trigger_window_bytes: 512,
+    };
+    let proxy = NetFault::start(addr.clone(), chaos).unwrap();
+    let telemetry = tse_telemetry::Telemetry::new();
+    let config = ClientConfig {
+        retry: RetryPolicy {
+            max_retries: 16,
+            base_backoff_ns: 1_000_000,
+            max_backoff_ns: 10_000_000,
+        },
+        read_timeout_ms: 2_000,
+        connect_timeout_ms: 1_000,
+        telemetry: Some(telemetry.clone()),
+        ..ClientConfig::default()
+    };
+    let mut hammer =
+        RemoteClient::open_with(proxy.addr().to_string(), "hammer", config).unwrap();
+    hammer.bind("VS").unwrap();
+    let writer = hammer.writer().unwrap();
+    let mut reader = hammer.session().unwrap();
+    for i in 0..15 {
+        writer.create("Person", &[("name", format!("h{i}").into())]).unwrap();
+        // Interleave reads so handle re-establishment is exercised on
+        // both the reader and the writer slot. A refresh advances the
+        // pinned data epoch, so every acked create so far must be
+        // visible — exactly once each, even when the ack was retried.
+        reader.refresh().unwrap();
+        assert_eq!(reader.extent("Person").unwrap().len(), i + 1);
+    }
+    drop((reader, writer, hammer));
+    let stats = proxy.stop();
+    assert!(stats.severed > 0, "the proxy never severed: test proved nothing");
+    assert!(telemetry.counter("client.reconnects") > 0, "no reconnect happened");
+
+    // Audit through a clean direct connection: 15 objects, each exactly once.
+    let names: Vec<String> = {
+        let audit = admin.session().unwrap();
+        audit
+            .extent("Person")
+            .unwrap()
+            .iter()
+            .map(|&oid| match audit.get(oid, "Person", "name").unwrap() {
+                Value::Str(s) => s,
+                other => panic!("non-string name {other:?}"),
+            })
+            .collect()
+    };
+    assert_eq!(names.len(), 15, "acked-write loss or duplication: {names:?}");
+    for i in 0..15 {
+        let expected = format!("h{i}");
+        assert_eq!(
+            names.iter().filter(|n| **n == expected).count(),
+            1,
+            "{expected} must appear exactly once in {names:?}"
+        );
+    }
+
+    drop(admin);
+    server.drain();
+}
+
+#[test]
+fn duplicate_idempotency_ids_replay_the_cached_response() {
+    let mut server = start(SharedSystem::new(), ServerConfig::default());
+    let admin = RemoteClient::open(server.addr().to_string(), "VS").unwrap();
+    seed_remote(&admin);
+
+    // Raw wire session as the same user: Hello hands out the nonce
+    // idempotency ids must be minted from.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut raw, &encode_request(&Request::Hello { user: "VS".into() })).unwrap();
+    let nonce = match decode_response(&read_frame(&mut raw).unwrap().unwrap()).unwrap() {
+        Response::Welcome { nonce, .. } => nonce,
+        other => panic!("expected Welcome, got {other:?}"),
+    };
+    assert!(nonce > 0);
+    write_frame(&mut raw, &encode_request(&Request::OpenWriter)).unwrap();
+    let wid = match decode_response(&read_frame(&mut raw).unwrap().unwrap()).unwrap() {
+        Response::WriterOpened { wid } => wid,
+        other => panic!("expected WriterOpened, got {other:?}"),
+    };
+
+    // The same logical write sent twice — a retry after a lost ack.
+    let create = Request::Create {
+        wid,
+        idem: (nonce << 32) | 1,
+        class: "Person".into(),
+        values: vec![("name".into(), Value::Str("dup".into()))],
+    };
+    write_frame(&mut raw, &encode_request(&create)).unwrap();
+    let first = read_frame(&mut raw).unwrap().unwrap();
+    write_frame(&mut raw, &encode_request(&create)).unwrap();
+    let second = read_frame(&mut raw).unwrap().unwrap();
+    assert_eq!(first, second, "the dedup window must replay the identical response");
+    assert!(!matches!(decode_response(&first).unwrap(), Response::Err { .. }));
+
+    // Exactly one object exists, despite two acknowledged sends.
+    let audit = admin.session().unwrap();
+    assert_eq!(audit.extent("Person").unwrap().len(), 1);
+
+    drop((audit, raw, admin));
+    server.drain();
+}
+
+#[test]
+fn idle_connections_are_reaped_after_the_deadline() {
+    let config = ServerConfig { idle_timeout_ms: 60, ..ServerConfig::default() };
+    let mut server = start(SharedSystem::new(), config);
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut raw, &encode_request(&Request::Hello { user: "quiet".into() })).unwrap();
+    let frame = read_frame(&mut raw).unwrap().unwrap();
+    assert!(matches!(decode_response(&frame).unwrap(), Response::Welcome { .. }));
+
+    // Go silent past the idle budget: the server must hang up cleanly.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    assert!(
+        read_frame(&mut raw).unwrap().is_none(),
+        "idle connection survived its deadline"
+    );
+    while server.active_connections() > 0 {
+        std::thread::yield_now();
+    }
+    drop(raw);
+    server.drain();
+}
+
+#[test]
+fn retry_policy_none_restores_fail_fast_connects() {
+    // A dead address: bind a port, then drop the listener so nothing
+    // answers there.
+    let dead = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let config = ClientConfig { retry: RetryPolicy::none(), ..ClientConfig::default() };
+    let started = std::time::Instant::now();
+    let err = RemoteClient::open_with(dead, "nobody", config).err().expect("dead addr");
+    assert_eq!(err.code(), TseCode::Io);
+    // One attempt, no backoff: failure is immediate, not a retry storm.
+    assert!(started.elapsed() < std::time::Duration::from_secs(2));
+
+    // Under an admission cap the typed Retry hint also surfaces verbatim
+    // instead of being retried into a different error.
+    let cap = ServerConfig { max_connections: 1, retry_after_ms: 7, ..ServerConfig::default() };
+    let mut server = start(SharedSystem::new(), cap);
+    let held = RemoteClient::open(server.addr().to_string(), "one").unwrap();
+    let fast = ClientConfig { retry: RetryPolicy::none(), ..ClientConfig::default() };
+    let err = RemoteClient::open_with(server.addr().to_string(), "two", fast)
+        .err()
+        .expect("cap must refuse");
+    assert_eq!(err.code(), TseCode::Unavailable);
+    assert_eq!(err.retry_after_ms(), 7);
+    drop(held);
+    while server.active_connections() > 0 {
+        std::thread::yield_now();
+    }
     server.drain();
 }
 
